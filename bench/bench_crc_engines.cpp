@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the software CRC engines on this
+// host — the "programmable processor" side of the paper's comparison.
+// Not a paper figure by itself, but the measured cycles/byte of the table
+// and slicing engines ground the RiscModel constants used in Table 1.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/derby_crc.hpp"
+#include "crc/gfmac_crc.hpp"
+#include "crc/matrix_crc.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/slicing_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "crc/wide_table_crc.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace plfsr;
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  Rng rng(42);
+  return rng.next_bytes(n);
+}
+
+void BM_SerialCrc32(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const CrcSpec spec = crcspec::crc32_ethernet();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(serial_crc(spec, msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerialCrc32)->Arg(64)->Arg(1518);
+
+void BM_TableCrc32(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const TableCrc engine(crcspec::crc32_ethernet());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableCrc32)->Arg(64)->Arg(1518)->Arg(65536);
+
+void BM_SlicingBy4Crc32(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const SlicingBy4Crc engine(crcspec::crc32_ethernet());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlicingBy4Crc32)->Arg(1518)->Arg(65536);
+
+void BM_SlicingBy8Crc32(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const SlicingBy8Crc engine(crcspec::crc32_ethernet());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlicingBy8Crc32)->Arg(1518)->Arg(65536);
+
+void BM_MatrixCrc32(benchmark::State& state) {
+  const auto msg = payload(1518);
+  const MatrixCrc engine(crcspec::crc32_ethernet(),
+                         static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * 1518);
+}
+BENCHMARK(BM_MatrixCrc32)->Arg(32)->Arg(128);
+
+void BM_DerbyCrc32(benchmark::State& state) {
+  const auto msg = payload(1518);
+  const DerbyCrc engine(crcspec::crc32_ethernet(),
+                        static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * 1518);
+}
+BENCHMARK(BM_DerbyCrc32)->Arg(32)->Arg(128);
+
+void BM_WideTableCrc32(benchmark::State& state) {
+  Rng rng(9);
+  const BitStream bits = rng.next_bits(1518 * 8);
+  const WideTableCrc engine(crcspec::crc32_ethernet(),
+                            static_cast<unsigned>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.raw_bits(bits, 0xFFFFFFFF));
+  state.SetBytesProcessed(state.iterations() * 1518);
+}
+BENCHMARK(BM_WideTableCrc32)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GfmacCrc32Horner(benchmark::State& state) {
+  Rng rng(7);
+  const BitStream bits = rng.next_bits(1518 * 8);
+  const GfmacCrc engine(crcspec::crc32_ethernet(), 32);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.raw_bits_horner(bits, 0xFFFFFFFF));
+  state.SetBytesProcessed(state.iterations() * 1518);
+}
+BENCHMARK(BM_GfmacCrc32Horner);
+
+}  // namespace
+
+BENCHMARK_MAIN();

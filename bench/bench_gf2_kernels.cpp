@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the GF(2) kernels the whole stack
+// rests on: matrix multiply/power/inverse at CRC-32 scale and the greedy
+// common-pattern mapper at the paper's largest configuration.
+#include <benchmark/benchmark.h>
+
+#include "gf2/gf2_matrix.hpp"
+#include "lfsr/catalog.hpp"
+#include "lfsr/derby.hpp"
+#include "lfsr/linear_system.hpp"
+#include "lfsr/lookahead.hpp"
+#include "mapper/matrix_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace plfsr;
+
+Gf2Matrix random_square(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Gf2Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m.set(r, c, rng.next_bit());
+  return m;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Gf2Matrix a = random_square(n, 1), b = random_square(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatrixPower(benchmark::State& state) {
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sys.a.pow(static_cast<std::uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_MatrixPower)->Arg(128)->Arg(1 << 20);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  // The Derby T for CRC-32 at M=64 — the inversion the builder performs.
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  const LookAhead la(sys, 64);
+  const DerbyTransform d(la);
+  for (auto _ : state) benchmark::DoNotOptimize(d.t().inverse());
+}
+BENCHMARK(BM_MatrixInverse);
+
+void BM_DerbyConstruction(benchmark::State& state) {
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  const LookAhead la(sys, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(DerbyTransform(la));
+}
+BENCHMARK(BM_DerbyConstruction)->Arg(32)->Arg(128);
+
+void BM_MapBmtWithCse(benchmark::State& state) {
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  const LookAhead la(sys, static_cast<std::size_t>(state.range(0)));
+  const DerbyTransform d(la);
+  for (auto _ : state) {
+    MapperStats stats;
+    benchmark::DoNotOptimize(map_matrix(d.bmt(), {}, &stats));
+  }
+}
+BENCHMARK(BM_MapBmtWithCse)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

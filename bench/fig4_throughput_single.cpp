@@ -1,0 +1,57 @@
+// Fig. 4 — Throughput vs. message length, single message, for look-ahead
+// factors M in {8, 16, 32, 64, 128}. The Ethernet window (368..12144
+// bits) is marked as in the paper. Short messages are diluted by the
+// processor control overhead and the op1->op2 configuration switch.
+#include <cstdint>
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "dream/dream_model.hpp"
+#include "crc/ethernet.hpp"
+#include "lfsr/catalog.hpp"
+#include "support/report.hpp"
+
+int main() {
+  using namespace plfsr;
+  const Gf2Poly g = catalog::crc32_ethernet();
+  const std::vector<std::size_t> ms = {8, 16, 32, 64, 128};
+  std::vector<DreamCrcModel> models;
+  for (std::size_t m : ms) models.emplace_back(g, m);
+
+  std::vector<std::uint64_t> lengths;
+  for (std::uint64_t n = 128; n <= 65536; n *= 2) lengths.push_back(n);
+  lengths.push_back(ethernet::kMinFrameBits);   // 368
+  lengths.push_back(ethernet::kMaxFrameBits);   // 12144
+  std::sort(lengths.begin(), lengths.end());
+
+  ReportTable table({"msg bits", "M=8 Gbps", "M=16 Gbps", "M=32 Gbps",
+                     "M=64 Gbps", "M=128 Gbps", "window"});
+  for (std::uint64_t n : lengths) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const std::uint64_t padded = (n + ms[i] - 1) / ms[i] * ms[i];
+      row.push_back(
+          ReportTable::num(models[i].throughput_single_gbps(padded), 3));
+    }
+    const bool in_window = n >= ethernet::kMinFrameBits &&
+                           n <= ethernet::kMaxFrameBits;
+    row.push_back(in_window ? "ETH" : "");
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "Fig. 4 — CRC-32 throughput vs. message length (single "
+               "message), DREAM @ 200 MHz\n"
+            << "Ethernet window: " << ethernet::kMinFrameBits << ".."
+            << ethernet::kMaxFrameBits << " bits (rows tagged ETH)\n\n";
+  table.print(std::cout);
+
+  std::cout << "\nAsymptotes (infinite message): ";
+  for (std::size_t i = 0; i < ms.size(); ++i)
+    std::cout << "M=" << ms[i] << ": "
+              << ReportTable::num(models[i].peak_gbps(), 1)
+              << (i + 1 < ms.size() ? " Gbps,  " : " Gbps\n");
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 6 — Application-specific CRC: throughput vs. look-ahead factor.
+// Four series, as in the paper:
+//   UCRC     — structural model of the OpenCores Ultimate CRC synthesized
+//              on 65 nm LP (dense A^M in the loop; clock falls with M),
+//   M theory — ideal Derby [7] speed-up applied to the serial UCRC clock,
+//   M/2 theory — ideal Pei [6] speed-up (half),
+//   DREAM    — kernel-only M bits/cycle at the fixed 200 MHz (no
+//              communication overhead; infinite-message condition).
+#include <iostream>
+#include <vector>
+
+#include "asicmodel/ucrc_model.hpp"
+#include "lfsr/catalog.hpp"
+#include "mapper/design_space.hpp"
+#include "support/report.hpp"
+
+int main() {
+  using namespace plfsr;
+  const Gf2Poly g = catalog::crc32_ethernet();
+  const std::vector<std::size_t> ms = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+  const auto ucrc = ucrc_synthesis_curve(g, ms);
+  const std::size_t dream_max_m = max_feasible_m(g);
+  const PicogaConstraints pc;
+
+  std::cout << "Fig. 6 — Application-specific CRC: throughput vs. "
+               "look-ahead factor (CRC-32)\n"
+            << "UCRC serial f_max (65nm LP model): "
+            << ReportTable::num(ucrc_serial_fmax_ghz(g), 2) << " GHz\n\n";
+
+  ReportTable table({"M", "UCRC fmax GHz", "UCRC Gbps", "M-theory Gbps",
+                     "M/2-theory Gbps", "DREAM Gbps"});
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const std::size_t m = ms[i];
+    std::vector<std::string> row = {std::to_string(m),
+                                    ReportTable::num(ucrc[i].f_max_ghz, 3),
+                                    ReportTable::num(ucrc[i].throughput_gbps, 2),
+                                    ReportTable::num(derby_theory_gbps(g, m), 2),
+                                    ReportTable::num(pei_theory_gbps(g, m), 2)};
+    if (m <= dream_max_m)
+      row.push_back(ReportTable::num(
+          static_cast<double>(m) * pc.freq_mhz * 1e6 / 1e9, 2));
+    else
+      row.push_back("n/a (>" + std::to_string(dream_max_m) + ")");
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Crossover summary.
+  std::cout << "\nShape checks:\n";
+  for (std::size_t i = 0; i < ms.size() && ms[i] <= dream_max_m; ++i) {
+    const double dream =
+        static_cast<double>(ms[i]) * pc.freq_mhz * 1e6 / 1e9;
+    if (dream > ucrc[i].throughput_gbps) {
+      std::cout << "  DREAM overtakes the UCRC ASIC at M = " << ms[i]
+                << " (" << ReportTable::num(dream, 1) << " vs "
+                << ReportTable::num(ucrc[i].throughput_gbps, 1)
+                << " Gbit/s)\n";
+      break;
+    }
+  }
+  std::cout << "  DREAM peak (M = " << dream_max_m << "): "
+            << ReportTable::num(
+                   static_cast<double>(dream_max_m) * pc.freq_mhz * 1e6 / 1e9,
+                   1)
+            << " Gbit/s (paper: ~25 Gbit/s)\n\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

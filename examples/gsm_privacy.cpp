@@ -1,0 +1,82 @@
+// Stream ciphers — the third LFSR domain of the paper's introduction:
+// "the A5/1 standard which ensures communication privacy of GSM
+// telephones ... or the content scramble system ... which uses a 40-bit
+// stream cipher."
+//
+// Encrypt a GSM voice frame with A5/1, show per-frame keystream rotation,
+// then run the CSS-style 40-bit add-with-carry combiner, and close with
+// the linear XOR-combiner whose joint state-space form parallelizes with
+// the very same look-ahead machinery as the paper's CRC and scrambler.
+//
+//   $ ./gsm_privacy
+#include <iomanip>
+#include <iostream>
+
+#include "cipher/a51.hpp"
+#include "cipher/combiner.hpp"
+#include "cipher/e0.hpp"
+#include "lfsr/catalog.hpp"
+#include "lfsr/lookahead.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace plfsr;
+
+  // --- A5/1 over two GSM frames -------------------------------------
+  const std::array<std::uint8_t, 8> key = {0x12, 0x23, 0x45, 0x67,
+                                           0x89, 0xAB, 0xCD, 0xEF};
+  Rng rng(1);
+  const BitStream voice = rng.next_bits(114);  // one downlink burst
+
+  std::cout << "A5/1: encrypting one 114-bit burst per frame\n";
+  for (std::uint32_t frame = 0x134; frame < 0x137; ++frame) {
+    A51 tx(key, frame);
+    const BitStream ks = tx.downlink();
+    BitStream cipher;
+    for (std::size_t i = 0; i < voice.size(); ++i)
+      cipher.push_back(voice.get(i) ^ ks.get(i));
+
+    A51 rx(key, frame);
+    const BitStream ks2 = rx.downlink();
+    BitStream plain;
+    for (std::size_t i = 0; i < cipher.size(); ++i)
+      plain.push_back(cipher.get(i) ^ ks2.get(i));
+
+    std::cout << "  frame 0x" << std::hex << frame << std::dec
+              << "  keystream[0..15]=" << ks.to_string().substr(0, 16)
+              << "  decrypt " << (plain == voice ? "ok" : "FAIL") << "\n";
+  }
+
+  // --- E0-style Bluetooth summation combiner --------------------------
+  {
+    E0 tx({0x155F0F5, 0x12345678, 0x1DEADBEEF, 0x2CAFEF00D});
+    E0 rx({0x155F0F5, 0x12345678, 0x1DEADBEEF, 0x2CAFEF00D});
+    Rng erng(7);
+    const BitStream payload = erng.next_bits(2745);  // one BT baseband max
+    const bool ok = rx.process(tx.process(payload)) == payload;
+    std::cout << "\nE0 (Bluetooth-style, 4 LFSRs + summation combiner): "
+              << "2745-bit payload decrypt " << (ok ? "ok" : "FAIL") << "\n";
+  }
+
+  // --- CSS-style 40-bit combiner -------------------------------------
+  std::cout << "\nCSS-style add-with-carry combiner (40-bit key):\n  ";
+  AddWithCarryCombiner css(0x123456789Aull);
+  for (std::uint8_t b : css.keystream(16))
+    std::cout << std::hex << std::setw(2) << std::setfill('0') << int(b);
+  std::cout << std::dec << "\n";
+
+  // --- Linear combiner stays in the paper's framework ----------------
+  const std::vector<Gf2Poly> gens = {catalog::a51_r1(), catalog::a51_r2(),
+                                     catalog::a51_r3()};
+  XorCombiner lin(gens, {0x111, 0x222, 0x333});
+  const LinearSystem joint = lin.joint_system();
+  const LookAhead la(joint, 64);
+  std::cout << "\nLinear 3-LFSR XOR combiner: joint state dim = "
+            << joint.dim() << "; 64-level look-ahead built (B_64 "
+            << la.bm().rows() << "x" << la.bm().cols()
+            << ") — regular clocking keeps even multi-register ciphers\n"
+            << "inside the paper's parallel LFSR framework; A5/1's\n"
+            << "majority clocking is what breaks linearity (and is left\n"
+            << "to the processor, as the paper does with control code).\n";
+  return 0;
+}

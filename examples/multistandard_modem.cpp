@@ -1,0 +1,78 @@
+// Multi-standard modem — the flexibility story of the paper's
+// introduction: "multi-mode devices need to handle this in a flexible
+// way, requiring a dedicated circuit for each supported standard or a
+// reconfigurable/reprogrammable implementation."
+//
+// One PiCoGA serves four protocol personalities in sequence — Ethernet
+// CRC-32, Bluetooth-style CRC-16/CCITT, CRC-24/OPENPGP, and an 802.11
+// scrambler — by reconfiguring between bursts. The run prints, for each
+// personality, the mapped footprint, the reconfiguration cost, and a
+// verified burst; an ASIC would have needed four parallel fixed blocks.
+//
+//   $ ./multistandard_modem
+#include <iostream>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/serial_crc.hpp"
+#include "lfsr/catalog.hpp"
+#include "picoga/crc_accelerator.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/report.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace plfsr;
+
+void run_crc_personality(const CrcSpec& spec, std::size_t m,
+                         std::size_t burst_bits) {
+  PicogaCrcAccelerator acc(spec.generator(), m);
+  Rng rng(spec.width);
+  BitStream bits = rng.next_bits(burst_bits - burst_bits % m);
+  const auto res = acc.process(bits, spec.init);
+  const bool ok =
+      res.raw == serial_crc_bits(bits, spec.width, spec.poly, spec.init);
+  std::cout << "  " << spec.name << "  M=" << m
+            << "  reconfig=" << acc.config_cycles() << " cyc"
+            << "  burst=" << bits.size() << " b in " << res.cycles
+            << " cyc  ->  "
+            << ReportTable::num(
+                   static_cast<double>(bits.size()) / (res.cycles * 5.0), 2)
+            << " Gbit/s  [" << (ok ? "verified" : "MISMATCH") << "]\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace plfsr;
+  std::cout << "Reconfigurable multi-standard front end on one PiCoGA\n"
+            << "(each personality is a full reconfiguration; within a\n"
+            << " personality, op1/op2 share the 4-context cache)\n\n";
+
+  run_crc_personality(crcspec::crc32_ethernet(), 128, 12144);
+  run_crc_personality(crcspec::crc16_ccitt_false(), 64, 2048);  // Bluetooth-ish
+  run_crc_personality(crcspec::crc24_openpgp(), 64, 4096);
+  run_crc_personality(crcspec::crc5_usb(), 16, 1024);
+
+  // Scrambler personality (single op, no context switch).
+  PicogaScramblerAccelerator scr(catalog::scrambler_80211(), 128);
+  Rng rng(99);
+  const BitStream payload = rng.next_bits(128 * 64);
+  const auto res = scr.process(payload, 0x7F);
+  AdditiveScrambler ref(catalog::scrambler_80211(), 0x7F);
+  std::cout << "  802.11 scrambler  M=128  reconfig=" << scr.config_cycles()
+            << " cyc  burst=" << payload.size() << " b in " << res.cycles
+            << " cyc  ->  "
+            << ReportTable::num(
+                   static_cast<double>(payload.size()) / (res.cycles * 5.0),
+                   2)
+            << " Gbit/s  ["
+            << (res.out == ref.process(payload) ? "verified" : "MISMATCH")
+            << "]\n";
+
+  std::cout << "\nThe same silicon served 5 standards; run-time updates\n"
+            << "(new polynomial, new standard) are a configuration write,\n"
+            << "not a respin — the added value the paper argues for.\n";
+  return 0;
+}

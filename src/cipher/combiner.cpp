@@ -1,0 +1,118 @@
+#include "cipher/combiner.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+XorCombiner::XorCombiner(const std::vector<Gf2Poly>& gens,
+                         const std::vector<std::uint64_t>& seeds) {
+  if (gens.empty() || gens.size() != seeds.size())
+    throw std::invalid_argument("XorCombiner: need matching gens/seeds");
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    sys_.push_back(make_prbs_system(gens[i]));
+    Gf2Vec x = Gf2Vec::from_word(sys_.back().dim(), seeds[i]);
+    if (x.is_zero())
+      throw std::invalid_argument("XorCombiner: seed must be nonzero");
+    x_.push_back(std::move(x));
+  }
+}
+
+bool XorCombiner::next_bit() {
+  bool y = false;
+  for (std::size_t i = 0; i < sys_.size(); ++i)
+    y ^= sys_[i].step(x_[i], false);
+  return y;
+}
+
+BitStream XorCombiner::keystream(std::size_t n) {
+  BitStream out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_bit());
+  return out;
+}
+
+BitStream XorCombiner::process(const BitStream& in) {
+  BitStream out;
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out.push_back(in.get(i) ^ next_bit());
+  return out;
+}
+
+LinearSystem XorCombiner::joint_system() const {
+  std::size_t total = 0;
+  for (const auto& s : sys_) total += s.dim();
+  LinearSystem joint;
+  joint.a = Gf2Matrix(total, total);
+  joint.b = Gf2Vec(total);
+  joint.c = Gf2Vec(total);
+  joint.d = false;
+  std::size_t off = 0;
+  for (const auto& s : sys_) {
+    const std::size_t k = s.dim();
+    for (std::size_t r = 0; r < k; ++r)
+      for (std::size_t c = 0; c < k; ++c)
+        joint.a.set(off + r, off + c, s.a.get(r, c));
+    for (std::size_t i = 0; i < k; ++i) joint.c.set(off + i, s.c.get(i));
+    off += k;
+  }
+  return joint;
+}
+
+Gf2Vec XorCombiner::joint_state() const {
+  std::size_t total = 0;
+  for (const auto& x : x_) total += x.size();
+  Gf2Vec joint(total);
+  std::size_t off = 0;
+  for (const auto& x : x_) {
+    for (std::size_t i = 0; i < x.size(); ++i) joint.set(off + i, x.get(i));
+    off += x.size();
+  }
+  return joint;
+}
+
+AddWithCarryCombiner::AddWithCarryCombiner(std::uint64_t key40) {
+  // Seed LFSR-17 from the low 16 key bits with a forced 1 at position 8,
+  // LFSR-25 from the high 24 bits with a forced 1 at position 21 — the
+  // published CSS trick that rules out the all-zero state.
+  const std::uint32_t k17 = static_cast<std::uint32_t>(key40 & 0xFFFF);
+  const std::uint32_t k25 =
+      static_cast<std::uint32_t>((key40 >> 16) & 0xFFFFFF);
+  r17_ = ((k17 & 0xFF00) << 1) | (1u << 8) | (k17 & 0xFF);
+  r25_ = ((k25 & 0xFFE000) << 1) | (1u << 21) | (k25 & 0x1FFF);
+}
+
+std::uint8_t AddWithCarryCombiner::lfsr17_byte() {
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    // Taps x^17 + x^14 + 1: feedback from cells 16 and 13.
+    const unsigned fb = ((r17_ >> 16) ^ (r17_ >> 13)) & 1;
+    r17_ = ((r17_ << 1) | fb) & ((1u << 17) - 1);
+    out = static_cast<std::uint8_t>((out << 1) | fb);
+  }
+  return out;
+}
+
+std::uint8_t AddWithCarryCombiner::lfsr25_byte() {
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    // Taps x^25 + x^24 + x^23 + x^22 + 1 -> cells 24,23,22,21.
+    const unsigned fb =
+        ((r25_ >> 24) ^ (r25_ >> 23) ^ (r25_ >> 22) ^ (r25_ >> 21)) & 1;
+    r25_ = ((r25_ << 1) | fb) & ((1u << 25) - 1);
+    out = static_cast<std::uint8_t>((out << 1) | fb);
+  }
+  return out;
+}
+
+std::uint8_t AddWithCarryCombiner::next_byte() {
+  const unsigned sum = lfsr17_byte() + lfsr25_byte() + carry_;
+  carry_ = sum >> 8;
+  return static_cast<std::uint8_t>(sum);
+}
+
+std::vector<std::uint8_t> AddWithCarryCombiner::keystream(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = next_byte();
+  return out;
+}
+
+}  // namespace plfsr

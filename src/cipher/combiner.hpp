@@ -1,0 +1,75 @@
+// LFSR combination generators — the "combination of the bit streams of
+// one or more LFSRs working in parallel" the paper describes as the basis
+// of stream ciphers (§1).
+//
+// Two classic combiners are provided:
+//  * XorCombiner     — linear: XOR of several LFSR outputs. Still linear,
+//                      so it parallelizes with the same look-ahead
+//                      machinery as the scrambler (the product system has
+//                      A = diag(A_1..A_r), c = [c_1 .. c_r]).
+//  * AddWithCarryCombiner — nonlinear byte combiner in the style of the
+//                      DVD Content Scramble System's 40-bit cipher (two
+//                      LFSRs whose byte outputs are added with carry);
+//                      this models the workloads where only the LFSR taps
+//                      map onto the reconfigurable fabric and the
+//                      combiner runs on the processor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+#include "lfsr/linear_system.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// XOR of r independent LFSR keystreams. Linear in the joint state.
+class XorCombiner {
+ public:
+  /// One (generator, seed) pair per register; seeds must be nonzero.
+  XorCombiner(const std::vector<Gf2Poly>& gens,
+              const std::vector<std::uint64_t>& seeds);
+
+  /// Next combined keystream bit.
+  bool next_bit();
+
+  BitStream keystream(std::size_t n);
+
+  /// XOR-encrypt/decrypt a bit stream.
+  BitStream process(const BitStream& in);
+
+  /// The equivalent single LinearSystem over the joint state (block
+  /// diagonal A) — proves the combiner stays inside the paper's
+  /// parallelization framework; tests check it bit-exactly.
+  LinearSystem joint_system() const;
+  Gf2Vec joint_state() const;
+
+ private:
+  std::vector<LinearSystem> sys_;
+  std::vector<Gf2Vec> x_;
+};
+
+/// CSS-style 40-bit byte cipher: a 17-bit and a 25-bit LFSR each emit a
+/// byte per step; the bytes are added with the carry from the previous
+/// addition. Nonlinear, byte-oriented. (Structure per the published CSS
+/// descriptions; we do not claim interoperability with DVD players —
+/// this is the representative workload, per DESIGN.md's substitutions.)
+class AddWithCarryCombiner {
+ public:
+  /// 40-bit key: 16 bits seed LFSR-17, 24 bits seed LFSR-25 (both made
+  /// nonzero by the standard's inserted '1' bit).
+  explicit AddWithCarryCombiner(std::uint64_t key40);
+
+  std::uint8_t next_byte();
+
+  std::vector<std::uint8_t> keystream(std::size_t n);
+
+ private:
+  std::uint8_t lfsr17_byte();
+  std::uint8_t lfsr25_byte();
+  std::uint32_t r17_ = 0, r25_ = 0;
+  unsigned carry_ = 0;
+};
+
+}  // namespace plfsr

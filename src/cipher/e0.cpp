@@ -1,0 +1,88 @@
+#include "cipher/e0.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+namespace {
+// Feedback tap masks (bit j = cell that entered j+1 clocks ago; tap x^e
+// reads cell e-1) for the four generator polynomials of the Bluetooth
+// specification:
+//   t1: x^25 + x^20 + x^12 + x^8  + 1
+//   t2: x^31 + x^24 + x^16 + x^12 + 1
+//   t3: x^33 + x^28 + x^24 + x^4  + 1
+//   t4: x^39 + x^36 + x^28 + x^4  + 1
+constexpr std::uint64_t tap_mask(std::initializer_list<unsigned> exps) {
+  std::uint64_t m = 0;
+  for (unsigned e : exps) m |= std::uint64_t{1} << (e - 1);
+  return m;
+}
+constexpr std::uint64_t kTaps[4] = {
+    tap_mask({25, 20, 12, 8}),
+    tap_mask({31, 24, 16, 12}),
+    tap_mask({33, 28, 24, 4}),
+    tap_mask({39, 36, 28, 4}),
+};
+// Output points: the spec reads the registers at cells 24, 24, 32, 32
+// (1-indexed), i.e. state bits 23, 23, 31, 31.
+constexpr unsigned kOutBit[4] = {23, 23, 31, 31};
+
+// The blend bijections on 2-bit values: T1 is the identity, T2 swaps and
+// mixes: T2(x1 x0) = (x0, x1 ^ x0).
+constexpr unsigned t1(unsigned x) { return x & 3; }
+constexpr unsigned t2(unsigned x) {
+  const unsigned x0 = x & 1, x1 = (x >> 1) & 1;
+  return ((x0) << 1) | (x1 ^ x0);
+}
+}  // namespace
+
+E0::E0(const std::array<std::uint64_t, 4>& seeds, unsigned initial_carry) {
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t mask = (std::uint64_t{1} << kLengths[i]) - 1;
+    reg_[i] = seeds[i] & mask;
+    if (reg_[i] == 0)
+      throw std::invalid_argument("E0: register seed must be nonzero");
+  }
+  c_ = initial_carry & 3;
+  c_prev_ = 0;
+}
+
+bool E0::clock_register(int i) {
+  const std::uint64_t mask = (std::uint64_t{1} << kLengths[i]) - 1;
+  const bool fb = __builtin_popcountll(reg_[i] & kTaps[i]) & 1;
+  reg_[i] = ((reg_[i] << 1) | (fb ? 1 : 0)) & mask;
+  return ((reg_[i] >> kOutBit[i]) & 1) != 0;
+}
+
+bool E0::next_bit() {
+  unsigned sum = 0;
+  unsigned parity = 0;
+  for (int i = 0; i < 4; ++i) {
+    const bool x = clock_register(i);
+    sum += x;
+    parity ^= x;
+  }
+  const bool z = (parity ^ c_) & 1;
+  // Summation update: s_{t+1} = floor((sum + c_t) / 2), then blend with
+  // the two delayed carries.
+  const unsigned s = (sum + c_) >> 1;
+  const unsigned next_c = (s ^ t1(c_) ^ t2(c_prev_)) & 3;
+  c_prev_ = c_;
+  c_ = next_c;
+  return z;
+}
+
+BitStream E0::keystream(std::size_t n) {
+  BitStream out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_bit());
+  return out;
+}
+
+BitStream E0::process(const BitStream& in) {
+  BitStream out;
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out.push_back(in.get(i) ^ next_bit());
+  return out;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,49 @@
+// E0-style summation-combiner keystream generator — the Bluetooth cipher
+// the paper cites ("E0 standard for the Bluetooth"). Four maximal-length
+// LFSRs (25 + 31 + 33 + 39 = 128 state bits) drive a 4-bit summation
+// combiner with two bits of blend memory; the integer carry is what
+// makes the keystream nonlinear (a plain XOR of the four registers would
+// fall to Berlekamp–Massey at complexity 128 — the tests demonstrate
+// both sides).
+//
+// We implement the published datapath (registers, output taps, T1/T2
+// blend) seeded directly with register states; Bluetooth's key-schedule
+// (which shifts the session key through the registers) is out of scope —
+// the paper's concern is the LFSR datapath throughput, not pairing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// E0-style keystream generator.
+class E0 {
+ public:
+  /// Register lengths, LSB-first packing per register; seeds must be
+  /// nonzero in every register.
+  static constexpr std::array<unsigned, 4> kLengths = {25, 31, 33, 39};
+
+  explicit E0(const std::array<std::uint64_t, 4>& seeds,
+              unsigned initial_carry = 0);
+
+  /// Next keystream bit: clock all four registers, combine.
+  bool next_bit();
+
+  BitStream keystream(std::size_t n);
+
+  /// XOR-encrypt/decrypt.
+  BitStream process(const BitStream& in);
+
+  /// Current 2+2-bit blend state (c_t, c_{t-1}) — exposed for tests.
+  unsigned carry_state() const { return (c_prev_ << 2) | c_; }
+
+ private:
+  bool clock_register(int i);
+  std::array<std::uint64_t, 4> reg_{};
+  unsigned c_ = 0, c_prev_ = 0;  // 2-bit blend values c_t, c_{t-1}
+};
+
+}  // namespace plfsr

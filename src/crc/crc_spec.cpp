@@ -1,0 +1,104 @@
+#include "crc/crc_spec.hpp"
+
+namespace plfsr {
+
+std::uint64_t reflect_bits(std::uint64_t v, unsigned width) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < width; ++i)
+    if ((v >> i) & 1) out |= std::uint64_t{1} << (width - 1 - i);
+  return out;
+}
+
+Gf2Poly CrcSpec::generator() const {
+  return Gf2Poly::with_top_bit(width, poly);
+}
+
+BitStream CrcSpec::message_bits(std::span<const std::uint8_t> bytes) const {
+  return reflect_in ? BitStream::from_bytes_lsb_first(bytes)
+                    : BitStream::from_bytes_msb_first(bytes);
+}
+
+std::uint64_t CrcSpec::finalize(std::uint64_t raw_register) const {
+  std::uint64_t r = raw_register & mask();
+  if (reflect_out) r = reflect_bits(r, width);
+  return (r ^ xorout) & mask();
+}
+
+namespace crcspec {
+
+namespace {
+CrcSpec make(std::string name, unsigned width, std::uint64_t poly,
+             std::uint64_t init, bool refl, std::uint64_t xorout,
+             std::uint64_t check) {
+  CrcSpec s;
+  s.name = std::move(name);
+  s.width = width;
+  s.poly = poly;
+  s.init = init;
+  s.reflect_in = refl;
+  s.reflect_out = refl;
+  s.xorout = xorout;
+  s.check = check;
+  return s;
+}
+}  // namespace
+
+CrcSpec crc5_usb() { return make("CRC-5/USB", 5, 0x05, 0x1F, true, 0x1F, 0x19); }
+CrcSpec crc7_mmc() { return make("CRC-7/MMC", 7, 0x09, 0, false, 0, 0x75); }
+CrcSpec crc8_smbus() { return make("CRC-8/SMBUS", 8, 0x07, 0, false, 0, 0xF4); }
+CrcSpec crc8_maxim() {
+  return make("CRC-8/MAXIM", 8, 0x31, 0, true, 0, 0xA1);
+}
+CrcSpec crc15_can() {
+  return make("CRC-15/CAN", 15, 0x4599, 0, false, 0, 0x059E);
+}
+CrcSpec crc16_xmodem() {
+  return make("CRC-16/XMODEM", 16, 0x1021, 0, false, 0, 0x31C3);
+}
+CrcSpec crc16_ccitt_false() {
+  return make("CRC-16/CCITT-FALSE", 16, 0x1021, 0xFFFF, false, 0, 0x29B1);
+}
+CrcSpec crc16_kermit() {
+  return make("CRC-16/KERMIT", 16, 0x1021, 0, true, 0, 0x2189);
+}
+CrcSpec crc16_arc() {
+  return make("CRC-16/ARC", 16, 0x8005, 0, true, 0, 0xBB3D);
+}
+CrcSpec crc24_openpgp() {
+  return make("CRC-24/OPENPGP", 24, 0x864CFB, 0xB704CE, false, 0, 0x21CF02);
+}
+CrcSpec crc32_ethernet() {
+  return make("CRC-32/ETHERNET", 32, 0x04C11DB7, 0xFFFFFFFF, true, 0xFFFFFFFF,
+              0xCBF43926);
+}
+CrcSpec crc32_bzip2() {
+  return make("CRC-32/BZIP2", 32, 0x04C11DB7, 0xFFFFFFFF, false, 0xFFFFFFFF,
+              0xFC891918);
+}
+CrcSpec crc32_mpeg2() {
+  return make("CRC-32/MPEG-2", 32, 0x04C11DB7, 0xFFFFFFFF, false, 0,
+              0x0376E6E7);
+}
+CrcSpec crc32c() {
+  return make("CRC-32C", 32, 0x1EDC6F41, 0xFFFFFFFF, true, 0xFFFFFFFF,
+              0xE3069283);
+}
+CrcSpec crc64_ecma() {
+  return make("CRC-64/ECMA-182", 64, 0x42F0E1EBA9EA3693ULL, 0, false, 0,
+              0x6C40DF5F0B497347ULL);
+}
+CrcSpec crc64_xz() {
+  return make("CRC-64/XZ", 64, 0x42F0E1EBA9EA3693ULL, ~std::uint64_t{0}, true,
+              ~std::uint64_t{0}, 0x995DC9BBDF1939FAULL);
+}
+
+std::vector<CrcSpec> all() {
+  return {crc5_usb(),          crc7_mmc(),    crc8_smbus(), crc8_maxim(),
+          crc15_can(),         crc16_xmodem(), crc16_ccitt_false(),
+          crc16_kermit(),      crc16_arc(),   crc24_openpgp(),
+          crc32_ethernet(),    crc32_bzip2(), crc32_mpeg2(), crc32c(),
+          crc64_ecma(),        crc64_xz()};
+}
+
+}  // namespace crcspec
+}  // namespace plfsr

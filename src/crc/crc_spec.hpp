@@ -1,0 +1,76 @@
+// Rocksoft-style CRC parameter model.
+//
+// A CRC standard is the generator polynomial plus framing conventions:
+// initial register value, final XOR, and whether input bytes / the final
+// register are bit-reflected (Ethernet is reflected; MPEG-2 uses the same
+// polynomial non-reflected — the paper notes the two share g(x)). Every
+// engine in this module takes a CrcSpec so the same parallelization code
+// covers all ~25 standards the paper's introduction mentions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Full parameterisation of a CRC standard (width <= 64).
+struct CrcSpec {
+  std::string name;
+  unsigned width = 0;        ///< register size k = deg g
+  std::uint64_t poly = 0;    ///< g(x) low coefficients (top bit implicit)
+  std::uint64_t init = 0;    ///< initial register contents
+  bool reflect_in = false;   ///< feed each input byte LSB-first
+  bool reflect_out = false;  ///< bit-reverse the final register
+  std::uint64_t xorout = 0;  ///< final XOR
+  std::uint64_t check = 0;   ///< CRC of ASCII "123456789" (for validation)
+
+  /// g(x) with the implicit top bit restored.
+  Gf2Poly generator() const;
+
+  /// All-ones mask for the register width.
+  std::uint64_t mask() const {
+    return width == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+  }
+
+  /// Message bytes -> bit stream in this spec's processing order.
+  BitStream message_bits(std::span<const std::uint8_t> bytes) const;
+
+  /// Map the raw final register (normal orientation, x^i in bit i...
+  /// precisely: bit i = coefficient of x^i) to the spec's reported value.
+  std::uint64_t finalize(std::uint64_t raw_register) const;
+};
+
+/// Reverse the low `width` bits of v.
+std::uint64_t reflect_bits(std::uint64_t v, unsigned width);
+
+/// The standard catalogue entries (check values from the public CRC
+/// catalogue; every engine is tested against them).
+namespace crcspec {
+CrcSpec crc5_usb();
+CrcSpec crc7_mmc();
+CrcSpec crc8_smbus();
+CrcSpec crc8_maxim();
+CrcSpec crc15_can();
+CrcSpec crc16_xmodem();
+CrcSpec crc16_ccitt_false();
+CrcSpec crc16_kermit();
+CrcSpec crc16_arc();
+CrcSpec crc24_openpgp();
+CrcSpec crc32_ethernet();  ///< ISO-HDLC: the paper's test case
+CrcSpec crc32_bzip2();
+CrcSpec crc32_mpeg2();
+CrcSpec crc32c();
+CrcSpec crc64_ecma();
+CrcSpec crc64_xz();
+
+/// Every spec above.
+std::vector<CrcSpec> all();
+}  // namespace crcspec
+
+}  // namespace plfsr

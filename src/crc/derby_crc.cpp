@@ -1,0 +1,34 @@
+#include "crc/derby_crc.hpp"
+
+namespace plfsr {
+
+DerbyCrc::DerbyCrc(const CrcSpec& spec, std::size_t m)
+    : spec_(spec),
+      sys_(make_crc_system(spec.generator())),
+      la_(sys_, m),
+      derby_(la_) {}
+
+std::uint64_t DerbyCrc::raw_bits(const BitStream& bits,
+                                 std::uint64_t init_register) const {
+  Gf2Vec x = Gf2Vec::from_word(spec_.width, init_register);
+  const std::size_t m = derby_.m();
+  // Align the stream serially (processor-side control, as in MatrixCrc),
+  // then enter the transformed space for the parallel bulk.
+  const std::size_t head = bits.size() % m;
+  std::size_t pos = 0;
+  for (; pos < head; ++pos) sys_.step(x, bits.get(pos));
+  Gf2Vec xt = derby_.transform_state(x);  // x_t(0) = T^{-1} x(0)
+  for (; pos < bits.size(); pos += m)
+    derby_.step_state(xt, chunk_to_vec(bits, pos, m));
+  return derby_.anti_transform(xt).to_word();  // op2: x = T x_t
+}
+
+std::uint64_t DerbyCrc::compute_bits(const BitStream& bits) const {
+  return spec_.finalize(raw_bits(bits, spec_.init));
+}
+
+std::uint64_t DerbyCrc::compute(std::span<const std::uint8_t> bytes) const {
+  return compute_bits(spec_.message_bits(bytes));
+}
+
+}  // namespace plfsr

@@ -1,0 +1,44 @@
+// Derby-form parallel CRC — the engine the paper maps onto PiCoGA (§4):
+//
+//   op1 (every M bits):   x_t(n+M) = A_Mt x_t(n) + B_Mt u_M(n)
+//   op2 (once, at end):   x       = T x_t            ("anti-transform")
+//
+// A_Mt is companion, so op1's feedback loop is trivially shallow; all the
+// density lives in B_Mt and T, which are feed-forward. This class is the
+// bit-exact software model of that two-operation partition; the PiCoGA
+// mapping itself lives in src/mapper + src/picoga.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crc/crc_spec.hpp"
+#include "lfsr/derby.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Derby-transformed CRC engine for one (spec, M) pair.
+class DerbyCrc {
+ public:
+  DerbyCrc(const CrcSpec& spec, std::size_t m);
+
+  const CrcSpec& spec() const { return spec_; }
+  std::size_t m() const { return derby_.m(); }
+  const DerbyTransform& transform() const { return derby_; }
+
+  /// Raw final register after feeding `bits` from `init_register`.
+  std::uint64_t raw_bits(const BitStream& bits,
+                         std::uint64_t init_register) const;
+
+  std::uint64_t compute_bits(const BitStream& bits) const;
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+ private:
+  CrcSpec spec_;
+  LinearSystem sys_;
+  LookAhead la_;
+  DerbyTransform derby_;
+};
+
+}  // namespace plfsr

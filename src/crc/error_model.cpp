@@ -1,0 +1,88 @@
+#include "crc/error_model.hpp"
+
+#include <stdexcept>
+
+#include "crc/serial_crc.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr::crc_analysis {
+
+bool error_detected(const CrcSpec& spec, const BitStream& msg,
+                    const BitStream& error) {
+  if (msg.size() != error.size())
+    throw std::invalid_argument("error_detected: length mismatch");
+  BitStream corrupted = msg;
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    if (error.get(i)) corrupted.set(i, !corrupted.get(i));
+  return serial_crc_bits(msg, spec.width, spec.poly, spec.init) !=
+         serial_crc_bits(corrupted, spec.width, spec.poly, spec.init);
+}
+
+bool pattern_detectable(const CrcSpec& spec, const BitStream& error) {
+  // Linearity: CRC(msg ^ e) == CRC(msg) iff CRC_0(e) == 0 (zero init),
+  // i.e. iff e(x) * x^k is divisible by g(x); with g_0 = 1, iff g | e.
+  return serial_crc_bits(error, spec.width, spec.poly, 0) != 0;
+}
+
+bool detects_all_single_bit(const CrcSpec& spec, std::size_t n_bits) {
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    BitStream e(n_bits);
+    e.set(i, true);
+    if (!pattern_detectable(spec, e)) return false;
+  }
+  return true;
+}
+
+bool detects_all_bursts(const CrcSpec& spec, std::size_t n_bits) {
+  // A burst of length b at position p: bit p and bit p+b-1 set, interior
+  // arbitrary.
+  for (std::size_t b = 1; b <= spec.width && b <= n_bits; ++b) {
+    const std::size_t interior = b >= 2 ? b - 2 : 0;
+    const std::uint64_t variants = std::uint64_t{1} << interior;
+    for (std::size_t p = 0; p + b <= n_bits; ++p) {
+      for (std::uint64_t v = 0; v < variants; ++v) {
+        BitStream e(n_bits);
+        e.set(p, true);
+        if (b >= 2) e.set(p + b - 1, true);
+        for (std::size_t j = 0; j < interior; ++j)
+          if ((v >> j) & 1) e.set(p + 1 + j, true);
+        if (!pattern_detectable(spec, e)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t two_bit_error_horizon(const CrcSpec& spec) {
+  const Gf2Poly g = spec.generator();
+  if (!g.coeff(0))
+    throw std::invalid_argument("two_bit_error_horizon: g_0 must be 1");
+  // x^i + x^j = x^j (x^(i-j) + 1) is a multiple of g iff g | x^d + 1 with
+  // d = i - j, i.e. iff d is a multiple of ord(x). The horizon is ord(x).
+  return g.order_of_x();
+}
+
+double sampled_undetected_rate(const CrcSpec& spec, std::size_t n_bits,
+                               std::size_t weight, std::size_t samples,
+                               std::uint64_t seed) {
+  if (weight == 0 || weight > n_bits)
+    throw std::invalid_argument("sampled_undetected_rate: bad weight");
+  Rng rng(seed);
+  std::size_t undetected = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    BitStream e(n_bits);
+    std::size_t placed = 0;
+    while (placed < weight) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.next_below(n_bits));
+      if (!e.get(pos)) {
+        e.set(pos, true);
+        ++placed;
+      }
+    }
+    if (!pattern_detectable(spec, e)) ++undetected;
+  }
+  return static_cast<double>(undetected) / static_cast<double>(samples);
+}
+
+}  // namespace plfsr::crc_analysis

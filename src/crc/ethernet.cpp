@@ -1,0 +1,52 @@
+#include "crc/ethernet.hpp"
+
+#include <algorithm>
+
+#include "crc/crc_spec.hpp"
+#include "crc/table_crc.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr::ethernet {
+
+namespace {
+const TableCrc& engine() {
+  static const TableCrc e(crcspec::crc32_ethernet());
+  return e;
+}
+}  // namespace
+
+std::uint32_t fcs(std::span<const std::uint8_t> frame) {
+  return static_cast<std::uint32_t>(engine().compute(frame));
+}
+
+std::vector<std::uint8_t> append_fcs(std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> out(frame.begin(), frame.end());
+  const std::uint32_t f = fcs(frame);
+  // Reflected CRC: transmit the low byte first so the receiver's running
+  // register lands on the constant residue.
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(f >> (8 * i)));
+  return out;
+}
+
+bool verify(std::span<const std::uint8_t> frame_with_fcs) {
+  if (frame_with_fcs.size() < 4) return false;
+  // Equivalent check: CRC over (frame || FCS) equals the fixed residue.
+  return fcs(frame_with_fcs) == kResidue;
+}
+
+std::vector<std::uint8_t> make_test_frame(std::size_t payload_len,
+                                          std::uint64_t seed) {
+  payload_len = std::clamp<std::size_t>(payload_len, 46, 1500);
+  Rng rng(seed);
+  std::vector<std::uint8_t> frame = rng.next_bytes(6 + 6);  // DA + SA
+  frame[0] &= 0xFE;  // unicast destination
+  // EtherType: IPv4 for realism.
+  frame.push_back(0x08);
+  frame.push_back(0x00);
+  const std::vector<std::uint8_t> payload = rng.next_bytes(payload_len);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return append_fcs(frame);
+}
+
+}  // namespace plfsr::ethernet

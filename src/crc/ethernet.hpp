@@ -1,0 +1,40 @@
+// IEEE 802.3 frame-check-sequence helpers — the paper's concrete test
+// case. The FCS is the reflected CRC-32 of the frame (destination address
+// through payload), appended little-endian-byte-first so the receiver can
+// validate by checking the well-known residue.
+//
+// The Ethernet message-length window quoted in the paper's Fig. 4 —
+// 368 to 12 144 bits — is the CRC-covered span of minimum (46-byte
+// payload) through maximum (1500-byte payload) untagged frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plfsr::ethernet {
+
+/// CRC-covered length of the minimum Ethernet frame, in bits.
+inline constexpr std::uint64_t kMinFrameBits = 368;
+/// CRC-covered length of the maximum (untagged) Ethernet frame, in bits.
+inline constexpr std::uint64_t kMaxFrameBits = 12144;
+
+/// The CRC-32 residue of (frame || FCS): constant for any valid frame.
+inline constexpr std::uint32_t kResidue = 0x2144DF1C;
+
+/// FCS of the frame bytes (CRC-32/ETHERNET).
+std::uint32_t fcs(std::span<const std::uint8_t> frame);
+
+/// Frame with the 4 FCS bytes appended in transmission order.
+std::vector<std::uint8_t> append_fcs(std::span<const std::uint8_t> frame);
+
+/// True iff the trailing 4 bytes are the valid FCS of the rest.
+bool verify(std::span<const std::uint8_t> frame_with_fcs);
+
+/// Build a well-formed synthetic frame: 6+6 byte addresses, 2-byte
+/// EtherType, `payload_len` pseudo-random payload bytes (seeded), FCS
+/// appended. payload_len is clamped to [46, 1500].
+std::vector<std::uint8_t> make_test_frame(std::size_t payload_len,
+                                          std::uint64_t seed);
+
+}  // namespace plfsr::ethernet

@@ -1,0 +1,103 @@
+#include "crc/gfmac_crc.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace plfsr {
+
+namespace {
+
+/// Chunk [pos, pos+len) of the stream as a polynomial with the first bit
+/// in the highest coefficient (transmission order == descending powers).
+Gf2Poly chunk_poly(const BitStream& bits, std::size_t pos, std::size_t len) {
+  Gf2Poly w;
+  for (std::size_t j = 0; j < len; ++j)
+    if (bits.get(pos + j)) w.set_coeff(static_cast<unsigned>(len - 1 - j), true);
+  return w;
+}
+
+/// Register word (bit i = coeff of x^i) <-> polynomial.
+Gf2Poly register_poly(std::uint64_t r, unsigned width) {
+  Gf2Poly p;
+  for (unsigned i = 0; i < width; ++i)
+    if ((r >> i) & 1) p.set_coeff(i, true);
+  return p;
+}
+
+std::uint64_t poly_word(const Gf2Poly& p, unsigned width) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < width; ++i)
+    if (p.coeff(i)) r |= std::uint64_t{1} << i;
+  return r;
+}
+
+}  // namespace
+
+GfmacCrc::GfmacCrc(const CrcSpec& spec, std::size_t m)
+    : spec_(spec), m_(m), g_(spec.generator()) {
+  x_m_mod_g_ = Gf2Poly::x_pow_mod(m, g_);
+}
+
+std::uint64_t GfmacCrc::raw_bits_horner(const BitStream& bits,
+                                        std::uint64_t init_register) const {
+  Gf2Poly r = register_poly(init_register & spec_.mask(), spec_.width);
+  const Gf2Poly xk = Gf2Poly::x_pow(spec_.width);
+  std::size_t pos = 0;
+  while (pos < bits.size()) {
+    const std::size_t len = std::min(m_, bits.size() - pos);
+    const Gf2Poly w = chunk_poly(bits, pos, len);
+    const Gf2Poly x_len =
+        len == m_ ? x_m_mod_g_ : Gf2Poly::x_pow_mod(len, g_);
+    // R <- R * x^len + W * x^k  (two GFMACs; W*x^k shares the reducer)
+    r = (r * x_len + w * xk) % g_;
+    pos += len;
+  }
+  return poly_word(r, spec_.width);
+}
+
+std::uint64_t GfmacCrc::raw_bits_parallel(const BitStream& bits,
+                                          std::uint64_t init_register) const {
+  const std::uint64_t n = bits.size();
+  // init * x^N contribution.
+  Gf2Poly acc = (register_poly(init_register & spec_.mask(), spec_.width) *
+                 Gf2Poly::x_pow_mod(n, g_)) %
+                g_;
+  // Independent chunk products W_i * beta_i — each one a GFMAC that a
+  // hardware unit would execute concurrently with the others.
+  std::size_t pos = 0;
+  while (pos < n) {
+    const std::size_t len = std::min(m_, static_cast<std::size_t>(n - pos));
+    const Gf2Poly w = chunk_poly(bits, pos, len);
+    const std::uint64_t exp_from_end = n - pos - len;  // trailing bits
+    const Gf2Poly beta =
+        Gf2Poly::x_pow_mod(exp_from_end + spec_.width, g_);
+    acc = acc + (w * beta) % g_;
+    pos += len;
+  }
+  return poly_word(acc % g_, spec_.width);
+}
+
+std::uint64_t GfmacCrc::compute_bits(const BitStream& bits) const {
+  return spec_.finalize(raw_bits_parallel(bits, spec_.init));
+}
+
+std::uint64_t GfmacCrc::compute(std::span<const std::uint8_t> bytes) const {
+  return compute_bits(spec_.message_bits(bytes));
+}
+
+std::uint64_t gfmac_cycles(std::uint64_t n_bits, std::size_t m,
+                           std::size_t units) {
+  if (n_bits == 0) return 0;
+  const std::uint64_t chunks = (n_bits + m - 1) / m;
+  const std::uint64_t rounds = (chunks + units - 1) / units;
+  // XOR-reduce the per-unit partial sums (binary tree over active units).
+  std::uint64_t active = std::min<std::uint64_t>(chunks, units);
+  std::uint64_t reduce = 0;
+  while (active > 1) {
+    active = (active + 1) / 2;
+    ++reduce;
+  }
+  return rounds + reduce;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,64 @@
+// GFMAC (Galois-field multiply-accumulate) chunked CRC — the method of
+// Roy [9] and Ji & Killian [10] the paper reviews for customizable
+// processors (§2):
+//
+//   CRC[A(x)] = (A(x) x^k) mod g(x) = sum_i (W_i(x) * beta_i) mod g(x)
+//
+// where the message polynomial is split into M-bit chunks W_i and
+// beta_i = x^{(position of W_i from the message end) + k} mod g(x) are
+// precomputable constants depending only on message length, M and g.
+// Each W_i * beta_i product is one GFMAC; a processor with U GFMAC units
+// computes U chunks per issue round ([10] reports 2-3 cycles for a
+// 128-bit message with 16 units at 200 MHz).
+//
+// Two evaluation orders are provided: the Horner recurrence (one GFMAC in
+// sequence — what a single-MAC DSP would run) and the fully parallel
+// sum-of-products (the multi-unit custom processor), plus the cycle model
+// used by the Table 1 context.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crc/crc_spec.hpp"
+#include "gf2/gf2_poly.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// GFMAC chunked CRC engine for one (spec, M) pair.
+class GfmacCrc {
+ public:
+  GfmacCrc(const CrcSpec& spec, std::size_t m);
+
+  const CrcSpec& spec() const { return spec_; }
+  std::size_t m() const { return m_; }
+
+  /// Raw final register via the Horner recurrence
+  /// R <- (R * x^len + W(x) * x^k) mod g, one chunk at a time.
+  std::uint64_t raw_bits_horner(const BitStream& bits,
+                                std::uint64_t init_register) const;
+
+  /// Raw final register via the parallel sum  sum_i W_i * beta_i
+  /// (plus init * x^N), reduced once at the end — the multi-GFMAC order.
+  std::uint64_t raw_bits_parallel(const BitStream& bits,
+                                  std::uint64_t init_register) const;
+
+  std::uint64_t compute_bits(const BitStream& bits) const;
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+ private:
+  CrcSpec spec_;
+  std::size_t m_;
+  Gf2Poly g_;
+  Gf2Poly x_m_mod_g_;  // x^M mod g, the Horner step constant
+};
+
+/// Cycle model of a custom processor with `units` GFMAC units running the
+/// parallel order on an N-bit message with M-bit chunks: one issue round
+/// per ceil(chunks/units), plus a log2 XOR-reduction round. Reproduces the
+/// "2-3 cycles for 128 bits with 16 GFMACs" reference point of [10].
+std::uint64_t gfmac_cycles(std::uint64_t n_bits, std::size_t m,
+                           std::size_t units);
+
+}  // namespace plfsr

@@ -1,0 +1,30 @@
+#include "crc/matrix_crc.hpp"
+
+namespace plfsr {
+
+MatrixCrc::MatrixCrc(const CrcSpec& spec, std::size_t m)
+    : spec_(spec),
+      sys_(make_crc_system(spec.generator())),
+      la_(sys_, m) {}
+
+std::uint64_t MatrixCrc::raw_bits(const BitStream& bits,
+                                  std::uint64_t init_register) const {
+  Gf2Vec x = Gf2Vec::from_word(spec_.width, init_register);
+  const std::size_t m = la_.m();
+  const std::size_t head = bits.size() % m;
+  std::size_t pos = 0;
+  for (; pos < head; ++pos) sys_.step(x, bits.get(pos));
+  for (; pos < bits.size(); pos += m)
+    la_.step_state(x, chunk_to_vec(bits, pos, m));
+  return x.to_word();
+}
+
+std::uint64_t MatrixCrc::compute_bits(const BitStream& bits) const {
+  return spec_.finalize(raw_bits(bits, spec_.init));
+}
+
+std::uint64_t MatrixCrc::compute(std::span<const std::uint8_t> bytes) const {
+  return compute_bits(spec_.message_bits(bytes));
+}
+
+}  // namespace plfsr

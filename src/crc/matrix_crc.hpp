@@ -1,0 +1,47 @@
+// M-bit-parallel CRC by direct M-level look-ahead (Pei & Zukowski [6]):
+// the software model of a hardware block that keeps A^M in the feedback
+// loop. Bit-exact against the serial reference for every spec, message
+// length (bit-granular) and M.
+//
+// Messages whose length is not a multiple of M are handled the way the
+// paper's processor-side control code does: the leading N mod M bits are
+// clocked serially, after which the stream is chunk-aligned — this keeps
+// the parallel datapath free of mid-stream pipeline breaks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crc/crc_spec.hpp"
+#include "lfsr/lookahead.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Look-ahead CRC engine for one (spec, M) pair.
+class MatrixCrc {
+ public:
+  MatrixCrc(const CrcSpec& spec, std::size_t m);
+
+  const CrcSpec& spec() const { return spec_; }
+  std::size_t m() const { return la_.m(); }
+  const LookAhead& lookahead() const { return la_; }
+
+  /// Raw final register (bit i = coefficient of x^i) after feeding `bits`
+  /// from register value `init_register`.
+  std::uint64_t raw_bits(const BitStream& bits,
+                         std::uint64_t init_register) const;
+
+  /// Finalized CRC over a bit-granular message.
+  std::uint64_t compute_bits(const BitStream& bits) const;
+
+  /// Finalized CRC over bytes (applies the spec's reflection rules).
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+ private:
+  CrcSpec spec_;
+  LinearSystem sys_;
+  LookAhead la_;
+};
+
+}  // namespace plfsr

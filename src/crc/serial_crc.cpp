@@ -1,0 +1,28 @@
+#include "crc/serial_crc.hpp"
+
+namespace plfsr {
+
+std::uint64_t serial_crc_bits(const BitStream& bits, unsigned width,
+                              std::uint64_t poly,
+                              std::uint64_t init_register) {
+  const std::uint64_t top = std::uint64_t{1} << (width - 1);
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  std::uint64_t r = init_register & mask;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool fb = ((r & top) != 0) ^ bits.get(i);
+    r = (r << 1) & mask;
+    if (fb) r ^= poly;
+  }
+  return r;
+}
+
+std::uint64_t serial_crc(const CrcSpec& spec,
+                         std::span<const std::uint8_t> bytes) {
+  const BitStream bits = spec.message_bits(bytes);
+  const std::uint64_t raw =
+      serial_crc_bits(bits, spec.width, spec.poly, spec.init);
+  return spec.finalize(raw);
+}
+
+}  // namespace plfsr

@@ -1,0 +1,26 @@
+// Bit-serial CRC — the reference semantics every parallel engine is
+// verified against, and the direct software analogue of the serial LFSR
+// of the paper's Fig. 1 (one register shift per message bit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crc/crc_spec.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Raw register evolution: starting from `init_register` (bit i =
+/// coefficient of x^i), clock the Galois-form register once per bit of
+/// `bits` in stream order. Returns the final register. This is the exact
+/// state recursion x(n+1) = A x(n) + b u(n) of the paper specialised to
+/// the companion A, evaluated with word arithmetic.
+std::uint64_t serial_crc_bits(const BitStream& bits, unsigned width,
+                              std::uint64_t poly, std::uint64_t init_register);
+
+/// Full spec computation (bytes in, finalized value out).
+std::uint64_t serial_crc(const CrcSpec& spec,
+                         std::span<const std::uint8_t> bytes);
+
+}  // namespace plfsr

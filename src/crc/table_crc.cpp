@@ -1,0 +1,71 @@
+#include "crc/table_crc.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+TableCrc::TableCrc(const CrcSpec& spec) : spec_(spec) {
+  if (spec.reflect_in != spec.reflect_out)
+    throw std::invalid_argument("TableCrc: refin != refout unsupported");
+  if (spec.reflect_in) {
+    // Reflected register: poly reversed, shift right. Works for any width
+    // (including sub-byte, e.g. CRC-5/USB).
+    const std::uint64_t rpoly = reflect_bits(spec.poly, spec.width);
+    for (unsigned b = 0; b < 256; ++b) {
+      std::uint64_t crc = b;
+      for (int i = 0; i < 8; ++i)
+        crc = (crc >> 1) ^ ((crc & 1) ? rpoly : 0);
+      table_[b] = crc;
+    }
+  } else {
+    // Non-reflected: keep the register left-aligned to at least 8 bits so
+    // sub-byte CRCs (CRC-7/MMC) use the same byte loop.
+    align_ = spec.width < 8 ? 8 - spec.width : 0;
+    const unsigned effw = spec.width + align_;
+    const std::uint64_t apoly = spec.poly << align_;
+    const std::uint64_t top = std::uint64_t{1} << (effw - 1);
+    const std::uint64_t effmask =
+        effw == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << effw) - 1;
+    for (unsigned b = 0; b < 256; ++b) {
+      std::uint64_t crc = static_cast<std::uint64_t>(b) << (effw - 8);
+      for (int i = 0; i < 8; ++i)
+        crc = ((crc & top) ? ((crc << 1) ^ apoly) : (crc << 1)) & effmask;
+      table_[b] = crc;
+    }
+  }
+}
+
+std::uint64_t TableCrc::initial_state() const {
+  return spec_.reflect_in ? reflect_bits(spec_.init, spec_.width)
+                          : (spec_.init << align_);
+}
+
+std::uint64_t TableCrc::absorb(std::uint64_t state,
+                               std::span<const std::uint8_t> bytes) const {
+  if (spec_.reflect_in) {
+    for (std::uint8_t b : bytes)
+      state = table_[(state ^ b) & 0xFF] ^ (state >> 8);
+  } else {
+    const unsigned effw = spec_.width + align_;
+    const unsigned shift = effw - 8;
+    const std::uint64_t effmask =
+        effw == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << effw) - 1;
+    for (std::uint8_t b : bytes)
+      state = (table_[((state >> shift) ^ b) & 0xFF] ^ (state << 8)) & effmask;
+  }
+  return state;
+}
+
+std::uint64_t TableCrc::finalize(std::uint64_t state) const {
+  // In the reflected implementation the register already holds the
+  // refout-reflected value; in the aligned implementation shift the
+  // register back down before applying the final XOR.
+  if (!spec_.reflect_in) state >>= align_;
+  return (state ^ spec_.xorout) & spec_.mask();
+}
+
+std::uint64_t TableCrc::compute(std::span<const std::uint8_t> bytes) const {
+  return finalize(absorb(initial_state(), bytes));
+}
+
+}  // namespace plfsr

@@ -1,0 +1,44 @@
+// Byte-wise table CRC (Sarwate) — the paper's Table 1 baseline: the "fast
+// software CRC implementation on a RISC processor" in the style of
+// Albertengo & Sisto [8], one 256-entry lookup plus shift/XOR per byte.
+//
+// The reflected variant keeps the register bit-reversed (the usual
+// software trick for Ethernet CRC-32) so the inner loop is
+// `crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crc/crc_spec.hpp"
+
+namespace plfsr {
+
+/// Precomputed one-byte-at-a-time engine for an arbitrary CrcSpec.
+class TableCrc {
+ public:
+  explicit TableCrc(const CrcSpec& spec);
+
+  const CrcSpec& spec() const { return spec_; }
+
+  /// Finalized CRC of a byte buffer.
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+  /// Streaming interface: `state` starts at `initial_state()`, absorb
+  /// buffers, then `finalize(state)`.
+  std::uint64_t initial_state() const;
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const;
+  std::uint64_t finalize(std::uint64_t state) const;
+
+  /// Direct table access (the slicing engine builds on it).
+  const std::array<std::uint64_t, 256>& table() const { return table_; }
+
+ private:
+  CrcSpec spec_;
+  unsigned align_ = 0;  ///< left-alignment for non-reflected sub-byte widths
+  std::array<std::uint64_t, 256> table_{};
+};
+
+}  // namespace plfsr

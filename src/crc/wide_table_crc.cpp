@@ -1,0 +1,69 @@
+#include "crc/wide_table_crc.hpp"
+
+#include <stdexcept>
+
+#include "crc/serial_crc.hpp"
+
+namespace plfsr {
+
+WideTableCrc::WideTableCrc(const CrcSpec& spec, unsigned stride)
+    : spec_(spec), stride_(stride) {
+  if (stride == 0 || stride > 16)
+    throw std::invalid_argument("WideTableCrc: stride must be 1..16");
+  // Entry t: the register perturbation produced by W steps whose
+  // combined (top-register XOR input) pattern is t. Computed by running
+  // the serial recursion on register = t aligned to the top with zero
+  // input — linearity does the rest.
+  table_.resize(std::size_t{1} << stride);
+  const std::uint64_t mask = spec.mask();
+  const std::uint64_t top = std::uint64_t{1} << (spec.width - 1);
+  for (std::uint64_t t = 0; t < table_.size(); ++t) {
+    // Align pattern bit stride-1 (first processed) with the register top.
+    // For stride > width the pattern's low bits act as direct input
+    // bits, handled by the same shift-in recursion.
+    std::uint64_t reg = 0;
+    for (unsigned i = 0; i < stride_; ++i) {
+      const bool fb =
+          ((reg & top) != 0) ^ (((t >> (stride_ - 1 - i)) & 1) != 0);
+      reg = (reg << 1) & mask;
+      if (fb) reg ^= spec.poly;
+    }
+    table_[t] = reg;
+  }
+}
+
+std::uint64_t WideTableCrc::raw_bits(const BitStream& bits,
+                                     std::uint64_t init_register) const {
+  const std::uint64_t mask = spec_.mask();
+  std::uint64_t reg = init_register & mask;
+  // Serial head so the bulk is stride-aligned.
+  const std::size_t head = bits.size() % stride_;
+  std::size_t pos = 0;
+  if (head) {
+    BitStream h;
+    for (; pos < head; ++pos) h.push_back(bits.get(pos));
+    reg = serial_crc_bits(h, spec_.width, spec_.poly, reg);
+  }
+  for (; pos < bits.size(); pos += stride_) {
+    // Combined pattern: top `stride` register bits XOR the next input
+    // bits (first bit in the pattern MSB). For stride > width the extra
+    // low pattern bits are input-only.
+    std::uint64_t pattern = 0;
+    for (unsigned i = 0; i < stride_; ++i) {
+      bool b = bits.get(pos + i);
+      if (i < spec_.width)
+        b ^= ((reg >> (spec_.width - 1 - i)) & 1) != 0;
+      pattern = (pattern << 1) | (b ? 1 : 0);
+    }
+    const std::uint64_t shifted =
+        stride_ >= spec_.width ? 0 : (reg << stride_) & mask;
+    reg = shifted ^ table_[pattern];
+  }
+  return reg;
+}
+
+std::uint64_t WideTableCrc::compute(std::span<const std::uint8_t> bytes) const {
+  return spec_.finalize(raw_bits(spec_.message_bits(bytes), spec_.init));
+}
+
+}  // namespace plfsr

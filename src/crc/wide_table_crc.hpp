@@ -1,0 +1,50 @@
+// W-bit-at-a-time table CRC — the generalized software look-ahead of
+// Albertengo & Sisto [8] ("look-ahead is applied to the serial
+// implementation resulting in a byte-wise parallel implementation whose
+// feedback network is implemented as a lookup table plus shift-and-add
+// operations"). W = 8 is the classic Sarwate byte table; W = 4 halves
+// the table for memory-poor targets; W = 16 doubles the stride on
+// processors that can afford a 64K-entry table.
+//
+// The table is the W-step look-ahead feedback network evaluated for all
+// 2^W top-register/input combinations — i.e. exactly B_W and A^W folded
+// into one lookup, which is why the engines here are built from the same
+// LookAhead matrices as the hardware mappings and cross-checked against
+// them in the tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Table-driven CRC consuming `stride` bits per lookup (1..16).
+/// Works for any spec; reflection is handled by processing the message
+/// bit stream in spec order (the table itself is reflection-agnostic).
+class WideTableCrc {
+ public:
+  WideTableCrc(const CrcSpec& spec, unsigned stride);
+
+  const CrcSpec& spec() const { return spec_; }
+  unsigned stride() const { return stride_; }
+  std::size_t table_entries() const { return table_.size(); }
+
+  /// Raw register evolution over a bit stream (length need not be a
+  /// multiple of the stride; the head is aligned bit-serially).
+  std::uint64_t raw_bits(const BitStream& bits,
+                         std::uint64_t init_register) const;
+
+  /// Finalized CRC over bytes.
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+ private:
+  CrcSpec spec_;
+  unsigned stride_;
+  std::vector<std::uint64_t> table_;  // 2^stride entries
+};
+
+}  // namespace plfsr

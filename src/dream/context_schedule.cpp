@@ -1,0 +1,52 @@
+#include "dream/context_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace plfsr {
+
+ContextScheduler::ContextScheduler(std::size_t contexts,
+                                   std::uint64_t switch_cycles)
+    : contexts_(contexts), switch_cycles_(switch_cycles) {
+  if (contexts == 0)
+    throw std::invalid_argument("ContextScheduler: need >= 1 context");
+}
+
+void ContextScheduler::register_kernel(const KernelConfig& k) {
+  kernels_[k.name] = k;
+}
+
+bool ContextScheduler::is_cached(const std::string& name) const {
+  return std::find(cache_.begin(), cache_.end(), name) != cache_.end();
+}
+
+std::uint64_t ContextScheduler::activate(const std::string& name) {
+  const auto it = kernels_.find(name);
+  if (it == kernels_.end())
+    throw std::invalid_argument("ContextScheduler: unknown kernel " + name);
+  if (name == active_) return 0;
+
+  std::uint64_t cost = switch_cycles_;
+  const auto pos = std::find(cache_.begin(), cache_.end(), name);
+  if (pos != cache_.end()) {
+    ++hits_;
+    cache_.erase(pos);
+  } else {
+    ++reloads_;
+    cost += it->second.load_cycles;
+    if (cache_.size() == contexts_) cache_.pop_back();  // evict LRU
+  }
+  cache_.insert(cache_.begin(), name);
+  active_ = name;
+  total_ += cost;
+  return cost;
+}
+
+std::uint64_t ContextScheduler::run_sequence(
+    const std::vector<std::string>& seq) {
+  std::uint64_t cycles = 0;
+  for (const std::string& name : seq) cycles += activate(name);
+  return cycles;
+}
+
+}  // namespace plfsr

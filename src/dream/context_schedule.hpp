@@ -1,0 +1,57 @@
+// Configuration-cache scheduling for multi-kernel workloads.
+//
+// PiCoGA caches 4 configuration layers; switching among cached layers
+// costs 2 cycles, but a kernel whose configuration was evicted pays the
+// full bitstream reload. A multi-standard device (the paper's
+// motivation) hops between kernels — this module models the cache with
+// an LRU policy and accounts the switch/reload cycles of an arbitrary
+// kernel sequence, so the examples and tests can quantify when 4
+// contexts are enough (the CRC pair + scrambler fit; a fifth standard
+// starts thrashing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+/// One reconfigurable kernel: its id and configuration footprint.
+struct KernelConfig {
+  std::string name;
+  std::uint64_t load_cycles = 0;  ///< full bitstream load cost
+};
+
+/// LRU-managed configuration cache.
+class ContextScheduler {
+ public:
+  explicit ContextScheduler(std::size_t contexts = 4,
+                            std::uint64_t switch_cycles = 2);
+
+  /// Declare a kernel (idempotent by name).
+  void register_kernel(const KernelConfig& k);
+
+  /// Make `name` active; returns the cycles charged for this activation
+  /// (0 if already active, switch cost if cached, switch + reload if
+  /// evicted/cold). Throws for unknown kernels.
+  std::uint64_t activate(const std::string& name);
+
+  /// Run a whole activation sequence; returns total cycles.
+  std::uint64_t run_sequence(const std::vector<std::string>& seq);
+
+  std::uint64_t total_cycles() const { return total_; }
+  std::uint64_t reloads() const { return reloads_; }
+  std::uint64_t hits() const { return hits_; }
+  bool is_cached(const std::string& name) const;
+
+ private:
+  std::size_t contexts_;
+  std::uint64_t switch_cycles_;
+  std::map<std::string, KernelConfig> kernels_;
+  std::vector<std::string> cache_;  // front = most recently used
+  std::string active_;
+  std::uint64_t total_ = 0, reloads_ = 0, hits_ = 0;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,60 @@
+#include "dream/dream_model.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+DreamCrcModel::DreamCrcModel(const Gf2Poly& g, std::size_t m,
+                             const PicogaConstraints& geom,
+                             const ControlCosts& costs,
+                             const MapperOptions& opts)
+    : m_(m), costs_(costs), freq_hz_(geom.freq_mhz * 1e6) {
+  const CrcOpPlan plan = build_derby_crc_ops(g, m, opts);
+  l1_ = plan.op1.netlist.depth();
+  l2_ = plan.op2.netlist.depth();
+  ii_ = plan.op1.loop_depth > 0 ? plan.op1.loop_depth : 1;
+  // Feasibility gate: the model must describe a mapping that exists.
+  const auto pts = explore_crc_design_space(g, {m}, geom, opts);
+  if (!pts[0].feasible)
+    throw std::invalid_argument(
+        "DreamCrcModel: M infeasible on this PiCoGA geometry");
+}
+
+std::uint64_t DreamCrcModel::cycles_single(std::uint64_t n_bits) const {
+  if (n_bits == 0 || n_bits % m_ != 0)
+    throw std::invalid_argument("DreamCrcModel: n_bits must be k*M, k>=1");
+  const std::uint64_t chunks = n_bits / m_;
+  return costs_.per_batch + costs_.per_message + costs_.result_readout +
+         l1_ + (chunks - 1) * ii_ + PicogaArray::kContextSwitchCycles + l2_ +
+         PicogaArray::kContextSwitchCycles;
+}
+
+std::uint64_t DreamCrcModel::cycles_interleaved(std::uint64_t n_bits,
+                                                std::size_t batch) const {
+  if (batch == 0) throw std::invalid_argument("DreamCrcModel: empty batch");
+  if (n_bits == 0 || n_bits % m_ != 0)
+    throw std::invalid_argument("DreamCrcModel: n_bits must be k*M, k>=1");
+  const std::uint64_t chunks = n_bits / m_;
+  return costs_.per_batch + costs_.per_message +
+         batch * costs_.result_readout + l1_ +
+         (batch * chunks - 1) * ii_ + PicogaArray::kContextSwitchCycles +
+         l2_ + (batch - 1) + PicogaArray::kContextSwitchCycles;
+}
+
+double DreamCrcModel::throughput_single_gbps(std::uint64_t n_bits) const {
+  return static_cast<double>(n_bits) /
+         (static_cast<double>(cycles_single(n_bits)) / freq_hz_) / 1e9;
+}
+
+double DreamCrcModel::throughput_interleaved_gbps(std::uint64_t n_bits,
+                                                  std::size_t batch) const {
+  return static_cast<double>(n_bits) * static_cast<double>(batch) /
+         (static_cast<double>(cycles_interleaved(n_bits, batch)) / freq_hz_) /
+         1e9;
+}
+
+double DreamCrcModel::peak_gbps() const {
+  return static_cast<double>(m_) * freq_hz_ / ii_ / 1e9;
+}
+
+}  // namespace plfsr

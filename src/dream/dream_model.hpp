@@ -1,0 +1,114 @@
+// Analytic DREAM timing model for the paper's throughput figures.
+//
+// The array simulator (src/picoga) charges cycles event by event; this
+// model reproduces the same totals in closed form so the figure benches
+// can sweep thousands of (N, M, batch) points instantly. The unit tests
+// cross-validate the two cycle-for-cycle.
+//
+// Single message of C = N/M chunks (§5, Fig. 4):
+//   cycles = ctrl + readout                      (processor overhead)
+//          + L1 + (C - 1) * II                   (op1 fill + streaming)
+//          + 2 + L2                              (context switch + op2)
+//          + 2                                   (switch back for next msg)
+//
+// B interleaved messages (§5, Fig. 5, after Kong & Parhi [13]):
+//   cycles = ctrl + B * readout
+//          + L1 + (B * C - 1) * II               (round-robin rotation)
+//          + 2 + L2 + (B - 1)                    (one switch, B op2 issues)
+//          + 2
+//
+// Throughput = bits / (cycles * 5 ns); as N grows both converge to
+// M * 200 Mbit/s — 25.6 Gbit/s at M = 128, the paper's peak.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "gf2/gf2_poly.hpp"
+#include "mapper/op_builder.hpp"
+#include "mapper/design_space.hpp"
+#include "picoga/crc_accelerator.hpp"
+
+namespace plfsr {
+
+/// Closed-form DREAM CRC timing for one (generator, M) configuration.
+class DreamCrcModel {
+ public:
+  DreamCrcModel(const Gf2Poly& g, std::size_t m,
+                const PicogaConstraints& geom = {},
+                const ControlCosts& costs = {},
+                const MapperOptions& opts = {});
+
+  std::size_t m() const { return m_; }
+  unsigned op1_latency() const { return l1_; }
+  unsigned op2_latency() const { return l2_; }
+  unsigned ii() const { return ii_; }
+  double freq_hz() const { return freq_hz_; }
+
+  /// Cycles for one message of n_bits (must be a multiple of M).
+  std::uint64_t cycles_single(std::uint64_t n_bits) const;
+
+  /// Cycles for `batch` equal messages of n_bits each, interleaved.
+  std::uint64_t cycles_interleaved(std::uint64_t n_bits,
+                                   std::size_t batch) const;
+
+  /// Sustained throughput (Gbit/s) for the two modes.
+  double throughput_single_gbps(std::uint64_t n_bits) const;
+  double throughput_interleaved_gbps(std::uint64_t n_bits,
+                                     std::size_t batch) const;
+
+  /// Kernel-only peak (no control, no switches): M * f / II — the number
+  /// the paper quotes against the ASICs in Fig. 6.
+  double peak_gbps() const;
+
+ private:
+  std::size_t m_;
+  unsigned l1_, l2_, ii_;
+  ControlCosts costs_;
+  double freq_hz_;
+};
+
+/// In-order RISC software baseline at the same 200 MHz clock — the
+/// reference of Table 1 ("Fast software CRC", byte-table Sarwate in the
+/// style of Albertengo & Sisto [8]) plus the naive bit-serial variant.
+struct RiscModel {
+  double freq_hz = 200e6;
+  // Per-byte cost of the table loop on a single-issue core: load byte,
+  // XOR, index, load table word, XOR, store/rotate, loop bookkeeping.
+  std::uint64_t cycles_per_byte_table = 7;
+  std::uint64_t cycles_per_bit_serial = 9;
+  std::uint64_t setup_cycles = 30;
+  std::uint64_t finalize_cycles = 4;
+
+  std::uint64_t crc_cycles_table(std::uint64_t n_bits) const {
+    return setup_cycles + (n_bits + 7) / 8 * cycles_per_byte_table +
+           finalize_cycles;
+  }
+  std::uint64_t crc_cycles_bitserial(std::uint64_t n_bits) const {
+    return setup_cycles + n_bits * cycles_per_bit_serial + finalize_cycles;
+  }
+  double throughput_table_gbps(std::uint64_t n_bits) const {
+    return static_cast<double>(n_bits) /
+           (static_cast<double>(crc_cycles_table(n_bits)) / freq_hz) / 1e9;
+  }
+};
+
+/// Energy model for Fig. 7. The paper anchors the RISC at ~400 pJ/bit
+/// (length-independent) and reports DREAM 5-60x better in 90 nm; we model
+/// DREAM as a fixed energy per active cycle (core + array) so short
+/// messages — which burn overhead cycles per bit — land at the weak end
+/// of that band and saturated M = 128 streaming at the strong end.
+struct EnergyModel {
+  double risc_pj_per_bit = 400.0;
+  double dream_nj_per_cycle = 0.85;  ///< ~170 mW at 200 MHz, 90 nm class
+
+  double dream_pj_per_bit(std::uint64_t cycles, std::uint64_t n_bits) const {
+    return dream_nj_per_cycle * 1e3 * static_cast<double>(cycles) /
+           static_cast<double>(n_bits);
+  }
+  double ratio_vs_risc(std::uint64_t cycles, std::uint64_t n_bits) const {
+    return risc_pj_per_bit / dream_pj_per_bit(cycles, n_bits);
+  }
+};
+
+}  // namespace plfsr

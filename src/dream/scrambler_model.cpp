@@ -1,0 +1,37 @@
+#include "dream/scrambler_model.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+DreamScramblerModel::DreamScramblerModel(const Gf2Poly& g, std::size_t m,
+                                         const PicogaConstraints& geom,
+                                         const ControlCosts& costs,
+                                         const MapperOptions& opts)
+    : m_(m), costs_(costs), freq_hz_(geom.freq_mhz * 1e6) {
+  const ScramblerOpPlan plan = build_scrambler_op(g, m, opts);
+  l_ = plan.op.netlist.depth();
+  ii_ = plan.op.loop_depth > 0 ? plan.op.loop_depth : 1;
+  const auto pts = explore_scrambler_design_space(g, {m}, geom, opts);
+  if (!pts[0].feasible)
+    throw std::invalid_argument(
+        "DreamScramblerModel: M infeasible on this PiCoGA geometry");
+}
+
+std::uint64_t DreamScramblerModel::cycles(std::uint64_t n_bits) const {
+  if (n_bits == 0 || n_bits % m_ != 0)
+    throw std::invalid_argument("DreamScramblerModel: n_bits must be k*M");
+  const std::uint64_t chunks = n_bits / m_;
+  return costs_.per_batch + costs_.per_message + l_ + (chunks - 1) * ii_;
+}
+
+double DreamScramblerModel::throughput_gbps(std::uint64_t n_bits) const {
+  return static_cast<double>(n_bits) /
+         (static_cast<double>(cycles(n_bits)) / freq_hz_) / 1e9;
+}
+
+double DreamScramblerModel::peak_gbps() const {
+  return static_cast<double>(m_) * freq_hz_ / ii_ / 1e9;
+}
+
+}  // namespace plfsr

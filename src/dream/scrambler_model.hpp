@@ -1,0 +1,43 @@
+// Analytic DREAM scrambler timing (Fig. 8): single PiCoGA operation, so
+// no context switch ever occurs — "the implementation requires a single
+// operation on PiCoGA" (§5). Only the control overhead and the pipeline
+// fill dilute the M bits/cycle streaming rate, which is why the scrambler
+// reaches the full 25.6 Gbit/s at M = 128 even for modest block lengths.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "gf2/gf2_poly.hpp"
+#include "mapper/op_builder.hpp"
+#include "mapper/design_space.hpp"
+#include "picoga/crc_accelerator.hpp"
+
+namespace plfsr {
+
+/// Closed-form DREAM scrambler timing for one (generator, M).
+class DreamScramblerModel {
+ public:
+  DreamScramblerModel(const Gf2Poly& g, std::size_t m,
+                      const PicogaConstraints& geom = {},
+                      const ControlCosts& costs = {},
+                      const MapperOptions& opts = {});
+
+  std::size_t m() const { return m_; }
+  unsigned latency() const { return l_; }
+  unsigned ii() const { return ii_; }
+
+  /// Cycles for one block of n_bits (multiple of M).
+  std::uint64_t cycles(std::uint64_t n_bits) const;
+
+  double throughput_gbps(std::uint64_t n_bits) const;
+  double peak_gbps() const;
+
+ private:
+  std::size_t m_;
+  unsigned l_, ii_;
+  ControlCosts costs_;
+  double freq_hz_;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,258 @@
+#include "gf2/gf2_matrix.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace plfsr {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), wpr_((cols + 63) / 64), words_(rows * wpr_, 0) {}
+
+Gf2Matrix Gf2Matrix::identity(std::size_t n) {
+  Gf2Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::zero(std::size_t rows, std::size_t cols) {
+  return Gf2Matrix(rows, cols);
+}
+
+Gf2Matrix Gf2Matrix::from_rows(const std::vector<std::string>& rows) {
+  if (rows.empty()) return {};
+  Gf2Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_)
+      throw std::invalid_argument("Gf2Matrix::from_rows: ragged rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      if (rows[r][c] == '1')
+        m.set(r, c, true);
+      else if (rows[r][c] != '0')
+        throw std::invalid_argument("Gf2Matrix::from_rows: non-binary char");
+    }
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::from_columns(const std::vector<Gf2Vec>& cols) {
+  if (cols.empty()) return {};
+  Gf2Matrix m(cols[0].size(), cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].size() != m.rows_)
+      throw std::invalid_argument("Gf2Matrix::from_columns: ragged columns");
+    for (std::size_t r = 0; r < m.rows_; ++r) m.set(r, c, cols[c].get(r));
+  }
+  return m;
+}
+
+Gf2Vec Gf2Matrix::row(std::size_t r) const {
+  Gf2Vec v(cols_);
+  for (std::size_t w = 0; w < wpr_; ++w) v.words()[w] = words_[r * wpr_ + w];
+  return v;
+}
+
+Gf2Vec Gf2Matrix::column(std::size_t c) const {
+  Gf2Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v.set(r, get(r, c));
+  return v;
+}
+
+void Gf2Matrix::set_row(std::size_t r, const Gf2Vec& v) {
+  if (v.size() != cols_)
+    throw std::invalid_argument("Gf2Matrix::set_row: dimension mismatch");
+  for (std::size_t w = 0; w < wpr_; ++w) words_[r * wpr_ + w] = v.words()[w];
+}
+
+void Gf2Matrix::set_column(std::size_t c, const Gf2Vec& v) {
+  if (v.size() != rows_)
+    throw std::invalid_argument("Gf2Matrix::set_column: dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) set(r, c, v.get(r));
+}
+
+Gf2Matrix Gf2Matrix::operator+(const Gf2Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Gf2Matrix::+: dimension mismatch");
+  Gf2Matrix out = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    out.words_[i] ^= other.words_[i];
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::operator*(const Gf2Matrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("Gf2Matrix::*: dimension mismatch");
+  Gf2Matrix out(rows_, other.cols_);
+  // out.row(r) = XOR over set bits c of this.row(r) of other.row(c):
+  // word-parallel in the result width.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::uint64_t* dst = &out.words_[r * out.wpr_];
+    for (std::size_t w = 0; w < wpr_; ++w) {
+      std::uint64_t bits = words_[r * wpr_ + w];
+      while (bits) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::size_t c = (w << 6) + b;
+        const std::uint64_t* src = &other.words_[c * other.wpr_];
+        for (std::size_t ow = 0; ow < other.wpr_; ++ow) dst[ow] ^= src[ow];
+      }
+    }
+  }
+  return out;
+}
+
+Gf2Vec Gf2Matrix::operator*(const Gf2Vec& v) const {
+  if (cols_ != v.size())
+    throw std::invalid_argument("Gf2Matrix::*vec: dimension mismatch");
+  Gf2Vec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < wpr_; ++w)
+      acc ^= words_[r * wpr_ + w] & v.words()[w];
+    out.set(r, std::popcount(acc) & 1);
+  }
+  return out;
+}
+
+bool Gf2Matrix::operator==(const Gf2Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && words_ == other.words_;
+}
+
+Gf2Matrix Gf2Matrix::pow(std::uint64_t e) const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("Gf2Matrix::pow: matrix not square");
+  Gf2Matrix result = identity(rows_);
+  Gf2Matrix base = *this;
+  while (e) {
+    if (e & 1) result = result * base;
+    base = base * base;
+    e >>= 1;
+  }
+  return result;
+}
+
+Gf2Matrix Gf2Matrix::transposed() const {
+  Gf2Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t w = 0; w < wpr_; ++w) {
+      std::uint64_t bits = words_[r * wpr_ + w];
+      while (bits) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        out.set((w << 6) + b, r, true);
+      }
+    }
+  return out;
+}
+
+std::optional<Gf2Matrix> Gf2Matrix::inverse() const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("Gf2Matrix::inverse: matrix not square");
+  const std::size_t n = rows_;
+  Gf2Matrix a = *this;
+  Gf2Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot row at or below `col`.
+    std::size_t pivot = col;
+    while (pivot < n && !a.get(pivot, col)) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t w = 0; w < wpr_; ++w) {
+        std::swap(a.words_[pivot * wpr_ + w], a.words_[col * wpr_ + w]);
+        std::swap(inv.words_[pivot * wpr_ + w], inv.words_[col * wpr_ + w]);
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r != col && a.get(r, col)) {
+        for (std::size_t w = 0; w < wpr_; ++w) {
+          a.words_[r * wpr_ + w] ^= a.words_[col * wpr_ + w];
+          inv.words_[r * wpr_ + w] ^= inv.words_[col * wpr_ + w];
+        }
+      }
+    }
+  }
+  return inv;
+}
+
+std::size_t Gf2Matrix::rank() const {
+  Gf2Matrix a = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && !a.get(pivot, col)) ++pivot;
+    if (pivot == rows_) continue;
+    if (pivot != rank)
+      for (std::size_t w = 0; w < wpr_; ++w)
+        std::swap(a.words_[pivot * wpr_ + w], a.words_[rank * wpr_ + w]);
+    for (std::size_t r = 0; r < rows_; ++r)
+      if (r != rank && a.get(r, col))
+        for (std::size_t w = 0; w < wpr_; ++w)
+          a.words_[r * wpr_ + w] ^= a.words_[rank * wpr_ + w];
+    ++rank;
+  }
+  return rank;
+}
+
+Gf2Matrix Gf2Matrix::hconcat(const Gf2Matrix& right) const {
+  if (rows_ != right.rows_)
+    throw std::invalid_argument("Gf2Matrix::hconcat: row count mismatch");
+  Gf2Matrix out(rows_, cols_ + right.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.set(r, c, get(r, c));
+    for (std::size_t c = 0; c < right.cols_; ++c)
+      out.set(r, cols_ + c, right.get(r, c));
+  }
+  return out;
+}
+
+bool Gf2Matrix::is_identity() const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (get(r, c) != (r == c)) return false;
+  return true;
+}
+
+bool Gf2Matrix::is_zero() const {
+  for (std::uint64_t w : words_)
+    if (w) return false;
+  return true;
+}
+
+bool Gf2Matrix::is_companion() const {
+  if (rows_ != cols_ || rows_ == 0) return false;
+  const std::size_t n = rows_;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c + 1 < n; ++c)
+      if (get(r, c) != (r == c + 1)) return false;
+  return true;
+}
+
+std::size_t Gf2Matrix::max_row_weight() const {
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < wpr_; ++i)
+      w += std::popcount(words_[r * wpr_ + i]);
+    if (w > best) best = w;
+  }
+  return best;
+}
+
+std::size_t Gf2Matrix::total_weight() const {
+  std::size_t w = 0;
+  for (std::uint64_t word : words_) w += std::popcount(word);
+  return w;
+}
+
+std::string Gf2Matrix::to_string() const {
+  std::string out;
+  out.reserve(rows_ * (cols_ + 1));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.push_back(get(r, c) ? '1' : '0');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,113 @@
+// Dense matrix over GF(2).
+//
+// The whole parallelization theory of the paper is matrix algebra over
+// GF(2): companion matrices A, the look-ahead powers A^M, the input
+// matrices B_M = [b Ab ... A^{M-1} b], and Derby's similarity transform
+// A_Mt = T^{-1} A^M T. This class provides exactly those operations:
+// multiplication, exponentiation, inversion (Gauss-Jordan), rank, and
+// structural predicates (companion form, identity, ...).
+//
+// Rows are stored as packed 64-bit words; multiplication is the standard
+// row-by-matrix XOR accumulation (the "method of the four Russians" is not
+// needed at k <= 64-ish dimensions used here, but the row-XOR kernel is
+// already word-parallel).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/gf2_vec.hpp"
+
+namespace plfsr {
+
+/// Dense rows×cols matrix over GF(2).
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  static Gf2Matrix identity(std::size_t n);
+  static Gf2Matrix zero(std::size_t rows, std::size_t cols);
+
+  /// Build from '0'/'1' row strings (all rows the same length).
+  static Gf2Matrix from_rows(const std::vector<std::string>& rows);
+
+  /// Matrix whose columns are the given vectors (all the same dimension).
+  /// This is how Derby's T = [f  A^M f ... A^{(k-1)M} f] is assembled.
+  static Gf2Matrix from_columns(const std::vector<Gf2Vec>& cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const {
+    return (words_[r * wpr_ + (c >> 6)] >> (c & 63)) & 1u;
+  }
+
+  void set(std::size_t r, std::size_t c, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (c & 63);
+    if (v)
+      words_[r * wpr_ + (c >> 6)] |= m;
+    else
+      words_[r * wpr_ + (c >> 6)] &= ~m;
+  }
+
+  Gf2Vec row(std::size_t r) const;
+  Gf2Vec column(std::size_t c) const;
+  void set_row(std::size_t r, const Gf2Vec& v);
+  void set_column(std::size_t c, const Gf2Vec& v);
+
+  /// GF(2) addition (elementwise XOR).
+  Gf2Matrix operator+(const Gf2Matrix& other) const;
+
+  /// Matrix product over GF(2).
+  Gf2Matrix operator*(const Gf2Matrix& other) const;
+
+  /// Matrix-vector product over GF(2).
+  Gf2Vec operator*(const Gf2Vec& v) const;
+
+  bool operator==(const Gf2Matrix& other) const;
+
+  /// Square-and-multiply exponentiation; *this must be square, e >= 0
+  /// (e == 0 yields the identity).
+  Gf2Matrix pow(std::uint64_t e) const;
+
+  Gf2Matrix transposed() const;
+
+  /// Gauss–Jordan inverse; nullopt if singular.
+  std::optional<Gf2Matrix> inverse() const;
+
+  /// Rank via Gaussian elimination.
+  std::size_t rank() const;
+
+  /// Horizontal concatenation [*this | right]; row counts must match.
+  /// Used to map the combined state-update [A_Mt | B_Mt]·[x; u].
+  Gf2Matrix hconcat(const Gf2Matrix& right) const;
+
+  bool is_identity() const;
+  bool is_zero() const;
+
+  /// Companion-matrix predicate in the paper's convention: the strict
+  /// subdiagonal is all ones, the last column is arbitrary (the polynomial
+  /// coefficients), and everything else is zero. A matrix in this form has
+  /// at most one XOR feeding each next-state bit beyond the shift — the
+  /// "minimal loop complexity" Derby's transform guarantees.
+  bool is_companion() const;
+
+  /// Max/total number of ones per row — the fan-in statistics that drive
+  /// both the XOR10 mapper and the ASIC critical-path model.
+  std::size_t max_row_weight() const;
+  std::size_t total_weight() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, wpr_ = 0;  // wpr_: words per row
+  std::vector<std::uint64_t> words_;
+
+  friend class Gf2MatrixTestPeer;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,343 @@
+#include "gf2/gf2_poly.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace plfsr {
+
+namespace {
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e) {
+    if (e & 1) r = mulmod_u64(r, a, m);
+    a = mulmod_u64(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin for 64-bit with the standard witness set.
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 1; i < s; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t pollard_rho(std::uint64_t n) {
+  if ((n & 1) == 0) return 2;
+  for (std::uint64_t c = 1;; ++c) {
+    auto f = [&](std::uint64_t x) { return (mulmod_u64(x, x, n) + c) % n; };
+    std::uint64_t x = 2, y = 2, d = 1;
+    while (d == 1) {
+      x = f(x);
+      y = f(f(y));
+      const std::uint64_t diff = x > y ? x - y : y - x;
+      d = std::gcd(diff, n);
+    }
+    if (d != n) return d;
+  }
+}
+
+void factor_into(std::uint64_t n, std::vector<std::uint64_t>& out) {
+  if (n < 2) return;
+  if (is_prime_u64(n)) {
+    out.push_back(n);
+    return;
+  }
+  for (std::uint64_t p = 2; p < 100; p += (p == 2 ? 1 : 2)) {
+    if (n % p == 0) {
+      out.push_back(p);
+      while (n % p == 0) n /= p;
+      factor_into(n, out);
+      return;
+    }
+  }
+  const std::uint64_t d = pollard_rho(n);
+  factor_into(d, out);
+  std::uint64_t rest = n;
+  while (rest % d == 0) rest /= d;
+  factor_into(rest, out);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  factor_into(n, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Gf2Poly Gf2Poly::from_coeff_words(std::vector<std::uint64_t> words) {
+  Gf2Poly p;
+  p.words_ = std::move(words);
+  p.trim();
+  return p;
+}
+
+Gf2Poly Gf2Poly::from_word(std::uint64_t coeffs) {
+  return from_coeff_words({coeffs});
+}
+
+Gf2Poly Gf2Poly::with_top_bit(unsigned degree, std::uint64_t low) {
+  Gf2Poly p = from_word(low);
+  p.set_coeff(degree, true);
+  return p;
+}
+
+Gf2Poly Gf2Poly::from_exponents(const std::vector<unsigned>& exps) {
+  Gf2Poly p;
+  for (unsigned e : exps) p.set_coeff(e, !p.coeff(e));
+  return p;
+}
+
+Gf2Poly Gf2Poly::x_pow(unsigned e) {
+  Gf2Poly p;
+  p.set_coeff(e, true);
+  return p;
+}
+
+int Gf2Poly::degree() const {
+  if (words_.empty()) return -1;
+  const std::uint64_t top = words_.back();
+  return static_cast<int>((words_.size() - 1) * 64 + 63 -
+                          std::countl_zero(top));
+}
+
+bool Gf2Poly::coeff(unsigned i) const {
+  const std::size_t w = i >> 6;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (i & 63)) & 1u;
+}
+
+void Gf2Poly::set_coeff(unsigned i, bool v) {
+  const std::size_t w = i >> 6;
+  if (w >= words_.size()) {
+    if (!v) return;
+    words_.resize(w + 1, 0);
+  }
+  const std::uint64_t m = std::uint64_t{1} << (i & 63);
+  if (v)
+    words_[w] |= m;
+  else
+    words_[w] &= ~m;
+  trim();
+}
+
+std::size_t Gf2Poly::weight() const {
+  std::size_t w = 0;
+  for (std::uint64_t word : words_) w += std::popcount(word);
+  return w;
+}
+
+Gf2Poly Gf2Poly::operator+(const Gf2Poly& other) const {
+  Gf2Poly out;
+  out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] ^= words_[i];
+  for (std::size_t i = 0; i < other.words_.size(); ++i)
+    out.words_[i] ^= other.words_[i];
+  out.trim();
+  return out;
+}
+
+Gf2Poly Gf2Poly::operator*(const Gf2Poly& other) const {
+  if (is_zero() || other.is_zero()) return {};
+  Gf2Poly out;
+  out.words_.resize(words_.size() + other.words_.size(), 0);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::size_t shift = (w << 6) + b;
+      const std::size_t ws = shift >> 6;
+      const unsigned bs = shift & 63;
+      for (std::size_t i = 0; i < other.words_.size(); ++i) {
+        out.words_[ws + i] ^= other.words_[i] << bs;
+        if (bs)
+          out.words_[ws + i + 1] ^= other.words_[i] >> (64 - bs);
+      }
+    }
+  }
+  out.trim();
+  return out;
+}
+
+Gf2Poly::DivMod Gf2Poly::divmod(const Gf2Poly& divisor) const {
+  if (divisor.is_zero())
+    throw std::invalid_argument("Gf2Poly::divmod: division by zero");
+  DivMod dm;
+  dm.remainder = *this;
+  const int dd = divisor.degree();
+  int rd = dm.remainder.degree();
+  while (rd >= dd) {
+    const unsigned shift = static_cast<unsigned>(rd - dd);
+    dm.quotient.set_coeff(shift, true);
+    dm.remainder = dm.remainder + divisor * x_pow(shift);
+    rd = dm.remainder.degree();
+  }
+  return dm;
+}
+
+Gf2Poly Gf2Poly::operator%(const Gf2Poly& divisor) const {
+  return divmod(divisor).remainder;
+}
+
+bool Gf2Poly::operator==(const Gf2Poly& other) const {
+  return words_ == other.words_;
+}
+
+Gf2Poly Gf2Poly::gcd(Gf2Poly a, Gf2Poly b) {
+  while (!b.is_zero()) {
+    Gf2Poly r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Gf2Poly Gf2Poly::pow_mod(const Gf2Poly& base, std::uint64_t e,
+                         const Gf2Poly& modulus) {
+  Gf2Poly result = one() % modulus;
+  Gf2Poly b = base % modulus;
+  while (e) {
+    if (e & 1) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+    e >>= 1;
+  }
+  return result;
+}
+
+Gf2Poly Gf2Poly::x_pow_mod(std::uint64_t e, const Gf2Poly& modulus) {
+  return pow_mod(x_pow(1), e, modulus);
+}
+
+Gf2Poly Gf2Poly::derivative() const {
+  Gf2Poly d;
+  for (int i = 1; i <= degree(); i += 2)
+    if (coeff(static_cast<unsigned>(i)))
+      d.set_coeff(static_cast<unsigned>(i - 1), true);
+  return d;
+}
+
+bool Gf2Poly::is_squarefree() const {
+  if (is_zero()) return false;
+  const Gf2Poly d = derivative();
+  // Over GF(2) a zero derivative means g(x) = h(x^2) = h(x)^2: a square.
+  if (d.is_zero()) return degree() == 0;
+  return gcd(*this, d).degree() == 0;
+}
+
+bool Gf2Poly::is_irreducible() const {
+  const int k = degree();
+  if (k <= 0) return false;
+  if (k == 1) return true;
+  // x^(2^k) mod g must equal x: compute by k repeated squarings.
+  Gf2Poly t = x_pow(1) % *this;
+  for (int i = 0; i < k; ++i) t = (t * t) % *this;
+  if (!(t == x_pow(1) % *this)) return false;
+  // For each prime p | k: gcd(x^(2^(k/p)) + x, g) must be 1.
+  for (std::uint64_t p : distinct_prime_factors(static_cast<std::uint64_t>(k))) {
+    const int e = static_cast<int>(k / static_cast<int>(p));
+    Gf2Poly s = x_pow(1) % *this;
+    for (int i = 0; i < e; ++i) s = (s * s) % *this;
+    const Gf2Poly g = gcd(s + (x_pow(1) % *this), *this);
+    if (g.degree() != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t Gf2Poly::order_of_x() const {
+  const int k = degree();
+  if (k <= 0 || k > 62)
+    throw std::invalid_argument("Gf2Poly::order_of_x: degree out of range");
+  if (!coeff(0))
+    throw std::invalid_argument("Gf2Poly::order_of_x: x divides g");
+  const std::uint64_t group = (std::uint64_t{1} << k) - 1;
+  // order divides 2^k - 1 when g is irreducible; start from the group
+  // order and strip primes while x^(ord/p) == 1 still holds.
+  std::uint64_t ord = group;
+  if (!(x_pow_mod(ord, *this) == one())) {
+    // Not irreducible: fall back to brute-force order search (bounded by
+    // 2^k - 1, only sensible for small k in tests).
+    Gf2Poly t = x_pow(1) % *this;
+    const Gf2Poly unit = one();
+    for (std::uint64_t e = 1; e <= group; ++e) {
+      if (t == unit) return e;
+      t = (t * x_pow(1)) % *this;
+    }
+    throw std::runtime_error("Gf2Poly::order_of_x: x is not invertible mod g");
+  }
+  for (std::uint64_t p : distinct_prime_factors(group)) {
+    while (ord % p == 0 && x_pow_mod(ord / p, *this) == one()) ord /= p;
+  }
+  return ord;
+}
+
+bool Gf2Poly::is_primitive() const {
+  const int k = degree();
+  if (k <= 0 || k > 62) return false;
+  if (!is_irreducible()) return false;
+  return order_of_x() == (std::uint64_t{1} << k) - 1;
+}
+
+std::vector<unsigned> Gf2Poly::exponents() const {
+  std::vector<unsigned> out;
+  for (int i = degree(); i >= 0; --i)
+    if (coeff(static_cast<unsigned>(i))) out.push_back(static_cast<unsigned>(i));
+  return out;
+}
+
+std::string Gf2Poly::to_string() const {
+  if (is_zero()) return "0";
+  std::string out;
+  for (unsigned e : exponents()) {
+    if (!out.empty()) out += " + ";
+    if (e == 0)
+      out += "1";
+    else if (e == 1)
+      out += "x";
+    else
+      out += "x^" + std::to_string(e);
+  }
+  return out;
+}
+
+void Gf2Poly::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+}  // namespace plfsr

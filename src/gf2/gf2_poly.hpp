@@ -1,0 +1,126 @@
+// Polynomials over GF(2).
+//
+// The generator polynomial g(x) defines the LFSR feedback taps; the GFMAC
+// CRC method (Ji/Killian) works directly in the quotient ring GF(2)[x]/g(x),
+// where the per-chunk constants beta_i = x^{iM+M} mod g(x) live. This class
+// provides the polynomial arithmetic for both: multiplication, division
+// with remainder, modular exponentiation of x, gcd, and the classical
+// irreducibility / primitivity tests used to validate scrambler generators.
+//
+// Representation: coefficient bitset, bit i = coefficient of x^i, arbitrary
+// degree (CRC-64 needs degree 64, i.e. 65 coefficients).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+/// Polynomial over GF(2) with arbitrary degree.
+class Gf2Poly {
+ public:
+  /// The zero polynomial.
+  Gf2Poly() = default;
+
+  /// From packed coefficients, bit i of words[i/64] = coeff of x^i.
+  static Gf2Poly from_coeff_words(std::vector<std::uint64_t> words);
+
+  /// From a 64-bit coefficient word (degree <= 63).
+  static Gf2Poly from_word(std::uint64_t coeffs);
+
+  /// x^degree + (low-order coefficients in `low`): the natural way to
+  /// write CRC generators, whose leading coefficient is implicit in the
+  /// usual "0x04C11DB7" notation. E.g. crc32 = with_top_bit(32, 0x04C11DB7).
+  static Gf2Poly with_top_bit(unsigned degree, std::uint64_t low);
+
+  /// From explicit exponents, e.g. {7,4,0} = x^7 + x^4 + 1 (802.11).
+  static Gf2Poly from_exponents(const std::vector<unsigned>& exps);
+
+  /// The monomial x^e.
+  static Gf2Poly x_pow(unsigned e);
+
+  static Gf2Poly one() { return x_pow(0); }
+
+  bool is_zero() const { return words_.empty(); }
+
+  /// Degree; -1 for the zero polynomial.
+  int degree() const;
+
+  bool coeff(unsigned i) const;
+  void set_coeff(unsigned i, bool v);
+
+  /// Number of nonzero coefficients.
+  std::size_t weight() const;
+
+  Gf2Poly operator+(const Gf2Poly& other) const;  // == subtraction in GF(2)
+  Gf2Poly operator*(const Gf2Poly& other) const;
+
+  /// Quotient and remainder of *this / divisor. divisor must be nonzero.
+  /// (Defined right after the class — members of the class type cannot be
+  /// declared while it is still incomplete.)
+  struct DivMod;
+  DivMod divmod(const Gf2Poly& divisor) const;
+
+  Gf2Poly operator%(const Gf2Poly& divisor) const;
+
+  bool operator==(const Gf2Poly& other) const;
+
+  static Gf2Poly gcd(Gf2Poly a, Gf2Poly b);
+
+  /// x^e mod modulus (square-and-multiply; e may be huge, e.g. 2^k - 1
+  /// intermediate steps use repeated squaring of x^(2^i) mod g).
+  static Gf2Poly x_pow_mod(std::uint64_t e, const Gf2Poly& modulus);
+
+  /// base^e mod modulus.
+  static Gf2Poly pow_mod(const Gf2Poly& base, std::uint64_t e,
+                         const Gf2Poly& modulus);
+
+  /// Formal derivative (over GF(2): only odd-exponent terms survive).
+  Gf2Poly derivative() const;
+
+  /// True iff g has no repeated irreducible factor (gcd(g, g') == 1).
+  /// Squarefree-ness is exactly the condition under which Derby's
+  /// transform exists at every power-of-two look-ahead: over GF(2),
+  /// p(x)^2 = p(x^2), so a repeated factor p of g makes A^2 (and every
+  /// even power of A) derogatory — no cyclic vector f can exist.
+  bool is_squarefree() const;
+
+  /// Rabin irreducibility test (exact, deterministic): g of degree k is
+  /// irreducible iff x^(2^k) == x (mod g) and gcd(x^(2^(k/p)) - x, g) == 1
+  /// for every prime p | k.
+  bool is_irreducible() const;
+
+  /// Primitive iff irreducible and the order of x mod g is 2^k - 1
+  /// (checked via the prime factorization of 2^k - 1; k <= 62 supported).
+  bool is_primitive() const;
+
+  /// Multiplicative order of x modulo *this (requires irreducible *this,
+  /// degree k <= 62): smallest e > 0 with x^e == 1 (mod g).
+  std::uint64_t order_of_x() const;
+
+  /// Human-readable form "x^32 + x^26 + ... + 1".
+  std::string to_string() const;
+
+  /// Exponents of nonzero terms, descending.
+  std::vector<unsigned> exponents() const;
+
+ private:
+  void trim();
+  // bit i of words_[i/64] = coefficient of x^i; invariant: no trailing
+  // zero words (so degree() is O(1) off the last word).
+  std::vector<std::uint64_t> words_;
+};
+
+struct Gf2Poly::DivMod {
+  Gf2Poly quotient;
+  Gf2Poly remainder;
+};
+
+/// Deterministic factorization of n (trial division + Pollard rho),
+/// returning the distinct prime factors in ascending order. Exposed for
+/// tests; used by the primitivity check on 2^k - 1.
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n);
+
+}  // namespace plfsr

@@ -1,0 +1,87 @@
+#include "gf2/gf2_vec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace plfsr {
+
+Gf2Vec Gf2Vec::unit(std::size_t n, std::size_t index) {
+  if (index >= n) throw std::out_of_range("Gf2Vec::unit: index out of range");
+  Gf2Vec v(n);
+  v.set(index, true);
+  return v;
+}
+
+Gf2Vec Gf2Vec::from_string(const std::string& bits) {
+  Gf2Vec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1')
+      v.set(i, true);
+    else if (bits[i] != '0')
+      throw std::invalid_argument("Gf2Vec::from_string: non-binary char");
+  }
+  return v;
+}
+
+Gf2Vec Gf2Vec::from_word(std::size_t n, std::uint64_t word) {
+  Gf2Vec v(n);
+  for (std::size_t i = 0; i < n && i < 64; ++i) v.set(i, (word >> i) & 1);
+  return v;
+}
+
+Gf2Vec Gf2Vec::operator+(const Gf2Vec& other) const {
+  Gf2Vec out = *this;
+  out += other;
+  return out;
+}
+
+Gf2Vec& Gf2Vec::operator+=(const Gf2Vec& other) {
+  if (size_ != other.size_)
+    throw std::invalid_argument("Gf2Vec::+=: dimension mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+bool Gf2Vec::dot(const Gf2Vec& other) const {
+  if (size_ != other.size_)
+    throw std::invalid_argument("Gf2Vec::dot: dimension mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    acc ^= words_[i] & other.words_[i];
+  return std::popcount(acc) & 1;
+}
+
+std::size_t Gf2Vec::weight() const {
+  std::size_t w = 0;
+  for (std::uint64_t word : words_) w += std::popcount(word);
+  return w;
+}
+
+bool Gf2Vec::is_zero() const {
+  for (std::uint64_t word : words_)
+    if (word) return false;
+  return true;
+}
+
+bool Gf2Vec::operator==(const Gf2Vec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::uint64_t Gf2Vec::to_word() const {
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string Gf2Vec::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(get(i) ? '1' : '0');
+  return out;
+}
+
+void Gf2Vec::mask_tail() {
+  const unsigned tail = size_ & 63;
+  if (tail && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,71 @@
+// Fixed-length vector over GF(2).
+//
+// This is the state/input vector type of the LFSR state-space formulation
+// x(n+1) = A x(n) + b u(n). Addition is XOR; there is no subtraction
+// distinct from addition and no scalar field beyond {0,1}.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+/// Bit vector of fixed dimension with word-parallel XOR and dot product.
+class Gf2Vec {
+ public:
+  Gf2Vec() = default;
+  explicit Gf2Vec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  /// Vector with a single 1 at `index` (e.g. the paper's f = [1 0 ... 0]).
+  static Gf2Vec unit(std::size_t n, std::size_t index);
+
+  /// Parse '0'/'1' string, element 0 first.
+  static Gf2Vec from_string(const std::string& bits);
+
+  /// Low `n` bits of `word`, bit i -> element i.
+  static Gf2Vec from_word(std::size_t n, std::uint64_t word);
+
+  std::size_t size() const { return size_; }
+
+  bool get(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1u; }
+
+  void set(std::size_t i, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= m;
+    else
+      words_[i >> 6] &= ~m;
+  }
+
+  /// GF(2) addition (XOR). Dimensions must match.
+  Gf2Vec operator+(const Gf2Vec& other) const;
+  Gf2Vec& operator+=(const Gf2Vec& other);
+
+  /// GF(2) inner product: parity of AND.
+  bool dot(const Gf2Vec& other) const;
+
+  /// Number of 1 elements.
+  std::size_t weight() const;
+
+  bool is_zero() const;
+
+  bool operator==(const Gf2Vec& other) const;
+
+  /// Pack elements 0..min(64,size)-1 into a word, element i -> bit i.
+  std::uint64_t to_word() const;
+
+  std::string to_string() const;
+
+  /// Direct word access for the matrix kernels (words beyond size are 0).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& words() { return words_; }
+
+ private:
+  void mask_tail();
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace plfsr

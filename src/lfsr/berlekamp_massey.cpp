@@ -1,0 +1,80 @@
+#include "lfsr/berlekamp_massey.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+LfsrSynthesis berlekamp_massey(const BitStream& seq) {
+  // Massey's algorithm over GF(2). C is the current connection
+  // polynomial, B the one before the last length change.
+  Gf2Poly c = Gf2Poly::one();
+  Gf2Poly b = Gf2Poly::one();
+  std::size_t l = 0;
+  std::size_t m = 1;  // steps since last length change
+
+  for (std::size_t n = 0; n < seq.size(); ++n) {
+    // Discrepancy d = s_n + sum_{i=1..L} c_i s_{n-i}.
+    bool d = seq.get(n);
+    for (std::size_t i = 1; i <= l; ++i)
+      if (c.coeff(static_cast<unsigned>(i)) && seq.get(n - i)) d = !d;
+
+    if (!d) {
+      ++m;
+    } else if (2 * l <= n) {
+      const Gf2Poly t = c;
+      c = c + b * Gf2Poly::x_pow(static_cast<unsigned>(m));
+      l = n + 1 - l;
+      b = t;
+      m = 1;
+    } else {
+      c = c + b * Gf2Poly::x_pow(static_cast<unsigned>(m));
+      ++m;
+    }
+  }
+  return {c, l};
+}
+
+std::vector<std::size_t> linear_complexity_profile(const BitStream& seq) {
+  std::vector<std::size_t> profile;
+  profile.reserve(seq.size());
+  BitStream prefix;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    prefix.push_back(seq.get(i));
+    profile.push_back(berlekamp_massey(prefix).complexity);
+  }
+  return profile;
+}
+
+bool generates(const Gf2Poly& connection, std::size_t complexity,
+               const BitStream& seq) {
+  for (std::size_t n = complexity; n < seq.size(); ++n) {
+    bool v = false;
+    for (std::size_t i = 1; i <= complexity; ++i)
+      if (connection.coeff(static_cast<unsigned>(i)) && seq.get(n - i))
+        v = !v;
+    if (v != seq.get(n)) return false;
+  }
+  return true;
+}
+
+BitStream predict_continuation(const BitStream& observed, std::size_t n_more) {
+  const LfsrSynthesis syn = berlekamp_massey(observed);
+  if (observed.size() < 2 * syn.complexity)
+    throw std::invalid_argument(
+        "predict_continuation: need >= 2L observed bits");
+  BitStream all = observed;
+  for (std::size_t k = 0; k < n_more; ++k) {
+    const std::size_t n = all.size();
+    bool v = false;
+    for (std::size_t i = 1; i <= syn.complexity; ++i)
+      if (syn.connection.coeff(static_cast<unsigned>(i)) && all.get(n - i))
+        v = !v;
+    all.push_back(v);
+  }
+  BitStream out;
+  for (std::size_t i = observed.size(); i < all.size(); ++i)
+    out.push_back(all.get(i));
+  return out;
+}
+
+}  // namespace plfsr

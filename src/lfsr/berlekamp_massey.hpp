@@ -1,0 +1,47 @@
+// Berlekamp–Massey: the shortest LFSR that generates a given sequence.
+//
+// Two roles in this library:
+//  * Validation — recovering the generator polynomial from the keystream
+//    of every catalogue scrambler is a strong end-to-end test of the
+//    whole LFSR stack (companion forms, state packing, sequences).
+//  * The security observation behind the paper's stream-cipher domain —
+//    a bare LFSR scrambler of degree k is broken by 2k known keystream
+//    bits; that is exactly why A5/1/E0/CSS combine several registers
+//    nonlinearly, and why "scrambling" is not encryption.
+#pragma once
+
+#include <cstddef>
+
+#include "gf2/gf2_poly.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Result of the synthesis.
+struct LfsrSynthesis {
+  /// Connection polynomial C(x) = 1 + c_1 x + ... + c_L x^L such that
+  /// s_n = sum_{i=1..L} c_i s_{n-i} for all n >= L.
+  Gf2Poly connection;
+  /// Linear complexity L of the sequence.
+  std::size_t complexity = 0;
+};
+
+/// Run Berlekamp–Massey over the bits of `seq`.
+LfsrSynthesis berlekamp_massey(const BitStream& seq);
+
+/// Linear complexity after each prefix — the "linear complexity profile"
+/// used to distinguish LFSR output (plateaus at L once 2L bits are seen)
+/// from combiner/cipher output (keeps climbing ~n/2).
+std::vector<std::size_t> linear_complexity_profile(const BitStream& seq);
+
+/// Check that `connection` actually generates `seq` (every bit after the
+/// first `complexity` satisfies the recurrence).
+bool generates(const Gf2Poly& connection, std::size_t complexity,
+               const BitStream& seq);
+
+/// Predict the continuation of a sequence from its synthesized LFSR: the
+/// attack on linear scramblers. Requires seq.size() >= 2 * complexity to
+/// be reliable (Massey's bound).
+BitStream predict_continuation(const BitStream& observed, std::size_t n_more);
+
+}  // namespace plfsr

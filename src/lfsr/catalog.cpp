@@ -1,0 +1,59 @@
+#include "lfsr/catalog.hpp"
+
+namespace plfsr::catalog {
+
+Gf2Poly crc32_ethernet() { return Gf2Poly::with_top_bit(32, 0x04C11DB7); }
+Gf2Poly crc32c() { return Gf2Poly::with_top_bit(32, 0x1EDC6F41); }
+Gf2Poly crc16_ccitt() { return Gf2Poly::with_top_bit(16, 0x1021); }
+Gf2Poly crc16_ibm() { return Gf2Poly::with_top_bit(16, 0x8005); }
+Gf2Poly crc24_openpgp() { return Gf2Poly::with_top_bit(24, 0x864CFB); }
+Gf2Poly crc15_can() { return Gf2Poly::with_top_bit(15, 0x4599); }
+Gf2Poly crc8_atm() { return Gf2Poly::with_top_bit(8, 0x07); }
+Gf2Poly crc8_maxim() { return Gf2Poly::with_top_bit(8, 0x31); }
+Gf2Poly crc7_mmc() { return Gf2Poly::with_top_bit(7, 0x09); }
+Gf2Poly crc5_usb() { return Gf2Poly::with_top_bit(5, 0x05); }
+Gf2Poly crc64_ecma() {
+  return Gf2Poly::with_top_bit(64, 0x42F0E1EBA9EA3693ULL);
+}
+
+Gf2Poly scrambler_80211() { return Gf2Poly::from_exponents({7, 4, 0}); }
+Gf2Poly scrambler_sonet() { return Gf2Poly::from_exponents({7, 6, 0}); }
+Gf2Poly scrambler_dvb() { return Gf2Poly::from_exponents({15, 14, 0}); }
+Gf2Poly prbs7() { return Gf2Poly::from_exponents({7, 6, 0}); }
+Gf2Poly prbs9() { return Gf2Poly::from_exponents({9, 5, 0}); }
+Gf2Poly prbs15() { return Gf2Poly::from_exponents({15, 14, 0}); }
+Gf2Poly prbs23() { return Gf2Poly::from_exponents({23, 18, 0}); }
+Gf2Poly prbs31() { return Gf2Poly::from_exponents({31, 28, 0}); }
+
+Gf2Poly a51_r1() { return Gf2Poly::from_exponents({19, 18, 17, 14, 0}); }
+Gf2Poly a51_r2() { return Gf2Poly::from_exponents({22, 21, 0}); }
+Gf2Poly a51_r3() { return Gf2Poly::from_exponents({23, 22, 21, 8, 0}); }
+
+std::vector<NamedPoly> all_crc_polys() {
+  return {
+      {"CRC-32/ETHERNET", crc32_ethernet()},
+      {"CRC-32C", crc32c()},
+      {"CRC-16/CCITT", crc16_ccitt()},
+      {"CRC-16/IBM", crc16_ibm()},
+      {"CRC-24/OPENPGP", crc24_openpgp()},
+      {"CRC-15/CAN", crc15_can()},
+      {"CRC-8/ATM", crc8_atm()},
+      {"CRC-8/MAXIM", crc8_maxim()},
+      {"CRC-7/MMC", crc7_mmc()},
+      {"CRC-5/USB", crc5_usb()},
+      {"CRC-64/ECMA", crc64_ecma()},
+  };
+}
+
+std::vector<NamedPoly> all_scrambler_polys() {
+  return {
+      {"802.11 (x7+x4+1)", scrambler_80211()},
+      {"SONET (x7+x6+1)", scrambler_sonet()},
+      {"DVB (x15+x14+1)", scrambler_dvb()},
+      {"PRBS-9", prbs9()},
+      {"PRBS-23", prbs23()},
+      {"PRBS-31", prbs31()},
+  };
+}
+
+}  // namespace plfsr::catalog

@@ -1,0 +1,58 @@
+// Catalog of generator polynomials used across the telecom standards the
+// paper's introduction surveys ("only in the Wikipedia, ~25 standards are
+// reported"). CRC parameter sets (init/xorout/reflection) live in
+// crc/crc_spec.hpp; this file is the polynomial layer shared by the CRC,
+// scrambler and cipher modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+
+namespace plfsr::catalog {
+
+/// Named generator polynomial.
+struct NamedPoly {
+  std::string name;
+  Gf2Poly poly;
+};
+
+// --- CRC generator polynomials (normal form, explicit top bit) ----------
+
+Gf2Poly crc32_ethernet();   ///< x^32+... (0x04C11DB7) — IEEE 802.3 / MPEG-2
+Gf2Poly crc32c();           ///< Castagnoli 0x1EDC6F41 (iSCSI)
+Gf2Poly crc16_ccitt();      ///< 0x1021 (X.25, Bluetooth, XMODEM, ...)
+Gf2Poly crc16_ibm();        ///< 0x8005 (ARC, USB data)
+Gf2Poly crc24_openpgp();    ///< 0x864CFB
+Gf2Poly crc15_can();        ///< 0x4599
+Gf2Poly crc8_atm();         ///< 0x07
+Gf2Poly crc8_maxim();       ///< 0x31
+Gf2Poly crc7_mmc();         ///< 0x09
+Gf2Poly crc5_usb();         ///< 0x05
+Gf2Poly crc64_ecma();       ///< 0x42F0E1EBA9EA3693
+
+// --- Scrambler / PRBS polynomials ----------------------------------------
+
+Gf2Poly scrambler_80211();  ///< x^7 + x^4 + 1 (802.11 a/b/g/e)
+Gf2Poly scrambler_sonet();  ///< x^7 + x^6 + 1 (SONET/SDH frame scrambler)
+Gf2Poly scrambler_dvb();    ///< x^15 + x^14 + 1 (DVB / 802.16 randomizer)
+Gf2Poly prbs7();            ///< x^7 + x^6 + 1
+Gf2Poly prbs9();            ///< x^9 + x^5 + 1 (ITU O.150)
+Gf2Poly prbs15();           ///< x^15 + x^14 + 1
+Gf2Poly prbs23();           ///< x^23 + x^18 + 1
+Gf2Poly prbs31();           ///< x^31 + x^28 + 1
+
+// --- A5/1 (GSM) register polynomials --------------------------------------
+
+Gf2Poly a51_r1();           ///< x^19 + x^18 + x^17 + x^14 + 1
+Gf2Poly a51_r2();           ///< x^22 + x^21 + 1
+Gf2Poly a51_r3();           ///< x^23 + x^22 + x^21 + x^8 + 1
+
+/// All CRC generators above, for parameterized sweeps.
+std::vector<NamedPoly> all_crc_polys();
+
+/// All scrambler/PRBS generators above.
+std::vector<NamedPoly> all_scrambler_polys();
+
+}  // namespace plfsr::catalog

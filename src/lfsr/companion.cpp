@@ -1,0 +1,45 @@
+#include "lfsr/companion.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+namespace {
+std::size_t checked_degree(const Gf2Poly& g) {
+  const int k = g.degree();
+  if (k <= 0)
+    throw std::invalid_argument("companion: generator must have degree >= 1");
+  return static_cast<std::size_t>(k);
+}
+}  // namespace
+
+Gf2Matrix companion_galois(const Gf2Poly& g) {
+  const std::size_t k = checked_degree(g);
+  Gf2Matrix a(k, k);
+  for (std::size_t i = 1; i < k; ++i) a.set(i, i - 1, true);
+  for (std::size_t i = 0; i < k; ++i)
+    if (g.coeff(static_cast<unsigned>(i))) a.set(i, k - 1, true);
+  return a;
+}
+
+Gf2Matrix companion_fibonacci(const Gf2Poly& g) {
+  const std::size_t k = checked_degree(g);
+  Gf2Matrix a(k, k);
+  for (std::size_t i = 1; i < k; ++i) a.set(i, i - 1, true);
+  // Feedback into x_0: tap x^j in the polynomial reads the register cell
+  // holding the bit that entered j clocks ago, i.e. state index j-1; the
+  // x^k term reads the oldest cell, index k-1.
+  for (unsigned j = 1; j <= k; ++j)
+    if (g.coeff(j)) a.set(0, j - 1, a.get(0, j - 1) ^ 1);
+  return a;
+}
+
+Gf2Vec crc_input_vector(const Gf2Poly& g) {
+  const std::size_t k = checked_degree(g);
+  Gf2Vec b(k);
+  for (std::size_t i = 0; i < k; ++i)
+    b.set(i, g.coeff(static_cast<unsigned>(i)));
+  return b;
+}
+
+}  // namespace plfsr

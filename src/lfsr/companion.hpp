@@ -1,0 +1,35 @@
+// Companion-matrix builders for LFSR generator polynomials.
+//
+// The paper's state-update matrix A (its eq. in §2) is the Galois-form
+// companion matrix: ones on the strict subdiagonal, the generator
+// coefficients g_0..g_{k-1} in the last column. State bit x_i is the
+// coefficient of x^i in the CRC register; one A-step is one serial LFSR
+// clock with the feedback tap pattern of g(x).
+//
+// The Fibonacci form (feedback computed as a tap parity and shifted into
+// one end) generates the same output sequences under a change of state
+// basis; scramblers are conventionally specified in this form (e.g. the
+// 802.11 x^7 + x^4 + 1 scrambler).
+#pragma once
+
+#include "gf2/gf2_matrix.hpp"
+#include "gf2/gf2_poly.hpp"
+
+namespace plfsr {
+
+/// Galois (paper) form: A[i][i-1] = 1 for i >= 1, A[i][k-1] += g_i.
+/// Precisely: column k-1 is [g_0 .. g_{k-1}]^T XORed onto the shift.
+Gf2Matrix companion_galois(const Gf2Poly& g);
+
+/// Fibonacci form: next x_0 = parity of taps (g_i selects x_{k-1-i}?  No:
+/// next x_0 = sum_i g_i * x_i interpretation below), next x_i = x_{i-1}.
+/// Convention used here: feedback = XOR over all i in [0,k) with
+/// g_i = 1 of state bit x_{k-1-i}; equivalently row 0 of A holds the
+/// reversed coefficient pattern. This matches the usual scrambler
+/// drawings where tap "x^j" reads the cell j shifts back from the input.
+Gf2Matrix companion_fibonacci(const Gf2Poly& g);
+
+/// The paper's input-injection vector b = [g_0 g_1 ... g_{k-1}]^T.
+Gf2Vec crc_input_vector(const Gf2Poly& g);
+
+}  // namespace plfsr

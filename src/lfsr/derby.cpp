@@ -1,0 +1,76 @@
+#include "lfsr/derby.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+
+std::optional<DerbyTransform> DerbyTransform::with_f(const LookAhead& la,
+                                                     const Gf2Vec& f) {
+  const std::size_t k = la.dim();
+  if (f.size() != k)
+    throw std::invalid_argument("DerbyTransform: f dimension mismatch");
+
+  // Krylov columns of A^M seeded at f.
+  std::vector<Gf2Vec> cols;
+  cols.reserve(k);
+  Gf2Vec v = f;
+  for (std::size_t i = 0; i < k; ++i) {
+    cols.push_back(v);
+    if (i + 1 < k) v = la.am() * v;
+  }
+  Gf2Matrix t = Gf2Matrix::from_columns(cols);
+  auto tinv = t.inverse();
+  if (!tinv) return std::nullopt;
+
+  DerbyTransform d;
+  d.m_ = la.m();
+  d.f_ = f;
+  d.t_ = std::move(t);
+  d.tinv_ = std::move(*tinv);
+  d.amt_ = d.tinv_ * la.am() * d.t_;
+  d.bmt_ = d.tinv_ * la.bm();
+  if (!d.amt_.is_companion())
+    throw std::logic_error(
+        "DerbyTransform: Krylov similarity did not yield companion form");
+  return d;
+}
+
+DerbyTransform::DerbyTransform(const LookAhead& la) {
+  const std::size_t k = la.dim();
+  // Paper's choice first: f = [1 0 ... 0]; then the other unit vectors,
+  // then deterministic pseudo-random vectors.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (auto d = with_f(la, Gf2Vec::unit(k, i))) {
+      *this = std::move(*d);
+      return;
+    }
+  }
+  Rng rng(0x9E3779B9u);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Gf2Vec f(k);
+    for (std::size_t i = 0; i < k; ++i) f.set(i, rng.next_bit());
+    if (f.is_zero()) continue;
+    if (auto d = with_f(la, f)) {
+      *this = std::move(*d);
+      return;
+    }
+  }
+  throw std::runtime_error(
+      "DerbyTransform: no f found — A^M appears derogatory");
+}
+
+void DerbyTransform::step_state(Gf2Vec& xt, const Gf2Vec& u) const {
+  if (u.size() != m_)
+    throw std::invalid_argument("DerbyTransform::step_state: chunk mismatch");
+  xt = amt_ * xt + bmt_ * u;
+}
+
+void DerbyTransform::run_state(Gf2Vec& xt, const BitStream& input) const {
+  for (std::size_t pos = 0; pos < input.size(); pos += m_)
+    step_state(xt, chunk_to_vec(input, pos, m_));
+}
+
+}  // namespace plfsr

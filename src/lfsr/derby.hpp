@@ -1,0 +1,80 @@
+// Derby's state-space transformation (J.H. Derby, "High-speed CRC
+// computation using state-space transformations", GLOBECOM 2001) — the
+// parallelization method the paper selects for PiCoGA (§2, §4).
+//
+// The M-level look-ahead leaves the dense matrix A^M inside the feedback
+// loop, limiting the clock. Derby observes that A^M is similar to a
+// companion matrix: choosing a vector f such that the Krylov vectors
+// f, A^M f, A^{2M} f, ..., A^{(k-1)M} f are linearly independent and using
+// them as the columns of T gives
+//
+//   A_Mt = T^{-1} A^M T   (companion — minimal feedback complexity)
+//   B_Mt = T^{-1} B_M     (dense, but OUTSIDE the loop: pipelineable)
+//   y    = T x_t          (anti-transformation, applied once per message)
+//
+// with the transformed recursion x_t(n+M) = A_Mt x_t(n) + B_Mt u_M(n) and
+// initial state x_t(0) = T^{-1} x(0).
+//
+// The paper notes T is not unique; it empirically found the complexity of
+// T insensitive to the choice of f and settled on f = [1 0 ... 0]. We do
+// the same by default and fall back to the other unit vectors, then to
+// deterministic pseudo-random vectors, if the Krylov matrix is singular
+// (which happens when the minimal polynomial of A^M relative to f has
+// degree < k).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "gf2/gf2_matrix.hpp"
+#include "lfsr/lookahead.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// The transformed M-step system.
+class DerbyTransform {
+ public:
+  /// Empty transform (dim 0) — exists so plan structs can default-build
+  /// and be assigned; every accessor on an empty transform is meaningless.
+  DerbyTransform() = default;
+
+  /// Build from a look-ahead block form. Throws if no suitable f exists
+  /// (cannot happen for the CRC generators in the catalog, all of which
+  /// have A^M non-derogatory for the M values of interest).
+  explicit DerbyTransform(const LookAhead& la);
+
+  /// Try a specific f; nullopt if the Krylov vectors are dependent.
+  static std::optional<DerbyTransform> with_f(const LookAhead& la,
+                                              const Gf2Vec& f);
+
+  std::size_t m() const { return m_; }
+  std::size_t dim() const { return t_.rows(); }
+
+  const Gf2Matrix& t() const { return t_; }        ///< T
+  const Gf2Matrix& t_inv() const { return tinv_; } ///< T^{-1}
+  const Gf2Matrix& amt() const { return amt_; }    ///< A_Mt (companion)
+  const Gf2Matrix& bmt() const { return bmt_; }    ///< B_Mt = T^{-1} B_M
+  const Gf2Vec& f() const { return f_; }           ///< chosen seed vector
+
+  /// x_t(0) = T^{-1} x(0).
+  Gf2Vec transform_state(const Gf2Vec& x) const { return tinv_ * x; }
+
+  /// x = T x_t — the second PiCoGA operation of the paper's partition.
+  Gf2Vec anti_transform(const Gf2Vec& xt) const { return t_ * xt; }
+
+  /// One M-bit step in the transformed space.
+  void step_state(Gf2Vec& xt, const Gf2Vec& u) const;
+
+  /// Process a whole message (padded to a multiple of M with zeros on the
+  /// tail — callers that need exact non-multiple handling should pre-pad
+  /// the head instead, as the CRC engines do).
+  void run_state(Gf2Vec& xt, const BitStream& input) const;
+
+ private:
+  std::size_t m_ = 0;
+  Gf2Vec f_;
+  Gf2Matrix t_, tinv_, amt_, bmt_;
+};
+
+}  // namespace plfsr

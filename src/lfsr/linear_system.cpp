@@ -1,0 +1,60 @@
+#include "lfsr/linear_system.hpp"
+
+#include <stdexcept>
+
+#include "lfsr/companion.hpp"
+
+namespace plfsr {
+
+bool LinearSystem::step(Gf2Vec& x, bool u) const {
+  if (x.size() != dim())
+    throw std::invalid_argument("LinearSystem::step: state dimension mismatch");
+  bool y = c.dot(x) ^ (d && u);
+  Gf2Vec next = a * x;
+  if (u) next += b;
+  x = std::move(next);
+  return y;
+}
+
+BitStream LinearSystem::run(Gf2Vec& x, const BitStream& input) const {
+  BitStream out;
+  for (std::size_t i = 0; i < input.size(); ++i)
+    out.push_back(step(x, input.get(i)));
+  return out;
+}
+
+void LinearSystem::advance_free(Gf2Vec& x, std::uint64_t n) const {
+  x = a.pow(n) * x;
+}
+
+LinearSystem make_crc_system(const Gf2Poly& g) {
+  LinearSystem s;
+  s.a = companion_galois(g);
+  s.b = crc_input_vector(g);
+  s.c = Gf2Vec(s.b.size());  // zero row: CRC has no per-bit output
+  s.d = false;
+  return s;
+}
+
+LinearSystem make_scrambler_system(const Gf2Poly& g) {
+  LinearSystem s;
+  s.a = companion_fibonacci(g);
+  const std::size_t k = s.a.rows();
+  s.b = Gf2Vec(k);  // autonomous
+  // Output = the same tap parity that feeds back (row 0 of A).
+  s.c = s.a.row(0);
+  s.d = true;
+  return s;
+}
+
+LinearSystem make_prbs_system(const Gf2Poly& g) {
+  LinearSystem s;
+  s.a = companion_fibonacci(g);
+  const std::size_t k = s.a.rows();
+  s.b = Gf2Vec(k);
+  s.c = Gf2Vec::unit(k, k - 1);  // oldest cell shifts out
+  s.d = false;
+  return s;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,57 @@
+// The paper's unified state-space description of LFSR applications (§2):
+//
+//   x(n+1) = A x(n) + b u(n)
+//   y(n)   = c x(n) + d u(n)
+//
+// with everything over GF(2). The CRC instance has c = 0 row / d = 0 (the
+// checksum is read from the state at the end), and the scrambler instance
+// has b = 0 (autonomous LFSR) with y the tap parity XORed with the input.
+//
+// The paper writes the output equation with a k x k selection matrix C; we
+// use the single-output row form c because every application in the paper
+// emits one bit per serial step — the M-output generalisation appears in
+// the look-ahead matrices C_M / D_M (see lookahead.hpp).
+#pragma once
+
+#include "gf2/gf2_matrix.hpp"
+#include "gf2/gf2_poly.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Single-input single-output linear system over GF(2).
+struct LinearSystem {
+  Gf2Matrix a;  ///< k x k state-update matrix
+  Gf2Vec b;     ///< k input-injection column
+  Gf2Vec c;     ///< k output-selection row (stored as a vector)
+  bool d = false;  ///< input feed-through into the output
+
+  std::size_t dim() const { return b.size(); }
+
+  /// One serial step: returns y(n) and advances x to x(n+1).
+  bool step(Gf2Vec& x, bool u) const;
+
+  /// Run the whole input through the system from state x; the produced
+  /// output bits are returned and x holds the final state.
+  BitStream run(Gf2Vec& x, const BitStream& input) const;
+
+  /// Advance the state n steps with zero input (autonomous evolution).
+  void advance_free(Gf2Vec& x, std::uint64_t n) const;
+};
+
+/// CRC system in Galois form: A = companion_galois(g), b = [g_0..g_{k-1}],
+/// no output path (checksum = final state). One step consumes one message
+/// bit; starting from x = 0 and feeding the N message bits, the final
+/// state holds (message(x) * x^k) mod g — the raw CRC remainder.
+LinearSystem make_crc_system(const Gf2Poly& g);
+
+/// Additive (synchronous) scrambler: autonomous Fibonacci LFSR, output =
+/// feedback parity XOR input (d = 1). Matches the conventional drawings
+/// of the 802.11 / DVB scramblers.
+LinearSystem make_scrambler_system(const Gf2Poly& g);
+
+/// Pseudo-random bit generator: autonomous LFSR, output = oldest cell,
+/// no input feed-through. Used by the stream-cipher components.
+LinearSystem make_prbs_system(const Gf2Poly& g);
+
+}  // namespace plfsr

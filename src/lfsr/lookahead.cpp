@@ -1,0 +1,83 @@
+#include "lfsr/lookahead.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+LookAhead::LookAhead(const LinearSystem& sys, std::size_t m) : m_(m) {
+  if (m == 0) throw std::invalid_argument("LookAhead: M must be >= 1");
+  const std::size_t k = sys.dim();
+
+  am_ = sys.a.pow(m);
+
+  // Natural order: column j of B_M is A^{M-1-j} b (input u(n+j) is hit by
+  // M-1-j further state updates before x(n+M) is read).
+  bm_ = Gf2Matrix(k, m);
+  Gf2Vec acc = sys.b;  // A^0 b
+  for (std::size_t j = m; j-- > 0;) {
+    bm_.set_column(j, acc);
+    if (j > 0) acc = sys.a * acc;
+  }
+
+  cm_ = Gf2Matrix(m, k);
+  const Gf2Matrix at = sys.a.transposed();  // row-vector * A == A^T * column
+  Gf2Vec crow = sys.c;                      // c A^0
+  for (std::size_t i = 0; i < m; ++i) {
+    cm_.set_row(i, crow);
+    if (i + 1 < m) crow = at * crow;
+  }
+
+  dm_ = Gf2Matrix(m, m);
+  // Precompute the impulse-response taps h_t = c A^t b for t in [0, M-2].
+  std::vector<bool> h(m > 1 ? m - 1 : 0);
+  Gf2Vec ab = sys.b;
+  for (std::size_t t = 0; t + 1 < m; ++t) {
+    h[t] = sys.c.dot(ab);
+    ab = sys.a * ab;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (sys.d) dm_.set(i, i, true);
+    for (std::size_t j = 0; j < i; ++j) dm_.set(i, j, h[i - 1 - j]);
+  }
+}
+
+Gf2Matrix LookAhead::paper_input_matrix() const {
+  Gf2Matrix out(bm_.rows(), bm_.cols());
+  for (std::size_t c = 0; c < bm_.cols(); ++c)
+    out.set_column(c, bm_.column(bm_.cols() - 1 - c));
+  return out;
+}
+
+Gf2Vec LookAhead::step(Gf2Vec& x, const Gf2Vec& u) const {
+  if (u.size() != m_)
+    throw std::invalid_argument("LookAhead::step: input chunk size mismatch");
+  Gf2Vec y = cm_ * x + dm_ * u;
+  x = am_ * x + bm_ * u;
+  return y;
+}
+
+void LookAhead::step_state(Gf2Vec& x, const Gf2Vec& u) const {
+  if (u.size() != m_)
+    throw std::invalid_argument("LookAhead::step_state: chunk size mismatch");
+  x = am_ * x + bm_ * u;
+}
+
+BitStream LookAhead::run(Gf2Vec& x, const BitStream& input) const {
+  BitStream out;
+  for (std::size_t pos = 0; pos < input.size(); pos += m_) {
+    const Gf2Vec u = chunk_to_vec(input, pos, m_);
+    const Gf2Vec y = step(x, u);
+    const std::size_t valid = std::min(m_, input.size() - pos);
+    for (std::size_t i = 0; i < valid; ++i) out.push_back(y.get(i));
+  }
+  return out;
+}
+
+Gf2Vec chunk_to_vec(const BitStream& input, std::size_t pos, std::size_t m) {
+  Gf2Vec u(m);
+  for (std::size_t i = 0; i < m && pos + i < input.size(); ++i)
+    u.set(i, input.get(pos + i));
+  return u;
+}
+
+}  // namespace plfsr

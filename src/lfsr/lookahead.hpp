@@ -1,0 +1,70 @@
+// M-level look-ahead (§2 of the paper).
+//
+// Applying the state update M times and collecting the M inputs into a
+// vector u_M(n) gives
+//
+//   x(n+M)  = A^M x(n) + B_M u_M(n)
+//   y_M(n)  = C_M x(n) + D_M u_M(n)
+//
+// The paper orders u_M(n) = [u(n+M-1) ... u(n+1) u(n)]^T, which makes
+// B_M = [b  A b  A^2 b ... A^{M-1} b]. We store the matrices in *natural*
+// input order instead — column j multiplies u(n+j) — because that is the
+// order bits arrive in a BitStream chunk; `paper_input_matrix()` returns
+// the column-reversed form to match the paper's equations one-to-one.
+//
+// The output block is M x k / M x M:
+//   row i of C_M = c A^i                       (y(n+i) from the state)
+//   D_M[i][j]    = d        if j == i
+//                = c A^{i-1-j} b  if j <  i    (input u(n+j) reaching y(n+i))
+//                = 0        if j >  i          (causality)
+#pragma once
+
+#include <cstddef>
+
+#include "gf2/gf2_matrix.hpp"
+#include "lfsr/linear_system.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Precomputed M-step block form of a LinearSystem.
+class LookAhead {
+ public:
+  /// Build the M-level look-ahead of `sys`. M >= 1.
+  LookAhead(const LinearSystem& sys, std::size_t m);
+
+  std::size_t m() const { return m_; }
+  std::size_t dim() const { return am_.rows(); }
+
+  const Gf2Matrix& am() const { return am_; }  ///< A^M (feedback block)
+  const Gf2Matrix& bm() const { return bm_; }  ///< k x M, natural order
+  const Gf2Matrix& cm() const { return cm_; }  ///< M x k
+  const Gf2Matrix& dm() const { return dm_; }  ///< M x M lower-triangular
+
+  /// B_M in the paper's reversed-input order [b Ab ... A^{M-1} b].
+  Gf2Matrix paper_input_matrix() const;
+
+  /// One M-bit step: consume `u` (element j = u(n+j)), advance the state,
+  /// return the M output bits (element i = y(n+i)).
+  Gf2Vec step(Gf2Vec& x, const Gf2Vec& u) const;
+
+  /// State-only step (CRC use: outputs are not needed until message end).
+  void step_state(Gf2Vec& x, const Gf2Vec& u) const;
+
+  /// Run a whole bit stream through the block form; the input is consumed
+  /// M bits at a time (the final partial chunk is zero-padded on the
+  /// *high* side, and only the valid output bits are emitted, after which
+  /// the state corresponds to the *padded* length — callers that care
+  /// about exact state for non-multiple lengths should pad explicitly,
+  /// as the paper's processor-side control code does).
+  BitStream run(Gf2Vec& x, const BitStream& input) const;
+
+ private:
+  std::size_t m_;
+  Gf2Matrix am_, bm_, cm_, dm_;
+};
+
+/// Chunk `input` bits [pos, pos+m) into a Gf2Vec (missing bits read 0).
+Gf2Vec chunk_to_vec(const BitStream& input, std::size_t pos, std::size_t m);
+
+}  // namespace plfsr

@@ -1,0 +1,112 @@
+#include "mapper/design_space.hpp"
+
+#include "lfsr/linear_system.hpp"
+#include "lfsr/lookahead.hpp"
+
+namespace plfsr {
+
+OpFit fit_op(const MappedOp& op, const PicogaConstraints& c) {
+  OpFit fit;
+  fit.cells = op.netlist.node_count();
+  for (std::size_t level_cells : op.netlist.level_histogram())
+    fit.rows += (level_cells + c.cells_per_row - 1) / c.cells_per_row;
+  fit.levels = op.netlist.depth();
+  fit.ii = op.loop_depth > 0 ? op.loop_depth : 1;
+  fit.fits = fit.rows <= c.rows && fit.cells <= c.total_cells();
+  return fit;
+}
+
+std::vector<CrcDesignPoint> explore_crc_design_space(
+    const Gf2Poly& g, const std::vector<std::size_t>& ms,
+    const PicogaConstraints& c, const MapperOptions& opts) {
+  std::vector<CrcDesignPoint> out;
+  for (std::size_t m : ms) {
+    CrcDesignPoint p;
+    p.m = m;
+    const CrcOpPlan plan = build_derby_crc_ops(g, m, opts);
+    p.op1 = fit_op(plan.op1, c);
+    p.op2 = fit_op(plan.op2, c);
+    p.total_cells = p.op1.cells + p.op2.cells;
+    p.total_rows = p.op1.rows + p.op2.rows;
+
+    // The two ops live in different configuration contexts, so each must
+    // fit the array alone; I/O per issue is the M input bits of op1 and
+    // the k output bits of op2.
+    p.feasible = true;
+    if (!p.op1.fits || !p.op2.fits) {
+      p.feasible = false;
+      p.limiting_factor = "cells/rows";
+    }
+    if (plan.op1.in_bits > c.max_in_bits ||
+        plan.op2.out_bits > c.max_out_bits) {
+      p.feasible = false;
+      p.limiting_factor =
+          p.limiting_factor.empty() ? "io" : p.limiting_factor + "+io";
+    }
+    // The paper's platform-level bound: the DREAM memory subsystem feeds
+    // the array at most max_out_bits (=128) bits per cycle of payload.
+    if (m > c.max_out_bits) {
+      p.feasible = false;
+      p.limiting_factor = p.limiting_factor.empty()
+                              ? "bandwidth"
+                              : p.limiting_factor + "+bandwidth";
+    }
+    p.peak_gbps =
+        static_cast<double>(m) * c.freq_mhz * 1e6 / p.op1.ii / 1e9;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::size_t max_feasible_m(const Gf2Poly& g, const PicogaConstraints& c,
+                           const MapperOptions& opts) {
+  std::size_t best = 0;
+  for (std::size_t m = 2; m <= 1024; m *= 2) {
+    const auto pts = explore_crc_design_space(g, {m}, c, opts);
+    if (pts[0].feasible) best = m;
+  }
+  return best;
+}
+
+std::vector<ScramblerDesignPoint> explore_scrambler_design_space(
+    const Gf2Poly& g, const std::vector<std::size_t>& ms,
+    const PicogaConstraints& c, const MapperOptions& opts) {
+  std::vector<ScramblerDesignPoint> out;
+  for (std::size_t m : ms) {
+    ScramblerDesignPoint p;
+    p.m = m;
+    const ScramblerOpPlan plan = build_scrambler_op(g, m, opts);
+    p.op = fit_op(plan.op, c);
+    p.feasible = p.op.fits;
+    if (!p.feasible) p.limiting_factor = "cells/rows";
+    if (plan.op.in_bits > c.max_in_bits ||
+        plan.op.out_bits > c.max_out_bits) {
+      p.feasible = false;
+      p.limiting_factor =
+          p.limiting_factor.empty() ? "io" : p.limiting_factor + "+io";
+    }
+    p.peak_gbps =
+        static_cast<double>(m) * c.freq_mhz * 1e6 / p.op.ii / 1e9;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<std::size_t> sweep_f_complexity(const Gf2Poly& g, std::size_t m,
+                                            std::size_t count,
+                                            const MapperOptions& opts) {
+  const LinearSystem sys = make_crc_system(g);
+  const LookAhead la(sys, m);
+  const std::size_t k = sys.dim();
+  std::vector<std::size_t> cells;
+  for (std::size_t i = 0; i < k && cells.size() < count; ++i) {
+    auto d = DerbyTransform::with_f(la, Gf2Vec::unit(k, i));
+    if (!d) continue;
+    MapperStats stats;
+    map_matrix(d->t(), opts, &stats);
+    cells.push_back(stats.cells);
+  }
+  return cells;
+}
+
+}  // namespace plfsr

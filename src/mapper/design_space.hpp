@@ -1,0 +1,90 @@
+// Design-space exploration over the look-ahead factor M (§4: "the next
+// step of our analysis is the selection of the look-ahead factor and the
+// eventual partitioning on one or more PiCoGA operations, depending on
+// both I/O bandwidth and computational resources available").
+//
+// The array-level constraints are those of the PiCoGA integrated in
+// DREAM: 24 rows of 16 logic cells (one pipeline stage per row), 384
+// primary-input bits, 128 output bits, a 4-context configuration cache,
+// and a fixed 200 MHz clock. The exploration maps the Derby two-op CRC
+// (and the single-op scrambler) for each candidate M, converts gate
+// levels to rows, and reports feasibility — reproducing the paper's
+// finding that "PiCoGA is able to elaborate up to 128 bit per cycle".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+#include "mapper/op_builder.hpp"
+
+namespace plfsr {
+
+/// PiCoGA geometry and platform limits (defaults = DREAM's PiCoGA-III).
+struct PicogaConstraints {
+  std::size_t rows = 24;            ///< pipeline rows in the array
+  std::size_t cells_per_row = 16;   ///< logic cells per row
+  std::size_t max_in_bits = 384;    ///< primary input port width (12 x 32)
+  std::size_t max_out_bits = 128;   ///< primary output port width (4 x 32)
+  std::size_t contexts = 4;         ///< configuration cache layers
+  double freq_mhz = 200.0;          ///< fixed working frequency
+
+  std::size_t total_cells() const { return rows * cells_per_row; }
+};
+
+/// Row/latency estimate of one mapped op on the array: every gate level
+/// occupies whole rows (a row is the unit of pipeline staging).
+struct OpFit {
+  std::size_t cells = 0;
+  std::size_t rows = 0;      ///< sum over levels of ceil(level cells / 16)
+  unsigned levels = 0;       ///< pipeline latency in cycles once full
+  unsigned ii = 1;           ///< initiation interval (loop depth, >= 1)
+  bool fits = false;
+};
+
+/// Place an op's level histogram onto the array.
+OpFit fit_op(const MappedOp& op, const PicogaConstraints& c);
+
+/// One evaluated design point of the CRC exploration.
+struct CrcDesignPoint {
+  std::size_t m = 0;
+  OpFit op1, op2;
+  std::size_t total_cells = 0;
+  std::size_t total_rows = 0;
+  bool feasible = false;         ///< both ops fit + I/O within limits
+  std::string limiting_factor;   ///< "", or what broke ("cells", "io", ...)
+  double peak_gbps = 0.0;        ///< M * f / II, the infinite-message rate
+};
+
+/// Evaluate the Derby two-op CRC mapping for each M in `ms`.
+std::vector<CrcDesignPoint> explore_crc_design_space(
+    const Gf2Poly& g, const std::vector<std::size_t>& ms,
+    const PicogaConstraints& c = {}, const MapperOptions& opts = {});
+
+/// Largest power-of-two M that is feasible (the paper's answer: 128).
+std::size_t max_feasible_m(const Gf2Poly& g, const PicogaConstraints& c = {},
+                           const MapperOptions& opts = {});
+
+/// Scrambler design point (single op; outputs y count against the ports).
+struct ScramblerDesignPoint {
+  std::size_t m = 0;
+  OpFit op;
+  bool feasible = false;
+  std::string limiting_factor;
+  double peak_gbps = 0.0;
+};
+
+std::vector<ScramblerDesignPoint> explore_scrambler_design_space(
+    const Gf2Poly& g, const std::vector<std::size_t>& ms,
+    const PicogaConstraints& c = {}, const MapperOptions& opts = {});
+
+/// Ablation 4 of DESIGN.md: complexity spread of T over different seed
+/// vectors f (the paper "didn't find significant difference"). Returns
+/// the mapped cell count of T for each of the first `count` unit vectors
+/// that yield a valid transform.
+std::vector<std::size_t> sweep_f_complexity(const Gf2Poly& g, std::size_t m,
+                                            std::size_t count,
+                                            const MapperOptions& opts = {});
+
+}  // namespace plfsr

@@ -1,0 +1,143 @@
+#include "mapper/griffy.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace plfsr::griffy {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("griffy: line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::string sig_name(const XorNetlist& nl, SignalId s) {
+  if (s == kZeroSignal) return "zero";
+  if (s < nl.n_inputs()) return "in" + std::to_string(s);
+  return "n" + std::to_string(s - nl.n_inputs());
+}
+
+/// Parse "in<k>" / "n<k>" against the current definition horizon.
+SignalId parse_sig(const std::string& tok, std::size_t n_inputs,
+                   std::size_t nodes_defined, bool allow_zero,
+                   std::size_t line) {
+  if (tok == "zero") {
+    if (!allow_zero) fail(line, "'zero' is only valid in 'out'");
+    return kZeroSignal;
+  }
+  auto parse_index = [&](std::size_t offset) -> SignalId {
+    const std::string digits = tok.substr(offset);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      fail(line, "bad signal '" + tok + "'");
+    return static_cast<SignalId>(std::stoul(digits));
+  };
+  if (tok.rfind("in", 0) == 0) {
+    const SignalId k = parse_index(2);
+    if (k >= n_inputs) fail(line, "input out of range: " + tok);
+    return k;
+  }
+  if (tok.rfind('n', 0) == 0) {
+    const SignalId k = parse_index(1);
+    if (k >= nodes_defined) fail(line, "use before definition: " + tok);
+    return static_cast<SignalId>(n_inputs + k);
+  }
+  fail(line, "bad signal '" + tok + "'");
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::string clean = line;
+  if (const auto c = clean.find(';'); c != std::string::npos)
+    clean.resize(c);
+  std::istringstream is(clean);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+std::string print(const std::string& name, const XorNetlist& nl) {
+  std::ostringstream os;
+  os << "op " << name << " inputs=" << nl.n_inputs()
+     << " fanin=" << nl.max_fanin() << "\n";
+  for (std::size_t i = 0; i < nl.node_count(); ++i) {
+    os << "n" << i << " = xor";
+    for (SignalId s : nl.nodes()[i].inputs) os << " " << sig_name(nl, s);
+    os << "\n";
+  }
+  if (!nl.outputs().empty()) {
+    os << "out";
+    for (SignalId s : nl.outputs()) os << " " << sig_name(nl, s);
+    os << "\n";
+  }
+  return os.str();
+}
+
+Program parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool header_seen = false;
+  Program prog;
+  std::size_t n_inputs = 0;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::vector<std::string> toks = tokens_of(line);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "op") {
+      if (header_seen) fail(lineno, "duplicate 'op' header");
+      if (toks.size() < 3) fail(lineno, "op <name> inputs=<n> [fanin=<f>]");
+      prog.name = toks[1];
+      unsigned fanin = 10;
+      bool have_inputs = false;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (toks[i].rfind("inputs=", 0) == 0) {
+          n_inputs = std::stoul(toks[i].substr(7));
+          have_inputs = true;
+        } else if (toks[i].rfind("fanin=", 0) == 0) {
+          fanin = static_cast<unsigned>(std::stoul(toks[i].substr(6)));
+        } else {
+          fail(lineno, "unknown attribute '" + toks[i] + "'");
+        }
+      }
+      if (!have_inputs) fail(lineno, "missing inputs=<n>");
+      prog.netlist = XorNetlist(n_inputs, fanin);
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) fail(lineno, "statement before 'op' header");
+
+    if (toks[0] == "out") {
+      for (std::size_t i = 1; i < toks.size(); ++i)
+        prog.netlist.add_output(parse_sig(toks[i], n_inputs,
+                                          prog.netlist.node_count(), true,
+                                          lineno));
+      continue;
+    }
+
+    // n<k> = xor <sig>...
+    if (toks.size() < 4 || toks[1] != "=" || toks[2] != "xor")
+      fail(lineno, "expected '<id> = xor <sig>...'");
+    const std::string expect = "n" + std::to_string(prog.netlist.node_count());
+    if (toks[0] != expect)
+      fail(lineno, "gates must be defined in order; expected " + expect);
+    std::vector<SignalId> ins;
+    for (std::size_t i = 3; i < toks.size(); ++i)
+      ins.push_back(parse_sig(toks[i], n_inputs, prog.netlist.node_count(),
+                              false, lineno));
+    if (ins.empty()) fail(lineno, "xor needs at least one operand");
+    if (ins.size() > prog.netlist.max_fanin())
+      fail(lineno, "fan-in exceeds the declared cell width");
+    prog.netlist.add_node(std::move(ins));
+  }
+  if (!header_seen) throw std::invalid_argument("griffy: empty program");
+  return prog;
+}
+
+}  // namespace plfsr::griffy

@@ -1,0 +1,38 @@
+// Griffy-like textual operation format.
+//
+// §3 of the paper: "as well as most of the coarse and mid grained
+// reconfigurable fabrics, PiCoGA programming is performed through an
+// assembly-like language." This module provides the equivalent surface
+// for this library: a small, line-oriented text form for XOR netlists,
+// so operations can be stored in files, diffed, and hand-written in
+// tests and docs. Grammar (one statement per line, ';' starts a comment):
+//
+//   op <name> inputs=<n> [fanin=<f>]
+//   <id> = xor <sig> <sig> ...          ; define gate, <= f operands
+//   out <sig> [<sig> ...]               ; append outputs ('zero' = 1'b0)
+//
+// Signals: in<k> (primary input k), n<k> (gate k, must be already
+// defined), zero (only in 'out'). Printing then parsing (and vice versa)
+// is the identity; tests round-trip every mapped CRC operation.
+#pragma once
+
+#include <string>
+
+#include "mapper/xor_netlist.hpp"
+
+namespace plfsr::griffy {
+
+/// Parsed program: a named netlist.
+struct Program {
+  std::string name;
+  XorNetlist netlist{0};
+};
+
+/// Render a netlist in the textual form above.
+std::string print(const std::string& name, const XorNetlist& netlist);
+
+/// Parse a program; throws std::invalid_argument with a line-numbered
+/// message on any syntax or semantic error.
+Program parse(const std::string& text);
+
+}  // namespace plfsr::griffy

@@ -1,0 +1,170 @@
+#include "mapper/matrix_mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace plfsr {
+
+namespace {
+
+using Row = std::vector<SignalId>;  // sorted signal list
+
+Row sorted_intersection(const Row& a, const Row& b) {
+  Row out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool contains_all(const Row& row, const Row& pattern) {
+  return std::includes(row.begin(), row.end(), pattern.begin(), pattern.end());
+}
+
+/// Remove `pattern` from `row` and insert `repl`, keeping it sorted.
+void substitute(Row& row, const Row& pattern, SignalId repl) {
+  Row out;
+  std::set_difference(row.begin(), row.end(), pattern.begin(), pattern.end(),
+                      std::back_inserter(out));
+  out.insert(std::upper_bound(out.begin(), out.end(), repl), repl);
+  row = std::move(out);
+}
+
+/// Build a balanced XOR tree over `sigs`; returns the root signal.
+SignalId build_tree(XorNetlist& nl, Row sigs) {
+  if (sigs.empty()) return kZeroSignal;
+  while (sigs.size() > 1) {
+    Row next;
+    std::size_t i = 0;
+    while (i < sigs.size()) {
+      const std::size_t remain = sigs.size() - i;
+      if (remain == 1) {  // odd straggler passes through, no wasted gate
+        next.push_back(sigs[i]);
+        ++i;
+      } else {
+        const std::size_t take =
+            std::min<std::size_t>(nl.max_fanin(), remain);
+        next.push_back(nl.add_node(
+            {sigs.begin() + static_cast<std::ptrdiff_t>(i),
+             sigs.begin() + static_cast<std::ptrdiff_t>(i + take)}));
+        i += take;
+      }
+    }
+    sigs = std::move(next);
+  }
+  return sigs[0];
+}
+
+}  // namespace
+
+std::size_t xor_tree_cells(std::size_t fanin, unsigned max_fanin) {
+  std::size_t cells = 0;
+  std::size_t n = fanin;
+  while (n > 1) {
+    std::size_t next = 0, i = 0;
+    while (i < n) {
+      const std::size_t remain = n - i;
+      if (remain == 1) {
+        ++next;
+        ++i;
+      } else {
+        const std::size_t take = std::min<std::size_t>(max_fanin, remain);
+        ++cells;
+        ++next;
+        i += take;
+      }
+    }
+    n = next;
+  }
+  return cells;
+}
+
+std::vector<SignalId> map_matrix_into(XorNetlist& nl, const Gf2Matrix& m,
+                                      std::size_t input_offset,
+                                      const MapperOptions& opts,
+                                      MapperStats* stats) {
+  if (input_offset + m.cols() > nl.n_inputs())
+    throw std::invalid_argument("map_matrix_into: columns exceed inputs");
+
+  // Working rows over the growing signal universe.
+  std::vector<Row> rows(m.rows());
+  std::size_t baseline_cells = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (m.get(r, c))
+        rows[r].push_back(static_cast<SignalId>(input_offset + c));
+    baseline_cells += xor_tree_cells(rows[r].size(), opts.max_fanin);
+  }
+
+  const std::size_t cells_before = nl.node_count();
+  std::size_t shared = 0;
+  if (opts.share_patterns) {
+    for (;;) {
+      // Find the pattern (pairwise row intersection, capped at max_fanin
+      // elements) with the best extraction gain.
+      Row best;
+      long best_gain = 0;
+      std::size_t best_occ = 0;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t j = i + 1; j < rows.size(); ++j) {
+          Row inter = sorted_intersection(rows[i], rows[j]);
+          if (inter.size() < opts.min_pattern_size) continue;
+          if (inter.size() > opts.max_fanin) inter.resize(opts.max_fanin);
+          std::size_t occ = 0;
+          long cells_saved = 0;
+          for (const Row& row : rows) {
+            if (!contains_all(row, inter)) continue;
+            ++occ;
+            // Exact per-row effect: |p| terms collapse into 1 signal.
+            cells_saved += static_cast<long>(
+                               xor_tree_cells(row.size(), opts.max_fanin)) -
+                           static_cast<long>(xor_tree_cells(
+                               row.size() - inter.size() + 1,
+                               opts.max_fanin));
+          }
+          if (occ < opts.min_occurrences) continue;
+          // The pattern costs its own tree once; gain is the exact cell
+          // delta of this extraction (first-order — later extractions can
+          // still interact, so the greedy loop re-evaluates every round).
+          const long gain =
+              cells_saved -
+              static_cast<long>(xor_tree_cells(inter.size(), opts.max_fanin));
+          if (gain > best_gain || (gain == best_gain && occ > best_occ)) {
+            best = std::move(inter);
+            best_gain = gain;
+            best_occ = occ;
+          }
+        }
+      }
+      if (best.empty() || best_gain <= 0) break;
+      const SignalId repl = nl.add_node(best);
+      for (Row& row : rows)
+        if (contains_all(row, best)) substitute(row, best, repl);
+      ++shared;
+    }
+  }
+
+  std::vector<SignalId> roots;
+  roots.reserve(rows.size());
+  for (Row& row : rows) roots.push_back(build_tree(nl, std::move(row)));
+
+  if (stats) {
+    stats->cells = nl.node_count() - cells_before;
+    stats->depth = nl.depth();  // depth of the whole netlist so far
+    stats->patterns_shared = shared;
+    stats->cells_without_sharing = baseline_cells;
+  }
+  return roots;
+}
+
+XorNetlist map_matrix(const Gf2Matrix& m, const MapperOptions& opts,
+                      MapperStats* stats) {
+  XorNetlist nl(m.cols(), opts.max_fanin);
+  const std::vector<SignalId> roots =
+      map_matrix_into(nl, m, 0, opts, stats);
+  for (SignalId r : roots) nl.add_output(r);
+  if (stats) stats->depth = nl.depth();
+  return nl;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,59 @@
+// GF(2) matrix -> XOR10 netlist mapper with common-pattern sharing.
+//
+// This is the C++ replacement for the paper's Matlab program (§4): "it
+// maps the required matrices on 10-bit XORs, by an algorithm that reduces
+// the number of required XORs detecting 10-bit common patterns among the
+// rows of B_Mt and T".
+//
+// Without sharing, output i is a balanced fan-in-10 XOR tree over the
+// ones of row i. With sharing, a greedy pass repeatedly extracts the
+// signal subset (capped at 10 elements) that co-occurs in the most rows,
+// computes it once, and substitutes the new intermediate signal into
+// every containing row — exactly the kind of row-pattern reuse the paper
+// describes. Extraction continues while it strictly reduces the
+// estimated cell count.
+#pragma once
+
+#include <cstddef>
+
+#include "gf2/gf2_matrix.hpp"
+#include "mapper/xor_netlist.hpp"
+
+namespace plfsr {
+
+/// Mapper knobs.
+struct MapperOptions {
+  unsigned max_fanin = 10;  ///< PiCoGA logic-cell XOR width
+  bool share_patterns = true;  ///< enable the common-pattern CSE pass
+  std::size_t min_pattern_size = 2;  ///< smallest subset worth extracting
+  std::size_t min_occurrences = 2;   ///< must appear in this many rows
+};
+
+/// Result statistics alongside the netlist.
+struct MapperStats {
+  std::size_t cells = 0;          ///< XOR10 gate count
+  unsigned depth = 0;             ///< pipeline levels
+  std::size_t patterns_shared = 0;  ///< CSE extractions performed
+  std::size_t cells_without_sharing = 0;  ///< baseline for the ablation
+};
+
+/// Map y = M * z: inputs are the matrix columns, outputs the rows.
+/// The returned netlist is verified by construction to have fan-in
+/// <= max_fanin; tests check evaluate(z) == M*z exhaustively/randomly.
+XorNetlist map_matrix(const Gf2Matrix& m, const MapperOptions& opts = {},
+                      MapperStats* stats = nullptr);
+
+/// Splice a matrix product into an existing netlist: row r of `m` becomes
+/// an XOR tree over primary inputs input_offset + c for each set column c.
+/// Returns one root signal per row (kZeroSignal for all-zero rows) without
+/// touching the netlist's output list — the caller composes them further
+/// (this is how the op builders fuse B_Mt trees with the companion loop).
+std::vector<SignalId> map_matrix_into(XorNetlist& nl, const Gf2Matrix& m,
+                                      std::size_t input_offset,
+                                      const MapperOptions& opts = {},
+                                      MapperStats* stats = nullptr);
+
+/// Cell count of a plain (unshared) fan-in-F tree over `fanin` terms.
+std::size_t xor_tree_cells(std::size_t fanin, unsigned max_fanin);
+
+}  // namespace plfsr

@@ -1,0 +1,158 @@
+#include "mapper/op_builder.hpp"
+
+#include <stdexcept>
+
+#include "lfsr/linear_system.hpp"
+
+namespace plfsr {
+
+namespace {
+
+/// Final companion-loop layer: x'_i = x_{i-1} (+ last-col tap) (+ w_i).
+/// Appends one output per state bit; each is at most a 3-input XOR.
+void emit_companion_loop(XorNetlist& nl, const Gf2Matrix& amt,
+                         const std::vector<SignalId>& w) {
+  const std::size_t k = amt.rows();
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<SignalId> terms;
+    if (i > 0) terms.push_back(static_cast<SignalId>(i - 1));
+    if (amt.get(i, k - 1)) terms.push_back(static_cast<SignalId>(k - 1));
+    if (!w.empty() && w[i] != kZeroSignal) terms.push_back(w[i]);
+    if (terms.empty()) {
+      nl.add_output(kZeroSignal);
+    } else if (terms.size() == 1) {
+      nl.add_output(terms[0]);
+    } else {
+      // At most 3 terms; split only when an ablation narrows the cell
+      // below that (e.g. max_fanin == 2 modelling a LUT2-grain fabric).
+      while (terms.size() > nl.max_fanin()) {
+        const SignalId merged =
+            nl.add_node({terms[terms.size() - 2], terms[terms.size() - 1]});
+        terms.pop_back();
+        terms.back() = merged;
+      }
+      nl.add_output(nl.add_node(std::move(terms)));
+    }
+  }
+}
+
+std::vector<bool> state_mask(std::size_t k, std::size_t total) {
+  std::vector<bool> mask(total, false);
+  for (std::size_t i = 0; i < k; ++i) mask[i] = true;
+  return mask;
+}
+
+}  // namespace
+
+CrcOpPlan build_derby_crc_ops(const Gf2Poly& g, std::size_t m,
+                              const MapperOptions& opts) {
+  const LinearSystem sys = make_crc_system(g);
+  const LookAhead la(sys, m);
+  CrcOpPlan plan;
+  plan.m = m;
+  plan.width = static_cast<unsigned>(sys.dim());
+  plan.derby = DerbyTransform(la);
+  const std::size_t k = sys.dim();
+
+  // --- op1: inputs [x_t(k) | u(M)] -> outputs x_t'(k) ---
+  plan.op1.netlist = XorNetlist(k + m, opts.max_fanin);
+  MapperStats bstats;
+  const std::vector<SignalId> w =
+      map_matrix_into(plan.op1.netlist, plan.derby.bmt(), k, opts, &bstats);
+  emit_companion_loop(plan.op1.netlist, plan.derby.amt(), w);
+  plan.op1.stats = bstats;
+  plan.op1.stats.cells = plan.op1.netlist.node_count();
+  plan.op1.stats.depth = plan.op1.netlist.depth();
+  plan.op1.stats.cells_without_sharing = bstats.cells_without_sharing + k;
+  plan.op1.loop_depth =
+      plan.op1.netlist.depth_from(state_mask(k, k + m));
+  plan.op1.in_bits = m;
+  plan.op1.out_bits = 0;  // the running state never leaves the array
+
+  // --- op2: y = T x_t ---
+  plan.op2.netlist = map_matrix(plan.derby.t(), opts, &plan.op2.stats);
+  plan.op2.loop_depth = 0;  // pure feed-forward
+  plan.op2.in_bits = 0;
+  plan.op2.out_bits = k;
+  return plan;
+}
+
+MappedOp build_direct_crc_op(const Gf2Poly& g, std::size_t m,
+                             const MapperOptions& opts) {
+  const LinearSystem sys = make_crc_system(g);
+  const LookAhead la(sys, m);
+  const std::size_t k = sys.dim();
+  MappedOp op;
+  op.netlist = map_matrix(la.am().hconcat(la.bm()), opts, &op.stats);
+  op.loop_depth = op.netlist.depth_from(state_mask(k, k + m));
+  op.in_bits = m;
+  op.out_bits = 0;
+  return op;
+}
+
+ScramblerOpPlan build_scrambler_op(const Gf2Poly& g, std::size_t m,
+                                   const MapperOptions& opts) {
+  const LinearSystem sys = make_scrambler_system(g);
+  const LookAhead la(sys, m);
+  ScramblerOpPlan plan;
+  plan.m = m;
+  plan.derby = DerbyTransform(la);
+  const std::size_t k = sys.dim();
+
+  plan.op.netlist = XorNetlist(k + m, opts.max_fanin);
+  // State recurrence first (outputs 0..k-1): autonomous, so no w forest.
+  emit_companion_loop(plan.op.netlist, plan.derby.amt(), {});
+  // Output block y_M = (C_M T) x_t + D_M u — one fused feed-forward map.
+  const Gf2Matrix cmt = la.cm() * plan.derby.t();
+  MapperStats ystats;
+  const std::vector<SignalId> y = map_matrix_into(
+      plan.op.netlist, cmt.hconcat(la.dm()), 0, opts, &ystats);
+  for (SignalId s : y) plan.op.netlist.add_output(s);
+
+  plan.op.stats = ystats;
+  plan.op.stats.cells = plan.op.netlist.node_count();
+  plan.op.stats.depth = plan.op.netlist.depth();
+  plan.op.loop_depth =
+      plan.op.netlist.depth_from(state_mask(k, k + m), 0, k);
+  plan.op.in_bits = m;
+  plan.op.out_bits = m;
+  return plan;
+}
+
+std::uint64_t CrcOpPlan::run(const BitStream& bits,
+                             std::uint64_t init_register) const {
+  if (bits.size() % m != 0)
+    throw std::invalid_argument("CrcOpPlan::run: length not a multiple of M");
+  const std::size_t k = width;
+  Gf2Vec xt =
+      derby.transform_state(Gf2Vec::from_word(k, init_register));
+  for (std::size_t pos = 0; pos < bits.size(); pos += m) {
+    Gf2Vec z(k + m);
+    for (std::size_t i = 0; i < k; ++i) z.set(i, xt.get(i));
+    for (std::size_t i = 0; i < m; ++i) z.set(k + i, bits.get(pos + i));
+    xt = op1.netlist.evaluate(z);
+  }
+  return op2.netlist.evaluate(xt).to_word();
+}
+
+BitStream ScramblerOpPlan::run(const BitStream& in, std::uint64_t seed) const {
+  if (in.size() % m != 0)
+    throw std::invalid_argument(
+        "ScramblerOpPlan::run: length not a multiple of M");
+  const std::size_t k = derby.dim();
+  Gf2Vec xt = derby.transform_state(Gf2Vec::from_word(k, seed));
+  BitStream out;
+  for (std::size_t pos = 0; pos < in.size(); pos += m) {
+    Gf2Vec z(k + m);
+    for (std::size_t i = 0; i < k; ++i) z.set(i, xt.get(i));
+    for (std::size_t i = 0; i < m; ++i) z.set(k + i, in.get(pos + i));
+    const Gf2Vec o = op.netlist.evaluate(z);  // [x_t' | y]
+    Gf2Vec next(k);
+    for (std::size_t i = 0; i < k; ++i) next.set(i, o.get(i));
+    xt = std::move(next);
+    for (std::size_t i = 0; i < m; ++i) out.push_back(o.get(k + i));
+  }
+  return out;
+}
+
+}  // namespace plfsr

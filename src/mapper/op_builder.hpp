@@ -1,0 +1,83 @@
+// Builders for the PiCoGA operations of §4.
+//
+// CRC, two-operation partition (the paper's chosen mapping):
+//   op1: x_t(n+M) = A_Mt x_t(n) + B_Mt u_M(n)
+//        built as  w = B_Mt u   (feed-forward XOR10 forest, CSE-shared)
+//        then      x_t'_i = x_t_{i-1} (+ amt_i x_t_{k-1}) (+ w_i)
+//        so the state-dependent logic is ONE cell deep: the pipeline can
+//        accept a new M-bit chunk every cycle (II = 1).
+//   op2: y = T x_t — pure feed-forward matrix, run once per message.
+//
+// Ablation op (Pei/Zukowski-style direct look-ahead): the untransformed
+// [A^M | B_M] mapped as one netlist; its state-dependent depth grows like
+// ceil(log10(row weight of A^M)) + 1, which is what caps the direct
+// method's speed-up at ~0.5 M in the paper's Fig. 6 theory curve.
+//
+// Scrambler, single operation:
+//   x_t' = A_Mt x_t (companion loop)  and  y_M = C_M T x_t + D_M u_M
+//   (all output logic feed-forward), so no context switch is ever needed —
+//   the paper's explanation for Fig. 8's flat profile.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf2/gf2_poly.hpp"
+#include "lfsr/derby.hpp"
+#include "lfsr/lookahead.hpp"
+#include "mapper/matrix_mapper.hpp"
+#include "mapper/xor_netlist.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// One mapped PiCoGA operation plus its cost summary.
+struct MappedOp {
+  XorNetlist netlist{0};
+  MapperStats stats;
+  unsigned loop_depth = 0;  ///< state-dependent depth (II of the op)
+  std::size_t in_bits = 0;  ///< primary-input bits fed per issue (excl. state)
+  std::size_t out_bits = 0; ///< bits leaving the array per issue
+};
+
+/// The two-operation CRC plan (carries its transform for evaluation).
+struct CrcOpPlan {
+  std::size_t m = 0;
+  unsigned width = 0;
+  DerbyTransform derby;
+  MappedOp op1;  ///< state update; inputs [x_t(k) | u(M)], outputs x_t'(k)
+  MappedOp op2;  ///< anti-transform; inputs x_t(k), outputs x(k)
+
+  /// Functional evaluation through the *netlists*: transform the initial
+  /// register, run op1 once per M-bit chunk, then op2. `bits.size()` must
+  /// be a multiple of M (the processor-side serial head alignment is the
+  /// engines' job; tests exercise it there). Returns the raw register.
+  std::uint64_t run(const BitStream& bits, std::uint64_t init_register) const;
+};
+
+/// Build the Derby-form two-op CRC plan for generator g and look-ahead M.
+CrcOpPlan build_derby_crc_ops(const Gf2Poly& g, std::size_t m,
+                              const MapperOptions& opts = {});
+
+/// Ablation: single direct look-ahead op ([A^M | B_M] mapped whole).
+MappedOp build_direct_crc_op(const Gf2Poly& g, std::size_t m,
+                             const MapperOptions& opts = {});
+
+/// Single-op parallel scrambler; inputs [x_t(k) | u(M)], outputs
+/// [x_t'(k) (fed back into registers) then y(M) (to the output ports);
+/// out_bits counts only y]. Carries its own evaluation state mapping via
+/// the transform returned in `derby` of the pair.
+struct ScramblerOpPlan {
+  std::size_t m = 0;
+  DerbyTransform derby;
+  MappedOp op;
+
+  /// Scramble a whole stream through the netlist (length must be a
+  /// multiple of M); `seed` packs the untransformed LFSR state.
+  BitStream run(const BitStream& in, std::uint64_t seed) const;
+};
+
+ScramblerOpPlan build_scrambler_op(const Gf2Poly& g, std::size_t m,
+                                   const MapperOptions& opts = {});
+
+}  // namespace plfsr

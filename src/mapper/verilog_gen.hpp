@@ -1,0 +1,48 @@
+// Verilog generation from mapped netlists — the RTL back end a released
+// version of the paper's flow would ship (its ASIC comparator, the
+// OpenCores UCRC, is distributed exactly this way). The same XOR10
+// netlists that configure the PiCoGA simulator are emitted as
+// synthesizable Verilog-2001:
+//
+//  * a combinational module per netlist (assign-per-gate, one wire per
+//    intermediate signal), and
+//  * a complete registered parallel-CRC core in the Derby form: the
+//    companion state update clocked every cycle at II = 1, an `init`
+//    load, and the anti-transformed checksum on a dedicated output —
+//    structurally the circuit of the paper's Fig. 2 after the transform.
+//
+// Generation is deterministic: identical inputs produce identical text
+// (tests diff against golden structural properties).
+#pragma once
+
+#include <string>
+
+#include "gf2/gf2_poly.hpp"
+#include "mapper/op_builder.hpp"
+#include "mapper/xor_netlist.hpp"
+
+namespace plfsr {
+
+/// Emit a combinational module:
+///   module <name>(input wire [n_inputs-1:0] in,
+///                 output wire [n_outputs-1:0] out);
+std::string emit_combinational_module(const std::string& name,
+                                      const XorNetlist& netlist);
+
+/// Emit the registered Derby-form CRC core for (g, M):
+///   module <name>(clk, rst_n, init_load, init_value[k-1:0],
+///                 chunk_valid, chunk[M-1:0], crc_raw[k-1:0]);
+/// Internally: x_t register bank, the op1 netlist as next-state logic,
+/// and the op2 (T) netlist combinationally producing crc_raw.
+std::string emit_parallel_crc_module(const std::string& name,
+                                     const Gf2Poly& g, std::size_t m,
+                                     const MapperOptions& opts = {});
+
+/// Emit the single-op parallel scrambler core for (g, M):
+///   module <name>(clk, rst_n, seed_load, seed[k-1:0],
+///                 in_valid, data_in[M-1:0], data_out[M-1:0]);
+std::string emit_parallel_scrambler_module(const std::string& name,
+                                           const Gf2Poly& g, std::size_t m,
+                                           const MapperOptions& opts = {});
+
+}  // namespace plfsr

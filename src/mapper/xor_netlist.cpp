@@ -1,0 +1,96 @@
+#include "mapper/xor_netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace plfsr {
+
+XorNetlist::XorNetlist(std::size_t n_inputs, unsigned max_fanin)
+    : n_inputs_(n_inputs), max_fanin_(max_fanin) {
+  if (max_fanin < 2)
+    throw std::invalid_argument("XorNetlist: max_fanin must be >= 2");
+}
+
+SignalId XorNetlist::add_node(std::vector<SignalId> inputs) {
+  if (inputs.empty() || inputs.size() > max_fanin_)
+    throw std::invalid_argument("XorNetlist::add_node: bad fan-in");
+  const SignalId self = static_cast<SignalId>(n_inputs_ + nodes_.size());
+  unsigned d = 0;
+  for (SignalId s : inputs) {
+    if (s >= self)
+      throw std::invalid_argument("XorNetlist::add_node: forward reference");
+    d = std::max(d, signal_depth(s));
+  }
+  node_depth_.push_back(d + 1);
+  nodes_.push_back(XorNode{std::move(inputs)});
+  return self;
+}
+
+void XorNetlist::add_output(SignalId s) {
+  if (s != kZeroSignal && s >= n_inputs_ + nodes_.size())
+    throw std::invalid_argument("XorNetlist::add_output: undefined signal");
+  outputs_.push_back(s);
+}
+
+Gf2Vec XorNetlist::evaluate(const Gf2Vec& in) const {
+  if (in.size() != n_inputs_)
+    throw std::invalid_argument("XorNetlist::evaluate: input size mismatch");
+  std::vector<bool> value(n_inputs_ + nodes_.size());
+  for (std::size_t i = 0; i < n_inputs_; ++i) value[i] = in.get(i);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    bool v = false;
+    for (SignalId s : nodes_[i].inputs) v ^= value[s];
+    value[n_inputs_ + i] = v;
+  }
+  Gf2Vec out(outputs_.size());
+  for (std::size_t i = 0; i < outputs_.size(); ++i)
+    out.set(i, outputs_[i] == kZeroSignal ? false : value[outputs_[i]]);
+  return out;
+}
+
+unsigned XorNetlist::signal_depth(SignalId s) const {
+  if (s == kZeroSignal || s < n_inputs_) return 0;
+  return node_depth_[s - n_inputs_];
+}
+
+unsigned XorNetlist::depth() const {
+  unsigned d = 0;
+  for (SignalId s : outputs_) d = std::max(d, signal_depth(s));
+  return d;
+}
+
+unsigned XorNetlist::depth_from(const std::vector<bool>& input_mask) const {
+  return depth_from(input_mask, 0, outputs_.size());
+}
+
+unsigned XorNetlist::depth_from(const std::vector<bool>& input_mask,
+                                std::size_t first, std::size_t last) const {
+  if (input_mask.size() != n_inputs_)
+    throw std::invalid_argument("XorNetlist::depth_from: mask size mismatch");
+  if (first > last || last > outputs_.size())
+    throw std::invalid_argument("XorNetlist::depth_from: bad output range");
+  // -1 encodes "independent of the marked inputs".
+  std::vector<int> d(n_inputs_ + nodes_.size(), -1);
+  for (std::size_t i = 0; i < n_inputs_; ++i)
+    if (input_mask[i]) d[i] = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    int best = -1;
+    for (SignalId s : nodes_[i].inputs) best = std::max(best, d[s]);
+    d[n_inputs_ + i] = best < 0 ? -1 : best + 1;
+  }
+  int out = 0;
+  for (std::size_t i = first; i < last; ++i)
+    if (outputs_[i] != kZeroSignal) out = std::max(out, d[outputs_[i]]);
+  return static_cast<unsigned>(std::max(out, 0));
+}
+
+std::vector<std::size_t> XorNetlist::level_histogram() const {
+  std::vector<std::size_t> hist;
+  for (unsigned d : node_depth_) {
+    if (d > hist.size()) hist.resize(d, 0);
+    ++hist[d - 1];
+  }
+  return hist;
+}
+
+}  // namespace plfsr

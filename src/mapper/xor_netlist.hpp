@@ -1,0 +1,84 @@
+// XOR netlist — the intermediate form between a GF(2) matrix and a PiCoGA
+// configuration.
+//
+// PiCoGA's logic cell evaluates a 10-input XOR in one cell (§4: "we
+// decided to massively use the 10-bit XOR operation which can be
+// implemented in a single logic cell"). A matrix-vector product over
+// GF(2) therefore maps to a forest of XOR trees with fan-in <= 10; the
+// number of cells and the tree depth (pipeline stages) are the resource
+// and latency costs the design-space exploration trades off.
+//
+// The netlist is a DAG: signal ids 0..n_inputs-1 are primary inputs,
+// n_inputs + i is the output of node i. Nodes are stored in topological
+// order by construction (a node may only reference earlier signals).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "gf2/gf2_vec.hpp"
+
+namespace plfsr {
+
+using SignalId = std::uint32_t;
+
+/// Sentinel for a constant-zero output (an all-zero matrix row).
+inline constexpr SignalId kZeroSignal = 0xFFFFFFFF;
+
+/// One XOR gate with fan-in 1..max_fanin.
+struct XorNode {
+  std::vector<SignalId> inputs;
+};
+
+/// Acyclic XOR network with designated outputs.
+class XorNetlist {
+ public:
+  explicit XorNetlist(std::size_t n_inputs, unsigned max_fanin = 10);
+
+  std::size_t n_inputs() const { return n_inputs_; }
+  unsigned max_fanin() const { return max_fanin_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<XorNode>& nodes() const { return nodes_; }
+  const std::vector<SignalId>& outputs() const { return outputs_; }
+
+  /// Append a gate; inputs must be already-defined signals. Returns the
+  /// new node's output signal id.
+  SignalId add_node(std::vector<SignalId> inputs);
+
+  /// Declare an output (a primary input, node output, or kZeroSignal).
+  void add_output(SignalId s);
+
+  /// Evaluate the network on an input vector (dimension n_inputs).
+  Gf2Vec evaluate(const Gf2Vec& in) const;
+
+  /// Logic depth of each signal (inputs at depth 0); the netlist depth is
+  /// the max over outputs — the number of pipeline levels the op needs.
+  unsigned depth() const;
+  unsigned signal_depth(SignalId s) const;
+
+  /// Gate count per depth level (level 1 = gates fed only by inputs...).
+  std::vector<std::size_t> level_histogram() const;
+
+  /// Depth counting only paths that originate at the marked inputs
+  /// (mask[i] set for primary input i). Signals with no marked ancestor
+  /// have depth 0 — they are feed-forward and can be pre-scheduled, so
+  /// the returned value is the combinational depth of the *loop* when the
+  /// mask marks the state inputs. The maximum is taken over outputs.
+  unsigned depth_from(const std::vector<bool>& input_mask) const;
+
+  /// Same, restricted to outputs [first, last): used to measure the depth
+  /// of the state-feedback recurrence separately from feed-forward output
+  /// logic (only the former bounds the initiation interval).
+  unsigned depth_from(const std::vector<bool>& input_mask, std::size_t first,
+                      std::size_t last) const;
+
+ private:
+  std::size_t n_inputs_;
+  unsigned max_fanin_;
+  std::vector<XorNode> nodes_;
+  std::vector<SignalId> outputs_;
+  std::vector<unsigned> node_depth_;  // cached per node
+};
+
+}  // namespace plfsr

@@ -1,0 +1,115 @@
+#include "picoga/array.hpp"
+
+namespace plfsr {
+
+PicogaArray::PicogaArray(const PicogaConstraints& geom)
+    : geom_(geom), slots_(geom.contexts) {}
+
+PicogaArray::Slot& PicogaArray::active() {
+  Slot& s = slots_[active_slot_];
+  if (!s.op) throw std::logic_error("PicogaArray: no op in the active slot");
+  return s;
+}
+
+const PicogaArray::Slot& PicogaArray::active() const {
+  const Slot& s = slots_[active_slot_];
+  if (!s.op) throw std::logic_error("PicogaArray: no op in the active slot");
+  return s;
+}
+
+std::uint64_t PicogaArray::config_load_cycles(const PgaOp& op,
+                                              const PicogaConstraints& geom) {
+  // The configuration bus writes one row's worth of cell configuration
+  // per group of cycles; a practical figure is ~4 cycles per cell
+  // (PiCoGA streams multi-word bitstreams per cell). Rows are loaded
+  // whole, used cells or not.
+  return static_cast<std::uint64_t>(op.rows_used()) * geom.cells_per_row * 4;
+}
+
+void PicogaArray::load(std::size_t slot, PgaOp op) {
+  if (slot >= slots_.size())
+    throw std::invalid_argument("PicogaArray::load: bad slot");
+  cycles_ += config_load_cycles(op, geom_);
+  slots_[slot].state = Gf2Vec(op.state_bits());
+  slots_[slot].op = std::move(op);
+  if (slot == active_slot_) pipeline_filled_ = false;
+}
+
+void PicogaArray::activate(std::size_t slot) {
+  if (slot >= slots_.size())
+    throw std::invalid_argument("PicogaArray::activate: bad slot");
+  if (!slots_[slot].op)
+    throw std::logic_error("PicogaArray::activate: slot not loaded");
+  if (slot != active_slot_) {
+    cycles_ += kContextSwitchCycles;
+    active_slot_ = slot;
+    pipeline_filled_ = false;
+  }
+}
+
+void PicogaArray::set_state(const Gf2Vec& state) {
+  Slot& s = active();
+  if (state.size() != s.op->state_bits())
+    throw std::invalid_argument("PicogaArray::set_state: size mismatch");
+  s.state = state;
+}
+
+Gf2Vec PicogaArray::state() const { return active().state; }
+
+Gf2Vec PicogaArray::save_state() {
+  const Slot& s = active();
+  cycles_ += (s.op->state_bits() + 31) / 32;
+  return s.state;
+}
+
+void PicogaArray::restore_state(const Gf2Vec& state) {
+  set_state(state);
+  cycles_ += (active().op->state_bits() + 31) / 32;
+}
+
+Gf2Vec PicogaArray::issue_on(Gf2Vec& state, const Gf2Vec& port_in) {
+  Slot& s = active();
+  if (!pipeline_filled_) {
+    cycles_ += s.op->latency();  // fill
+    pipeline_filled_ = true;
+  } else {
+    cycles_ += s.op->ii();
+  }
+  const Gf2Vec all = s.op->evaluate(state, port_in);
+  const std::size_t sb = s.op->state_bits();
+  Gf2Vec next_state(sb);
+  for (std::size_t i = 0; i < sb; ++i) next_state.set(i, all.get(i));
+  state = std::move(next_state);
+  Gf2Vec out(all.size() - sb);
+  for (std::size_t i = sb; i < all.size(); ++i) out.set(i - sb, all.get(i));
+  return out;
+}
+
+Gf2Vec PicogaArray::issue(const Gf2Vec& port_in) {
+  return issue_on(active().state, port_in);
+}
+
+void PicogaArray::init_banks(std::size_t count, const Gf2Vec& init) {
+  Slot& s = active();
+  if (init.size() != s.op->state_bits())
+    throw std::invalid_argument("PicogaArray::init_banks: size mismatch");
+  s.banks.assign(count, init);
+}
+
+Gf2Vec PicogaArray::issue_banked(std::size_t bank, const Gf2Vec& port_in) {
+  Slot& s = active();
+  if (bank >= s.banks.size())
+    throw std::invalid_argument("PicogaArray::issue_banked: bad bank");
+  return issue_on(s.banks[bank], port_in);
+}
+
+const Gf2Vec& PicogaArray::bank_state(std::size_t bank) const {
+  const Slot& s = active();
+  if (bank >= s.banks.size())
+    throw std::invalid_argument("PicogaArray::bank_state: bad bank");
+  return s.banks[bank];
+}
+
+void PicogaArray::drain() { pipeline_filled_ = false; }
+
+}  // namespace plfsr

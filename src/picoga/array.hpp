@@ -1,0 +1,105 @@
+// PiCoGA array simulator: configuration cache, context switching, and
+// cycle accounting for streams of operation issues.
+//
+// §3: "a 4-context internal configuration cache that allows exchanging
+// the active layer in only 2 clock cycles". Loading a configuration from
+// scratch is far more expensive (it streams the whole bitstream through
+// the configuration bus); once cached, switching is 2 cycles — this
+// asymmetry is exactly what the message-interleaving experiment (Fig. 5)
+// amortises away, so the simulator models both costs explicitly.
+//
+// Timing model of a stream of n issues on one op (row-pipelined array,
+// one row per stage):  latency + (n - 1) * II  cycles from first issue to
+// last result, with II = 1 for Derby-form ops. The array keeps per-slot
+// state registers so a looped op resumes where it left off — that is how
+// interleaved messages coexist (each message's x_t lives in its slot's
+// register file, swapped by the control processor in the real system; we
+// expose save/restore to model that at its 1-cycle-per-32-bit-word cost).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "picoga/pga_op.hpp"
+
+namespace plfsr {
+
+/// Cycle-accounting PiCoGA with a 4-context configuration cache.
+class PicogaArray {
+ public:
+  explicit PicogaArray(const PicogaConstraints& geom = {});
+
+  const PicogaConstraints& geometry() const { return geom_; }
+
+  /// Load an op into a cache slot (evicting its previous content).
+  /// Costs the full configuration-load time.
+  void load(std::size_t slot, PgaOp op);
+
+  /// Make a cached slot active; 2 cycles if it was not already active.
+  void activate(std::size_t slot);
+
+  /// Reset the active op's state registers to `state`.
+  void set_state(const Gf2Vec& state);
+  Gf2Vec state() const;
+
+  /// Save/restore the active op's state registers to/from the processor
+  /// (used when interleaving more messages than slots); costs one cycle
+  /// per started 32-bit word, like any register-file move on DREAM.
+  Gf2Vec save_state();
+  void restore_state(const Gf2Vec& state);
+
+  /// Issue one input token into the active op's pipeline; returns the op
+  /// outputs (port outputs only — state is retained internally).
+  /// Back-to-back issues cost II cycles each; the first issue after
+  /// activation or after a drain also pays the fill latency.
+  Gf2Vec issue(const Gf2Vec& port_in);
+
+  /// Provision `count` extra state banks for the active slot, each
+  /// initialised to `init`. Banks model the Kong/Parhi interleaving [13]:
+  /// with at least `latency` messages rotating round-robin at II = 1,
+  /// each message's state update retires before its next chunk arrives,
+  /// so the rotation costs no extra cycles — the registers of the loop
+  /// row simply hold one state per in-flight message.
+  void init_banks(std::size_t count, const Gf2Vec& init);
+
+  /// Issue against a specific bank's state.
+  Gf2Vec issue_banked(std::size_t bank, const Gf2Vec& port_in);
+
+  /// Read a bank's state (e.g. to feed the anti-transform op).
+  const Gf2Vec& bank_state(std::size_t bank) const;
+
+  /// Wait for the pipeline to empty (results of all issued tokens
+  /// architecturally visible). Idempotent.
+  void drain();
+
+  /// Total cycles consumed so far (5 ns each at the fixed 200 MHz).
+  std::uint64_t cycles() const { return cycles_; }
+  void reset_cycles() { cycles_ = 0; }
+
+  /// Configuration-load cost model: one cycle per cell bitstream word.
+  static std::uint64_t config_load_cycles(const PgaOp& op,
+                                          const PicogaConstraints& geom);
+
+  /// Context-switch cost (the paper's headline number).
+  static constexpr std::uint64_t kContextSwitchCycles = 2;
+
+ private:
+  struct Slot {
+    std::optional<PgaOp> op;
+    Gf2Vec state;
+    std::vector<Gf2Vec> banks;
+  };
+  Gf2Vec issue_on(Gf2Vec& state, const Gf2Vec& port_in);
+  Slot& active();
+  const Slot& active() const;
+
+  PicogaConstraints geom_;
+  std::vector<Slot> slots_;
+  std::size_t active_slot_ = 0;
+  bool pipeline_filled_ = false;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace plfsr

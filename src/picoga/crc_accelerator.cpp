@@ -1,0 +1,125 @@
+#include "picoga/crc_accelerator.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+PicogaCrcAccelerator::PicogaCrcAccelerator(const Gf2Poly& g, std::size_t m,
+                                           const PicogaConstraints& geom,
+                                           const ControlCosts& costs,
+                                           const MapperOptions& opts)
+    : plan_(build_derby_crc_ops(g, m, opts)), costs_(costs), array_(geom) {
+  array_.load(0, PgaOp("crc_op1_state_update", plan_.op1.netlist,
+                       plan_.width, geom));
+  array_.load(1, PgaOp("crc_op2_anti_transform", plan_.op2.netlist, 0, geom));
+  config_cycles_ = array_.cycles();
+  array_.reset_cycles();
+}
+
+PicogaCrcAccelerator::Result PicogaCrcAccelerator::process(
+    const BitStream& bits, std::uint64_t init_register) {
+  if (bits.size() % plan_.m != 0)
+    throw std::invalid_argument(
+        "PicogaCrcAccelerator: length must be a multiple of M");
+  array_.reset_cycles();
+  Result res;
+
+  // Control processor: message setup.
+  std::uint64_t ctrl = costs_.per_batch + costs_.per_message;
+
+  // op1: stream the chunks.
+  array_.activate(0);
+  array_.set_state(plan_.derby.transform_state(
+      Gf2Vec::from_word(plan_.width, init_register)));
+  const std::size_t m = plan_.m;
+  for (std::size_t pos = 0; pos < bits.size(); pos += m)
+    array_.issue(chunk_to_vec(bits, pos, m));
+  array_.drain();
+  const Gf2Vec xt = array_.state();
+
+  // op2: context switch (the paper's "pipeline break"), anti-transform.
+  array_.activate(1);
+  const Gf2Vec x = array_.issue(xt);
+  array_.drain();
+  array_.activate(0);  // ready for the next message, as the runtime does
+
+  res.raw = x.to_word();
+  res.cycles = array_.cycles() + ctrl + costs_.result_readout;
+  return res;
+}
+
+PicogaCrcAccelerator::BatchResult PicogaCrcAccelerator::process_interleaved(
+    const std::vector<BitStream>& messages, std::uint64_t init_register) {
+  if (messages.empty())
+    throw std::invalid_argument("process_interleaved: empty batch");
+  const std::size_t m = plan_.m;
+  std::size_t chunks = messages[0].size() / m;
+  for (const BitStream& msg : messages) {
+    if (msg.size() % m != 0)
+      throw std::invalid_argument(
+          "process_interleaved: length must be a multiple of M");
+    if (msg.size() / m != chunks)
+      throw std::invalid_argument(
+          "process_interleaved: equal-length messages required (the "
+          "interleaver rotates fixed slots)");
+  }
+  array_.reset_cycles();
+  const std::size_t b = messages.size();
+
+  array_.activate(0);
+  array_.init_banks(b, plan_.derby.transform_state(Gf2Vec::from_word(
+                           plan_.width, init_register)));
+  // Round-robin chunk rotation: one issue per cycle, no swap cost.
+  for (std::size_t c = 0; c < chunks; ++c)
+    for (std::size_t i = 0; i < b; ++i)
+      array_.issue_banked(i, chunk_to_vec(messages[i], c * m, m));
+  array_.drain();
+
+  // One context switch for the whole batch, then B pipelined op2 issues.
+  std::vector<Gf2Vec> finals;
+  finals.reserve(b);
+  for (std::size_t i = 0; i < b; ++i) finals.push_back(array_.bank_state(i));
+  array_.activate(1);
+  BatchResult res;
+  for (std::size_t i = 0; i < b; ++i)
+    res.raw.push_back(array_.issue(finals[i]).to_word());
+  array_.drain();
+  array_.activate(0);
+
+  res.cycles = array_.cycles() + costs_.per_batch +
+               costs_.per_message +  // one setup for the whole rotation
+               b * costs_.result_readout;
+  return res;
+}
+
+PicogaScramblerAccelerator::PicogaScramblerAccelerator(
+    const Gf2Poly& g, std::size_t m, const PicogaConstraints& geom,
+    const ControlCosts& costs, const MapperOptions& opts)
+    : plan_(build_scrambler_op(g, m, opts)), costs_(costs), array_(geom) {
+  array_.load(0, PgaOp("scrambler_op", plan_.op.netlist, plan_.derby.dim(),
+                       geom));
+  config_cycles_ = array_.cycles();
+  array_.reset_cycles();
+}
+
+PicogaScramblerAccelerator::Result PicogaScramblerAccelerator::process(
+    const BitStream& in, std::uint64_t seed) {
+  if (in.size() % plan_.m != 0)
+    throw std::invalid_argument(
+        "PicogaScramblerAccelerator: length must be a multiple of M");
+  array_.reset_cycles();
+  array_.activate(0);
+  array_.set_state(plan_.derby.transform_state(
+      Gf2Vec::from_word(plan_.derby.dim(), seed)));
+  Result res;
+  const std::size_t m = plan_.m;
+  for (std::size_t pos = 0; pos < in.size(); pos += m) {
+    const Gf2Vec y = array_.issue(chunk_to_vec(in, pos, m));
+    for (std::size_t i = 0; i < m; ++i) res.out.push_back(y.get(i));
+  }
+  array_.drain();
+  res.cycles = array_.cycles() + costs_.per_batch + costs_.per_message;
+  return res;
+}
+
+}  // namespace plfsr

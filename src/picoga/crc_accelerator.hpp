@@ -1,0 +1,102 @@
+// End-to-end CRC and scrambler accelerators: the mapped operations of
+// src/mapper loaded into the PicogaArray simulator and driven the way the
+// STxP70 control code drives the real DREAM (§4-§5).
+//
+// These classes are the measurement substrate of the paper's figures:
+// every cycle they report comes out of the array simulator (configuration
+// loads, the 2-cycle context switches between op1 and op2, pipeline fill,
+// per-chunk issues), plus an explicit processor-control overhead
+// parameter — "the variation is due to the control overhead introduced by
+// the processor and the pipeline break caused by the configuration
+// switch" (§5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+#include "mapper/op_builder.hpp"
+#include "picoga/array.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Processor-side per-message costs (cycles at the shared 200 MHz clock).
+struct ControlCosts {
+  std::uint64_t per_message = 16;  ///< message setup: DMA programming, loop
+  std::uint64_t per_batch = 24;    ///< one-off batch/kernel entry cost
+  std::uint64_t result_readout = 2;  ///< move the checksum to the core
+};
+
+/// CRC accelerator: op1 (state update) + op2 (anti-transform) in two
+/// configuration contexts.
+class PicogaCrcAccelerator {
+ public:
+  PicogaCrcAccelerator(const Gf2Poly& g, std::size_t m,
+                       const PicogaConstraints& geom = {},
+                       const ControlCosts& costs = {},
+                       const MapperOptions& opts = {});
+
+  std::size_t m() const { return plan_.m; }
+  unsigned width() const { return plan_.width; }
+  const CrcOpPlan& plan() const { return plan_; }
+
+  /// Cycles spent loading the two configurations (paid once at startup).
+  std::uint64_t config_cycles() const { return config_cycles_; }
+
+  struct Result {
+    std::uint64_t raw = 0;      ///< raw register (spec finalization is
+                                ///< the caller's framing concern)
+    std::uint64_t cycles = 0;   ///< cycles for this call (excl. config load)
+  };
+
+  /// One message; length must be a multiple of M (the control processor
+  /// pads the head — Ethernet frames are byte-aligned so M <= 128 needs
+  /// only zero-padding that the caller applies, as the paper's runs do).
+  Result process(const BitStream& bits, std::uint64_t init_register);
+
+  /// A batch of messages interleaved Kong/Parhi style [13]: chunks are
+  /// issued round-robin so the op1/op2 context switch and the batch
+  /// control overhead are paid once per batch instead of per message.
+  struct BatchResult {
+    std::vector<std::uint64_t> raw;
+    std::uint64_t cycles = 0;
+  };
+  BatchResult process_interleaved(const std::vector<BitStream>& messages,
+                                  std::uint64_t init_register);
+
+ private:
+  CrcOpPlan plan_;
+  ControlCosts costs_;
+  PicogaArray array_;
+  std::uint64_t config_cycles_ = 0;
+};
+
+/// Scrambler accelerator: a single op, a single context, no switches.
+class PicogaScramblerAccelerator {
+ public:
+  PicogaScramblerAccelerator(const Gf2Poly& g, std::size_t m,
+                             const PicogaConstraints& geom = {},
+                             const ControlCosts& costs = {},
+                             const MapperOptions& opts = {});
+
+  std::size_t m() const { return plan_.m; }
+  std::uint64_t config_cycles() const { return config_cycles_; }
+
+  struct Result {
+    BitStream out;
+    std::uint64_t cycles = 0;
+  };
+
+  /// Scramble one block (length must be a multiple of M); `seed` is the
+  /// untransformed LFSR state.
+  Result process(const BitStream& in, std::uint64_t seed);
+
+ private:
+  ScramblerOpPlan plan_;
+  ControlCosts costs_;
+  PicogaArray array_;
+  std::uint64_t config_cycles_ = 0;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,85 @@
+#include "picoga/pga_op.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+PgaOp::PgaOp(std::string name, XorNetlist netlist, std::size_t state_bits,
+             const PicogaConstraints& geom)
+    : name_(std::move(name)),
+      netlist_(std::move(netlist)),
+      state_bits_(state_bits) {
+  if (state_bits_ > netlist_.n_inputs() ||
+      state_bits_ > netlist_.outputs().size())
+    throw std::invalid_argument("PgaOp: state bits exceed netlist I/O");
+  if (netlist_.max_fanin() > RlcCell::kMaxXorFanin)
+    throw std::invalid_argument("PgaOp: netlist fan-in exceeds the cell");
+
+  // Level-by-level placement: level l starts on a fresh row; wide levels
+  // spill into further rows of the same pipeline stage.
+  const std::vector<std::size_t> hist = netlist_.level_histogram();
+  std::vector<std::size_t> level_first_row(hist.size() + 1, 0);
+  std::size_t row = 0;
+  for (std::size_t l = 0; l < hist.size(); ++l) {
+    level_first_row[l] = row;
+    row += (hist[l] + geom.cells_per_row - 1) / geom.cells_per_row;
+  }
+  rows_used_ = row;
+  latency_ = static_cast<unsigned>(netlist_.depth());
+
+  if (rows_used_ > geom.rows)
+    throw std::runtime_error("PgaOp '" + name_ + "': needs " +
+                             std::to_string(rows_used_) + " rows, array has " +
+                             std::to_string(geom.rows));
+  if (port_in_bits() > geom.max_in_bits)
+    throw std::runtime_error("PgaOp '" + name_ + "': input ports exceeded");
+  if (port_out_bits() > geom.max_out_bits)
+    throw std::runtime_error("PgaOp '" + name_ + "': output ports exceeded");
+
+  // Assign sites in level order.
+  std::vector<std::size_t> next_in_level(hist.size(), 0);
+  placement_.resize(netlist_.node_count());
+  cells_.reserve(netlist_.node_count());
+  for (std::size_t i = 0; i < netlist_.node_count(); ++i) {
+    const unsigned level = netlist_.signal_depth(
+        static_cast<SignalId>(netlist_.n_inputs() + i));
+    const std::size_t idx = next_in_level[level - 1]++;
+    placement_[i] = {level_first_row[level - 1] + idx / geom.cells_per_row,
+                     idx % geom.cells_per_row};
+    cells_.push_back(RlcCell::make_xor(
+        static_cast<unsigned>(netlist_.nodes()[i].inputs.size())));
+  }
+
+  // Initiation interval = state-feedback depth (1 if stateless).
+  if (state_bits_ > 0) {
+    std::vector<bool> mask(netlist_.n_inputs(), false);
+    for (std::size_t i = 0; i < state_bits_; ++i) mask[i] = true;
+    const unsigned loop =
+        netlist_.depth_from(mask, 0, state_bits_);
+    ii_ = loop > 0 ? loop : 1;
+  }
+}
+
+Gf2Vec PgaOp::evaluate(const Gf2Vec& state, const Gf2Vec& port_in) const {
+  if (state.size() != state_bits_ || port_in.size() != port_in_bits())
+    throw std::invalid_argument("PgaOp::evaluate: I/O size mismatch");
+  std::vector<bool> value(netlist_.n_inputs() + netlist_.node_count());
+  for (std::size_t i = 0; i < state_bits_; ++i) value[i] = state.get(i);
+  for (std::size_t i = 0; i < port_in.size(); ++i)
+    value[state_bits_ + i] = port_in.get(i);
+  // Drive each configured cell with its routed inputs, in placement order
+  // (placement is level-ordered, so operands are always ready).
+  for (std::size_t i = 0; i < netlist_.node_count(); ++i) {
+    std::vector<bool> ins;
+    ins.reserve(netlist_.nodes()[i].inputs.size());
+    for (SignalId s : netlist_.nodes()[i].inputs) ins.push_back(value[s]);
+    value[netlist_.n_inputs() + i] = cells_[i].eval_xor(ins);
+  }
+  const auto& outs = netlist_.outputs();
+  Gf2Vec out(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    out.set(i, outs[i] == kZeroSignal ? false : value[outs[i]]);
+  return out;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,82 @@
+// A compiled PiCoGA operation: an XOR netlist placed onto the array.
+//
+// PiCoGA is row-pipelined (§3): "each PiCoGA row is the basic element for
+// building a pipeline stage, under the supervision of a dedicated
+// programmable pipeline control unit". Compilation therefore assigns
+// every gate level of the netlist to one or more rows (a level wider than
+// 16 cells spills into additional rows of the same stage), inserts
+// pipeline registers between stages, and records the latency (rows) and
+// initiation interval (the depth of the state-feedback recurrence).
+//
+// Ops with `state_bits > 0` are *looped*: their first state_bits inputs
+// are fed from the op's state registers and the first state_bits outputs
+// write them back each issue — this is how op1 of the CRC keeps x_t on
+// the array between chunks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gf2/gf2_vec.hpp"
+#include "mapper/design_space.hpp"
+#include "mapper/xor_netlist.hpp"
+#include "picoga/rlc_cell.hpp"
+
+namespace plfsr {
+
+/// Physical location of one configured cell.
+struct CellSite {
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
+/// Compiled, placed operation.
+class PgaOp {
+ public:
+  /// Compile `netlist` for an array described by `geom`. Throws
+  /// std::runtime_error (with a human-readable reason) if the op does not
+  /// fit the rows/cells/I-O budget.
+  PgaOp(std::string name, XorNetlist netlist, std::size_t state_bits,
+        const PicogaConstraints& geom);
+
+  const std::string& name() const { return name_; }
+  const XorNetlist& netlist() const { return netlist_; }
+  std::size_t state_bits() const { return state_bits_; }
+
+  /// Bits consumed from the input ports per issue (inputs minus state).
+  std::size_t port_in_bits() const {
+    return netlist_.n_inputs() - state_bits_;
+  }
+  /// Bits produced on the output ports per issue (outputs minus state).
+  std::size_t port_out_bits() const {
+    return netlist_.outputs().size() - state_bits_;
+  }
+
+  std::size_t rows_used() const { return rows_used_; }
+  unsigned latency() const { return latency_; }
+  unsigned ii() const { return ii_; }
+
+  /// Placement of node i.
+  const std::vector<CellSite>& placement() const { return placement_; }
+  /// The configured cell for node i (always an XOR here).
+  const std::vector<RlcCell>& cells() const { return cells_; }
+
+  /// Functional evaluation of one issue given the current state and the
+  /// port inputs; returns all outputs (state first). Evaluation goes
+  /// through the *configured cells*, not the netlist shortcut, so tests
+  /// validate the placement pipeline end to end.
+  Gf2Vec evaluate(const Gf2Vec& state, const Gf2Vec& port_in) const;
+
+ private:
+  std::string name_;
+  XorNetlist netlist_;
+  std::size_t state_bits_;
+  std::vector<CellSite> placement_;
+  std::vector<RlcCell> cells_;
+  std::size_t rows_used_ = 0;
+  unsigned latency_ = 0;
+  unsigned ii_ = 1;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,90 @@
+#include "picoga/rlc_cell.hpp"
+
+namespace plfsr {
+
+RlcCell RlcCell::make_xor(unsigned fanin) {
+  if (fanin == 0 || fanin > kMaxXorFanin)
+    throw std::invalid_argument("RlcCell: XOR fan-in must be 1..10");
+  RlcCell c;
+  c.mode_ = CellMode::kXor;
+  c.fanin_ = fanin;
+  return c;
+}
+
+RlcCell RlcCell::make_lut(std::uint64_t table64) {
+  RlcCell c;
+  c.mode_ = CellMode::kLut;
+  c.lut_ = table64;
+  return c;
+}
+
+RlcCell RlcCell::make_alu(CellMode op) {
+  switch (op) {
+    case CellMode::kAluAdd:
+    case CellMode::kAluAnd:
+    case CellMode::kAluOr:
+    case CellMode::kAluXor:
+      break;
+    default:
+      throw std::invalid_argument("RlcCell::make_alu: not an ALU mode");
+  }
+  RlcCell c;
+  c.mode_ = op;
+  return c;
+}
+
+RlcCell RlcCell::make_gfmul() {
+  RlcCell c;
+  c.mode_ = CellMode::kGfMul;
+  return c;
+}
+
+bool RlcCell::eval_xor(const std::vector<bool>& inputs) const {
+  if (mode_ != CellMode::kXor)
+    throw std::logic_error("RlcCell: not in XOR mode");
+  if (inputs.size() != fanin_)
+    throw std::invalid_argument("RlcCell: XOR input count mismatch");
+  bool v = false;
+  for (bool b : inputs) v ^= b;
+  return v;
+}
+
+std::uint8_t RlcCell::eval_lut(std::uint8_t in4) const {
+  if (mode_ != CellMode::kLut)
+    throw std::logic_error("RlcCell: not in LUT mode");
+  return static_cast<std::uint8_t>((lut_ >> (4 * (in4 & 0xF))) & 0xF);
+}
+
+RlcCell::AluResult RlcCell::eval_alu(std::uint8_t a4, std::uint8_t b4,
+                                     bool carry_in) const {
+  a4 &= 0xF;
+  b4 &= 0xF;
+  switch (mode_) {
+    case CellMode::kAluAdd: {
+      const unsigned s = a4 + b4 + (carry_in ? 1u : 0u);
+      return {static_cast<std::uint8_t>(s & 0xF), (s >> 4) != 0};
+    }
+    case CellMode::kAluAnd:
+      return {static_cast<std::uint8_t>(a4 & b4), false};
+    case CellMode::kAluOr:
+      return {static_cast<std::uint8_t>(a4 | b4), false};
+    case CellMode::kAluXor:
+      return {static_cast<std::uint8_t>(a4 ^ b4), false};
+    default:
+      throw std::logic_error("RlcCell: not in ALU mode");
+  }
+}
+
+std::uint8_t RlcCell::eval_gfmul(std::uint8_t a4, std::uint8_t b4) const {
+  if (mode_ != CellMode::kGfMul)
+    throw std::logic_error("RlcCell: not in GF mode");
+  // Carry-less multiply then reduce mod x^4 + x + 1 (GF(16)).
+  unsigned prod = 0;
+  for (int i = 0; i < 4; ++i)
+    if ((a4 >> i) & 1) prod ^= static_cast<unsigned>(b4 & 0xF) << i;
+  for (int i = 7; i >= 4; --i)
+    if ((prod >> i) & 1) prod ^= (0x13u << (i - 4));  // x^4 == x + 1
+  return static_cast<std::uint8_t>(prod & 0xF);
+}
+
+}  // namespace plfsr

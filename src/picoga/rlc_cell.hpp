@@ -1,0 +1,71 @@
+// Reconfigurable Logic Cell (RLC) model.
+//
+// PiCoGA's cell is mixed-grain (§3): a 4-bit ALU, a 64-bit look-up table
+// (4 inputs x 4 outputs), carry/conditional support, Galois-field helpers
+// — and, crucially for this paper, a wide-XOR mode that evaluates a
+// 10-input XOR in a single cell. The CRC/scrambler mappings use only the
+// XOR mode; the other modes are modelled (and tested) so the simulator is
+// a credible PiCoGA, not a bespoke XOR machine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace plfsr {
+
+/// Cell operating modes.
+enum class CellMode {
+  kXor,    ///< up to 10 single-bit inputs -> 1 bit (parity)
+  kLut,    ///< 4-bit input -> 4-bit output through a 64-bit table
+  kAluAdd, ///< 4-bit a + b + carry-in -> 4-bit sum, carry-out
+  kAluAnd,
+  kAluOr,
+  kAluXor,
+  kGfMul,  ///< GF(16) multiply (x^4+x+1): the "Galois facilities"
+};
+
+/// One configured RLC.
+class RlcCell {
+ public:
+  RlcCell() = default;
+
+  /// Configure as a wide XOR with `fanin` inputs (1..10).
+  static RlcCell make_xor(unsigned fanin);
+
+  /// Configure as a LUT; table bit (4*in + j) gives output bit j.
+  static RlcCell make_lut(std::uint64_t table64);
+
+  /// Configure as an ALU op.
+  static RlcCell make_alu(CellMode op);
+
+  /// Configure as the GF(16) multiplier.
+  static RlcCell make_gfmul();
+
+  CellMode mode() const { return mode_; }
+  unsigned fanin() const { return fanin_; }
+
+  /// Evaluate the XOR mode.
+  bool eval_xor(const std::vector<bool>& inputs) const;
+
+  /// Evaluate LUT / ALU / GF modes on 4-bit operands.
+  struct AluResult {
+    std::uint8_t value;  // low 4 bits
+    bool carry_out;
+  };
+  std::uint8_t eval_lut(std::uint8_t in4) const;
+  AluResult eval_alu(std::uint8_t a4, std::uint8_t b4, bool carry_in) const;
+  std::uint8_t eval_gfmul(std::uint8_t a4, std::uint8_t b4) const;
+
+  /// Maximum XOR fan-in of one cell — the constant the whole mapping
+  /// strategy of the paper is built around.
+  static constexpr unsigned kMaxXorFanin = 10;
+
+ private:
+  CellMode mode_ = CellMode::kXor;
+  unsigned fanin_ = 0;
+  std::uint64_t lut_ = 0;
+};
+
+}  // namespace plfsr

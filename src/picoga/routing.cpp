@@ -1,0 +1,55 @@
+#include "picoga/routing.hpp"
+
+#include <algorithm>
+
+namespace plfsr {
+
+RoutingReport analyze_routing(const PgaOp& op, const RoutingChannel& channel) {
+  const XorNetlist& nl = op.netlist();
+  const std::size_t rows = op.rows_used();
+  RoutingReport rep;
+  if (rows <= 1) {
+    rep.feasible = true;
+    return rep;
+  }
+
+  // Row where each signal is produced (inputs at "row -1", i.e. they
+  // cross every boundary down to their last consumer) and last consumed.
+  const std::size_t n_sigs = nl.n_inputs() + nl.node_count();
+  std::vector<long> produced(n_sigs, -1);
+  std::vector<long> last_use(n_sigs, -1);
+  for (std::size_t i = 0; i < nl.node_count(); ++i) {
+    const long row = static_cast<long>(op.placement()[i].row);
+    produced[nl.n_inputs() + i] = row;
+    for (SignalId s : nl.nodes()[i].inputs)
+      last_use[s] = std::max(last_use[s], row);
+  }
+  // Outputs are consumed at the bottom of the array (output ports).
+  for (SignalId s : nl.outputs())
+    if (s != kZeroSignal)
+      last_use[s] = static_cast<long>(rows - 1);
+
+  // Boundary b sits between row b and row b+1; a signal crosses it when
+  // produced[row] <= b and last_use[row] > b.
+  rep.nets_per_boundary.assign(rows - 1, 0);
+  for (std::size_t s = 0; s < n_sigs; ++s) {
+    if (last_use[s] < 0) continue;
+    const long from = produced[s];  // -1 for primary inputs
+    for (long b = std::max(from, 0L); b < last_use[s]; ++b)
+      ++rep.nets_per_boundary[static_cast<std::size_t>(b)];
+  }
+
+  for (std::size_t nets : rep.nets_per_boundary) {
+    rep.peak_granules_bitwise = std::max(rep.peak_granules_bitwise, nets);
+    rep.peak_granules_paired = std::max(
+        rep.peak_granules_paired,
+        (nets + channel.granularity - 1) / channel.granularity);
+  }
+  // Feasibility is judged at the fabric's native 2-bit bundling (the
+  // router pairs nets wherever possible); the bit-wise figure is the
+  // pessimistic bound the §3 "underutilization" remark warns about.
+  rep.feasible = rep.peak_granules_paired <= channel.tracks;
+  return rep;
+}
+
+}  // namespace plfsr

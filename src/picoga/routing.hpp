@@ -1,0 +1,42 @@
+// Routing feasibility model for placed PiCoGA operations.
+//
+// §3: "Routing architecture features 2-bit granularity segmented wires,
+// although bit-wise interconnection is allowed with resource
+// underutilization." Placement (pga_op.cpp) only checks cell and row
+// budgets; this module checks the third resource: vertical routing
+// tracks. For every row boundary it counts the distinct signals that are
+// produced above the boundary and consumed at or below it (primary
+// inputs enter at row 0 and route down too), rounds each signal up to a
+// 2-bit granule (the paper's under-utilization for bit-wise nets), and
+// compares the busiest boundary against the channel capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "picoga/pga_op.hpp"
+
+namespace plfsr {
+
+/// Channel description: vertical tracks crossing each row boundary.
+struct RoutingChannel {
+  std::size_t tracks = 192;     ///< 2-bit granules per row boundary
+  unsigned granularity = 2;     ///< wire bundle width in bits
+};
+
+/// Per-boundary utilisation of one placed op.
+struct RoutingReport {
+  std::vector<std::size_t> nets_per_boundary;  ///< signals crossing
+  /// Worst case: every net routed bit-wise, one granule each (the
+  /// "resource underutilization" §3 mentions).
+  std::size_t peak_granules_bitwise = 0;
+  /// Best case: nets perfectly paired into `granularity`-bit bundles.
+  std::size_t peak_granules_paired = 0;
+  bool feasible = false;  ///< paired (native-granularity) case fits
+};
+
+/// Analyse signal crossings of `op` against `channel`.
+RoutingReport analyze_routing(const PgaOp& op,
+                              const RoutingChannel& channel = {});
+
+}  // namespace plfsr

@@ -1,0 +1,65 @@
+#include "picoga/vcd_trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace plfsr {
+
+VcdTrace::VcdTrace(unsigned timescale_ns) : timescale_ns_(timescale_ns) {}
+
+void VcdTrace::record_context(std::uint64_t cycle, unsigned slot) {
+  events_.push_back({cycle, Kind::kContext, slot});
+}
+
+void VcdTrace::record_issue(std::uint64_t cycle, unsigned rows_active) {
+  events_.push_back({cycle, Kind::kIssue, rows_active});
+}
+
+void VcdTrace::record_stall(std::uint64_t cycle, bool stalled) {
+  events_.push_back({cycle, Kind::kStall, stalled ? 1u : 0u});
+}
+
+std::string VcdTrace::render(const std::string& module_name) const {
+  std::ostringstream os;
+  os << "$timescale " << timescale_ns_ << "ns $end\n";
+  os << "$scope module " << module_name << " $end\n";
+  os << "$var wire 3 c context $end\n";
+  os << "$var wire 8 r rows_active $end\n";
+  os << "$var wire 1 s stall $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<Event> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.cycle < b.cycle;
+                   });
+
+  auto bin = [](std::uint64_t v, int width) {
+    std::string s;
+    for (int i = width - 1; i >= 0; --i)
+      s.push_back(((v >> i) & 1) ? '1' : '0');
+    return s;
+  };
+
+  std::uint64_t current = ~std::uint64_t{0};
+  for (const Event& e : sorted) {
+    if (e.cycle != current) {
+      os << "#" << e.cycle << "\n";
+      current = e.cycle;
+    }
+    switch (e.kind) {
+      case Kind::kContext:
+        os << "b" << bin(e.value, 3) << " c\n";
+        break;
+      case Kind::kIssue:
+        os << "b" << bin(e.value, 8) << " r\n";
+        break;
+      case Kind::kStall:
+        os << (e.value ? "1" : "0") << "s\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace plfsr

@@ -1,0 +1,46 @@
+// VCD (Value Change Dump) trace writer for the PiCoGA array simulator —
+// the observability layer an EDA-flavoured simulator is expected to
+// ship. Records context switches, issues, pipeline occupancy and stall
+// state per cycle and emits a standard IEEE 1364 VCD file that any
+// waveform viewer opens.
+//
+// The tracer is deliberately decoupled from PicogaArray: callers record
+// events against the array's own cycle counter, so any driver (the
+// accelerators, tests, user code) can produce waveforms without the
+// array knowing about files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+/// Event recorder + VCD emitter for one simulation run.
+class VcdTrace {
+ public:
+  /// `timescale_ns` is the real duration of one cycle (5 ns at 200 MHz).
+  explicit VcdTrace(unsigned timescale_ns = 5);
+
+  // --- recording (cycle = the array's cycle counter at the event) -----
+  void record_context(std::uint64_t cycle, unsigned slot);
+  void record_issue(std::uint64_t cycle, unsigned rows_active);
+  void record_stall(std::uint64_t cycle, bool stalled);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Render the full VCD text (header + sorted value changes).
+  std::string render(const std::string& module_name = "picoga") const;
+
+ private:
+  enum class Kind { kContext, kIssue, kStall };
+  struct Event {
+    std::uint64_t cycle;
+    Kind kind;
+    std::uint64_t value;
+  };
+  unsigned timescale_ns_;
+  std::vector<Event> events_;
+};
+
+}  // namespace plfsr

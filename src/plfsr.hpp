@@ -1,0 +1,67 @@
+// Umbrella header: the full public API of the library.
+//
+// Fine-grained headers remain the preferred include style (they keep
+// rebuilds small); this header exists for quick experiments and as the
+// canonical index of the API surface.
+#pragma once
+
+// Support
+#include "support/bitstream.hpp"
+#include "support/report.hpp"
+#include "support/rng.hpp"
+
+// GF(2) algebra
+#include "gf2/gf2_matrix.hpp"
+#include "gf2/gf2_poly.hpp"
+#include "gf2/gf2_vec.hpp"
+
+// LFSR theory
+#include "lfsr/berlekamp_massey.hpp"
+#include "lfsr/catalog.hpp"
+#include "lfsr/companion.hpp"
+#include "lfsr/derby.hpp"
+#include "lfsr/linear_system.hpp"
+#include "lfsr/lookahead.hpp"
+
+// CRC engines & analysis
+#include "crc/crc_spec.hpp"
+#include "crc/derby_crc.hpp"
+#include "crc/error_model.hpp"
+#include "crc/ethernet.hpp"
+#include "crc/gfmac_crc.hpp"
+#include "crc/matrix_crc.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/slicing_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "crc/wide_table_crc.hpp"
+
+// Scramblers
+#include "scrambler/dvb.hpp"
+#include "scrambler/scrambler.hpp"
+#include "scrambler/wifi.hpp"
+
+// Stream ciphers
+#include "cipher/a51.hpp"
+#include "cipher/combiner.hpp"
+#include "cipher/e0.hpp"
+
+// Mapping flow
+#include "mapper/design_space.hpp"
+#include "mapper/griffy.hpp"
+#include "mapper/matrix_mapper.hpp"
+#include "mapper/op_builder.hpp"
+#include "mapper/verilog_gen.hpp"
+#include "mapper/xor_netlist.hpp"
+
+// PiCoGA simulator
+#include "picoga/array.hpp"
+#include "picoga/crc_accelerator.hpp"
+#include "picoga/pga_op.hpp"
+#include "picoga/rlc_cell.hpp"
+#include "picoga/vcd_trace.hpp"
+
+// DREAM platform & comparators
+#include "asicmodel/ucrc_model.hpp"
+#include "dream/context_schedule.hpp"
+#include "dream/dream_model.hpp"
+#include "dream/scrambler_model.hpp"

@@ -1,0 +1,97 @@
+#include "scrambler/dvb.hpp"
+
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace plfsr::dvb {
+
+namespace {
+
+/// The EN 300 429 PRBS: 1 + x^14 + x^15, registers loaded with the init
+/// sequence 100101010000000 (register 1 first). Bit i of `reg` holds
+/// register i+1; the output/feedback is reg14 XOR reg15.
+class Prbs {
+ public:
+  void reset() { reg_ = 0x00A9; }  // regs 1,4,6,8 = 1
+  bool step() {
+    const bool fb = (((reg_ >> 13) ^ (reg_ >> 14)) & 1) != 0;
+    reg_ = static_cast<std::uint16_t>(((reg_ << 1) | (fb ? 1 : 0)) & 0x7FFF);
+    return fb;
+  }
+  std::uint8_t step_byte(bool use_output) {
+    std::uint8_t out = 0;
+    for (int i = 0; i < 8; ++i)
+      out = static_cast<std::uint8_t>((out << 1) | (step() ? 1 : 0));
+    return use_output ? out : 0;
+  }
+
+ private:
+  std::uint16_t reg_ = 0x00A9;
+};
+
+std::vector<std::uint8_t> process(std::span<const std::uint8_t> packets,
+                                  bool scrambling) {
+  if (packets.size() % kPacketBytes != 0)
+    throw std::invalid_argument("dvb: stream must be whole 188-byte packets");
+  const std::size_t n_packets = packets.size() / kPacketBytes;
+  std::vector<std::uint8_t> out(packets.size());
+  Prbs prbs;
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const std::size_t base = p * kPacketBytes;
+    const bool group_start = p % kPacketsPerGroup == 0;
+    const std::uint8_t sync = packets[base];
+    if (group_start) {
+      // Inverted sync byte marks the group; the PRBS restarts and its
+      // first bit applies to the byte AFTER the sync byte.
+      const std::uint8_t want = scrambling ? kSyncByte : kInvertedSyncByte;
+      if (sync != want)
+        throw std::invalid_argument("dvb: bad sync byte at group start");
+      out[base] = scrambling ? kInvertedSyncByte : kSyncByte;
+      prbs.reset();
+    } else {
+      if (sync != kSyncByte)
+        throw std::invalid_argument("dvb: bad sync byte");
+      out[base] = kSyncByte;
+      // PRBS keeps clocking through non-inverted sync bytes, output
+      // disabled (EN 300 429 §8).
+      prbs.step_byte(false);
+    }
+    for (std::size_t i = 1; i < kPacketBytes; ++i)
+      out[base + i] =
+          static_cast<std::uint8_t>(packets[base + i] ^ prbs.step_byte(true));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> randomize(std::span<const std::uint8_t> packets) {
+  return process(packets, /*scrambling=*/true);
+}
+
+std::vector<std::uint8_t> derandomize(std::span<const std::uint8_t> packets) {
+  return process(packets, /*scrambling=*/false);
+}
+
+BitStream prbs(std::size_t n_bits) {
+  Prbs p;
+  BitStream out;
+  for (std::size_t i = 0; i < n_bits; ++i) out.push_back(p.step());
+  return out;
+}
+
+std::vector<std::uint8_t> make_test_stream(std::size_t count,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out;
+  out.reserve(count * kPacketBytes);
+  for (std::size_t p = 0; p < count; ++p) {
+    out.push_back(kSyncByte);
+    const auto payload = rng.next_bytes(kPacketBytes - 1);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+}  // namespace plfsr::dvb

@@ -1,0 +1,39 @@
+// DVB/MPEG-TS energy-dispersal randomizer (ETSI EN 300 429 / DVB-C,
+// DVB-S): the framed scrambler the paper's "Digital Broadcasting" domain
+// refers to. Unlike the free-running 802.11 scrambler, DVB reinitialises
+// the PRBS (1 + x^14 + x^15, seed 100101010000000) at the start of every
+// group of eight 188-byte transport-stream packets, inverts the first
+// sync byte (0x47 -> 0xB8), leaves the other seven sync bytes
+// unscrambled (but keeps the PRBS clocking through them) — real framing
+// logic on top of the LFSR core, which is exactly the processor/fabric
+// split the paper advocates: framing on the RISC, PRBS on PiCoGA.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bitstream.hpp"
+
+namespace plfsr::dvb {
+
+inline constexpr std::size_t kPacketBytes = 188;
+inline constexpr std::size_t kPacketsPerGroup = 8;
+inline constexpr std::uint8_t kSyncByte = 0x47;
+inline constexpr std::uint8_t kInvertedSyncByte = 0xB8;
+
+/// Scramble (== descramble) a sequence of whole TS packets. Input length
+/// must be a multiple of 188 bytes and every packet must begin with the
+/// sync byte 0x47 on scramble (0x47/0xB8 accepted on descramble).
+std::vector<std::uint8_t> randomize(std::span<const std::uint8_t> packets);
+std::vector<std::uint8_t> derandomize(std::span<const std::uint8_t> packets);
+
+/// The PRBS sequence itself (bit per call order), exposed so tests can
+/// pin the standard's generator and seed.
+BitStream prbs(std::size_t n_bits);
+
+/// Build `count` well-formed TS packets with pseudo-random payloads.
+std::vector<std::uint8_t> make_test_stream(std::size_t count,
+                                           std::uint64_t seed);
+
+}  // namespace plfsr::dvb

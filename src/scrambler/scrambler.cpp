@@ -1,0 +1,89 @@
+#include "scrambler/scrambler.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+AdditiveScrambler::AdditiveScrambler(const Gf2Poly& g, std::uint64_t seed)
+    : sys_(make_scrambler_system(g)), x_(sys_.dim()) {
+  reseed(seed);
+}
+
+void AdditiveScrambler::reseed(std::uint64_t seed) {
+  x_ = Gf2Vec::from_word(sys_.dim(), seed);
+  if (x_.is_zero())
+    throw std::invalid_argument("AdditiveScrambler: seed must be nonzero");
+}
+
+BitStream AdditiveScrambler::process(const BitStream& in) {
+  return sys_.run(x_, in);
+}
+
+BitStream AdditiveScrambler::keystream(std::size_t n) {
+  return process(BitStream(n));
+}
+
+ParallelScrambler::ParallelScrambler(const Gf2Poly& g, std::size_t m,
+                                     std::uint64_t seed)
+    : sys_(make_scrambler_system(g)), la_(sys_, m), x_(sys_.dim()) {
+  reseed(seed);
+}
+
+void ParallelScrambler::reseed(std::uint64_t seed) {
+  x_ = Gf2Vec::from_word(sys_.dim(), seed);
+  if (x_.is_zero())
+    throw std::invalid_argument("ParallelScrambler: seed must be nonzero");
+}
+
+BitStream ParallelScrambler::process(const BitStream& in) {
+  BitStream out;
+  const std::size_t m = la_.m();
+  std::size_t pos = 0;
+  for (; pos + m <= in.size(); pos += m) {
+    const Gf2Vec u = chunk_to_vec(in, pos, m);
+    const Gf2Vec y = la_.step(x_, u);
+    for (std::size_t i = 0; i < m; ++i) out.push_back(y.get(i));
+  }
+  for (; pos < in.size(); ++pos)  // serial tail, keeps the state exact
+    out.push_back(sys_.step(x_, in.get(pos)));
+  return out;
+}
+
+MultiplicativeScrambler::MultiplicativeScrambler(const Gf2Poly& g) : g_(g) {
+  const int deg = g.degree();
+  if (deg <= 0 || deg > 63)
+    throw std::invalid_argument("MultiplicativeScrambler: bad generator");
+  k_ = static_cast<unsigned>(deg);
+  // Tap x^j reads the register cell j-1 (the bit that entered j clocks
+  // ago), exactly as in the Fibonacci companion convention.
+  for (unsigned j = 1; j <= k_; ++j)
+    if (g.coeff(j)) taps_ |= std::uint64_t{1} << (j - 1);
+}
+
+void MultiplicativeScrambler::reset() { reg_scr_ = reg_des_ = 0; }
+
+BitStream MultiplicativeScrambler::scramble(const BitStream& in) {
+  BitStream out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool fb = __builtin_parityll(reg_scr_ & taps_);
+    const bool y = in.get(i) ^ fb;
+    reg_scr_ = ((reg_scr_ << 1) | (y ? 1u : 0u)) &
+               ((std::uint64_t{1} << k_) - 1);
+    out.push_back(y);
+  }
+  return out;
+}
+
+BitStream MultiplicativeScrambler::descramble(const BitStream& in) {
+  BitStream out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool fb = __builtin_parityll(reg_des_ & taps_);
+    const bool y = in.get(i) ^ fb;
+    reg_des_ = ((reg_des_ << 1) | (in.get(i) ? 1u : 0u)) &
+               ((std::uint64_t{1} << k_) - 1);
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace plfsr

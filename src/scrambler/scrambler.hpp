@@ -1,0 +1,85 @@
+// Additive (synchronous) and multiplicative (self-synchronizing)
+// scramblers, serial and M-bit-parallel.
+//
+// The additive scrambler is the paper's second application (§2, Fig. 1
+// right; §5, Fig. 8): an autonomous LFSR whose output sequence is XORed
+// onto the data. Descrambling is the identical operation with the same
+// seed. The parallel form uses the same M-level look-ahead block matrices
+// as the CRC — with b = 0 the state recursion is x(n+M) = A^M x(n) and
+// the M output bits are y_M = C_M x + D_M u_M; the whole computation is
+// feed-forward except the state hop, so it maps onto a *single* PiCoGA
+// operation (no context switch), which is why Fig. 8 shows no
+// short-message penalty beyond the fill latency.
+#pragma once
+
+#include <cstdint>
+
+#include "lfsr/lookahead.hpp"
+#include "lfsr/linear_system.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// Serial additive scrambler: y(n) = taps(x(n)) XOR u(n), autonomous LFSR.
+class AdditiveScrambler {
+ public:
+  /// `seed` packs the initial LFSR state (bit i = state cell i; cell 0 is
+  /// the most recently fed-back bit in the Fibonacci drawing).
+  AdditiveScrambler(const Gf2Poly& g, std::uint64_t seed);
+
+  std::size_t order() const { return sys_.dim(); }
+
+  /// Scramble (== descramble) a bit stream, advancing the LFSR.
+  BitStream process(const BitStream& in);
+
+  /// Produce `n` keystream bits without data (u = 0).
+  BitStream keystream(std::size_t n);
+
+  /// Current LFSR state packed into a word.
+  std::uint64_t state() const { return x_.to_word(); }
+  void reseed(std::uint64_t seed);
+
+ private:
+  LinearSystem sys_;
+  Gf2Vec x_;
+};
+
+/// M-bit-parallel additive scrambler using the look-ahead block form.
+class ParallelScrambler {
+ public:
+  ParallelScrambler(const Gf2Poly& g, std::size_t m, std::uint64_t seed);
+
+  std::size_t m() const { return la_.m(); }
+  const LookAhead& lookahead() const { return la_; }
+
+  /// Scramble a stream, M bits per block step (tail handled serially).
+  BitStream process(const BitStream& in);
+
+  std::uint64_t state() const { return x_.to_word(); }
+  void reseed(std::uint64_t seed);
+
+ private:
+  LinearSystem sys_;
+  LookAhead la_;
+  Gf2Vec x_;
+};
+
+/// Multiplicative (self-synchronizing) scrambler: the shift register is
+/// fed by the *scrambled* output, so a receiver recovers alignment after
+/// k correct bits with no seed agreement (used e.g. in SONET payloads).
+class MultiplicativeScrambler {
+ public:
+  explicit MultiplicativeScrambler(const Gf2Poly& g);
+
+  BitStream scramble(const BitStream& in);
+  BitStream descramble(const BitStream& in);
+  void reset();
+
+ private:
+  Gf2Poly g_;
+  std::uint64_t taps_ = 0;  // tap mask over the shift register
+  unsigned k_ = 0;
+  std::uint64_t reg_scr_ = 0, reg_des_ = 0;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,41 @@
+#include "scrambler/spreader.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+Spreader::Spreader(const Gf2Poly& g, std::uint64_t seed,
+                   std::size_t chips_per_bit)
+    : sys_(make_prbs_system(g)), x_(sys_.dim()), c_(chips_per_bit) {
+  if (c_ == 0) throw std::invalid_argument("Spreader: chips_per_bit >= 1");
+  reseed(seed);
+}
+
+void Spreader::reseed(std::uint64_t seed) {
+  x_ = Gf2Vec::from_word(sys_.dim(), seed);
+  if (x_.is_zero())
+    throw std::invalid_argument("Spreader: seed must be nonzero");
+}
+
+BitStream Spreader::spread(const BitStream& data) {
+  BitStream out;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t j = 0; j < c_; ++j)
+      out.push_back(data.get(i) ^ sys_.step(x_, false));
+  return out;
+}
+
+BitStream Spreader::despread(const BitStream& chips) {
+  if (chips.size() % c_ != 0)
+    throw std::invalid_argument("Spreader: chip stream not a bit multiple");
+  BitStream out;
+  for (std::size_t i = 0; i < chips.size(); i += c_) {
+    std::size_t votes = 0;
+    for (std::size_t j = 0; j < c_; ++j)
+      votes += chips.get(i + j) ^ sys_.step(x_, false);
+    out.push_back(2 * votes > c_);
+  }
+  return out;
+}
+
+}  // namespace plfsr

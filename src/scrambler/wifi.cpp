@@ -1,0 +1,25 @@
+#include "scrambler/wifi.hpp"
+
+#include "lfsr/catalog.hpp"
+
+namespace plfsr::wifi {
+
+// IEEE 802.11-2007 §17.3.5.4: scrambler output for the all-ones state.
+const char kReferenceSequence127[128] =
+    "0000111011110010110010010000001000100110001011101011011000001100"
+    "110101001110011110110100001010101111101001010001101110001111111";
+
+AdditiveScrambler make_scrambler(std::uint64_t seed) {
+  return AdditiveScrambler(catalog::scrambler_80211(), seed);
+}
+
+ParallelScrambler make_parallel_scrambler(std::size_t m, std::uint64_t seed) {
+  return ParallelScrambler(catalog::scrambler_80211(), m, seed);
+}
+
+BitStream scramble_frame(const BitStream& payload, std::uint64_t seed) {
+  AdditiveScrambler s = make_scrambler(seed);
+  return s.process(payload);
+}
+
+}  // namespace plfsr::wifi

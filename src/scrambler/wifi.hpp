@@ -1,0 +1,33 @@
+// IEEE 802.11 frame-synchronous scrambler (the "802.11e scrambler" of the
+// paper's Fig. 8): additive scrambler with generator S(x) = x^7 + x^4 + 1.
+//
+// State convention: bit i of the seed is the register cell that entered
+// i+1 clocks ago in the standard's Fig. 151 drawing (cell X1 = bit 0 ...
+// X7 = bit 6); the all-ones seed 0x7F reproduces the standard's published
+// 127-bit reference sequence, which tests/scrambler_test.cpp checks
+// verbatim.
+#pragma once
+
+#include <cstdint>
+
+#include "scrambler/scrambler.hpp"
+#include "support/bitstream.hpp"
+
+namespace plfsr::wifi {
+
+/// The 127-bit keystream generated from the all-ones seed, as printed in
+/// the IEEE 802.11 standard.
+extern const char kReferenceSequence127[128];
+
+/// Serial 802.11 scrambler.
+AdditiveScrambler make_scrambler(std::uint64_t seed = 0x7F);
+
+/// M-bit-parallel 802.11 scrambler (the Fig. 8 configuration).
+ParallelScrambler make_parallel_scrambler(std::size_t m,
+                                          std::uint64_t seed = 0x7F);
+
+/// Scramble a PPDU payload with a fresh per-frame seed (as 802.11 does);
+/// descrambling is the same call with the same seed.
+BitStream scramble_frame(const BitStream& payload, std::uint64_t seed);
+
+}  // namespace plfsr::wifi

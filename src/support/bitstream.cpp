@@ -1,0 +1,82 @@
+#include "support/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+BitStream BitStream::from_bytes_msb_first(std::span<const std::uint8_t> bytes) {
+  BitStream s;
+  for (std::uint8_t b : bytes)
+    for (int i = 7; i >= 0; --i) s.push_back((b >> i) & 1);
+  return s;
+}
+
+BitStream BitStream::from_bytes_lsb_first(std::span<const std::uint8_t> bytes) {
+  BitStream s;
+  for (std::uint8_t b : bytes)
+    for (int i = 0; i < 8; ++i) s.push_back((b >> i) & 1);
+  return s;
+}
+
+BitStream BitStream::from_string(const std::string& bits) {
+  BitStream s;
+  for (char c : bits) {
+    if (c == '0')
+      s.push_back(false);
+    else if (c == '1')
+      s.push_back(true);
+    else
+      throw std::invalid_argument("BitStream::from_string: non-binary char");
+  }
+  return s;
+}
+
+void BitStream::append(const BitStream& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+}
+
+std::uint64_t BitStream::chunk(std::size_t pos, unsigned count) const {
+  if (count > 64) throw std::invalid_argument("BitStream::chunk: count > 64");
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    const std::size_t idx = pos + i;
+    if (idx < size_ && get(idx)) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::size_t BitStream::weight() const {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < size_; ++i) w += get(i);
+  return w;
+}
+
+std::string BitStream::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(get(i) ? '1' : '0');
+  return out;
+}
+
+std::vector<std::uint8_t> BitStream::to_bytes_lsb_first() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) out[i >> 3] |= std::uint8_t(1u << (i & 7));
+  return out;
+}
+
+std::vector<std::uint8_t> BitStream::to_bytes_msb_first() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) out[i >> 3] |= std::uint8_t(1u << (7 - (i & 7)));
+  return out;
+}
+
+bool BitStream::operator==(const BitStream& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i) != other.get(i)) return false;
+  return true;
+}
+
+}  // namespace plfsr

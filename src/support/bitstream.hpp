@@ -1,0 +1,92 @@
+// Bit-granular message container used throughout the library.
+//
+// LFSR applications consume and produce streams of individual bits; the
+// paper's figures sweep message lengths that are not byte multiples
+// (e.g. the 368-bit lower edge of the Ethernet window is 46 bytes, but the
+// look-ahead engines consume M-bit chunks for M up to 128). BitStream
+// stores bits MSB-first-per-push in a compact word array and offers both
+// bit-level and chunk-level accessors.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+/// Dynamically sized sequence of bits with O(1) append and random access.
+///
+/// Bit i is the i-th bit pushed; no byte/bit-order reflection is applied
+/// here — engines that need reflected (LSB-first) byte semantics (e.g. the
+/// Ethernet CRC) perform the reflection themselves via `from_bytes_lsb_first`.
+class BitStream {
+ public:
+  BitStream() = default;
+
+  /// Construct with `n` bits, all zero.
+  explicit BitStream(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  /// Each byte contributes its bits MSB first (bit 7 of byte 0 is stream
+  /// bit 0). This is the transmission order of most non-reflected protocols.
+  static BitStream from_bytes_msb_first(std::span<const std::uint8_t> bytes);
+
+  /// Each byte contributes its bits LSB first (bit 0 of byte 0 is stream
+  /// bit 0). This is the wire order of Ethernet (IEEE 802.3) and the
+  /// convention of all "reflected" CRCs.
+  static BitStream from_bytes_lsb_first(std::span<const std::uint8_t> bytes);
+
+  /// Parse a string of '0'/'1' characters; anything else throws.
+  static BitStream from_string(const std::string& bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void push_back(bool v) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (v) words_.back() |= std::uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  /// Append all bits of `other` in order.
+  void append(const BitStream& other);
+
+  /// Read `count` (≤ 64) bits starting at `pos`, bit `pos` in the LSB.
+  /// Bits beyond the end of the stream read as zero (look-ahead engines
+  /// use this for the final partial chunk).
+  std::uint64_t chunk(std::size_t pos, unsigned count) const;
+
+  /// Number of set bits.
+  std::size_t weight() const;
+
+  /// Render as a '0'/'1' string (for diagnostics and tests).
+  std::string to_string() const;
+
+  /// Pack back into bytes, LSB-first per byte (inverse of
+  /// `from_bytes_lsb_first`); the trailing partial byte is zero-padded.
+  std::vector<std::uint8_t> to_bytes_lsb_first() const;
+
+  /// Pack back into bytes, MSB-first per byte.
+  std::vector<std::uint8_t> to_bytes_msb_first() const;
+
+  bool operator==(const BitStream& other) const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace plfsr

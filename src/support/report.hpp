@@ -1,0 +1,39 @@
+// Lightweight table/series printer used by the figure-reproduction benches.
+//
+// Every bench binary prints (a) a human-readable aligned table matching the
+// rows/series the paper reports and (b) optionally a CSV block for plotting.
+// Keeping the format in one place makes the bench outputs uniform.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+/// Column-aligned text table with an optional CSV dump.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render aligned, with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (comma-separated, no quoting — cells must be plain).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plfsr

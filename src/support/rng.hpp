@@ -1,0 +1,76 @@
+// Deterministic pseudo-random generator for tests, benches and workload
+// generation. All experiments in the repo must be reproducible run-to-run,
+// so everything that needs randomness takes an explicit seed and uses this
+// generator (a SplitMix64 / xoshiro256** pair, self-contained so results do
+// not depend on the standard library's unspecified distributions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitstream.hpp"
+
+namespace plfsr {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 to spread the seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping (small bias negligible here).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  bool next_bit() { return next_u64() & 1; }
+
+  /// Random message of n bits.
+  BitStream next_bits(std::size_t n) {
+    BitStream s(n);
+    for (std::size_t i = 0; i < n; i += 64) {
+      const std::uint64_t w = next_u64();
+      for (std::size_t j = i; j < n && j < i + 64; ++j)
+        s.set(j, (w >> (j - i)) & 1);
+    }
+    return s;
+  }
+
+  /// Random byte buffer of n bytes.
+  std::vector<std::uint8_t> next_bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(next_u64());
+    return out;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace plfsr

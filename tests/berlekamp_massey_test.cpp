@@ -1,0 +1,84 @@
+#include "lfsr/berlekamp_massey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+#include "lfsr/linear_system.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(BerlekampMassey, ZeroSequenceHasComplexityZero) {
+  const auto syn = berlekamp_massey(BitStream(40));
+  EXPECT_EQ(syn.complexity, 0u);
+}
+
+TEST(BerlekampMassey, RecoversEveryCatalogueScramblerGenerator) {
+  // Keystream of a maximal-length LFSR of degree k has linear complexity
+  // exactly k, and the synthesized connection polynomial is the
+  // reciprocal-normalized generator — BM must reproduce it from 2k bits.
+  for (const auto& [name, g] : catalog::all_scrambler_polys()) {
+    const unsigned k = static_cast<unsigned>(g.degree());
+    const LinearSystem sys = make_prbs_system(g);
+    Gf2Vec x = Gf2Vec::from_word(k, 1);
+    BitStream seq;
+    for (unsigned i = 0; i < 4 * k; ++i) seq.push_back(sys.step(x, false));
+
+    const auto syn = berlekamp_massey(seq);
+    EXPECT_EQ(syn.complexity, k) << name;
+    EXPECT_TRUE(generates(syn.connection, syn.complexity, seq)) << name;
+  }
+}
+
+TEST(BerlekampMassey, ComplexityPlateausAfter2L) {
+  const LinearSystem sys = make_prbs_system(catalog::prbs9());
+  Gf2Vec x = Gf2Vec::from_word(9, 0x1A5);
+  BitStream seq;
+  for (int i = 0; i < 60; ++i) seq.push_back(sys.step(x, false));
+  const auto profile = linear_complexity_profile(seq);
+  // Once 2L = 18 bits are seen, the profile never grows again.
+  for (std::size_t i = 18; i < profile.size(); ++i)
+    EXPECT_EQ(profile[i], 9u) << "prefix " << i;
+}
+
+TEST(BerlekampMassey, RandomSequenceComplexityNearHalf) {
+  Rng rng(1);
+  const BitStream seq = rng.next_bits(200);
+  const auto syn = berlekamp_massey(seq);
+  EXPECT_GT(syn.complexity, 85u);
+  EXPECT_LT(syn.complexity, 115u);
+  EXPECT_TRUE(generates(syn.connection, syn.complexity, seq));
+}
+
+TEST(BerlekampMassey, PredictsScramblerKeystream) {
+  // The attack: observe 4k keystream bits of the 802.11 scrambler (k=7),
+  // predict the next 100 exactly.
+  AdditiveScrambler s(catalog::scrambler_80211(), 0x55);
+  const BitStream observed = s.keystream(28);
+  const BitStream future = s.keystream(100);
+  EXPECT_EQ(predict_continuation(observed, 100), future);
+}
+
+TEST(BerlekampMassey, PredictionNeedsEnoughBits) {
+  AdditiveScrambler s(catalog::scrambler_dvb(), 0x7FF);  // k = 15
+  const BitStream observed = s.keystream(20);            // < 2k
+  EXPECT_THROW(predict_continuation(observed, 10), std::invalid_argument);
+}
+
+TEST(BerlekampMassey, CombinerKeystreamHasSumComplexity) {
+  // XOR of two maximal-length LFSRs with coprime periods has linear
+  // complexity k1 + k2 — the classic combiner result.
+  const LinearSystem s7 = make_prbs_system(catalog::prbs7());
+  const LinearSystem s9 = make_prbs_system(catalog::prbs9());
+  Gf2Vec x7 = Gf2Vec::from_word(7, 0x11);
+  Gf2Vec x9 = Gf2Vec::from_word(9, 0x23);
+  BitStream seq;
+  for (int i = 0; i < 120; ++i)
+    seq.push_back(s7.step(x7, false) ^ s9.step(x9, false));
+  EXPECT_EQ(berlekamp_massey(seq).complexity, 16u);
+}
+
+}  // namespace
+}  // namespace plfsr

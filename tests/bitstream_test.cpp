@@ -1,0 +1,102 @@
+#include "support/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(BitStream, EmptyByDefault) {
+  BitStream s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(BitStream, PushBackAndGet) {
+  BitStream s;
+  s.push_back(true);
+  s.push_back(false);
+  s.push_back(true);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.get(0));
+  EXPECT_FALSE(s.get(1));
+  EXPECT_TRUE(s.get(2));
+}
+
+TEST(BitStream, SetOverwrites) {
+  BitStream s(10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(s.get(i));
+  s.set(7, true);
+  EXPECT_TRUE(s.get(7));
+  s.set(7, false);
+  EXPECT_FALSE(s.get(7));
+}
+
+TEST(BitStream, CrossesWordBoundary) {
+  BitStream s;
+  for (int i = 0; i < 130; ++i) s.push_back(i % 3 == 0);
+  ASSERT_EQ(s.size(), 130u);
+  for (int i = 0; i < 130; ++i) EXPECT_EQ(s.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitStream, FromBytesMsbFirst) {
+  const std::uint8_t bytes[] = {0xA5};  // 1010 0101
+  const BitStream s = BitStream::from_bytes_msb_first(bytes);
+  EXPECT_EQ(s.to_string(), "10100101");
+}
+
+TEST(BitStream, FromBytesLsbFirst) {
+  const std::uint8_t bytes[] = {0xA5};  // LSB first: 1,0,1,0,0,1,0,1
+  const BitStream s = BitStream::from_bytes_lsb_first(bytes);
+  EXPECT_EQ(s.to_string(), "10100101");
+}
+
+TEST(BitStream, ByteRoundTrips) {
+  Rng rng(42);
+  const auto bytes = rng.next_bytes(33);
+  EXPECT_EQ(BitStream::from_bytes_lsb_first(bytes).to_bytes_lsb_first(),
+            bytes);
+  EXPECT_EQ(BitStream::from_bytes_msb_first(bytes).to_bytes_msb_first(),
+            bytes);
+}
+
+TEST(BitStream, FromString) {
+  const BitStream s = BitStream::from_string("0110");
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.get(0));
+  EXPECT_TRUE(s.get(1));
+  EXPECT_THROW(BitStream::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitStream, ChunkReadsLowBitFirst) {
+  const BitStream s = BitStream::from_string("1011");
+  EXPECT_EQ(s.chunk(0, 4), 0b1101u);  // bit 0 of the chunk = stream bit 0
+  EXPECT_EQ(s.chunk(1, 3), 0b110u);
+}
+
+TEST(BitStream, ChunkPastEndReadsZero) {
+  const BitStream s = BitStream::from_string("11");
+  EXPECT_EQ(s.chunk(0, 8), 0b11u);
+  EXPECT_EQ(s.chunk(5, 8), 0u);
+}
+
+TEST(BitStream, ChunkRejectsOver64) {
+  const BitStream s(4);
+  EXPECT_THROW(s.chunk(0, 65), std::invalid_argument);
+}
+
+TEST(BitStream, AppendConcatenates) {
+  BitStream a = BitStream::from_string("10");
+  a.append(BitStream::from_string("01"));
+  EXPECT_EQ(a.to_string(), "1001");
+}
+
+TEST(BitStream, EqualityIsContentBased) {
+  EXPECT_EQ(BitStream::from_string("101"), BitStream::from_string("101"));
+  EXPECT_FALSE(BitStream::from_string("101") == BitStream::from_string("100"));
+  EXPECT_FALSE(BitStream::from_string("101") == BitStream::from_string("1010"));
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,45 @@
+#include "lfsr/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfsr {
+namespace {
+
+TEST(Catalog, CrcDegrees) {
+  EXPECT_EQ(catalog::crc32_ethernet().degree(), 32);
+  EXPECT_EQ(catalog::crc16_ccitt().degree(), 16);
+  EXPECT_EQ(catalog::crc24_openpgp().degree(), 24);
+  EXPECT_EQ(catalog::crc5_usb().degree(), 5);
+  EXPECT_EQ(catalog::crc64_ecma().degree(), 64);
+}
+
+TEST(Catalog, ScramblerForms) {
+  EXPECT_EQ(catalog::scrambler_80211().to_string(), "x^7 + x^4 + 1");
+  EXPECT_EQ(catalog::scrambler_dvb().to_string(), "x^15 + x^14 + 1");
+  EXPECT_EQ(catalog::prbs31().to_string(), "x^31 + x^28 + 1");
+}
+
+TEST(Catalog, A51RegisterDegrees) {
+  EXPECT_EQ(catalog::a51_r1().degree(), 19);
+  EXPECT_EQ(catalog::a51_r2().degree(), 22);
+  EXPECT_EQ(catalog::a51_r3().degree(), 23);
+}
+
+TEST(Catalog, ListingsAreComplete) {
+  EXPECT_EQ(catalog::all_crc_polys().size(), 11u);
+  EXPECT_EQ(catalog::all_scrambler_polys().size(), 6u);
+  for (const auto& [name, poly] : catalog::all_crc_polys()) {
+    EXPECT_FALSE(name.empty());
+    EXPECT_GE(poly.degree(), 5);
+  }
+}
+
+TEST(Catalog, A51PolynomialsArePrimitive) {
+  // GSM chose maximal-length registers.
+  EXPECT_TRUE(catalog::a51_r1().is_primitive());
+  EXPECT_TRUE(catalog::a51_r2().is_primitive());
+  EXPECT_TRUE(catalog::a51_r3().is_primitive());
+}
+
+}  // namespace
+}  // namespace plfsr

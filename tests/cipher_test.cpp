@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "cipher/a51.hpp"
+#include "cipher/combiner.hpp"
+#include "lfsr/catalog.hpp"
+#include "lfsr/lookahead.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+std::array<std::uint8_t, 8> test_key() {
+  return {0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF};
+}
+
+TEST(A51, ReferenceTestVector) {
+  // The canonical published vector (reference a5-1 implementation):
+  // key 12 23 45 67 89 AB CD EF, frame 0x134.
+  const std::uint8_t kAtoB[15] = {0x53, 0x4E, 0xAA, 0x58, 0x2F,
+                                  0xE8, 0x15, 0x1A, 0xB6, 0xE1,
+                                  0x85, 0x5A, 0x72, 0x8C, 0x00};
+  const std::uint8_t kBtoA[15] = {0x24, 0xFD, 0x35, 0xA3, 0x5D,
+                                  0x5F, 0xB6, 0x52, 0x6D, 0x32,
+                                  0xF9, 0x06, 0xDF, 0x1A, 0xC0};
+  A51 a(test_key(), 0x134);
+  const auto pack = [](const BitStream& s) {
+    std::vector<std::uint8_t> out((s.size() + 7) / 8, 0);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (s.get(i)) out[i / 8] |= std::uint8_t(1u << (7 - i % 8));
+    return out;
+  };
+  const auto atob = pack(a.downlink());
+  const auto btoa = pack(a.uplink());
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(atob[i], kAtoB[i]) << "AtoB byte " << i;
+    EXPECT_EQ(btoa[i], kBtoA[i]) << "BtoA byte " << i;
+  }
+}
+
+TEST(A51, DeterministicPerKeyAndFrame) {
+  A51 a(test_key(), 0x134);
+  A51 b(test_key(), 0x134);
+  EXPECT_EQ(a.downlink(), b.downlink());
+}
+
+TEST(A51, FrameNumberChangesKeystream) {
+  A51 a(test_key(), 0x134);
+  A51 b(test_key(), 0x135);
+  EXPECT_FALSE(a.downlink() == b.downlink());
+}
+
+TEST(A51, KeyChangesKeystream) {
+  auto k2 = test_key();
+  k2[0] ^= 1;
+  A51 a(test_key(), 0x134);
+  A51 b(k2, 0x134);
+  EXPECT_FALSE(a.downlink() == b.downlink());
+}
+
+TEST(A51, DownlinkAndUplinkAre114Bits) {
+  A51 a(test_key(), 0);
+  EXPECT_EQ(a.downlink().size(), 114u);
+  EXPECT_EQ(a.uplink().size(), 114u);
+}
+
+TEST(A51, UplinkRequiresDownlinkFirst) {
+  A51 a(test_key(), 0);
+  EXPECT_THROW(a.uplink(), std::logic_error);
+  a.downlink();
+  EXPECT_THROW(a.downlink(), std::logic_error);
+}
+
+TEST(A51, RegistersNonZeroAfterSetup) {
+  // The mixing phase leaves all three registers loaded for any
+  // reasonable key (the all-zero key + frame is the only degenerate one).
+  A51 a(test_key(), 0x134);
+  EXPECT_NE(a.r1() | a.r2() | a.r3(), 0u);
+}
+
+TEST(A51, FrameNumberRangeChecked) {
+  EXPECT_THROW(A51(test_key(), 1u << 22), std::invalid_argument);
+}
+
+TEST(A51, KeystreamIsBalanced) {
+  // Crude statistical check: over 10 frames the keystream ones-density
+  // stays within 40-60%.
+  std::size_t ones = 0, total = 0;
+  for (std::uint32_t frame = 0; frame < 10; ++frame) {
+    A51 a(test_key(), frame);
+    const BitStream d = a.downlink();
+    for (std::size_t i = 0; i < d.size(); ++i) ones += d.get(i);
+    total += d.size();
+  }
+  EXPECT_GT(ones, total * 2 / 5);
+  EXPECT_LT(ones, total * 3 / 5);
+}
+
+TEST(XorCombiner, EncryptDecryptIdentity) {
+  const std::vector<Gf2Poly> gens = {catalog::a51_r1(), catalog::a51_r2(),
+                                     catalog::a51_r3()};
+  const std::vector<std::uint64_t> seeds = {0x111, 0x222, 0x333};
+  XorCombiner tx(gens, seeds);
+  XorCombiner rx(gens, seeds);
+  Rng rng(1);
+  const BitStream msg = rng.next_bits(500);
+  EXPECT_EQ(rx.process(tx.process(msg)), msg);
+}
+
+TEST(XorCombiner, JointSystemReproducesKeystream) {
+  // The combiner is linear: the block-diagonal joint LinearSystem must
+  // emit the identical keystream — and therefore parallelizes with the
+  // same look-ahead machinery as everything else in the paper.
+  const std::vector<Gf2Poly> gens = {catalog::prbs7(), catalog::prbs9()};
+  const std::vector<std::uint64_t> seeds = {0x41, 0x155};
+  XorCombiner c(gens, seeds);
+  const LinearSystem joint = c.joint_system();
+  Gf2Vec x = c.joint_state();
+
+  XorCombiner fresh(gens, seeds);
+  const BitStream expect = fresh.keystream(300);
+  const BitStream got = joint.run(x, BitStream(300));
+  EXPECT_EQ(got, expect);
+}
+
+TEST(XorCombiner, JointSystemParallelizes) {
+  const std::vector<Gf2Poly> gens = {catalog::prbs7(), catalog::prbs9()};
+  const std::vector<std::uint64_t> seeds = {0x7F, 0x1FF};
+  XorCombiner c(gens, seeds);
+  const LinearSystem joint = c.joint_system();
+  const LookAhead la(joint, 32);
+
+  Gf2Vec xs = c.joint_state();
+  Gf2Vec xb = xs;
+  const BitStream serial = joint.run(xs, BitStream(320));
+  const BitStream block = la.run(xb, BitStream(320));
+  EXPECT_EQ(block, serial);
+}
+
+TEST(XorCombiner, RejectsBadConfig) {
+  EXPECT_THROW(XorCombiner({}, {}), std::invalid_argument);
+  EXPECT_THROW(XorCombiner({catalog::prbs7()}, {0}), std::invalid_argument);
+  EXPECT_THROW(XorCombiner({catalog::prbs7()}, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(AddWithCarryCombiner, Deterministic) {
+  AddWithCarryCombiner a(0x123456789Aull);
+  AddWithCarryCombiner b(0x123456789Aull);
+  EXPECT_EQ(a.keystream(64), b.keystream(64));
+}
+
+TEST(AddWithCarryCombiner, KeySensitivity) {
+  AddWithCarryCombiner a(0x123456789Aull);
+  AddWithCarryCombiner b(0x123456789Bull);
+  EXPECT_NE(a.keystream(64), b.keystream(64));
+}
+
+TEST(AddWithCarryCombiner, ZeroKeyStillRuns) {
+  // The inserted '1' bits keep both LFSRs out of the all-zero state.
+  AddWithCarryCombiner c(0);
+  const auto ks = c.keystream(32);
+  bool any_nonzero = false;
+  for (std::uint8_t v : ks) any_nonzero |= v != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace plfsr

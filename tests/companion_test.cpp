@@ -1,0 +1,71 @@
+#include "lfsr/companion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Companion, GaloisFormStructure) {
+  const Gf2Poly g = Gf2Poly::from_exponents({4, 1, 0});  // x^4 + x + 1
+  const Gf2Matrix a = companion_galois(g);
+  ASSERT_EQ(a.rows(), 4u);
+  // Paper layout: subdiagonal ones, last column = [g_0 g_1 g_2 g_3].
+  EXPECT_EQ(a.to_string(),
+            "0001\n"
+            "1001\n"
+            "0100\n"
+            "0010\n");
+  EXPECT_TRUE(a.is_companion());
+}
+
+TEST(Companion, InputVectorHoldsCoefficients) {
+  const Gf2Poly g = Gf2Poly::from_exponents({4, 1, 0});
+  EXPECT_EQ(crc_input_vector(g).to_string(), "1100");
+}
+
+TEST(Companion, FibonacciFormStructure) {
+  const Gf2Poly g = catalog::scrambler_80211();  // x^7 + x^4 + 1
+  const Gf2Matrix a = companion_fibonacci(g);
+  ASSERT_EQ(a.rows(), 7u);
+  // Feedback row reads taps x^4 -> cell 3 and x^7 -> cell 6.
+  EXPECT_EQ(a.row(0).to_string(), "0001001");
+  for (std::size_t i = 1; i < 7; ++i)
+    for (std::size_t j = 0; j < 7; ++j)
+      EXPECT_EQ(a.get(i, j), j == i - 1) << i << "," << j;
+}
+
+TEST(Companion, CharacteristicOrderMatchesPolynomialOrder) {
+  // For a primitive g of degree k, A has multiplicative order 2^k - 1.
+  for (const Gf2Poly& g :
+       {catalog::scrambler_80211(), catalog::prbs9()}) {
+    const std::uint64_t period =
+        (std::uint64_t{1} << static_cast<unsigned>(g.degree())) - 1;
+    for (const Gf2Matrix& a : {companion_galois(g), companion_fibonacci(g)}) {
+      EXPECT_TRUE(a.pow(period).is_identity());
+      EXPECT_FALSE(a.pow(period / distinct_prime_factors(period)[0])
+                       .is_identity());
+    }
+  }
+}
+
+TEST(Companion, GaloisAndFibonacciAreSimilar) {
+  // Same characteristic polynomial -> same order; verify via A^n stepping
+  // an impulse through both forms yields sequences of equal period.
+  const Gf2Poly g = catalog::prbs9();
+  const Gf2Matrix ga = companion_galois(g);
+  const Gf2Matrix fa = companion_fibonacci(g);
+  EXPECT_EQ(ga.rank(), fa.rank());
+  EXPECT_TRUE((ga.pow(511) * ga).operator==(ga));
+  EXPECT_TRUE((fa.pow(511) * fa).operator==(fa));
+}
+
+TEST(Companion, RejectsDegenerateGenerator) {
+  EXPECT_THROW(companion_galois(Gf2Poly::one()), std::invalid_argument);
+  EXPECT_THROW(companion_galois(Gf2Poly()), std::invalid_argument);
+  EXPECT_THROW(companion_fibonacci(Gf2Poly()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,85 @@
+#include "dream/context_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfsr {
+namespace {
+
+ContextScheduler four_kernel_cache() {
+  ContextScheduler s(4, 2);
+  s.register_kernel({"crc_op1", 960});
+  s.register_kernel({"crc_op2", 384});
+  s.register_kernel({"scrambler", 576});
+  s.register_kernel({"crc16", 448});
+  s.register_kernel({"crc24", 768});
+  return s;
+}
+
+TEST(ContextScheduler, ColdStartPaysReload) {
+  auto s = four_kernel_cache();
+  EXPECT_EQ(s.activate("crc_op1"), 2u + 960u);
+  EXPECT_EQ(s.reloads(), 1u);
+}
+
+TEST(ContextScheduler, ReactivatingActiveIsFree) {
+  auto s = four_kernel_cache();
+  s.activate("crc_op1");
+  EXPECT_EQ(s.activate("crc_op1"), 0u);
+}
+
+TEST(ContextScheduler, CachedSwitchIsTwoCycles) {
+  auto s = four_kernel_cache();
+  s.activate("crc_op1");
+  s.activate("crc_op2");
+  // Back to op1: cached, just the 2-cycle layer exchange.
+  EXPECT_EQ(s.activate("crc_op1"), 2u);
+  EXPECT_EQ(s.hits(), 1u);
+}
+
+TEST(ContextScheduler, FourKernelsFitWithoutThrashing) {
+  // The paper's working set — CRC op1/op2 + scrambler + one more — fits
+  // the 4-context cache: after warm-up, no activation ever reloads.
+  auto s = four_kernel_cache();
+  const std::vector<std::string> warm = {"crc_op1", "crc_op2", "scrambler",
+                                         "crc16"};
+  s.run_sequence(warm);
+  const std::uint64_t reloads_after_warmup = s.reloads();
+  for (int round = 0; round < 10; ++round)
+    s.run_sequence({"crc_op1", "crc_op2", "scrambler", "crc16"});
+  EXPECT_EQ(s.reloads(), reloads_after_warmup);
+}
+
+TEST(ContextScheduler, FifthKernelThrashesLru) {
+  auto s = four_kernel_cache();
+  const std::vector<std::string> rotation = {"crc_op1", "crc_op2",
+                                             "scrambler", "crc16", "crc24"};
+  s.run_sequence(rotation);   // 5 cold loads
+  const std::uint64_t before = s.reloads();
+  s.run_sequence(rotation);   // LRU rotation of 5 over 4 slots: all miss
+  EXPECT_EQ(s.reloads(), before + 5);
+}
+
+TEST(ContextScheduler, UnknownKernelThrows) {
+  auto s = four_kernel_cache();
+  EXPECT_THROW(s.activate("fft"), std::invalid_argument);
+}
+
+TEST(ContextScheduler, TotalsAccumulate) {
+  auto s = four_kernel_cache();
+  const std::uint64_t c =
+      s.run_sequence({"crc_op1", "crc_op2", "crc_op1", "crc_op2"});
+  EXPECT_EQ(c, s.total_cycles());
+  EXPECT_EQ(c, (2u + 960) + (2u + 384) + 2u + 2u);
+}
+
+TEST(ContextScheduler, SingleContextAlwaysReloads) {
+  ContextScheduler s(1, 2);
+  s.register_kernel({"a", 100});
+  s.register_kernel({"b", 100});
+  s.run_sequence({"a", "b", "a", "b"});
+  EXPECT_EQ(s.reloads(), 4u);
+  EXPECT_EQ(s.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace plfsr

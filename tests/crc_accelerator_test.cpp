@@ -1,0 +1,127 @@
+#include "picoga/crc_accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crc/crc_spec.hpp"
+#include "crc/serial_crc.hpp"
+#include "dream/dream_model.hpp"
+#include "dream/scrambler_model.hpp"
+#include "lfsr/catalog.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(PicogaCrcAccelerator, ComputesTheEthernetCrc) {
+  Rng rng(1);
+  const CrcSpec spec = crcspec::crc32_ethernet();
+  for (std::size_t m : {32u, 64u, 128u}) {
+    PicogaCrcAccelerator acc(spec.generator(), m);
+    const BitStream bits = rng.next_bits(m * 10);
+    const auto res = acc.process(bits, spec.init);
+    EXPECT_EQ(res.raw, serial_crc_bits(bits, spec.width, spec.poly, spec.init))
+        << "M=" << m;
+    EXPECT_GT(res.cycles, 10u / m + 1);
+  }
+}
+
+TEST(PicogaCrcAccelerator, CyclesMatchAnalyticModel) {
+  // The closed-form DreamCrcModel must agree cycle-for-cycle with the
+  // event-driven array simulation — the cross-validation DESIGN.md
+  // promises.
+  Rng rng(2);
+  const Gf2Poly g = catalog::crc32_ethernet();
+  for (std::size_t m : {32u, 128u}) {
+    PicogaCrcAccelerator acc(g, m);
+    const DreamCrcModel model(g, m);
+    for (std::size_t chunks : {1u, 4u, 96u}) {
+      const BitStream bits = rng.next_bits(m * chunks);
+      EXPECT_EQ(acc.process(bits, 0xFFFFFFFF).cycles,
+                model.cycles_single(m * chunks))
+          << "M=" << m << " chunks=" << chunks;
+    }
+  }
+}
+
+TEST(PicogaCrcAccelerator, InterleavedCyclesMatchAnalyticModel) {
+  Rng rng(3);
+  const Gf2Poly g = catalog::crc32_ethernet();
+  PicogaCrcAccelerator acc(g, 64);
+  const DreamCrcModel model(g, 64);
+  for (std::size_t batch : {2u, 8u, 32u}) {
+    std::vector<BitStream> msgs;
+    for (std::size_t i = 0; i < batch; ++i)
+      msgs.push_back(rng.next_bits(64 * 6));
+    const auto res = acc.process_interleaved(msgs, 0xFFFFFFFF);
+    EXPECT_EQ(res.cycles, model.cycles_interleaved(64 * 6, batch))
+        << "batch=" << batch;
+    // Every message's CRC is still exact.
+    for (std::size_t i = 0; i < batch; ++i)
+      EXPECT_EQ(res.raw[i],
+                serial_crc_bits(msgs[i], 32, 0x04C11DB7, 0xFFFFFFFF));
+  }
+}
+
+TEST(PicogaCrcAccelerator, InterleavingAmortizesOverhead) {
+  const Gf2Poly g = catalog::crc32_ethernet();
+  PicogaCrcAccelerator acc(g, 128);
+  Rng rng(4);
+  const std::size_t n = 512;  // short messages: overhead-dominated
+  std::vector<BitStream> msgs;
+  for (int i = 0; i < 32; ++i) msgs.push_back(rng.next_bits(n));
+
+  std::uint64_t single_total = 0;
+  for (const auto& msg : msgs)
+    single_total += acc.process(msg, 0xFFFFFFFF).cycles;
+  const std::uint64_t batch_total =
+      acc.process_interleaved(msgs, 0xFFFFFFFF).cycles;
+  EXPECT_LT(batch_total * 2, single_total);  // at least 2x better
+}
+
+TEST(PicogaCrcAccelerator, RejectsRaggedMessages) {
+  PicogaCrcAccelerator acc(catalog::crc32_ethernet(), 32);
+  EXPECT_THROW(acc.process(BitStream(33), 0), std::invalid_argument);
+  EXPECT_THROW(acc.process_interleaved({}, 0), std::invalid_argument);
+  EXPECT_THROW(
+      acc.process_interleaved({BitStream(32), BitStream(64)}, 0),
+      std::invalid_argument);
+}
+
+TEST(PicogaScramblerAccelerator, MatchesSerialScrambler) {
+  Rng rng(5);
+  const Gf2Poly g = catalog::scrambler_80211();
+  for (std::size_t m : {32u, 128u}) {
+    PicogaScramblerAccelerator acc(g, m);
+    const BitStream data = rng.next_bits(m * 8);
+    AdditiveScrambler ref(g, 0x7F);
+    const auto res = acc.process(data, 0x7F);
+    EXPECT_EQ(res.out, ref.process(data)) << "M=" << m;
+  }
+}
+
+TEST(PicogaScramblerAccelerator, CyclesMatchAnalyticModel) {
+  const Gf2Poly g = catalog::scrambler_80211();
+  PicogaScramblerAccelerator acc(g, 64);
+  const DreamScramblerModel model(g, 64);
+  Rng rng(6);
+  for (std::size_t chunks : {1u, 16u, 190u}) {
+    const BitStream data = rng.next_bits(64 * chunks);
+    EXPECT_EQ(acc.process(data, 0x7F).cycles, model.cycles(64 * chunks))
+        << "chunks=" << chunks;
+  }
+}
+
+TEST(PicogaCrcAccelerator, ConfigLoadIsChargedOnce) {
+  PicogaCrcAccelerator acc(catalog::crc32_ethernet(), 64);
+  EXPECT_GT(acc.config_cycles(), 100u);  // two whole-op bitstreams
+  // And process() cycles do not include it.
+  Rng rng(7);
+  const BitStream bits = rng.next_bits(64);
+  const auto r1 = acc.process(bits, 0);
+  const auto r2 = acc.process(bits, 0);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+}
+
+}  // namespace
+}  // namespace plfsr

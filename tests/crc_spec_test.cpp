@@ -1,0 +1,83 @@
+#include "crc/crc_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crc/serial_crc.hpp"
+#include "crc/table_crc.hpp"
+
+namespace plfsr {
+namespace {
+
+const std::uint8_t kCheckMsg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+
+TEST(ReflectBits, KnownValues) {
+  EXPECT_EQ(reflect_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reflect_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reflect_bits(0x04C11DB7, 32), 0xEDB88320u);
+  EXPECT_EQ(reflect_bits(0xFFFFFFFF, 32), 0xFFFFFFFFu);
+}
+
+TEST(ReflectBits, Involution) {
+  for (std::uint64_t v : {0x12345678ull, 0xDEADBEEFull, 0x1ull})
+    EXPECT_EQ(reflect_bits(reflect_bits(v, 32), 32), v & 0xFFFFFFFF);
+}
+
+TEST(CrcSpec, MaskWidths) {
+  EXPECT_EQ(crcspec::crc5_usb().mask(), 0x1Fu);
+  EXPECT_EQ(crcspec::crc32_ethernet().mask(), 0xFFFFFFFFu);
+  EXPECT_EQ(crcspec::crc64_xz().mask(), ~std::uint64_t{0});
+}
+
+TEST(CrcSpec, GeneratorDegreeEqualsWidth) {
+  for (const CrcSpec& s : crcspec::all())
+    EXPECT_EQ(s.generator().degree(), static_cast<int>(s.width)) << s.name;
+}
+
+/// Every catalogue entry's check value, via the bit-serial reference.
+class CheckValues : public ::testing::TestWithParam<CrcSpec> {};
+
+TEST_P(CheckValues, SerialEngine) {
+  const CrcSpec& spec = GetParam();
+  EXPECT_EQ(serial_crc(spec, kCheckMsg), spec.check) << spec.name;
+}
+
+TEST_P(CheckValues, TableEngine) {
+  const CrcSpec& spec = GetParam();
+  EXPECT_EQ(TableCrc(spec).compute(kCheckMsg), spec.check) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, CheckValues,
+                         ::testing::ValuesIn(crcspec::all()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+TEST(CrcSpec, EmptyMessage) {
+  // Empty input: the register stays at init; finalization still applies.
+  const CrcSpec s = crcspec::crc32_ethernet();
+  EXPECT_EQ(serial_crc(s, {}),
+            s.finalize(s.init));
+  EXPECT_EQ(TableCrc(s).compute({}), serial_crc(s, {}));
+}
+
+TEST(CrcSpec, MessageBitsRespectsReflection) {
+  const std::uint8_t b[] = {0x01};
+  EXPECT_EQ(crcspec::crc32_ethernet().message_bits(b).to_string(),
+            "10000000");  // reflected: LSB first
+  EXPECT_EQ(crcspec::crc32_mpeg2().message_bits(b).to_string(),
+            "00000001");  // non-reflected: MSB first
+}
+
+TEST(CrcSpec, EthernetAndMpeg2ShareGenerator) {
+  // The paper: "the 32-bit CRC defined for the Ethernet standard (but it
+  // is the same defined for MPEG-2)".
+  EXPECT_EQ(crcspec::crc32_ethernet().poly, crcspec::crc32_mpeg2().poly);
+  EXPECT_NE(crcspec::crc32_ethernet().check, crcspec::crc32_mpeg2().check);
+}
+
+}  // namespace
+}  // namespace plfsr

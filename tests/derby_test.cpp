@@ -1,0 +1,150 @@
+#include "lfsr/derby.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lfsr/catalog.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+/// Parameterized over (generator index, M): the transform must exist,
+/// A_Mt must be companion, and the transformed recursion must track the
+/// untransformed one exactly through the similarity.
+class DerbyProperties
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Gf2Poly generator() const {
+    const auto polys = catalog::all_crc_polys();
+    return polys[static_cast<std::size_t>(std::get<0>(GetParam())) %
+                 polys.size()]
+        .poly;
+  }
+  std::size_t m() const {
+    return static_cast<std::size_t>(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(DerbyProperties, TransformedMatrixIsCompanion) {
+  const LinearSystem sys = make_crc_system(generator());
+  const LookAhead la(sys, m());
+  const DerbyTransform d(la);
+  EXPECT_TRUE(d.amt().is_companion());
+  // Similar matrices: A_Mt = T^{-1} A^M T reconstructs A^M.
+  EXPECT_EQ(d.t() * d.amt() * d.t_inv(), la.am());
+}
+
+TEST_P(DerbyProperties, TransformedRecursionTracksOriginal) {
+  const LinearSystem sys = make_crc_system(generator());
+  const LookAhead la(sys, m());
+  const DerbyTransform d(la);
+  Rng rng(std::get<0>(GetParam()) * 131 + std::get<1>(GetParam()));
+
+  Gf2Vec x(sys.dim());
+  for (std::size_t i = 0; i < x.size(); ++i) x.set(i, rng.next_bit());
+  Gf2Vec xt = d.transform_state(x);
+  EXPECT_EQ(d.anti_transform(xt), x);  // T T^{-1} = I
+
+  for (int round = 0; round < 4; ++round) {
+    Gf2Vec u(m());
+    for (std::size_t i = 0; i < m(); ++i) u.set(i, rng.next_bit());
+    la.step_state(x, u);
+    d.step_state(xt, u);
+    EXPECT_EQ(d.anti_transform(xt), x) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolysAndM, DerbyProperties,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(2, 4, 8, 16, 32, 64, 128)));
+
+TEST(Derby, PapersChoiceOfFWorksForCrc32) {
+  // The paper settled on f = [1 0 ... 0]; for the Ethernet generator and
+  // its M values this must produce a valid transform directly.
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  for (std::size_t m : {8u, 16u, 32u, 64u, 128u}) {
+    const LookAhead la(sys, m);
+    const auto d = DerbyTransform::with_f(la, Gf2Vec::unit(32, 0));
+    ASSERT_TRUE(d.has_value()) << "M=" << m;
+    EXPECT_EQ(d->f(), Gf2Vec::unit(32, 0));
+  }
+}
+
+TEST(Derby, TIsTheKrylovMatrix) {
+  const LinearSystem sys = make_crc_system(catalog::crc16_ccitt());
+  const LookAhead la(sys, 8);
+  const DerbyTransform d(la);
+  Gf2Vec v = d.f();
+  for (std::size_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(d.t().column(c), v) << "column " << c;
+    v = la.am() * v;
+  }
+}
+
+TEST(Derby, BmtIsTransformedInputMatrix) {
+  const LinearSystem sys = make_crc_system(catalog::crc8_atm());
+  const LookAhead la(sys, 16);
+  const DerbyTransform d(la);
+  EXPECT_EQ(d.bmt(), d.t_inv() * la.bm());
+}
+
+TEST(Derby, RunStateMatchesChunkedSteps) {
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  const LookAhead la(sys, 32);
+  const DerbyTransform d(la);
+  Rng rng(5);
+  const BitStream msg = rng.next_bits(32 * 7);
+
+  Gf2Vec xt1(32), xt2(32);
+  d.run_state(xt1, msg);
+  for (std::size_t pos = 0; pos < msg.size(); pos += 32)
+    d.step_state(xt2, chunk_to_vec(msg, pos, 32));
+  EXPECT_EQ(xt1, xt2);
+}
+
+TEST(Derby, WithFDimensionMismatchThrows) {
+  const LinearSystem sys = make_crc_system(catalog::crc8_atm());
+  const LookAhead la(sys, 4);
+  EXPECT_THROW(DerbyTransform::with_f(la, Gf2Vec(9)), std::invalid_argument);
+}
+
+TEST(Derby, RepeatedFactorGeneratorHasNoTransform) {
+  // CRC-64/ECMA-182 has a repeated factor, so A^2 is derogatory: over
+  // GF(2), p(A)^2 = p(A^2), and the repeated factor p kills the minimal
+  // polynomial's degree. The transform must fail for EVERY f — and the
+  // library must say so rather than return something wrong.
+  const Gf2Poly g = catalog::crc64_ecma();
+  EXPECT_FALSE(g.is_squarefree());
+  const LinearSystem sys = make_crc_system(g);
+  const LookAhead la(sys, 2);
+  EXPECT_FALSE(DerbyTransform::with_f(la, Gf2Vec::unit(64, 0)).has_value());
+  EXPECT_THROW(DerbyTransform{la}, std::runtime_error);
+}
+
+TEST(Derby, CatalogueSquarefreeness) {
+  // All other catalogue generators are squarefree, which is why the big
+  // parameterized sweep may assume the transform exists for them.
+  for (const auto& [name, g] : catalog::all_crc_polys()) {
+    if (name == "CRC-64/ECMA") {
+      EXPECT_FALSE(g.is_squarefree()) << name;
+    } else {
+      EXPECT_TRUE(g.is_squarefree()) << name;
+    }
+  }
+}
+
+TEST(Derby, LoopComplexityCollapsesVersusDirect) {
+  // The whole point (§2): A_Mt rows carry at most 2 ones (shift + last
+  // column) while A^M rows are dense.
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  const LookAhead la(sys, 64);
+  const DerbyTransform d(la);
+  EXPECT_LE(d.amt().max_row_weight(), 2u);
+  EXPECT_GT(la.am().max_row_weight(), 10u);
+}
+
+}  // namespace
+}  // namespace plfsr

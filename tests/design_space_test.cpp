@@ -1,0 +1,81 @@
+#include "mapper/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(DesignSpace, PaperHeadline128BitsPerCycle) {
+  // §4: "we generated PiCoGA operations for different values of M,
+  // finding that PiCoGA is able to elaborate up to 128 bit per cycle."
+  EXPECT_EQ(max_feasible_m(catalog::crc32_ethernet()), 128u);
+}
+
+TEST(DesignSpace, EthernetSweepShape) {
+  const auto pts = explore_crc_design_space(
+      catalog::crc32_ethernet(), {8, 16, 32, 64, 128, 256});
+  ASSERT_EQ(pts.size(), 6u);
+  for (const auto& p : pts) {
+    if (p.m <= 128) {
+      EXPECT_TRUE(p.feasible) << "M=" << p.m;
+      EXPECT_EQ(p.op1.ii, 1u) << "M=" << p.m;
+    } else {
+      EXPECT_FALSE(p.feasible) << "M=" << p.m;
+      EXPECT_FALSE(p.limiting_factor.empty());
+    }
+  }
+  // Cost grows with M; peak throughput is M * 200 Mbit/s.
+  EXPECT_LT(pts[0].total_cells, pts[4].total_cells);
+  EXPECT_NEAR(pts[4].peak_gbps, 25.6, 1e-9);
+}
+
+TEST(DesignSpace, SmallCrcsAreCheap) {
+  const auto pts = explore_crc_design_space(catalog::crc8_atm(), {8, 32});
+  for (const auto& p : pts) {
+    EXPECT_TRUE(p.feasible);
+    EXPECT_LT(p.total_cells, 80u) << "M=" << p.m;
+  }
+}
+
+TEST(DesignSpace, FitOpRowPacking) {
+  // A 40-gate single-level op needs ceil(40/16) = 3 rows.
+  XorNetlist nl(80);
+  for (SignalId i = 0; i < 80; i += 2) nl.add_node({i, i + 1});
+  for (std::size_t i = 0; i < 40; ++i)
+    nl.add_output(static_cast<SignalId>(80 + i));
+  MappedOp op;
+  op.netlist = nl;
+  const OpFit fit = fit_op(op, PicogaConstraints{});
+  EXPECT_EQ(fit.cells, 40u);
+  EXPECT_EQ(fit.rows, 3u);
+  EXPECT_EQ(fit.levels, 1u);
+  EXPECT_TRUE(fit.fits);
+}
+
+TEST(DesignSpace, ScramblerFeasibleUpTo121) {
+  // Single-op scrambler: y(M) plus nothing else leaves the array, so the
+  // 128-bit output port allows M up to 128; cells stay modest because
+  // k = 7.
+  const auto pts = explore_scrambler_design_space(
+      catalog::scrambler_80211(), {32, 64, 128});
+  for (const auto& p : pts) {
+    EXPECT_TRUE(p.feasible) << "M=" << p.m;
+    EXPECT_EQ(p.op.ii, 1u);
+  }
+  EXPECT_NEAR(pts[2].peak_gbps, 25.6, 1e-9);
+}
+
+TEST(DesignSpace, FSeedInsensitivity) {
+  // The paper "empirically analyzed the impact of the arbitrary vector f
+  // ... didn't find significant difference in the complexity of T".
+  const auto cells = sweep_f_complexity(catalog::crc32_ethernet(), 32, 8);
+  ASSERT_GE(cells.size(), 4u);
+  const auto [lo, hi] = std::minmax_element(cells.begin(), cells.end());
+  // Spread within 2x counts as "no significant difference" at this scale.
+  EXPECT_LE(*hi, *lo * 2) << "min=" << *lo << " max=" << *hi;
+}
+
+}  // namespace
+}  // namespace plfsr

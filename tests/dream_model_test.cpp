@@ -1,0 +1,154 @@
+#include "dream/dream_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dream/scrambler_model.hpp"
+#include "lfsr/catalog.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(DreamCrcModel, PeakIs25GbpsAtM128) {
+  const DreamCrcModel model(catalog::crc32_ethernet(), 128);
+  EXPECT_NEAR(model.peak_gbps(), 25.6, 1e-9);
+  EXPECT_EQ(model.ii(), 1u);
+}
+
+TEST(DreamCrcModel, ThroughputSaturatesTowardsPeak) {
+  const DreamCrcModel model(catalog::crc32_ethernet(), 128);
+  const double t_short = model.throughput_single_gbps(384);
+  const double t_ethernet_max = model.throughput_single_gbps(12160);
+  const double t_long = model.throughput_single_gbps(1 << 20);
+  EXPECT_LT(t_short, t_ethernet_max);
+  EXPECT_LT(t_ethernet_max, t_long);
+  EXPECT_LT(t_long, model.peak_gbps());
+  EXPECT_GT(t_long, 0.99 * model.peak_gbps());
+}
+
+TEST(DreamCrcModel, GbpsAcrossTheEthernetWindow) {
+  // §5: "in a message window compliant with Ethernet standard we can
+  // perform transfers at the Gbit/sec speed for M equal to 32, 64, 128".
+  for (std::size_t m : {32u, 64u, 128u}) {
+    const DreamCrcModel model(catalog::crc32_ethernet(), m);
+    EXPECT_GE(model.throughput_single_gbps(384), 1.0) << "M=" << m;
+    EXPECT_GE(model.throughput_single_gbps(12160), 1.0) << "M=" << m;
+  }
+}
+
+TEST(DreamCrcModel, InterleavingBeatsSingleForShortMessages) {
+  const DreamCrcModel model(catalog::crc32_ethernet(), 128);
+  for (std::uint64_t n : {384u, 1536u}) {
+    const double single = model.throughput_single_gbps(n);
+    const double inter = model.throughput_interleaved_gbps(n, 32);
+    EXPECT_GT(inter, single) << "N=" << n;
+  }
+  // And interleaved short messages approach the peak (per-message
+  // readout is the residual cost, ~28% at 12 chunks/message).
+  EXPECT_GT(model.throughput_interleaved_gbps(1536, 32),
+            0.7 * model.peak_gbps());
+}
+
+TEST(DreamCrcModel, MonotoneInM) {
+  double prev = 0;
+  for (std::size_t m : {8u, 16u, 32u, 64u, 128u}) {
+    const DreamCrcModel model(catalog::crc32_ethernet(), m);
+    const double t = model.throughput_single_gbps(12160);
+    EXPECT_GT(t, prev) << "M=" << m;
+    prev = t;
+  }
+}
+
+TEST(DreamCrcModel, RejectsInfeasibleM) {
+  EXPECT_THROW(DreamCrcModel(catalog::crc32_ethernet(), 256),
+               std::invalid_argument);
+}
+
+TEST(DreamCrcModel, RejectsRaggedLength) {
+  const DreamCrcModel model(catalog::crc32_ethernet(), 32);
+  EXPECT_THROW(model.cycles_single(33), std::invalid_argument);
+  EXPECT_THROW(model.cycles_single(0), std::invalid_argument);
+  EXPECT_THROW(model.cycles_interleaved(64, 0), std::invalid_argument);
+}
+
+TEST(RiscModel, TableBeatsBitSerial) {
+  const RiscModel risc;
+  EXPECT_LT(risc.crc_cycles_table(12144), risc.crc_cycles_bitserial(12144));
+  // A 200 MHz RISC with a 7-cycle/byte loop sustains ~0.23 Gbit/s.
+  const double gbps = risc.throughput_table_gbps(1 << 20);
+  EXPECT_GT(gbps, 0.1);
+  EXPECT_LT(gbps, 0.5);
+}
+
+TEST(Table1, SpeedupsGrowWithMAndLength) {
+  // The shape of Table 1: speed-up vs. the software CRC increases with
+  // both the look-ahead factor and the message length, reaching two
+  // orders of magnitude at M = 128 on long messages.
+  const RiscModel risc;
+  double prev_m = 0;
+  for (std::size_t m : {32u, 64u, 128u}) {
+    const DreamCrcModel dream(catalog::crc32_ethernet(), m);
+    double prev_n = 0;
+    for (std::uint64_t n : {512u, 12160u, 1u << 20}) {
+      const double speedup =
+          static_cast<double>(risc.crc_cycles_table(n)) /
+          static_cast<double>(dream.cycles_single(n));
+      EXPECT_GT(speedup, prev_n) << "M=" << m << " N=" << n;
+      prev_n = speedup;
+    }
+    const double long_speedup =
+        static_cast<double>(risc.crc_cycles_table(1 << 20)) /
+        static_cast<double>(dream.cycles_single(1 << 20));
+    EXPECT_GT(long_speedup, prev_m);
+    prev_m = long_speedup;
+  }
+  // M = 128, long message: ~ (7/8 cycles per bit) / (1/128 per bit) ~ 112.
+  const DreamCrcModel dream(catalog::crc32_ethernet(), 128);
+  const double s = static_cast<double>(risc.crc_cycles_table(1 << 20)) /
+                   static_cast<double>(dream.cycles_single(1 << 20));
+  EXPECT_GT(s, 80.0);
+  EXPECT_LT(s, 150.0);
+}
+
+TEST(EnergyModel, DreamSitsInThePapersBand) {
+  // Fig. 7: DREAM is 5-60x better than the ~400 pJ/bit RISC across the
+  // Ethernet window and beyond.
+  const EnergyModel energy;
+  for (std::size_t m : {32u, 64u, 128u}) {
+    const DreamCrcModel dream(catalog::crc32_ethernet(), m);
+    for (std::uint64_t n : {384u, 1536u, 12160u}) {
+      const std::uint64_t padded = (n + m - 1) / m * m;
+      const double ratio =
+          energy.ratio_vs_risc(dream.cycles_single(padded), padded);
+      EXPECT_GE(ratio, 2.0) << "M=" << m << " N=" << n;
+      EXPECT_LE(ratio, 70.0) << "M=" << m << " N=" << n;
+    }
+  }
+  // Saturated M = 128 streaming approaches the strong end.
+  const DreamCrcModel dream(catalog::crc32_ethernet(), 128);
+  const double best = energy.ratio_vs_risc(dream.cycles_single(1 << 20),
+                                           1 << 20);
+  EXPECT_GT(best, 40.0);
+  EXPECT_LT(best, 70.0);
+}
+
+TEST(DreamScramblerModel, NoContextSwitchPenalty) {
+  const DreamScramblerModel model(catalog::scrambler_80211(), 128);
+  EXPECT_NEAR(model.peak_gbps(), 25.6, 1e-9);
+  // Only fill + control dilute the streaming rate: ~40 overhead cycles,
+  // so a 512-chunk block already runs above 90% of peak and even a
+  // 32-chunk block stays within ~2.5x of it (the CRC at that length is
+  // much further off because of its switch + anti-transform).
+  EXPECT_GT(model.throughput_gbps(128 * 512), 0.9 * model.peak_gbps());
+  EXPECT_GT(model.throughput_gbps(128 * 32), 0.4 * model.peak_gbps());
+}
+
+TEST(DreamScramblerModel, FasterThanCrcAtEqualShortLength) {
+  // One op vs. two ops: for short payloads the scrambler's lack of a
+  // context switch shows up directly.
+  const DreamCrcModel crc(catalog::crc32_ethernet(), 64);
+  const DreamScramblerModel scr(catalog::scrambler_80211(), 64);
+  EXPECT_LT(scr.cycles(640), crc.cycles_single(640));
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,89 @@
+#include "scrambler/dvb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Dvb, PrbsFirstByteIsStandard) {
+  // EN 300 429: with the init sequence 100101010000000 the first PRBS
+  // byte applied to the data is 0000 0011.
+  const BitStream bits = dvb::prbs(8);
+  EXPECT_EQ(bits.to_string(), "00000011");
+}
+
+TEST(Dvb, PrbsPeriodIsMaximal) {
+  // 1 + x^14 + x^15 is primitive: period 2^15 - 1.
+  const BitStream bits = dvb::prbs(2 * 32767);
+  for (std::size_t i = 0; i < 32767; ++i)
+    ASSERT_EQ(bits.get(i), bits.get(i + 32767)) << i;
+  // And no shorter period at the obvious divisors of 2^15-1 = 7*31*151.
+  bool differs = false;
+  for (std::size_t i = 0; i < 2000 && !differs; ++i)
+    differs = bits.get(i) != bits.get(i + 32767 / 7);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Dvb, RoundTrip) {
+  const auto ts = dvb::make_test_stream(24, 1);
+  const auto scrambled = dvb::randomize(ts);
+  EXPECT_EQ(dvb::derandomize(scrambled), ts);
+}
+
+TEST(Dvb, SyncBytesHandledPerStandard) {
+  const auto ts = dvb::make_test_stream(16, 2);
+  const auto scrambled = dvb::randomize(ts);
+  for (std::size_t p = 0; p < 16; ++p) {
+    const std::uint8_t sync = scrambled[p * dvb::kPacketBytes];
+    if (p % 8 == 0)
+      EXPECT_EQ(sync, dvb::kInvertedSyncByte) << "packet " << p;
+    else
+      EXPECT_EQ(sync, dvb::kSyncByte) << "packet " << p;
+  }
+}
+
+TEST(Dvb, PayloadActuallyRandomized) {
+  // An all-0x47+zeros stream must come out with roughly balanced bits.
+  std::vector<std::uint8_t> ts(8 * dvb::kPacketBytes, 0);
+  for (std::size_t p = 0; p < 8; ++p)
+    ts[p * dvb::kPacketBytes] = dvb::kSyncByte;
+  const auto scrambled = dvb::randomize(ts);
+  std::size_t ones = 0, payload_bits = 0;
+  for (std::size_t i = 0; i < scrambled.size(); ++i) {
+    if (i % dvb::kPacketBytes == 0) continue;  // skip sync bytes
+    ones += static_cast<std::size_t>(__builtin_popcount(scrambled[i]));
+    payload_bits += 8;
+  }
+  EXPECT_GT(ones, payload_bits * 2 / 5);
+  EXPECT_LT(ones, payload_bits * 3 / 5);
+}
+
+TEST(Dvb, GroupsAreIndependent) {
+  // The PRBS restarts at each 8-packet group: byte i of group 0 and the
+  // corresponding byte of group 1 are XORed with the same keystream.
+  Rng rng(3);
+  const auto ts = dvb::make_test_stream(16, 4);
+  const auto scrambled = dvb::randomize(ts);
+  const std::size_t group = 8 * dvb::kPacketBytes;
+  for (std::size_t i = 1; i < 400; ++i) {
+    if (i % dvb::kPacketBytes == 0) continue;
+    const std::uint8_t key0 = ts[i] ^ scrambled[i];
+    const std::uint8_t key1 = ts[group + i] ^ scrambled[group + i];
+    ASSERT_EQ(key0, key1) << "offset " << i;
+  }
+}
+
+TEST(Dvb, RejectsMalformedStreams) {
+  EXPECT_THROW(dvb::randomize(std::vector<std::uint8_t>(100)),
+               std::invalid_argument);
+  std::vector<std::uint8_t> bad(dvb::kPacketBytes, 0);  // no sync byte
+  EXPECT_THROW(dvb::randomize(bad), std::invalid_argument);
+  // Derandomize expects the inverted sync at group starts.
+  std::vector<std::uint8_t> plain = dvb::make_test_stream(1, 5);
+  EXPECT_THROW(dvb::derandomize(plain), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

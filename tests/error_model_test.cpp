@@ -1,0 +1,116 @@
+#include "crc/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+using namespace crc_analysis;
+
+/// Property sweep across the spec catalogue.
+class ErrorDetection : public ::testing::TestWithParam<CrcSpec> {};
+
+TEST_P(ErrorDetection, AllSingleBitErrorsDetected) {
+  EXPECT_TRUE(detects_all_single_bit(GetParam(), 256));
+}
+
+TEST_P(ErrorDetection, AllBurstsUpToWidthDetected) {
+  // Exhaustive over every interior pattern; keep the message short so
+  // the wide specs stay tractable (positions x 2^(width-2) patterns).
+  const CrcSpec& s = GetParam();
+  if (s.width > 16) GTEST_SKIP() << "burst exhaustion too wide";
+  EXPECT_TRUE(detects_all_bursts(s, 40));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, ErrorDetection,
+                         ::testing::ValuesIn(crcspec::all()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+TEST(ErrorModel, Crc32BurstsSpotChecked) {
+  // The 32-bit specs can't be exhausted; spot-check every burst length
+  // with random interiors.
+  const CrcSpec s = crcspec::crc32_ethernet();
+  Rng rng(1);
+  for (std::size_t b = 1; b <= 32; ++b) {
+    for (int trial = 0; trial < 20; ++trial) {
+      BitStream e(368);
+      const std::size_t p = rng.next_below(368 - b + 1);
+      e.set(p, true);
+      if (b >= 2) e.set(p + b - 1, true);
+      for (std::size_t j = p + 1; j + 1 < p + b; ++j)
+        e.set(j, rng.next_bit());
+      EXPECT_TRUE(pattern_detectable(s, e)) << "burst len " << b;
+    }
+  }
+}
+
+TEST(ErrorModel, TwoBitHorizonEthernetIsFullPeriod) {
+  // Primitive degree-32 generator: every two-bit error within 2^32 - 1
+  // bits is caught — far beyond any real frame.
+  EXPECT_EQ(two_bit_error_horizon(crcspec::crc32_ethernet()),
+            (1ull << 32) - 1);
+}
+
+TEST(ErrorModel, TwoBitHorizonMatchesAnActualMiss) {
+  // CRC-5/USB: order of x mod g is small enough to exhibit the blind
+  // spot — a two-bit error spaced exactly ord(x) apart must slip through.
+  const CrcSpec s = crcspec::crc5_usb();
+  const std::uint64_t horizon = two_bit_error_horizon(s);
+  EXPECT_LE(horizon, 31u);
+  BitStream e(static_cast<std::size_t>(horizon) + 1);
+  e.set(0, true);
+  e.set(static_cast<std::size_t>(horizon), true);
+  EXPECT_FALSE(pattern_detectable(s, e));
+  // One bit closer: detected.
+  BitStream e2(static_cast<std::size_t>(horizon) + 1);
+  e2.set(0, true);
+  e2.set(static_cast<std::size_t>(horizon) - 1, true);
+  EXPECT_TRUE(pattern_detectable(s, e2));
+}
+
+TEST(ErrorModel, ErrorDetectedAgreesWithPatternDetectable) {
+  // Linearity: detection depends only on the error pattern.
+  const CrcSpec s = crcspec::crc16_ccitt_false();
+  Rng rng(2);
+  for (int t = 0; t < 50; ++t) {
+    const BitStream msg = rng.next_bits(128);
+    BitStream e(128);
+    for (int b = 0; b < 3; ++b)
+      e.set(rng.next_below(128), true);
+    if (e.weight() == 0) continue;
+    EXPECT_EQ(error_detected(s, msg, e), pattern_detectable(s, e));
+  }
+}
+
+TEST(ErrorModel, ResidualRateApproaches2ToMinusK) {
+  // Heavy random garble slips past CRC-8 at ~2^-8; CRC-16 at ~2^-16
+  // (statistically zero at this sample count).
+  const double rate8 = sampled_undetected_rate(crcspec::crc8_smbus(), 256,
+                                               40, 20000, 7);
+  EXPECT_GT(rate8, 1.0 / 256 / 3);
+  EXPECT_LT(rate8, 3.0 / 256);
+  const double rate16 = sampled_undetected_rate(
+      crcspec::crc16_ccitt_false(), 256, 40, 5000, 8);
+  EXPECT_LT(rate16, 0.002);
+}
+
+TEST(ErrorModel, ArgumentValidation) {
+  const CrcSpec s = crcspec::crc8_smbus();
+  EXPECT_THROW(error_detected(s, BitStream(8), BitStream(9)),
+               std::invalid_argument);
+  EXPECT_THROW(sampled_undetected_rate(s, 16, 0, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sampled_undetected_rate(s, 16, 17, 10, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,81 @@
+#include "crc/ethernet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crc/crc_spec.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Ethernet, FcsOfCheckString) {
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(ethernet::fcs(msg), 0xCBF43926u);
+}
+
+TEST(Ethernet, AppendThenVerify) {
+  Rng rng(1);
+  for (std::size_t len : {46u, 100u, 1500u}) {
+    const auto frame = rng.next_bytes(len);
+    const auto with_fcs = ethernet::append_fcs(frame);
+    EXPECT_EQ(with_fcs.size(), len + 4);
+    EXPECT_TRUE(ethernet::verify(with_fcs));
+  }
+}
+
+TEST(Ethernet, ResidueConstant) {
+  // CRC over (frame || FCS) is the fixed magic residue for any frame.
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const auto frame = rng.next_bytes(64 + static_cast<std::size_t>(i) * 13);
+    EXPECT_EQ(ethernet::fcs(ethernet::append_fcs(frame)), ethernet::kResidue);
+  }
+}
+
+TEST(Ethernet, CorruptionIsDetected) {
+  Rng rng(3);
+  auto good = ethernet::append_fcs(rng.next_bytes(100));
+  for (std::size_t byte : {0u, 50u, 100u, 103u}) {
+    auto bad = good;
+    bad[byte] ^= 0x01;
+    EXPECT_FALSE(ethernet::verify(bad)) << "byte " << byte;
+  }
+  // Burst of up to 32 bits is always detected by CRC-32.
+  auto burst = good;
+  burst[10] ^= 0xFF;
+  burst[11] ^= 0xFF;
+  burst[12] ^= 0xFF;
+  burst[13] ^= 0xFF;
+  EXPECT_FALSE(ethernet::verify(burst));
+}
+
+TEST(Ethernet, TooShortNeverVerifies) {
+  const std::uint8_t tiny[] = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(ethernet::verify(tiny));
+}
+
+TEST(Ethernet, TestFrameIsWellFormed) {
+  const auto frame = ethernet::make_test_frame(46, 99);
+  // 14 header bytes + 46 payload + 4 FCS.
+  EXPECT_EQ(frame.size(), 64u);
+  EXPECT_TRUE(ethernet::verify(frame));
+  EXPECT_EQ(frame[0] & 0x01, 0);  // unicast DA
+}
+
+TEST(Ethernet, FrameWindowConstantsMatchThePaper) {
+  EXPECT_EQ(ethernet::kMinFrameBits, 368u);
+  EXPECT_EQ(ethernet::kMaxFrameBits, 12144u);
+}
+
+TEST(Ethernet, DeterministicBySeed) {
+  EXPECT_EQ(ethernet::make_test_frame(100, 7), ethernet::make_test_frame(100, 7));
+  EXPECT_NE(ethernet::make_test_frame(100, 7), ethernet::make_test_frame(100, 8));
+}
+
+TEST(Ethernet, PayloadClamping) {
+  EXPECT_EQ(ethernet::make_test_frame(1, 1).size(), 14u + 46 + 4);
+  EXPECT_EQ(ethernet::make_test_frame(9999, 1).size(), 14u + 1500 + 4);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,173 @@
+#include "gf2/gf2_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+Gf2Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Gf2Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m.set(r, c, rng.next_bit());
+  return m;
+}
+
+TEST(Gf2Matrix, IdentityActsNeutrally) {
+  Rng rng(1);
+  const Gf2Matrix a = random_matrix(17, 17, rng);
+  const Gf2Matrix i = Gf2Matrix::identity(17);
+  EXPECT_EQ(a * i, a);
+  EXPECT_EQ(i * a, a);
+  EXPECT_TRUE(i.is_identity());
+  EXPECT_FALSE(a.is_identity());
+}
+
+TEST(Gf2Matrix, AdditionSelfInverse) {
+  Rng rng(2);
+  const Gf2Matrix a = random_matrix(9, 13, rng);
+  EXPECT_TRUE((a + a).is_zero());
+}
+
+TEST(Gf2Matrix, MultiplicationAssociative) {
+  Rng rng(3);
+  const Gf2Matrix a = random_matrix(8, 12, rng);
+  const Gf2Matrix b = random_matrix(12, 5, rng);
+  const Gf2Matrix c = random_matrix(5, 10, rng);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(Gf2Matrix, MultiplicationDistributesOverAddition) {
+  Rng rng(4);
+  const Gf2Matrix a = random_matrix(6, 7, rng);
+  const Gf2Matrix b = random_matrix(7, 9, rng);
+  const Gf2Matrix c = random_matrix(7, 9, rng);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+TEST(Gf2Matrix, MatrixVectorAgreesWithMatrixMatrix) {
+  Rng rng(5);
+  const Gf2Matrix a = random_matrix(11, 6, rng);
+  Gf2Vec v(6);
+  for (std::size_t i = 0; i < 6; ++i) v.set(i, rng.next_bit());
+  const Gf2Vec direct = a * v;
+  const Gf2Matrix as_col = Gf2Matrix::from_columns({v});
+  const Gf2Matrix prod = a * as_col;
+  for (std::size_t i = 0; i < 11; ++i)
+    EXPECT_EQ(direct.get(i), prod.get(i, 0));
+}
+
+TEST(Gf2Matrix, DimensionMismatchThrows) {
+  EXPECT_THROW(Gf2Matrix(2, 3) * Gf2Matrix(2, 3), std::invalid_argument);
+  EXPECT_THROW(Gf2Matrix(2, 3) + Gf2Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Gf2Matrix, PowMatchesRepeatedMultiplication) {
+  Rng rng(6);
+  const Gf2Matrix a = random_matrix(10, 10, rng);
+  Gf2Matrix expect = Gf2Matrix::identity(10);
+  for (unsigned e = 0; e <= 9; ++e) {
+    EXPECT_EQ(a.pow(e), expect) << "exponent " << e;
+    expect = expect * a;
+  }
+}
+
+TEST(Gf2Matrix, PowZeroIsIdentity) {
+  Rng rng(7);
+  const Gf2Matrix a = random_matrix(5, 5, rng);
+  EXPECT_TRUE(a.pow(0).is_identity());
+}
+
+TEST(Gf2Matrix, TransposeInvolution) {
+  Rng rng(8);
+  const Gf2Matrix a = random_matrix(7, 13, rng);
+  EXPECT_EQ(a.transposed().transposed(), a);
+  EXPECT_EQ(a.transposed().rows(), 13u);
+}
+
+TEST(Gf2Matrix, InverseRoundTrip) {
+  Rng rng(9);
+  // Random matrices over GF(2) are nonsingular with probability ~0.29;
+  // retry until one is found, then check both products.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const Gf2Matrix a = random_matrix(16, 16, rng);
+    const auto inv = a.inverse();
+    if (!inv) continue;
+    EXPECT_TRUE((a * *inv).is_identity());
+    EXPECT_TRUE((*inv * a).is_identity());
+    return;
+  }
+  FAIL() << "no invertible matrix found in 100 draws";
+}
+
+TEST(Gf2Matrix, SingularHasNoInverse) {
+  Gf2Matrix a(3, 3);  // zero matrix
+  EXPECT_FALSE(a.inverse().has_value());
+  a.set(0, 0, true);
+  a.set(1, 0, true);  // dependent rows
+  EXPECT_FALSE(a.inverse().has_value());
+}
+
+TEST(Gf2Matrix, RankProperties) {
+  EXPECT_EQ(Gf2Matrix::identity(12).rank(), 12u);
+  EXPECT_EQ(Gf2Matrix(4, 9).rank(), 0u);
+  Gf2Matrix a(3, 3);
+  a.set(0, 1, true);
+  a.set(1, 1, true);  // two equal rows
+  a.set(2, 2, true);
+  EXPECT_EQ(a.rank(), 2u);
+}
+
+TEST(Gf2Matrix, RankInvariantUnderInvertibleMultiply) {
+  Rng rng(10);
+  Gf2Matrix p = random_matrix(8, 8, rng);
+  while (!p.inverse()) p = random_matrix(8, 8, rng);
+  const Gf2Matrix a = random_matrix(8, 8, rng);
+  EXPECT_EQ((p * a).rank(), a.rank());
+}
+
+TEST(Gf2Matrix, HconcatLayout) {
+  const Gf2Matrix a = Gf2Matrix::from_rows({"10", "01"});
+  const Gf2Matrix b = Gf2Matrix::from_rows({"111", "000"});
+  const Gf2Matrix c = a.hconcat(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 5u);
+  EXPECT_EQ(c.to_string(), "10111\n01000\n");
+}
+
+TEST(Gf2Matrix, CompanionPredicate) {
+  // Paper-form companion: subdiagonal ones + arbitrary last column.
+  const Gf2Matrix comp = Gf2Matrix::from_rows({"001", "101", "011"});
+  EXPECT_TRUE(comp.is_companion());
+  EXPECT_FALSE(Gf2Matrix::identity(3).is_companion());
+  const Gf2Matrix off = Gf2Matrix::from_rows({"011", "101", "011"});
+  EXPECT_FALSE(off.is_companion());
+}
+
+TEST(Gf2Matrix, RowWeightStats) {
+  const Gf2Matrix a = Gf2Matrix::from_rows({"1110", "0001", "0000"});
+  EXPECT_EQ(a.max_row_weight(), 3u);
+  EXPECT_EQ(a.total_weight(), 4u);
+}
+
+TEST(Gf2Matrix, RowColumnAccessors) {
+  Rng rng(11);
+  const Gf2Matrix a = random_matrix(6, 70, rng);  // force multi-word rows
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 70; ++c) {
+      EXPECT_EQ(a.row(r).get(c), a.get(r, c));
+      EXPECT_EQ(a.column(c).get(r), a.get(r, c));
+    }
+}
+
+TEST(Gf2Matrix, FromColumnsMatchesColumnAccessor) {
+  Rng rng(12);
+  std::vector<Gf2Vec> cols;
+  for (int i = 0; i < 5; ++i) cols.push_back(Gf2Vec::from_word(9, rng.next_u64()));
+  const Gf2Matrix m = Gf2Matrix::from_columns(cols);
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_EQ(m.column(c), cols[c]);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,148 @@
+#include "gf2/gf2_poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+Gf2Poly random_poly(int max_degree, Rng& rng) {
+  Gf2Poly p;
+  for (int i = 0; i <= max_degree; ++i)
+    if (rng.next_bit()) p.set_coeff(static_cast<unsigned>(i), true);
+  return p;
+}
+
+TEST(Gf2Poly, ZeroAndDegree) {
+  EXPECT_TRUE(Gf2Poly().is_zero());
+  EXPECT_EQ(Gf2Poly().degree(), -1);
+  EXPECT_EQ(Gf2Poly::one().degree(), 0);
+  EXPECT_EQ(Gf2Poly::x_pow(200).degree(), 200);
+}
+
+TEST(Gf2Poly, WithTopBitMatchesCrcNotation) {
+  const Gf2Poly g = Gf2Poly::with_top_bit(32, 0x04C11DB7);
+  EXPECT_EQ(g.degree(), 32);
+  // x^32+x^26+x^23+x^22+x^16+x^12+x^11+x^10+x^8+x^7+x^5+x^4+x^2+x+1
+  EXPECT_EQ(g.exponents(),
+            (std::vector<unsigned>{32, 26, 23, 22, 16, 12, 11, 10, 8, 7, 5,
+                                   4, 2, 1, 0}));
+}
+
+TEST(Gf2Poly, FromExponentsAndToString) {
+  const Gf2Poly p = Gf2Poly::from_exponents({7, 4, 0});
+  EXPECT_EQ(p.to_string(), "x^7 + x^4 + 1");
+  EXPECT_EQ(p.weight(), 3u);
+}
+
+TEST(Gf2Poly, AdditionSelfInverse) {
+  Rng rng(1);
+  const Gf2Poly p = random_poly(90, rng);
+  EXPECT_TRUE((p + p).is_zero());
+}
+
+TEST(Gf2Poly, MultiplicationCommutesAndAssociates) {
+  Rng rng(2);
+  const Gf2Poly a = random_poly(40, rng);
+  const Gf2Poly b = random_poly(33, rng);
+  const Gf2Poly c = random_poly(21, rng);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(Gf2Poly, MultiplicationDegreeAdds) {
+  const Gf2Poly a = Gf2Poly::x_pow(70) + Gf2Poly::one();
+  const Gf2Poly b = Gf2Poly::x_pow(65) + Gf2Poly::x_pow(1);
+  EXPECT_EQ((a * b).degree(), 135);
+}
+
+TEST(Gf2Poly, DivModReconstructs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Gf2Poly a = random_poly(100, rng);
+    Gf2Poly d = random_poly(30, rng);
+    if (d.is_zero()) d = Gf2Poly::one();
+    const auto dm = a.divmod(d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, a);
+    EXPECT_LT(dm.remainder.degree(), d.degree() == -1 ? 0 : d.degree());
+  }
+}
+
+TEST(Gf2Poly, DivisionByZeroThrows) {
+  EXPECT_THROW(Gf2Poly::one().divmod(Gf2Poly()), std::invalid_argument);
+}
+
+TEST(Gf2Poly, GcdDividesBoth) {
+  Rng rng(4);
+  const Gf2Poly g = random_poly(10, rng) + Gf2Poly::x_pow(11);
+  const Gf2Poly a = g * (random_poly(7, rng) + Gf2Poly::x_pow(8));
+  const Gf2Poly b = g * (random_poly(5, rng) + Gf2Poly::x_pow(6));
+  const Gf2Poly d = Gf2Poly::gcd(a, b);
+  EXPECT_TRUE((a % d).is_zero());
+  EXPECT_TRUE((b % d).is_zero());
+  EXPECT_TRUE((d % g).is_zero());  // g is a common divisor, so gcd >= g
+}
+
+TEST(Gf2Poly, XPowModMatchesNaive) {
+  const Gf2Poly g = catalog::crc16_ccitt();
+  for (std::uint64_t e : {0ull, 1ull, 15ull, 16ull, 17ull, 100ull, 1000ull}) {
+    Gf2Poly naive = Gf2Poly::one();
+    for (std::uint64_t i = 0; i < e; ++i)
+      naive = (naive * Gf2Poly::x_pow(1)) % g;
+    EXPECT_EQ(Gf2Poly::x_pow_mod(e, g), naive) << "e=" << e;
+  }
+}
+
+TEST(Gf2Poly, PowModExponentLaw) {
+  const Gf2Poly g = catalog::crc32_ethernet();
+  const Gf2Poly a = Gf2Poly::x_pow_mod(12345, g);
+  const Gf2Poly b = Gf2Poly::x_pow_mod(54321, g);
+  EXPECT_EQ((a * b) % g, Gf2Poly::x_pow_mod(12345 + 54321, g));
+}
+
+TEST(Gf2Poly, IrreducibilityKnownCases) {
+  EXPECT_TRUE(Gf2Poly::from_exponents({1, 0}).is_irreducible());   // x+1
+  EXPECT_TRUE(Gf2Poly::from_exponents({2, 1, 0}).is_irreducible()); // x^2+x+1
+  EXPECT_FALSE(Gf2Poly::from_exponents({2, 0}).is_irreducible());   // (x+1)^2
+  EXPECT_TRUE(Gf2Poly::from_exponents({3, 1, 0}).is_irreducible());
+  EXPECT_FALSE((Gf2Poly::from_exponents({3, 1, 0}) *
+                Gf2Poly::from_exponents({2, 1, 0}))
+                   .is_irreducible());
+  // CRC-16/CCITT has even weight, so (x+1) divides it: reducible.
+  EXPECT_FALSE(catalog::crc16_ccitt().is_irreducible());
+}
+
+TEST(Gf2Poly, Crc32GeneratorIsPrimitive) {
+  EXPECT_TRUE(catalog::crc32_ethernet().is_irreducible());
+  EXPECT_TRUE(catalog::crc32_ethernet().is_primitive());
+}
+
+TEST(Gf2Poly, ScramblerPolynomialsPrimitive) {
+  // Maximal-length scrambler generators: period 2^k - 1.
+  EXPECT_TRUE(catalog::scrambler_80211().is_primitive());
+  EXPECT_TRUE(catalog::scrambler_sonet().is_primitive());
+  EXPECT_TRUE(catalog::prbs9().is_primitive());
+  EXPECT_TRUE(catalog::prbs23().is_primitive());
+  EXPECT_TRUE(catalog::prbs31().is_primitive());
+}
+
+TEST(Gf2Poly, OrderOfXForPrimitive) {
+  EXPECT_EQ(catalog::scrambler_80211().order_of_x(), 127u);
+  EXPECT_EQ(catalog::prbs9().order_of_x(), 511u);
+}
+
+TEST(Gf2Poly, DistinctPrimeFactors) {
+  EXPECT_EQ(distinct_prime_factors(1), std::vector<std::uint64_t>{});
+  EXPECT_EQ(distinct_prime_factors(2), std::vector<std::uint64_t>{2});
+  EXPECT_EQ(distinct_prime_factors(360),
+            (std::vector<std::uint64_t>{2, 3, 5}));
+  EXPECT_EQ(distinct_prime_factors((1ull << 31) - 1),
+            std::vector<std::uint64_t>{2147483647ull});  // Mersenne prime
+  EXPECT_EQ(distinct_prime_factors((1ull << 32) - 1),
+            (std::vector<std::uint64_t>{3, 5, 17, 257, 65537}));
+}
+
+}  // namespace
+}  // namespace plfsr

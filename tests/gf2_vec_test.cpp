@@ -1,0 +1,69 @@
+#include "gf2/gf2_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Gf2Vec, ZeroInitialised) {
+  const Gf2Vec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.weight(), 0u);
+}
+
+TEST(Gf2Vec, UnitVector) {
+  const Gf2Vec v = Gf2Vec::unit(8, 3);
+  EXPECT_EQ(v.to_string(), "00010000");
+  EXPECT_EQ(v.weight(), 1u);
+  EXPECT_THROW(Gf2Vec::unit(8, 8), std::out_of_range);
+}
+
+TEST(Gf2Vec, AdditionIsXor) {
+  const Gf2Vec a = Gf2Vec::from_string("1100");
+  const Gf2Vec b = Gf2Vec::from_string("1010");
+  EXPECT_EQ((a + b).to_string(), "0110");
+}
+
+TEST(Gf2Vec, AdditionSelfInverse) {
+  Rng rng(7);
+  const Gf2Vec a = Gf2Vec::from_word(64, rng.next_u64());
+  EXPECT_TRUE((a + a).is_zero());
+}
+
+TEST(Gf2Vec, AdditionDimensionMismatchThrows) {
+  EXPECT_THROW(Gf2Vec(3) + Gf2Vec(4), std::invalid_argument);
+}
+
+TEST(Gf2Vec, DotProduct) {
+  const Gf2Vec a = Gf2Vec::from_string("1101");
+  const Gf2Vec b = Gf2Vec::from_string("1011");
+  // overlap at positions 0 and 3 -> parity 0
+  EXPECT_FALSE(a.dot(b));
+  const Gf2Vec c = Gf2Vec::from_string("1000");
+  EXPECT_TRUE(a.dot(c));
+}
+
+TEST(Gf2Vec, WordRoundTrip) {
+  const std::uint64_t w = 0xDEADBEEFCAFEF00DULL;
+  EXPECT_EQ(Gf2Vec::from_word(64, w).to_word(), w);
+  // Narrow vectors truncate high bits.
+  EXPECT_EQ(Gf2Vec::from_word(8, w).to_word(), w & 0xFF);
+}
+
+TEST(Gf2Vec, WeightCountsAcrossWords) {
+  Gf2Vec v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_EQ(v.weight(), 3u);
+}
+
+TEST(Gf2Vec, FromStringRejectsJunk) {
+  EXPECT_THROW(Gf2Vec::from_string("012"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

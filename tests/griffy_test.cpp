@@ -1,0 +1,89 @@
+#include "mapper/griffy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+#include "mapper/op_builder.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Griffy, ParseMinimalProgram) {
+  const auto prog = griffy::parse(
+      "; a 3-input parity\n"
+      "op parity3 inputs=3\n"
+      "n0 = xor in0 in1 in2\n"
+      "out n0\n");
+  EXPECT_EQ(prog.name, "parity3");
+  EXPECT_EQ(prog.netlist.n_inputs(), 3u);
+  EXPECT_EQ(prog.netlist.node_count(), 1u);
+  EXPECT_TRUE(prog.netlist.evaluate(Gf2Vec::from_string("110")).is_zero());
+  EXPECT_FALSE(prog.netlist.evaluate(Gf2Vec::from_string("100")).is_zero());
+}
+
+TEST(Griffy, OutputsSupportPassThroughAndZero) {
+  const auto prog = griffy::parse(
+      "op t inputs=2\n"
+      "out in1 zero in0\n");
+  const Gf2Vec out = prog.netlist.evaluate(Gf2Vec::from_string("10"));
+  EXPECT_EQ(out.to_string(), "001");
+}
+
+TEST(Griffy, RoundTripMappedCrcOps) {
+  // Print -> parse must reproduce the exact netlist for the real CRC
+  // operations of the paper's mapping.
+  for (std::size_t m : {16u, 64u}) {
+    const CrcOpPlan plan =
+        build_derby_crc_ops(catalog::crc32_ethernet(), m);
+    for (const XorNetlist* nl : {&plan.op1.netlist, &plan.op2.netlist}) {
+      const std::string text = griffy::print("crc_op", *nl);
+      const auto back = griffy::parse(text);
+      ASSERT_EQ(back.netlist.n_inputs(), nl->n_inputs());
+      ASSERT_EQ(back.netlist.node_count(), nl->node_count());
+      ASSERT_EQ(back.netlist.outputs(), nl->outputs());
+      // And it computes the same function.
+      Rng rng(m);
+      for (int t = 0; t < 10; ++t) {
+        Gf2Vec z(nl->n_inputs());
+        for (std::size_t i = 0; i < z.size(); ++i) z.set(i, rng.next_bit());
+        EXPECT_EQ(back.netlist.evaluate(z), nl->evaluate(z));
+      }
+    }
+  }
+}
+
+TEST(Griffy, FaninDeclarationEnforced) {
+  EXPECT_THROW(griffy::parse("op t inputs=4 fanin=2\n"
+                             "n0 = xor in0 in1 in2\n"),
+               std::invalid_argument);
+}
+
+TEST(Griffy, ErrorsCarryLineNumbers) {
+  try {
+    griffy::parse("op t inputs=2\n"
+                  "n0 = xor in0 in5\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Griffy, RejectsMalformedPrograms) {
+  EXPECT_THROW(griffy::parse(""), std::invalid_argument);
+  EXPECT_THROW(griffy::parse("n0 = xor in0\n"), std::invalid_argument);
+  EXPECT_THROW(griffy::parse("op t inputs=2\nop t2 inputs=2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(griffy::parse("op t\n"), std::invalid_argument);
+  EXPECT_THROW(griffy::parse("op t inputs=2 colour=red\n"),
+               std::invalid_argument);
+  EXPECT_THROW(griffy::parse("op t inputs=2\nn1 = xor in0\n"),
+               std::invalid_argument);  // out-of-order id
+  EXPECT_THROW(griffy::parse("op t inputs=2\nn0 = xor zero\n"),
+               std::invalid_argument);  // zero not allowed in gates
+  EXPECT_THROW(griffy::parse("op t inputs=2\nn0 = and in0 in1\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

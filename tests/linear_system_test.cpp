@@ -1,0 +1,104 @@
+#include "lfsr/linear_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crc/serial_crc.hpp"
+#include "lfsr/catalog.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(LinearSystem, CrcSystemMatchesRegisterImplementation) {
+  // The state-space recursion x(n+1) = A x(n) + b u(n) must agree with
+  // the shift-register CRC bit for bit, for every generator and state.
+  Rng rng(11);
+  for (const auto& [name, g] : catalog::all_crc_polys()) {
+    const LinearSystem sys = make_crc_system(g);
+    const unsigned k = static_cast<unsigned>(g.degree());
+    const std::uint64_t init = rng.next_u64() & ((k == 64) ? ~0ull : ((1ull << k) - 1));
+    const BitStream msg = rng.next_bits(97);
+
+    Gf2Vec x = Gf2Vec::from_word(k, init);
+    sys.run(x, msg);
+    const std::uint64_t poly_low = [&] {
+      std::uint64_t v = 0;
+      for (unsigned i = 0; i < k; ++i)
+        if (g.coeff(i)) v |= 1ull << i;
+      return v;
+    }();
+    EXPECT_EQ(x.to_word(), serial_crc_bits(msg, k, poly_low, init)) << name;
+  }
+}
+
+TEST(LinearSystem, CrcFromZeroStateIsPolynomialRemainder) {
+  // Feeding N bits from the zero state yields (message * x^k) mod g.
+  const Gf2Poly g = catalog::crc16_ccitt();
+  const LinearSystem sys = make_crc_system(g);
+  Rng rng(12);
+  const BitStream msg = rng.next_bits(64);
+
+  Gf2Vec x(16);
+  sys.run(x, msg);
+
+  Gf2Poly a;  // message polynomial, first bit = highest power
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    if (msg.get(i))
+      a.set_coeff(static_cast<unsigned>(msg.size() - 1 - i), true);
+  const Gf2Poly rem = (a * Gf2Poly::x_pow(16)) % g;
+  for (unsigned i = 0; i < 16; ++i)
+    EXPECT_EQ(x.get(i), rem.coeff(i)) << "coefficient " << i;
+}
+
+TEST(LinearSystem, ScramblerOutputIsFeedbackParityXorInput) {
+  const LinearSystem sys = make_scrambler_system(catalog::scrambler_80211());
+  Gf2Vec x = Gf2Vec::from_word(7, 0x7F);
+  // First keystream bit of the all-ones 802.11 state is 0; with input 1
+  // the scrambled bit must be 1.
+  Gf2Vec x2 = x;
+  EXPECT_FALSE(sys.step(x, false));
+  EXPECT_TRUE(sys.step(x2, true));
+  // Input does not influence the autonomous state.
+  EXPECT_EQ(x.to_word(), x2.to_word());
+}
+
+TEST(LinearSystem, ScramblerIsItsOwnInverse) {
+  const LinearSystem sys = make_scrambler_system(catalog::scrambler_dvb());
+  Rng rng(13);
+  const BitStream data = rng.next_bits(300);
+  Gf2Vec x1 = Gf2Vec::from_word(15, 0x1234);
+  Gf2Vec x2 = x1;
+  const BitStream once = sys.run(x1, data);
+  const BitStream twice = sys.run(x2, once);
+  EXPECT_EQ(twice, data);
+}
+
+TEST(LinearSystem, PrbsHasFullPeriod) {
+  const LinearSystem sys = make_prbs_system(catalog::prbs9());
+  Gf2Vec x = Gf2Vec::from_word(9, 1);
+  const Gf2Vec x0 = x;
+  std::size_t period = 0;
+  do {
+    sys.step(x, false);
+    ++period;
+  } while (!(x == x0) && period <= 600);
+  EXPECT_EQ(period, 511u);
+}
+
+TEST(LinearSystem, AdvanceFreeMatchesSteps) {
+  const LinearSystem sys = make_prbs_system(catalog::prbs7());
+  Gf2Vec a = Gf2Vec::from_word(7, 0x55);
+  Gf2Vec b = a;
+  for (int i = 0; i < 37; ++i) sys.step(a, false);
+  sys.advance_free(b, 37);
+  EXPECT_EQ(a.to_word(), b.to_word());
+}
+
+TEST(LinearSystem, StepRejectsWrongDimension) {
+  const LinearSystem sys = make_crc_system(catalog::crc8_atm());
+  Gf2Vec wrong(9);
+  EXPECT_THROW(sys.step(wrong, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

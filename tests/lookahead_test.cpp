@@ -1,0 +1,127 @@
+#include "lfsr/lookahead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lfsr/catalog.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+/// One M-step of the block form must equal M serial steps, for the state
+/// AND the outputs — the core identity of §2. Parameterized over
+/// (system kind, generator index, M).
+class LookAheadEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  LinearSystem make_system() const {
+    const auto [kind, poly_idx, m] = GetParam();
+    const auto crcs = catalog::all_crc_polys();
+    const auto scrs = catalog::all_scrambler_polys();
+    switch (kind) {
+      case 0:
+        return make_crc_system(crcs[poly_idx % crcs.size()].poly);
+      case 1:
+        return make_scrambler_system(scrs[poly_idx % scrs.size()].poly);
+      default:
+        return make_prbs_system(scrs[poly_idx % scrs.size()].poly);
+    }
+  }
+  std::size_t m() const { return static_cast<std::size_t>(std::get<2>(GetParam())); }
+};
+
+TEST_P(LookAheadEquivalence, BlockStepEqualsSerialSteps) {
+  const LinearSystem sys = make_system();
+  const LookAhead la(sys, m());
+  Rng rng(std::get<0>(GetParam()) * 1000 + std::get<1>(GetParam()) * 10 +
+          static_cast<std::uint64_t>(m()));
+
+  Gf2Vec x_serial(sys.dim());
+  for (std::size_t i = 0; i < sys.dim(); ++i)
+    x_serial.set(i, rng.next_bit());
+  Gf2Vec x_block = x_serial;
+
+  for (int round = 0; round < 5; ++round) {
+    Gf2Vec u(m());
+    for (std::size_t i = 0; i < m(); ++i) u.set(i, rng.next_bit());
+
+    Gf2Vec y_serial(m());
+    for (std::size_t i = 0; i < m(); ++i)
+      y_serial.set(i, sys.step(x_serial, u.get(i)));
+    const Gf2Vec y_block = la.step(x_block, u);
+
+    EXPECT_EQ(y_block, y_serial) << "round " << round;
+    EXPECT_EQ(x_block, x_serial) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsPolysAndM, LookAheadEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 3, 7, 8, 16, 32, 33, 64, 128)));
+
+TEST(LookAhead, PaperInputMatrixIsColumnReversed) {
+  const LinearSystem sys = make_crc_system(catalog::crc8_atm());
+  const LookAhead la(sys, 5);
+  // Paper form: [b  Ab  A^2 b  A^3 b  A^4 b].
+  const Gf2Matrix paper = la.paper_input_matrix();
+  Gf2Vec acc = sys.b;
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(paper.column(j), acc) << "column " << j;
+    acc = sys.a * acc;
+  }
+  // Natural form is the reverse.
+  for (std::size_t j = 0; j < 5; ++j)
+    EXPECT_EQ(la.bm().column(j), paper.column(4 - j));
+}
+
+TEST(LookAhead, AmIsMatrixPower) {
+  const LinearSystem sys = make_crc_system(catalog::crc16_ccitt());
+  const LookAhead la(sys, 24);
+  EXPECT_EQ(la.am(), sys.a.pow(24));
+}
+
+TEST(LookAhead, DmIsLowerTriangularWithFeedthroughDiagonal) {
+  const LinearSystem sys = make_scrambler_system(catalog::scrambler_80211());
+  const LookAhead la(sys, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (j > i) {
+        EXPECT_FALSE(la.dm().get(i, j)) << i << "," << j;
+      }
+      if (j == i) {
+        EXPECT_TRUE(la.dm().get(i, j));  // d = 1 for scramblers
+      }
+    }
+}
+
+TEST(LookAhead, RunMatchesSerialRunOnWholeStream) {
+  const LinearSystem sys = make_scrambler_system(catalog::scrambler_dvb());
+  const LookAhead la(sys, 16);
+  Rng rng(77);
+  const BitStream data = rng.next_bits(16 * 9);
+  Gf2Vec xs = Gf2Vec::from_word(15, 0x35AB);
+  Gf2Vec xb = xs;
+  const BitStream ys = sys.run(xs, data);
+  const BitStream yb = la.run(xb, data);
+  EXPECT_EQ(yb, ys);
+  EXPECT_EQ(xb, xs);
+}
+
+TEST(LookAhead, MOneDegeneratesToSerial) {
+  const LinearSystem sys = make_crc_system(catalog::crc8_maxim());
+  const LookAhead la(sys, 1);
+  EXPECT_EQ(la.am(), sys.a);
+  EXPECT_EQ(la.bm().column(0), sys.b);
+}
+
+TEST(LookAhead, RejectsZeroM) {
+  const LinearSystem sys = make_crc_system(catalog::crc8_atm());
+  EXPECT_THROW(LookAhead(sys, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

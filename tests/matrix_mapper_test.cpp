@@ -1,0 +1,164 @@
+#include "mapper/matrix_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lfsr/catalog.hpp"
+#include "lfsr/derby.hpp"
+#include "lfsr/linear_system.hpp"
+#include "lfsr/lookahead.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+Gf2Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                        unsigned density_percent = 50) {
+  Gf2Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m.set(r, c, rng.next_below(100) < density_percent);
+  return m;
+}
+
+void expect_netlist_computes(const XorNetlist& nl, const Gf2Matrix& m,
+                             Rng& rng, int trials = 20) {
+  ASSERT_EQ(nl.n_inputs(), m.cols());
+  ASSERT_EQ(nl.outputs().size(), m.rows());
+  for (int t = 0; t < trials; ++t) {
+    Gf2Vec z(m.cols());
+    for (std::size_t i = 0; i < z.size(); ++i) z.set(i, rng.next_bit());
+    EXPECT_EQ(nl.evaluate(z), m * z) << "trial " << t;
+  }
+}
+
+TEST(XorTreeCells, KnownCounts) {
+  EXPECT_EQ(xor_tree_cells(0, 10), 0u);
+  EXPECT_EQ(xor_tree_cells(1, 10), 0u);
+  EXPECT_EQ(xor_tree_cells(2, 10), 1u);
+  EXPECT_EQ(xor_tree_cells(10, 10), 1u);
+  EXPECT_EQ(xor_tree_cells(11, 10), 2u);  // 10 + passthrough, then 2
+  EXPECT_EQ(xor_tree_cells(100, 10), 11u);
+  EXPECT_EQ(xor_tree_cells(101, 10), 12u);
+}
+
+/// Mapped netlists must compute the matrix product for random matrices,
+/// with and without sharing, across fan-in limits.
+class MapperCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(MapperCorrectness, EvaluatesToMatrixProduct) {
+  const auto [fanin, share] = GetParam();
+  Rng rng(fanin * 2 + share);
+  MapperOptions opts;
+  opts.max_fanin = static_cast<unsigned>(fanin);
+  opts.share_patterns = share;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Gf2Matrix m =
+        random_matrix(8 + trial * 5, 12 + trial * 9, rng);
+    MapperStats stats;
+    const XorNetlist nl = map_matrix(m, opts, &stats);
+    EXPECT_LE(nl.max_fanin(), static_cast<unsigned>(fanin));
+    expect_netlist_computes(nl, m, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaninAndSharing, MapperCorrectness,
+                         ::testing::Combine(::testing::Values(2, 4, 10),
+                                            ::testing::Values(false, true)));
+
+TEST(Mapper, EmptyAndSingletonRows) {
+  const Gf2Matrix m = Gf2Matrix::from_rows({"0000", "0100", "1111"});
+  Rng rng(3);
+  const XorNetlist nl = map_matrix(m);
+  expect_netlist_computes(nl, m, rng);
+  EXPECT_EQ(nl.outputs()[0], kZeroSignal);
+  EXPECT_EQ(nl.outputs()[1], 1u);  // direct pass-through, no gate
+}
+
+TEST(Mapper, SharingNeverIncreasesCells) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Gf2Matrix m = random_matrix(20, 40, rng, 60);
+    MapperStats with, without;
+    MapperOptions o;
+    o.share_patterns = true;
+    map_matrix(m, o, &with);
+    o.share_patterns = false;
+    map_matrix(m, o, &without);
+    EXPECT_LE(with.cells, without.cells) << "trial " << trial;
+    EXPECT_EQ(without.patterns_shared, 0u);
+    EXPECT_EQ(without.cells, without.cells_without_sharing);
+  }
+}
+
+TEST(Mapper, SharingFindsTheObviousPattern) {
+  // Three 12-term rows share a 10-term pattern. Naive: 2 cells per row
+  // (12 > fan-in 10). Shared: the pattern once (1 cell) + 1 cell per
+  // row = 4 cells instead of 6.
+  const Gf2Matrix m = Gf2Matrix::from_rows({
+      "111111111111000000",
+      "111111111100110000",
+      "111111111100001100",
+  });
+  MapperStats stats;
+  const XorNetlist nl = map_matrix(m, {}, &stats);
+  EXPECT_GE(stats.patterns_shared, 1u);
+  EXPECT_LT(stats.cells, stats.cells_without_sharing);
+  EXPECT_LE(stats.cells, 4u);
+  Rng rng(5);
+  expect_netlist_computes(nl, m, rng);
+}
+
+TEST(Mapper, SharingDeclinesUnprofitablePatterns) {
+  // With the exact cell-gain metric, a shared pattern inside rows that
+  // already fit one cell each must NOT be extracted (it would only add
+  // a gate).
+  const Gf2Matrix m = Gf2Matrix::from_rows({
+      "11110000",
+      "11110011",
+      "11111100",
+  });
+  MapperStats stats;
+  const XorNetlist nl = map_matrix(m, {}, &stats);
+  EXPECT_EQ(stats.patterns_shared, 0u);
+  EXPECT_EQ(stats.cells, 3u);
+  Rng rng(6);
+  expect_netlist_computes(nl, m, rng);
+}
+
+TEST(Mapper, DerbyBmtMapsCorrectlyAtPaperScale) {
+  // The actual workload: B_Mt of the Ethernet CRC at M = 128 (32 x 128).
+  const LinearSystem sys = make_crc_system(catalog::crc32_ethernet());
+  const LookAhead la(sys, 128);
+  const DerbyTransform d(la);
+  MapperStats stats;
+  const XorNetlist nl = map_matrix(d.bmt(), {}, &stats);
+  Rng rng(6);
+  expect_netlist_computes(nl, d.bmt(), rng, 10);
+  // Plausibility: the forest fits PiCoGA-scale budgets and the CSE did
+  // something.
+  EXPECT_LE(stats.cells, 384u);
+  EXPECT_LE(stats.cells, stats.cells_without_sharing);
+}
+
+TEST(Mapper, MapMatrixIntoOffsetsInputs) {
+  // Splice a 3x2 product into a 5-input netlist at offset 3.
+  XorNetlist nl(5);
+  const Gf2Matrix m = Gf2Matrix::from_rows({"11", "10", "00"});
+  const auto roots = map_matrix_into(nl, m, 3);
+  ASSERT_EQ(roots.size(), 3u);
+  for (SignalId r : roots) nl.add_output(r);
+  // Inputs 0..2 are unused; the product reads inputs 3,4.
+  const Gf2Vec z = Gf2Vec::from_string("00011");
+  EXPECT_EQ(nl.evaluate(z).to_string(), "010");
+}
+
+TEST(Mapper, MapMatrixIntoRejectsOverflow) {
+  XorNetlist nl(3);
+  EXPECT_THROW(map_matrix_into(nl, Gf2Matrix(2, 3), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

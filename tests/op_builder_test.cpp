@@ -1,0 +1,110 @@
+#include "mapper/op_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crc/crc_spec.hpp"
+#include "crc/serial_crc.hpp"
+#include "lfsr/catalog.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(OpBuilder, DerbyOp1HasUnitLoopDepth) {
+  // The core claim of the paper's mapping: with the state-space transform
+  // the state-dependent logic is one cell deep, whatever M is.
+  for (std::size_t m : {8u, 32u, 64u, 128u}) {
+    const CrcOpPlan plan =
+        build_derby_crc_ops(catalog::crc32_ethernet(), m);
+    EXPECT_EQ(plan.op1.loop_depth, 1u) << "M=" << m;
+  }
+}
+
+TEST(OpBuilder, DirectOpLoopDeepensWithM) {
+  // Ablation: keeping A^M in the loop costs depth that grows with the
+  // fan-in — this is what caps the direct method's throughput.
+  const MappedOp m8 = build_direct_crc_op(catalog::crc32_ethernet(), 8);
+  const MappedOp m128 = build_direct_crc_op(catalog::crc32_ethernet(), 128);
+  EXPECT_GE(m8.loop_depth, 1u);
+  EXPECT_GT(m128.loop_depth, 1u);
+  EXPECT_GE(m128.loop_depth, m8.loop_depth);
+}
+
+TEST(OpBuilder, CrcPlanComputesTheCrc) {
+  // Run the actual netlists chunk by chunk and compare against the
+  // register-level serial CRC — the op partition is functionally exact.
+  Rng rng(1);
+  const CrcSpec spec = crcspec::crc32_ethernet();
+  for (std::size_t m : {8u, 32u, 64u}) {
+    const CrcOpPlan plan = build_derby_crc_ops(spec.generator(), m);
+    for (int trial = 0; trial < 3; ++trial) {
+      const BitStream bits = rng.next_bits(m * (3 + trial));
+      EXPECT_EQ(plan.run(bits, spec.init),
+                serial_crc_bits(bits, spec.width, spec.poly, spec.init))
+          << "M=" << m;
+    }
+  }
+}
+
+TEST(OpBuilder, CrcPlanRejectsRaggedLength) {
+  const CrcOpPlan plan = build_derby_crc_ops(catalog::crc8_atm(), 8);
+  EXPECT_THROW(plan.run(BitStream(12), 0), std::invalid_argument);
+}
+
+TEST(OpBuilder, CrcPlanIoWidths) {
+  const CrcOpPlan plan = build_derby_crc_ops(catalog::crc32_ethernet(), 128);
+  EXPECT_EQ(plan.op1.in_bits, 128u);
+  EXPECT_EQ(plan.op1.out_bits, 0u);
+  EXPECT_EQ(plan.op2.in_bits, 0u);
+  EXPECT_EQ(plan.op2.out_bits, 32u);
+  EXPECT_EQ(plan.op1.netlist.n_inputs(), 32u + 128u);
+  EXPECT_EQ(plan.op2.netlist.outputs().size(), 32u);
+}
+
+TEST(OpBuilder, SharingReducesOp1Cells) {
+  MapperOptions with, without;
+  without.share_patterns = false;
+  const CrcOpPlan a =
+      build_derby_crc_ops(catalog::crc32_ethernet(), 64, with);
+  const CrcOpPlan b =
+      build_derby_crc_ops(catalog::crc32_ethernet(), 64, without);
+  EXPECT_LT(a.op1.stats.cells, b.op1.stats.cells);
+  // Both remain functionally identical.
+  Rng rng(2);
+  const BitStream bits = rng.next_bits(64 * 4);
+  EXPECT_EQ(a.run(bits, 0xFFFFFFFF), b.run(bits, 0xFFFFFFFF));
+}
+
+TEST(OpBuilder, ScramblerOpMatchesSerialScrambler) {
+  Rng rng(3);
+  const Gf2Poly g = catalog::scrambler_80211();
+  for (std::size_t m : {8u, 32u, 121u}) {
+    const ScramblerOpPlan plan = build_scrambler_op(g, m);
+    EXPECT_EQ(plan.op.loop_depth, 1u) << "M=" << m;
+    const BitStream data = rng.next_bits(m * 5);
+    AdditiveScrambler ref(g, 0x7F);
+    EXPECT_EQ(plan.run(data, 0x7F), ref.process(data)) << "M=" << m;
+  }
+}
+
+TEST(OpBuilder, ScramblerOpOutputsOnlyY) {
+  const ScramblerOpPlan plan =
+      build_scrambler_op(catalog::scrambler_80211(), 32);
+  EXPECT_EQ(plan.op.in_bits, 32u);
+  EXPECT_EQ(plan.op.out_bits, 32u);
+  // Netlist carries state outputs too (fed back internally).
+  EXPECT_EQ(plan.op.netlist.outputs().size(), 7u + 32u);
+}
+
+TEST(OpBuilder, DvbScramblerPlanWorksToo) {
+  Rng rng(4);
+  const Gf2Poly g = catalog::scrambler_dvb();
+  const ScramblerOpPlan plan = build_scrambler_op(g, 16);
+  const BitStream data = rng.next_bits(16 * 8);
+  AdditiveScrambler ref(g, 0x1ABC);
+  EXPECT_EQ(plan.run(data, 0x1ABC), ref.process(data));
+}
+
+}  // namespace
+}  // namespace plfsr

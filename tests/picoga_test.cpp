@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "picoga/array.hpp"
+#include "picoga/pga_op.hpp"
+#include "picoga/rlc_cell.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+// --- RLC cell -------------------------------------------------------------
+
+TEST(RlcCell, XorModeParity) {
+  const RlcCell c = RlcCell::make_xor(10);
+  std::vector<bool> in(10, false);
+  EXPECT_FALSE(c.eval_xor(in));
+  in[3] = in[7] = in[9] = true;
+  EXPECT_TRUE(c.eval_xor(in));
+  in[0] = true;
+  EXPECT_FALSE(c.eval_xor(in));
+}
+
+TEST(RlcCell, XorFaninBounds) {
+  EXPECT_THROW(RlcCell::make_xor(0), std::invalid_argument);
+  EXPECT_THROW(RlcCell::make_xor(11), std::invalid_argument);
+  const RlcCell c = RlcCell::make_xor(3);
+  EXPECT_THROW(c.eval_xor({true, false}), std::invalid_argument);
+}
+
+TEST(RlcCell, LutMode) {
+  // Table: output = input + 1 mod 16.
+  std::uint64_t table = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) table |= ((i + 1) & 0xF) << (4 * i);
+  const RlcCell c = RlcCell::make_lut(table);
+  for (std::uint8_t i = 0; i < 16; ++i)
+    EXPECT_EQ(c.eval_lut(i), (i + 1) & 0xF);
+}
+
+TEST(RlcCell, AluAddWithCarryChain) {
+  const RlcCell add = RlcCell::make_alu(CellMode::kAluAdd);
+  auto r = add.eval_alu(0xF, 0x1, false);
+  EXPECT_EQ(r.value, 0x0);
+  EXPECT_TRUE(r.carry_out);
+  r = add.eval_alu(0x7, 0x7, true);
+  EXPECT_EQ(r.value, 0xF);
+  EXPECT_FALSE(r.carry_out);
+}
+
+TEST(RlcCell, AluLogicOps) {
+  EXPECT_EQ(RlcCell::make_alu(CellMode::kAluAnd).eval_alu(0xC, 0xA, 0).value,
+            0x8);
+  EXPECT_EQ(RlcCell::make_alu(CellMode::kAluOr).eval_alu(0xC, 0xA, 0).value,
+            0xE);
+  EXPECT_EQ(RlcCell::make_alu(CellMode::kAluXor).eval_alu(0xC, 0xA, 0).value,
+            0x6);
+  EXPECT_THROW(RlcCell::make_alu(CellMode::kXor), std::invalid_argument);
+}
+
+TEST(RlcCell, GfMulFieldAxioms) {
+  const RlcCell gf = RlcCell::make_gfmul();
+  // 1 is the identity; x * x^3 = x^4 = x + 1 = 0b0011 in GF(16)/x^4+x+1.
+  for (std::uint8_t a = 0; a < 16; ++a) EXPECT_EQ(gf.eval_gfmul(a, 1), a);
+  EXPECT_EQ(gf.eval_gfmul(0b0010, 0b1000), 0b0011);
+  // Commutativity.
+  for (std::uint8_t a = 0; a < 16; ++a)
+    for (std::uint8_t b = 0; b < 16; ++b)
+      EXPECT_EQ(gf.eval_gfmul(a, b), gf.eval_gfmul(b, a));
+}
+
+TEST(RlcCell, ModeMismatchThrows) {
+  EXPECT_THROW(RlcCell::make_xor(2).eval_lut(0), std::logic_error);
+  EXPECT_THROW(RlcCell::make_lut(0).eval_xor({true}), std::logic_error);
+}
+
+// --- PgaOp ------------------------------------------------------------------
+
+XorNetlist tiny_netlist() {
+  // 2 state bits, 2 data bits; state' = {s1 ^ d0, s0}; out = s0 ^ d1.
+  XorNetlist nl(4);
+  const SignalId a = nl.add_node({1, 2});
+  const SignalId b = nl.add_node({0, 3});
+  nl.add_output(a);   // state'0
+  nl.add_output(0);   // state'1 = old s0
+  nl.add_output(b);   // port out
+  return nl;
+}
+
+TEST(PgaOp, CompilesAndReportsGeometry) {
+  const PgaOp op("tiny", tiny_netlist(), 2, PicogaConstraints{});
+  EXPECT_EQ(op.rows_used(), 1u);
+  EXPECT_EQ(op.latency(), 1u);
+  EXPECT_EQ(op.ii(), 1u);
+  EXPECT_EQ(op.port_in_bits(), 2u);
+  EXPECT_EQ(op.port_out_bits(), 1u);
+}
+
+TEST(PgaOp, EvaluateThroughCells) {
+  const PgaOp op("tiny", tiny_netlist(), 2, PicogaConstraints{});
+  const Gf2Vec out =
+      op.evaluate(Gf2Vec::from_string("10"), Gf2Vec::from_string("01"));
+  // state = s0=1 s1=0; data d0=0 d1=1.
+  // state'0 = s1^d0 = 0; state'1 = s0 = 1; out = s0^d1 = 0.
+  EXPECT_EQ(out.to_string(), "010");
+}
+
+TEST(PgaOp, RejectsOversizedOp) {
+  PicogaConstraints tiny_geom;
+  tiny_geom.rows = 1;
+  tiny_geom.cells_per_row = 2;
+  XorNetlist nl(8);
+  for (SignalId i = 0; i < 8; i += 2) nl.add_node({i, i + 1});
+  for (std::size_t i = 0; i < 4; ++i)
+    nl.add_output(static_cast<SignalId>(8 + i));
+  EXPECT_THROW(PgaOp("fat", nl, 0, tiny_geom), std::runtime_error);
+}
+
+TEST(PgaOp, RejectsIoOverflow) {
+  PicogaConstraints geom;
+  geom.max_in_bits = 4;
+  XorNetlist nl(8);
+  nl.add_output(nl.add_node({0, 7}));
+  EXPECT_THROW(PgaOp("wide", nl, 0, geom), std::runtime_error);
+}
+
+TEST(PgaOp, PlacementRespectsRowWidth) {
+  PicogaConstraints geom;
+  geom.cells_per_row = 4;
+  XorNetlist nl(20);
+  for (SignalId i = 0; i < 20; i += 2) nl.add_node({i, i + 1});  // 10 gates
+  for (std::size_t i = 0; i < 10; ++i)
+    nl.add_output(static_cast<SignalId>(20 + i));
+  const PgaOp op("spill", nl, 0, geom);
+  EXPECT_EQ(op.rows_used(), 3u);  // ceil(10/4)
+  for (const CellSite& site : op.placement()) {
+    EXPECT_LT(site.row, 3u);
+    EXPECT_LT(site.col, 4u);
+  }
+}
+
+// --- PicogaArray ------------------------------------------------------------
+
+PgaOp make_tiny_op() {
+  return PgaOp("tiny", tiny_netlist(), 2, PicogaConstraints{});
+}
+
+TEST(PicogaArray, LoadCostsAndSwitchCosts) {
+  PicogaArray arr;
+  arr.load(0, make_tiny_op());
+  const std::uint64_t after_load = arr.cycles();
+  EXPECT_GT(after_load, 0u);  // configuration is not free
+  arr.load(1, make_tiny_op());
+  arr.reset_cycles();
+
+  arr.activate(0);  // already active: free
+  EXPECT_EQ(arr.cycles(), 0u);
+  arr.activate(1);
+  EXPECT_EQ(arr.cycles(), PicogaArray::kContextSwitchCycles);
+  arr.activate(1);  // no-op
+  EXPECT_EQ(arr.cycles(), PicogaArray::kContextSwitchCycles);
+}
+
+TEST(PicogaArray, StreamCycleAccounting) {
+  PicogaArray arr;
+  arr.load(0, make_tiny_op());
+  arr.activate(0);
+  arr.reset_cycles();
+  arr.set_state(Gf2Vec(2));
+  for (int i = 0; i < 10; ++i) arr.issue(Gf2Vec(2));
+  // latency(1) + 9 * II(1).
+  EXPECT_EQ(arr.cycles(), 10u);
+  arr.drain();
+  arr.issue(Gf2Vec(2));  // refill
+  EXPECT_EQ(arr.cycles(), 11u);
+}
+
+TEST(PicogaArray, StatePersistsAcrossIssues) {
+  PicogaArray arr;
+  arr.load(0, make_tiny_op());
+  arr.activate(0);
+  arr.set_state(Gf2Vec::from_string("10"));
+  arr.issue(Gf2Vec::from_string("00"));
+  // state' = {s1^d0, s0} = {0, 1}.
+  EXPECT_EQ(arr.state().to_string(), "01");
+  arr.issue(Gf2Vec::from_string("10"));
+  // state'' = {1^1, 0} = {0, 0}.
+  EXPECT_EQ(arr.state().to_string(), "00");
+}
+
+TEST(PicogaArray, BankedIssueKeepsStatesApart) {
+  PicogaArray arr;
+  arr.load(0, make_tiny_op());
+  arr.activate(0);
+  arr.init_banks(2, Gf2Vec::from_string("10"));
+  arr.issue_banked(0, Gf2Vec::from_string("00"));
+  EXPECT_EQ(arr.bank_state(0).to_string(), "01");
+  EXPECT_EQ(arr.bank_state(1).to_string(), "10");  // untouched
+  EXPECT_THROW(arr.issue_banked(5, Gf2Vec(2)), std::invalid_argument);
+}
+
+TEST(PicogaArray, SaveRestoreChargesRegisterMoves) {
+  PicogaArray arr;
+  arr.load(0, make_tiny_op());
+  arr.activate(0);
+  arr.reset_cycles();
+  const Gf2Vec saved = arr.save_state();
+  arr.restore_state(saved);
+  EXPECT_EQ(arr.cycles(), 2u);  // 2 bits -> one word each way
+}
+
+TEST(PicogaArray, ErrorsOnMisuse) {
+  PicogaArray arr;
+  EXPECT_THROW(arr.activate(9), std::invalid_argument);
+  EXPECT_THROW(arr.activate(1), std::logic_error);  // nothing loaded
+  EXPECT_THROW(arr.issue(Gf2Vec(2)), std::logic_error);
+  arr.load(0, make_tiny_op());
+  EXPECT_THROW(arr.set_state(Gf2Vec(5)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

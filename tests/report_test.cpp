@@ -1,0 +1,42 @@
+#include "support/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace plfsr {
+namespace {
+
+TEST(ReportTable, AlignedOutput) {
+  ReportTable t({"N", "Gbps"});
+  t.add_row({"368", "1.25"});
+  t.add_row({"12144", "24.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("12144"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(ReportTable, CsvOutput) {
+  ReportTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTable, ArityEnforced) {
+  ReportTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(ReportTable, NumberFormatting) {
+  EXPECT_EQ(ReportTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(ReportTable::num(25.6, 1), "25.6");
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,47 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfsr {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedSensitive) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, BitsRoughlyBalanced) {
+  Rng rng(4);
+  const BitStream bits = rng.next_bits(10000);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) ones += bits.get(i);
+  EXPECT_GT(ones, 4700u);
+  EXPECT_LT(ones, 5300u);
+}
+
+TEST(Rng, BytesHaveRequestedSize) {
+  Rng rng(5);
+  EXPECT_EQ(rng.next_bytes(0).size(), 0u);
+  EXPECT_EQ(rng.next_bytes(77).size(), 77u);
+}
+
+TEST(Rng, NextBitsExactLength) {
+  Rng rng(6);
+  EXPECT_EQ(rng.next_bits(65).size(), 65u);
+  EXPECT_EQ(rng.next_bits(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,87 @@
+#include "picoga/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+#include "mapper/op_builder.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Routing, SingleRowOpNeedsNoTracks) {
+  XorNetlist nl(4);
+  nl.add_output(nl.add_node({0, 1, 2, 3}));
+  const PgaOp op("one_row", nl, 0, PicogaConstraints{});
+  const RoutingReport rep = analyze_routing(op);
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_EQ(rep.peak_granules_bitwise, 0u);
+}
+
+TEST(Routing, TwoLevelOpCountsCrossings) {
+  // Level 1: two gates from 4 inputs; level 2: one gate over both.
+  // Boundary 0 carries exactly the two intermediate signals (all inputs
+  // are consumed in row 0).
+  XorNetlist nl(4);
+  const SignalId a = nl.add_node({0, 1});
+  const SignalId b = nl.add_node({2, 3});
+  nl.add_output(nl.add_node({a, b}));
+  const PgaOp op("two_level", nl, 0, PicogaConstraints{});
+  ASSERT_EQ(op.rows_used(), 2u);
+  const RoutingReport rep = analyze_routing(op);
+  ASSERT_EQ(rep.nets_per_boundary.size(), 1u);
+  EXPECT_EQ(rep.nets_per_boundary[0], 2u);
+  EXPECT_EQ(rep.peak_granules_paired, 1u);  // pairs into one 2-bit granule
+  EXPECT_TRUE(rep.feasible);
+}
+
+TEST(Routing, InputConsumedLateCrossesEveryBoundary) {
+  // in3 skips level 1 entirely and feeds the level-2 gate: it must be
+  // counted on boundary 0.
+  XorNetlist nl(4);
+  const SignalId a = nl.add_node({0, 1});
+  const SignalId b = nl.add_node({a, 2});
+  nl.add_output(nl.add_node({b, 3}));
+  const PgaOp op("late_input", nl, 0, PicogaConstraints{});
+  ASSERT_EQ(op.rows_used(), 3u);
+  const RoutingReport rep = analyze_routing(op);
+  // Boundary 0: a (row0 -> row1) and in3 (enters -> row2), in2 (-> row1).
+  EXPECT_EQ(rep.nets_per_boundary[0], 3u);
+  // Boundary 1: b and in3.
+  EXPECT_EQ(rep.nets_per_boundary[1], 2u);
+}
+
+TEST(Routing, PaperScaleOpsAreRoutable) {
+  // The real CRC-32 operations at every feasible M must fit the channel
+  // at the fabric's native 2-bit bundling; the fully bit-wise bound may
+  // exceed it at M = 128 (the §3 "underutilization" cost made concrete).
+  for (std::size_t m : {32u, 64u, 128u}) {
+    const CrcOpPlan plan = build_derby_crc_ops(catalog::crc32_ethernet(), m);
+    const PgaOp op1("op1", plan.op1.netlist, plan.width,
+                    PicogaConstraints{});
+    const RoutingReport rep = analyze_routing(op1);
+    EXPECT_TRUE(rep.feasible) << "M=" << m << " paired peak "
+                              << rep.peak_granules_paired;
+    EXPECT_GE(rep.peak_granules_bitwise, 2 * rep.peak_granules_paired - 1);
+  }
+}
+
+TEST(Routing, CongestionGrowsWithM) {
+  auto peak = [](std::size_t m) {
+    const CrcOpPlan plan = build_derby_crc_ops(catalog::crc32_ethernet(), m);
+    const PgaOp op1("op1", plan.op1.netlist, plan.width,
+                    PicogaConstraints{});
+    return analyze_routing(op1).peak_granules_bitwise;
+  };
+  EXPECT_LT(peak(16), peak(128));
+}
+
+TEST(Routing, TinyChannelDetectsInfeasibility) {
+  const CrcOpPlan plan = build_derby_crc_ops(catalog::crc32_ethernet(), 128);
+  const PgaOp op1("op1", plan.op1.netlist, plan.width, PicogaConstraints{});
+  RoutingChannel tiny;
+  tiny.tracks = 4;
+  EXPECT_FALSE(analyze_routing(op1, tiny).feasible);
+}
+
+}  // namespace
+}  // namespace plfsr

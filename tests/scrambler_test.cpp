@@ -1,0 +1,127 @@
+#include "scrambler/scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lfsr/catalog.hpp"
+#include "scrambler/wifi.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(AdditiveScrambler, MatchesPublished80211Sequence) {
+  // All-ones seed -> the 127-bit sequence printed in IEEE 802.11.
+  AdditiveScrambler s = wifi::make_scrambler(0x7F);
+  const BitStream ks = s.keystream(127);
+  EXPECT_EQ(ks.to_string(), std::string(wifi::kReferenceSequence127));
+}
+
+TEST(AdditiveScrambler, SequencePeriodIs127) {
+  AdditiveScrambler s = wifi::make_scrambler(0x7F);
+  const BitStream first = s.keystream(127);
+  const BitStream second = s.keystream(127);
+  EXPECT_EQ(first, second);
+}
+
+TEST(AdditiveScrambler, ScrambleDescrambleIdentity) {
+  Rng rng(1);
+  const BitStream data = rng.next_bits(1000);
+  AdditiveScrambler tx = wifi::make_scrambler(0x5B);
+  AdditiveScrambler rx = wifi::make_scrambler(0x5B);
+  EXPECT_EQ(rx.process(tx.process(data)), data);
+}
+
+TEST(AdditiveScrambler, ZeroSeedRejected) {
+  EXPECT_THROW(AdditiveScrambler(catalog::scrambler_80211(), 0),
+               std::invalid_argument);
+}
+
+TEST(AdditiveScrambler, BreaksLongRuns) {
+  // The paper's stated purpose: "avoid short repeating sequences of 0s or
+  // 1s". An all-zero payload must come out with no run longer than the
+  // register size.
+  AdditiveScrambler s = wifi::make_scrambler(0x7F);
+  const BitStream out = s.process(BitStream(500));
+  int run = 0, max_run = 0;
+  bool prev = out.get(0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    run = (out.get(i) == prev) ? run + 1 : 1;
+    prev = out.get(i);
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_LE(max_run, 7);
+}
+
+/// Parallel == serial for every (generator, M, seed) combination.
+class ParallelScramblerEquiv
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelScramblerEquiv, MatchesSerial) {
+  const auto polys = catalog::all_scrambler_polys();
+  const Gf2Poly g =
+      polys[static_cast<std::size_t>(std::get<0>(GetParam())) % polys.size()]
+          .poly;
+  const std::size_t m = static_cast<std::size_t>(std::get<1>(GetParam()));
+  const std::uint64_t seed = 0x2A ^ (std::get<0>(GetParam()) + 1);
+
+  Rng rng(std::get<0>(GetParam()) * 100 + std::get<1>(GetParam()));
+  const BitStream data = rng.next_bits(m * 6 + 5);  // force a serial tail
+
+  AdditiveScrambler serial(g, seed);
+  ParallelScrambler parallel(g, m, seed);
+  EXPECT_EQ(parallel.process(data), serial.process(data));
+  EXPECT_EQ(parallel.state(), serial.state());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolysAndM, ParallelScramblerEquiv,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(1, 2, 8, 32, 64, 128)));
+
+TEST(ParallelScrambler, ReseedRestartsSequence) {
+  ParallelScrambler p(catalog::scrambler_80211(), 16, 0x7F);
+  const BitStream a = p.process(BitStream(64));
+  p.reseed(0x7F);
+  const BitStream b = p.process(BitStream(64));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MultiplicativeScrambler, SelfSynchronizing) {
+  MultiplicativeScrambler s(catalog::scrambler_sonet());
+  Rng rng(2);
+  const BitStream data = rng.next_bits(500);
+  const BitStream scrambled = s.scramble(data);
+  const BitStream recovered = s.descramble(scrambled);
+  EXPECT_EQ(recovered, data);
+}
+
+TEST(MultiplicativeScrambler, RecoversAfterBitSlip) {
+  // Drop the first k scrambled bits: after k more bits the descrambler
+  // state realigns and everything that follows decodes correctly.
+  const Gf2Poly g = catalog::scrambler_sonet();
+  const unsigned k = static_cast<unsigned>(g.degree());
+  MultiplicativeScrambler tx(g);
+  Rng rng(3);
+  const BitStream data = rng.next_bits(300);
+  const BitStream scrambled = tx.scramble(data);
+
+  BitStream clipped;
+  for (std::size_t i = 10; i < scrambled.size(); ++i)
+    clipped.push_back(scrambled.get(i));
+  MultiplicativeScrambler rx(g);
+  const BitStream out = rx.descramble(clipped);
+  for (std::size_t i = k; i < out.size(); ++i)
+    EXPECT_EQ(out.get(i), data.get(10 + i)) << "position " << i;
+}
+
+TEST(MultiplicativeScrambler, ScrambledDiffersFromInput) {
+  MultiplicativeScrambler s(catalog::scrambler_dvb());
+  Rng rng(4);
+  const BitStream data = rng.next_bits(200);
+  EXPECT_FALSE(s.scramble(data) == data);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,82 @@
+#include "scrambler/spreader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Spreader, RoundTripCleanChannel) {
+  Rng rng(1);
+  const BitStream data = rng.next_bits(300);
+  for (std::size_t chips : {1u, 3u, 11u, 16u}) {
+    Spreader tx(catalog::prbs15(), 0x1ACE, chips);
+    Spreader rx(catalog::prbs15(), 0x1ACE, chips);
+    const BitStream air = tx.spread(data);
+    EXPECT_EQ(air.size(), data.size() * chips);
+    EXPECT_EQ(rx.despread(air), data) << "chips=" << chips;
+  }
+}
+
+TEST(Spreader, ExpandsBandwidthAndWhitens) {
+  // Spreading an all-zero payload with 11 chips/bit must produce a
+  // balanced chip stream (the PRBS shows through).
+  Spreader tx(catalog::prbs23(), 0xBEEF, 11);
+  const BitStream air = tx.spread(BitStream(400));
+  const std::size_t ones = air.weight();
+  EXPECT_GT(ones, air.size() * 2 / 5);
+  EXPECT_LT(ones, air.size() * 3 / 5);
+}
+
+TEST(Spreader, ProcessingGainCorrectsChipErrors) {
+  // With C = 11, up to 5 chip errors per bit are voted away.
+  Rng rng(2);
+  const BitStream data = rng.next_bits(100);
+  Spreader tx(catalog::prbs15(), 0x7777, 11);
+  Spreader rx(catalog::prbs15(), 0x7777, 11);
+  BitStream air = tx.spread(data);
+  // Flip 5 chips in every 11-chip group.
+  for (std::size_t g = 0; g < data.size(); ++g)
+    for (std::size_t j = 0; j < 5; ++j) {
+      const std::size_t pos = g * 11 + (j * 2 + (g % 2));
+      air.set(pos, !air.get(pos));
+    }
+  EXPECT_EQ(rx.despread(air), data);
+}
+
+TEST(Spreader, SixOfElevenErrorsFlipTheBit) {
+  const BitStream data = BitStream(20);  // all zero
+  Spreader tx(catalog::prbs15(), 0x123, 11);
+  Spreader rx(catalog::prbs15(), 0x123, 11);
+  BitStream air = tx.spread(data);
+  for (std::size_t j = 0; j < 6; ++j)  // corrupt 6 chips of bit 0
+    air.set(j, !air.get(j));
+  const BitStream out = rx.despread(air);
+  EXPECT_TRUE(out.get(0));   // majority flipped
+  EXPECT_FALSE(out.get(1));  // neighbours unharmed
+}
+
+TEST(Spreader, SeedMismatchGarbles) {
+  Rng rng(3);
+  const BitStream data = rng.next_bits(200);
+  Spreader tx(catalog::prbs15(), 0x1111, 11);
+  Spreader rx(catalog::prbs15(), 0x2222, 11);
+  const BitStream out = rx.despread(tx.spread(data));
+  // Roughly half the bits decode wrong under a wrong code phase.
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    wrong += out.get(i) != data.get(i);
+  EXPECT_GT(wrong, data.size() / 5);
+}
+
+TEST(Spreader, ArgumentValidation) {
+  EXPECT_THROW(Spreader(catalog::prbs15(), 0x1, 0), std::invalid_argument);
+  EXPECT_THROW(Spreader(catalog::prbs15(), 0, 4), std::invalid_argument);
+  Spreader s(catalog::prbs15(), 0x1, 4);
+  EXPECT_THROW(s.despread(BitStream(6)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

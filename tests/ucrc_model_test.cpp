@@ -1,0 +1,76 @@
+#include "asicmodel/ucrc_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dream/dream_model.hpp"
+#include "lfsr/catalog.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(UcrcModel, SerialClockIsRealistic65nm) {
+  const double f = ucrc_serial_fmax_ghz(catalog::crc32_ethernet());
+  EXPECT_GT(f, 0.8);
+  EXPECT_LT(f, 2.0);
+}
+
+TEST(UcrcModel, ClockFallsAsLookAheadGrows) {
+  const auto pts = ucrc_synthesis_curve(catalog::crc32_ethernet(),
+                                        {2, 8, 32, 128, 512});
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].f_max_ghz, pts[i - 1].f_max_ghz);
+    EXPECT_GE(pts[i].max_loop_fanin, pts[i - 1].max_loop_fanin);
+  }
+}
+
+TEST(UcrcModel, LoopFaninComesFromTheRealMatrices) {
+  // For CRC-32 at M = 32 the [A^M | B_M] rows are roughly half dense over
+  // 64 columns; the model must see that, not a made-up constant.
+  const auto pts = ucrc_synthesis_curve(catalog::crc32_ethernet(), {32});
+  EXPECT_GT(pts[0].max_loop_fanin, 20u);
+  EXPECT_LT(pts[0].max_loop_fanin, 64u);
+}
+
+TEST(UcrcModel, ThroughputSaturates) {
+  // The congestion term caps the ASIC's usable bandwidth: doubling M from
+  // 256 to 512 must gain much less than 2x.
+  const auto pts = ucrc_synthesis_curve(catalog::crc32_ethernet(),
+                                        {256, 512});
+  EXPECT_LT(pts[1].throughput_gbps, 1.3 * pts[0].throughput_gbps);
+}
+
+TEST(UcrcModel, TheoryCurvesOrdering) {
+  // Derby theory = 2x Pei theory at every M, both anchored to the serial
+  // clock (§5's construction).
+  for (std::size_t m : {4u, 32u, 256u}) {
+    const double derby = derby_theory_gbps(catalog::crc32_ethernet(), m);
+    const double pei = pei_theory_gbps(catalog::crc32_ethernet(), m);
+    EXPECT_NEAR(derby, 2 * pei, 1e-9) << "M=" << m;
+  }
+}
+
+TEST(Fig6Shape, DreamOvertakesUcrcAtLargeM) {
+  // The paper's Fig. 6 punchline: "for M = 128, DREAM achieves a peak
+  // performance of ~25 Gbit/sec, that is greater [than] the performance
+  // offered by UCRC"; at small M DREAM is limited by its fixed frequency.
+  const auto ucrc =
+      ucrc_synthesis_curve(catalog::crc32_ethernet(), {8, 128});
+  const DreamCrcModel dream8(catalog::crc32_ethernet(), 8);
+  const DreamCrcModel dream128(catalog::crc32_ethernet(), 128);
+  EXPECT_LT(dream8.peak_gbps(), ucrc[0].throughput_gbps);    // small M: ASIC wins
+  EXPECT_GT(dream128.peak_gbps(), ucrc[1].throughput_gbps);  // M=128: DREAM wins
+}
+
+TEST(Fig6Shape, TheoryBoundsRealSynthesis) {
+  // The ideal Derby transform applied to a custom design upper-bounds the
+  // real (congested) UCRC at every parallelization.
+  for (std::size_t m : {16u, 64u, 256u}) {
+    const auto pts = ucrc_synthesis_curve(catalog::crc32_ethernet(), {m});
+    EXPECT_GT(derby_theory_gbps(catalog::crc32_ethernet(), m),
+              pts[0].throughput_gbps)
+        << "M=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,59 @@
+#include "picoga/vcd_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfsr {
+namespace {
+
+TEST(VcdTrace, HeaderStructure) {
+  VcdTrace t(5);
+  const std::string v = t.render("dut");
+  EXPECT_NE(v.find("$timescale 5ns $end"), std::string::npos);
+  EXPECT_NE(v.find("$scope module dut $end"), std::string::npos);
+  EXPECT_NE(v.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdTrace, EventsSortedByCycle) {
+  VcdTrace t;
+  t.record_issue(10, 3);
+  t.record_context(2, 1);
+  t.record_stall(5, true);
+  const std::string v = t.render();
+  const auto p2 = v.find("#2");
+  const auto p5 = v.find("#5");
+  const auto p10 = v.find("#10");
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p5, std::string::npos);
+  ASSERT_NE(p10, std::string::npos);
+  EXPECT_LT(p2, p5);
+  EXPECT_LT(p5, p10);
+  EXPECT_EQ(t.event_count(), 3u);
+}
+
+TEST(VcdTrace, ValueEncodings) {
+  VcdTrace t;
+  t.record_context(0, 5);   // 3-bit binary 101
+  t.record_issue(0, 200);   // 8-bit binary 11001000
+  t.record_stall(1, true);
+  t.record_stall(2, false);
+  const std::string v = t.render();
+  EXPECT_NE(v.find("b101 c"), std::string::npos);
+  EXPECT_NE(v.find("b11001000 r"), std::string::npos);
+  EXPECT_NE(v.find("1s"), std::string::npos);
+  EXPECT_NE(v.find("0s"), std::string::npos);
+}
+
+TEST(VcdTrace, TimestampEmittedOncePerCycle) {
+  VcdTrace t;
+  t.record_context(7, 0);
+  t.record_issue(7, 1);
+  const std::string v = t.render();
+  std::size_t count = 0;
+  for (std::size_t pos = v.find("#7"); pos != std::string::npos;
+       pos = v.find("#7", pos + 2))
+    ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace plfsr

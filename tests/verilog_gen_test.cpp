@@ -1,0 +1,96 @@
+#include "mapper/verilog_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lfsr/catalog.hpp"
+#include "mapper/matrix_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(VerilogGen, CombinationalModuleStructure) {
+  const Gf2Matrix m = Gf2Matrix::from_rows({"1100", "0110", "0000"});
+  const XorNetlist nl = map_matrix(m);
+  const std::string v = emit_combinational_module("xor_block", nl);
+
+  EXPECT_NE(v.find("module xor_block ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input  wire [3:0] in"), std::string::npos);
+  EXPECT_NE(v.find("output wire [2:0] out"), std::string::npos);
+  // One wire declaration per gate; zero row emits the constant.
+  EXPECT_EQ(count_occurrences(v, "  wire g_n"), nl.node_count());
+  EXPECT_NE(v.find("assign out[2] = 1'b0;"), std::string::npos);
+}
+
+TEST(VerilogGen, GateCountMatchesNetlist) {
+  Rng rng(1);
+  Gf2Matrix m(12, 30);
+  for (std::size_t r = 0; r < 12; ++r)
+    for (std::size_t c = 0; c < 30; ++c) m.set(r, c, rng.next_bit());
+  const XorNetlist nl = map_matrix(m);
+  const std::string v = emit_combinational_module("u", nl);
+  EXPECT_EQ(count_occurrences(v, "  wire g_n"), nl.node_count());
+  EXPECT_EQ(count_occurrences(v, "  assign out["), 12u);
+}
+
+TEST(VerilogGen, Deterministic) {
+  const Gf2Poly g = catalog::crc16_ccitt();
+  EXPECT_EQ(emit_parallel_crc_module("crc16", g, 16),
+            emit_parallel_crc_module("crc16", g, 16));
+}
+
+TEST(VerilogGen, ParallelCrcModulePorts) {
+  const std::string v =
+      emit_parallel_crc_module("crc32_m64", catalog::crc32_ethernet(), 64);
+  for (const char* needle :
+       {"module crc32_m64 (", "input  wire clk", "input  wire rst_n",
+        "input  wire init_load", "input  wire [31:0] init_value",
+        "input  wire chunk_valid", "input  wire [63:0] chunk",
+        "output wire [31:0] crc_raw", "reg [31:0] xt",
+        "always @(posedge clk or negedge rst_n)", "endmodule"})
+    EXPECT_NE(v.find(needle), std::string::npos) << needle;
+  // All 32 state bits are assigned in both branches.
+  EXPECT_EQ(count_occurrences(v, "      xt["), 64u);
+  // Header documents the Derby II = 1 property.
+  EXPECT_NE(v.find("II = 1"), std::string::npos);
+}
+
+TEST(VerilogGen, ParallelScramblerModulePorts) {
+  const std::string v = emit_parallel_scrambler_module(
+      "scr80211_m32", catalog::scrambler_80211(), 32);
+  for (const char* needle :
+       {"module scr80211_m32 (", "input  wire [6:0] seed",
+        "input  wire [31:0] data_in", "output wire [31:0] data_out",
+        "reg [6:0] xt", "endmodule"})
+    EXPECT_NE(v.find(needle), std::string::npos) << needle;
+  EXPECT_EQ(count_occurrences(v, "  assign data_out["), 32u);
+}
+
+TEST(VerilogGen, NoDanglingSignalReferences) {
+  // Every referenced intermediate wire must be declared: collect "u_nK"
+  // uses and definitions and compare.
+  const std::string v =
+      emit_parallel_crc_module("c", catalog::crc8_atm(), 16);
+  for (const std::string prefix : {"tinv_n", "op1_n", "op2_n"}) {
+    std::size_t uses = 0, defs = 0;
+    for (std::size_t pos = v.find(prefix); pos != std::string::npos;
+         pos = v.find(prefix, pos + prefix.size()))
+      ++uses;
+    defs = count_occurrences(v, "  wire " + prefix);
+    EXPECT_GE(uses, defs) << prefix;
+    EXPECT_GT(defs, 0u) << prefix;
+  }
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,42 @@
+#include "scrambler/wifi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(Wifi, ReferenceSequenceIs127Bits) {
+  EXPECT_EQ(std::string(wifi::kReferenceSequence127).size(), 127u);
+}
+
+TEST(Wifi, FrameScrambleRoundTrip) {
+  Rng rng(1);
+  const BitStream payload = rng.next_bits(1000);
+  for (std::uint64_t seed = 1; seed < 128; seed += 13) {
+    const BitStream scrambled = wifi::scramble_frame(payload, seed);
+    EXPECT_EQ(wifi::scramble_frame(scrambled, seed), payload) << seed;
+    EXPECT_FALSE(scrambled == payload) << seed;
+  }
+}
+
+TEST(Wifi, DifferentSeedsDifferentOutput) {
+  const BitStream payload(200);
+  EXPECT_FALSE(wifi::scramble_frame(payload, 0x7F) ==
+               wifi::scramble_frame(payload, 0x3F));
+}
+
+TEST(Wifi, ParallelScramblerMatchesSerialAtAllM) {
+  Rng rng(2);
+  const BitStream payload = rng.next_bits(1024);
+  AdditiveScrambler serial = wifi::make_scrambler();
+  const BitStream expect = serial.process(payload);
+  for (std::size_t m : {8u, 16u, 64u, 128u}) {
+    ParallelScrambler par = wifi::make_parallel_scrambler(m);
+    EXPECT_EQ(par.process(payload), expect) << "M=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,76 @@
+#include "mapper/xor_netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfsr {
+namespace {
+
+TEST(XorNetlist, SingleGate) {
+  XorNetlist nl(3);
+  const SignalId g = nl.add_node({0, 1, 2});
+  nl.add_output(g);
+  EXPECT_EQ(nl.node_count(), 1u);
+  EXPECT_EQ(nl.depth(), 1u);
+  EXPECT_EQ(nl.evaluate(Gf2Vec::from_string("110")).to_string(), "0");
+  EXPECT_EQ(nl.evaluate(Gf2Vec::from_string("100")).to_string(), "1");
+}
+
+TEST(XorNetlist, PassThroughOutput) {
+  XorNetlist nl(2);
+  nl.add_output(1);
+  EXPECT_EQ(nl.depth(), 0u);
+  EXPECT_EQ(nl.evaluate(Gf2Vec::from_string("01")).to_string(), "1");
+}
+
+TEST(XorNetlist, ZeroOutput) {
+  XorNetlist nl(2);
+  nl.add_output(kZeroSignal);
+  EXPECT_EQ(nl.evaluate(Gf2Vec::from_string("11")).to_string(), "0");
+}
+
+TEST(XorNetlist, TwoLevelDepth) {
+  XorNetlist nl(4);
+  const SignalId a = nl.add_node({0, 1});
+  const SignalId b = nl.add_node({2, 3});
+  const SignalId c = nl.add_node({a, b});
+  nl.add_output(c);
+  EXPECT_EQ(nl.depth(), 2u);
+  EXPECT_EQ(nl.level_histogram(), (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(XorNetlist, FaninLimitEnforced) {
+  XorNetlist nl(20, 10);
+  std::vector<SignalId> eleven;
+  for (SignalId i = 0; i < 11; ++i) eleven.push_back(i);
+  EXPECT_THROW(nl.add_node(eleven), std::invalid_argument);
+  EXPECT_THROW(nl.add_node({}), std::invalid_argument);
+}
+
+TEST(XorNetlist, ForwardReferenceRejected) {
+  XorNetlist nl(2);
+  EXPECT_THROW(nl.add_node({0, 5}), std::invalid_argument);
+  EXPECT_THROW(nl.add_output(7), std::invalid_argument);
+}
+
+TEST(XorNetlist, DepthFromMask) {
+  // inputs: 0 = state, 1..2 = data. Node A = data-only; node B mixes.
+  XorNetlist nl(3);
+  const SignalId a = nl.add_node({1, 2});   // depth 1, state-free
+  const SignalId b = nl.add_node({0, a});   // state depth 1
+  const SignalId c = nl.add_node({b, a});   // state depth 2
+  nl.add_output(c);
+  nl.add_output(a);
+  EXPECT_EQ(nl.depth_from({true, false, false}), 2u);
+  // Restricting to the second output (state-free) gives 0.
+  EXPECT_EQ(nl.depth_from({true, false, false}, 1, 2), 0u);
+  EXPECT_THROW(nl.depth_from({true}), std::invalid_argument);
+}
+
+TEST(XorNetlist, EvaluateChecksArity) {
+  XorNetlist nl(3);
+  nl.add_output(0);
+  EXPECT_THROW(nl.evaluate(Gf2Vec(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr
