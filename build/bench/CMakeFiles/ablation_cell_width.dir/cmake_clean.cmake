@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cell_width.dir/ablation_cell_width.cpp.o"
+  "CMakeFiles/ablation_cell_width.dir/ablation_cell_width.cpp.o.d"
+  "ablation_cell_width"
+  "ablation_cell_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cell_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

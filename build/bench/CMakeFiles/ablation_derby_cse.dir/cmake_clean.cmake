@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_derby_cse.dir/ablation_derby_cse.cpp.o"
+  "CMakeFiles/ablation_derby_cse.dir/ablation_derby_cse.cpp.o.d"
+  "ablation_derby_cse"
+  "ablation_derby_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_derby_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_derby_cse.
+# This may be replaced when dependencies are built.

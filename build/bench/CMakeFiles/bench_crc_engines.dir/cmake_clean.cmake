@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crc_engines.dir/bench_crc_engines.cpp.o"
+  "CMakeFiles/bench_crc_engines.dir/bench_crc_engines.cpp.o.d"
+  "bench_crc_engines"
+  "bench_crc_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crc_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_throughput_single.dir/fig4_throughput_single.cpp.o"
+  "CMakeFiles/fig4_throughput_single.dir/fig4_throughput_single.cpp.o.d"
+  "fig4_throughput_single"
+  "fig4_throughput_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

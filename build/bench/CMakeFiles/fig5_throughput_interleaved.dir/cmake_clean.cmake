@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_throughput_interleaved.dir/fig5_throughput_interleaved.cpp.o"
+  "CMakeFiles/fig5_throughput_interleaved.dir/fig5_throughput_interleaved.cpp.o.d"
+  "fig5_throughput_interleaved"
+  "fig5_throughput_interleaved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_throughput_interleaved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

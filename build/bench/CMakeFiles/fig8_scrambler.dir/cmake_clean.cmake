@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scrambler.dir/fig8_scrambler.cpp.o"
+  "CMakeFiles/fig8_scrambler.dir/fig8_scrambler.cpp.o.d"
+  "fig8_scrambler"
+  "fig8_scrambler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scrambler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

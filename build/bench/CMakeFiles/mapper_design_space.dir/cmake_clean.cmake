@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_design_space.dir/mapper_design_space.cpp.o"
+  "CMakeFiles/mapper_design_space.dir/mapper_design_space.cpp.o.d"
+  "mapper_design_space"
+  "mapper_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

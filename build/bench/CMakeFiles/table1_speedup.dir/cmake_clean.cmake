@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_speedup.dir/table1_speedup.cpp.o"
+  "CMakeFiles/table1_speedup.dir/table1_speedup.cpp.o.d"
+  "table1_speedup"
+  "table1_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

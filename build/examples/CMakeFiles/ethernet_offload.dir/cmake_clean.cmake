@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethernet_offload.dir/ethernet_offload.cpp.o"
+  "CMakeFiles/ethernet_offload.dir/ethernet_offload.cpp.o.d"
+  "ethernet_offload"
+  "ethernet_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethernet_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

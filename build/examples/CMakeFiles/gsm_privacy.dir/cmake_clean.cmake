@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsm_privacy.dir/gsm_privacy.cpp.o"
+  "CMakeFiles/gsm_privacy.dir/gsm_privacy.cpp.o.d"
+  "gsm_privacy"
+  "gsm_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsm_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistandard_modem.dir/multistandard_modem.cpp.o"
+  "CMakeFiles/multistandard_modem.dir/multistandard_modem.cpp.o.d"
+  "multistandard_modem"
+  "multistandard_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistandard_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrambler_recovery.dir/scrambler_recovery.cpp.o"
+  "CMakeFiles/scrambler_recovery.dir/scrambler_recovery.cpp.o.d"
+  "scrambler_recovery"
+  "scrambler_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrambler_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wifi_throughput.cpp" "examples/CMakeFiles/wifi_throughput.dir/wifi_throughput.cpp.o" "gcc" "examples/CMakeFiles/wifi_throughput.dir/wifi_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dream/CMakeFiles/plfsr_dream.dir/DependInfo.cmake"
+  "/root/repo/build/src/picoga/CMakeFiles/plfsr_picoga.dir/DependInfo.cmake"
+  "/root/repo/build/src/asicmodel/CMakeFiles/plfsr_asicmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/plfsr_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/plfsr_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/scrambler/CMakeFiles/plfsr_scrambler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cipher/CMakeFiles/plfsr_cipher.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

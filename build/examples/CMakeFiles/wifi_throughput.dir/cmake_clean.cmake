@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_throughput.dir/wifi_throughput.cpp.o"
+  "CMakeFiles/wifi_throughput.dir/wifi_throughput.cpp.o.d"
+  "wifi_throughput"
+  "wifi_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("gf2")
+subdirs("lfsr")
+subdirs("crc")
+subdirs("scrambler")
+subdirs("cipher")
+subdirs("mapper")
+subdirs("picoga")
+subdirs("dream")
+subdirs("asicmodel")

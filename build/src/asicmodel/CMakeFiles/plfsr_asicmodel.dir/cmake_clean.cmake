@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_asicmodel.dir/ucrc_model.cpp.o"
+  "CMakeFiles/plfsr_asicmodel.dir/ucrc_model.cpp.o.d"
+  "libplfsr_asicmodel.a"
+  "libplfsr_asicmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_asicmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

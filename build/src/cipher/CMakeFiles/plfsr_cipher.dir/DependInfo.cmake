@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cipher/a51.cpp" "src/cipher/CMakeFiles/plfsr_cipher.dir/a51.cpp.o" "gcc" "src/cipher/CMakeFiles/plfsr_cipher.dir/a51.cpp.o.d"
+  "/root/repo/src/cipher/combiner.cpp" "src/cipher/CMakeFiles/plfsr_cipher.dir/combiner.cpp.o" "gcc" "src/cipher/CMakeFiles/plfsr_cipher.dir/combiner.cpp.o.d"
+  "/root/repo/src/cipher/e0.cpp" "src/cipher/CMakeFiles/plfsr_cipher.dir/e0.cpp.o" "gcc" "src/cipher/CMakeFiles/plfsr_cipher.dir/e0.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_cipher.dir/a51.cpp.o"
+  "CMakeFiles/plfsr_cipher.dir/a51.cpp.o.d"
+  "CMakeFiles/plfsr_cipher.dir/combiner.cpp.o"
+  "CMakeFiles/plfsr_cipher.dir/combiner.cpp.o.d"
+  "CMakeFiles/plfsr_cipher.dir/e0.cpp.o"
+  "CMakeFiles/plfsr_cipher.dir/e0.cpp.o.d"
+  "libplfsr_cipher.a"
+  "libplfsr_cipher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crc/crc_spec.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/crc_spec.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/crc_spec.cpp.o.d"
+  "/root/repo/src/crc/derby_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/derby_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/derby_crc.cpp.o.d"
+  "/root/repo/src/crc/error_model.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/error_model.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/error_model.cpp.o.d"
+  "/root/repo/src/crc/ethernet.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/ethernet.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/ethernet.cpp.o.d"
+  "/root/repo/src/crc/gfmac_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/gfmac_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/gfmac_crc.cpp.o.d"
+  "/root/repo/src/crc/matrix_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/matrix_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/matrix_crc.cpp.o.d"
+  "/root/repo/src/crc/serial_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/serial_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/serial_crc.cpp.o.d"
+  "/root/repo/src/crc/slicing_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/slicing_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/slicing_crc.cpp.o.d"
+  "/root/repo/src/crc/table_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/table_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/table_crc.cpp.o.d"
+  "/root/repo/src/crc/wide_table_crc.cpp" "src/crc/CMakeFiles/plfsr_crc.dir/wide_table_crc.cpp.o" "gcc" "src/crc/CMakeFiles/plfsr_crc.dir/wide_table_crc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

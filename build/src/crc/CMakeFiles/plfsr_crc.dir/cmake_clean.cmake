@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_crc.dir/crc_spec.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/crc_spec.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/derby_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/derby_crc.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/error_model.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/error_model.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/ethernet.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/ethernet.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/gfmac_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/gfmac_crc.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/matrix_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/matrix_crc.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/serial_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/serial_crc.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/slicing_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/slicing_crc.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/table_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/table_crc.cpp.o.d"
+  "CMakeFiles/plfsr_crc.dir/wide_table_crc.cpp.o"
+  "CMakeFiles/plfsr_crc.dir/wide_table_crc.cpp.o.d"
+  "libplfsr_crc.a"
+  "libplfsr_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_dream.dir/context_schedule.cpp.o"
+  "CMakeFiles/plfsr_dream.dir/context_schedule.cpp.o.d"
+  "CMakeFiles/plfsr_dream.dir/dream_model.cpp.o"
+  "CMakeFiles/plfsr_dream.dir/dream_model.cpp.o.d"
+  "CMakeFiles/plfsr_dream.dir/scrambler_model.cpp.o"
+  "CMakeFiles/plfsr_dream.dir/scrambler_model.cpp.o.d"
+  "libplfsr_dream.a"
+  "libplfsr_dream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_dream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf2/gf2_matrix.cpp" "src/gf2/CMakeFiles/plfsr_gf2.dir/gf2_matrix.cpp.o" "gcc" "src/gf2/CMakeFiles/plfsr_gf2.dir/gf2_matrix.cpp.o.d"
+  "/root/repo/src/gf2/gf2_poly.cpp" "src/gf2/CMakeFiles/plfsr_gf2.dir/gf2_poly.cpp.o" "gcc" "src/gf2/CMakeFiles/plfsr_gf2.dir/gf2_poly.cpp.o.d"
+  "/root/repo/src/gf2/gf2_vec.cpp" "src/gf2/CMakeFiles/plfsr_gf2.dir/gf2_vec.cpp.o" "gcc" "src/gf2/CMakeFiles/plfsr_gf2.dir/gf2_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_gf2.dir/gf2_matrix.cpp.o"
+  "CMakeFiles/plfsr_gf2.dir/gf2_matrix.cpp.o.d"
+  "CMakeFiles/plfsr_gf2.dir/gf2_poly.cpp.o"
+  "CMakeFiles/plfsr_gf2.dir/gf2_poly.cpp.o.d"
+  "CMakeFiles/plfsr_gf2.dir/gf2_vec.cpp.o"
+  "CMakeFiles/plfsr_gf2.dir/gf2_vec.cpp.o.d"
+  "libplfsr_gf2.a"
+  "libplfsr_gf2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_gf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfsr/berlekamp_massey.cpp" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/berlekamp_massey.cpp.o" "gcc" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/berlekamp_massey.cpp.o.d"
+  "/root/repo/src/lfsr/catalog.cpp" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/catalog.cpp.o" "gcc" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/catalog.cpp.o.d"
+  "/root/repo/src/lfsr/companion.cpp" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/companion.cpp.o" "gcc" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/companion.cpp.o.d"
+  "/root/repo/src/lfsr/derby.cpp" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/derby.cpp.o" "gcc" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/derby.cpp.o.d"
+  "/root/repo/src/lfsr/linear_system.cpp" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/linear_system.cpp.o" "gcc" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/linear_system.cpp.o.d"
+  "/root/repo/src/lfsr/lookahead.cpp" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/lookahead.cpp.o" "gcc" "src/lfsr/CMakeFiles/plfsr_lfsr.dir/lookahead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_lfsr.dir/berlekamp_massey.cpp.o"
+  "CMakeFiles/plfsr_lfsr.dir/berlekamp_massey.cpp.o.d"
+  "CMakeFiles/plfsr_lfsr.dir/catalog.cpp.o"
+  "CMakeFiles/plfsr_lfsr.dir/catalog.cpp.o.d"
+  "CMakeFiles/plfsr_lfsr.dir/companion.cpp.o"
+  "CMakeFiles/plfsr_lfsr.dir/companion.cpp.o.d"
+  "CMakeFiles/plfsr_lfsr.dir/derby.cpp.o"
+  "CMakeFiles/plfsr_lfsr.dir/derby.cpp.o.d"
+  "CMakeFiles/plfsr_lfsr.dir/linear_system.cpp.o"
+  "CMakeFiles/plfsr_lfsr.dir/linear_system.cpp.o.d"
+  "CMakeFiles/plfsr_lfsr.dir/lookahead.cpp.o"
+  "CMakeFiles/plfsr_lfsr.dir/lookahead.cpp.o.d"
+  "libplfsr_lfsr.a"
+  "libplfsr_lfsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

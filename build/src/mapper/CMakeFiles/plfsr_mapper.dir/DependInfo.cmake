@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapper/design_space.cpp" "src/mapper/CMakeFiles/plfsr_mapper.dir/design_space.cpp.o" "gcc" "src/mapper/CMakeFiles/plfsr_mapper.dir/design_space.cpp.o.d"
+  "/root/repo/src/mapper/griffy.cpp" "src/mapper/CMakeFiles/plfsr_mapper.dir/griffy.cpp.o" "gcc" "src/mapper/CMakeFiles/plfsr_mapper.dir/griffy.cpp.o.d"
+  "/root/repo/src/mapper/matrix_mapper.cpp" "src/mapper/CMakeFiles/plfsr_mapper.dir/matrix_mapper.cpp.o" "gcc" "src/mapper/CMakeFiles/plfsr_mapper.dir/matrix_mapper.cpp.o.d"
+  "/root/repo/src/mapper/op_builder.cpp" "src/mapper/CMakeFiles/plfsr_mapper.dir/op_builder.cpp.o" "gcc" "src/mapper/CMakeFiles/plfsr_mapper.dir/op_builder.cpp.o.d"
+  "/root/repo/src/mapper/verilog_gen.cpp" "src/mapper/CMakeFiles/plfsr_mapper.dir/verilog_gen.cpp.o" "gcc" "src/mapper/CMakeFiles/plfsr_mapper.dir/verilog_gen.cpp.o.d"
+  "/root/repo/src/mapper/xor_netlist.cpp" "src/mapper/CMakeFiles/plfsr_mapper.dir/xor_netlist.cpp.o" "gcc" "src/mapper/CMakeFiles/plfsr_mapper.dir/xor_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_mapper.dir/design_space.cpp.o"
+  "CMakeFiles/plfsr_mapper.dir/design_space.cpp.o.d"
+  "CMakeFiles/plfsr_mapper.dir/griffy.cpp.o"
+  "CMakeFiles/plfsr_mapper.dir/griffy.cpp.o.d"
+  "CMakeFiles/plfsr_mapper.dir/matrix_mapper.cpp.o"
+  "CMakeFiles/plfsr_mapper.dir/matrix_mapper.cpp.o.d"
+  "CMakeFiles/plfsr_mapper.dir/op_builder.cpp.o"
+  "CMakeFiles/plfsr_mapper.dir/op_builder.cpp.o.d"
+  "CMakeFiles/plfsr_mapper.dir/verilog_gen.cpp.o"
+  "CMakeFiles/plfsr_mapper.dir/verilog_gen.cpp.o.d"
+  "CMakeFiles/plfsr_mapper.dir/xor_netlist.cpp.o"
+  "CMakeFiles/plfsr_mapper.dir/xor_netlist.cpp.o.d"
+  "libplfsr_mapper.a"
+  "libplfsr_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

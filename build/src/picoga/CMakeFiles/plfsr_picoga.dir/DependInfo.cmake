@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/picoga/array.cpp" "src/picoga/CMakeFiles/plfsr_picoga.dir/array.cpp.o" "gcc" "src/picoga/CMakeFiles/plfsr_picoga.dir/array.cpp.o.d"
+  "/root/repo/src/picoga/crc_accelerator.cpp" "src/picoga/CMakeFiles/plfsr_picoga.dir/crc_accelerator.cpp.o" "gcc" "src/picoga/CMakeFiles/plfsr_picoga.dir/crc_accelerator.cpp.o.d"
+  "/root/repo/src/picoga/pga_op.cpp" "src/picoga/CMakeFiles/plfsr_picoga.dir/pga_op.cpp.o" "gcc" "src/picoga/CMakeFiles/plfsr_picoga.dir/pga_op.cpp.o.d"
+  "/root/repo/src/picoga/rlc_cell.cpp" "src/picoga/CMakeFiles/plfsr_picoga.dir/rlc_cell.cpp.o" "gcc" "src/picoga/CMakeFiles/plfsr_picoga.dir/rlc_cell.cpp.o.d"
+  "/root/repo/src/picoga/routing.cpp" "src/picoga/CMakeFiles/plfsr_picoga.dir/routing.cpp.o" "gcc" "src/picoga/CMakeFiles/plfsr_picoga.dir/routing.cpp.o.d"
+  "/root/repo/src/picoga/vcd_trace.cpp" "src/picoga/CMakeFiles/plfsr_picoga.dir/vcd_trace.cpp.o" "gcc" "src/picoga/CMakeFiles/plfsr_picoga.dir/vcd_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapper/CMakeFiles/plfsr_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_picoga.dir/array.cpp.o"
+  "CMakeFiles/plfsr_picoga.dir/array.cpp.o.d"
+  "CMakeFiles/plfsr_picoga.dir/crc_accelerator.cpp.o"
+  "CMakeFiles/plfsr_picoga.dir/crc_accelerator.cpp.o.d"
+  "CMakeFiles/plfsr_picoga.dir/pga_op.cpp.o"
+  "CMakeFiles/plfsr_picoga.dir/pga_op.cpp.o.d"
+  "CMakeFiles/plfsr_picoga.dir/rlc_cell.cpp.o"
+  "CMakeFiles/plfsr_picoga.dir/rlc_cell.cpp.o.d"
+  "CMakeFiles/plfsr_picoga.dir/routing.cpp.o"
+  "CMakeFiles/plfsr_picoga.dir/routing.cpp.o.d"
+  "CMakeFiles/plfsr_picoga.dir/vcd_trace.cpp.o"
+  "CMakeFiles/plfsr_picoga.dir/vcd_trace.cpp.o.d"
+  "libplfsr_picoga.a"
+  "libplfsr_picoga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_picoga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scrambler/dvb.cpp" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/dvb.cpp.o" "gcc" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/dvb.cpp.o.d"
+  "/root/repo/src/scrambler/scrambler.cpp" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/scrambler.cpp.o" "gcc" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/scrambler.cpp.o.d"
+  "/root/repo/src/scrambler/spreader.cpp" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/spreader.cpp.o" "gcc" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/spreader.cpp.o.d"
+  "/root/repo/src/scrambler/wifi.cpp" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/wifi.cpp.o" "gcc" "src/scrambler/CMakeFiles/plfsr_scrambler.dir/wifi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

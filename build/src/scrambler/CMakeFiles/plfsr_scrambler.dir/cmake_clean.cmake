@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_scrambler.dir/dvb.cpp.o"
+  "CMakeFiles/plfsr_scrambler.dir/dvb.cpp.o.d"
+  "CMakeFiles/plfsr_scrambler.dir/scrambler.cpp.o"
+  "CMakeFiles/plfsr_scrambler.dir/scrambler.cpp.o.d"
+  "CMakeFiles/plfsr_scrambler.dir/spreader.cpp.o"
+  "CMakeFiles/plfsr_scrambler.dir/spreader.cpp.o.d"
+  "CMakeFiles/plfsr_scrambler.dir/wifi.cpp.o"
+  "CMakeFiles/plfsr_scrambler.dir/wifi.cpp.o.d"
+  "libplfsr_scrambler.a"
+  "libplfsr_scrambler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_scrambler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplfsr_scrambler.a"
+)

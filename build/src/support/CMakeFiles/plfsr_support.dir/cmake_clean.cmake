@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plfsr_support.dir/bitstream.cpp.o"
+  "CMakeFiles/plfsr_support.dir/bitstream.cpp.o.d"
+  "CMakeFiles/plfsr_support.dir/report.cpp.o"
+  "CMakeFiles/plfsr_support.dir/report.cpp.o.d"
+  "libplfsr_support.a"
+  "libplfsr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plfsr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

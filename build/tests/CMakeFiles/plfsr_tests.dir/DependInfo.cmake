@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accelerator_sweep_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/accelerator_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/accelerator_sweep_test.cpp.o.d"
+  "/root/repo/tests/berlekamp_massey_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/berlekamp_massey_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/berlekamp_massey_test.cpp.o.d"
+  "/root/repo/tests/bitstream_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/bitstream_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/bitstream_test.cpp.o.d"
+  "/root/repo/tests/catalog_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/catalog_test.cpp.o.d"
+  "/root/repo/tests/cipher_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/cipher_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/cipher_test.cpp.o.d"
+  "/root/repo/tests/companion_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/companion_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/companion_test.cpp.o.d"
+  "/root/repo/tests/context_schedule_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/context_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/context_schedule_test.cpp.o.d"
+  "/root/repo/tests/crc_accelerator_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/crc_accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/crc_accelerator_test.cpp.o.d"
+  "/root/repo/tests/crc_engines_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/crc_engines_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/crc_engines_test.cpp.o.d"
+  "/root/repo/tests/crc_spec_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/crc_spec_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/crc_spec_test.cpp.o.d"
+  "/root/repo/tests/derby_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/derby_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/derby_test.cpp.o.d"
+  "/root/repo/tests/design_space_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/design_space_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/design_space_test.cpp.o.d"
+  "/root/repo/tests/dream_model_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/dream_model_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/dream_model_test.cpp.o.d"
+  "/root/repo/tests/dvb_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/dvb_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/dvb_test.cpp.o.d"
+  "/root/repo/tests/e0_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/e0_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/e0_test.cpp.o.d"
+  "/root/repo/tests/error_model_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/error_model_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/error_model_test.cpp.o.d"
+  "/root/repo/tests/ethernet_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/ethernet_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/ethernet_test.cpp.o.d"
+  "/root/repo/tests/gf2_matrix_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/gf2_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/gf2_matrix_test.cpp.o.d"
+  "/root/repo/tests/gf2_poly_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/gf2_poly_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/gf2_poly_test.cpp.o.d"
+  "/root/repo/tests/gf2_vec_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/gf2_vec_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/gf2_vec_test.cpp.o.d"
+  "/root/repo/tests/griffy_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/griffy_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/griffy_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/linear_system_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/linear_system_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/linear_system_test.cpp.o.d"
+  "/root/repo/tests/lookahead_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/lookahead_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/lookahead_test.cpp.o.d"
+  "/root/repo/tests/matrix_mapper_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/matrix_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/matrix_mapper_test.cpp.o.d"
+  "/root/repo/tests/op_builder_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/op_builder_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/op_builder_test.cpp.o.d"
+  "/root/repo/tests/picoga_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/picoga_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/picoga_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/scrambler_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/scrambler_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/scrambler_test.cpp.o.d"
+  "/root/repo/tests/spreader_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/spreader_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/spreader_test.cpp.o.d"
+  "/root/repo/tests/ucrc_model_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/ucrc_model_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/ucrc_model_test.cpp.o.d"
+  "/root/repo/tests/vcd_trace_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/vcd_trace_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/vcd_trace_test.cpp.o.d"
+  "/root/repo/tests/verilog_gen_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/verilog_gen_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/verilog_gen_test.cpp.o.d"
+  "/root/repo/tests/wide_table_crc_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/wide_table_crc_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/wide_table_crc_test.cpp.o.d"
+  "/root/repo/tests/wifi_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/wifi_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/wifi_test.cpp.o.d"
+  "/root/repo/tests/xor_netlist_test.cpp" "tests/CMakeFiles/plfsr_tests.dir/xor_netlist_test.cpp.o" "gcc" "tests/CMakeFiles/plfsr_tests.dir/xor_netlist_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dream/CMakeFiles/plfsr_dream.dir/DependInfo.cmake"
+  "/root/repo/build/src/picoga/CMakeFiles/plfsr_picoga.dir/DependInfo.cmake"
+  "/root/repo/build/src/asicmodel/CMakeFiles/plfsr_asicmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/plfsr_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/plfsr_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/scrambler/CMakeFiles/plfsr_scrambler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cipher/CMakeFiles/plfsr_cipher.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/plfsr_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf2/CMakeFiles/plfsr_gf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/plfsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

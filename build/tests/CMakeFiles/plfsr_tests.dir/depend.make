@@ -1,0 +1,2 @@
+# Empty dependencies file for plfsr_tests.
+# This may be replaced when dependencies are built.
