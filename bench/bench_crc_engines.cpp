@@ -10,6 +10,7 @@
 #include "crc/derby_crc.hpp"
 #include "crc/gfmac_crc.hpp"
 #include "crc/matrix_crc.hpp"
+#include "crc/parallel_crc.hpp"
 #include "crc/serial_crc.hpp"
 #include "crc/slicing_crc.hpp"
 #include "crc/table_crc.hpp"
@@ -91,6 +92,45 @@ void BM_WideTableCrc32(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 1518);
 }
 BENCHMARK(BM_WideTableCrc32)->Arg(4)->Arg(8)->Arg(16);
+
+// Sharded multi-core engines: single-thread vs 2/4/8-way shard curves on
+// a 1 MiB buffer (Arg = shard count). The wrapped byte-wise engine sets
+// the per-core ceiling; the shard curve shows how close the combine-fold
+// parallelization gets to core-count scaling on this host.
+void BM_ParallelTableCrc32(benchmark::State& state) {
+  const auto msg = payload(1 << 20);
+  const ParallelCrc<TableCrc> engine(
+      TableCrc(crcspec::crc32_ethernet()),
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ParallelTableCrc32)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelSlicingBy8Crc32(benchmark::State& state) {
+  const auto msg = payload(1 << 20);
+  const ParallelCrc<SlicingBy8Crc> engine(
+      SlicingBy8Crc(crcspec::crc32_ethernet()),
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ParallelSlicingBy8Crc32)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ParallelSlicingBy8Crc64(benchmark::State& state) {
+  const auto msg = payload(1 << 20);
+  const ParallelCrc<SlicingBy8Crc> engine(
+      SlicingBy8Crc(crcspec::crc64_xz()),
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ParallelSlicingBy8Crc64)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_GfmacCrc32Horner(benchmark::State& state) {
   Rng rng(7);

@@ -1,0 +1,56 @@
+// GF(2) shard-combine operator for CRC register states — the message-level
+// dual of the paper's M-bit look-ahead. The state recursion
+// x(n+M) = A^M·x(n) + B_M·u_M(n) is affine in the initial state, so the
+// raw register over a concatenation splits as
+//
+//   raw(A||B, s) = A^{|B|} · raw(A, s)  +  raw(B, 0)
+//
+// i.e. a buffer can be cut into shards, each CRC'd independently (shard 0
+// from the real init, the rest from the zero register), and the partials
+// merged right-to-left with one matrix-vector product per shard. This is
+// zlib's crc32_combine generalised to every CrcSpec in the catalogue: the
+// advance matrices are the multiplication-by-x^{2^i} maps mod g(x), so an
+// advance over any segment length costs O(log n) 64-bit matrix applies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crc/crc_spec.hpp"
+
+namespace plfsr {
+
+/// Precomputed log-time state advance / segment merge for one CrcSpec.
+/// All states here are raw registers (bit i = coefficient of x^i), the
+/// orientation-free representation shared by serial_crc_bits and
+/// MatrixCrc::raw_bits.
+class CrcCombine {
+ public:
+  explicit CrcCombine(const CrcSpec& spec);
+
+  const CrcSpec& spec() const { return spec_; }
+
+  /// A^n · raw: the register after clocking n zero message bits from
+  /// `raw` (equivalently raw(x)·x^n mod g(x)). O(popcount(n)) matrix
+  /// applies against the precomputed x^{2^i} powers.
+  std::uint64_t advance_bits(std::uint64_t raw, std::uint64_t n_bits) const;
+
+  /// Byte-granular advance: A^{8·n_bytes} · raw.
+  std::uint64_t advance(std::uint64_t raw, std::uint64_t n_bytes) const;
+
+  /// Raw register of the concatenation A||B given raw_a = raw(A, init)
+  /// and raw_b = raw(B, 0) (segment B absorbed from the zero register),
+  /// with len_b_bytes = |B|. Zero-length B is the identity: the result
+  /// is raw_a.
+  std::uint64_t combine(std::uint64_t raw_a, std::uint64_t raw_b,
+                        std::uint64_t len_b_bytes) const;
+
+ private:
+  CrcSpec spec_;
+  // pow_[i] = multiplication-by-x^{2^i} matrix mod g, stored column-wise
+  // (pow_[i][j] = x^{2^i + j} mod g as a register word) so a matrix apply
+  // is an XOR gather over the set bits of the state.
+  std::array<std::array<std::uint64_t, 64>, 64> pow_{};
+};
+
+}  // namespace plfsr

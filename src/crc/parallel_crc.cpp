@@ -1,0 +1,78 @@
+#include "crc/parallel_crc.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "crc/slicing_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "crc/wide_table_crc.hpp"
+
+namespace plfsr {
+
+template <typename Engine>
+ParallelCrc<Engine>::ParallelCrc(Engine engine, std::size_t shards,
+                                 std::size_t min_shard_bytes)
+    : engine_(std::move(engine)),
+      combine_(engine_.spec()),
+      shards_(shards),
+      min_shard_bytes_(min_shard_bytes < 1 ? 1 : min_shard_bytes) {
+  if (shards_ < 1)
+    throw std::invalid_argument("ParallelCrc: shards must be >= 1");
+  if (shards_ > 1) pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+}
+
+template <typename Engine>
+std::uint64_t ParallelCrc<Engine>::absorb(
+    std::uint64_t state, std::span<const std::uint8_t> bytes) const {
+  const std::size_t n = bytes.size();
+  if (shards_ == 1 || n < shards_ * min_shard_bytes_)
+    return engine_.absorb(state, bytes);
+
+  // Near-equal split; the first n % shards_ shards get one extra byte.
+  const std::size_t base = n / shards_;
+  const std::size_t extra = n % shards_;
+  std::vector<std::span<const std::uint8_t>> parts;
+  parts.reserve(shards_);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < shards_; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    parts.push_back(bytes.subspan(off, len));
+    off += len;
+  }
+
+  // Shards 1..S-1 absorb from the zero register on the pool while the
+  // calling thread handles shard 0 from the live state.
+  std::vector<std::uint64_t> partial(shards_, 0);
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards_ - 1);
+  const std::uint64_t zero_state = engine_.state_from_raw(0);
+  for (std::size_t i = 1; i < shards_; ++i) {
+    pending.push_back(pool_->submit(
+        [this, zero_state, part = parts[i], out = &partial[i]] {
+          *out = engine_.absorb(zero_state, part);
+        }));
+  }
+  partial[0] = engine_.absorb(state, parts[0]);
+  for (std::future<void>& f : pending) f.get();
+
+  // Right-fold the partials: raw(A||B, s) = A^{|B|}·raw(A, s) + raw(B, 0).
+  std::uint64_t raw = engine_.raw_register(partial[0]);
+  for (std::size_t i = 1; i < shards_; ++i)
+    raw = combine_.combine(raw, engine_.raw_register(partial[i]),
+                           parts[i].size());
+  return engine_.state_from_raw(raw);
+}
+
+template <typename Engine>
+std::uint64_t ParallelCrc<Engine>::compute(
+    std::span<const std::uint8_t> bytes) const {
+  return finalize(absorb(initial_state(), bytes));
+}
+
+template class ParallelCrc<TableCrc>;
+template class ParallelCrc<SlicingCrc<4>>;
+template class ParallelCrc<SlicingCrc<8>>;
+template class ParallelCrc<WideTableCrc>;
+
+}  // namespace plfsr

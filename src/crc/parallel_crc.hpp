@@ -1,0 +1,71 @@
+// Multi-core sharded CRC: the message-level application of the paper's
+// state-advance algebra. The buffer is cut into S near-equal shards; each
+// shard is absorbed independently by a byte-wise software engine (shard 0
+// from the live state, shards 1..S-1 from the zero register) on a worker
+// pool, and the partial registers are folded left-to-right with the
+// CrcCombine operator — one O(log len) GF(2) matrix advance per shard.
+//
+// The wrapped Engine supplies the byte-wise inner loop and must expose the
+// shared software-engine interface:
+//
+//   spec(), initial_state(), absorb(state, bytes), finalize(state),
+//   raw_register(state), state_from_raw(raw)
+//
+// (TableCrc, SlicingCrc<4/8> and WideTableCrc all qualify.) ParallelCrc
+// itself exposes the same interface, so it composes anywhere a serial
+// engine does — including streaming absorption of multi-buffer messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "crc/crc_combine.hpp"
+#include "crc/crc_spec.hpp"
+#include "support/thread_pool.hpp"
+
+namespace plfsr {
+
+/// Shard-parallel wrapper around a byte-wise CRC engine.
+template <typename Engine>
+class ParallelCrc {
+ public:
+  /// Buffers smaller than shards * min_shard_bytes are absorbed serially:
+  /// below this the combine fold costs more than it saves.
+  static constexpr std::size_t kDefaultMinShardBytes = 4096;
+
+  /// `shards` >= 1 workers-worth of decomposition; shard 0 runs on the
+  /// calling thread, shards-1 pool workers handle the rest. Tests pass
+  /// min_shard_bytes = 1 to force the parallel fold on tiny inputs.
+  explicit ParallelCrc(Engine engine, std::size_t shards,
+                       std::size_t min_shard_bytes = kDefaultMinShardBytes);
+
+  const CrcSpec& spec() const { return engine_.spec(); }
+  const Engine& engine() const { return engine_; }
+  std::size_t shards() const { return shards_; }
+
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+  std::uint64_t initial_state() const { return engine_.initial_state(); }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const;
+  std::uint64_t finalize(std::uint64_t state) const {
+    return engine_.finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const {
+    return engine_.raw_register(state);
+  }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return engine_.state_from_raw(raw);
+  }
+
+ private:
+  Engine engine_;
+  CrcCombine combine_;
+  std::size_t shards_;
+  std::size_t min_shard_bytes_;
+  std::unique_ptr<ThreadPool> pool_;  // shards_ - 1 workers
+};
+
+}  // namespace plfsr

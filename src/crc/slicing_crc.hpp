@@ -35,6 +35,15 @@ class SlicingCrc {
                        std::span<const std::uint8_t> bytes) const;
   std::uint64_t finalize(std::uint64_t state) const;
 
+  /// Engine state <-> raw register; same representation as TableCrc
+  /// (the slicing state is the plain reflected register between blocks).
+  std::uint64_t raw_register(std::uint64_t state) const {
+    return base_.raw_register(state);
+  }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return base_.state_from_raw(raw);
+  }
+
  private:
   CrcSpec spec_;
   TableCrc base_;  // slice 0 + tail handling

@@ -56,6 +56,16 @@ std::uint64_t TableCrc::absorb(std::uint64_t state,
   return state;
 }
 
+std::uint64_t TableCrc::raw_register(std::uint64_t state) const {
+  return spec_.reflect_in ? reflect_bits(state, spec_.width)
+                          : (state >> align_);
+}
+
+std::uint64_t TableCrc::state_from_raw(std::uint64_t raw) const {
+  raw &= spec_.mask();
+  return spec_.reflect_in ? reflect_bits(raw, spec_.width) : (raw << align_);
+}
+
 std::uint64_t TableCrc::finalize(std::uint64_t state) const {
   // In the reflected implementation the register already holds the
   // refout-reflected value; in the aligned implementation shift the

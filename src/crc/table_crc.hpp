@@ -32,6 +32,13 @@ class TableCrc {
                        std::span<const std::uint8_t> bytes) const;
   std::uint64_t finalize(std::uint64_t state) const;
 
+  /// Engine state <-> raw register (bit i = coefficient of x^i), the
+  /// orientation-free representation the shard-combine operator works in.
+  /// The reflected implementation keeps the register bit-reversed; the
+  /// aligned one keeps it shifted up by the sub-byte alignment.
+  std::uint64_t raw_register(std::uint64_t state) const;
+  std::uint64_t state_from_raw(std::uint64_t raw) const;
+
   /// Direct table access (the slicing engine builds on it).
   const std::array<std::uint64_t, 256>& table() const { return table_; }
 

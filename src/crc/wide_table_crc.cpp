@@ -62,8 +62,13 @@ std::uint64_t WideTableCrc::raw_bits(const BitStream& bits,
   return reg;
 }
 
+std::uint64_t WideTableCrc::absorb(std::uint64_t state,
+                                   std::span<const std::uint8_t> bytes) const {
+  return raw_bits(spec_.message_bits(bytes), state);
+}
+
 std::uint64_t WideTableCrc::compute(std::span<const std::uint8_t> bytes) const {
-  return spec_.finalize(raw_bits(spec_.message_bits(bytes), spec_.init));
+  return spec_.finalize(absorb(initial_state(), bytes));
 }
 
 }  // namespace plfsr

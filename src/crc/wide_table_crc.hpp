@@ -41,6 +41,21 @@ class WideTableCrc {
   /// Finalized CRC over bytes.
   std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
 
+  /// Byte-streaming interface matching the other software engines. The
+  /// state here IS the raw register (bit i = coefficient of x^i) —
+  /// reflection lives entirely in the per-byte bit order of
+  /// CrcSpec::message_bits, so streaming byte-aligned buffers is exact.
+  std::uint64_t initial_state() const { return spec_.init; }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const;
+  std::uint64_t finalize(std::uint64_t state) const {
+    return spec_.finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const { return state; }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return raw & spec_.mask();
+  }
+
  private:
   CrcSpec spec_;
   unsigned stride_;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "gf2/gf2_poly.hpp"
+
 namespace plfsr {
 
 Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
@@ -242,6 +244,22 @@ std::size_t Gf2Matrix::total_weight() const {
   std::size_t w = 0;
   for (std::uint64_t word : words_) w += std::popcount(word);
   return w;
+}
+
+Gf2Matrix poly_mult_matrix(const Gf2Poly& p, const Gf2Poly& g) {
+  const int k = g.degree();
+  if (k < 1)
+    throw std::invalid_argument("poly_mult_matrix: deg g must be >= 1");
+  const std::size_t n = static_cast<std::size_t>(k);
+  Gf2Matrix m(n, n);
+  Gf2Poly col = p % g;
+  const Gf2Poly x = Gf2Poly::x_pow(1);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i)
+      m.set(i, j, col.coeff(static_cast<unsigned>(i)));
+    if (j + 1 < n) col = (col * x) % g;
+  }
+  return m;
 }
 
 std::string Gf2Matrix::to_string() const {

@@ -110,4 +110,14 @@ class Gf2Matrix {
   friend class Gf2MatrixTestPeer;
 };
 
+class Gf2Poly;
+
+/// Matrix of the linear map "multiply by p(x) mod g(x)" on the quotient
+/// ring GF(2)[x]/g(x) in the monomial basis 1, x, ..., x^{k-1} (k = deg g):
+/// column j holds the coefficients of x^j · p(x) mod g(x). For p = x this
+/// is exactly the Galois companion matrix of g; its powers x^{2^i} mod g
+/// are the advance matrices the CRC shard-combine operator precomputes.
+/// g must have degree >= 1.
+Gf2Matrix poly_mult_matrix(const Gf2Poly& p, const Gf2Poly& g);
+
 }  // namespace plfsr

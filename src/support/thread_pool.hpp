@@ -1,0 +1,51 @@
+// Fixed-size worker pool for the data-parallel engines (sharded CRC, and
+// any future batch workload). Deliberately minimal: a locked deque of
+// type-erased tasks, submit() returning a std::future, no work stealing.
+// The shard fan-out this repo needs is a handful of coarse tasks per call,
+// so queue contention is irrelevant next to the per-shard work.
+//
+// A pool constructed with 0 threads degrades to inline execution on the
+// submitting thread — callers can size the pool from the host core count
+// without special-casing single-core machines.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plfsr {
+
+/// Fixed-size thread pool; tasks run FIFO across the workers.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = run every task inline in submit()).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: joins after finishing whatever was already queued.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it has run (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace plfsr

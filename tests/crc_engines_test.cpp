@@ -12,6 +12,7 @@
 #include "crc/serial_crc.hpp"
 #include "crc/slicing_crc.hpp"
 #include "crc/table_crc.hpp"
+#include "crc/wide_table_crc.hpp"
 #include "support/rng.hpp"
 
 namespace plfsr {
@@ -148,6 +149,59 @@ TEST(SlicingCrc, CheckValues) {
 TEST(SlicingCrc, RejectsNonReflected) {
   EXPECT_THROW(SlicingBy8Crc(crcspec::crc32_mpeg2()), std::invalid_argument);
 }
+
+TEST(SlicingCrc, Crc64ThroughFourSlicesCarriesHighRegisterBytes) {
+  // Width 64 > 8·4: state bytes beyond the 4-byte block must be carried
+  // into the next block explicitly (the `state >> 8·Slices` path in
+  // SlicingCrc::absorb). Regression for the carry with a fully populated
+  // 64-bit register, both one-shot and across absorb() splits that leave
+  // the register mid-message.
+  const CrcSpec s = crcspec::crc64_xz();
+  const SlicingBy4Crc s4(s);
+  EXPECT_EQ(s4.compute(kCheckMsg), 0x995DC9BBDF1939FAull);
+  const TableCrc ref(s);
+  Rng rng(11);
+  const auto msg = rng.next_bytes(129);
+  const std::uint64_t expect = ref.compute(msg);
+  EXPECT_EQ(s4.compute(msg), expect);
+  for (std::size_t cut : {1u, 3u, 4u, 6u, 127u}) {
+    std::uint64_t st = s4.initial_state();
+    st = s4.absorb(st, {msg.data(), cut});
+    st = s4.absorb(st, {msg.data() + cut, msg.size() - cut});
+    EXPECT_EQ(s4.finalize(st), expect) << "cut=" << cut;
+  }
+}
+
+/// Shared edge-length audit: every byte-wise engine must agree with the
+/// bit-serial reference on the empty message and 1..8-byte inputs — the
+/// sub-block tail paths (SlicingCrc's < Slices remainder, GfmacCrc's
+/// short final chunk, MatrixCrc's serial head) all trigger in this range.
+class EdgeLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeLengths, AllEnginesAgreeWithSerialOnShortInputs) {
+  const std::size_t len = static_cast<std::size_t>(GetParam());
+  Rng rng(6000 + GetParam());
+  for (const CrcSpec& s : crcspec::all()) {
+    const auto msg = rng.next_bytes(len);
+    const std::uint64_t expect = serial_crc(s, msg);
+    EXPECT_EQ(TableCrc(s).compute(msg), expect)
+        << "TableCrc " << s.name << " len=" << len;
+    EXPECT_EQ(MatrixCrc(s, 32).compute(msg), expect)
+        << "MatrixCrc " << s.name << " len=" << len;
+    EXPECT_EQ(GfmacCrc(s, 32).compute(msg), expect)
+        << "GfmacCrc " << s.name << " len=" << len;
+    EXPECT_EQ(WideTableCrc(s, 8).compute(msg), expect)
+        << "WideTableCrc " << s.name << " len=" << len;
+    if (s.reflect_in && s.reflect_out) {
+      EXPECT_EQ(SlicingBy4Crc(s).compute(msg), expect)
+          << "SlicingBy4 " << s.name << " len=" << len;
+      EXPECT_EQ(SlicingBy8Crc(s).compute(msg), expect)
+          << "SlicingBy8 " << s.name << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths0To8, EdgeLengths, ::testing::Range(0, 9));
 
 TEST(TableCrc, StreamingSplitEqualsOneShot) {
   const TableCrc t(crcspec::crc32_ethernet());

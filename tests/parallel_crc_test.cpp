@@ -1,0 +1,200 @@
+// Sharded parallel CRC: algebraic laws of the GF(2) combine operator
+// (identity, associativity, agreement with the look-ahead state advance)
+// and bit-exact equivalence of the ParallelCrc engine against the serial
+// byte-wise engines for every catalogue spec, shard count and length
+// regime — including the empty message and inputs shorter than the shard
+// count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crc/crc_combine.hpp"
+#include "crc/matrix_crc.hpp"
+#include "crc/parallel_crc.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/slicing_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "crc/wide_table_crc.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+/// A CRC'd message segment in combine-operator terms: the raw register it
+/// produces when absorbed from the zero register, plus its byte length.
+struct Segment {
+  std::uint64_t raw;
+  std::uint64_t len;
+};
+
+Segment make_segment(const TableCrc& t,
+                     std::span<const std::uint8_t> bytes) {
+  return {t.raw_register(t.absorb(t.state_from_raw(0), bytes)),
+          bytes.size()};
+}
+
+Segment join(const CrcCombine& c, const Segment& a, const Segment& b) {
+  return {c.combine(a.raw, b.raw, b.len), a.len + b.len};
+}
+
+TEST(CrcCombine, AdvanceAgreesWithMatrixCrcStateAdvance) {
+  // A^n·raw == the look-ahead engine (and the serial register) clocked
+  // over n zero bits — the combine operator and the paper's M-bit
+  // look-ahead are the same algebra at different granularity.
+  for (const CrcSpec& s : crcspec::all()) {
+    const CrcCombine c(s);
+    const MatrixCrc m(s, 8);
+    Rng rng(100);
+    for (std::size_t n : {0u, 1u, 7u, 8u, 63u, 64u, 65u, 1000u, 4096u}) {
+      const std::uint64_t raw = rng.next_u64() & s.mask();
+      const BitStream zeros(n);
+      EXPECT_EQ(c.advance_bits(raw, n), m.raw_bits(zeros, raw))
+          << s.name << " n=" << n;
+      EXPECT_EQ(c.advance_bits(raw, n),
+                serial_crc_bits(zeros, s.width, s.poly, raw))
+          << s.name << " n=" << n;
+    }
+  }
+}
+
+TEST(CrcCombine, EmptySegmentIsIdentity) {
+  for (const CrcSpec& s : crcspec::all()) {
+    const CrcCombine c(s);
+    Rng rng(200);
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t raw = rng.next_u64() & s.mask();
+      EXPECT_EQ(c.advance(raw, 0), raw) << s.name;
+      EXPECT_EQ(c.combine(raw, 0, 0), raw) << s.name;
+    }
+  }
+}
+
+TEST(CrcCombine, CombineIsAssociative) {
+  Rng rng(300);
+  for (const CrcSpec& s : crcspec::all()) {
+    const CrcCombine c(s);
+    const TableCrc t(s);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto ab = rng.next_bytes(rng.next_below(200));
+      const auto bb = rng.next_bytes(rng.next_below(200));
+      const auto cb = rng.next_bytes(rng.next_below(200));
+      const Segment sa = make_segment(t, ab);
+      const Segment sb = make_segment(t, bb);
+      const Segment sc = make_segment(t, cb);
+      const Segment left = join(c, join(c, sa, sb), sc);
+      const Segment right = join(c, sa, join(c, sb, sc));
+      EXPECT_EQ(left.raw, right.raw) << s.name;
+      EXPECT_EQ(left.len, right.len) << s.name;
+      // And both equal the segment of the actual concatenation.
+      std::vector<std::uint8_t> cat(ab);
+      cat.insert(cat.end(), bb.begin(), bb.end());
+      cat.insert(cat.end(), cb.begin(), cb.end());
+      EXPECT_EQ(left.raw, make_segment(t, cat).raw) << s.name;
+    }
+  }
+}
+
+TEST(CrcCombine, CombineFromLiveInitMatchesSerialConcatenation) {
+  // raw(A||B, init) == A^{|B|}·raw(A, init) + raw(B, 0) — the exact
+  // decomposition ParallelCrc::absorb folds with.
+  Rng rng(400);
+  for (const CrcSpec& s : crcspec::all()) {
+    const CrcCombine c(s);
+    const TableCrc t(s);
+    const auto a = rng.next_bytes(57);
+    const auto b = rng.next_bytes(131);
+    const std::uint64_t raw_a =
+        t.raw_register(t.absorb(t.initial_state(), a));
+    const std::uint64_t raw_b = make_segment(t, b).raw;
+    std::vector<std::uint8_t> cat(a);
+    cat.insert(cat.end(), b.begin(), b.end());
+    const std::uint64_t expect =
+        t.raw_register(t.absorb(t.initial_state(), cat));
+    EXPECT_EQ(c.combine(raw_a, raw_b, b.size()), expect) << s.name;
+  }
+}
+
+TEST(ParallelCrc, RejectsZeroShards) {
+  EXPECT_THROW(
+      ParallelCrc<TableCrc>(TableCrc(crcspec::crc32_ethernet()), 0),
+      std::invalid_argument);
+}
+
+/// Shard-count sweep: the acceptance grid of the parallel engine.
+class ParallelShards : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelShards, MatchesSerialForEverySpecAndLength) {
+  const std::size_t shards = static_cast<std::size_t>(GetParam());
+  Rng rng(500 + shards);
+  for (const CrcSpec& s : crcspec::all()) {
+    const TableCrc ref(s);
+    // min_shard_bytes = 1 forces the sharded fold whenever length
+    // permits; lengths below the shard count take the serial fallback.
+    const ParallelCrc<TableCrc> par(TableCrc(s), shards,
+                                    /*min_shard_bytes=*/1);
+    std::vector<std::size_t> lengths = {0, 1, 2, 3, 7, 8, 9, 63, 256, 1000};
+    if (shards > 1) {
+      lengths.push_back(shards - 1);  // sub-shard-count input
+      lengths.push_back(shards);
+      lengths.push_back(shards + 1);
+    }
+    for (int i = 0; i < 3; ++i)
+      lengths.push_back(rng.next_below(64 * 1024 + 1));
+    for (std::size_t len : lengths) {
+      const auto msg = rng.next_bytes(len);
+      EXPECT_EQ(par.compute(msg), ref.compute(msg))
+          << s.name << " shards=" << shards << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ParallelShards,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelCrc, WorksOverEveryWrappedEngineKind) {
+  Rng rng(600);
+  const auto msg = rng.next_bytes(40000);
+  {
+    const CrcSpec s = crcspec::crc32_ethernet();
+    const std::uint64_t expect = serial_crc(s, msg);
+    EXPECT_EQ(ParallelCrc<SlicingCrc<4>>(SlicingCrc<4>(s), 4, 1).compute(msg),
+              expect);
+    EXPECT_EQ(ParallelCrc<SlicingCrc<8>>(SlicingCrc<8>(s), 4, 1).compute(msg),
+              expect);
+    EXPECT_EQ(
+        ParallelCrc<WideTableCrc>(WideTableCrc(s, 8), 4, 1).compute(msg),
+        expect);
+  }
+  {
+    // Non-reflected spec through the WideTableCrc wrapper.
+    const CrcSpec s = crcspec::crc32_mpeg2();
+    EXPECT_EQ(
+        ParallelCrc<WideTableCrc>(WideTableCrc(s, 8), 4, 1).compute(msg),
+        serial_crc(s, msg));
+  }
+  {
+    // 64-bit reflected spec: shard folding with a full-width register.
+    const CrcSpec s = crcspec::crc64_xz();
+    EXPECT_EQ(ParallelCrc<SlicingCrc<8>>(SlicingCrc<8>(s), 8, 1).compute(msg),
+              serial_crc(s, msg));
+  }
+}
+
+TEST(ParallelCrc, StreamingAbsorbMatchesOneShot) {
+  const CrcSpec s = crcspec::crc32_ethernet();
+  const ParallelCrc<TableCrc> par(TableCrc(s), 4, /*min_shard_bytes=*/1);
+  const TableCrc ref(s);
+  Rng rng(700);
+  const auto msg = rng.next_bytes(10000);
+  std::uint64_t st = par.initial_state();
+  // Chunk boundaries chosen so some chunks shard and some fall back.
+  const std::size_t cuts[] = {0, 3, 4096, 4100, 10000};
+  for (std::size_t i = 0; i + 1 < std::size(cuts); ++i)
+    st = par.absorb(st, {msg.data() + cuts[i], cuts[i + 1] - cuts[i]});
+  EXPECT_EQ(par.finalize(st), ref.compute(msg));
+  EXPECT_EQ(par.finalize(st), par.compute(msg));
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int ran = 0;
+  auto f = pool.submit([&ran] { ran = 1; });
+  // Inline execution: the task has already run when submit returns.
+  EXPECT_EQ(ran, 1);
+  f.get();
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i)
+      pool.submit([&count] { ++count; });
+  }  // join happens here; queued work must not be dropped
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace plfsr
