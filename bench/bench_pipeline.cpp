@@ -1,0 +1,259 @@
+// Streaming-pipeline bench: a frame stream is driven through
+// scramble → CRC → verify on the stage-graph executor, swept over batch
+// size × queue depth, and compared against the best standalone CRC engine
+// on the same frames — the software analogue of asking how close the
+// PiCoGA row pipeline gets to the throughput of its slowest row.
+//
+// The run starts with an untimed validation pass (randomised frame sizes,
+// including empty and 1-byte frames) that checks the pipelined output
+// bit-exactly against the serial composition of the same stages; any
+// mismatch — there or in the on-line verify sink of a timed run — makes
+// the process exit nonzero.
+//
+//   $ ./bench_pipeline [--json]     # --json also writes BENCH_pipeline.json
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/slicing_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "lfsr/catalog.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/stages.hpp"
+#include "support/report.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace plfsr;
+
+constexpr std::uint64_t kScramblerSeed = 0x5D;  // 802.11 per-PPDU seed
+constexpr std::size_t kFrames = 16384;
+constexpr std::size_t kFrameBytes = 1500;
+constexpr std::uint64_t kVerifyStride = 256;
+
+volatile std::uint64_t g_sink;  // defeats dead-code elimination of baselines
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::unique_ptr<Stage>> make_stages() {
+  std::vector<std::unique_ptr<Stage>> st;
+  st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                               kScramblerSeed));
+  st.push_back(std::make_unique<FcsStage<SlicingBy8Crc>>(
+      SlicingBy8Crc(crcspec::crc32_ethernet())));
+  st.push_back(std::make_unique<VerifySink<TableCrc>>(
+      TableCrc(crcspec::crc32_ethernet()), kVerifyStride));
+  return st;
+}
+
+/// Untimed functional gate: randomised frame sizes (empty and 1-byte
+/// included) through the pipeline vs the serial composition.
+bool validate() {
+  Rng rng(7);
+  std::vector<Frame> input(512);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i].id = i;
+    const std::size_t len = i == 0 ? 0 : i == 1 ? 1 : rng.next_below(1519);
+    input[i].bytes = rng.next_bytes(len);
+  }
+
+  // Serial reference: same stage types, fresh instances, one thread.
+  FrameBatch expect(input);
+  ScrambleStage ref_scramble(catalog::scrambler_80211(), kScramblerSeed);
+  FcsStage<SlicingBy8Crc> ref_crc{SlicingBy8Crc(crcspec::crc32_ethernet())};
+  ref_scramble.process(expect);
+  ref_crc.process(expect);
+
+  std::vector<std::unique_ptr<Stage>> st;
+  st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                               kScramblerSeed));
+  st.push_back(std::make_unique<FcsStage<SlicingBy8Crc>>(
+      SlicingBy8Crc(crcspec::crc32_ethernet())));
+  st.push_back(std::make_unique<CollectSink>());
+  CollectSink* sink = static_cast<CollectSink*>(st.back().get());
+  Pipeline pipe(std::move(st), {.queue_depth = 4});
+  pipe.start();
+  for (std::size_t i = 0; i < input.size(); i += 7) {
+    FrameBatch batch;
+    for (std::size_t j = i; j < std::min(i + 7, input.size()); ++j)
+      batch.push_back(input[j]);
+    if (!pipe.push(std::move(batch))) return false;
+  }
+  pipe.wait();
+
+  const std::vector<Frame>& got = sink->frames();
+  if (got.size() != expect.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    if (got[i].id != expect[i].id || got[i].bytes != expect[i].bytes ||
+        got[i].crc != expect[i].crc)
+      return false;
+  return true;
+}
+
+struct SweepPoint {
+  std::size_t batch, depth;
+  double mb_per_s, ratio;
+  std::uint64_t producer_stalls;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+
+  std::cout << "validation (randomised frames, pipeline vs serial "
+               "composition): ";
+  if (!validate()) {
+    std::cout << "MISMATCH\n";
+    return 1;
+  }
+  std::cout << "bit-exact\n\n";
+
+  // The timed frame set: a fixed-size stream, as a MAC would emit.
+  Rng rng(2026);
+  std::vector<Frame> stream(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    stream[i].id = i;
+    stream[i].bytes = rng.next_bytes(kFrameBytes);
+  }
+  const double total_mb =
+      static_cast<double>(kFrames) * kFrameBytes / 1e6;
+
+  // Baseline: the best standalone CRC engine over the same frames. The
+  // pipeline adds a scramble stage and the ring hand-offs on top of this,
+  // so baseline throughput is the bar the acceptance ratio is against.
+  double base_mbps = 0;
+  std::string base_name;
+  {
+    const TableCrc table(crcspec::crc32_ethernet());
+    const SlicingBy8Crc slicing(crcspec::crc32_ethernet());
+    const auto time_engine = [&](const auto& eng) {
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t acc = 0;
+        for (const Frame& f : stream) acc ^= eng.compute(f.bytes);
+        const double s = seconds_since(t0);
+        g_sink = acc;
+        best = std::max(best, total_mb / s);
+      }
+      return best;
+    };
+    const double t_mbps = time_engine(table);
+    const double s_mbps = time_engine(slicing);
+    base_name = s_mbps >= t_mbps ? "slicing-by-8" : "table";
+    base_mbps = std::max(t_mbps, s_mbps);
+    std::cout << "baseline CRC engine : " << base_name << " at "
+              << ReportTable::num(base_mbps, 1) << " MB/s ("
+              << kFrames << " frames x " << kFrameBytes << " B)\n\n";
+  }
+
+  // Sweep batch size × queue depth. Batches are pre-built outside the
+  // timed region; the clock covers start → wait (drain included). Each
+  // point runs kReps times and keeps the fastest — same best-of policy as
+  // the baseline, so scheduler noise hits both sides of the ratio alike.
+  constexpr int kReps = 3;
+  std::vector<SweepPoint> sweep;
+  ReportTable grid({"batch", "depth", "MB/s", "vs best CRC", "prod-stalls"});
+  double best_ratio = 0;
+  std::size_t best_idx = 0;
+  std::string best_stats;
+  bool verify_ok = true;
+  for (const std::size_t batch_size : {16u, 64u, 128u}) {
+    for (const std::size_t depth : {4u, 16u}) {
+      double mbps = 0;
+      std::uint64_t producer_stalls = 0;
+      std::string stats;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::vector<FrameBatch> batches;
+        for (std::size_t i = 0; i < stream.size(); i += batch_size) {
+          FrameBatch b;
+          for (std::size_t j = i;
+               j < std::min(i + batch_size, stream.size()); ++j)
+            b.push_back(stream[j]);
+          batches.push_back(std::move(b));
+        }
+
+        auto stages = make_stages();
+        auto* sink = static_cast<VerifySink<TableCrc>*>(stages.back().get());
+        Pipeline pipe(std::move(stages), {.queue_depth = depth});
+        const auto t0 = std::chrono::steady_clock::now();
+        pipe.start();
+        for (FrameBatch& b : batches) pipe.push(std::move(b));
+        const std::uint64_t stalls = pipe.producer_stalls();
+        pipe.wait();
+        const double sec = seconds_since(t0);
+
+        if (!sink->ok() || sink->frames() != kFrames) verify_ok = false;
+        if (total_mb / sec > mbps) {
+          mbps = total_mb / sec;
+          producer_stalls = stalls;
+          std::ostringstream os;
+          pipe.stats_table().print(os);
+          stats = os.str();
+        }
+      }
+      const double ratio = mbps / base_mbps;
+      sweep.push_back({batch_size, depth, mbps, ratio, producer_stalls});
+      grid.add_row({std::to_string(batch_size), std::to_string(depth),
+                    ReportTable::num(mbps, 1), ReportTable::num(ratio, 2),
+                    std::to_string(producer_stalls)});
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_idx = sweep.size() - 1;
+        best_stats = stats;
+      }
+    }
+  }
+
+  std::cout << "pipeline sweep (scramble -> crc -> verify, "
+            << "spot-check stride " << kVerifyStride << "):\n";
+  grid.print(std::cout);
+  std::cout << "\nper-stage metrics of the best point (batch "
+            << sweep[best_idx].batch << ", depth " << sweep[best_idx].depth
+            << "):\n"
+            << best_stats << "\nbest pipeline/CRC ratio : "
+            << ReportTable::num(best_ratio, 2)
+            << (best_ratio >= 0.8 ? "  (>= 0.8 target)" : "  (below 0.8)")
+            << "\n";
+  if (!verify_ok)
+    std::cout << "\nVERIFY SINK MISMATCH: pipelined CRCs disagree with the "
+                 "reference engine\n";
+
+  if (json) {
+    std::ofstream out("BENCH_pipeline.json");
+    out << "{\n  \"bench\": \"pipeline\",\n  \"frames\": " << kFrames
+        << ",\n  \"frame_bytes\": " << kFrameBytes
+        << ",\n  \"baseline\": {\"engine\": \"" << base_name
+        << "\", \"mb_per_s\": " << ReportTable::num(base_mbps, 1)
+        << "},\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      out << "    {\"batch\": " << p.batch << ", \"depth\": " << p.depth
+          << ", \"mb_per_s\": " << ReportTable::num(p.mb_per_s, 1)
+          << ", \"ratio\": " << ReportTable::num(p.ratio, 3)
+          << ", \"producer_stalls\": " << p.producer_stalls << "}"
+          << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"best\": {\"batch\": " << sweep[best_idx].batch
+        << ", \"depth\": " << sweep[best_idx].depth
+        << ", \"ratio\": " << ReportTable::num(best_ratio, 3)
+        << "},\n  \"verify_ok\": " << (verify_ok ? "true" : "false")
+        << "\n}\n";
+    std::cout << "\nwrote BENCH_pipeline.json\n";
+  }
+  return verify_ok ? 0 : 1;
+}

@@ -21,8 +21,14 @@ int main() {
   const std::string scr = emit_parallel_scrambler_module(
       "scrambler_80211_m32", catalog::scrambler_80211(), 32);
 
-  std::ofstream("crc32_derby_m64.v") << crc;
-  std::ofstream("scrambler_80211_m32.v") << scr;
+  std::ofstream crc_out("crc32_derby_m64.v");
+  crc_out << crc;
+  crc_out.close();
+  std::ofstream scr_out("scrambler_80211_m32.v");
+  scr_out << scr;
+  scr_out.close();
+  const bool wrote_ok = !crc.empty() && !scr.empty() && crc_out.good() &&
+                        scr_out.good();
 
   auto lines = [](const std::string& s) {
     return std::count(s.begin(), s.end(), '\n');
@@ -33,5 +39,9 @@ int main() {
             << " lines)\n\n";
   std::cout << "crc32_derby_m64.v header:\n";
   std::cout << crc.substr(0, crc.find(");\n") + 3) << "...\n";
+  if (!wrote_ok) {
+    std::cout << "\nVERIFICATION FAILED: RTL emission or file write failed\n";
+    return 1;
+  }
   return 0;
 }

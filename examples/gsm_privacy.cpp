@@ -28,6 +28,7 @@ int main() {
   Rng rng(1);
   const BitStream voice = rng.next_bits(114);  // one downlink burst
 
+  bool all_ok = true;
   std::cout << "A5/1: encrypting one 114-bit burst per frame\n";
   for (std::uint32_t frame = 0x134; frame < 0x137; ++frame) {
     A51 tx(key, frame);
@@ -42,6 +43,7 @@ int main() {
     for (std::size_t i = 0; i < cipher.size(); ++i)
       plain.push_back(cipher.get(i) ^ ks2.get(i));
 
+    all_ok &= plain == voice;
     std::cout << "  frame 0x" << std::hex << frame << std::dec
               << "  keystream[0..15]=" << ks.to_string().substr(0, 16)
               << "  decrypt " << (plain == voice ? "ok" : "FAIL") << "\n";
@@ -54,6 +56,7 @@ int main() {
     Rng erng(7);
     const BitStream payload = erng.next_bits(2745);  // one BT baseband max
     const bool ok = rx.process(tx.process(payload)) == payload;
+    all_ok &= ok;
     std::cout << "\nE0 (Bluetooth-style, 4 LFSRs + summation combiner): "
               << "2745-bit payload decrypt " << (ok ? "ok" : "FAIL") << "\n";
   }
@@ -78,5 +81,9 @@ int main() {
             << "inside the paper's parallel LFSR framework; A5/1's\n"
             << "majority clocking is what breaks linearity (and is left\n"
             << "to the processor, as the paper does with control code).\n";
+  if (!all_ok) {
+    std::cout << "\nVERIFICATION FAILED\n";
+    return 1;
+  }
   return 0;
 }

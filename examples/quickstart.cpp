@@ -34,6 +34,12 @@ int main() {
   std::cout << "  derby  engine M=64: " << derby.compute(msg) << std::dec
             << "  (expected 0xcbf43926)\n\n";
 
+  // All three engines must land on the check value of the standard.
+  constexpr std::uint64_t kCheck = 0xcbf43926;
+  const bool ok = table.compute(msg) == kCheck &&
+                  matrix.compute(msg) == kCheck &&
+                  derby.compute(msg) == kCheck;
+
   // 4. Why the Derby form maps well onto a pipelined fabric: the
   //    feedback matrix is companion again (<= 2 ones per row), while the
   //    dense work migrated into the pipelineable input matrix.
@@ -48,5 +54,9 @@ int main() {
   std::cout << "  B_Mt  total ones   : " << t.bmt().total_weight()
             << "  (dense but feed-forward: freely pipelineable)\n";
   std::cout << "  T anti-transform   : applied once per message\n";
+  if (!ok) {
+    std::cout << "\nVERIFICATION FAILED: an engine missed 0xcbf43926\n";
+    return 1;
+  }
   return 0;
 }

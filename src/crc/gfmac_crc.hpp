@@ -47,6 +47,23 @@ class GfmacCrc {
   std::uint64_t compute_bits(const BitStream& bits) const;
   std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
 
+  /// Byte-streaming interface shared with the table engines: the state IS
+  /// the raw register, and a chunk is absorbed with the Horner recurrence
+  /// (the single-GFMAC order, which continues from any register value).
+  /// Makes the engine usable under ParallelCrc and the pipeline CRC stage.
+  std::uint64_t initial_state() const { return spec_.init; }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const {
+    return raw_bits_horner(spec_.message_bits(bytes), state);
+  }
+  std::uint64_t finalize(std::uint64_t state) const {
+    return spec_.finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const { return state; }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return raw & spec_.mask();
+  }
+
  private:
   CrcSpec spec_;
   std::size_t m_;

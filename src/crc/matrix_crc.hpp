@@ -38,6 +38,24 @@ class MatrixCrc {
   /// Finalized CRC over bytes (applies the spec's reflection rules).
   std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
 
+  /// Byte-streaming interface shared with the table engines: the state IS
+  /// the raw register (bit i = coefficient of x^i) — reflection lives in
+  /// CrcSpec::message_bits, so byte-aligned chunked absorption is exact
+  /// from any register value. This is what lets the engine run under
+  /// ParallelCrc and the pipeline's CRC stage unmodified.
+  std::uint64_t initial_state() const { return spec_.init; }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const {
+    return raw_bits(spec_.message_bits(bytes), state);
+  }
+  std::uint64_t finalize(std::uint64_t state) const {
+    return spec_.finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const { return state; }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return raw & spec_.mask();
+  }
+
  private:
   CrcSpec spec_;
   LinearSystem sys_;

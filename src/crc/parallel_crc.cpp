@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "crc/gfmac_crc.hpp"
+#include "crc/matrix_crc.hpp"
 #include "crc/slicing_crc.hpp"
 #include "crc/table_crc.hpp"
 #include "crc/wide_table_crc.hpp"
@@ -74,5 +76,7 @@ template class ParallelCrc<TableCrc>;
 template class ParallelCrc<SlicingCrc<4>>;
 template class ParallelCrc<SlicingCrc<8>>;
 template class ParallelCrc<WideTableCrc>;
+template class ParallelCrc<MatrixCrc>;
+template class ParallelCrc<GfmacCrc>;
 
 }  // namespace plfsr

@@ -1,0 +1,135 @@
+#include "pipeline/pipeline.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace plfsr {
+
+Pipeline::Pipeline(std::vector<std::unique_ptr<Stage>> stages,
+                   PipelineConfig cfg)
+    : stages_(std::move(stages)), cfg_(cfg) {
+  if (stages_.empty())
+    throw std::invalid_argument("Pipeline: need at least one stage");
+  if (cfg_.queue_depth == 0) cfg_.queue_depth = 1;
+  rings_.reserve(stages_.size());
+  stats_.resize(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    rings_.push_back(
+        std::make_unique<RingBuffer<FrameBatch>>(cfg_.queue_depth));
+    stats_[i].name = stages_[i]->name();
+  }
+}
+
+Pipeline::~Pipeline() {
+  if (pool_) {
+    abort();
+    try {
+      wait();
+    } catch (...) {
+      // Destruction swallows stage errors; wait() is the reporting path.
+    }
+  }
+}
+
+void Pipeline::start() {
+  if (pool_) throw std::logic_error("Pipeline::start: already started");
+  pool_ = std::make_unique<ThreadPool>(stages_.size());
+  futures_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    futures_.push_back(pool_->submit([this, i] { run_stage(i); }));
+}
+
+bool Pipeline::push(FrameBatch batch) {
+  if (!pool_) throw std::logic_error("Pipeline::push before start()");
+  return rings_[0]->push(std::move(batch));
+}
+
+void Pipeline::close() { rings_[0]->close(); }
+
+void Pipeline::abort() {
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& r : rings_) r->close();
+}
+
+void Pipeline::wait() {
+  if (!pool_) return;
+  close();
+  for (std::future<void>& f : futures_) f.get();  // runners do not throw
+  futures_.clear();
+  pool_.reset();
+  // Harvest ring counters: stage i's input is ring i; its output pushes
+  // land on ring i+1 (the last stage has no output ring).
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stats_[i].pop_stalls = rings_[i]->pop_stalls();
+    stats_[i].queue_high_water = rings_[i]->high_water();
+    stats_[i].push_stalls =
+        i + 1 < rings_.size() ? rings_[i + 1]->push_stalls() : 0;
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+void Pipeline::run_stage(std::size_t i) {
+  RingBuffer<FrameBatch>& in = *rings_[i];
+  RingBuffer<FrameBatch>* out =
+      i + 1 < rings_.size() ? rings_[i + 1].get() : nullptr;
+  StageStats& st = stats_[i];
+  FrameBatch batch;
+  while (in.pop(batch)) {
+    if (aborted_.load(std::memory_order_relaxed)) {
+      batch.clear();  // drain-and-discard keeps upstream unblocked
+      continue;
+    }
+    std::uint64_t in_bytes = 0;
+    for (const Frame& f : batch) in_bytes += f.bytes.size();
+    const std::uint64_t in_frames = batch.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      stages_[i]->process(batch);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      abort();
+      batch.clear();
+      continue;
+    }
+    st.busy_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ++st.batches;
+    st.frames += in_frames;
+    st.bytes += in_bytes;
+    if (out) {
+      out->push(std::move(batch));  // false only when aborted: discard
+      batch = FrameBatch();
+    } else {
+      batch.clear();
+    }
+  }
+  if (out) out->close();
+}
+
+ReportTable Pipeline::stats_table() const {
+  ReportTable table({"stage", "batches", "frames", "bytes", "busy ms",
+                     "MB/s", "in-stalls", "out-stalls", "q-hi"});
+  for (const StageStats& s : stats_) {
+    const double ms = static_cast<double>(s.busy_ns) / 1e6;
+    const double mbs = s.busy_ns == 0
+                           ? 0.0
+                           : static_cast<double>(s.bytes) /
+                                 (static_cast<double>(s.busy_ns) / 1e9) /
+                                 1e6;
+    table.add_row({s.name, std::to_string(s.batches),
+                   std::to_string(s.frames), std::to_string(s.bytes),
+                   ReportTable::num(ms, 2), ReportTable::num(mbs, 1),
+                   std::to_string(s.pop_stalls),
+                   std::to_string(s.push_stalls),
+                   std::to_string(s.queue_high_water) + "/" +
+                       std::to_string(cfg_.queue_depth)});
+  }
+  return table;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,114 @@
+// Pipeline executor: the software PiCoGA datapath. Every stage gets a
+// dedicated worker (reusing the support ThreadPool) and a bounded input
+// ring; batches flow producer → stage 0 → ... → stage N-1 with blocking
+// backpressure, exactly the way rows of the array hand words down the
+// pipeline at a fixed issue rate. The run is observable the way the
+// paper's per-row utilisation is: every stage reports frames, bytes, busy
+// time, input/output stalls and its queue's occupancy high-water mark
+// through a ReportTable.
+//
+// Lifecycle:  Pipeline p(stages);  p.start();
+//             while (...) p.push(batch);
+//             p.close();  p.wait();            // rethrows stage errors
+//             p.stats() / p.stats_table()
+//
+// Error handling: a throwing stage aborts the run — all rings close, in-
+// flight batches are drained and discarded, every worker exits, and
+// wait() rethrows the first exception. Stop is always clean: no worker
+// blocks forever on a dead neighbour.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/ring_buffer.hpp"
+#include "pipeline/stage.hpp"
+#include "support/report.hpp"
+#include "support/thread_pool.hpp"
+
+namespace plfsr {
+
+struct PipelineConfig {
+  /// Ring capacity between consecutive stages, in batches.
+  std::size_t queue_depth = 8;
+};
+
+/// Post-run per-stage counters (valid after wait()).
+struct StageStats {
+  std::string name;
+  std::uint64_t batches = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;         ///< bytes entering the stage
+  std::uint64_t busy_ns = 0;       ///< time inside process()
+  std::uint64_t pop_stalls = 0;    ///< waits for input (starved)
+  std::uint64_t push_stalls = 0;   ///< waits for output space (backpressure)
+  std::uint64_t queue_high_water = 0;  ///< input ring peak occupancy
+};
+
+/// Stage-graph executor: one thread per stage, SPSC rings between them.
+class Pipeline {
+ public:
+  explicit Pipeline(std::vector<std::unique_ptr<Stage>> stages,
+                    PipelineConfig cfg = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  std::size_t num_stages() const { return stages_.size(); }
+
+  /// Spawn the stage workers. Must precede push().
+  void start();
+
+  /// Feed one batch into the first stage (blocking under backpressure).
+  /// Returns false if the pipeline aborted — stop producing.
+  bool push(FrameBatch batch);
+
+  /// Declare end of input; workers drain and exit in cascade.
+  void close();
+
+  /// Emergency stop: close every ring, discard in-flight batches.
+  void abort();
+
+  /// close() + join all workers; rethrows the first stage exception.
+  void wait();
+
+  bool failed() const { return aborted_.load(std::memory_order_relaxed); }
+
+  /// Times the producer's push() had to wait on a full first ring.
+  std::uint64_t producer_stalls() const { return rings_[0]->push_stalls(); }
+
+  /// Per-stage counters; call after wait().
+  const std::vector<StageStats>& stats() const { return stats_; }
+
+  /// The metrics report printed by every bench/example run: one row per
+  /// stage — batches, frames, bytes, busy ms, busy-side MB/s, in-stalls
+  /// (pops that waited), out-stalls (pushes that waited), q-hi (input
+  /// ring occupancy high-water / depth).
+  ReportTable stats_table() const;
+
+  /// Direct access to a stage (e.g. to read a sink after wait()).
+  Stage& stage(std::size_t i) { return *stages_[i]; }
+
+ private:
+  void run_stage(std::size_t i);
+
+  std::vector<std::unique_ptr<Stage>> stages_;
+  PipelineConfig cfg_;
+  std::vector<std::unique_ptr<RingBuffer<FrameBatch>>> rings_;  // input of i
+  std::vector<StageStats> stats_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> futures_;
+  std::atomic<bool> aborted_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace plfsr

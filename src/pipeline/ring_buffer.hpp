@@ -1,0 +1,162 @@
+// Bounded single-producer / single-consumer ring buffer — the software
+// analogue of the pipeline registers between PiCoGA rows. Each ring
+// decouples two pipeline stages: the producer row pushes finished batches,
+// the consumer row pops them, and when the ring fills the producer stalls
+// — exactly the backpressure a row-pipelined array applies upstream when
+// a downstream row cannot issue (the paper's II > 1 operating points).
+//
+// Lock-free in the fast path: one atomic head (consumer-owned) and one
+// atomic tail (producer-owned), both monotonic counters, with the slot
+// array indexed modulo the capacity. Blocking push/pop spin briefly, then
+// yield; every blocked call is counted, and the producer tracks the
+// occupancy high-water mark, so a drained pipeline can report exactly
+// where it stalled — the per-row utilisation view of the paper's Fig. 4/5
+// discussion, recovered in software.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace plfsr {
+
+/// Bounded SPSC queue of T with stall/occupancy accounting.
+///
+/// Exactly one thread may push and one thread may pop (they may be the
+/// same thread when using the try_ forms). close() may be called from any
+/// thread: it wakes blocked callers; items already in the ring stay
+/// poppable until drained.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : cap_(capacity), slots_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("RingBuffer: capacity must be >= 1");
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  std::size_t capacity() const { return cap_; }
+
+  /// Items currently queued (approximate while both ends are active).
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  /// Non-blocking push; moves from `item` only on success.
+  bool try_push(T& item) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= cap_) return false;
+    slots_[tail % cap_] = std::move(item);
+    publish(tail);
+    return true;
+  }
+
+  /// Blocking push. Returns false iff the ring was closed (the item is
+  /// then dropped — close-side discard is the abort path's job).
+  bool push(T item) {
+    std::uint64_t spins = 0;
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      if (tail - head_.load(std::memory_order_acquire) < cap_) {
+        slots_[tail % cap_] = std::move(item);
+        publish(tail);
+        return true;
+      }
+      if (spins == 0) push_stalls_.fetch_add(1, std::memory_order_relaxed);
+      backoff(++spins);
+    }
+  }
+
+  /// Non-blocking pop into `out`.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = std::move(slots_[head % cap_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking pop. Returns false iff the ring is closed AND drained —
+  /// items pushed before close() are always delivered.
+  bool pop(T& out) {
+    std::uint64_t spins = 0;
+    for (;;) {
+      const std::uint64_t head = head_.load(std::memory_order_relaxed);
+      if (tail_.load(std::memory_order_acquire) != head) {
+        out = std::move(slots_[head % cap_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+      }
+      // Re-read tail after observing closed: a push that completed just
+      // before close() must not be lost.
+      if (closed_.load(std::memory_order_acquire) &&
+          tail_.load(std::memory_order_acquire) == head)
+        return false;
+      if (spins == 0) pop_stalls_.fetch_add(1, std::memory_order_relaxed);
+      backoff(++spins);
+    }
+  }
+
+  /// No more pushes will succeed; blocked callers wake up. Idempotent,
+  /// callable from any thread (the pipeline's abort path closes every
+  /// ring at once).
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Number of push() calls that had to wait for space at least once.
+  std::uint64_t push_stalls() const {
+    return push_stalls_.load(std::memory_order_relaxed);
+  }
+  /// Number of pop() calls that had to wait for an item at least once.
+  std::uint64_t pop_stalls() const {
+    return pop_stalls_.load(std::memory_order_relaxed);
+  }
+  /// Highest occupancy ever observed right after a push.
+  std::uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void publish(std::uint64_t tail) {
+    tail_.store(tail + 1, std::memory_order_release);
+    const std::uint64_t occ =
+        tail + 1 - head_.load(std::memory_order_acquire);
+    std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (occ > hw && !high_water_.compare_exchange_weak(
+                           hw, occ, std::memory_order_relaxed)) {
+    }
+  }
+
+  static void backoff(std::uint64_t spins) {
+    // Brief hot spin, then yield; after ~a scheduling quantum of yields,
+    // sleep so a stalled stage does not starve the working one on
+    // low-core-count hosts.
+    if (spins < 16) return;
+    if (spins < 2048) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  const std::size_t cap_;
+  std::vector<T> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< next slot to pop (consumer)
+  std::atomic<std::uint64_t> tail_{0};  ///< next slot to fill (producer)
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> push_stalls_{0};
+  std::atomic<std::uint64_t> pop_stalls_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+};
+
+}  // namespace plfsr

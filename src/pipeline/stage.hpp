@@ -1,0 +1,48 @@
+// Stage abstraction of the streaming pipeline — the software PiCoGA row.
+//
+// A pipeline stage transforms batches of frames in place; the executor
+// gives every stage its own thread and a bounded ring on each side, so a
+// chain of stages behaves like the paper's row-pipelined datapath: each
+// row does a fixed piece of work per issue, and the whole chain sustains
+// the throughput of its slowest row while the rings absorb jitter.
+//
+// Stages must be frame-local (the output of a frame depends only on that
+// frame and on state the stage re-derives per frame, e.g. a per-frame
+// scrambler seed). Frame-locality is what makes the pipelined execution
+// bit-exact with the serial composition of the same stages — the property
+// tests/pipeline_test.cpp pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace plfsr {
+
+/// One unit of streamed work: a frame body plus per-frame results.
+struct Frame {
+  std::uint64_t id = 0;               ///< stream position (seeds, spot checks)
+  std::vector<std::uint8_t> bytes;    ///< body; stages transform it in place
+  std::uint64_t crc = 0;              ///< FCS recorded by a CRC stage
+};
+
+/// Frames move through the pipeline in batches to amortise ring traffic;
+/// the producer picks the batch size (the bench sweeps it).
+using FrameBatch = std::vector<Frame>;
+
+/// Interface every pipeline stage implements. process() is called from
+/// the stage's dedicated thread, one batch at a time, in stream order —
+/// a stage may therefore keep unsynchronized internal state (keystream
+/// caches, counters, collected output).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Short name used in the per-stage metrics report.
+  virtual const char* name() const = 0;
+
+  /// Transform one batch in place (bodies, CRCs, even the frame count —
+  /// a spreader changes sizes, a sink may consume frames entirely).
+  virtual void process(FrameBatch& batch) = 0;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,153 @@
+// Stage adapters over the existing kernels — scrambler, spreader, any
+// byte-streaming CRC engine — plus the terminal sinks. The kernels plug
+// in unmodified: the CRC adapters go through the shared absorb interface
+// (TableCrc / SlicingCrc / WideTableCrc / MatrixCrc / GfmacCrc /
+// ParallelCrc all qualify), and the scrambler/spreader adapters re-derive
+// their LFSR state per frame (frame-synchronous operation, as 802.11
+// scrambles each PPDU from a fresh seed), which keeps every stage
+// frame-local and the pipelined run bit-exact with the serial one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+#include "pipeline/stage.hpp"
+#include "scrambler/scrambler.hpp"
+#include "scrambler/spreader.hpp"
+
+namespace plfsr {
+
+/// Frame-synchronous additive scrambler stage. Every frame is scrambled
+/// from the same seed (the 802.11 per-PPDU convention), so the keystream
+/// is a fixed sequence: it is generated once by the exact bit-serial
+/// AdditiveScrambler, cached LSB-first-packed, and applied as a word-wide
+/// XOR — the memxor form of the paper's observation that the additive
+/// scrambler is pure feed-forward once the state sequence is known.
+/// Applying the stage twice restores the input (additive = involution).
+class ScrambleStage : public Stage {
+ public:
+  ScrambleStage(const Gf2Poly& g, std::uint64_t seed);
+
+  const char* name() const override { return "scramble"; }
+  void process(FrameBatch& batch) override;
+
+  /// Scramble one frame body in place (shared with the serial reference).
+  void apply(std::vector<std::uint8_t>& bytes);
+
+ private:
+  void ensure_keystream(std::size_t nbytes);
+
+  AdditiveScrambler gen_;              ///< keystream generator (continues)
+  std::vector<std::uint8_t> keystream_;  ///< LSB-first packed cache
+};
+
+/// Direct-sequence spreading stage: each frame body is expanded bit→C
+/// chips against the stage's LFSR sequence (reseeded per frame). A frame
+/// of n bytes becomes n·C bytes.
+class SpreadStage : public Stage {
+ public:
+  SpreadStage(const Gf2Poly& g, std::uint64_t seed, std::size_t chips_per_bit);
+
+  const char* name() const override { return "spread"; }
+  void process(FrameBatch& batch) override;
+
+ private:
+  Spreader spreader_;
+  std::uint64_t seed_;
+};
+
+/// Inverse of SpreadStage: majority-vote despreading, reseeded per frame
+/// with the same seed so spread→despread round-trips bit-exactly.
+class DespreadStage : public Stage {
+ public:
+  DespreadStage(const Gf2Poly& g, std::uint64_t seed,
+                std::size_t chips_per_bit);
+
+  const char* name() const override { return "despread"; }
+  void process(FrameBatch& batch) override;
+
+ private:
+  Spreader spreader_;
+  std::uint64_t seed_;
+};
+
+/// Frame-check-sequence stage over any engine exposing the shared
+/// byte-streaming interface (initial_state / absorb / finalize). Records
+/// the finalized CRC of each frame body into Frame::crc.
+template <typename Engine>
+class FcsStage : public Stage {
+ public:
+  explicit FcsStage(Engine engine) : engine_(std::move(engine)) {}
+
+  const char* name() const override { return "crc"; }
+
+  void process(FrameBatch& batch) override {
+    for (Frame& f : batch) {
+      std::uint64_t st = engine_.initial_state();
+      st = engine_.absorb(st, f.bytes);
+      f.crc = engine_.finalize(st);
+    }
+  }
+
+  const Engine& engine() const { return engine_; }
+
+ private:
+  Engine engine_;
+};
+
+/// Terminal stage: re-derives the FCS of every `stride`-th frame with an
+/// independent reference engine and counts mismatches — the pipeline's
+/// on-line functional check (stride 1 = verify everything, as the tests
+/// do; the bench spot-checks). Counters are read after Pipeline::wait().
+template <typename Engine>
+class VerifySink : public Stage {
+ public:
+  explicit VerifySink(Engine ref, std::uint64_t stride = 1)
+      : ref_(std::move(ref)), stride_(stride == 0 ? 1 : stride) {}
+
+  const char* name() const override { return "verify"; }
+
+  void process(FrameBatch& batch) override {
+    for (Frame& f : batch) {
+      ++frames_;
+      bytes_ += f.bytes.size();
+      if (f.id % stride_ != 0) continue;
+      ++checked_;
+      std::uint64_t st = ref_.initial_state();
+      st = ref_.absorb(st, f.bytes);
+      if (ref_.finalize(st) != f.crc) ++mismatches_;
+    }
+  }
+
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t checked() const { return checked_; }
+  std::uint64_t mismatches() const { return mismatches_; }
+  bool ok() const { return mismatches_ == 0; }
+
+ private:
+  Engine ref_;
+  std::uint64_t stride_;
+  std::uint64_t frames_ = 0, bytes_ = 0, checked_ = 0, mismatches_ = 0;
+};
+
+/// Terminal stage that keeps every frame — the tests' window into the
+/// pipeline's exact output. frames() is safe to read after wait().
+class CollectSink : public Stage {
+ public:
+  const char* name() const override { return "collect"; }
+
+  void process(FrameBatch& batch) override {
+    for (Frame& f : batch) out_.push_back(std::move(f));
+    batch.clear();
+  }
+
+  const std::vector<Frame>& frames() const { return out_; }
+
+ private:
+  std::vector<Frame> out_;
+};
+
+}  // namespace plfsr

@@ -3,6 +3,7 @@
 // look-ahead factor. This is the functional core of the reproduction.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <tuple>
 
 #include "crc/crc_spec.hpp"
@@ -178,30 +179,92 @@ TEST(SlicingCrc, Crc64ThroughFourSlicesCarriesHighRegisterBytes) {
 /// short final chunk, MatrixCrc's serial head) all trigger in this range.
 class EdgeLengths : public ::testing::TestWithParam<int> {};
 
+/// absorb-from-initial_state + finalize must equal compute, and the
+/// raw-register conversions must round-trip — for every engine exposing
+/// the shared byte-streaming interface (MatrixCrc and GfmacCrc included
+/// since they gained it).
+template <typename Engine>
+void check_streaming_interface(const Engine& e,
+                               std::span<const std::uint8_t> msg,
+                               std::uint64_t expect, const char* which,
+                               const CrcSpec& s) {
+  const std::uint64_t st = e.absorb(e.initial_state(), msg);
+  EXPECT_EQ(e.finalize(st), expect)
+      << which << " streaming " << s.name << " len=" << msg.size();
+  EXPECT_EQ(e.state_from_raw(e.raw_register(st)), st)
+      << which << " raw round-trip " << s.name;
+}
+
 TEST_P(EdgeLengths, AllEnginesAgreeWithSerialOnShortInputs) {
   const std::size_t len = static_cast<std::size_t>(GetParam());
   Rng rng(6000 + GetParam());
   for (const CrcSpec& s : crcspec::all()) {
     const auto msg = rng.next_bytes(len);
     const std::uint64_t expect = serial_crc(s, msg);
-    EXPECT_EQ(TableCrc(s).compute(msg), expect)
+    const TableCrc table(s);
+    const MatrixCrc matrix(s, 32);
+    const GfmacCrc gfmac(s, 32);
+    const WideTableCrc wide(s, 8);
+    EXPECT_EQ(table.compute(msg), expect)
         << "TableCrc " << s.name << " len=" << len;
-    EXPECT_EQ(MatrixCrc(s, 32).compute(msg), expect)
+    EXPECT_EQ(matrix.compute(msg), expect)
         << "MatrixCrc " << s.name << " len=" << len;
-    EXPECT_EQ(GfmacCrc(s, 32).compute(msg), expect)
+    EXPECT_EQ(gfmac.compute(msg), expect)
         << "GfmacCrc " << s.name << " len=" << len;
-    EXPECT_EQ(WideTableCrc(s, 8).compute(msg), expect)
+    EXPECT_EQ(wide.compute(msg), expect)
         << "WideTableCrc " << s.name << " len=" << len;
+    check_streaming_interface(table, msg, expect, "TableCrc", s);
+    check_streaming_interface(matrix, msg, expect, "MatrixCrc", s);
+    check_streaming_interface(gfmac, msg, expect, "GfmacCrc", s);
+    check_streaming_interface(wide, msg, expect, "WideTableCrc", s);
     if (s.reflect_in && s.reflect_out) {
-      EXPECT_EQ(SlicingBy4Crc(s).compute(msg), expect)
+      const SlicingBy4Crc s4(s);
+      const SlicingBy8Crc s8(s);
+      EXPECT_EQ(s4.compute(msg), expect)
           << "SlicingBy4 " << s.name << " len=" << len;
-      EXPECT_EQ(SlicingBy8Crc(s).compute(msg), expect)
+      EXPECT_EQ(s8.compute(msg), expect)
           << "SlicingBy8 " << s.name << " len=" << len;
+      check_streaming_interface(s4, msg, expect, "SlicingBy4", s);
+      check_streaming_interface(s8, msg, expect, "SlicingBy8", s);
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Lengths0To8, EdgeLengths, ::testing::Range(0, 9));
+
+TEST(MatrixCrc, StreamingSplitEqualsOneShot) {
+  // Chunked absorption from the raw-register state must match the
+  // one-shot compute for every cut — the property ParallelCrc relies on.
+  Rng rng(61);
+  for (const CrcSpec& s : {crcspec::crc32_ethernet(), crcspec::crc32_mpeg2(),
+                           crcspec::crc64_xz()}) {
+    const MatrixCrc engine(s, 32);
+    const auto msg = rng.next_bytes(73);
+    const std::uint64_t expect = engine.compute(msg);
+    for (std::size_t cut : {0u, 1u, 4u, 37u, 72u, 73u}) {
+      std::uint64_t st = engine.initial_state();
+      st = engine.absorb(st, {msg.data(), cut});
+      st = engine.absorb(st, {msg.data() + cut, msg.size() - cut});
+      EXPECT_EQ(engine.finalize(st), expect) << s.name << " cut=" << cut;
+    }
+  }
+}
+
+TEST(GfmacCrc, StreamingSplitEqualsOneShot) {
+  Rng rng(62);
+  for (const CrcSpec& s : {crcspec::crc32_ethernet(), crcspec::crc16_arc(),
+                           crcspec::crc64_ecma()}) {
+    const GfmacCrc engine(s, 32);
+    const auto msg = rng.next_bytes(73);
+    const std::uint64_t expect = engine.compute(msg);
+    for (std::size_t cut : {0u, 1u, 4u, 37u, 72u, 73u}) {
+      std::uint64_t st = engine.initial_state();
+      st = engine.absorb(st, {msg.data(), cut});
+      st = engine.absorb(st, {msg.data() + cut, msg.size() - cut});
+      EXPECT_EQ(engine.finalize(st), expect) << s.name << " cut=" << cut;
+    }
+  }
+}
 
 TEST(TableCrc, StreamingSplitEqualsOneShot) {
   const TableCrc t(crcspec::crc32_ethernet());

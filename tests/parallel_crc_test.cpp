@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "crc/crc_combine.hpp"
+#include "crc/gfmac_crc.hpp"
 #include "crc/matrix_crc.hpp"
 #include "crc/parallel_crc.hpp"
 #include "crc/serial_crc.hpp"
@@ -178,6 +179,18 @@ TEST(ParallelCrc, WorksOverEveryWrappedEngineKind) {
     const CrcSpec s = crcspec::crc64_xz();
     EXPECT_EQ(ParallelCrc<SlicingCrc<8>>(SlicingCrc<8>(s), 8, 1).compute(msg),
               serial_crc(s, msg));
+  }
+  {
+    // The bit-granular engines gained the byte-streaming interface, so
+    // they shard too (small input — their inner loops are slow).
+    const CrcSpec s = crcspec::crc16_ccitt_false();
+    const auto small = Rng(601).next_bytes(700);
+    const std::uint64_t expect = serial_crc(s, small);
+    EXPECT_EQ(
+        ParallelCrc<MatrixCrc>(MatrixCrc(s, 32), 4, 1).compute(small),
+        expect);
+    EXPECT_EQ(ParallelCrc<GfmacCrc>(GfmacCrc(s, 32), 4, 1).compute(small),
+              expect);
   }
 }
 

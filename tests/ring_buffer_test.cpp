@@ -1,0 +1,146 @@
+// SPSC ring buffer: FIFO order under a real producer/consumer pair,
+// try-variant edge behaviour, close semantics (items before close are
+// never lost, blocked callers wake), and the stall/occupancy accounting
+// the pipeline's per-stage report is built from.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pipeline/ring_buffer.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, TryPushPopSingleThread) {
+  RingBuffer<int> rb(2);
+  EXPECT_EQ(rb.capacity(), 2u);
+  int v = 1;
+  EXPECT_TRUE(rb.try_push(v));
+  v = 2;
+  EXPECT_TRUE(rb.try_push(v));
+  v = 3;
+  EXPECT_FALSE(rb.try_push(v));  // full
+  EXPECT_EQ(v, 3);               // not consumed on failure
+  EXPECT_EQ(rb.size(), 2u);
+
+  int out = 0;
+  EXPECT_TRUE(rb.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(rb.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(rb.try_pop(out));  // empty
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  RingBuffer<std::uint64_t> rb(3);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(rb.push(i));
+    std::uint64_t out = 0;
+    EXPECT_TRUE(rb.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(RingBuffer, FifoOrderAcrossThreads) {
+  RingBuffer<std::uint64_t> rb(4);
+  constexpr std::uint64_t kItems = 20000;
+  std::vector<std::uint64_t> got;
+  got.reserve(kItems);
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (rb.pop(v)) got.push_back(v);
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_TRUE(rb.push(i));
+  rb.close();
+  consumer.join();
+  ASSERT_EQ(got.size(), kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i) ASSERT_EQ(got[i], i);
+}
+
+TEST(RingBuffer, CloseDeliversQueuedItemsThenStops) {
+  RingBuffer<int> rb(8);
+  int v = 7;
+  ASSERT_TRUE(rb.try_push(v));
+  v = 8;
+  ASSERT_TRUE(rb.try_push(v));
+  rb.close();
+  EXPECT_TRUE(rb.closed());
+  v = 9;
+  EXPECT_FALSE(rb.push(v));  // no pushes after close
+  int out = 0;
+  EXPECT_TRUE(rb.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(rb.pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(rb.pop(out));  // closed and drained
+}
+
+TEST(RingBuffer, CloseWakesBlockedConsumer) {
+  RingBuffer<int> rb(1);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    rb.close();
+  });
+  int out = 0;
+  EXPECT_FALSE(rb.pop(out));  // blocks until close, then reports drained
+  closer.join();
+}
+
+TEST(RingBuffer, CloseWakesBlockedProducer) {
+  RingBuffer<int> rb(1);
+  int v = 1;
+  ASSERT_TRUE(rb.try_push(v));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    rb.close();
+  });
+  EXPECT_FALSE(rb.push(2));  // ring full; close unblocks with failure
+  closer.join();
+}
+
+TEST(RingBuffer, StallAndHighWaterAccounting) {
+  RingBuffer<int> rb(2);
+  EXPECT_EQ(rb.push_stalls(), 0u);
+  EXPECT_EQ(rb.pop_stalls(), 0u);
+  EXPECT_EQ(rb.high_water(), 0u);
+
+  ASSERT_TRUE(rb.push(1));
+  EXPECT_EQ(rb.high_water(), 1u);
+  ASSERT_TRUE(rb.push(2));
+  EXPECT_EQ(rb.high_water(), 2u);
+  EXPECT_EQ(rb.push_stalls(), 0u);  // no waiting happened yet
+
+  // Consumer that drains slowly: the producer's third push must stall.
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int out;
+    while (rb.pop(out)) {
+    }
+  });
+  ASSERT_TRUE(rb.push(3));
+  EXPECT_GE(rb.push_stalls(), 1u);
+  rb.close();
+  consumer.join();
+  EXPECT_LE(rb.high_water(), rb.capacity());
+}
+
+TEST(RingBuffer, MoveOnlyPayload) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  ASSERT_TRUE(rb.push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(rb.pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace plfsr

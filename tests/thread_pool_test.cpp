@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/thread_pool.hpp"
@@ -44,6 +46,59 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
       pool.submit([&count] { ++count; });
   }  // join happens here; queued work must not be dropped
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, StopWhileQueuedRunsEverything) {
+  // Enter the destructor while the worker is still blocked inside the
+  // first task and the rest of the queue is untouched: stop must finish
+  // the backlog, not race past it. (The pipeline executor relies on this
+  // to drain stage runners on shutdown.)
+  std::atomic<int> count{0};
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::thread opener;
+  {
+    ThreadPool pool(1);
+    pool.submit([opened] { opened.wait(); });
+    for (int i = 0; i < 30; ++i)
+      pool.submit([&count] { ++count; });
+    // Release the gate only after ~ the destructor has started waiting.
+    opener = std::thread([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      gate.set_value();
+    });
+  }  // destructor: stop_ set with 30 tasks queued behind the blocker
+  opener.join();
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPool, WorkerSurvivesTaskException) {
+  // An exception is confined to its future; the worker thread must keep
+  // serving the queue afterwards.
+  ThreadPool pool(1);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 10; ++i)
+    futs.push_back(pool.submit([&count] { ++count; }));
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReuseAfterDrain) {
+  // Submit a wave, drain it completely, then reuse the same pool for a
+  // second wave — workers must still be parked on the condition variable,
+  // not exited. Pipeline runs reuse one pool across start/wait cycles.
+  ThreadPool pool(2);
+  for (int wave = 0; wave < 3; ++wave) {
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 50; ++i)
+      futs.push_back(pool.submit([&count] { ++count; }));
+    for (auto& f : futs) f.get();
+    EXPECT_EQ(count.load(), 50) << "wave=" << wave;
+  }
 }
 
 }  // namespace
