@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "crc/clmul_crc.hpp"
 #include "crc/crc_spec.hpp"
 #include "crc/derby_crc.hpp"
 #include "crc/gfmac_crc.hpp"
@@ -16,6 +17,7 @@
 #include "crc/slicing_crc.hpp"
 #include "crc/table_crc.hpp"
 #include "crc/wide_table_crc.hpp"
+#include "support/cpu_features.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -62,6 +64,35 @@ void BM_SlicingBy8Crc32(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SlicingBy8Crc32)->Arg(1518)->Arg(65536);
+
+// CLMUL folding engine, both kernels. The pclmul variants register only
+// when the CPU can run them, so the suite (and the CI baseline check)
+// stays meaningful on machines without the instruction.
+void BM_ClmulCrc32(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const ClmulCrc engine(crcspec::crc32_ethernet(),
+                        ClmulKernel::kAccelerated);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ClmulCrc64(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const ClmulCrc engine(crcspec::crc64_xz(), ClmulKernel::kAccelerated);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ClmulCrc32Portable(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const ClmulCrc engine(crcspec::crc32_ethernet(), ClmulKernel::kPortable);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClmulCrc32Portable)->Arg(1518)->Arg(65536);
 
 void BM_MatrixCrc32(benchmark::State& state) {
   const auto msg = payload(1518);
@@ -122,6 +153,16 @@ void BM_ParallelSlicingBy8Crc32(benchmark::State& state) {
 BENCHMARK(BM_ParallelSlicingBy8Crc32)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
+void BM_ParallelClmulCrc32(benchmark::State& state) {
+  const auto msg = payload(1 << 20);
+  const ParallelCrc<ClmulCrc> engine(
+      ClmulCrc(crcspec::crc32_ethernet(), ClmulKernel::kAccelerated),
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+
 void BM_ParallelSlicingBy8Crc64(benchmark::State& state) {
   const auto msg = payload(1 << 20);
   const ParallelCrc<SlicingBy8Crc> engine(
@@ -145,21 +186,43 @@ BENCHMARK(BM_GfmacCrc32Horner);
 
 }  // namespace
 
-// BENCHMARK_MAIN, plus a `--json` convenience flag that expands to the
-// library's own JSON reporter writing BENCH_crc_engines.json (so CI can
-// archive machine-readable numbers without remembering the long spelling).
+// BENCHMARK_MAIN, plus two convenience flags:
+//   --json   expands to the library's own JSON reporter writing
+//            BENCH_crc_engines.json (so CI can archive machine-readable
+//            numbers without remembering the long spelling);
+//   --quick  caps measurement time per benchmark (the CI
+//            bench-regression job's fast mode).
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = "--benchmark_out=BENCH_crc_engines.json";
   std::string fmt_flag = "--benchmark_out_format=json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      args.erase(args.begin() + i);
+  // Bare-double seconds: accepted by every google-benchmark release
+  // (newer ones also take the "0.05s" spelling, older ones only this).
+  std::string quick_flag = "--benchmark_min_time=0.05";
+  for (std::size_t i = 1; i < args.size();) {
+    if (std::string(args[i]) == "--json") {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
       args.push_back(out_flag.data());
       args.push_back(fmt_flag.data());
-      break;
+    } else if (std::string(args[i]) == "--quick") {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      args.push_back(quick_flag.data());
+    } else {
+      ++i;
     }
   }
+
+  // The pclmul benchmarks only exist where the CPU can run them.
+  if (plfsr::cpu_features().pclmul && plfsr::cpu_features().sse41) {
+    benchmark::RegisterBenchmark("BM_ClmulCrc32", BM_ClmulCrc32)
+        ->Arg(64)->Arg(1518)->Arg(65536);
+    benchmark::RegisterBenchmark("BM_ClmulCrc64", BM_ClmulCrc64)
+        ->Arg(65536);
+    benchmark::RegisterBenchmark("BM_ParallelClmulCrc32",
+                                 BM_ParallelClmulCrc32)
+        ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+  }
+
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))

@@ -21,12 +21,14 @@
 #include <string>
 #include <vector>
 
+#include "crc/clmul_crc.hpp"
 #include "crc/crc_spec.hpp"
 #include "crc/slicing_crc.hpp"
 #include "crc/table_crc.hpp"
 #include "lfsr/catalog.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/stages.hpp"
+#include "support/cpu_features.hpp"
 #include "support/report.hpp"
 #include "support/rng.hpp"
 
@@ -35,9 +37,24 @@ namespace {
 using namespace plfsr;
 
 constexpr std::uint64_t kScramblerSeed = 0x5D;  // 802.11 per-PPDU seed
-constexpr std::size_t kFrames = 16384;
 constexpr std::size_t kFrameBytes = 1500;
 constexpr std::uint64_t kVerifyStride = 256;
+
+// --quick (the CI bench-regression fast mode) shrinks the stream and
+// drops the best-of repetitions.
+std::size_t g_frames = 16384;
+int g_reps = 3;
+
+/// The fastest FCS engine this machine can run: the CLMUL folding
+/// engine where PCLMULQDQ is available (and not vetoed by
+/// PLFSR_FORCE_PORTABLE), slicing-by-8 otherwise.
+std::unique_ptr<Stage> make_fcs_stage() {
+  if (clmul_allowed())
+    return std::make_unique<FcsStage<ClmulCrc>>(
+        ClmulCrc(crcspec::crc32_ethernet()));
+  return std::make_unique<FcsStage<SlicingBy8Crc>>(
+      SlicingBy8Crc(crcspec::crc32_ethernet()));
+}
 
 volatile std::uint64_t g_sink;  // defeats dead-code elimination of baselines
 
@@ -50,8 +67,7 @@ std::vector<std::unique_ptr<Stage>> make_stages() {
   std::vector<std::unique_ptr<Stage>> st;
   st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
                                                kScramblerSeed));
-  st.push_back(std::make_unique<FcsStage<SlicingBy8Crc>>(
-      SlicingBy8Crc(crcspec::crc32_ethernet())));
+  st.push_back(make_fcs_stage());
   st.push_back(std::make_unique<VerifySink<TableCrc>>(
       TableCrc(crcspec::crc32_ethernet()), kVerifyStride));
   return st;
@@ -78,8 +94,7 @@ bool validate() {
   std::vector<std::unique_ptr<Stage>> st;
   st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
                                                kScramblerSeed));
-  st.push_back(std::make_unique<FcsStage<SlicingBy8Crc>>(
-      SlicingBy8Crc(crcspec::crc32_ethernet())));
+  st.push_back(make_fcs_stage());  // cross-engine: reference is slicing
   st.push_back(std::make_unique<CollectSink>());
   CollectSink* sink = static_cast<CollectSink*>(st.back().get());
   Pipeline pipe(std::move(st), {.queue_depth = 4});
@@ -111,8 +126,13 @@ struct SweepPoint {
 
 int main(int argc, char** argv) {
   bool json = false;
-  for (int i = 1; i < argc; ++i)
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_frames = 2048;
+      g_reps = 1;
+    }
+  }
 
   std::cout << "validation (randomised frames, pipeline vs serial "
                "composition): ";
@@ -124,13 +144,13 @@ int main(int argc, char** argv) {
 
   // The timed frame set: a fixed-size stream, as a MAC would emit.
   Rng rng(2026);
-  std::vector<Frame> stream(kFrames);
-  for (std::size_t i = 0; i < kFrames; ++i) {
+  std::vector<Frame> stream(g_frames);
+  for (std::size_t i = 0; i < g_frames; ++i) {
     stream[i].id = i;
     stream[i].bytes = rng.next_bytes(kFrameBytes);
   }
   const double total_mb =
-      static_cast<double>(kFrames) * kFrameBytes / 1e6;
+      static_cast<double>(g_frames) * kFrameBytes / 1e6;
 
   // Baseline: the best standalone CRC engine over the same frames. The
   // pipeline adds a scramble stage and the ring hand-offs on top of this,
@@ -156,16 +176,24 @@ int main(int argc, char** argv) {
     const double s_mbps = time_engine(slicing);
     base_name = s_mbps >= t_mbps ? "slicing-by-8" : "table";
     base_mbps = std::max(t_mbps, s_mbps);
+    if (clmul_allowed()) {
+      const ClmulCrc clmul(crcspec::crc32_ethernet());
+      const double c_mbps = time_engine(clmul);
+      if (c_mbps > base_mbps) {
+        base_name = "clmul";
+        base_mbps = c_mbps;
+      }
+    }
     std::cout << "baseline CRC engine : " << base_name << " at "
               << ReportTable::num(base_mbps, 1) << " MB/s ("
-              << kFrames << " frames x " << kFrameBytes << " B)\n\n";
+              << g_frames << " frames x " << kFrameBytes << " B)\n\n";
   }
 
   // Sweep batch size × queue depth. Batches are pre-built outside the
   // timed region; the clock covers start → wait (drain included). Each
   // point runs kReps times and keeps the fastest — same best-of policy as
   // the baseline, so scheduler noise hits both sides of the ratio alike.
-  constexpr int kReps = 3;
+  const int reps = g_reps;
   std::vector<SweepPoint> sweep;
   ReportTable grid({"batch", "depth", "MB/s", "vs best CRC", "prod-stalls"});
   double best_ratio = 0;
@@ -177,7 +205,7 @@ int main(int argc, char** argv) {
       double mbps = 0;
       std::uint64_t producer_stalls = 0;
       std::string stats;
-      for (int rep = 0; rep < kReps; ++rep) {
+      for (int rep = 0; rep < reps; ++rep) {
         std::vector<FrameBatch> batches;
         for (std::size_t i = 0; i < stream.size(); i += batch_size) {
           FrameBatch b;
@@ -197,7 +225,7 @@ int main(int argc, char** argv) {
         pipe.wait();
         const double sec = seconds_since(t0);
 
-        if (!sink->ok() || sink->frames() != kFrames) verify_ok = false;
+        if (!sink->ok() || sink->frames() != g_frames) verify_ok = false;
         if (total_mb / sec > mbps) {
           mbps = total_mb / sec;
           producer_stalls = stalls;
@@ -235,7 +263,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::ofstream out("BENCH_pipeline.json");
-    out << "{\n  \"bench\": \"pipeline\",\n  \"frames\": " << kFrames
+    out << "{\n  \"bench\": \"pipeline\",\n  \"frames\": " << g_frames
         << ",\n  \"frame_bytes\": " << kFrameBytes
         << ",\n  \"baseline\": {\"engine\": \"" << base_name
         << "\", \"mb_per_s\": " << ReportTable::num(base_mbps, 1)

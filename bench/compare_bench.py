@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for CI.
+
+Compares a fresh pair of benchmark JSON files against the committed
+baseline (bench/baseline.json) and fails if any tracked metric regressed
+by more than the threshold (default 40% — wide enough to absorb shared
+CI-runner noise, tight enough to catch a real algorithmic regression
+such as losing the CLMUL fast path or a pipeline stall bug).
+
+Throughput metrics are compared one-sided: only slowdowns fail, speedups
+just update the printed delta. Benchmarks present in the baseline but
+missing from the fresh run fail the gate (a silently dropped benchmark
+is how a perf regression hides); fresh benchmarks absent from the
+baseline are reported but pass, so adding a benchmark does not require
+touching the baseline in the same commit.
+
+Machine-dependent benchmarks (the pclmul ones register only on CPUs with
+the instruction) are handled by recording the hardware ticket in the
+baseline: entries under "requires_clmul" are only expected when the
+fresh crc-engines run itself contains a pclmul benchmark.
+
+Usage:
+  compare_bench.py --baseline bench/baseline.json \
+      --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
+      [--threshold 0.40]
+  compare_bench.py --update --baseline bench/baseline.json \
+      --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def crc_metrics(bench_json):
+    """google-benchmark JSON -> {name/arg: bytes_per_second}."""
+    out = {}
+    for b in bench_json.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        bps = b.get("bytes_per_second")
+        if bps:
+            out[b["name"]] = float(bps)
+    return out
+
+
+def pipeline_metrics(bench_json):
+    """bench_pipeline --json -> {metric: value}."""
+    out = {}
+    base = bench_json.get("baseline", {})
+    if "mb_per_s" in base:
+        out["baseline_crc_mb_per_s"] = float(base["mb_per_s"])
+    for p in bench_json.get("sweep", []):
+        key = "sweep/batch={}/depth={}".format(p["batch"], p["depth"])
+        out[key] = float(p["mb_per_s"])
+    best = bench_json.get("best", {})
+    if "ratio" in best:
+        out["best_ratio"] = float(best["ratio"])
+    return out
+
+
+def collect(crc_path, pipeline_path):
+    fresh = {}
+    for name, value in crc_metrics(load(crc_path)).items():
+        fresh["crc_engines/" + name] = value
+    for name, value in pipeline_metrics(load(pipeline_path)).items():
+        fresh["pipeline/" + name] = value
+    return fresh
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--crc", required=True,
+                    help="BENCH_crc_engines.json from bench_crc_engines")
+    ap.add_argument("--pipeline", required=True,
+                    help="BENCH_pipeline.json from bench_pipeline")
+    ap.add_argument("--threshold", type=float, default=0.40,
+                    help="max allowed fractional slowdown (default 0.40)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the fresh run instead "
+                         "of comparing")
+    args = ap.parse_args()
+
+    fresh = collect(args.crc, args.pipeline)
+    has_clmul = any("Clmul" in k and "Portable" not in k for k in fresh)
+
+    if args.update:
+        doc = {
+            "comment": "committed perf floor; compare_bench.py fails CI on "
+                       "a > threshold slowdown vs these numbers",
+            "threshold": args.threshold,
+            "metrics": {
+                k: round(v, 3) for k, v in sorted(fresh.items())
+                if not ("Clmul" in k and "Portable" not in k)
+            },
+            "requires_clmul": {
+                k: round(v, 3) for k, v in sorted(fresh.items())
+                if "Clmul" in k and "Portable" not in k
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print("baseline updated: {} metrics ({} clmul-gated)".format(
+            len(doc["metrics"]), len(doc["requires_clmul"])))
+        return 0
+
+    base_doc = load(args.baseline)
+    threshold = float(base_doc.get("threshold", args.threshold))
+    expected = dict(base_doc.get("metrics", {}))
+    if has_clmul:
+        expected.update(base_doc.get("requires_clmul", {}))
+    else:
+        skipped = len(base_doc.get("requires_clmul", {}))
+        if skipped:
+            print("note: no pclmul on this host; skipping {} clmul-gated "
+                  "baseline entries".format(skipped))
+
+    failures = []
+    width = max((len(k) for k in expected), default=20)
+    for name in sorted(expected):
+        want = expected[name]
+        got = fresh.get(name)
+        if got is None:
+            failures.append("{}: missing from fresh run".format(name))
+            print("{:<{w}}  MISSING (baseline {:.3g})".format(
+                name, want, w=width))
+            continue
+        delta = (got - want) / want if want else 0.0
+        status = "ok"
+        if delta < -threshold:
+            status = "REGRESSED"
+            failures.append(
+                "{}: {:.3g} -> {:.3g} ({:+.1%}, limit -{:.0%})".format(
+                    name, want, got, delta, threshold))
+        print("{:<{w}}  {:>12.4g}  vs {:>12.4g}  {:+7.1%}  {}".format(
+            name, got, want, delta, status, w=width))
+
+    for name in sorted(set(fresh) - set(expected)):
+        print("{:<{w}}  {:>12.4g}  (new, not in baseline)".format(
+            name, fresh[name], w=width))
+
+    if failures:
+        print("\nFAIL: {} metric(s) regressed beyond {:.0%}:".format(
+            len(failures), threshold))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nOK: no metric regressed beyond {:.0%}".format(threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

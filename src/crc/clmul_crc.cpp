@@ -1,0 +1,319 @@
+// Folding algebra (both kernels, both bit orders).
+//
+// Absorbing n bytes B into raw register R is R' = (R·x^{8n} + B(x)·x^k)
+// mod g. The kernel computes a 128-bit value X ≡ B(x) + R·x^{8n-k}
+// (mod g) without ever reducing mod g in the loop:
+//
+//   - R is XORed into the top k message bits (the first-block injection
+//     trick), making the initial 64-byte block B'.
+//   - Four 128-bit lanes hold the running block; one step multiplies
+//     each lane by x^512 mod g (two carry-less multiplies per lane,
+//     constants k_[0..1]) and XORs in the next 64 bytes.
+//   - The lanes collapse into one 128-bit X with the distance-384/256/128
+//     constants, then 8-byte words continue at distance 64 (k_[8]).
+//   - X·x^k mod g is one 16-byte pass through the embedded Sarwate
+//     table from the zero register: absorbing bits V from raw 0 yields
+//     exactly (V(x)·x^k) mod g.
+//
+// Reflected specs run the same dataflow on bit-reflected words: with
+// ra = reflect64(a), clmul(ra, rb) = reflect128(a·b·x), so every fold
+// constant for distance D is stored pre-divided by x — reflect64(x^{D-1}
+// mod g) — and the extra x of each product cancels it. Message words
+// then load with no bit-reversal at all (plain little-endian loads), the
+// trick that makes reflected CLMUL CRCs fast in real NIC/zlib stacks.
+#include "crc/clmul_crc.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "gf2/gf2_poly.hpp"
+#include "support/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PLFSR_CLMUL_X86 1
+#include <immintrin.h>
+#endif
+
+namespace plfsr {
+
+namespace {
+
+// Endian-explicit loads (the compiler folds these into single moves).
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Low 64 coefficient bits of a reduced polynomial (deg <= 63).
+std::uint64_t poly_word(const Gf2Poly& p) {
+  std::uint64_t w = 0;
+  for (unsigned i = 0; i < 64; ++i)
+    if (p.coeff(i)) w |= std::uint64_t{1} << i;
+  return w;
+}
+
+struct Lane {
+  std::uint64_t q0 = 0, q1 = 0;
+};
+
+inline Lane xor_lane(Lane a, Lane b) { return {a.q0 ^ b.q0, a.q1 ^ b.q1}; }
+
+inline Lane xor3(Lane a, Lane b, Lane c) {
+  return {a.q0 ^ b.q0 ^ c.q0, a.q1 ^ b.q1 ^ c.q1};
+}
+
+/// Portable folding kernel. Lane storage: reflected specs keep the
+/// plain little-endian image (q0 = reflect64 of the chunk's high
+/// coefficient half), non-reflected keep (q0, q1) = (low, high)
+/// coefficient words. Returns the unreduced 128-bit X.
+template <bool Reflected>
+Lane bulk_fold_portable(unsigned width, std::uint64_t raw,
+                        const std::uint8_t* p, std::size_t n,
+                        const std::array<std::uint64_t, 9>& k) {
+  const auto load = [](const std::uint8_t* q) -> Lane {
+    if constexpr (Reflected) return {load_le64(q), load_le64(q + 8)};
+    return {load_be64(q + 8), load_be64(q)};
+  };
+  const auto fold = [&k](Lane v, unsigned lo_idx) -> Lane {
+    // v · x^D mod-congruent: top-half word times k[hi], bottom-half word
+    // times k[lo]. In the reflected image the top half sits in q0.
+    Clmul128 a, b;
+    if constexpr (Reflected) {
+      a = clmul64_portable(v.q0, k[lo_idx + 1]);
+      b = clmul64_portable(v.q1, k[lo_idx]);
+    } else {
+      a = clmul64_portable(v.q1, k[lo_idx + 1]);
+      b = clmul64_portable(v.q0, k[lo_idx]);
+    }
+    return {a.lo ^ b.lo, a.hi ^ b.hi};
+  };
+
+  Lane l0 = load(p), l1 = load(p + 16), l2 = load(p + 32), l3 = load(p + 48);
+  if constexpr (Reflected)
+    l0.q0 ^= reflect_bits(raw, width);
+  else
+    l0.q1 ^= width < 64 ? raw << (64 - width) : raw;
+
+  std::size_t pos = 64;
+  for (; pos + 64 <= n; pos += 64) {
+    l0 = xor_lane(fold(l0, 0), load(p + pos));
+    l1 = xor_lane(fold(l1, 0), load(p + pos + 16));
+    l2 = xor_lane(fold(l2, 0), load(p + pos + 32));
+    l3 = xor_lane(fold(l3, 0), load(p + pos + 48));
+  }
+
+  Lane x = xor_lane(xor3(fold(l0, 6), fold(l1, 4), fold(l2, 2)), l3);
+
+  for (; pos + 8 <= n; pos += 8) {
+    // X·x^64 + next word: fold the departing top half with k[8].
+    if constexpr (Reflected) {
+      const Clmul128 t = clmul64_portable(x.q0, k[8]);
+      x = {t.lo ^ x.q1, t.hi ^ load_le64(p + pos)};
+    } else {
+      const Clmul128 t = clmul64_portable(x.q1, k[8]);
+      x = {t.lo ^ load_be64(p + pos), t.hi ^ x.q0};
+    }
+  }
+  return x;
+}
+
+#ifdef PLFSR_CLMUL_X86
+
+// PCLMULQDQ kernel. Identical dataflow to bulk_fold_portable; the two
+// fold multiplies per lane become one clmul pair on the 128-bit lane
+// register, and the non-reflected byte order is produced by a PSHUFB
+// byte reversal on load. No lambdas here: GCC does not propagate the
+// target attribute into local lambda bodies.
+__attribute__((target("pclmul,sse4.1")))
+Lane bulk_fold_x86(bool reflected, unsigned width, std::uint64_t raw,
+                   const std::uint8_t* p, std::size_t n,
+                   const std::array<std::uint64_t, 9>& k) {
+  const __m128i bswap =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  const __m128i k512 = _mm_set_epi64x(static_cast<long long>(k[1]),
+                                      static_cast<long long>(k[0]));
+  const __m128i k128 = _mm_set_epi64x(static_cast<long long>(k[3]),
+                                      static_cast<long long>(k[2]));
+  const __m128i k256 = _mm_set_epi64x(static_cast<long long>(k[5]),
+                                      static_cast<long long>(k[4]));
+  const __m128i k384 = _mm_set_epi64x(static_cast<long long>(k[7]),
+                                      static_cast<long long>(k[6]));
+  const __m128i k64 = _mm_set_epi64x(static_cast<long long>(k[8]),
+                                     static_cast<long long>(k[8]));
+
+#define PLFSR_LOAD(q)                                              \
+  (reflected ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)) \
+             : _mm_shuffle_epi8(                                    \
+                   _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)), \
+                   bswap))
+// Reflected image: top half in q0 (pairs with the hi constant in the
+// pair's q1); coefficient image: top half in q1.
+#define PLFSR_FOLD(v, kk)                                          \
+  (reflected ? _mm_xor_si128(_mm_clmulepi64_si128((v), (kk), 0x10), \
+                             _mm_clmulepi64_si128((v), (kk), 0x01)) \
+             : _mm_xor_si128(_mm_clmulepi64_si128((v), (kk), 0x11), \
+                             _mm_clmulepi64_si128((v), (kk), 0x00)))
+
+  __m128i l0 = PLFSR_LOAD(p), l1 = PLFSR_LOAD(p + 16),
+          l2 = PLFSR_LOAD(p + 32), l3 = PLFSR_LOAD(p + 48);
+  if (reflected) {
+    const std::uint64_t inj = reflect_bits(raw, width);
+    l0 = _mm_xor_si128(l0, _mm_set_epi64x(0, static_cast<long long>(inj)));
+  } else {
+    const std::uint64_t inj = width < 64 ? raw << (64 - width) : raw;
+    l0 = _mm_xor_si128(l0, _mm_set_epi64x(static_cast<long long>(inj), 0));
+  }
+
+  std::size_t pos = 64;
+  for (; pos + 64 <= n; pos += 64) {
+    l0 = _mm_xor_si128(PLFSR_FOLD(l0, k512), PLFSR_LOAD(p + pos));
+    l1 = _mm_xor_si128(PLFSR_FOLD(l1, k512), PLFSR_LOAD(p + pos + 16));
+    l2 = _mm_xor_si128(PLFSR_FOLD(l2, k512), PLFSR_LOAD(p + pos + 32));
+    l3 = _mm_xor_si128(PLFSR_FOLD(l3, k512), PLFSR_LOAD(p + pos + 48));
+  }
+
+  __m128i x = _mm_xor_si128(
+      _mm_xor_si128(PLFSR_FOLD(l0, k384), PLFSR_FOLD(l1, k256)),
+      _mm_xor_si128(PLFSR_FOLD(l2, k128), l3));
+
+  for (; pos + 8 <= n; pos += 8) {
+    if (reflected) {
+      const __m128i t = _mm_clmulepi64_si128(x, k64, 0x00);
+      const std::uint64_t w = load_le64(p + pos);
+      x = _mm_xor_si128(t, _mm_xor_si128(_mm_srli_si128(x, 8),
+                                         _mm_set_epi64x(
+                                             static_cast<long long>(w), 0)));
+    } else {
+      const __m128i t = _mm_clmulepi64_si128(x, k64, 0x11);
+      const std::uint64_t w = load_be64(p + pos);
+      x = _mm_xor_si128(t, _mm_xor_si128(_mm_slli_si128(x, 8),
+                                         _mm_set_epi64x(
+                                             0, static_cast<long long>(w))));
+    }
+  }
+#undef PLFSR_LOAD
+#undef PLFSR_FOLD
+
+  Lane out;
+  out.q0 = static_cast<std::uint64_t>(_mm_extract_epi64(x, 0));
+  out.q1 = static_cast<std::uint64_t>(_mm_extract_epi64(x, 1));
+  return out;
+}
+
+#endif  // PLFSR_CLMUL_X86
+
+}  // namespace
+
+Clmul128 clmul64_portable(std::uint64_t a, std::uint64_t b) {
+  // 4-bit windows of a against precomputed b·{0..15} (each at most 67
+  // bits: a low word plus a 3-bit spill).
+  std::uint64_t tlo[16], thi[16];
+  tlo[0] = 0;
+  thi[0] = 0;
+  tlo[1] = b;
+  thi[1] = 0;
+  for (int i = 2; i < 16; i += 2) {
+    tlo[i] = tlo[i / 2] << 1;
+    thi[i] = (thi[i / 2] << 1) | (tlo[i / 2] >> 63);
+    tlo[i + 1] = tlo[i] ^ b;
+    thi[i + 1] = thi[i];
+  }
+  std::uint64_t lo = 0, hi = 0;
+  for (int s = 60; s >= 0; s -= 4) {
+    hi = (hi << 4) | (lo >> 60);
+    lo <<= 4;
+    const unsigned w = static_cast<unsigned>(a >> s) & 0xF;
+    lo ^= tlo[w];
+    hi ^= thi[w];
+  }
+  return {lo, hi};
+}
+
+ClmulCrc::ClmulCrc(const CrcSpec& spec, ClmulKernel kernel)
+    : base_(spec), reflected_(spec.reflect_in) {
+  switch (kernel) {
+    case ClmulKernel::kAuto:
+      accelerated_ = clmul_allowed();
+      break;
+    case ClmulKernel::kPortable:
+      accelerated_ = false;
+      break;
+    case ClmulKernel::kAccelerated:
+      if (!cpu_features().pclmul || !cpu_features().sse41)
+        throw std::runtime_error(
+            "ClmulCrc: PCLMULQDQ/SSE4.1 not available on this CPU");
+      accelerated_ = true;
+      break;
+  }
+#ifndef PLFSR_CLMUL_X86
+  if (accelerated_)
+    throw std::runtime_error("ClmulCrc: accelerated kernel not compiled in");
+#endif
+
+  // Fold constants from the generator: x^D mod g via square-and-multiply.
+  // Reflected constants are pre-divided by x (distance D stores
+  // x^{D-1} mod g, bit-reflected) so the +1 degree of every
+  // reflected-domain carry-less product cancels.
+  const Gf2Poly g = spec.generator();
+  const unsigned dist[9] = {512, 576, 128, 192, 256, 320, 384, 448, 128};
+  for (int i = 0; i < 9; ++i) {
+    const std::uint64_t e = reflected_ ? dist[i] - 1 : dist[i];
+    const std::uint64_t w = poly_word(Gf2Poly::x_pow_mod(e, g));
+    k_[static_cast<std::size_t>(i)] = reflected_ ? reflect_bits(w, 64) : w;
+  }
+}
+
+const char* ClmulCrc::kernel_name() const {
+  return accelerated_ ? "pclmul" : "portable";
+}
+
+std::uint64_t ClmulCrc::absorb_bulk(std::uint64_t raw, const std::uint8_t* p,
+                                    std::size_t n) const {
+  const unsigned width = spec().width;
+  Lane x;
+#ifdef PLFSR_CLMUL_X86
+  if (accelerated_)
+    x = bulk_fold_x86(reflected_, width, raw, p, n, k_);
+  else
+#endif
+    x = reflected_ ? bulk_fold_portable<true>(width, raw, p, n, k_)
+                   : bulk_fold_portable<false>(width, raw, p, n, k_);
+
+  // Final reduction: X·x^k mod g == absorbing X's 128 bits from the
+  // zero register, i.e. one 16-byte pass through the Sarwate table.
+  std::uint8_t buf[16];
+  if (reflected_) {
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<std::uint8_t>(x.q0 >> (8 * i));
+      buf[8 + i] = static_cast<std::uint8_t>(x.q1 >> (8 * i));
+    }
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<std::uint8_t>(x.q1 >> (56 - 8 * i));
+      buf[8 + i] = static_cast<std::uint8_t>(x.q0 >> (56 - 8 * i));
+    }
+  }
+  return base_.raw_register(base_.absorb(0, {buf, 16}));
+}
+
+std::uint64_t ClmulCrc::absorb(std::uint64_t state,
+                               std::span<const std::uint8_t> bytes) const {
+  const std::size_t bulk = bytes.size() & ~std::size_t{7};
+  if (bulk < 64) return base_.absorb(state, bytes);
+  const std::uint64_t raw =
+      absorb_bulk(base_.raw_register(state), bytes.data(), bulk);
+  return base_.absorb(base_.state_from_raw(raw), bytes.subspan(bulk));
+}
+
+std::uint64_t ClmulCrc::compute(std::span<const std::uint8_t> bytes) const {
+  return finalize(absorb(initial_state(), bytes));
+}
+
+}  // namespace plfsr

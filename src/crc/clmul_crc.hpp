@@ -1,0 +1,103 @@
+// CLMUL folding CRC — the carry-less-multiply realisation of the
+// Ji/Killian GFMAC decomposition (src/crc/gfmac_crc.hpp):
+//
+//   CRC[A(x)] = sum_i (W_i(x) * beta_i) mod g(x)
+//
+// where the beta_i fold constants are x^D mod g for the lane distances D.
+// A 64-byte block is held as four 128-bit lanes; one folding step
+// multiplies each lane by x^512 mod g with two carry-less multiplies and
+// XORs in the next block — the dense GF(2) work rides the multiplier's
+// feed-forward datapath exactly the way the paper moves it into PiCoGA's
+// feed-forward rows, leaving only XOR accumulation in the loop.
+//
+// Two bit-exact kernels are compiled into every binary:
+//   - an x86 PCLMULQDQ/SSE4.1 kernel behind __attribute__((target)), and
+//   - a portable kernel on a software 64x64 carry-less multiply.
+// Construction picks the best one the machine supports (see
+// support/cpu_features.hpp; PLFSR_FORCE_PORTABLE=1 forces the portable
+// one). All fold and reduction constants are derived from the CrcSpec's
+// generator with Gf2Poly::x_pow_mod at construction — any width <= 64,
+// reflected or not, no hard-coded CRC-32 tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crc/crc_spec.hpp"
+#include "crc/table_crc.hpp"
+
+namespace plfsr {
+
+/// Kernel selection for ClmulCrc.
+enum class ClmulKernel {
+  kAuto,         ///< best allowed: accelerated if the CPU has it
+  kPortable,     ///< software carry-less multiply (always available)
+  kAccelerated,  ///< PCLMULQDQ; construction throws if unsupported
+};
+
+/// Folding CRC engine over 64-byte blocks for any CrcSpec with
+/// reflect_in == reflect_out (same restriction as TableCrc; every
+/// catalogue spec qualifies). Exposes the shared byte-streaming
+/// interface, so it runs under ParallelCrc, FcsStage and the engine
+/// audit unchanged. Buffers below one block fall back to the embedded
+/// byte table.
+class ClmulCrc {
+ public:
+  explicit ClmulCrc(const CrcSpec& spec, ClmulKernel kernel = ClmulKernel::kAuto);
+
+  const CrcSpec& spec() const { return base_.spec(); }
+
+  /// The kernel actually selected ("pclmul" or "portable").
+  const char* kernel_name() const;
+  bool accelerated() const { return accelerated_; }
+
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+  /// Shared byte-streaming interface (state convention == TableCrc's).
+  std::uint64_t initial_state() const { return base_.initial_state(); }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const;
+  std::uint64_t finalize(std::uint64_t state) const {
+    return base_.finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const {
+    return base_.raw_register(state);
+  }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return base_.state_from_raw(raw);
+  }
+
+  /// Fold/reduction constants, exposed for the tests that check them
+  /// against first-principles Gf2Poly arithmetic. Layout (all reduced
+  /// mod g; reflected specs store the bit-reflected word of the
+  /// (D-1)-power, the pre-shift that absorbs the reflected-product's
+  /// extra x — see clmul_crc.cpp):
+  ///   [0..1] x^512, x^576    (block fold, distance 512)
+  ///   [2..3] x^128, x^192    (lane combine, distance 128)
+  ///   [4..5] x^256, x^320    (lane combine, distance 256)
+  ///   [6..7] x^384, x^448    (lane combine, distance 384)
+  ///   [8]    x^128           (64-bit tail step)
+  const std::array<std::uint64_t, 9>& fold_constants() const {
+    return k_;
+  }
+
+ private:
+  std::uint64_t absorb_bulk(std::uint64_t raw,
+                            const std::uint8_t* p, std::size_t n) const;
+
+  TableCrc base_;      ///< small-buffer fallback, tails, final reduction
+  bool reflected_ = false;
+  bool accelerated_ = false;
+  std::array<std::uint64_t, 9> k_{};
+};
+
+/// Software 64x64 carry-less multiply: c(x) = a(x)*b(x) over GF(2),
+/// the full 128-bit product as {lo, hi} coefficient words. The portable
+/// kernel's primitive; unit-tested against Gf2Poly multiplication.
+struct Clmul128 {
+  std::uint64_t lo = 0, hi = 0;
+};
+Clmul128 clmul64_portable(std::uint64_t a, std::uint64_t b);
+
+}  // namespace plfsr

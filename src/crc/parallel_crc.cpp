@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "crc/clmul_crc.hpp"
 #include "crc/gfmac_crc.hpp"
 #include "crc/matrix_crc.hpp"
 #include "crc/slicing_crc.hpp"
@@ -72,6 +73,7 @@ std::uint64_t ParallelCrc<Engine>::compute(
   return finalize(absorb(initial_state(), bytes));
 }
 
+template class ParallelCrc<ClmulCrc>;
 template class ParallelCrc<TableCrc>;
 template class ParallelCrc<SlicingCrc<4>>;
 template class ParallelCrc<SlicingCrc<8>>;

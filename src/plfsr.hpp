@@ -7,6 +7,7 @@
 
 // Support
 #include "support/bitstream.hpp"
+#include "support/cpu_features.hpp"
 #include "support/report.hpp"
 #include "support/rng.hpp"
 
@@ -24,8 +25,11 @@
 #include "lfsr/lookahead.hpp"
 
 // CRC engines & analysis
+#include "crc/clmul_crc.hpp"
+#include "crc/crc_combine.hpp"
 #include "crc/crc_spec.hpp"
 #include "crc/derby_crc.hpp"
+#include "crc/parallel_crc.hpp"
 #include "crc/error_model.hpp"
 #include "crc/ethernet.hpp"
 #include "crc/gfmac_crc.hpp"

@@ -1,0 +1,44 @@
+#include "support/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define PLFSR_X86 1
+#endif
+
+namespace plfsr {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#ifdef PLFSR_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.pclmul = (ecx & bit_PCLMUL) != 0;
+    f.sse41 = (ecx & bit_SSE4_1) != 0;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+bool force_portable() {
+  const char* v = std::getenv("PLFSR_FORCE_PORTABLE");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool clmul_allowed() {
+  const CpuFeatures& f = cpu_features();
+  return f.pclmul && f.sse41 && !force_portable();
+}
+
+}  // namespace plfsr

@@ -1,0 +1,34 @@
+// Runtime CPU feature detection for the dispatching CRC engines.
+//
+// The CLMUL folding engine compiles both an accelerated x86 kernel
+// (PCLMULQDQ + SSE4.1, behind __attribute__((target))) and a portable
+// scalar kernel into every binary; at construction it asks this module
+// which one the machine can actually run. Detection is one CPUID probe,
+// cached for the process. Setting the environment variable
+// PLFSR_FORCE_PORTABLE (to anything but "" or "0") vetoes the
+// accelerated kernels — the escape hatch for A/B testing and for the
+// forced-fallback equivalence tests.
+#pragma once
+
+namespace plfsr {
+
+/// Instruction-set capabilities relevant to the GF(2) hot paths.
+struct CpuFeatures {
+  bool pclmul = false;  ///< PCLMULQDQ (carry-less multiply)
+  bool sse41 = false;   ///< SSE4.1 (implies SSSE3/SSE2 shuffles and loads)
+};
+
+/// CPUID-derived features of this machine (probed once, then cached).
+/// All-false on non-x86 builds.
+const CpuFeatures& cpu_features();
+
+/// True iff PLFSR_FORCE_PORTABLE is set to a non-empty value other than
+/// "0". Read from the environment on every call (not cached) so tests
+/// can flip it between engine constructions.
+bool force_portable();
+
+/// True iff the CLMUL kernels may be used: hardware support present and
+/// not vetoed by PLFSR_FORCE_PORTABLE.
+bool clmul_allowed();
+
+}  // namespace plfsr

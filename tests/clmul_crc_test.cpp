@@ -1,0 +1,176 @@
+// CLMUL folding engine: bit-exactness of both kernels against the table
+// reference on every catalogue spec, forced-fallback equivalence under
+// PLFSR_FORCE_PORTABLE, the fold constants against first-principles
+// Gf2Poly arithmetic, and the software carry-less multiply against
+// polynomial multiplication.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "crc/clmul_crc.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "gf2/gf2_poly.hpp"
+#include "support/cpu_features.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+bool accel_available() {
+  return cpu_features().pclmul && cpu_features().sse41;
+}
+
+TEST(Clmul64Portable, MatchesGf2PolyProduct) {
+  Rng rng(90);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const Gf2Poly p = Gf2Poly::from_word(a) * Gf2Poly::from_word(b);
+    const Clmul128 c = clmul64_portable(a, b);
+    for (unsigned bit = 0; bit < 128; ++bit) {
+      const bool got =
+          bit < 64 ? (c.lo >> bit) & 1 : (c.hi >> (bit - 64)) & 1;
+      ASSERT_EQ(got, p.coeff(bit)) << "a=" << a << " b=" << b
+                                   << " bit=" << bit;
+    }
+  }
+}
+
+TEST(Clmul64Portable, EdgeOperands) {
+  EXPECT_EQ(clmul64_portable(0, 0x123456789ABCDEFull).lo, 0u);
+  EXPECT_EQ(clmul64_portable(1, 0xFFFFFFFFFFFFFFFFull).lo,
+            0xFFFFFFFFFFFFFFFFull);
+  // x^63 * x^63 = x^126.
+  const Clmul128 sq = clmul64_portable(1ull << 63, 1ull << 63);
+  EXPECT_EQ(sq.lo, 0u);
+  EXPECT_EQ(sq.hi, 1ull << 62);
+}
+
+TEST(ClmulCrc, FoldConstantsComeFromTheGenerator) {
+  // The exposed constants must be x^D mod g (bit-reflected x^{D-1} mod g
+  // for reflected specs) — no hard-coded CRC-32 values.
+  const unsigned dist[9] = {512, 576, 128, 192, 256, 320, 384, 448, 128};
+  for (const CrcSpec& s : {crcspec::crc32_ethernet(), crcspec::crc32_mpeg2(),
+                           crcspec::crc16_kermit(), crcspec::crc64_xz(),
+                           crcspec::crc5_usb()}) {
+    const ClmulCrc engine(s, ClmulKernel::kPortable);
+    const Gf2Poly g = s.generator();
+    for (int i = 0; i < 9; ++i) {
+      const Gf2Poly r = Gf2Poly::x_pow_mod(
+          s.reflect_in ? dist[i] - 1 : dist[i], g);
+      std::uint64_t w = 0;
+      for (unsigned bit = 0; bit < 64; ++bit)
+        if (r.coeff(bit)) w |= std::uint64_t{1} << bit;
+      if (s.reflect_in) w = reflect_bits(w, 64);
+      EXPECT_EQ(engine.fold_constants()[static_cast<std::size_t>(i)], w)
+          << s.name << " constant " << i;
+    }
+  }
+}
+
+TEST(ClmulCrc, PortableMatchesTableOnRandomLengths) {
+  Rng rng(91);
+  for (const CrcSpec& s : crcspec::all()) {
+    const TableCrc ref(s);
+    const ClmulCrc engine(s, ClmulKernel::kPortable);
+    EXPECT_FALSE(engine.accelerated());
+    EXPECT_STREQ(engine.kernel_name(), "portable");
+    for (int i = 0; i < 24; ++i) {
+      const auto msg = rng.next_bytes(rng.next_below(4097));
+      EXPECT_EQ(engine.compute(msg), ref.compute(msg))
+          << s.name << " len=" << msg.size();
+    }
+  }
+}
+
+TEST(ClmulCrc, AcceleratedMatchesPortableOnRandomLengths) {
+  // The forced-fallback equivalence gate: identical CRCs from both
+  // kernels on random lengths 0..4096 (block boundaries included by
+  // construction: 64, 128, ... land in the range).
+  if (!accel_available())
+    GTEST_SKIP() << "no PCLMULQDQ on this machine";
+  Rng rng(92);
+  for (const CrcSpec& s : crcspec::all()) {
+    const ClmulCrc acc(s, ClmulKernel::kAccelerated);
+    const ClmulCrc port(s, ClmulKernel::kPortable);
+    EXPECT_TRUE(acc.accelerated());
+    EXPECT_STREQ(acc.kernel_name(), "pclmul");
+    for (int i = 0; i < 32; ++i) {
+      const auto msg = rng.next_bytes(rng.next_below(4097));
+      EXPECT_EQ(acc.compute(msg), port.compute(msg))
+          << s.name << " len=" << msg.size();
+    }
+    // Exact block-boundary lengths.
+    for (std::size_t len : {63u, 64u, 65u, 71u, 72u, 127u, 128u, 4096u}) {
+      const auto msg = rng.next_bytes(len);
+      EXPECT_EQ(acc.compute(msg), port.compute(msg))
+          << s.name << " len=" << len;
+    }
+  }
+}
+
+TEST(ClmulCrc, ForcePortableEnvDowngradesAutoKernel) {
+  // kAuto under PLFSR_FORCE_PORTABLE=1 must select the portable kernel
+  // and still produce identical CRCs.
+  Rng rng(93);
+  const CrcSpec s = crcspec::crc32_ethernet();
+  const auto msg = rng.next_bytes(2048);
+
+  ASSERT_EQ(setenv("PLFSR_FORCE_PORTABLE", "1", 1), 0);
+  const ClmulCrc forced(s);
+  EXPECT_FALSE(forced.accelerated());
+  const std::uint64_t crc_forced = forced.compute(msg);
+  ASSERT_EQ(unsetenv("PLFSR_FORCE_PORTABLE"), 0);
+
+  const ClmulCrc auto_engine(s);
+  EXPECT_EQ(auto_engine.accelerated(),
+            accel_available());  // env veto lifted
+  EXPECT_EQ(auto_engine.compute(msg), crc_forced);
+  EXPECT_EQ(crc_forced, TableCrc(s).compute(msg));
+}
+
+TEST(ClmulCrc, ExplicitAcceleratedThrowsWithoutHardware) {
+  if (accel_available())
+    GTEST_SKIP() << "hardware present; nothing to refuse";
+  EXPECT_THROW(ClmulCrc(crcspec::crc32_ethernet(),
+                        ClmulKernel::kAccelerated),
+               std::runtime_error);
+}
+
+TEST(ClmulCrc, StreamingSplitEqualsOneShotAcrossBlockBoundaries) {
+  // Cuts on either side of the 64-byte block and 8-byte word boundaries
+  // exercise every bulk/table hand-off in absorb().
+  Rng rng(94);
+  for (const CrcSpec& s : {crcspec::crc32_ethernet(), crcspec::crc32_mpeg2(),
+                           crcspec::crc64_xz(), crcspec::crc16_kermit()}) {
+    for (const ClmulKernel kind :
+         {ClmulKernel::kPortable, ClmulKernel::kAuto}) {
+      const ClmulCrc engine(s, kind);
+      const auto msg = rng.next_bytes(517);
+      const std::uint64_t expect = engine.compute(msg);
+      EXPECT_EQ(expect, TableCrc(s).compute(msg)) << s.name;
+      for (std::size_t cut : {0u, 1u, 7u, 8u, 63u, 64u, 65u, 128u, 200u,
+                              511u, 517u}) {
+        std::uint64_t st = engine.initial_state();
+        st = engine.absorb(st, {msg.data(), cut});
+        st = engine.absorb(st, {msg.data() + cut, msg.size() - cut});
+        EXPECT_EQ(engine.finalize(st), expect)
+            << s.name << " cut=" << cut << " kernel=" << engine.kernel_name();
+      }
+    }
+  }
+}
+
+TEST(ClmulCrc, CheckValues) {
+  const std::uint8_t kCheckMsg[] = {'1', '2', '3', '4', '5',
+                                    '6', '7', '8', '9'};
+  EXPECT_EQ(ClmulCrc(crcspec::crc32_ethernet()).compute(kCheckMsg),
+            0xCBF43926u);
+  EXPECT_EQ(ClmulCrc(crcspec::crc64_xz()).compute(kCheckMsg),
+            0x995DC9BBDF1939FAull);
+  EXPECT_EQ(ClmulCrc(crcspec::crc16_xmodem()).compute(kCheckMsg), 0x31C3u);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,63 @@
+// Runtime CPU dispatch layer: probe stability, the PLFSR_FORCE_PORTABLE
+// veto, and (on x86) agreement with the compiler's own CPU probe.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/cpu_features.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(CpuFeatures, ProbeIsCachedAndStable) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);  // one cached probe per process
+  EXPECT_EQ(a.pclmul, b.pclmul);
+  EXPECT_EQ(a.sse41, b.sse41);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+TEST(CpuFeatures, AgreesWithCompilerBuiltinProbe) {
+  EXPECT_EQ(cpu_features().pclmul,
+            static_cast<bool>(__builtin_cpu_supports("pclmul")));
+  EXPECT_EQ(cpu_features().sse41,
+            static_cast<bool>(__builtin_cpu_supports("sse4.1")));
+}
+#else
+TEST(CpuFeatures, AllFalseOffX86) {
+  EXPECT_FALSE(cpu_features().pclmul);
+  EXPECT_FALSE(cpu_features().sse41);
+}
+#endif
+
+TEST(CpuFeatures, ForcePortableFollowsTheEnvironment) {
+  ASSERT_EQ(unsetenv("PLFSR_FORCE_PORTABLE"), 0);
+  EXPECT_FALSE(force_portable());
+
+  ASSERT_EQ(setenv("PLFSR_FORCE_PORTABLE", "1", 1), 0);
+  EXPECT_TRUE(force_portable());
+  EXPECT_FALSE(clmul_allowed());  // veto regardless of hardware
+
+  // "0" and the empty string mean "not forced" — the documented knob is
+  // boolean-ish, not merely set/unset.
+  ASSERT_EQ(setenv("PLFSR_FORCE_PORTABLE", "0", 1), 0);
+  EXPECT_FALSE(force_portable());
+  ASSERT_EQ(setenv("PLFSR_FORCE_PORTABLE", "", 1), 0);
+  EXPECT_FALSE(force_portable());
+
+  ASSERT_EQ(setenv("PLFSR_FORCE_PORTABLE", "yes", 1), 0);
+  EXPECT_TRUE(force_portable());
+
+  ASSERT_EQ(unsetenv("PLFSR_FORCE_PORTABLE"), 0);
+  EXPECT_FALSE(force_portable());
+}
+
+TEST(CpuFeatures, ClmulAllowedRequiresBothFeatureBits) {
+  ASSERT_EQ(unsetenv("PLFSR_FORCE_PORTABLE"), 0);
+  const CpuFeatures& f = cpu_features();
+  EXPECT_EQ(clmul_allowed(), f.pclmul && f.sse41);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -6,6 +6,7 @@
 #include <span>
 #include <tuple>
 
+#include "crc/clmul_crc.hpp"
 #include "crc/crc_spec.hpp"
 #include "crc/derby_crc.hpp"
 #include "crc/gfmac_crc.hpp"
@@ -205,6 +206,8 @@ TEST_P(EdgeLengths, AllEnginesAgreeWithSerialOnShortInputs) {
     const MatrixCrc matrix(s, 32);
     const GfmacCrc gfmac(s, 32);
     const WideTableCrc wide(s, 8);
+    const ClmulCrc clmul(s);
+    const ClmulCrc clmul_port(s, ClmulKernel::kPortable);
     EXPECT_EQ(table.compute(msg), expect)
         << "TableCrc " << s.name << " len=" << len;
     EXPECT_EQ(matrix.compute(msg), expect)
@@ -213,10 +216,17 @@ TEST_P(EdgeLengths, AllEnginesAgreeWithSerialOnShortInputs) {
         << "GfmacCrc " << s.name << " len=" << len;
     EXPECT_EQ(wide.compute(msg), expect)
         << "WideTableCrc " << s.name << " len=" << len;
+    EXPECT_EQ(clmul.compute(msg), expect)
+        << "ClmulCrc " << s.name << " len=" << len;
+    EXPECT_EQ(clmul_port.compute(msg), expect)
+        << "ClmulCrc(portable) " << s.name << " len=" << len;
     check_streaming_interface(table, msg, expect, "TableCrc", s);
     check_streaming_interface(matrix, msg, expect, "MatrixCrc", s);
     check_streaming_interface(gfmac, msg, expect, "GfmacCrc", s);
     check_streaming_interface(wide, msg, expect, "WideTableCrc", s);
+    check_streaming_interface(clmul, msg, expect, "ClmulCrc", s);
+    check_streaming_interface(clmul_port, msg, expect, "ClmulCrc(portable)",
+                              s);
     if (s.reflect_in && s.reflect_out) {
       const SlicingBy4Crc s4(s);
       const SlicingBy8Crc s8(s);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crc/clmul_crc.hpp"
 #include "crc/crc_combine.hpp"
 #include "crc/gfmac_crc.hpp"
 #include "crc/matrix_crc.hpp"
@@ -166,13 +167,21 @@ TEST(ParallelCrc, WorksOverEveryWrappedEngineKind) {
     EXPECT_EQ(
         ParallelCrc<WideTableCrc>(WideTableCrc(s, 8), 4, 1).compute(msg),
         expect);
+    // The CLMUL folding engine shards like any byte-wise engine, under
+    // either kernel.
+    EXPECT_EQ(ParallelCrc<ClmulCrc>(ClmulCrc(s), 4, 1).compute(msg), expect);
+    EXPECT_EQ(ParallelCrc<ClmulCrc>(ClmulCrc(s, ClmulKernel::kPortable), 4, 1)
+                  .compute(msg),
+              expect);
   }
   {
-    // Non-reflected spec through the WideTableCrc wrapper.
+    // Non-reflected spec through the WideTableCrc and ClmulCrc wrappers.
     const CrcSpec s = crcspec::crc32_mpeg2();
     EXPECT_EQ(
         ParallelCrc<WideTableCrc>(WideTableCrc(s, 8), 4, 1).compute(msg),
         serial_crc(s, msg));
+    EXPECT_EQ(ParallelCrc<ClmulCrc>(ClmulCrc(s), 4, 1).compute(msg),
+              serial_crc(s, msg));
   }
   {
     // 64-bit reflected spec: shard folding with a full-width register.
