@@ -22,9 +22,10 @@ fresh crc-engines run itself contains a pclmul benchmark.
 Usage:
   compare_bench.py --baseline bench/baseline.json \
       --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
-      [--threshold 0.40]
+      --scrambler BENCH_scrambler.json [--threshold 0.40]
   compare_bench.py --update --baseline bench/baseline.json \
-      --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json
+      --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
+      --scrambler BENCH_scrambler.json
 """
 
 import argparse
@@ -64,12 +65,27 @@ def pipeline_metrics(bench_json):
     return out
 
 
-def collect(crc_path, pipeline_path):
+def scrambler_metrics(bench_json):
+    """bench_scrambler --json -> {metric: value}."""
+    out = {}
+    for key in ("serial_mb_per_s", "mlevel_mb_per_s",
+                "block_keystream_mb_per_s", "block_mb_per_s"):
+        if key in bench_json:
+            out[key] = float(bench_json[key])
+    for p in bench_json.get("parallel", []):
+        out["parallel/shards={}".format(p["shards"])] = float(p["mb_per_s"])
+    return out
+
+
+def collect(crc_path, pipeline_path, scrambler_path):
     fresh = {}
     for name, value in crc_metrics(load(crc_path)).items():
         fresh["crc_engines/" + name] = value
     for name, value in pipeline_metrics(load(pipeline_path)).items():
         fresh["pipeline/" + name] = value
+    if scrambler_path:
+        for name, value in scrambler_metrics(load(scrambler_path)).items():
+            fresh["scrambler/" + name] = value
     return fresh
 
 
@@ -80,6 +96,8 @@ def main():
                     help="BENCH_crc_engines.json from bench_crc_engines")
     ap.add_argument("--pipeline", required=True,
                     help="BENCH_pipeline.json from bench_pipeline")
+    ap.add_argument("--scrambler", default=None,
+                    help="BENCH_scrambler.json from bench_scrambler")
     ap.add_argument("--threshold", type=float, default=0.40,
                     help="max allowed fractional slowdown (default 0.40)")
     ap.add_argument("--update", action="store_true",
@@ -87,7 +105,7 @@ def main():
                          "of comparing")
     args = ap.parse_args()
 
-    fresh = collect(args.crc, args.pipeline)
+    fresh = collect(args.crc, args.pipeline, args.scrambler)
     has_clmul = any("Clmul" in k and "Portable" not in k for k in fresh)
 
     if args.update:

@@ -1,44 +1,17 @@
 #include "crc/crc_combine.hpp"
 
-#include <bit>
-
 #include "gf2/gf2_matrix.hpp"
 #include "gf2/gf2_poly.hpp"
 
 namespace plfsr {
 
-namespace {
-
-std::uint64_t apply(const std::array<std::uint64_t, 64>& cols,
-                    std::uint64_t v) {
-  std::uint64_t y = 0;
-  while (v) {
-    y ^= cols[static_cast<std::size_t>(std::countr_zero(v))];
-    v &= v - 1;
-  }
-  return y;
-}
-
-}  // namespace
-
-CrcCombine::CrcCombine(const CrcSpec& spec) : spec_(spec) {
-  const Gf2Poly g = spec.generator();
-  // Successive squaring in the matrix domain: start at the companion
-  // matrix (multiplication by x) and square 63 times.
-  Gf2Matrix m = poly_mult_matrix(Gf2Poly::x_pow(1), g);
-  for (auto& level : pow_) {
-    for (unsigned j = 0; j < spec_.width; ++j)
-      level[j] = m.column(j).to_word();
-    m = m * m;
-  }
-}
+CrcCombine::CrcCombine(const CrcSpec& spec)
+    : spec_(spec),
+      adv_(poly_mult_matrix(Gf2Poly::x_pow(1), spec.generator())) {}
 
 std::uint64_t CrcCombine::advance_bits(std::uint64_t raw,
                                        std::uint64_t n_bits) const {
-  raw &= spec_.mask();
-  for (std::size_t i = 0; n_bits != 0; n_bits >>= 1, ++i)
-    if (n_bits & 1) raw = apply(pow_[i], raw);
-  return raw;
+  return adv_.advance(raw, n_bits);
 }
 
 std::uint64_t CrcCombine::advance(std::uint64_t raw,

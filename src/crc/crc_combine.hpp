@@ -13,10 +13,10 @@
 // advance over any segment length costs O(log n) 64-bit matrix applies.
 #pragma once
 
-#include <array>
 #include <cstdint>
 
 #include "crc/crc_spec.hpp"
+#include "gf2/gf2_advance.hpp"
 
 namespace plfsr {
 
@@ -47,10 +47,11 @@ class CrcCombine {
 
  private:
   CrcSpec spec_;
-  // pow_[i] = multiplication-by-x^{2^i} matrix mod g, stored column-wise
-  // (pow_[i][j] = x^{2^i + j} mod g as a register word) so a matrix apply
-  // is an XOR gather over the set bits of the state.
-  std::array<std::array<std::uint64_t, 64>, 64> pow_{};
+  // The multiplication-by-x^{2^i} tables mod g live in the shared
+  // Gf2Advance helper (BlockScrambler uses the same machinery for
+  // seekable keystreams); here the advanced map is the Galois companion
+  // matrix, i.e. multiplication by x on GF(2)[x]/g(x).
+  Gf2Advance adv_;
 };
 
 }  // namespace plfsr

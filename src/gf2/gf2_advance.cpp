@@ -1,0 +1,40 @@
+#include "gf2/gf2_advance.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace plfsr {
+
+Gf2Advance::Gf2Advance(const Gf2Matrix& a) : dim_(a.rows()) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("Gf2Advance: matrix must be square");
+  if (dim_ == 0 || dim_ > 64)
+    throw std::invalid_argument("Gf2Advance: dimension must be in [1, 64]");
+  mask_ = dim_ == 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << dim_) - 1;
+  for (std::size_t j = 0; j < dim_; ++j)
+    pow_[0][j] = a.column(j).to_word();
+  // (A^{2^i})^2 column j = A^{2^i} applied to its own column j.
+  for (std::size_t i = 1; i < pow_.size(); ++i)
+    for (std::size_t j = 0; j < dim_; ++j)
+      pow_[i][j] = gather(pow_[i - 1], pow_[i - 1][j]);
+}
+
+std::uint64_t Gf2Advance::gather(const std::array<std::uint64_t, 64>& cols,
+                                 std::uint64_t v) {
+  std::uint64_t y = 0;
+  while (v) {
+    y ^= cols[static_cast<std::size_t>(std::countr_zero(v))];
+    v &= v - 1;
+  }
+  return y;
+}
+
+std::uint64_t Gf2Advance::advance(std::uint64_t v, std::uint64_t n) const {
+  v &= mask_;
+  for (std::size_t i = 0; n != 0; n >>= 1, ++i)
+    if (n & 1) v = gather(pow_[i], v);
+  return v;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,50 @@
+// Log-time state advance for packed GF(2) linear maps — the shared home
+// of the x^{2^i} advance machinery that CrcCombine introduced for the
+// shard-combine operator and that BlockScrambler reuses for seekable
+// keystreams.
+//
+// Any k-dimensional (k <= 64) linear map A over GF(2) is stored as 64
+// packed column words per power: level i holds the columns of A^{2^i},
+// built by repeated squaring at construction. Applying a level to a
+// packed state is an XOR gather over the set bits of the state, so
+// advancing a state by n steps costs O(popcount(n)) gathers — zlib's
+// crc32_combine trick generalised to every companion-form matrix in the
+// repo (Galois CRC registers and Fibonacci scrambler registers alike).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gf2/gf2_matrix.hpp"
+
+namespace plfsr {
+
+/// Precomputed A^{2^i} column tables for a square GF(2) matrix of
+/// dimension <= 64; states are packed words (bit j = state element j).
+class Gf2Advance {
+ public:
+  Gf2Advance() = default;
+
+  /// Build the 64 squared-power levels of `a` (square, dim <= 64).
+  explicit Gf2Advance(const Gf2Matrix& a);
+
+  std::size_t dim() const { return dim_; }
+  std::uint64_t mask() const { return mask_; }
+
+  /// A · v (one gather). Bits of `v` beyond dim() are ignored.
+  std::uint64_t apply(std::uint64_t v) const { return gather(pow_[0], v); }
+
+  /// A^n · v in O(popcount(n)) gathers.
+  std::uint64_t advance(std::uint64_t v, std::uint64_t n) const;
+
+ private:
+  static std::uint64_t gather(const std::array<std::uint64_t, 64>& cols,
+                              std::uint64_t v);
+
+  std::size_t dim_ = 0;
+  std::uint64_t mask_ = 0;
+  // pow_[i][j] = column j of A^{2^i}, packed (bit r = entry (r, j)).
+  std::array<std::array<std::uint64_t, 64>, 64> pow_{};
+};
+
+}  // namespace plfsr

@@ -48,6 +48,20 @@ Gf2Matrix LookAhead::paper_input_matrix() const {
   return out;
 }
 
+std::uint64_t LookAhead::output_column_word(std::size_t j) const {
+  if (m_ > 64)
+    throw std::invalid_argument(
+        "LookAhead::output_column_word: M must be <= 64");
+  return cm_.column(j).to_word();
+}
+
+std::uint64_t LookAhead::state_column_word(std::size_t j) const {
+  if (dim() > 64)
+    throw std::invalid_argument(
+        "LookAhead::state_column_word: dim must be <= 64");
+  return am_.column(j).to_word();
+}
+
 Gf2Vec LookAhead::step(Gf2Vec& x, const Gf2Vec& u) const {
   if (u.size() != m_)
     throw std::invalid_argument("LookAhead::step: input chunk size mismatch");

@@ -44,6 +44,18 @@ class LookAhead {
   /// B_M in the paper's reversed-input order [b Ab ... A^{M-1} b].
   Gf2Matrix paper_input_matrix() const;
 
+  /// Column j of C_M packed into a word (bit i = C_M(i, j), i.e. the
+  /// contribution of state bit j to output bit y(n+i)). Requires M <= 64.
+  /// These are the per-state-bit output masks of the word-parallel
+  /// scrambler: the M-bit output block is the XOR of the columns selected
+  /// by the set bits of the state.
+  std::uint64_t output_column_word(std::size_t j) const;
+
+  /// Column j of A^M packed into a word (bit i = (A^M)(i, j)) — the
+  /// per-state-bit hop masks of the same word-parallel step. Requires
+  /// dim <= 64.
+  std::uint64_t state_column_word(std::size_t j) const;
+
   /// One M-bit step: consume `u` (element j = u(n+j)), advance the state,
   /// return the M output bits (element i = y(n+i)).
   Gf2Vec step(Gf2Vec& x, const Gf2Vec& u) const;

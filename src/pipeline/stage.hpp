@@ -20,9 +20,28 @@ namespace plfsr {
 
 /// One unit of streamed work: a frame body plus per-frame results.
 struct Frame {
+  /// Sentinel for `bits`: the whole byte buffer is payload.
+  static constexpr std::uint64_t kWholeBytes = ~std::uint64_t{0};
+
   std::uint64_t id = 0;               ///< stream position (seeds, spot checks)
   std::vector<std::uint8_t> bytes;    ///< body; stages transform it in place
   std::uint64_t crc = 0;              ///< FCS recorded by a CRC stage
+
+  /// True payload length in bits (LSB-first within `bytes`). Byte-packing
+  /// zero-pads the final byte, and a stage that changes the bit length by
+  /// a non-multiple of 8 (the spreader, whose chip count is bits x C)
+  /// must not let that padding masquerade as payload: the despreader
+  /// would decode the pad chips into spurious trailing bits and grow the
+  /// frame. Defaults to kWholeBytes (= 8 * bytes.size()), so byte-aligned
+  /// producers never touch it.
+  std::uint64_t bits = kWholeBytes;
+
+  /// Payload bit length with the sentinel resolved (and clamped to the
+  /// buffer, so a stale `bits` can never read past the bytes).
+  std::uint64_t bit_size() const {
+    const std::uint64_t whole = 8 * static_cast<std::uint64_t>(bytes.size());
+    return bits == kWholeBytes ? whole : (bits < whole ? bits : whole);
+  }
 };
 
 /// Frames move through the pipeline in batches to amortise ring traffic;

@@ -1,71 +1,34 @@
 #include "pipeline/stages.hpp"
 
-#include <algorithm>
-#include <cstring>
-
 #include "support/bitstream.hpp"
 
 namespace plfsr {
 
 namespace {
 
-/// dst ^= src over n bytes, eight at a time (memcpy keeps it alias-safe;
-/// the compiler lowers the loop to full-width vector XORs). While XOR-ing,
-/// paces one prefetch of the *next* frame per cache line processed — frames
-/// are separate heap blocks, so the hardware prefetcher restarts cold at
-/// every frame boundary, and a paced software stream hides that latency
-/// without flooding the miss queue.
-void xor_bytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
-               const std::uint8_t* pf = nullptr, std::size_t pf_n = 0) {
-  std::size_t i = 0, p = 0;
-  for (; i + 8 <= n; i += 8) {
-    if ((i & 63) == 0 && p < pf_n) {
-      __builtin_prefetch(pf + p, /*rw=*/1);
-      p += 64;
-    }
-    std::uint64_t a, b;
-    std::memcpy(&a, dst + i, 8);
-    std::memcpy(&b, src + i, 8);
-    a ^= b;
-    std::memcpy(dst + i, &a, 8);
-  }
-  for (; p < pf_n; p += 64) __builtin_prefetch(pf + p, /*rw=*/1);
-  for (; i < n; ++i) dst[i] ^= src[i];
+/// The first `nbits` bits of `bytes`, LSB-first per byte — the byte
+/// buffer with its packing pad stripped.
+BitStream payload_bits(const std::vector<std::uint8_t>& bytes,
+                       std::uint64_t nbits) {
+  const BitStream all = BitStream::from_bytes_lsb_first(bytes);
+  if (nbits >= all.size()) return all;
+  BitStream out;
+  for (std::uint64_t i = 0; i < nbits; ++i) out.push_back(all.get(i));
+  return out;
 }
 
 }  // namespace
 
 ScrambleStage::ScrambleStage(const Gf2Poly& g, std::uint64_t seed)
-    : gen_(g, seed) {}
-
-void ScrambleStage::ensure_keystream(std::size_t nbytes) {
-  if (keystream_.size() >= nbytes) return;
-  // Grow in sizeable steps: the generator is the exact bit-serial
-  // scrambler, paid once per distinct length high-water mark.
-  const std::size_t want = std::max<std::size_t>(nbytes, 4096);
-  const std::size_t add = want - keystream_.size();
-  const BitStream ks = gen_.keystream(add * 8);
-  const std::vector<std::uint8_t> packed = ks.to_bytes_lsb_first();
-  keystream_.insert(keystream_.end(), packed.begin(), packed.end());
-}
+    : scr_(g, seed) {}
 
 void ScrambleStage::apply(std::vector<std::uint8_t>& bytes) {
-  ensure_keystream(bytes.size());
-  xor_bytes(bytes.data(), keystream_.data(), bytes.size());
+  scr_.seek(0);  // frame-synchronous: every frame restarts at the seed
+  scr_.process(bytes);
 }
 
 void ScrambleStage::process(FrameBatch& batch) {
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    std::vector<std::uint8_t>& cur = batch[i].bytes;
-    ensure_keystream(cur.size());
-    const std::uint8_t* pf = nullptr;
-    std::size_t pf_n = 0;
-    if (i + 1 < batch.size()) {
-      pf = batch[i + 1].bytes.data();
-      pf_n = batch[i + 1].bytes.size();
-    }
-    xor_bytes(cur.data(), keystream_.data(), cur.size(), pf, pf_n);
-  }
+  for (Frame& f : batch) apply(f.bytes);
 }
 
 SpreadStage::SpreadStage(const Gf2Poly& g, std::uint64_t seed,
@@ -75,8 +38,10 @@ SpreadStage::SpreadStage(const Gf2Poly& g, std::uint64_t seed,
 void SpreadStage::process(FrameBatch& batch) {
   for (Frame& f : batch) {
     spreader_.reseed(seed_);  // frame-synchronous: every frame restarts
-    const BitStream bits = BitStream::from_bytes_lsb_first(f.bytes);
-    f.bytes = spreader_.spread(bits).to_bytes_lsb_first();
+    const BitStream chips =
+        spreader_.spread(payload_bits(f.bytes, f.bit_size()));
+    f.bytes = chips.to_bytes_lsb_first();
+    f.bits = chips.size();
   }
 }
 
@@ -87,8 +52,10 @@ DespreadStage::DespreadStage(const Gf2Poly& g, std::uint64_t seed,
 void DespreadStage::process(FrameBatch& batch) {
   for (Frame& f : batch) {
     spreader_.reseed(seed_);
-    const BitStream chips = BitStream::from_bytes_lsb_first(f.bytes);
-    f.bytes = spreader_.despread(chips).to_bytes_lsb_first();
+    const BitStream data =
+        spreader_.despread(payload_bits(f.bytes, f.bit_size()));
+    f.bytes = data.to_bytes_lsb_first();
+    f.bits = data.size();
   }
 }
 

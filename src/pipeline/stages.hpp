@@ -2,10 +2,11 @@
 // byte-streaming CRC engine — plus the terminal sinks. The kernels plug
 // in unmodified: the CRC adapters go through the shared absorb interface
 // (TableCrc / SlicingCrc / WideTableCrc / MatrixCrc / GfmacCrc /
-// ParallelCrc all qualify), and the scrambler/spreader adapters re-derive
-// their LFSR state per frame (frame-synchronous operation, as 802.11
-// scrambles each PPDU from a fresh seed), which keeps every stage
-// frame-local and the pipelined run bit-exact with the serial one.
+// ClmulCrc / ParallelCrc all qualify), and the scrambler/spreader
+// adapters re-derive their LFSR state per frame (frame-synchronous
+// operation, as 802.11 scrambles each PPDU from a fresh seed), which
+// keeps every stage frame-local and the pipelined run bit-exact with the
+// serial one.
 #pragma once
 
 #include <cstddef>
@@ -14,17 +15,22 @@
 
 #include "gf2/gf2_poly.hpp"
 #include "pipeline/stage.hpp"
-#include "scrambler/scrambler.hpp"
+#include "scrambler/block_scrambler.hpp"
 #include "scrambler/spreader.hpp"
 
 namespace plfsr {
 
 /// Frame-synchronous additive scrambler stage. Every frame is scrambled
-/// from the same seed (the 802.11 per-PPDU convention), so the keystream
-/// is a fixed sequence: it is generated once by the exact bit-serial
-/// AdditiveScrambler, cached LSB-first-packed, and applied as a word-wide
-/// XOR — the memxor form of the paper's observation that the additive
-/// scrambler is pure feed-forward once the state sequence is known.
+/// from the same seed (the 802.11 per-PPDU convention) by the
+/// word-parallel BlockScrambler: 64 keystream bits per step XORed
+/// directly over the frame body — the paper's observation that the
+/// additive scrambler is pure feed-forward once the state hop is block
+/// form, with no cached-keystream intermediary. (The previous design
+/// grew an LSB-first keystream cache with the bit-serial generator; its
+/// `want = max(nbytes, 4096)` growth policy re-ran the serial generator
+/// once per new high-water mark, so creeping frame sizes paid thousands
+/// of tiny regenerations — the geometric-growth fix and its regression
+/// test predate this rewrite, which removes the cache entirely.)
 /// Applying the stage twice restores the input (additive = involution).
 class ScrambleStage : public Stage {
  public:
@@ -36,16 +42,17 @@ class ScrambleStage : public Stage {
   /// Scramble one frame body in place (shared with the serial reference).
   void apply(std::vector<std::uint8_t>& bytes);
 
- private:
-  void ensure_keystream(std::size_t nbytes);
+  /// The word-parallel engine (tests read its work counters).
+  const BlockScrambler& scrambler() const { return scr_; }
 
-  AdditiveScrambler gen_;              ///< keystream generator (continues)
-  std::vector<std::uint8_t> keystream_;  ///< LSB-first packed cache
+ private:
+  BlockScrambler scr_;
 };
 
-/// Direct-sequence spreading stage: each frame body is expanded bit→C
+/// Direct-sequence spreading stage: each frame body is expanded bit -> C
 /// chips against the stage's LFSR sequence (reseeded per frame). A frame
-/// of n bytes becomes n·C bytes.
+/// of n payload bits becomes n*C chips; Frame::bits carries the true chip
+/// count so the despreader can strip the byte-packing pad.
 class SpreadStage : public Stage {
  public:
   SpreadStage(const Gf2Poly& g, std::uint64_t seed, std::size_t chips_per_bit);
@@ -59,7 +66,10 @@ class SpreadStage : public Stage {
 };
 
 /// Inverse of SpreadStage: majority-vote despreading, reseeded per frame
-/// with the same seed so spread→despread round-trips bit-exactly.
+/// with the same seed so spread -> despread round-trips bit-exactly. Only
+/// Frame::bit_size() chips are decoded — the zero padding that
+/// to_bytes_lsb_first adds when C does not divide the packed bit count
+/// would otherwise decode into spurious trailing bits and grow the frame.
 class DespreadStage : public Stage {
  public:
   DespreadStage(const Gf2Poly& g, std::uint64_t seed,

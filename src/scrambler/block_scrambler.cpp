@@ -1,0 +1,149 @@
+#include "scrambler/block_scrambler.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "lfsr/linear_system.hpp"
+#include "lfsr/lookahead.hpp"
+
+namespace plfsr {
+
+BlockScrambler::BlockScrambler(const Gf2Poly& g, std::uint64_t seed) {
+  const LinearSystem sys = make_scrambler_system(g);
+  k_ = sys.dim();
+  if (k_ > 64)
+    throw std::invalid_argument("BlockScrambler: generator degree must be <= 64");
+  const LookAhead la(sys, 64);
+  for (std::size_t j = 0; j < k_; ++j) {
+    out_cols_[0][j] = la.output_column_word(j);
+    hop_cols_[j] = la.state_column_word(j);
+  }
+  // Lane l reads 64 bits ahead of lane l-1: its output masks are the
+  // columns of C_64 · A^{64l}.
+  Gf2Matrix a_pow = la.am();  // A^{64l}, starting at l = 1
+  for (std::size_t l = 1; l < kLanes; ++l) {
+    const Gf2Matrix cm_l = la.cm() * a_pow;
+    for (std::size_t j = 0; j < k_; ++j)
+      out_cols_[l][j] = cm_l.column(j).to_word();
+    a_pow = a_pow * la.am();
+  }
+  for (std::size_t j = 0; j < k_; ++j)
+    hop8_cols_[j] = a_pow.column(j).to_word();  // A^{64·kLanes}
+  adv_ = Gf2Advance(sys.a);
+  reseed(seed);
+}
+
+void BlockScrambler::reseed(std::uint64_t seed) {
+  seed &= adv_.mask();
+  if (seed == 0)
+    throw std::invalid_argument("BlockScrambler: seed must be nonzero");
+  seed_ = seed;
+  x_ = seed;
+  pos_ = 0;
+}
+
+void BlockScrambler::seek(std::uint64_t bit_pos) {
+  x_ = adv_.advance(seed_, bit_pos);
+  pos_ = bit_pos;
+}
+
+std::uint64_t BlockScrambler::keystream_word() {
+  const std::uint64_t w = gather(out_cols_[0], x_);
+  x_ = gather(hop_cols_, x_);
+  pos_ += 64;
+  ++block_steps_;
+  return w;
+}
+
+template <bool kXor>
+void BlockScrambler::run(std::uint8_t* data, std::size_t n) {
+  std::size_t i = 0;
+  // 64-byte superstep: kLanes independent out-gathers from one state,
+  // one loop-carried hop gather per chunk.
+  for (; i + 8 * kLanes <= n; i += 8 * kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::uint64_t w = gather(out_cols_[l], x_);
+      if constexpr (kXor) {
+        std::uint64_t d;
+        std::memcpy(&d, data + i + 8 * l, 8);
+        w ^= d;
+      }
+      std::memcpy(data + i + 8 * l, &w, 8);
+    }
+    x_ = gather(hop8_cols_, x_);
+    block_steps_ += kLanes;
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w = gather(out_cols_[0], x_);
+    if constexpr (kXor) {
+      std::uint64_t d;
+      std::memcpy(&d, data + i, 8);
+      w ^= d;
+    }
+    std::memcpy(data + i, &w, 8);
+    x_ = gather(hop_cols_, x_);
+    ++block_steps_;
+  }
+  if (i < n) {
+    std::uint64_t w = gather(out_cols_[0], x_);
+    for (; i < n; ++i, w >>= 8) {
+      const std::uint8_t k = static_cast<std::uint8_t>(w);
+      data[i] = kXor ? data[i] ^ k : k;
+    }
+    // Hop the state by just the consumed tail bits so a subsequent call
+    // continues the exact serial sequence.
+    x_ = adv_.advance(x_, (n & 7) * 8);
+    ++block_steps_;
+  }
+  pos_ += 8 * static_cast<std::uint64_t>(n);
+}
+
+void BlockScrambler::process(std::uint8_t* data, std::size_t n) {
+  run<true>(data, n);
+}
+
+void BlockScrambler::keystream_into(std::uint8_t* out, std::size_t n) {
+  run<false>(out, n);
+}
+
+std::vector<std::uint8_t> BlockScrambler::keystream_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  keystream_into(out.data(), n);
+  return out;
+}
+
+ParallelScramble::ParallelScramble(const Gf2Poly& g, std::uint64_t seed,
+                                   std::size_t shards,
+                                   std::size_t min_shard_bytes)
+    : min_shard_bytes_(min_shard_bytes == 0 ? 1 : min_shard_bytes) {
+  if (shards == 0)
+    throw std::invalid_argument("ParallelScramble: shards must be >= 1");
+  engines_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) engines_.emplace_back(g, seed);
+  if (shards > 1) pool_ = std::make_unique<ThreadPool>(shards - 1);
+}
+
+void ParallelScramble::process(std::uint8_t* data, std::size_t n) {
+  const std::size_t shards = engines_.size();
+  if (shards == 1 || n < shards * min_shard_bytes_) {
+    engines_[0].seek(0);
+    engines_[0].process(data, n);
+    return;
+  }
+  const std::size_t per = n / shards;  // last shard takes the remainder
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards - 1);
+  for (std::size_t s = 1; s < shards; ++s) {
+    const std::size_t off = s * per;
+    const std::size_t len = s + 1 == shards ? n - off : per;
+    pending.push_back(pool_->submit([this, s, data, off, len] {
+      engines_[s].seek(8 * static_cast<std::uint64_t>(off));
+      engines_[s].process(data + off, len);
+    }));
+  }
+  engines_[0].seek(0);
+  engines_[0].process(data, per);
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace plfsr

@@ -1,0 +1,156 @@
+// Word-parallel additive scrambler with a seekable keystream.
+//
+// The additive scrambler is autonomous (b = 0), so the M-level look-ahead
+// block form collapses: B_M = 0, D_M = I, and the M output bits are pure
+// feed-forward from the state, y_M(n) = C_M x(n) with row i of C_M = c A^i
+// (lookahead.hpp). At M = 64 that makes one keystream word the parity of
+// the state against 64 mask rows — or, transposed, the XOR of the C_64
+// *columns* selected by the set bits of the state. With k <= 64 state
+// bits packed into a word, 64 keystream bits cost one XOR gather over at
+// most k column words, and the state hop x(n+64) = A^64 x(n) is a second
+// gather over the A^64 columns: no bit loop anywhere (Tsaban–Vishne
+// word-oriented LFSR stepping; Dubrova's feedforward output collapsing).
+//
+// Because the keystream depends only on the state, position n is
+// addressable in O(log n): x(n) = A^n x(0) through the same x^{2^i}
+// advance tables the CRC shard-combine operator uses (Gf2Advance). Seek
+// is what makes the scrambler shardable — ParallelScramble cuts a buffer
+// into S slices, seeks an engine to each slice's bit offset and scrambles
+// the slices concurrently on the shared ThreadPool, bit-exact with the
+// serial AdditiveScrambler.
+//
+// This is the software shape of the paper's single-PiCoGA-operation
+// scrambler claim (§5, Fig. 8): the whole computation is one feed-forward
+// operation per 64-bit block — no context switch between state update and
+// output, unlike the CRC's two-op schedule.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gf2/gf2_advance.hpp"
+#include "gf2/gf2_poly.hpp"
+#include "support/thread_pool.hpp"
+
+namespace plfsr {
+
+/// Word-parallel additive scrambler: 64 keystream bits per step via
+/// precomputed per-state-bit output/hop masks, O(log n) seek, byte-buffer
+/// XOR application. Bit-exact with AdditiveScrambler under the repo's
+/// LSB-first byte packing (keystream bit i lands on bit i%8 of byte i/8,
+/// the `to_bytes_lsb_first` convention the pipeline stages use).
+class BlockScrambler {
+ public:
+  /// `g` is the scrambler generator (degree 1..64); `seed` packs the
+  /// initial LFSR state exactly as AdditiveScrambler's seed does.
+  BlockScrambler(const Gf2Poly& g, std::uint64_t seed);
+
+  std::size_t order() const { return k_; }
+
+  /// Current LFSR state packed into a word (same convention as
+  /// AdditiveScrambler::state()).
+  std::uint64_t state() const { return x_; }
+
+  /// Current keystream position in bits from the seed state.
+  std::uint64_t position() const { return pos_; }
+
+  /// Restart from `seed` at position 0. Throws on a zero state.
+  void reseed(std::uint64_t seed);
+
+  /// Jump to absolute keystream bit position `bit_pos` (counted from the
+  /// seed state): one O(popcount(bit_pos)) advance, equivalent to
+  /// discarding bit_pos keystream bits.
+  void seek(std::uint64_t bit_pos);
+
+  /// The next 64 keystream bits (bit i = keystream bit position()+i);
+  /// advances the position by 64.
+  std::uint64_t keystream_word();
+
+  /// Scramble (== descramble) `n` bytes in place: XOR the keystream from
+  /// the current position over the buffer, LSB-first per byte.
+  void process(std::uint8_t* data, std::size_t n);
+  void process(std::vector<std::uint8_t>& data) {
+    process(data.data(), data.size());
+  }
+
+  /// Write `n` keystream bytes from the current position into `out`.
+  void keystream_into(std::uint8_t* out, std::size_t n);
+  std::vector<std::uint8_t> keystream_bytes(std::size_t n);
+
+  /// Diagnostic: total 64-bit block steps taken (tail chunks count one).
+  /// Work must stay linear in the bytes processed — the regression tests
+  /// use this to pin that no serial re-generation path creeps back in.
+  std::uint64_t block_steps() const { return block_steps_; }
+
+ private:
+  // The state recurrence is the only loop-carried dependency, so the
+  // inner loop emits kLanes words per hop: lane l's output masks are the
+  // columns of C_64 · A^{64l} (all lanes gather from the *same* state,
+  // independent work for the out-of-order core), and the state hops by
+  // A^{64·kLanes} once per 64-byte chunk instead of once per word.
+  static constexpr std::size_t kLanes = 8;
+
+  static std::uint64_t gather(const std::array<std::uint64_t, 64>& cols,
+                              std::uint64_t v) {
+    std::uint64_t y = 0;
+    while (v) {
+      y ^= cols[static_cast<std::size_t>(__builtin_ctzll(v))];
+      v &= v - 1;
+    }
+    return y;
+  }
+
+  template <bool kXor>
+  void run(std::uint8_t* data, std::size_t n);
+
+  std::size_t k_ = 0;
+  // out_cols_[l] = columns of C_64 · A^{64l} (lane-l output masks);
+  // out_cols_[0] is plain C_64, used by the word-at-a-time paths.
+  std::array<std::array<std::uint64_t, 64>, kLanes> out_cols_{};
+  std::array<std::uint64_t, 64> hop_cols_{};   // A^64 columns
+  std::array<std::uint64_t, 64> hop8_cols_{};  // A^{64·kLanes} columns
+  Gf2Advance adv_;                             // A^{2^i}: seek + tail hops
+  std::uint64_t seed_ = 0;
+  std::uint64_t x_ = 0;
+  std::uint64_t pos_ = 0;
+  std::uint64_t block_steps_ = 0;
+};
+
+/// Shard-parallel frame scrambler: seek makes the keystream position-
+/// addressable, so a buffer splits into S contiguous slices scrambled
+/// concurrently — the message-level dual of the CRC shard-combine, except
+/// the scrambler needs no combine step at all (pure feed-forward).
+/// Every process() call scrambles from keystream position 0, the
+/// frame-synchronous convention of the pipeline's ScrambleStage.
+class ParallelScramble {
+ public:
+  /// Buffers smaller than shards * min_shard_bytes run on one engine:
+  /// below this the pool hand-off costs more than it saves.
+  static constexpr std::size_t kDefaultMinShardBytes = 4096;
+
+  /// `shards` >= 1; shard 0 runs on the calling thread, shards-1 pool
+  /// workers handle the rest. Tests pass min_shard_bytes = 1 to force the
+  /// parallel split on tiny inputs.
+  ParallelScramble(const Gf2Poly& g, std::uint64_t seed, std::size_t shards,
+                   std::size_t min_shard_bytes = kDefaultMinShardBytes);
+
+  std::size_t shards() const { return engines_.size(); }
+  std::size_t order() const { return engines_.front().order(); }
+
+  /// Scramble (== descramble) the buffer in place from keystream
+  /// position 0.
+  void process(std::uint8_t* data, std::size_t n);
+  void process(std::vector<std::uint8_t>& data) {
+    process(data.data(), data.size());
+  }
+
+ private:
+  std::vector<BlockScrambler> engines_;  // one per shard, reused per call
+  std::size_t min_shard_bytes_;
+  std::unique_ptr<ThreadPool> pool_;     // shards - 1 workers
+};
+
+}  // namespace plfsr

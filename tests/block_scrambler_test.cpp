@@ -1,0 +1,241 @@
+// BlockScrambler / ParallelScramble vs the bit-serial AdditiveScrambler:
+// the word-parallel engine must be bit-exact on every catalogue
+// polynomial, every length class (empty, sub-word, non-word tails, large),
+// and after seeks — and the sharded form must match the serial form for
+// any shard count.
+#include "scrambler/block_scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lfsr/catalog.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/bitstream.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+/// Nonzero seed fitting the generator's degree.
+std::uint64_t seed_for(const Gf2Poly& g, Rng& rng) {
+  const std::uint64_t mask =
+      g.degree() >= 64 ? ~std::uint64_t{0} : (1ull << g.degree()) - 1;
+  std::uint64_t s;
+  do {
+    s = rng.next_u64() & mask;
+  } while (s == 0);
+  return s;
+}
+
+/// Reference scramble via the bit-serial engine, LSB-first packing.
+std::vector<std::uint8_t> serial_scramble(const Gf2Poly& g,
+                                          std::uint64_t seed,
+                                          const std::vector<std::uint8_t>& in) {
+  AdditiveScrambler ref(g, seed);
+  return ref.process(BitStream::from_bytes_lsb_first(in))
+      .to_bytes_lsb_first();
+}
+
+TEST(BlockScrambler, BitExactAcrossCatalog) {
+  Rng rng(11);
+  for (const auto& [name, g] : catalog::all_scrambler_polys()) {
+    const std::uint64_t seed = seed_for(g, rng);
+    BlockScrambler scr(g, seed);
+    EXPECT_EQ(scr.order(), g.degree()) << name;
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{7}, std::size_t{8},
+                                std::size_t{63}, std::size_t{64},
+                                std::size_t{65}, std::size_t{777},
+                                std::size_t{4096}}) {
+      std::vector<std::uint8_t> buf = rng.next_bytes(n);
+      const std::vector<std::uint8_t> want = serial_scramble(g, seed, buf);
+      scr.seek(0);
+      scr.process(buf);
+      EXPECT_EQ(buf, want) << name << " n=" << n;
+    }
+  }
+}
+
+TEST(BlockScrambler, LengthSweepWithRandomSeeds) {
+  // Every length 0..300 (all tail shapes against the 64-byte superstep /
+  // 8-byte / byte-tail path boundaries), fresh seed per length.
+  const Gf2Poly g = catalog::scrambler_80211();
+  Rng rng(12);
+  for (std::size_t n = 0; n <= 300; ++n) {
+    const std::uint64_t seed = seed_for(g, rng);
+    std::vector<std::uint8_t> buf = rng.next_bytes(n);
+    const std::vector<std::uint8_t> want = serial_scramble(g, seed, buf);
+    BlockScrambler scr(g, seed);
+    scr.process(buf);
+    ASSERT_EQ(buf, want) << "n=" << n;
+  }
+}
+
+TEST(BlockScrambler, SplitProcessingContinuesTheStream) {
+  // Scrambling a buffer in arbitrary pieces (including tail-sized ones
+  // that force the Gf2Advance hop) must equal one whole-buffer pass.
+  const Gf2Poly g = catalog::scrambler_dvb();
+  const std::uint64_t seed = 0x51AC;
+  Rng rng(13);
+  std::vector<std::uint8_t> whole = rng.next_bytes(1000);
+  std::vector<std::uint8_t> pieces = whole;
+  BlockScrambler a(g, seed);
+  a.process(whole);
+  BlockScrambler b(g, seed);
+  std::size_t off = 0;
+  for (const std::size_t len : {1u, 3u, 8u, 64u, 5u, 200u, 19u}) {
+    b.process(pieces.data() + off, len);
+    off += len;
+  }
+  b.process(pieces.data() + off, pieces.size() - off);
+  EXPECT_EQ(pieces, whole);
+  EXPECT_EQ(b.state(), a.state());
+  EXPECT_EQ(b.position(), a.position());
+}
+
+TEST(BlockScrambler, KeystreamMatchesSerialGenerator) {
+  for (const auto& [name, g] : catalog::all_scrambler_polys()) {
+    const std::uint64_t seed = 1;  // valid for every degree
+    AdditiveScrambler ref(g, seed);
+    BlockScrambler scr(g, seed);
+    const BitStream want = ref.keystream(8 * 129);
+    const std::vector<std::uint8_t> got = scr.keystream_bytes(129);
+    EXPECT_EQ(got, want.to_bytes_lsb_first()) << name;
+    EXPECT_EQ(scr.state(), ref.state()) << name;
+  }
+}
+
+TEST(BlockScrambler, KeystreamWordMatchesSerialBits) {
+  const Gf2Poly g = catalog::prbs31();
+  const std::uint64_t seed = 0xACE1;
+  AdditiveScrambler ref(g, seed);
+  BlockScrambler scr(g, seed);
+  const BitStream bits = ref.keystream(3 * 64);
+  for (int w = 0; w < 3; ++w) {
+    std::uint64_t want = 0;
+    for (int i = 0; i < 64; ++i)
+      want |= static_cast<std::uint64_t>(bits.get(64 * w + i)) << i;
+    EXPECT_EQ(scr.keystream_word(), want) << "word " << w;
+  }
+  EXPECT_EQ(scr.position(), 3u * 64u);
+}
+
+TEST(BlockScrambler, SeekEqualsDiscard) {
+  Rng rng(14);
+  for (const auto& [name, g] : catalog::all_scrambler_polys()) {
+    const std::uint64_t seed = seed_for(g, rng);
+    for (const std::uint64_t skip : {0ull, 1ull, 7ull, 64ull, 1234ull}) {
+      AdditiveScrambler ref(g, seed);
+      ref.keystream(skip);  // discard
+      BlockScrambler scr(g, seed);
+      scr.seek(skip);
+      EXPECT_EQ(scr.state(), ref.state()) << name << " skip=" << skip;
+      EXPECT_EQ(scr.position(), skip);
+      EXPECT_EQ(scr.keystream_bytes(32),
+                ref.keystream(8 * 32).to_bytes_lsb_first())
+          << name << " skip=" << skip;
+    }
+  }
+}
+
+TEST(BlockScrambler, SeekIsRandomAccess) {
+  // Seeks commute: any order of visits lands on the same keystream.
+  const Gf2Poly g = catalog::prbs23();
+  const std::uint64_t seed = 0xBEEF;
+  BlockScrambler scr(g, seed);
+  const std::vector<std::uint8_t> at0 = scr.keystream_bytes(16);
+  scr.seek(1 << 20);
+  const std::vector<std::uint8_t> far = scr.keystream_bytes(16);
+  scr.seek(0);
+  EXPECT_EQ(scr.keystream_bytes(16), at0);
+  scr.seek(1 << 20);
+  EXPECT_EQ(scr.keystream_bytes(16), far);
+}
+
+TEST(BlockScrambler, ProcessIsInvolution) {
+  const Gf2Poly g = catalog::scrambler_80211();
+  Rng rng(15);
+  const std::vector<std::uint8_t> orig = rng.next_bytes(500);
+  std::vector<std::uint8_t> buf = orig;
+  BlockScrambler scr(g, 0x7F);
+  scr.process(buf);
+  EXPECT_NE(buf, orig);
+  scr.seek(0);
+  scr.process(buf);
+  EXPECT_EQ(buf, orig);
+}
+
+TEST(BlockScrambler, BlockStepsStayLinear) {
+  BlockScrambler scr(catalog::scrambler_80211(), 0x7F);
+  std::vector<std::uint8_t> buf(4096);
+  scr.process(buf);
+  // One block step covers >= 8 bytes except a single tail chunk.
+  EXPECT_LE(scr.block_steps(), buf.size() / 8 + 1);
+}
+
+TEST(BlockScrambler, RejectsBadArguments) {
+  EXPECT_THROW(BlockScrambler(catalog::scrambler_80211(), 0),
+               std::invalid_argument);
+  // Seed bits above the degree are masked off; an all-high seed is zero.
+  EXPECT_THROW(BlockScrambler(catalog::scrambler_80211(), 0xFF80),
+               std::invalid_argument);
+  EXPECT_THROW(BlockScrambler(Gf2Poly::from_exponents({65, 1, 0}), 1),
+               std::invalid_argument);
+}
+
+TEST(ParallelScramble, ShardSweepMatchesSerial) {
+  Rng rng(16);
+  const Gf2Poly g = catalog::scrambler_dvb();
+  const std::uint64_t seed = 0x1FFF;
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 7u, 8u}) {
+    // min_shard_bytes = 1 forces the sharded path even on small buffers.
+    ParallelScramble par(g, seed, shards, 1);
+    EXPECT_EQ(par.shards(), shards);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{shards - 1},
+          std::size_t{shards}, std::size_t{1000}, std::size_t{4096 + 13}}) {
+      std::vector<std::uint8_t> buf = rng.next_bytes(n);
+      const std::vector<std::uint8_t> want = serial_scramble(g, seed, buf);
+      par.process(buf);
+      ASSERT_EQ(buf, want) << "shards=" << shards << " n=" << n;
+    }
+  }
+}
+
+TEST(ParallelScramble, RepeatedCallsAreFrameSynchronous) {
+  // Every process() call restarts at keystream position 0, so two calls
+  // on the same data give the same result (and compose to the identity).
+  const Gf2Poly g = catalog::scrambler_80211();
+  ParallelScramble par(g, 0x5D, 4, 1);
+  Rng rng(17);
+  const std::vector<std::uint8_t> orig = rng.next_bytes(2000);
+  std::vector<std::uint8_t> a = orig;
+  par.process(a);
+  std::vector<std::uint8_t> b = orig;
+  par.process(b);
+  EXPECT_EQ(a, b);
+  par.process(a);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(ParallelScramble, SmallBufferFallbackMatches) {
+  // Below shards * min_shard_bytes the serial path must still scramble
+  // from position 0.
+  const Gf2Poly g = catalog::prbs9();
+  const std::uint64_t seed = 0x1D5;
+  ParallelScramble par(g, seed, 4);  // default threshold: 4 * 4096
+  Rng rng(18);
+  std::vector<std::uint8_t> buf = rng.next_bytes(512);
+  const std::vector<std::uint8_t> want = serial_scramble(g, seed, buf);
+  par.process(buf);
+  EXPECT_EQ(buf, want);
+}
+
+TEST(ParallelScramble, RejectsZeroShards) {
+  EXPECT_THROW(ParallelScramble(catalog::prbs7(), 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,83 @@
+// Gf2Advance must agree with dense Gf2Matrix exponentiation for every
+// packed map it claims to accelerate: random matrices, companion forms,
+// the full [1, 64] dimension range, and huge step counts.
+#include "gf2/gf2_advance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf2/gf2_poly.hpp"
+#include "lfsr/companion.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+Gf2Matrix random_matrix(std::size_t n, Rng& rng) {
+  Gf2Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m.set(r, c, rng.next_bit());
+  return m;
+}
+
+std::uint64_t dense_apply(const Gf2Matrix& m, std::uint64_t v) {
+  return (m * Gf2Vec::from_word(m.rows(), v)).to_word();
+}
+
+TEST(Gf2Advance, ApplyMatchesDenseProduct) {
+  Rng rng(1);
+  for (std::size_t n : {1u, 2u, 7u, 31u, 63u, 64u}) {
+    const Gf2Matrix m = random_matrix(n, rng);
+    const Gf2Advance adv(m);
+    EXPECT_EQ(adv.dim(), n);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t v = rng.next_u64() & adv.mask();
+      EXPECT_EQ(adv.apply(v), dense_apply(m, v)) << "n=" << n;
+    }
+  }
+}
+
+TEST(Gf2Advance, AdvanceMatchesDensePower) {
+  Rng rng(2);
+  const Gf2Matrix m = random_matrix(17, rng);
+  const Gf2Advance adv(m);
+  for (const std::uint64_t steps : {0ull, 1ull, 2ull, 63ull, 64ull, 1000ull,
+                                    (1ull << 40) + 12345ull}) {
+    const std::uint64_t v = rng.next_u64() & adv.mask();
+    EXPECT_EQ(adv.advance(v, steps), dense_apply(m.pow(steps), v))
+        << "steps=" << steps;
+  }
+}
+
+TEST(Gf2Advance, AdvanceComposes) {
+  // A^{a+b} v == A^a (A^b v): the additive law the seek machinery relies
+  // on, checked on a companion matrix (the case both CrcCombine and
+  // BlockScrambler actually instantiate).
+  const Gf2Poly g = Gf2Poly::from_exponents({15, 14, 0});
+  const Gf2Advance adv(companion_fibonacci(g));
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t v = rng.next_u64() & adv.mask();
+    const std::uint64_t a = rng.next_below(1 << 20);
+    const std::uint64_t b = rng.next_below(1 << 20);
+    EXPECT_EQ(adv.advance(v, a + b), adv.advance(adv.advance(v, b), a));
+  }
+}
+
+TEST(Gf2Advance, MasksStateToDimension) {
+  const Gf2Poly g = Gf2Poly::from_exponents({7, 4, 0});
+  const Gf2Advance adv(companion_fibonacci(g));
+  ASSERT_EQ(adv.dim(), 7u);
+  EXPECT_EQ(adv.mask(), 0x7Fu);
+  // Junk bits above the dimension must not leak into the result.
+  EXPECT_EQ(adv.advance(0xFFFFFFFFFFFFFF80ull | 0x15ull, 123),
+            adv.advance(0x15ull, 123));
+}
+
+TEST(Gf2Advance, RejectsBadShapes) {
+  EXPECT_THROW(Gf2Advance(Gf2Matrix(3, 4)), std::invalid_argument);
+  EXPECT_THROW(Gf2Advance(Gf2Matrix(65, 65)), std::invalid_argument);
+  EXPECT_THROW(Gf2Advance(Gf2Matrix(0, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plfsr

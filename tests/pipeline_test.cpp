@@ -17,6 +17,8 @@
 #include "lfsr/catalog.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/stages.hpp"
+#include "scrambler/scrambler.hpp"
+#include "support/bitstream.hpp"
 #include "support/rng.hpp"
 
 namespace plfsr {
@@ -201,6 +203,120 @@ TEST(Pipeline, ParallelCrcComposesAsStageEngine) {
   ASSERT_EQ(sink->frames().size(), input.size());
   for (const Frame& f : sink->frames())
     EXPECT_EQ(f.crc, ref.compute(f.bytes)) << "id=" << f.id;
+}
+
+TEST(ScrambleStage, RisingFrameSizesStayBitExactAndLinear) {
+  // Regression for the old cached-keystream design: its growth policy
+  // (`want = max(nbytes, 4096)`) re-ran the bit-serial generator from
+  // scratch at every new high-water mark, so a workload whose frame sizes
+  // keep creeping upward paid O(frames * size) serial keystream work.
+  // The word-parallel stage must (a) stay bit-exact with the serial
+  // reference and (b) do work linear in the bytes processed — the
+  // block-step counter is the proxy that pins (b).
+  const Gf2Poly g = catalog::scrambler_80211();
+  ScrambleStage stage(g, kSeed);
+
+  std::uint64_t total_bytes = 0;
+  std::size_t nframes = 0;
+  Rng rng(21);
+  for (std::size_t len = 4000; len <= 6000; len += 100) {  // rising sizes
+    Frame f;
+    f.id = nframes;
+    f.bytes = rng.next_bytes(len);
+    const std::vector<std::uint8_t> orig = f.bytes;
+
+    AdditiveScrambler ref(g, kSeed);
+    const std::vector<std::uint8_t> want =
+        ref.process(BitStream::from_bytes_lsb_first(orig))
+            .to_bytes_lsb_first();
+
+    FrameBatch batch{std::move(f)};
+    stage.process(batch);
+    ASSERT_EQ(batch[0].bytes, want) << "len=" << len;
+    total_bytes += len;
+    ++nframes;
+  }
+  // 64 keystream bits per block step; at most one extra step per frame for
+  // the sub-word tail. A re-generation path would blow through this bound
+  // by orders of magnitude.
+  EXPECT_LE(stage.scrambler().block_steps(), total_bytes / 8 + nframes);
+}
+
+TEST(ScrambleStage, ApplyTwiceIsIdentity) {
+  // Stage-level involution: the additive scrambler descrambles with the
+  // same stage, frame-synchronously, for every frame in a batch.
+  ScrambleStage stage(catalog::scrambler_sonet(), 0x41);
+  const std::vector<Frame> input = make_frames(20, 8);
+  FrameBatch batch(input.begin(), input.end());
+  stage.process(batch);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    changed += batch[i].bytes != input[i].bytes;
+  EXPECT_GE(changed, 18u);  // empty frames excepted, bodies must change
+  stage.process(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(batch[i].bytes, input[i].bytes) << "i=" << i;
+}
+
+TEST(SpreadStage, RoundTripsOddChipCountsAndFrameLengths) {
+  // Regression for the spread -> despread length bug: when chips_per_bit
+  // does not divide 8 * nbytes the chip stream's byte packing adds pad
+  // bits, and the old stages (which inferred the bit count from the byte
+  // size) either decoded pad chips into spurious payload bits or threw on
+  // the indivisible chip count. Frame::bits carries the true length.
+  Rng rng(22);
+  for (const std::size_t chips : {3u, 5u, 7u, 8u, 11u}) {
+    SpreadStage spread(catalog::prbs9(), 0x1B, chips);
+    DespreadStage despread(catalog::prbs9(), 0x1B, chips);
+    for (const std::size_t len : {0u, 1u, 2u, 3u, 17u, 97u}) {
+      std::vector<Frame> input(1);
+      input[0].id = 0;
+      input[0].bytes = rng.next_bytes(len);
+      FrameBatch batch(input.begin(), input.end());
+      spread.process(batch);
+      EXPECT_EQ(batch[0].bit_size(), 8 * len * chips)
+          << "chips=" << chips << " len=" << len;
+      despread.process(batch);
+      ASSERT_EQ(batch[0].bytes, input[0].bytes)
+          << "chips=" << chips << " len=" << len;
+      EXPECT_EQ(batch[0].bit_size(), 8 * len) << "chips=" << chips;
+    }
+  }
+}
+
+TEST(SpreadStage, RoundTripsBitGranularFrames) {
+  // Frames whose payload is not a whole number of bytes (Frame::bits set
+  // below 8 * bytes.size()): the stages must spread/despread exactly that
+  // many bits and keep the packing pad zeroed.
+  Rng rng(23);
+  for (const std::size_t chips : {3u, 5u, 11u}) {
+    SpreadStage spread(catalog::prbs7(), 0x2D, chips);
+    DespreadStage despread(catalog::prbs7(), 0x2D, chips);
+    for (const std::uint64_t nbits : {1u, 7u, 9u, 100u}) {
+      BitStream payload = rng.next_bits(nbits);
+      Frame f;
+      f.id = 0;
+      f.bytes = payload.to_bytes_lsb_first();
+      f.bits = nbits;
+      FrameBatch batch{std::move(f)};
+      spread.process(batch);
+      EXPECT_EQ(batch[0].bit_size(), nbits * chips) << "chips=" << chips;
+      despread.process(batch);
+      EXPECT_EQ(batch[0].bit_size(), nbits) << "chips=" << chips;
+      EXPECT_EQ(batch[0].bytes, payload.to_bytes_lsb_first())
+          << "chips=" << chips << " nbits=" << nbits;
+    }
+  }
+}
+
+TEST(Frame, BitSizeDefaultsToWholeBytesAndClamps) {
+  Frame f;
+  f.bytes = {0xAB, 0xCD, 0xEF};
+  EXPECT_EQ(f.bit_size(), 24u);  // default: whole buffer
+  f.bits = 21;
+  EXPECT_EQ(f.bit_size(), 21u);  // explicit bit-granular length
+  f.bits = 99;
+  EXPECT_EQ(f.bit_size(), 24u);  // never larger than the buffer
 }
 
 /// Stage that throws once a given frame id passes through.
