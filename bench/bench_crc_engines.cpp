@@ -2,20 +2,35 @@
 // host — the "programmable processor" side of the paper's comparison.
 // Not a paper figure by itself, but the measured cycles/byte of the table
 // and slicing engines ground the RiscModel constants used in Table 1.
+//
+// The per-engine throughput benches and the sharded (ParallelCrc) shard
+// curves enumerate the EngineRegistry rather than a hard-coded type
+// list: registering a new engine automatically benches it (and, via the
+// committed baseline + compare_bench.py, regression-gates it). Names are
+// registry keys: BM_Engine/<name>/<bytes>, BM_Parallel/<name>/<shards>.
+// Engines whose capability gate fails on this host (e.g. "clmul"
+// without PCLMULQDQ) are skipped, exactly like the clmul-gated baseline
+// entries in CI.
+//
+// BM_CrcHandle/{direct,erased}/65536 pins the cost of the type-erased
+// CrcEngineHandle boundary against the direct engine call on the same
+// 64 KiB CRC-32 buffer; compare_bench.py enforces <= 5% overhead
+// within each run (the boundary is one indirect call per buffer).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "crc/clmul_crc.hpp"
 #include "crc/crc_spec.hpp"
 #include "crc/derby_crc.hpp"
+#include "crc/engine.hpp"
+#include "crc/engine_registry.hpp"
 #include "crc/gfmac_crc.hpp"
 #include "crc/matrix_crc.hpp"
 #include "crc/parallel_crc.hpp"
-#include "crc/serial_crc.hpp"
 #include "crc/slicing_crc.hpp"
-#include "crc/table_crc.hpp"
 #include "crc/wide_table_crc.hpp"
 #include "support/cpu_features.hpp"
 #include "support/rng.hpp"
@@ -29,71 +44,99 @@ std::vector<std::uint8_t> payload(std::size_t n) {
   return rng.next_bytes(n);
 }
 
-void BM_SerialCrc32(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+// Registry-enumerated single-engine throughput: one virtual absorb per
+// iteration over the whole buffer.
+void register_engine_benches() {
+  const EngineRegistry& reg = EngineRegistry::instance();
   const CrcSpec spec = crcspec::crc32_ethernet();
-  for (auto _ : state)
-    benchmark::DoNotOptimize(serial_crc(spec, msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  for (const std::string& name : reg.available_names()) {
+    for (const std::size_t n : {std::size_t{1518}, std::size_t{65536}}) {
+      const CrcEngineHandle engine = reg.make(name, spec);
+      benchmark::RegisterBenchmark(
+          ("BM_Engine/" + name + "/" + std::to_string(n)).c_str(),
+          [engine, n](benchmark::State& state) {
+            const auto msg = payload(n);
+            for (auto _ : state)
+              benchmark::DoNotOptimize(engine.compute(msg));
+            state.SetBytesProcessed(
+                static_cast<std::int64_t>(state.iterations() * n));
+          });
+    }
+  }
 }
-BENCHMARK(BM_SerialCrc32)->Arg(64)->Arg(1518);
 
-void BM_TableCrc32(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
-  const TableCrc engine(crcspec::crc32_ethernet());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+// Sharded multi-core curves: single-thread vs 2/4/8-way shards on a
+// 1 MiB buffer over the byte-wise registry engines worth sharding. The
+// wrapped engine sets the per-core ceiling; the shard curve shows how
+// close the combine-fold parallelization gets to core-count scaling.
+void register_parallel_benches() {
+  const EngineRegistry& reg = EngineRegistry::instance();
+  for (const char* name : {"table", "slicing8", "clmul"}) {
+    const EngineInfo* info = reg.find(name);
+    if (info == nullptr || !info->available()) continue;
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      const CrcEngineHandle engine =
+          reg.make(name, crcspec::crc32_ethernet());
+      benchmark::RegisterBenchmark(
+          ("BM_Parallel/" + std::string(name) + "/" +
+           std::to_string(shards))
+              .c_str(),
+          [engine, shards](benchmark::State& state) {
+            const auto msg = payload(1 << 20);
+            const ParallelCrc par(engine, shards);
+            for (auto _ : state)
+              benchmark::DoNotOptimize(par.compute(msg));
+            state.SetBytesProcessed(
+                static_cast<std::int64_t>(state.iterations() * (1 << 20)));
+          })
+          ->UseRealTime();
+    }
+  }
+  // 64-bit register fold through the shard combine.
+  for (const std::size_t shards : {1u, 4u}) {
+    const CrcEngineHandle engine =
+        reg.make("slicing8", crcspec::crc64_xz());
+    benchmark::RegisterBenchmark(
+        ("BM_Parallel64/slicing8/" + std::to_string(shards)).c_str(),
+        [engine, shards](benchmark::State& state) {
+          const auto msg = payload(1 << 20);
+          const ParallelCrc par(engine, shards);
+          for (auto _ : state)
+            benchmark::DoNotOptimize(par.compute(msg));
+          state.SetBytesProcessed(
+              static_cast<std::int64_t>(state.iterations() * (1 << 20)));
+        })
+        ->UseRealTime();
+  }
 }
-BENCHMARK(BM_TableCrc32)->Arg(64)->Arg(1518)->Arg(65536);
 
-void BM_SlicingBy4Crc32(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
-  const SlicingBy4Crc engine(crcspec::crc32_ethernet());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SlicingBy4Crc32)->Arg(1518)->Arg(65536);
-
-void BM_SlicingBy8Crc32(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+// Type-erasure overhead gate: the same slicing-by-8 engine called
+// directly vs through CrcEngineHandle on one 64 KiB buffer.
+// compare_bench.py fails CI if erased/direct drops below 0.95.
+void BM_CrcHandleDirect(benchmark::State& state) {
+  const auto msg = payload(65536);
   const SlicingBy8Crc engine(crcspec::crc32_ethernet());
   for (auto _ : state)
     benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * 65536));
 }
-BENCHMARK(BM_SlicingBy8Crc32)->Arg(1518)->Arg(65536);
+BENCHMARK(BM_CrcHandleDirect)->Name("BM_CrcHandle/direct/65536");
 
-// CLMUL folding engine, both kernels. The pclmul variants register only
-// when the CPU can run them, so the suite (and the CI baseline check)
-// stays meaningful on machines without the instruction.
-void BM_ClmulCrc32(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
-  const ClmulCrc engine(crcspec::crc32_ethernet(),
-                        ClmulKernel::kAccelerated);
+void BM_CrcHandleErased(benchmark::State& state) {
+  const auto msg = payload(65536);
+  const CrcEngineHandle engine(SlicingBy8Crc(crcspec::crc32_ethernet()),
+                               "slicing8");
   for (auto _ : state)
     benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * 65536));
 }
+BENCHMARK(BM_CrcHandleErased)->Name("BM_CrcHandle/erased/65536");
 
-void BM_ClmulCrc64(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
-  const ClmulCrc engine(crcspec::crc64_xz(), ClmulKernel::kAccelerated);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-
-void BM_ClmulCrc32Portable(benchmark::State& state) {
-  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
-  const ClmulCrc engine(crcspec::crc32_ethernet(), ClmulKernel::kPortable);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ClmulCrc32Portable)->Arg(1518)->Arg(65536);
-
+// Parameter sweeps the registry's fixed-default factories do not cover:
+// the look-ahead/chunk factor M, the wide-table stride, and the CLMUL
+// portable kernel (the accelerated one is enumerated as "clmul" above).
 void BM_MatrixCrc32(benchmark::State& state) {
   const auto msg = payload(1518);
   const MatrixCrc engine(crcspec::crc32_ethernet(),
@@ -125,55 +168,6 @@ void BM_WideTableCrc32(benchmark::State& state) {
 }
 BENCHMARK(BM_WideTableCrc32)->Arg(4)->Arg(8)->Arg(16);
 
-// Sharded multi-core engines: single-thread vs 2/4/8-way shard curves on
-// a 1 MiB buffer (Arg = shard count). The wrapped byte-wise engine sets
-// the per-core ceiling; the shard curve shows how close the combine-fold
-// parallelization gets to core-count scaling on this host.
-void BM_ParallelTableCrc32(benchmark::State& state) {
-  const auto msg = payload(1 << 20);
-  const ParallelCrc<TableCrc> engine(
-      TableCrc(crcspec::crc32_ethernet()),
-      static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * (1 << 20));
-}
-BENCHMARK(BM_ParallelTableCrc32)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->UseRealTime();
-
-void BM_ParallelSlicingBy8Crc32(benchmark::State& state) {
-  const auto msg = payload(1 << 20);
-  const ParallelCrc<SlicingBy8Crc> engine(
-      SlicingBy8Crc(crcspec::crc32_ethernet()),
-      static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * (1 << 20));
-}
-BENCHMARK(BM_ParallelSlicingBy8Crc32)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->UseRealTime();
-
-void BM_ParallelClmulCrc32(benchmark::State& state) {
-  const auto msg = payload(1 << 20);
-  const ParallelCrc<ClmulCrc> engine(
-      ClmulCrc(crcspec::crc32_ethernet(), ClmulKernel::kAccelerated),
-      static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * (1 << 20));
-}
-
-void BM_ParallelSlicingBy8Crc64(benchmark::State& state) {
-  const auto msg = payload(1 << 20);
-  const ParallelCrc<SlicingBy8Crc> engine(
-      SlicingBy8Crc(crcspec::crc64_xz()),
-      static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(engine.compute(msg));
-  state.SetBytesProcessed(state.iterations() * (1 << 20));
-}
-BENCHMARK(BM_ParallelSlicingBy8Crc64)->Arg(1)->Arg(4)->UseRealTime();
-
 void BM_GfmacCrc32Horner(benchmark::State& state) {
   Rng rng(7);
   const BitStream bits = rng.next_bits(1518 * 8);
@@ -183,6 +177,25 @@ void BM_GfmacCrc32Horner(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 1518);
 }
 BENCHMARK(BM_GfmacCrc32Horner);
+
+void BM_ClmulCrc32Portable(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const ClmulCrc engine(crcspec::crc32_ethernet(), ClmulKernel::kPortable);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClmulCrc32Portable)->Arg(1518)->Arg(65536);
+
+// 64-bit spec through the accelerated folding kernel; registered only
+// where the CPU can run it (the "clmul" registry entry covers CRC-32).
+void BM_ClmulCrc64(benchmark::State& state) {
+  const auto msg = payload(static_cast<std::size_t>(state.range(0)));
+  const ClmulCrc engine(crcspec::crc64_xz(), ClmulKernel::kAccelerated);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.compute(msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
 
 }  // namespace
 
@@ -212,16 +225,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The pclmul benchmarks only exist where the CPU can run them.
-  if (plfsr::cpu_features().pclmul && plfsr::cpu_features().sse41) {
-    benchmark::RegisterBenchmark("BM_ClmulCrc32", BM_ClmulCrc32)
-        ->Arg(64)->Arg(1518)->Arg(65536);
+  register_engine_benches();
+  register_parallel_benches();
+  if (plfsr::cpu_features().pclmul && plfsr::cpu_features().sse41)
     benchmark::RegisterBenchmark("BM_ClmulCrc64", BM_ClmulCrc64)
         ->Arg(65536);
-    benchmark::RegisterBenchmark("BM_ParallelClmulCrc32",
-                                 BM_ParallelClmulCrc32)
-        ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
-  }
 
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());

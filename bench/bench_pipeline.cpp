@@ -21,10 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "crc/clmul_crc.hpp"
 #include "crc/crc_spec.hpp"
+#include "crc/engine_registry.hpp"
 #include "crc/slicing_crc.hpp"
-#include "crc/table_crc.hpp"
 #include "lfsr/catalog.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/stages.hpp"
@@ -45,15 +44,12 @@ constexpr std::uint64_t kVerifyStride = 256;
 std::size_t g_frames = 16384;
 int g_reps = 3;
 
-/// The fastest FCS engine this machine can run: the CLMUL folding
-/// engine where PCLMULQDQ is available (and not vetoed by
-/// PLFSR_FORCE_PORTABLE), slicing-by-8 otherwise.
+/// The fastest FCS engine this machine can run, straight from the
+/// registry's capability-aware policy (PLFSR_ENGINE overrides it,
+/// PLFSR_FORCE_PORTABLE vetoes the accelerated kernels).
 std::unique_ptr<Stage> make_fcs_stage() {
-  if (clmul_allowed())
-    return std::make_unique<FcsStage<ClmulCrc>>(
-        ClmulCrc(crcspec::crc32_ethernet()));
-  return std::make_unique<FcsStage<SlicingBy8Crc>>(
-      SlicingBy8Crc(crcspec::crc32_ethernet()));
+  return std::make_unique<FcsStage>(
+      EngineRegistry::instance().best_for(crcspec::crc32_ethernet()));
 }
 
 volatile std::uint64_t g_sink;  // defeats dead-code elimination of baselines
@@ -68,8 +64,9 @@ std::vector<std::unique_ptr<Stage>> make_stages() {
   st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
                                                kScramblerSeed));
   st.push_back(make_fcs_stage());
-  st.push_back(std::make_unique<VerifySink<TableCrc>>(
-      TableCrc(crcspec::crc32_ethernet()), kVerifyStride));
+  st.push_back(std::make_unique<VerifySink>(
+      EngineRegistry::instance().make("table", crcspec::crc32_ethernet()),
+      kVerifyStride));
   return st;
 }
 
@@ -87,7 +84,7 @@ bool validate() {
   // Serial reference: same stage types, fresh instances, one thread.
   FrameBatch expect(input);
   ScrambleStage ref_scramble(catalog::scrambler_80211(), kScramblerSeed);
-  FcsStage<SlicingBy8Crc> ref_crc{SlicingBy8Crc(crcspec::crc32_ethernet())};
+  FcsStage ref_crc{SlicingBy8Crc(crcspec::crc32_ethernet())};
   ref_scramble.process(expect);
   ref_crc.process(expect);
 
@@ -158,9 +155,12 @@ int main(int argc, char** argv) {
   double base_mbps = 0;
   std::string base_name;
   {
-    const TableCrc table(crcspec::crc32_ethernet());
-    const SlicingBy8Crc slicing(crcspec::crc32_ethernet());
-    const auto time_engine = [&](const auto& eng) {
+    // Candidates from the registry: the universal table floor, the best
+    // portable software engine, and whatever the capability-aware
+    // policy picks (clmul where the host allows it). Names are registry
+    // keys, so the printed baseline matches the FCS stage's engine.
+    const EngineRegistry& reg = EngineRegistry::instance();
+    const auto time_engine = [&](const CrcEngineHandle& eng) {
       double best = 0;
       for (int rep = 0; rep < 3; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -172,16 +172,18 @@ int main(int argc, char** argv) {
       }
       return best;
     };
-    const double t_mbps = time_engine(table);
-    const double s_mbps = time_engine(slicing);
-    base_name = s_mbps >= t_mbps ? "slicing-by-8" : "table";
-    base_mbps = std::max(t_mbps, s_mbps);
-    if (clmul_allowed()) {
-      const ClmulCrc clmul(crcspec::crc32_ethernet());
-      const double c_mbps = time_engine(clmul);
-      if (c_mbps > base_mbps) {
-        base_name = "clmul";
-        base_mbps = c_mbps;
+    std::vector<CrcEngineHandle> candidates;
+    candidates.push_back(reg.make("table", crcspec::crc32_ethernet()));
+    candidates.push_back(reg.make("slicing8", crcspec::crc32_ethernet()));
+    CrcEngineHandle policy = reg.best_for(crcspec::crc32_ethernet());
+    if (policy.engine_name() != "table" &&
+        policy.engine_name() != "slicing8")
+      candidates.push_back(std::move(policy));
+    for (const CrcEngineHandle& eng : candidates) {
+      const double mbps = time_engine(eng);
+      if (mbps > base_mbps) {
+        base_mbps = mbps;
+        base_name = eng.engine_name();
       }
     }
     std::cout << "baseline CRC engine : " << base_name << " at "
@@ -216,7 +218,7 @@ int main(int argc, char** argv) {
         }
 
         auto stages = make_stages();
-        auto* sink = static_cast<VerifySink<TableCrc>*>(stages.back().get());
+        auto* sink = static_cast<VerifySink*>(stages.back().get());
         Pipeline pipe(std::move(stages), {.queue_depth = depth});
         const auto t0 = std::chrono::steady_clock::now();
         pipe.start();

@@ -11,13 +11,23 @@ Throughput metrics are compared one-sided: only slowdowns fail, speedups
 just update the printed delta. Benchmarks present in the baseline but
 missing from the fresh run fail the gate (a silently dropped benchmark
 is how a perf regression hides); fresh benchmarks absent from the
-baseline are reported but pass, so adding a benchmark does not require
-touching the baseline in the same commit.
+baseline are informational only — printed with a "(new, not in
+baseline)" marker and never fatal — so adding a benchmark (or a newly
+registered engine appearing in the registry-enumerated sweeps) does not
+require touching the baseline in the same commit.
 
 Machine-dependent benchmarks (the pclmul ones register only on CPUs with
 the instruction) are handled by recording the hardware ticket in the
 baseline: entries under "requires_clmul" are only expected when the
-fresh crc-engines run itself contains a pclmul benchmark.
+fresh crc-engines run itself contains a pclmul benchmark. Matching is
+case-insensitive ("clmul" registry keys and "Clmul" type names alike);
+the portable-kernel benches are plain metrics, present on every host.
+
+One intra-run invariant is checked besides the baseline deltas: the
+BM_CrcHandle/{direct,erased} pair must show the type-erased handle
+within --handle-min-ratio (default 0.95, i.e. <= 5% overhead) of the
+direct engine call — the contract that lets every call site route
+through CrcEngineHandle without a measurable toll.
 
 Usage:
   compare_bench.py --baseline bench/baseline.json \
@@ -36,6 +46,17 @@ import sys
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         return json.load(f)
+
+
+def is_clmul_gated(name):
+    """True for metrics that exist only on pclmul hosts.
+
+    Case-insensitive: the registry-enumerated benches use the lowercase
+    engine key ("BM_Engine/clmul/65536"), the parameter sweeps the type
+    name ("BM_ClmulCrc64"). The portable-kernel benches run everywhere.
+    """
+    low = name.lower()
+    return "clmul" in low and "portable" not in low
 
 
 def crc_metrics(bench_json):
@@ -100,13 +121,16 @@ def main():
                     help="BENCH_scrambler.json from bench_scrambler")
     ap.add_argument("--threshold", type=float, default=0.40,
                     help="max allowed fractional slowdown (default 0.40)")
+    ap.add_argument("--handle-min-ratio", type=float, default=0.95,
+                    help="min BM_CrcHandle erased/direct throughput ratio "
+                         "(default 0.95 = at most 5%% erasure overhead)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the fresh run instead "
                          "of comparing")
     args = ap.parse_args()
 
     fresh = collect(args.crc, args.pipeline, args.scrambler)
-    has_clmul = any("Clmul" in k and "Portable" not in k for k in fresh)
+    has_clmul = any(is_clmul_gated(k) for k in fresh)
 
     if args.update:
         doc = {
@@ -115,11 +139,11 @@ def main():
             "threshold": args.threshold,
             "metrics": {
                 k: round(v, 3) for k, v in sorted(fresh.items())
-                if not ("Clmul" in k and "Portable" not in k)
+                if not is_clmul_gated(k)
             },
             "requires_clmul": {
                 k: round(v, 3) for k, v in sorted(fresh.items())
-                if "Clmul" in k and "Portable" not in k
+                if is_clmul_gated(k)
             },
         }
         with open(args.baseline, "w", encoding="utf-8") as f:
@@ -163,6 +187,26 @@ def main():
     for name in sorted(set(fresh) - set(expected)):
         print("{:<{w}}  {:>12.4g}  (new, not in baseline)".format(
             name, fresh[name], w=width))
+
+    # Intra-run invariant: the type-erased handle must stay within
+    # handle-min-ratio of the direct engine call. Compared within this
+    # run (not against the baseline) so runner speed cancels out.
+    direct = fresh.get("crc_engines/BM_CrcHandle/direct/65536")
+    erased = fresh.get("crc_engines/BM_CrcHandle/erased/65536")
+    if direct is None or erased is None:
+        failures.append("BM_CrcHandle direct/erased pair missing from the "
+                        "fresh crc-engines run")
+    elif direct > 0:
+        ratio = erased / direct
+        status = "ok"
+        if ratio < args.handle_min_ratio:
+            status = "REGRESSED"
+            failures.append(
+                "CrcEngineHandle overhead: erased/direct = {:.3f} "
+                "(min {:.3f})".format(ratio, args.handle_min_ratio))
+        print("{:<{w}}  {:>12.3f}  (min {:.3f})  {}".format(
+            "handle erased/direct ratio", ratio, args.handle_min_ratio,
+            status, w=width))
 
     if failures:
         print("\nFAIL: {} metric(s) regressed beyond {:.0%}:".format(

@@ -24,13 +24,12 @@
 #include <memory>
 #include <vector>
 
-#include "crc/clmul_crc.hpp"
 #include "crc/crc_spec.hpp"
+#include "crc/engine_registry.hpp"
 #include "crc/ethernet.hpp"
 #include "crc/parallel_crc.hpp"
 #include "crc/serial_crc.hpp"
 #include "crc/slicing_crc.hpp"
-#include "crc/table_crc.hpp"
 #include "lfsr/catalog.hpp"
 #include "picoga/crc_accelerator.hpp"
 #include "pipeline/pipeline.hpp"
@@ -41,16 +40,15 @@
 
 namespace {
 
-// The sharded-aggregate section, generic over the wrapped engine so the
-// example can pick the fastest one the host supports at runtime.
-template <class Engine>
-bool run_sharded(const Engine& proto,
+// The sharded-aggregate section over the type-erased engine handle the
+// registry hands out — one implementation for every engine kind.
+bool run_sharded(const plfsr::CrcEngineHandle& proto,
                  const std::vector<std::uint8_t>& aggregate,
                  std::uint64_t want) {
   using namespace plfsr;
   bool ok = true;
   for (std::size_t shards : {1u, 2u, 4u, 8u}) {
-    const ParallelCrc<Engine> par(proto, shards);
+    const ParallelCrc par(proto, shards);
     const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t got = 0;
     constexpr int kReps = 8;
@@ -136,22 +134,20 @@ int main() {
 
   // Host-side sharded CRC over a jumbo aggregate: one 4 MiB buffer,
   // shard counts 1/2/4/8 merged with the GF(2) combine operator. The
-  // inner loop defaults to the fastest engine the host supports — the
-  // CLMUL folding engine where PCLMULQDQ exists, slicing-by-8 otherwise
-  // — and every result is checked against the one-thread slicing engine
+  // inner loop is whatever the engine registry's capability-aware
+  // policy picks for this host (the CLMUL folding engine where
+  // PCLMULQDQ exists, slicing-by-8 otherwise; PLFSR_ENGINE overrides),
+  // and every result is checked against the one-thread slicing engine
   // before the timing is reported.
   Rng rng(2024);
   const auto aggregate = rng.next_bytes(4 << 20);
   const SlicingBy8Crc serial_engine(spec);
   const std::uint64_t want = serial_engine.compute(aggregate);
-  if (clmul_allowed()) {
-    std::cout << "\nhost-side sharded CRC (ParallelCrc<ClmulCrc>, 4 MiB "
-                 "aggregate):\n";
-    if (!run_sharded(ClmulCrc(spec), aggregate, want)) all_ok = false;
-  } else {
-    std::cout << "\nhost-side sharded CRC (ParallelCrc<SlicingBy8Crc>, 4 MiB "
-                 "aggregate):\n";
-    if (!run_sharded(SlicingBy8Crc(spec), aggregate, want)) all_ok = false;
+  {
+    const CrcEngineHandle best = EngineRegistry::instance().best_for(spec);
+    std::cout << "\nhost-side sharded CRC (ParallelCrc over registry engine \""
+              << best.engine_name() << "\", 4 MiB aggregate):\n";
+    if (!run_sharded(best, aggregate, want)) all_ok = false;
   }
 
   // Host-side streaming pipeline: a 2048-frame stream through
@@ -175,22 +171,18 @@ int main() {
     // Serial composition = the expected bit pattern.
     FrameBatch expect(input);
     ScrambleStage ref_scramble(catalog::scrambler_80211(), kSeed);
-    FcsStage<SlicingBy8Crc> ref_crc{SlicingBy8Crc(spec)};
+    FcsStage ref_crc{SlicingBy8Crc(spec)};
     ref_scramble.process(expect);
     ref_crc.process(expect);
 
     std::vector<std::unique_ptr<Stage>> stages;
     stages.push_back(
         std::make_unique<ScrambleStage>(catalog::scrambler_80211(), kSeed));
-    // The pipelined CRC stage runs the best engine the host supports;
+    // The pipelined CRC stage runs the registry's pick for this host;
     // the serial reference above stays slicing-by-8, so a pass here is
     // also a cross-engine equivalence check.
-    if (clmul_allowed())
-      stages.push_back(
-          std::make_unique<FcsStage<ClmulCrc>>(ClmulCrc(spec)));
-    else
-      stages.push_back(
-          std::make_unique<FcsStage<SlicingBy8Crc>>(SlicingBy8Crc(spec)));
+    stages.push_back(std::make_unique<FcsStage>(
+        EngineRegistry::instance().best_for(spec)));
     stages.push_back(std::make_unique<CollectSink>());
     CollectSink* sink = static_cast<CollectSink*>(stages.back().get());
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crc/crc_spec.hpp"
+#include "crc/engine_registry.hpp"
 #include "crc/serial_crc.hpp"
 #include "lfsr/catalog.hpp"
 #include "picoga/crc_accelerator.hpp"
@@ -41,7 +42,17 @@ bool run_crc_personality(const CrcSpec& spec, std::size_t m,
             << ReportTable::num(
                    static_cast<double>(bits.size()) / (res.cycles * 5.0), 2)
             << " Gbit/s  [" << (ok ? "verified" : "MISMATCH") << "]\n";
-  return ok;
+
+  // Host-side personality switch, same story in software: the registry's
+  // name->configuration lookup hands out the best engine this host runs
+  // for the same spec, and the result must agree with the bit-serial
+  // reference on a byte burst.
+  const CrcEngineHandle host = EngineRegistry::instance().best_for(spec);
+  const auto msg = Rng(spec.width + 1).next_bytes(burst_bits / 8);
+  const bool host_ok = host.compute(msg) == serial_crc(spec, msg);
+  std::cout << "    host engine \"" << host.engine_name() << "\"  ["
+            << (host_ok ? "verified" : "MISMATCH") << "]\n";
+  return ok && host_ok;
 }
 
 }  // namespace

@@ -9,6 +9,9 @@
 #include <iostream>
 #include <vector>
 
+#include "crc/crc_spec.hpp"
+#include "crc/engine_registry.hpp"
+#include "crc/serial_crc.hpp"
 #include "dream/scrambler_model.hpp"
 #include "lfsr/catalog.hpp"
 #include "scrambler/block_scrambler.hpp"
@@ -90,6 +93,16 @@ int main() {
               << (seek_ok ? "ok" : "FAIL") << ", "
               << ReportTable::num(best_gbps, 2)
               << " Gbit/s on 1536-byte MPDUs\n";
+
+    // FCS over the scrambled MPDU: one registry call picks the fastest
+    // CRC-32 engine this host runs (PLFSR_ENGINE overrides), checked
+    // against the bit-serial reference.
+    const CrcSpec fcs_spec = crcspec::crc32_ethernet();
+    const CrcEngineHandle fcs = EngineRegistry::instance().best_for(fcs_spec);
+    const bool fcs_ok = fcs.compute(frame) == serial_crc(fcs_spec, frame);
+    all_ok &= fcs_ok;
+    std::cout << "Host FCS via registry engine \"" << fcs.engine_name()
+              << "\": " << (fcs_ok ? "ok" : "FAIL") << "\n";
   }
 
   std::cout << "\nAt M = 128 the scrambler saturates the array's output\n"

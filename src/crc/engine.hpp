@@ -1,0 +1,157 @@
+// The unified linear-engine core.
+//
+// The paper's central claim is that CRC, scrambling and stream ciphers
+// are the *same* machine — the linear recursion x(n+1) = A·x(n) + b·u(n)
+// — loaded onto one fabric as different runtime configurations. The
+// software mirror of that claim is a single streaming-engine contract
+// that every CRC realisation in src/crc implements:
+//
+//   const CrcSpec& spec() const;
+//   std::uint64_t  initial_state() const;
+//   std::uint64_t  absorb(std::uint64_t state,
+//                         std::span<const std::uint8_t> bytes) const;
+//   std::uint64_t  finalize(std::uint64_t state) const;
+//   std::uint64_t  raw_register(std::uint64_t state) const;
+//   std::uint64_t  state_from_raw(std::uint64_t raw) const;
+//
+// Semantics every implementation must honour (the shared engine audit in
+// tests/crc_engines_test.cpp enforces them for every registered engine):
+//
+//  - `state` is an opaque word. `initial_state()` starts a message;
+//    absorb() may be called any number of times with byte-aligned
+//    buffers (including empty ones) and must equal the one-shot
+//    absorption of the concatenation; finalize() applies the spec's
+//    output reflection/XOR and does not modify the state.
+//  - raw_register()/state_from_raw() convert between the opaque state
+//    and the orientation-free raw register (bit i = coefficient of x^i),
+//    the representation the GF(2) combine operator and the hardware
+//    mappings work in. `state_from_raw(raw_register(s)) == s`.
+//  - All member functions are const and safe to call concurrently from
+//    multiple threads on one engine instance (construction does all the
+//    table/matrix precomputation; absorption is pure).
+//
+// `LinearEngine` states that contract as a C++20 concept, and
+// `CrcEngineHandle` type-erases it. The virtual boundary of the handle
+// is per *buffer*, not per byte: one indirect call per absorb() covers
+// any number of bytes, so the folding/slicing/table inner loops stay
+// fully devirtualized and the erasure overhead is bounded by a single
+// indirect branch per call (bench_crc_engines pins it at <= 5% on
+// 64 KiB buffers via the CI bench-regression gate).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "crc/crc_spec.hpp"
+
+namespace plfsr {
+
+/// The shared streaming contract of every CRC engine (see file comment).
+template <typename E>
+concept LinearEngine = requires(const E e, std::uint64_t s,
+                                std::span<const std::uint8_t> bytes) {
+  { e.spec() } -> std::convertible_to<const CrcSpec&>;
+  { e.initial_state() } -> std::convertible_to<std::uint64_t>;
+  { e.absorb(s, bytes) } -> std::convertible_to<std::uint64_t>;
+  { e.finalize(s) } -> std::convertible_to<std::uint64_t>;
+  { e.raw_register(s) } -> std::convertible_to<std::uint64_t>;
+  { e.state_from_raw(s) } -> std::convertible_to<std::uint64_t>;
+};
+
+/// Cheap type-erased handle to any LinearEngine.
+///
+/// Copying shares the underlying engine (engines are immutable after
+/// construction and concurrency-safe, so sharing is free); the handle
+/// itself exposes the same streaming contract, which makes it a
+/// LinearEngine too — it composes anywhere a concrete engine does.
+class CrcEngineHandle {
+ public:
+  CrcEngineHandle() = default;
+
+  /// Wrap a concrete engine. `name` is a display/registry tag (e.g.
+  /// "slicing8"); empty is fine for ad-hoc wrapping.
+  template <typename E>
+    requires(LinearEngine<std::remove_cvref_t<E>> &&
+             !std::same_as<std::remove_cvref_t<E>, CrcEngineHandle>)
+  explicit CrcEngineHandle(E&& engine, std::string name = {})
+      : impl_(std::make_shared<Model<std::remove_cvref_t<E>>>(
+            std::forward<E>(engine))),
+        name_(std::move(name)) {}
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  /// Registry name of the wrapped engine ("" for ad-hoc wraps).
+  const std::string& engine_name() const { return name_; }
+
+  const CrcSpec& spec() const { return impl_->spec(); }
+  std::uint64_t initial_state() const { return impl_->initial_state(); }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const {
+    return impl_->absorb(state, bytes);
+  }
+  std::uint64_t finalize(std::uint64_t state) const {
+    return impl_->finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const {
+    return impl_->raw_register(state);
+  }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return impl_->state_from_raw(raw);
+  }
+
+  /// One-shot convenience: finalize(absorb(initial_state(), bytes)).
+  std::uint64_t compute(std::span<const std::uint8_t> bytes) const {
+    return impl_->compute(bytes);
+  }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual const CrcSpec& spec() const = 0;
+    virtual std::uint64_t initial_state() const = 0;
+    virtual std::uint64_t absorb(std::uint64_t state,
+                                 std::span<const std::uint8_t> b) const = 0;
+    virtual std::uint64_t finalize(std::uint64_t state) const = 0;
+    virtual std::uint64_t raw_register(std::uint64_t state) const = 0;
+    virtual std::uint64_t state_from_raw(std::uint64_t raw) const = 0;
+    virtual std::uint64_t compute(std::span<const std::uint8_t> b) const = 0;
+  };
+
+  template <LinearEngine E>
+  struct Model final : Iface {
+    explicit Model(E e) : engine(std::move(e)) {}
+    const CrcSpec& spec() const override { return engine.spec(); }
+    std::uint64_t initial_state() const override {
+      return engine.initial_state();
+    }
+    std::uint64_t absorb(std::uint64_t state,
+                         std::span<const std::uint8_t> b) const override {
+      return engine.absorb(state, b);
+    }
+    std::uint64_t finalize(std::uint64_t state) const override {
+      return engine.finalize(state);
+    }
+    std::uint64_t raw_register(std::uint64_t state) const override {
+      return engine.raw_register(state);
+    }
+    std::uint64_t state_from_raw(std::uint64_t raw) const override {
+      return engine.state_from_raw(raw);
+    }
+    std::uint64_t compute(std::span<const std::uint8_t> b) const override {
+      return engine.finalize(engine.absorb(engine.initial_state(), b));
+    }
+    E engine;
+  };
+
+  std::shared_ptr<const Iface> impl_;
+  std::string name_;
+};
+
+static_assert(LinearEngine<CrcEngineHandle>,
+              "the handle must satisfy the contract it erases");
+
+}  // namespace plfsr

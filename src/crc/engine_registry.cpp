@@ -1,0 +1,252 @@
+#include "crc/engine_registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "crc/clmul_crc.hpp"
+#include "crc/derby_crc.hpp"
+#include "crc/gfmac_crc.hpp"
+#include "crc/matrix_crc.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/slicing_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "crc/wide_table_crc.hpp"
+#include "support/cpu_features.hpp"
+
+namespace plfsr {
+namespace {
+
+// Look-ahead / chunk width for the matrix-family engines. Power-of-two
+// M: squaring is a field automorphism, so it preserves the minimal
+// polynomial of A — the condition Derby's transform needs on top of a
+// squarefree generator (see tests/crc_engines_test.cpp).
+constexpr std::size_t kDefaultM = 32;
+
+/// Streaming adapter over the bit-serial reference (serial_crc_bits is
+/// a pair of free functions, not a class). The state IS the raw
+/// register; reflection lives in CrcSpec::message_bits, so byte-aligned
+/// chunked absorption is exact from any register value — the same
+/// convention as MatrixCrc/GfmacCrc/WideTableCrc.
+class SerialEngine {
+ public:
+  explicit SerialEngine(const CrcSpec& spec) : spec_(spec) {}
+
+  const CrcSpec& spec() const { return spec_; }
+  std::uint64_t initial_state() const { return spec_.init; }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const {
+    return serial_crc_bits(spec_.message_bits(bytes), spec_.width,
+                           spec_.poly, state);
+  }
+  std::uint64_t finalize(std::uint64_t state) const {
+    return spec_.finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const { return state; }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return raw & spec_.mask();
+  }
+
+ private:
+  CrcSpec spec_;
+};
+
+/// Streaming adapter over DerbyCrc: raw_bits() continues from any
+/// register value (serial head alignment + transformed bulk), which is
+/// exactly the absorb contract in raw-register convention.
+class DerbyEngine {
+ public:
+  explicit DerbyEngine(const CrcSpec& spec) : engine_(spec, kDefaultM) {}
+
+  const CrcSpec& spec() const { return engine_.spec(); }
+  std::uint64_t initial_state() const { return spec().init; }
+  std::uint64_t absorb(std::uint64_t state,
+                       std::span<const std::uint8_t> bytes) const {
+    return engine_.raw_bits(spec().message_bits(bytes), state);
+  }
+  std::uint64_t finalize(std::uint64_t state) const {
+    return spec().finalize(state);
+  }
+  std::uint64_t raw_register(std::uint64_t state) const { return state; }
+  std::uint64_t state_from_raw(std::uint64_t raw) const {
+    return raw & spec().mask();
+  }
+
+ private:
+  DerbyCrc engine_;
+};
+
+bool always() { return true; }
+bool any_spec(const CrcSpec&) { return true; }
+bool same_reflection(const CrcSpec& s) {
+  return s.reflect_in == s.reflect_out;
+}
+bool reflected(const CrcSpec& s) { return s.reflect_in && s.reflect_out; }
+
+void register_builtins(EngineRegistry& reg) {
+  // Preference values are ordered by measured throughput on the repo's
+  // benches (BENCH_crc_engines.json); ties in capability go to the
+  // faster engine. "table" is the universal always-available floor
+  // above the bit-serial reference.
+  reg.register_engine(
+      {"clmul", "4-lane PCLMULQDQ folding over 64-byte blocks",
+       clmul_allowed, same_reflection,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(ClmulCrc(s), "clmul");
+       },
+       100});
+  reg.register_engine(
+      {"slicing8", "slicing-by-8 table engine (reflected specs)", always,
+       reflected,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(SlicingBy8Crc(s), "slicing8");
+       },
+       90});
+  reg.register_engine(
+      {"slicing4", "slicing-by-4 table engine (reflected specs)", always,
+       reflected,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(SlicingBy4Crc(s), "slicing4");
+       },
+       80});
+  reg.register_engine(
+      {"table", "byte-wise Sarwate table engine", always, same_reflection,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(TableCrc(s), "table");
+       },
+       70});
+  reg.register_engine(
+      {"wide-table", "W-bit look-ahead table engine (W = 8)", always,
+       any_spec,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(WideTableCrc(s, 8), "wide-table");
+       },
+       60});
+  reg.register_engine(
+      {"derby", "Derby-transformed M-bit parallel engine (M = 32)", always,
+       // A repeated factor in g makes every even power of A derogatory;
+       // Derby's transform then provably does not exist (CRC-64/ECMA).
+       [](const CrcSpec& s) { return s.generator().is_squarefree(); },
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(DerbyEngine(s), "derby");
+       },
+       50});
+  reg.register_engine(
+      {"matrix", "direct M-bit look-ahead engine (M = 32)", always,
+       any_spec,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(MatrixCrc(s, kDefaultM), "matrix");
+       },
+       40});
+  reg.register_engine(
+      {"gfmac", "GFMAC chunked engine, Horner order (M = 32)", always,
+       any_spec,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(GfmacCrc(s, kDefaultM), "gfmac");
+       },
+       30});
+  reg.register_engine(
+      {"serial", "bit-serial reference recursion", always, any_spec,
+       [](const CrcSpec& s) {
+         return CrcEngineHandle(SerialEngine(s), "serial");
+       },
+       10});
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry* reg = [] {
+    auto* r = new EngineRegistry;
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void EngineRegistry::register_engine(EngineInfo info) {
+  if (info.name.empty())
+    throw std::invalid_argument("EngineRegistry: empty engine name");
+  if (!info.available || !info.supports || !info.make)
+    throw std::invalid_argument("EngineRegistry: engine '" + info.name +
+                                "' is missing a callback");
+  if (find(info.name) != nullptr)
+    throw std::invalid_argument("EngineRegistry: duplicate engine name '" +
+                                info.name + "'");
+  entries_.push_back(std::move(info));
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const EngineInfo& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::vector<std::string> EngineRegistry::available_names() const {
+  std::vector<std::string> out;
+  for (const EngineInfo& e : entries_)
+    if (e.available()) out.push_back(e.name);
+  return out;
+}
+
+const EngineInfo* EngineRegistry::find(const std::string& name) const {
+  for (const EngineInfo& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+bool EngineRegistry::supports(const std::string& name,
+                              const CrcSpec& spec) const {
+  const EngineInfo* e = find(name);
+  return e != nullptr && e->available() && e->supports(spec);
+}
+
+CrcEngineHandle EngineRegistry::make(const std::string& name,
+                                     const CrcSpec& spec) const {
+  const EngineInfo* e = find(name);
+  if (e == nullptr) {
+    std::string known;
+    for (const EngineInfo& k : entries_)
+      known += (known.empty() ? "" : ", ") + k.name;
+    throw std::invalid_argument("EngineRegistry: unknown engine '" + name +
+                                "' (known: " + known + ")");
+  }
+  if (!e->supports(spec))
+    throw std::runtime_error("EngineRegistry: engine '" + name +
+                             "' does not support spec " + spec.name);
+  return e->make(spec);
+}
+
+CrcEngineHandle EngineRegistry::best_for(const CrcSpec& spec) const {
+  const std::string forced = engine_override();
+  if (!forced.empty()) {
+    // make() gives the unknown-name/unsupported-spec diagnostics; an
+    // explicitly forced engine must additionally pass its capability
+    // gate — a vetoed override is a configuration error, not a policy
+    // hint to fall through.
+    const EngineInfo* e = find(forced);
+    if (e != nullptr && !e->available())
+      throw std::runtime_error("EngineRegistry: PLFSR_ENGINE=" + forced +
+                               " is not available on this host (capability "
+                               "gate failed)");
+    return make(forced, spec);
+  }
+
+  const EngineInfo* best = nullptr;
+  for (const EngineInfo& e : entries_)
+    if ((best == nullptr || e.preference > best->preference) &&
+        e.available() && e.supports(spec))
+      best = &e;
+  if (best == nullptr)
+    throw std::runtime_error(
+        "EngineRegistry: no available engine supports spec " + spec.name);
+  return best->make(spec);
+}
+
+std::string engine_override() {
+  const char* v = std::getenv("PLFSR_ENGINE");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+}  // namespace plfsr

@@ -1,0 +1,104 @@
+// Capability-aware runtime registry of CRC engines — the software
+// analogue of PiCoGA's multi-context configuration cache: a stable name
+// ("clmul", "slicing8", ...) maps to a factory that loads the matching
+// configuration (tables, fold constants, look-ahead matrices) for a
+// given CrcSpec and returns it behind the uniform CrcEngineHandle.
+// Where the paper reconfigures the array per standard, the host looks a
+// personality up by name and gets the same streaming contract back.
+//
+// Each entry carries, besides its factory:
+//  - available(): a runtime capability gate (CPUID probe via
+//    support/cpu_features plus the PLFSR_FORCE_PORTABLE veto) — e.g.
+//    "clmul" is only available where PCLMULQDQ can actually run;
+//  - supports(spec): the engine's spec envelope — e.g. the slicing
+//    engines only take reflected specs, Derby needs a squarefree
+//    generator;
+//  - preference: the rank best_for() uses, ordered by measured
+//    throughput of the engines on this codebase's benches.
+//
+// best_for(spec) returns the highest-preference engine that is both
+// available and supports the spec. Setting the environment variable
+// PLFSR_ENGINE (mirroring PLFSR_FORCE_PORTABLE: read per call, not
+// cached) overrides the policy with an explicit engine name — unknown
+// names throw, as does naming an engine that cannot serve the spec.
+//
+// Adding an engine is one register_engine() call (see builtin
+// registration in engine_registry.cpp); everything above the registry —
+// the shared audit in tests/crc_engines_test.cpp, bench_crc_engines,
+// bench_pipeline, the examples — enumerates it, so a newly registered
+// engine is automatically audited, benched and regression-gated.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/engine.hpp"
+
+namespace plfsr {
+
+/// One registered engine: a stable name plus its factory and gates.
+struct EngineInfo {
+  std::string name;         ///< stable registry key, e.g. "slicing8"
+  std::string description;  ///< one-line human description
+  /// Runtime capability gate (CPU features + env vetoes). Evaluated per
+  /// call so tests can flip PLFSR_FORCE_PORTABLE between queries.
+  std::function<bool()> available;
+  /// Spec envelope: can this engine be constructed for `spec`?
+  std::function<bool(const CrcSpec&)> supports;
+  /// Build the engine configured for `spec`.
+  std::function<CrcEngineHandle(const CrcSpec&)> make;
+  /// best_for() rank; higher wins. Ordered by measured throughput.
+  int preference = 0;
+};
+
+/// Name-keyed engine catalogue. The process-wide instance() comes with
+/// every built-in engine registered; register_engine() appends more.
+class EngineRegistry {
+ public:
+  /// The shared registry, built-ins pre-registered. Not synchronized:
+  /// register additional engines during start-up, before concurrent use.
+  static EngineRegistry& instance();
+
+  /// An empty registry (for tests building custom catalogues).
+  EngineRegistry() = default;
+
+  /// Register an engine under info.name. Throws std::invalid_argument on
+  /// an empty or duplicate name or missing callbacks.
+  void register_engine(EngineInfo info);
+
+  /// All registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// Names whose capability gate passes right now.
+  std::vector<std::string> available_names() const;
+
+  /// Entry lookup; nullptr if the name is unknown.
+  const EngineInfo* find(const std::string& name) const;
+
+  /// True iff `name` is registered, currently available, and claims
+  /// support for `spec`.
+  bool supports(const std::string& name, const CrcSpec& spec) const;
+
+  /// Construct engine `name` for `spec`. Throws std::invalid_argument on
+  /// an unknown name (the message lists the known ones) and
+  /// std::runtime_error if the engine does not support the spec.
+  CrcEngineHandle make(const std::string& name, const CrcSpec& spec) const;
+
+  /// The best available engine for `spec` under the preference policy,
+  /// or the engine named by PLFSR_ENGINE if that is set (unknown /
+  /// unsuitable names throw). Throws std::runtime_error if no engine
+  /// can serve the spec (cannot happen for catalogue specs: "serial"
+  /// and "table" support everything and are always available).
+  CrcEngineHandle best_for(const CrcSpec& spec) const;
+
+ private:
+  std::vector<EngineInfo> entries_;
+};
+
+/// Value of the PLFSR_ENGINE override ("" when unset/empty). Read from
+/// the environment on every call, like force_portable().
+std::string engine_override();
+
+}  // namespace plfsr

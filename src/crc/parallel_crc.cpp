@@ -4,18 +4,10 @@
 #include <stdexcept>
 #include <vector>
 
-#include "crc/clmul_crc.hpp"
-#include "crc/gfmac_crc.hpp"
-#include "crc/matrix_crc.hpp"
-#include "crc/slicing_crc.hpp"
-#include "crc/table_crc.hpp"
-#include "crc/wide_table_crc.hpp"
-
 namespace plfsr {
 
-template <typename Engine>
-ParallelCrc<Engine>::ParallelCrc(Engine engine, std::size_t shards,
-                                 std::size_t min_shard_bytes)
+ParallelCrc::ParallelCrc(CrcEngineHandle engine, std::size_t shards,
+                         std::size_t min_shard_bytes)
     : engine_(std::move(engine)),
       combine_(engine_.spec()),
       shards_(shards),
@@ -25,9 +17,8 @@ ParallelCrc<Engine>::ParallelCrc(Engine engine, std::size_t shards,
   if (shards_ > 1) pool_ = std::make_unique<ThreadPool>(shards_ - 1);
 }
 
-template <typename Engine>
-std::uint64_t ParallelCrc<Engine>::absorb(
-    std::uint64_t state, std::span<const std::uint8_t> bytes) const {
+std::uint64_t ParallelCrc::absorb(std::uint64_t state,
+                                  std::span<const std::uint8_t> bytes) const {
   const std::size_t n = bytes.size();
   if (shards_ == 1 || n < shards_ * min_shard_bytes_)
     return engine_.absorb(state, bytes);
@@ -45,7 +36,9 @@ std::uint64_t ParallelCrc<Engine>::absorb(
   }
 
   // Shards 1..S-1 absorb from the zero register on the pool while the
-  // calling thread handles shard 0 from the live state.
+  // calling thread handles shard 0 from the live state. One virtual
+  // absorb per shard — the handle's erasure boundary never enters the
+  // per-byte loop.
   std::vector<std::uint64_t> partial(shards_, 0);
   std::vector<std::future<void>> pending;
   pending.reserve(shards_ - 1);
@@ -67,18 +60,8 @@ std::uint64_t ParallelCrc<Engine>::absorb(
   return engine_.state_from_raw(raw);
 }
 
-template <typename Engine>
-std::uint64_t ParallelCrc<Engine>::compute(
-    std::span<const std::uint8_t> bytes) const {
+std::uint64_t ParallelCrc::compute(std::span<const std::uint8_t> bytes) const {
   return finalize(absorb(initial_state(), bytes));
 }
-
-template class ParallelCrc<ClmulCrc>;
-template class ParallelCrc<TableCrc>;
-template class ParallelCrc<SlicingCrc<4>>;
-template class ParallelCrc<SlicingCrc<8>>;
-template class ParallelCrc<WideTableCrc>;
-template class ParallelCrc<MatrixCrc>;
-template class ParallelCrc<GfmacCrc>;
 
 }  // namespace plfsr

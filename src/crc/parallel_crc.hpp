@@ -5,15 +5,13 @@
 // pool, and the partial registers are folded left-to-right with the
 // CrcCombine operator — one O(log len) GF(2) matrix advance per shard.
 //
-// The wrapped Engine supplies the byte-wise inner loop and must expose the
-// shared software-engine interface:
-//
-//   spec(), initial_state(), absorb(state, bytes), finalize(state),
-//   raw_register(state), state_from_raw(raw)
-//
-// (TableCrc, SlicingCrc<4/8> and WideTableCrc all qualify.) ParallelCrc
-// itself exposes the same interface, so it composes anywhere a serial
-// engine does — including streaming absorption of multi-buffer messages.
+// The wrapped engine is any LinearEngine behind a CrcEngineHandle (see
+// crc/engine.hpp): the handle's virtual boundary is per shard-buffer, so
+// the wrapped engine's inner loop runs devirtualized and one ParallelCrc
+// implementation serves every engine in the registry — no per-engine
+// template instantiations. ParallelCrc itself satisfies LinearEngine, so
+// it composes anywhere a serial engine does — including streaming
+// absorption of multi-buffer messages and nesting inside FcsStage.
 #pragma once
 
 #include <cstddef>
@@ -23,12 +21,12 @@
 
 #include "crc/crc_combine.hpp"
 #include "crc/crc_spec.hpp"
+#include "crc/engine.hpp"
 #include "support/thread_pool.hpp"
 
 namespace plfsr {
 
 /// Shard-parallel wrapper around a byte-wise CRC engine.
-template <typename Engine>
 class ParallelCrc {
  public:
   /// Buffers smaller than shards * min_shard_bytes are absorbed serially:
@@ -38,11 +36,20 @@ class ParallelCrc {
   /// `shards` >= 1 workers-worth of decomposition; shard 0 runs on the
   /// calling thread, shards-1 pool workers handle the rest. Tests pass
   /// min_shard_bytes = 1 to force the parallel fold on tiny inputs.
-  explicit ParallelCrc(Engine engine, std::size_t shards,
+  /// Accepts any LinearEngine (implicitly wrapped into a handle).
+  explicit ParallelCrc(CrcEngineHandle engine, std::size_t shards,
                        std::size_t min_shard_bytes = kDefaultMinShardBytes);
 
+  template <typename Engine>
+    requires(LinearEngine<std::remove_cvref_t<Engine>> &&
+             !std::same_as<std::remove_cvref_t<Engine>, CrcEngineHandle>)
+  ParallelCrc(Engine&& engine, std::size_t shards,
+              std::size_t min_shard_bytes = kDefaultMinShardBytes)
+      : ParallelCrc(CrcEngineHandle(std::forward<Engine>(engine)), shards,
+                    min_shard_bytes) {}
+
   const CrcSpec& spec() const { return engine_.spec(); }
-  const Engine& engine() const { return engine_; }
+  const CrcEngineHandle& engine() const { return engine_; }
   std::size_t shards() const { return shards_; }
 
   std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
@@ -61,11 +68,13 @@ class ParallelCrc {
   }
 
  private:
-  Engine engine_;
+  CrcEngineHandle engine_;
   CrcCombine combine_;
   std::size_t shards_;
   std::size_t min_shard_bytes_;
   std::unique_ptr<ThreadPool> pool_;  // shards_ - 1 workers
 };
+
+static_assert(LinearEngine<ParallelCrc>);
 
 }  // namespace plfsr

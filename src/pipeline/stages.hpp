@@ -1,18 +1,21 @@
 // Stage adapters over the existing kernels — scrambler, spreader, any
-// byte-streaming CRC engine — plus the terminal sinks. The kernels plug
-// in unmodified: the CRC adapters go through the shared absorb interface
-// (TableCrc / SlicingCrc / WideTableCrc / MatrixCrc / GfmacCrc /
-// ClmulCrc / ParallelCrc all qualify), and the scrambler/spreader
-// adapters re-derive their LFSR state per frame (frame-synchronous
-// operation, as 802.11 scrambles each PPDU from a fresh seed), which
-// keeps every stage frame-local and the pipelined run bit-exact with the
-// serial one.
+// CRC engine behind the unified LinearEngine contract — plus the
+// terminal sinks. The kernels plug in unmodified: the CRC adapters take
+// a type-erased CrcEngineHandle (crc/engine.hpp), so one FcsStage /
+// VerifySink implementation serves every engine in the EngineRegistry
+// (the handle's virtual boundary is per frame-buffer, never per byte).
+// The scrambler/spreader adapters re-derive their LFSR state per frame
+// (frame-synchronous operation, as 802.11 scrambles each PPDU from a
+// fresh seed), which keeps every stage frame-local and the pipelined run
+// bit-exact with the serial one.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "crc/engine.hpp"
 #include "gf2/gf2_poly.hpp"
 #include "pipeline/stage.hpp"
 #include "scrambler/block_scrambler.hpp"
@@ -83,13 +86,19 @@ class DespreadStage : public Stage {
   std::uint64_t seed_;
 };
 
-/// Frame-check-sequence stage over any engine exposing the shared
-/// byte-streaming interface (initial_state / absorb / finalize). Records
-/// the finalized CRC of each frame body into Frame::crc.
-template <typename Engine>
+/// Frame-check-sequence stage over any LinearEngine (type-erased behind
+/// CrcEngineHandle — registry engines, ParallelCrc, ad-hoc wraps all
+/// qualify). Records the finalized CRC of each frame body into
+/// Frame::crc.
 class FcsStage : public Stage {
  public:
-  explicit FcsStage(Engine engine) : engine_(std::move(engine)) {}
+  explicit FcsStage(CrcEngineHandle engine) : engine_(std::move(engine)) {}
+
+  template <typename Engine>
+    requires(LinearEngine<std::remove_cvref_t<Engine>> &&
+             !std::same_as<std::remove_cvref_t<Engine>, CrcEngineHandle>)
+  explicit FcsStage(Engine&& engine)
+      : engine_(CrcEngineHandle(std::forward<Engine>(engine))) {}
 
   const char* name() const override { return "crc"; }
 
@@ -101,21 +110,26 @@ class FcsStage : public Stage {
     }
   }
 
-  const Engine& engine() const { return engine_; }
+  const CrcEngineHandle& engine() const { return engine_; }
 
  private:
-  Engine engine_;
+  CrcEngineHandle engine_;
 };
 
 /// Terminal stage: re-derives the FCS of every `stride`-th frame with an
 /// independent reference engine and counts mismatches — the pipeline's
 /// on-line functional check (stride 1 = verify everything, as the tests
 /// do; the bench spot-checks). Counters are read after Pipeline::wait().
-template <typename Engine>
 class VerifySink : public Stage {
  public:
-  explicit VerifySink(Engine ref, std::uint64_t stride = 1)
+  explicit VerifySink(CrcEngineHandle ref, std::uint64_t stride = 1)
       : ref_(std::move(ref)), stride_(stride == 0 ? 1 : stride) {}
+
+  template <typename Engine>
+    requires(LinearEngine<std::remove_cvref_t<Engine>> &&
+             !std::same_as<std::remove_cvref_t<Engine>, CrcEngineHandle>)
+  explicit VerifySink(Engine&& ref, std::uint64_t stride = 1)
+      : VerifySink(CrcEngineHandle(std::forward<Engine>(ref)), stride) {}
 
   const char* name() const override { return "verify"; }
 
@@ -138,7 +152,7 @@ class VerifySink : public Stage {
   bool ok() const { return mismatches_ == 0; }
 
  private:
-  Engine ref_;
+  CrcEngineHandle ref_;
   std::uint64_t stride_;
   std::uint64_t frames_ = 0, bytes_ = 0, checked_ = 0, mismatches_ = 0;
 };

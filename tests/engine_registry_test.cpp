@@ -1,0 +1,254 @@
+// EngineRegistry: the name -> configuration lookup every higher layer
+// (ParallelCrc, FcsStage, benches, examples) now routes through. Covers
+// construction of every claimed (engine, spec) pair, the capability
+// gates under PLFSR_FORCE_PORTABLE, the PLFSR_ENGINE override and its
+// error paths, and dispatch equivalence of the type-erased handle
+// against the bit-serial reference including split-call continuation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/engine.hpp"
+#include "crc/engine_registry.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "support/cpu_features.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+const std::uint8_t kCheckMsg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+
+/// Scoped environment override restoring the previous value on exit, so
+/// a failing assertion cannot leak a veto into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value == nullptr)
+      unsetenv(name);
+    else
+      setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      setenv(name_, saved_.c_str(), 1);
+    else
+      unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(EngineRegistry, BuiltinCatalogueIsComplete) {
+  const auto names = EngineRegistry::instance().names();
+  const std::set<std::string> got(names.begin(), names.end());
+  const std::set<std::string> want = {"serial", "table",  "slicing4",
+                                      "slicing8", "wide-table", "matrix",
+                                      "gfmac",  "derby",  "clmul"};
+  EXPECT_EQ(got, want);
+}
+
+TEST(EngineRegistry, EveryClaimedSpecConstructsAndHitsCheckValue) {
+  // Every registered name must construct for every catalogue spec it
+  // claims — and the result must be a real engine: spec() round-trips
+  // and the standard "123456789" check value comes out.
+  const EngineRegistry& reg = EngineRegistry::instance();
+  for (const std::string& name : reg.available_names()) {
+    const EngineInfo* info = reg.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    std::size_t claimed = 0;
+    for (const CrcSpec& s : crcspec::all()) {
+      if (!info->supports(s)) continue;
+      ++claimed;
+      const CrcEngineHandle e = reg.make(name, s);
+      EXPECT_EQ(e.engine_name(), name);
+      EXPECT_EQ(e.spec().name, s.name) << name;
+      EXPECT_EQ(e.compute(kCheckMsg), s.check) << name << " " << s.name;
+    }
+    // No registered engine may be dead weight: each claims at least one
+    // catalogue spec, so the registry-enumerated audits exercise all.
+    EXPECT_GE(claimed, 1u) << name;
+  }
+}
+
+TEST(EngineRegistry, RegistryAuditCoversEveryAvailableEngine) {
+  // The union of (engine, spec) pairs the enumerating audits walk must
+  // touch every available engine — the guarantee that registering an
+  // engine cannot silently skip testing.
+  const EngineRegistry& reg = EngineRegistry::instance();
+  std::set<std::string> exercised;
+  for (const std::string& name : reg.available_names())
+    for (const CrcSpec& s : crcspec::all())
+      if (reg.supports(name, s)) exercised.insert(name);
+  const auto avail = reg.available_names();
+  EXPECT_EQ(exercised,
+            std::set<std::string>(avail.begin(), avail.end()));
+}
+
+TEST(EngineRegistry, ClmulGateFollowsCpuProbe) {
+  ScopedEnv clear_portable("PLFSR_FORCE_PORTABLE", nullptr);
+  ScopedEnv clear_engine("PLFSR_ENGINE", nullptr);
+  const EngineRegistry& reg = EngineRegistry::instance();
+  const auto avail = reg.available_names();
+  const bool listed =
+      std::find(avail.begin(), avail.end(), "clmul") != avail.end();
+  EXPECT_EQ(listed, clmul_allowed());
+  EXPECT_EQ(reg.supports("clmul", crcspec::crc32_ethernet()),
+            clmul_allowed());
+}
+
+TEST(EngineRegistry, ForcePortableVetoesClmulPerCall) {
+  // available() is evaluated per query (not cached at registration), so
+  // flipping the veto between calls must flip the listing.
+  ScopedEnv clear_engine("PLFSR_ENGINE", nullptr);
+  const EngineRegistry& reg = EngineRegistry::instance();
+  {
+    ScopedEnv portable("PLFSR_FORCE_PORTABLE", "1");
+    const auto avail = reg.available_names();
+    EXPECT_EQ(std::find(avail.begin(), avail.end(), "clmul"), avail.end());
+    EXPECT_FALSE(reg.supports("clmul", crcspec::crc32_ethernet()));
+    // All software engines stay listed under the veto.
+    EXPECT_EQ(avail.size(), reg.names().size() - 1);
+  }
+  ScopedEnv clear_portable("PLFSR_FORCE_PORTABLE", nullptr);
+  const auto avail = reg.available_names();
+  EXPECT_EQ(std::find(avail.begin(), avail.end(), "clmul") != avail.end(),
+            clmul_allowed());
+}
+
+TEST(EngineRegistry, BestForFollowsPreferenceAndCapability) {
+  ScopedEnv clear_engine("PLFSR_ENGINE", nullptr);
+  const EngineRegistry& reg = EngineRegistry::instance();
+  {
+    ScopedEnv clear_portable("PLFSR_FORCE_PORTABLE", nullptr);
+    EXPECT_EQ(reg.best_for(crcspec::crc32_ethernet()).engine_name(),
+              clmul_allowed() ? "clmul" : "slicing8");
+  }
+  ScopedEnv portable("PLFSR_FORCE_PORTABLE", "1");
+  // Reflected spec: slicing-by-8 is the best portable engine.
+  EXPECT_EQ(reg.best_for(crcspec::crc32_ethernet()).engine_name(),
+            "slicing8");
+  // Non-reflected spec: the slicing engines drop out, table wins.
+  EXPECT_EQ(reg.best_for(crcspec::crc32_mpeg2()).engine_name(), "table");
+}
+
+TEST(EngineRegistry, EngineOverrideEnvWins) {
+  ScopedEnv clear_portable("PLFSR_FORCE_PORTABLE", nullptr);
+  ScopedEnv forced("PLFSR_ENGINE", "serial");
+  EXPECT_EQ(engine_override(), "serial");
+  const CrcEngineHandle e =
+      EngineRegistry::instance().best_for(crcspec::crc32_ethernet());
+  EXPECT_EQ(e.engine_name(), "serial");
+  EXPECT_EQ(e.compute(kCheckMsg), crcspec::crc32_ethernet().check);
+}
+
+TEST(EngineRegistry, UnknownOverrideNameThrowsListingKnownNames) {
+  ScopedEnv forced("PLFSR_ENGINE", "warp-drive");
+  try {
+    EngineRegistry::instance().best_for(crcspec::crc32_ethernet());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("warp-drive"), std::string::npos);
+    EXPECT_NE(what.find("slicing8"), std::string::npos);  // lists known
+  }
+}
+
+TEST(EngineRegistry, OverrideUnsupportedSpecOrVetoedEngineThrows) {
+  {
+    // slicing8 cannot serve a non-reflected spec.
+    ScopedEnv forced("PLFSR_ENGINE", "slicing8");
+    EXPECT_THROW(
+        EngineRegistry::instance().best_for(crcspec::crc32_mpeg2()),
+        std::runtime_error);
+  }
+  {
+    // A forced engine whose capability gate fails is an error, not a
+    // silent fallback to the policy pick.
+    ScopedEnv forced("PLFSR_ENGINE", "clmul");
+    ScopedEnv portable("PLFSR_FORCE_PORTABLE", "1");
+    EXPECT_THROW(
+        EngineRegistry::instance().best_for(crcspec::crc32_ethernet()),
+        std::runtime_error);
+  }
+}
+
+TEST(EngineRegistry, MakeUnknownNameThrows) {
+  EXPECT_THROW(
+      EngineRegistry::instance().make("nope", crcspec::crc32_ethernet()),
+      std::invalid_argument);
+}
+
+TEST(EngineRegistry, RegisterEngineRejectsBadEntries) {
+  EngineRegistry reg;
+  const auto make = [](const CrcSpec& s) {
+    return CrcEngineHandle(TableCrc(s), "t");
+  };
+  const auto yes = [] { return true; };
+  const auto any = [](const CrcSpec&) { return true; };
+  EXPECT_THROW(reg.register_engine({"", "d", yes, any, make, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_engine({"t", "no factory", yes, any, {}, 0}),
+               std::invalid_argument);
+  reg.register_engine({"t", "d", yes, any, make, 0});
+  EXPECT_THROW(reg.register_engine({"t", "dup", yes, any, make, 1}),
+               std::invalid_argument);
+  EXPECT_EQ(reg.names(), std::vector<std::string>{"t"});
+}
+
+TEST(EngineRegistry, DispatchEquivalenceRandomLengthsWithSplits) {
+  // The type-erased handle must agree with the bit-serial reference for
+  // every available engine on random lengths 0..4096, and chunked
+  // absorption across a random cut must continue exactly (the property
+  // ParallelCrc and the pipeline stages build on).
+  const EngineRegistry& reg = EngineRegistry::instance();
+  Rng rng(0xE11);
+  for (const CrcSpec& s :
+       {crcspec::crc32_ethernet(), crcspec::crc32_mpeg2(),
+        crcspec::crc64_xz(), crcspec::crc16_ccitt_false()}) {
+    for (const std::string& name : reg.available_names()) {
+      if (!reg.supports(name, s)) continue;
+      const CrcEngineHandle e = reg.make(name, s);
+      for (int round = 0; round < 8; ++round) {
+        const std::size_t len =
+            static_cast<std::size_t>(rng.next_u64() % 4097);
+        const auto msg = rng.next_bytes(len);
+        const std::uint64_t expect = serial_crc(s, msg);
+        EXPECT_EQ(e.compute(msg), expect)
+            << name << " " << s.name << " len=" << len;
+        const std::size_t cut =
+            len == 0 ? 0 : static_cast<std::size_t>(rng.next_u64() % len);
+        std::uint64_t st = e.initial_state();
+        st = e.absorb(st, {msg.data(), cut});
+        st = e.state_from_raw(e.raw_register(st));  // round-trip mid-way
+        st = e.absorb(st, {msg.data() + cut, msg.size() - cut});
+        EXPECT_EQ(e.finalize(st), expect)
+            << name << " " << s.name << " len=" << len << " cut=" << cut;
+      }
+    }
+  }
+}
+
+TEST(EngineRegistry, HandleCopiesShareTheEngine) {
+  const CrcEngineHandle a =
+      EngineRegistry::instance().make("table", crcspec::crc32_ethernet());
+  const CrcEngineHandle b = a;  // shallow copy of the immutable engine
+  EXPECT_EQ(a.compute(kCheckMsg), b.compute(kCheckMsg));
+  EXPECT_EQ(b.engine_name(), "table");
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -119,7 +119,7 @@ TEST(CrcCombine, CombineFromLiveInitMatchesSerialConcatenation) {
 
 TEST(ParallelCrc, RejectsZeroShards) {
   EXPECT_THROW(
-      ParallelCrc<TableCrc>(TableCrc(crcspec::crc32_ethernet()), 0),
+      ParallelCrc(TableCrc(crcspec::crc32_ethernet()), 0),
       std::invalid_argument);
 }
 
@@ -133,7 +133,7 @@ TEST_P(ParallelShards, MatchesSerialForEverySpecAndLength) {
     const TableCrc ref(s);
     // min_shard_bytes = 1 forces the sharded fold whenever length
     // permits; lengths below the shard count take the serial fallback.
-    const ParallelCrc<TableCrc> par(TableCrc(s), shards,
+    const ParallelCrc par(TableCrc(s), shards,
                                     /*min_shard_bytes=*/1);
     std::vector<std::size_t> lengths = {0, 1, 2, 3, 7, 8, 9, 63, 256, 1000};
     if (shards > 1) {
@@ -160,17 +160,17 @@ TEST(ParallelCrc, WorksOverEveryWrappedEngineKind) {
   {
     const CrcSpec s = crcspec::crc32_ethernet();
     const std::uint64_t expect = serial_crc(s, msg);
-    EXPECT_EQ(ParallelCrc<SlicingCrc<4>>(SlicingCrc<4>(s), 4, 1).compute(msg),
+    EXPECT_EQ(ParallelCrc(SlicingCrc<4>(s), 4, 1).compute(msg),
               expect);
-    EXPECT_EQ(ParallelCrc<SlicingCrc<8>>(SlicingCrc<8>(s), 4, 1).compute(msg),
+    EXPECT_EQ(ParallelCrc(SlicingCrc<8>(s), 4, 1).compute(msg),
               expect);
     EXPECT_EQ(
-        ParallelCrc<WideTableCrc>(WideTableCrc(s, 8), 4, 1).compute(msg),
+        ParallelCrc(WideTableCrc(s, 8), 4, 1).compute(msg),
         expect);
     // The CLMUL folding engine shards like any byte-wise engine, under
     // either kernel.
-    EXPECT_EQ(ParallelCrc<ClmulCrc>(ClmulCrc(s), 4, 1).compute(msg), expect);
-    EXPECT_EQ(ParallelCrc<ClmulCrc>(ClmulCrc(s, ClmulKernel::kPortable), 4, 1)
+    EXPECT_EQ(ParallelCrc(ClmulCrc(s), 4, 1).compute(msg), expect);
+    EXPECT_EQ(ParallelCrc(ClmulCrc(s, ClmulKernel::kPortable), 4, 1)
                   .compute(msg),
               expect);
   }
@@ -178,15 +178,15 @@ TEST(ParallelCrc, WorksOverEveryWrappedEngineKind) {
     // Non-reflected spec through the WideTableCrc and ClmulCrc wrappers.
     const CrcSpec s = crcspec::crc32_mpeg2();
     EXPECT_EQ(
-        ParallelCrc<WideTableCrc>(WideTableCrc(s, 8), 4, 1).compute(msg),
+        ParallelCrc(WideTableCrc(s, 8), 4, 1).compute(msg),
         serial_crc(s, msg));
-    EXPECT_EQ(ParallelCrc<ClmulCrc>(ClmulCrc(s), 4, 1).compute(msg),
+    EXPECT_EQ(ParallelCrc(ClmulCrc(s), 4, 1).compute(msg),
               serial_crc(s, msg));
   }
   {
     // 64-bit reflected spec: shard folding with a full-width register.
     const CrcSpec s = crcspec::crc64_xz();
-    EXPECT_EQ(ParallelCrc<SlicingCrc<8>>(SlicingCrc<8>(s), 8, 1).compute(msg),
+    EXPECT_EQ(ParallelCrc(SlicingCrc<8>(s), 8, 1).compute(msg),
               serial_crc(s, msg));
   }
   {
@@ -196,16 +196,16 @@ TEST(ParallelCrc, WorksOverEveryWrappedEngineKind) {
     const auto small = Rng(601).next_bytes(700);
     const std::uint64_t expect = serial_crc(s, small);
     EXPECT_EQ(
-        ParallelCrc<MatrixCrc>(MatrixCrc(s, 32), 4, 1).compute(small),
+        ParallelCrc(MatrixCrc(s, 32), 4, 1).compute(small),
         expect);
-    EXPECT_EQ(ParallelCrc<GfmacCrc>(GfmacCrc(s, 32), 4, 1).compute(small),
+    EXPECT_EQ(ParallelCrc(GfmacCrc(s, 32), 4, 1).compute(small),
               expect);
   }
 }
 
 TEST(ParallelCrc, StreamingAbsorbMatchesOneShot) {
   const CrcSpec s = crcspec::crc32_ethernet();
-  const ParallelCrc<TableCrc> par(TableCrc(s), 4, /*min_shard_bytes=*/1);
+  const ParallelCrc par(TableCrc(s), 4, /*min_shard_bytes=*/1);
   const TableCrc ref(s);
   Rng rng(700);
   const auto msg = rng.next_bytes(10000);

@@ -59,7 +59,7 @@ std::vector<std::unique_ptr<Stage>> scramble_crc_collect() {
   std::vector<std::unique_ptr<Stage>> st;
   st.push_back(
       std::make_unique<ScrambleStage>(catalog::scrambler_80211(), kSeed));
-  st.push_back(std::make_unique<FcsStage<TableCrc>>(
+  st.push_back(std::make_unique<FcsStage>(
       TableCrc(crcspec::crc32_ethernet())));
   st.push_back(std::make_unique<CollectSink>());
   return st;
@@ -125,11 +125,11 @@ TEST(Pipeline, VerifySinkConfirmsEveryFrame) {
   std::vector<std::unique_ptr<Stage>> stages;
   stages.push_back(
       std::make_unique<ScrambleStage>(catalog::scrambler_dvb(), 0x30D1));
-  stages.push_back(std::make_unique<FcsStage<SlicingBy8Crc>>(
+  stages.push_back(std::make_unique<FcsStage>(
       SlicingBy8Crc(crcspec::crc32_ethernet())));
-  stages.push_back(std::make_unique<VerifySink<TableCrc>>(
+  stages.push_back(std::make_unique<VerifySink>(
       TableCrc(crcspec::crc32_ethernet()), /*stride=*/1));
-  auto* sink = static_cast<VerifySink<TableCrc>*>(stages.back().get());
+  auto* sink = static_cast<VerifySink*>(stages.back().get());
 
   Pipeline pipe(std::move(stages), {.queue_depth = 4});
   pipe.start();
@@ -186,8 +186,8 @@ TEST(Pipeline, ParallelCrcComposesAsStageEngine) {
   // The sharded engine exposes the same absorb interface, so it drops
   // into the CRC stage — pipeline-over-pipeline composition.
   std::vector<std::unique_ptr<Stage>> stages;
-  stages.push_back(std::make_unique<FcsStage<ParallelCrc<TableCrc>>>(
-      ParallelCrc<TableCrc>(TableCrc(crcspec::crc32_ethernet()), 2,
+  stages.push_back(std::make_unique<FcsStage>(
+      ParallelCrc(TableCrc(crcspec::crc32_ethernet()), 2,
                             /*min_shard_bytes=*/1)));
   stages.push_back(std::make_unique<CollectSink>());
   auto* sink = static_cast<CollectSink*>(stages.back().get());
