@@ -65,6 +65,67 @@ void register_engine_benches() {
   }
 }
 
+// Batched small-frame throughput — the software replay of the paper's
+// 32-way message interleaving figures. BM_EngineBatch/<name>/<bytes>
+// computes kBatchFrames independent frames per call through
+// compute_many (the interleaved kernel where the engine has one);
+// BM_EngineSingle/<name>/<bytes> is the same work as one compute call
+// per frame. Both report frames_per_second; compare_bench.py enforces
+// the intra-run batch/single >= 5x gate at 64 B for "clmul".
+constexpr std::size_t kBatchFrames = 32;
+
+void register_batch_benches() {
+  const EngineRegistry& reg = EngineRegistry::instance();
+  const CrcSpec spec = crcspec::crc32_ethernet();
+  for (const char* name : {"table", "clmul"}) {
+    const EngineInfo* info = reg.find(name);
+    if (info == nullptr || !info->available()) continue;
+    for (const std::size_t n :
+         {std::size_t{64}, std::size_t{256}, std::size_t{1518}}) {
+      const CrcEngineHandle engine = reg.make(name, spec);
+      benchmark::RegisterBenchmark(
+          ("BM_EngineBatch/" + std::string(name) + "/" +
+           std::to_string(n))
+              .c_str(),
+          [engine, n](benchmark::State& state) {
+            const auto msg = payload(n * kBatchFrames);
+            std::vector<FrameView> frames;
+            frames.reserve(kBatchFrames);
+            for (std::size_t i = 0; i < kBatchFrames; ++i)
+              frames.emplace_back(
+                  std::span<const std::uint8_t>(msg).subspan(i * n, n));
+            std::vector<std::uint64_t> crcs(kBatchFrames);
+            for (auto _ : state) {
+              engine.compute_many(frames, crcs);
+              benchmark::DoNotOptimize(crcs.data());
+            }
+            state.SetBytesProcessed(static_cast<std::int64_t>(
+                state.iterations() * n * kBatchFrames));
+            state.counters["frames_per_second"] = benchmark::Counter(
+                static_cast<double>(state.iterations() * kBatchFrames),
+                benchmark::Counter::kIsRate);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_EngineSingle/" + std::string(name) + "/" +
+           std::to_string(n))
+              .c_str(),
+          [engine, n](benchmark::State& state) {
+            const auto msg = payload(n * kBatchFrames);
+            for (auto _ : state) {
+              for (std::size_t i = 0; i < kBatchFrames; ++i)
+                benchmark::DoNotOptimize(engine.compute(
+                    std::span<const std::uint8_t>(msg).subspan(i * n, n)));
+            }
+            state.SetBytesProcessed(static_cast<std::int64_t>(
+                state.iterations() * n * kBatchFrames));
+            state.counters["frames_per_second"] = benchmark::Counter(
+                static_cast<double>(state.iterations() * kBatchFrames),
+                benchmark::Counter::kIsRate);
+          });
+    }
+  }
+}
+
 // Sharded multi-core curves: single-thread vs 2/4/8-way shards on a
 // 1 MiB buffer over the byte-wise registry engines worth sharding. The
 // wrapped engine sets the per-core ceiling; the shard curve shows how
@@ -226,6 +287,7 @@ int main(int argc, char** argv) {
   }
 
   register_engine_benches();
+  register_batch_benches();
   register_parallel_benches();
   if (plfsr::cpu_features().pclmul && plfsr::cpu_features().sse41)
     benchmark::RegisterBenchmark("BM_ClmulCrc64", BM_ClmulCrc64)

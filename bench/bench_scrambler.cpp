@@ -83,7 +83,10 @@ bool validate() {
           return false;
         }
         for (const std::size_t shards : {2u, 4u}) {
-          ParallelScramble par(g, seed, shards, /*min_shard_bytes=*/1);
+          // cap_to_host off: the correctness gate must exercise the real
+          // multi-shard split even on a single-core runner.
+          ParallelScramble par(g, seed, shards, /*min_shard_bytes=*/1,
+                               /*cap_to_host=*/false);
           std::vector<std::uint8_t> pgot = orig;
           par.process(pgot);
           if (pgot != want) {
@@ -206,6 +209,26 @@ int main(int argc, char** argv) {
             << "x " << (speedup >= 20 ? "(>= 20x target)" : "(BELOW 20x target)")
             << "\n";
 
+  // Shard-scaling regression gate: asking for more shards must never
+  // scale backwards. With the hardware cap and the per-shard slice floor
+  // the engine falls back to fewer (or one) shard(s) when splitting
+  // cannot pay, so every point must stay within noise of the 1-shard
+  // rate (the 0.85 factor absorbs run-to-run jitter; the regression this
+  // pins was a 2.1x slowdown at 8 shards).
+  bool shards_ok = true;
+  for (const ShardPoint& p : par_points) {
+    if (p.mbps < 0.85 * par_points[0].mbps) {
+      shards_ok = false;
+      std::cout << "SHARD REGRESSION: x" << p.shards << " = "
+                << ReportTable::num(p.mbps, 1) << " MB/s < 0.85 * x1 = "
+                << ReportTable::num(0.85 * par_points[0].mbps, 1)
+                << " MB/s\n";
+    }
+  }
+  if (shards_ok)
+    std::cout << "shard scaling        : monotone within noise (>= 0.85x "
+                 "the 1-shard rate at every point)\n";
+
   if (json) {
     std::ofstream out("BENCH_scrambler.json");
     out << "{\n  \"bench\": \"scrambler\",\n  \"buf_bytes\": " << kBufBytes
@@ -223,5 +246,5 @@ int main(int argc, char** argv) {
     out << "  ],\n  \"correctness_ok\": true\n}\n";
     std::cout << "wrote BENCH_scrambler.json\n";
   }
-  return speedup >= 20 ? 0 : 1;
+  return (speedup >= 20 && shards_ok) ? 0 : 1;
 }

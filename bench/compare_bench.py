@@ -10,11 +10,12 @@ such as losing the CLMUL fast path or a pipeline stall bug).
 Throughput metrics are compared one-sided: only slowdowns fail, speedups
 just update the printed delta. Benchmarks present in the baseline but
 missing from the fresh run fail the gate (a silently dropped benchmark
-is how a perf regression hides); fresh benchmarks absent from the
-baseline are informational only — printed with a "(new, not in
-baseline)" marker and never fatal — so adding a benchmark (or a newly
-registered engine appearing in the registry-enumerated sweeps) does not
-require touching the baseline in the same commit.
+is how a perf regression hides). Fresh benchmarks absent from the
+baseline also fail: a benchmark that never enters the baseline is never
+gated, so adding one (or registering a new engine that appears in the
+registry-enumerated sweeps) must append its entry to bench/baseline.json
+in the same change. Pass --allow-new to downgrade that to informational
+during a staged rollout.
 
 Machine-dependent benchmarks (the pclmul ones register only on CPUs with
 the instruction) are handled by recording the hardware ticket in the
@@ -23,11 +24,15 @@ fresh crc-engines run itself contains a pclmul benchmark. Matching is
 case-insensitive ("clmul" registry keys and "Clmul" type names alike);
 the portable-kernel benches are plain metrics, present on every host.
 
-One intra-run invariant is checked besides the baseline deltas: the
-BM_CrcHandle/{direct,erased} pair must show the type-erased handle
-within --handle-min-ratio (default 0.95, i.e. <= 5% overhead) of the
-direct engine call — the contract that lets every call site route
-through CrcEngineHandle without a measurable toll.
+Two intra-run invariants are checked besides the baseline deltas (both
+compared within the fresh run, so runner speed cancels out):
+  - the BM_CrcHandle/{direct,erased} pair must show the type-erased
+    handle within --handle-min-ratio (default 0.95, i.e. <= 5% overhead)
+    of the direct engine call;
+  - on clmul hosts, BM_EngineBatch/clmul/64 must run at least
+    --batch-min-ratio (default 5.0) times BM_EngineSingle/clmul/64 —
+    the interleaved small-frame path must actually hide the fold
+    latency chain, not just exist.
 
 Usage:
   compare_bench.py --baseline bench/baseline.json \
@@ -124,6 +129,12 @@ def main():
     ap.add_argument("--handle-min-ratio", type=float, default=0.95,
                     help="min BM_CrcHandle erased/direct throughput ratio "
                          "(default 0.95 = at most 5%% erasure overhead)")
+    ap.add_argument("--batch-min-ratio", type=float, default=5.0,
+                    help="min BM_EngineBatch/BM_EngineSingle throughput "
+                         "ratio for clmul at 64 B (default 5.0)")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="report fresh metrics missing from the baseline "
+                         "instead of failing on them")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the fresh run instead "
                          "of comparing")
@@ -184,9 +195,21 @@ def main():
         print("{:<{w}}  {:>12.4g}  vs {:>12.4g}  {:+7.1%}  {}".format(
             name, got, want, delta, status, w=width))
 
-    for name in sorted(set(fresh) - set(expected)):
-        print("{:<{w}}  {:>12.4g}  (new, not in baseline)".format(
-            name, fresh[name], w=width))
+    # On a non-clmul host the clmul-gated fresh metrics cannot appear at
+    # all, so only plain metrics are held to the append-to-baseline rule
+    # there; a clmul host checks both maps.
+    baselined = set(base_doc.get("metrics", {}))
+    baselined.update(base_doc.get("requires_clmul", {}))
+    for name in sorted(set(fresh) - baselined):
+        if args.allow_new:
+            print("{:<{w}}  {:>12.4g}  (new, not in baseline)".format(
+                name, fresh[name], w=width))
+        else:
+            failures.append(
+                "{}: not in baseline (append it to bench/baseline.json in "
+                "the same change, or pass --allow-new)".format(name))
+            print("{:<{w}}  {:>12.4g}  NOT IN BASELINE".format(
+                name, fresh[name], w=width))
 
     # Intra-run invariant: the type-erased handle must stay within
     # handle-min-ratio of the direct engine call. Compared within this
@@ -207,6 +230,27 @@ def main():
         print("{:<{w}}  {:>12.3f}  (min {:.3f})  {}".format(
             "handle erased/direct ratio", ratio, args.handle_min_ratio,
             status, w=width))
+
+    # Intra-run invariant: on clmul hosts the interleaved batch path must
+    # beat the per-frame loop by batch-min-ratio at the smallest frame
+    # size — the whole point of the batch API.
+    single = fresh.get("crc_engines/BM_EngineSingle/clmul/64")
+    batch = fresh.get("crc_engines/BM_EngineBatch/clmul/64")
+    if has_clmul:
+        if single is None or batch is None:
+            failures.append("BM_EngineBatch/BM_EngineSingle clmul/64 pair "
+                            "missing from the fresh crc-engines run")
+        elif single > 0:
+            ratio = batch / single
+            status = "ok"
+            if ratio < args.batch_min_ratio:
+                status = "REGRESSED"
+                failures.append(
+                    "batched small-frame CRC: batch/single = {:.2f}x at "
+                    "64 B (min {:.2f}x)".format(ratio, args.batch_min_ratio))
+            print("{:<{w}}  {:>11.2f}x  (min {:.2f}x)  {}".format(
+                "clmul batch/single @64B", ratio, args.batch_min_ratio,
+                status, w=width))
 
     if failures:
         print("\nFAIL: {} metric(s) regressed beyond {:.0%}:".format(

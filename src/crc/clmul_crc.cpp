@@ -23,6 +23,8 @@
 // trick that makes reflected CLMUL CRCs fast in real NIC/zlib stacks.
 #include "crc/clmul_crc.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -209,6 +211,135 @@ Lane bulk_fold_x86(bool reflected, unsigned width, std::uint64_t raw,
 
 #endif  // PLFSR_CLMUL_X86
 
+/// One frame's share of an interleaved batch: pointer/extent of the
+/// 8-byte-aligned bulk, the injected raw register in, the unreduced
+/// 128-bit lane out.
+struct BatchLaneTask {
+  const std::uint8_t* p = nullptr;
+  std::size_t bulk = 0;  ///< multiple of 8, >= 16
+  /// Starting register pre-positioned for lane injection (caller-side:
+  /// the reflected table state IS the reflected raw register, so no
+  /// per-frame reflect_bits loop runs on this path).
+  std::uint64_t inj = 0;
+  Lane x;
+};
+
+// Interleaving width. 8 lanes of 2-clmul folds cover the multiplier's
+// ~7-cycle latency with room to spare and still fit the 16 xmm registers
+// (8 states + 2 constant pairs + the shuffle mask).
+constexpr std::size_t kBatchWays = 8;
+
+#ifdef PLFSR_CLMUL_X86
+
+// Interleaved single-lane folding: each task's frame is one 128-bit lane
+// stepped 16 bytes at a time with the distance-128 constants (k[2..3]),
+// all tasks in lockstep over their common prefix so the fold chains
+// overlap. Tails past the common prefix finish per task (same dataflow,
+// no interleaving), ending with the 8-byte step (k[8]) when the bulk is
+// not a multiple of 16. Dataflow per lane is identical to bulk_fold_x86
+// with one lane instead of four.
+__attribute__((target("pclmul,sse4.1")))
+void batch_fold_x86(bool reflected, BatchLaneTask* tasks, std::size_t m,
+                    const std::array<std::uint64_t, 9>& k) {
+  const __m128i bswap =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  const __m128i k128 = _mm_set_epi64x(static_cast<long long>(k[3]),
+                                      static_cast<long long>(k[2]));
+  const __m128i k64 = _mm_set_epi64x(static_cast<long long>(k[8]),
+                                     static_cast<long long>(k[8]));
+
+#define PLFSR_LOAD(q)                                              \
+  (reflected ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)) \
+             : _mm_shuffle_epi8(                                    \
+                   _mm_loadu_si128(reinterpret_cast<const __m128i*>(q)), \
+                   bswap))
+#define PLFSR_FOLD(v, kk)                                          \
+  (reflected ? _mm_xor_si128(_mm_clmulepi64_si128((v), (kk), 0x10), \
+                             _mm_clmulepi64_si128((v), (kk), 0x01)) \
+             : _mm_xor_si128(_mm_clmulepi64_si128((v), (kk), 0x11), \
+                             _mm_clmulepi64_si128((v), (kk), 0x00)))
+
+  __m128i x[kBatchWays];
+  std::size_t common = tasks[0].bulk;
+  for (std::size_t f = 1; f < m; ++f)
+    common = common < tasks[f].bulk ? common : tasks[f].bulk;
+  common &= ~std::size_t{15};
+
+  for (std::size_t f = 0; f < m; ++f) {
+    x[f] = PLFSR_LOAD(tasks[f].p);
+    x[f] = _mm_xor_si128(
+        x[f], reflected
+                  ? _mm_set_epi64x(0, static_cast<long long>(tasks[f].inj))
+                  : _mm_set_epi64x(static_cast<long long>(tasks[f].inj), 0));
+  }
+
+  std::size_t pos = 16;
+  for (; pos + 16 <= common; pos += 16)
+    for (std::size_t f = 0; f < m; ++f)
+      x[f] = _mm_xor_si128(PLFSR_FOLD(x[f], k128),
+                           PLFSR_LOAD(tasks[f].p + pos));
+
+  for (std::size_t f = 0; f < m; ++f) {
+    std::size_t fp = pos;
+    const std::size_t bulk = tasks[f].bulk;
+    __m128i v = x[f];
+    for (; fp + 16 <= bulk; fp += 16)
+      v = _mm_xor_si128(PLFSR_FOLD(v, k128), PLFSR_LOAD(tasks[f].p + fp));
+    if (fp + 8 <= bulk) {
+      if (reflected) {
+        const __m128i t = _mm_clmulepi64_si128(v, k64, 0x00);
+        const std::uint64_t w = load_le64(tasks[f].p + fp);
+        v = _mm_xor_si128(t, _mm_xor_si128(_mm_srli_si128(v, 8),
+                                           _mm_set_epi64x(
+                                               static_cast<long long>(w), 0)));
+      } else {
+        const __m128i t = _mm_clmulepi64_si128(v, k64, 0x11);
+        const std::uint64_t w = load_be64(tasks[f].p + fp);
+        v = _mm_xor_si128(t, _mm_xor_si128(_mm_slli_si128(v, 8),
+                                           _mm_set_epi64x(
+                                               0, static_cast<long long>(w))));
+      }
+    }
+    tasks[f].x.q0 = static_cast<std::uint64_t>(_mm_extract_epi64(v, 0));
+    tasks[f].x.q1 = static_cast<std::uint64_t>(_mm_extract_epi64(v, 1));
+  }
+#undef PLFSR_LOAD
+#undef PLFSR_FOLD
+}
+
+#endif  // PLFSR_CLMUL_X86
+
+/// Serialize an unreduced lane into the 16-byte image whose table
+/// absorption from the zero register performs the final reduction
+/// (byte order per bit orientation, as in ClmulCrc::absorb_bulk).
+void lane_to_bytes(const Lane& x, bool reflected, std::uint8_t* buf) {
+  if constexpr (std::endian::native == std::endian::little) {
+    // Two 8-byte stores either way: little-endian qwords for the
+    // reflected orientation, byte-swapped qwords for the aligned one.
+    if (reflected) {
+      std::memcpy(buf, &x.q0, 8);
+      std::memcpy(buf + 8, &x.q1, 8);
+    } else {
+      const std::uint64_t hi = __builtin_bswap64(x.q1);
+      const std::uint64_t lo = __builtin_bswap64(x.q0);
+      std::memcpy(buf, &hi, 8);
+      std::memcpy(buf + 8, &lo, 8);
+    }
+    return;
+  }
+  if (reflected) {
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<std::uint8_t>(x.q0 >> (8 * i));
+      buf[8 + i] = static_cast<std::uint8_t>(x.q1 >> (8 * i));
+    }
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<std::uint8_t>(x.q1 >> (56 - 8 * i));
+      buf[8 + i] = static_cast<std::uint8_t>(x.q0 >> (56 - 8 * i));
+    }
+  }
+}
+
 }  // namespace
 
 Clmul128 clmul64_portable(std::uint64_t a, std::uint64_t b) {
@@ -289,18 +420,92 @@ std::uint64_t ClmulCrc::absorb_bulk(std::uint64_t raw, const std::uint8_t* p,
   // Final reduction: X·x^k mod g == absorbing X's 128 bits from the
   // zero register, i.e. one 16-byte pass through the Sarwate table.
   std::uint8_t buf[16];
-  if (reflected_) {
-    for (int i = 0; i < 8; ++i) {
-      buf[i] = static_cast<std::uint8_t>(x.q0 >> (8 * i));
-      buf[8 + i] = static_cast<std::uint8_t>(x.q1 >> (8 * i));
-    }
-  } else {
-    for (int i = 0; i < 8; ++i) {
-      buf[i] = static_cast<std::uint8_t>(x.q1 >> (56 - 8 * i));
-      buf[8 + i] = static_cast<std::uint8_t>(x.q0 >> (56 - 8 * i));
-    }
-  }
+  lane_to_bytes(x, reflected_, buf);
   return base_.raw_register(base_.absorb(0, {buf, 16}));
+}
+
+void ClmulCrc::absorb_many(std::span<std::uint64_t> states,
+                           std::span<const FrameView> frames) const {
+#ifdef PLFSR_CLMUL_X86
+  if (accelerated_ && frames.size() >= 2) {
+    // A frame whose bulk runs far past its group's lockstep prefix would
+    // finish un-interleaved on the single-lane kernel; cap its share,
+    // reduce early, and let the 4-lane single-frame kernel absorb the
+    // remainder from the reduced register (streaming makes that exact).
+    constexpr std::size_t kSerialFinishMax = 512;
+    BatchLaneTask tasks[kBatchWays];
+    std::size_t idx[kBatchWays];
+    std::size_t m = 0;
+    const auto flush = [&] {
+      if (m == 0) return;
+      if (m == 1) {
+        states[idx[0]] = absorb(states[idx[0]], frames[idx[0]]);
+        m = 0;
+        return;
+      }
+      std::size_t common = tasks[0].bulk;
+      for (std::size_t f = 1; f < m; ++f)
+        common = std::min(common, tasks[f].bulk);
+      for (std::size_t f = 0; f < m; ++f)
+        tasks[f].bulk = std::min(tasks[f].bulk, common + kSerialFinishMax);
+      batch_fold_x86(reflected_, tasks, m, k_);
+      // Reductions batch through the table engine: one 16-byte image per
+      // lane, the group's lookup chains interleaved by absorb_many.
+      std::uint8_t bufs[kBatchWays][16];
+      std::uint64_t red[kBatchWays];
+      FrameView views[kBatchWays];
+      for (std::size_t f = 0; f < m; ++f) {
+        lane_to_bytes(tasks[f].x, reflected_, bufs[f]);
+        red[f] = 0;
+        views[f] = FrameView{bufs[f], 16};
+      }
+      base_.absorb_many({red, m}, {views, m});
+      // red[f] is already the table state of the reduced register — the
+      // sub-8-byte tail (if any) streams on from it directly. Frames the
+      // kernel consumed whole (the common small-frame case) skip the
+      // call entirely.
+      for (std::size_t f = 0; f < m; ++f) {
+        const FrameView frame = frames[idx[f]];
+        states[idx[f]] = tasks[f].bulk == frame.size()
+                             ? red[f]
+                             : absorb(red[f], frame.subspan(tasks[f].bulk));
+      }
+      m = 0;
+    };
+    const unsigned width = spec().width;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const std::size_t bulk = frames[i].size() & ~std::size_t{7};
+      if (bulk < 16) {
+        states[i] = base_.absorb(states[i], frames[i]);
+        continue;
+      }
+      // Injection word for the lane: the reflected table convention
+      // already stores the bit-reversed register, so the state injects
+      // as-is; the aligned convention left-justifies the raw register.
+      const std::uint64_t inj =
+          reflected_ ? states[i]
+                     : (width < 64 ? base_.raw_register(states[i])
+                                         << (64 - width)
+                                   : base_.raw_register(states[i]));
+      tasks[m] = {frames[i].data(), bulk, inj, {}};
+      idx[m] = i;
+      if (++m == kBatchWays) flush();
+    }
+    flush();
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    states[i] = absorb(states[i], frames[i]);
+}
+
+void ClmulCrc::compute_many(std::span<const FrameView> frames,
+                            std::span<std::uint64_t> out) const {
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    out[i] = initial_state();
+  absorb_many(out, frames);
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    out[i] = finalize(out[i]);
 }
 
 std::uint64_t ClmulCrc::absorb(std::uint64_t state,

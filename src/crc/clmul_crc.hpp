@@ -25,6 +25,7 @@
 #include <span>
 
 #include "crc/crc_spec.hpp"
+#include "crc/engine.hpp"
 #include "crc/table_crc.hpp"
 
 namespace plfsr {
@@ -53,6 +54,21 @@ class ClmulCrc {
   bool accelerated() const { return accelerated_; }
 
   std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
+
+  /// Batch absorb: states[i] = absorb(states[i], frames[i]), bit-exact
+  /// with the loop but interleaved — up to 8 frames become one 128-bit
+  /// lane each, folding 16 bytes per step in lockstep, so the two-clmul
+  /// fold latency chain of one frame fills with the others' independent
+  /// folds (the paper's 32-way message interleaving, at register width).
+  /// Final reductions batch through the embedded table's absorb_many.
+  /// Frames under 16 bulk bytes take the table path; a frame much longer
+  /// than its group reduces early and continues on the 4-lane kernel.
+  void absorb_many(std::span<std::uint64_t> states,
+                   std::span<const FrameView> frames) const;
+
+  /// Batch one-shot: out[i] = compute(frames[i]) via absorb_many.
+  void compute_many(std::span<const FrameView> frames,
+                    std::span<std::uint64_t> out) const;
 
   /// Shared byte-streaming interface (state convention == TableCrc's).
   std::uint64_t initial_state() const { return base_.initial_state(); }

@@ -50,6 +50,11 @@
 
 namespace plfsr {
 
+/// One independent message in a batch call: a borrowed byte view. The
+/// batch API treats every FrameView as its own message (its own state /
+/// CRC), unlike the shards of ParallelCrc, which are pieces of one.
+using FrameView = std::span<const std::uint8_t>;
+
 /// The shared streaming contract of every CRC engine (see file comment).
 template <typename E>
 concept LinearEngine = requires(const E e, std::uint64_t s,
@@ -61,6 +66,21 @@ concept LinearEngine = requires(const E e, std::uint64_t s,
   { e.raw_register(s) } -> std::convertible_to<std::uint64_t>;
   { e.state_from_raw(s) } -> std::convertible_to<std::uint64_t>;
 };
+
+/// Extension of LinearEngine for engines with a native batch kernel:
+/// absorb_many folds frames[i] into states[i] for every i, semantically
+/// equal to the absorb loop but free to interleave the independent
+/// per-frame dependency chains (the software form of the paper's 32-way
+/// message interleaving). Engines without it still batch through the
+/// handle — CrcEngineHandle falls back to the loop, so the batch API is
+/// correct-by-construction for every registry engine.
+template <typename E>
+concept BatchLinearEngine =
+    LinearEngine<E> &&
+    requires(const E e, std::span<std::uint64_t> states,
+             std::span<const FrameView> frames) {
+      { e.absorb_many(states, frames) };
+    };
 
 /// Cheap type-erased handle to any LinearEngine.
 ///
@@ -108,6 +128,22 @@ class CrcEngineHandle {
     return impl_->compute(bytes);
   }
 
+  /// Batch absorb: states[i] = absorb(states[i], frames[i]) for every i
+  /// (states.size() must equal frames.size()). Routed to the engine's
+  /// native absorb_many when it has one (BatchLinearEngine), else the
+  /// absorb loop — bit-exact either way; one virtual call per batch.
+  void absorb_many(std::span<std::uint64_t> states,
+                   std::span<const FrameView> frames) const {
+    impl_->absorb_many(states, frames);
+  }
+
+  /// Batch one-shot: out[i] = compute(frames[i]) for every i
+  /// (out.size() must equal frames.size()).
+  void compute_many(std::span<const FrameView> frames,
+                    std::span<std::uint64_t> out) const {
+    impl_->compute_many(frames, out);
+  }
+
  private:
   struct Iface {
     virtual ~Iface() = default;
@@ -119,6 +155,10 @@ class CrcEngineHandle {
     virtual std::uint64_t raw_register(std::uint64_t state) const = 0;
     virtual std::uint64_t state_from_raw(std::uint64_t raw) const = 0;
     virtual std::uint64_t compute(std::span<const std::uint8_t> b) const = 0;
+    virtual void absorb_many(std::span<std::uint64_t> states,
+                             std::span<const FrameView> frames) const = 0;
+    virtual void compute_many(std::span<const FrameView> frames,
+                              std::span<std::uint64_t> out) const = 0;
   };
 
   template <LinearEngine E>
@@ -144,6 +184,31 @@ class CrcEngineHandle {
     std::uint64_t compute(std::span<const std::uint8_t> b) const override {
       return engine.finalize(engine.absorb(engine.initial_state(), b));
     }
+    void absorb_many(std::span<std::uint64_t> states,
+                     std::span<const FrameView> frames) const override {
+      if constexpr (BatchLinearEngine<E>) {
+        engine.absorb_many(states, frames);
+      } else {
+        for (std::size_t i = 0; i < frames.size(); ++i)
+          states[i] = engine.absorb(states[i], frames[i]);
+      }
+    }
+    void compute_many(std::span<const FrameView> frames,
+                      std::span<std::uint64_t> out) const override {
+      if constexpr (requires { engine.compute_many(frames, out); }) {
+        engine.compute_many(frames, out);
+      } else if constexpr (BatchLinearEngine<E>) {
+        for (std::size_t i = 0; i < frames.size(); ++i)
+          out[i] = engine.initial_state();
+        engine.absorb_many(out, frames);
+        for (std::size_t i = 0; i < frames.size(); ++i)
+          out[i] = engine.finalize(out[i]);
+      } else {
+        for (std::size_t i = 0; i < frames.size(); ++i)
+          out[i] = engine.finalize(
+              engine.absorb(engine.initial_state(), frames[i]));
+      }
+    }
     E engine;
   };
 
@@ -153,5 +218,7 @@ class CrcEngineHandle {
 
 static_assert(LinearEngine<CrcEngineHandle>,
               "the handle must satisfy the contract it erases");
+static_assert(BatchLinearEngine<CrcEngineHandle>,
+              "the handle batches for every engine, native kernel or not");
 
 }  // namespace plfsr

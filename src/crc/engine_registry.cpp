@@ -218,6 +218,28 @@ CrcEngineHandle EngineRegistry::make(const std::string& name,
   return e->make(spec);
 }
 
+CrcEngineHandle EngineRegistry::make_cached(const std::string& name,
+                                            const CrcSpec& spec) const {
+  // Key on the numeric parameters, not spec.name: two specs with the
+  // same label but different polynomials must not share an engine.
+  std::string key = name;
+  key += '|';
+  key += std::to_string(spec.width) + '|' + std::to_string(spec.poly) + '|' +
+         std::to_string(spec.init) + '|' + std::to_string(spec.xorout) +
+         '|' + (spec.reflect_in ? '1' : '0') +
+         (spec.reflect_out ? '1' : '0');
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Construct outside the lock (construction can be slow; make() also
+  // throws on unknown/unsupported, which must not poison the cache).
+  CrcEngineHandle handle = make(name, spec);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.try_emplace(std::move(key), std::move(handle)).first->second;
+}
+
 CrcEngineHandle EngineRegistry::best_for(const CrcSpec& spec) const {
   const std::string forced = engine_override();
   if (!forced.empty()) {

@@ -30,7 +30,9 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crc/crc_spec.hpp"
@@ -86,6 +88,16 @@ class EngineRegistry {
   /// std::runtime_error if the engine does not support the spec.
   CrcEngineHandle make(const std::string& name, const CrcSpec& spec) const;
 
+  /// make() memoized on (name, spec parameters): the first call builds
+  /// the engine (tables, fold/reduction constants, look-ahead matrices),
+  /// later calls share that instance through the handle's shared_ptr —
+  /// engines are immutable and concurrency-safe, so sharing is free.
+  /// This is what lets a short-frame path construct "its" engine per
+  /// batch without paying per-construction setup. Thread-safe, unlike
+  /// register_engine(). Same error behaviour as make().
+  CrcEngineHandle make_cached(const std::string& name,
+                              const CrcSpec& spec) const;
+
   /// The best available engine for `spec` under the preference policy,
   /// or the engine named by PLFSR_ENGINE if that is set (unknown /
   /// unsuitable names throw). Throws std::runtime_error if no engine
@@ -95,6 +107,8 @@ class EngineRegistry {
 
  private:
   std::vector<EngineInfo> entries_;
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, CrcEngineHandle> cache_;
 };
 
 /// Value of the PLFSR_ENGINE override ("" when unset/empty). Read from

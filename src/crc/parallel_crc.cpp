@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "support/sharding.hpp"
+
 namespace plfsr {
 
 ParallelCrc::ParallelCrc(CrcEngineHandle engine, std::size_t shards,
@@ -23,17 +25,12 @@ std::uint64_t ParallelCrc::absorb(std::uint64_t state,
   if (shards_ == 1 || n < shards_ * min_shard_bytes_)
     return engine_.absorb(state, bytes);
 
-  // Near-equal split; the first n % shards_ shards get one extra byte.
-  const std::size_t base = n / shards_;
-  const std::size_t extra = n % shards_;
+  // Near-equal split (shared policy with ParallelScramble): the first
+  // n % shards_ shards get one extra byte.
   std::vector<std::span<const std::uint8_t>> parts;
   parts.reserve(shards_);
-  std::size_t off = 0;
-  for (std::size_t i = 0; i < shards_; ++i) {
-    const std::size_t len = base + (i < extra ? 1 : 0);
-    parts.push_back(bytes.subspan(off, len));
-    off += len;
-  }
+  for (const ShardSlice& s : near_equal_slices(n, shards_))
+    parts.push_back(bytes.subspan(s.offset, s.length));
 
   // Shards 1..S-1 absorb from the zero register on the pool while the
   // calling thread handles shard 0 from the live state. One virtual
@@ -62,6 +59,45 @@ std::uint64_t ParallelCrc::absorb(std::uint64_t state,
 
 std::uint64_t ParallelCrc::compute(std::span<const std::uint8_t> bytes) const {
   return finalize(absorb(initial_state(), bytes));
+}
+
+void ParallelCrc::absorb_many(std::span<std::uint64_t> states,
+                              std::span<const FrameView> frames) const {
+  std::size_t total = 0;
+  for (const FrameView& f : frames) total += f.size();
+  if (shards_ == 1 || total < shards_ * min_shard_bytes_ ||
+      frames.size() < shards_) {
+    engine_.absorb_many(states, frames);
+    return;
+  }
+  // Frames are independent messages: no combine fold, just near-equal
+  // runs of frames per shard, each run batched in one absorb_many so the
+  // engine's interleaving still sees full groups. (Splitting by frame
+  // count, not bytes: the batch workloads this serves are same-order
+  // frame sizes, and a count split keeps the dispatch allocation-free.)
+  const std::vector<ShardSlice> slices =
+      near_equal_slices(frames.size(), shards_);
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards_ - 1);
+  for (std::size_t i = 1; i < shards_; ++i) {
+    const ShardSlice s = slices[i];
+    pending.push_back(pool_->submit([this, states, frames, s] {
+      engine_.absorb_many(states.subspan(s.offset, s.length),
+                          frames.subspan(s.offset, s.length));
+    }));
+  }
+  engine_.absorb_many(states.subspan(0, slices[0].length),
+                      frames.subspan(0, slices[0].length));
+  for (std::future<void>& f : pending) f.get();
+}
+
+void ParallelCrc::compute_many(std::span<const FrameView> frames,
+                               std::span<std::uint64_t> out) const {
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    out[i] = engine_.initial_state();
+  absorb_many(out, frames);
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    out[i] = engine_.finalize(out[i]);
 }
 
 }  // namespace plfsr

@@ -54,6 +54,19 @@ class ParallelCrc {
 
   std::uint64_t compute(std::span<const std::uint8_t> bytes) const;
 
+  /// Batch absorb over whole frames: each shard takes a near-equal
+  /// contiguous run of *frames* (not slices of one buffer — small frames
+  /// would drown in combine folds) and batches it through the wrapped
+  /// engine's absorb_many, so per-shard the interleaved kernels still
+  /// see full groups. Below the same small-work threshold as absorb()
+  /// the calling thread batches everything itself.
+  void absorb_many(std::span<std::uint64_t> states,
+                   std::span<const FrameView> frames) const;
+
+  /// Batch one-shot: out[i] = compute(frames[i]), sharded as above.
+  void compute_many(std::span<const FrameView> frames,
+                    std::span<std::uint64_t> out) const;
+
   std::uint64_t initial_state() const { return engine_.initial_state(); }
   std::uint64_t absorb(std::uint64_t state,
                        std::span<const std::uint8_t> bytes) const;
@@ -76,5 +89,6 @@ class ParallelCrc {
 };
 
 static_assert(LinearEngine<ParallelCrc>);
+static_assert(BatchLinearEngine<ParallelCrc>);
 
 }  // namespace plfsr

@@ -1,5 +1,6 @@
 #include "crc/table_crc.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace plfsr {
@@ -33,12 +34,13 @@ TableCrc::TableCrc(const CrcSpec& spec) : spec_(spec) {
       table_[b] = crc;
     }
   }
+  // Computed once: reflect_bits is a width-iteration loop, and the
+  // batch/small-frame paths ask for the initial state once per frame.
+  init_state_ = spec_.reflect_in ? reflect_bits(spec_.init, spec_.width)
+                                 : (spec_.init << align_);
 }
 
-std::uint64_t TableCrc::initial_state() const {
-  return spec_.reflect_in ? reflect_bits(spec_.init, spec_.width)
-                          : (spec_.init << align_);
-}
+std::uint64_t TableCrc::initial_state() const { return init_state_; }
 
 std::uint64_t TableCrc::absorb(std::uint64_t state,
                                std::span<const std::uint8_t> bytes) const {
@@ -54,6 +56,48 @@ std::uint64_t TableCrc::absorb(std::uint64_t state,
       state = (table_[((state >> shift) ^ b) & 0xFF] ^ (state << 8)) & effmask;
   }
   return state;
+}
+
+void TableCrc::absorb_many(std::span<std::uint64_t> states,
+                           std::span<const FrameView> frames) const {
+  // Round-robin groups of up to 8 frames: lockstep over the common prefix
+  // length (the per-frame lookup chains are independent, so the
+  // out-of-order core keeps ~8 lookups in flight), then finish the
+  // longer frames' tails through the serial loop.
+  constexpr std::size_t kWays = 8;
+  const unsigned effw = spec_.width + align_;
+  const unsigned shift = effw - 8;
+  const std::uint64_t effmask =
+      effw == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << effw) - 1;
+  for (std::size_t base = 0; base < frames.size(); base += kWays) {
+    const std::size_t m = std::min(kWays, frames.size() - base);
+    if (m == 1) {
+      states[base] = absorb(states[base], frames[base]);
+      continue;
+    }
+    std::size_t common = frames[base].size();
+    for (std::size_t f = 1; f < m; ++f)
+      common = std::min(common, frames[base + f].size());
+    std::uint64_t st[kWays];
+    const std::uint8_t* p[kWays];
+    for (std::size_t f = 0; f < m; ++f) {
+      st[f] = states[base + f];
+      p[f] = frames[base + f].data();
+    }
+    if (spec_.reflect_in) {
+      for (std::size_t j = 0; j < common; ++j)
+        for (std::size_t f = 0; f < m; ++f)
+          st[f] = table_[(st[f] ^ p[f][j]) & 0xFF] ^ (st[f] >> 8);
+    } else {
+      for (std::size_t j = 0; j < common; ++j)
+        for (std::size_t f = 0; f < m; ++f)
+          st[f] = (table_[((st[f] >> shift) ^ p[f][j]) & 0xFF] ^
+                   (st[f] << 8)) &
+                  effmask;
+    }
+    for (std::size_t f = 0; f < m; ++f)
+      states[base + f] = absorb(st[f], frames[base + f].subspan(common));
+  }
 }
 
 std::uint64_t TableCrc::raw_register(std::uint64_t state) const {

@@ -12,6 +12,7 @@
 #include <span>
 
 #include "crc/crc_spec.hpp"
+#include "crc/engine.hpp"
 
 namespace plfsr {
 
@@ -32,6 +33,13 @@ class TableCrc {
                        std::span<const std::uint8_t> bytes) const;
   std::uint64_t finalize(std::uint64_t state) const;
 
+  /// Batch absorb, states[i] = absorb(states[i], frames[i]): the lookup
+  /// chains of up to 8 frames run round-robin, so the per-byte table
+  /// latency of one frame hides behind the others' independent chains.
+  /// ClmulCrc's batch path also uses this for its final reductions.
+  void absorb_many(std::span<std::uint64_t> states,
+                   std::span<const FrameView> frames) const;
+
   /// Engine state <-> raw register (bit i = coefficient of x^i), the
   /// orientation-free representation the shard-combine operator works in.
   /// The reflected implementation keeps the register bit-reversed; the
@@ -45,6 +53,7 @@ class TableCrc {
  private:
   CrcSpec spec_;
   unsigned align_ = 0;  ///< left-alignment for non-reflected sub-byte widths
+  std::uint64_t init_state_ = 0;  ///< cached initial_state()
   std::array<std::uint64_t, 256> table_{};
 };
 

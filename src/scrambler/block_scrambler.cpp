@@ -2,9 +2,11 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "lfsr/linear_system.hpp"
 #include "lfsr/lookahead.hpp"
+#include "support/sharding.hpp"
 
 namespace plfsr {
 
@@ -43,7 +45,22 @@ void BlockScrambler::reseed(std::uint64_t seed) {
 }
 
 void BlockScrambler::seek(std::uint64_t bit_pos) {
-  x_ = adv_.advance(seed_, bit_pos);
+  if (bit_pos == pos_) return;
+  if (bit_pos == 0) {
+    x_ = seed_;
+    pos_ = 0;
+    return;
+  }
+  // advance() costs one matrix-apply per set bit of the exponent, so hop
+  // from whichever anchor (live state or seed) reaches bit_pos in fewer
+  // applies. Both are exact: x_ = A^pos_ seed_ implies
+  // A^(bit_pos-pos_) x_ = A^bit_pos seed_.
+  if (bit_pos > pos_ &&
+      __builtin_popcountll(bit_pos - pos_) < __builtin_popcountll(bit_pos)) {
+    x_ = adv_.advance(x_, bit_pos - pos_);
+  } else {
+    x_ = adv_.advance(seed_, bit_pos);
+  }
   pos_ = bit_pos;
 }
 
@@ -114,35 +131,44 @@ std::vector<std::uint8_t> BlockScrambler::keystream_bytes(std::size_t n) {
 
 ParallelScramble::ParallelScramble(const Gf2Poly& g, std::uint64_t seed,
                                    std::size_t shards,
-                                   std::size_t min_shard_bytes)
+                                   std::size_t min_shard_bytes,
+                                   bool cap_to_host)
     : min_shard_bytes_(min_shard_bytes == 0 ? 1 : min_shard_bytes) {
   if (shards == 0)
     throw std::invalid_argument("ParallelScramble: shards must be >= 1");
+  if (cap_to_host) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    if (hw != 0 && shards > hw) shards = hw;
+  }
   engines_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) engines_.emplace_back(g, seed);
   if (shards > 1) pool_ = std::make_unique<ThreadPool>(shards - 1);
 }
 
 void ParallelScramble::process(std::uint8_t* data, std::size_t n) {
-  const std::size_t shards = engines_.size();
-  if (shards == 1 || n < shards * min_shard_bytes_) {
+  const std::size_t shards = effective_shards(n);
+  if (shards == 1) {
     engines_[0].seek(0);
     engines_[0].process(data, n);
     return;
   }
-  const std::size_t per = n / shards;  // last shard takes the remainder
+  // Near-equal split (shared policy with ParallelCrc, sharding.hpp): the
+  // first n % shards slices get one extra byte, instead of the old
+  // `n / shards`-per-shard split that dumped up to shards-1 extra bytes
+  // on the last slice. Every slice is non-empty here: effective_shards
+  // guarantees shards <= n / min_shard_bytes_ <= n.
+  const std::vector<ShardSlice> slices = near_equal_slices(n, shards);
   std::vector<std::future<void>> pending;
   pending.reserve(shards - 1);
   for (std::size_t s = 1; s < shards; ++s) {
-    const std::size_t off = s * per;
-    const std::size_t len = s + 1 == shards ? n - off : per;
-    pending.push_back(pool_->submit([this, s, data, off, len] {
-      engines_[s].seek(8 * static_cast<std::uint64_t>(off));
-      engines_[s].process(data + off, len);
+    const ShardSlice sl = slices[s];
+    pending.push_back(pool_->submit([this, s, data, sl] {
+      engines_[s].seek(8 * static_cast<std::uint64_t>(sl.offset));
+      engines_[s].process(data + sl.offset, sl.length);
     }));
   }
   engines_[0].seek(0);
-  engines_[0].process(data, per);
+  engines_[0].process(data, slices[0].length);
   for (auto& f : pending) f.get();
 }
 

@@ -61,8 +61,12 @@ class BlockScrambler {
   void reseed(std::uint64_t seed);
 
   /// Jump to absolute keystream bit position `bit_pos` (counted from the
-  /// seed state): one O(popcount(bit_pos)) advance, equivalent to
-  /// discarding bit_pos keystream bits.
+  /// seed state): one O(popcount) advance, equivalent to discarding
+  /// bit_pos keystream bits. Seeking to the current position is free,
+  /// and a forward seek advances from the live state when the hop
+  /// distance has fewer set bits than the absolute position — the
+  /// repeated fixed-offset seeks of ParallelScramble::process stay
+  /// cheap instead of re-deriving every slice state from bit 0.
   void seek(std::uint64_t bit_pos);
 
   /// The next 64 keystream bits (bit i = keystream bit position()+i);
@@ -127,18 +131,36 @@ class BlockScrambler {
 /// frame-synchronous convention of the pipeline's ScrambleStage.
 class ParallelScramble {
  public:
-  /// Buffers smaller than shards * min_shard_bytes run on one engine:
-  /// below this the pool hand-off costs more than it saves.
-  static constexpr std::size_t kDefaultMinShardBytes = 4096;
+  /// Per-shard slice floor: a shard only exists once it has at least this
+  /// many bytes to itself. The scrambler runs at a few GB/s, so a slice
+  /// has to amortize a pool hand-off (~tens of µs of wake-up latency) —
+  /// the measured knee on the reference host sits around 64 KiB; below it
+  /// extra shards scale *backwards* (the BENCH regression this replaces:
+  /// 2876 MB/s at 1 shard -> 1386 MB/s at 8 on a 64 KiB buffer, every
+  /// slice too small to pay for its wake-up).
+  static constexpr std::size_t kDefaultMinShardBytes = std::size_t{1} << 16;
 
   /// `shards` >= 1; shard 0 runs on the calling thread, shards-1 pool
-  /// workers handle the rest. Tests pass min_shard_bytes = 1 to force the
-  /// parallel split on tiny inputs.
+  /// workers handle the rest. With `cap_to_host` (the default) the shard
+  /// count is clamped to std::thread::hardware_concurrency() — threads
+  /// beyond the core count only add hand-off and scheduling cost to a
+  /// compute-bound kernel. Tests pass min_shard_bytes = 1 and
+  /// cap_to_host = false to force the full split on any machine.
   ParallelScramble(const Gf2Poly& g, std::uint64_t seed, std::size_t shards,
-                   std::size_t min_shard_bytes = kDefaultMinShardBytes);
+                   std::size_t min_shard_bytes = kDefaultMinShardBytes,
+                   bool cap_to_host = true);
 
   std::size_t shards() const { return engines_.size(); }
   std::size_t order() const { return engines_.front().order(); }
+
+  /// Shards a process(n) call will actually use: every slice must clear
+  /// min_shard_bytes, so small buffers ramp up gradually instead of
+  /// flipping from 1 to shards() at one threshold.
+  std::size_t effective_shards(std::size_t n) const {
+    const std::size_t by_size = n / min_shard_bytes_;
+    const std::size_t cap = by_size < 1 ? 1 : by_size;
+    return cap < engines_.size() ? cap : engines_.size();
+  }
 
   /// Scramble (== descramble) the buffer in place from keystream
   /// position 0.

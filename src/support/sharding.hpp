@@ -1,0 +1,43 @@
+// Shared shard-split policy for the data-parallel wrappers.
+//
+// ParallelCrc and ParallelScramble both cut a contiguous extent into S
+// slices for the worker pool. They used to disagree on where the
+// remainder went (ParallelCrc spread it one byte per leading shard,
+// ParallelScramble dumped all of it on the last shard — up to S-1 extra
+// bytes of imbalance on the slowest-to-finish slice). This header is the
+// single policy both use: near-equal slices, the first n % S slices one
+// item longer, degenerate inputs (n == 0, n < S) yielding empty tail
+// slices rather than surprises.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace plfsr {
+
+/// One contiguous slice of a sharded extent.
+struct ShardSlice {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Cut `n` items into exactly `parts` contiguous near-equal slices
+/// covering [0, n): slice lengths differ by at most one, the first
+/// n % parts slices taking the extra item. parts == 0 returns no slices;
+/// n < parts leaves the trailing slices empty (length 0 at offset n).
+inline std::vector<ShardSlice> near_equal_slices(std::size_t n,
+                                                 std::size_t parts) {
+  std::vector<ShardSlice> out;
+  out.reserve(parts);
+  const std::size_t base = parts == 0 ? 0 : n / parts;
+  const std::size_t extra = parts == 0 ? 0 : n % parts;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.push_back({off, len});
+    off += len;
+  }
+  return out;
+}
+
+}  // namespace plfsr

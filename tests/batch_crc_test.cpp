@@ -1,0 +1,204 @@
+// Batch CRC API equivalence: absorb_many / compute_many on every engine
+// in the registry must be bit-exact with the sequential absorb loop on
+// randomized batches — frame counts 0..64, lengths 0..4096 including the
+// 0- and 1-byte frames that never reach a folding kernel, and mixed-size
+// batches that split one interleave group between the lockstep prefix
+// and the per-frame serial finish. The interleaved CLMUL kernel is also
+// A/B-checked against the portable engine, and the batch entry points of
+// CrcEngineHandle (default loop vs native override) and ParallelCrc
+// (frame-count sharding) are pinned.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crc/clmul_crc.hpp"
+#include "crc/engine.hpp"
+#include "crc/engine_registry.hpp"
+#include "crc/crc_spec.hpp"
+#include "crc/parallel_crc.hpp"
+#include "crc/serial_crc.hpp"
+#include "crc/table_crc.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+/// A batch of owned frames plus the view array the batch API takes.
+struct Batch {
+  std::vector<std::vector<std::uint8_t>> storage;
+  std::vector<FrameView> views;
+
+  void add(std::vector<std::uint8_t> bytes) {
+    storage.push_back(std::move(bytes));
+  }
+  /// Build views after storage stops reallocating.
+  std::span<const FrameView> finish() {
+    views.clear();
+    for (const auto& f : storage) views.emplace_back(f);
+    return views;
+  }
+};
+
+/// Deterministic batch with an adversarial length mix: zero/one-byte
+/// frames, lengths straddling the 16-byte fold granule and the 64-byte
+/// block, one long frame per batch to force the early-reduction handoff.
+Batch make_batch(Rng& rng, std::size_t count) {
+  static const std::size_t kLens[] = {0,  1,  2,  7,   8,   9,   15,  16,
+                                      17, 31, 63, 64,  65,  100, 256, 511,
+                                      512, 1518, 4096};
+  Batch b;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len =
+        kLens[rng.next_u64() % (sizeof(kLens) / sizeof(kLens[0]))];
+    b.add(rng.next_bytes(len));
+  }
+  return b;
+}
+
+/// Expected CRCs: independent serial reference per frame.
+std::vector<std::uint64_t> serial_many(const CrcSpec& spec,
+                                       std::span<const FrameView> frames) {
+  std::vector<std::uint64_t> out;
+  out.reserve(frames.size());
+  for (const FrameView& f : frames) out.push_back(serial_crc(spec, f));
+  return out;
+}
+
+TEST(BatchCrc, EveryRegistryEngineMatchesSequentialAbsorb) {
+  EngineRegistry& reg = EngineRegistry::instance();
+  Rng rng(0xBA7C);
+  for (const CrcSpec& spec : crcspec::all()) {
+    for (const std::string& name : reg.available_names()) {
+      if (!reg.supports(name, spec)) continue;
+      const CrcEngineHandle eng = reg.make(name, spec);
+      for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{2}, std::size_t{3},
+                                      std::size_t{8}, std::size_t{17},
+                                      std::size_t{64}}) {
+        Batch b = make_batch(rng, count);
+        const std::span<const FrameView> frames = b.finish();
+
+        // absorb_many from randomized (valid) starting states must equal
+        // the per-frame absorb loop from the same states.
+        std::vector<std::uint64_t> states(count), expect(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          states[i] = eng.state_from_raw(rng.next_u64() &
+                                         ((spec.width >= 64)
+                                              ? ~std::uint64_t{0}
+                                              : (1ull << spec.width) - 1));
+          expect[i] = eng.absorb(states[i], frames[i]);
+        }
+        eng.absorb_many(states, frames);
+        for (std::size_t i = 0; i < count; ++i)
+          ASSERT_EQ(states[i], expect[i])
+              << name << " " << spec.name << " count=" << count
+              << " frame=" << i << " len=" << frames[i].size();
+
+        // compute_many must equal the serial reference end to end.
+        std::vector<std::uint64_t> crcs(count);
+        eng.compute_many(frames, crcs);
+        const std::vector<std::uint64_t> want = serial_many(spec, frames);
+        for (std::size_t i = 0; i < count; ++i)
+          ASSERT_EQ(crcs[i], want[i])
+              << name << " " << spec.name << " count=" << count
+              << " frame=" << i << " len=" << frames[i].size();
+      }
+    }
+  }
+}
+
+TEST(BatchCrc, InterleavedClmulMatchesPortableAB) {
+  // Direct A/B of the interleaved PCLMULQDQ kernel against the portable
+  // kernel of the same engine class, uniform-random lengths 0..4096.
+  const ClmulCrc probe(crcspec::crc32_ethernet());
+  if (!probe.accelerated())
+    GTEST_SKIP() << "no PCLMULQDQ on this host (or portable forced)";
+  Rng rng(0xAB);
+  for (const CrcSpec& spec : crcspec::all()) {
+    const ClmulCrc acc(spec, ClmulKernel::kAccelerated);
+    const ClmulCrc port(spec, ClmulKernel::kPortable);
+    Batch b;
+    for (int i = 0; i < 48; ++i)
+      b.add(rng.next_bytes(static_cast<std::size_t>(rng.next_u64() % 4097)));
+    const std::span<const FrameView> frames = b.finish();
+    std::vector<std::uint64_t> a(frames.size()), p(frames.size());
+    acc.compute_many(frames, a);
+    port.compute_many(frames, p);
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      ASSERT_EQ(a[i], p[i])
+          << spec.name << " frame=" << i << " len=" << frames[i].size();
+  }
+}
+
+TEST(BatchCrc, InterleavedGroupsSurviveExtremeMixes) {
+  // One interleave group mixing a 4 KiB frame with 1-byte frames: the
+  // early-reduction cap must hand the long tail back to the streaming
+  // path without disturbing its lane neighbours.
+  const CrcSpec spec = crcspec::crc32_ethernet();
+  const ClmulCrc eng(spec);
+  Rng rng(0xE17);
+  Batch b;
+  for (const std::size_t len : {std::size_t{4096}, std::size_t{1},
+                                std::size_t{16}, std::size_t{1},
+                                std::size_t{2048}, std::size_t{24},
+                                std::size_t{0}, std::size_t{4095}})
+    b.add(rng.next_bytes(len));
+  const std::span<const FrameView> frames = b.finish();
+  std::vector<std::uint64_t> crcs(frames.size());
+  eng.compute_many(frames, crcs);
+  const std::vector<std::uint64_t> want = serial_many(spec, frames);
+  EXPECT_EQ(crcs, want);
+}
+
+TEST(BatchCrc, HandleDefaultLoopServesEnginesWithoutNativeBatch) {
+  // An engine with no absorb_many of its own (SerialCrc behind the
+  // handle) still gets the full batch API via the concept-gated default.
+  const CrcSpec spec = crcspec::crc16_ccitt_false();
+  const CrcEngineHandle eng =
+      EngineRegistry::instance().make("serial", spec);
+  Rng rng(0x5E);
+  Batch b = make_batch(rng, 9);
+  const std::span<const FrameView> frames = b.finish();
+  std::vector<std::uint64_t> crcs(frames.size());
+  eng.compute_many(frames, crcs);
+  EXPECT_EQ(crcs, serial_many(spec, frames));
+}
+
+TEST(BatchCrc, ParallelCrcBatchShardsByFrameCount) {
+  // min_shard_bytes = 1 forces the sharded dispatch; every shard batches
+  // a contiguous frame run through the wrapped engine's absorb_many.
+  const CrcSpec spec = crcspec::crc32c();
+  const ParallelCrc par(TableCrc(spec), 4, 1);
+  Rng rng(0x9A);
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{4},
+                                  std::size_t{5}, std::size_t{33}}) {
+    Batch b = make_batch(rng, count);
+    const std::span<const FrameView> frames = b.finish();
+    std::vector<std::uint64_t> crcs(count);
+    par.compute_many(frames, crcs);
+    const std::vector<std::uint64_t> want = serial_many(spec, frames);
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(crcs[i], want[i]) << "count=" << count << " frame=" << i;
+  }
+}
+
+TEST(BatchCrc, MakeCachedSharesOneInstancePerSpec) {
+  EngineRegistry& reg = EngineRegistry::instance();
+  const CrcSpec spec = crcspec::crc32_ethernet();
+  const CrcEngineHandle a = reg.make_cached("table", spec);
+  const CrcEngineHandle b = reg.make_cached("table", spec);
+  // Same spec -> same shared engine instance behind the handles.
+  EXPECT_EQ(&a.spec(), &b.spec());
+  // A different spec (or name) gets its own instance.
+  const CrcEngineHandle c = reg.make_cached("table", crcspec::crc32c());
+  EXPECT_NE(&a.spec(), &c.spec());
+  EXPECT_EQ(a.compute(std::vector<std::uint8_t>{'1', '2', '3'}),
+            b.compute(std::vector<std::uint8_t>{'1', '2', '3'}));
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <thread>
 
 #include "lfsr/catalog.hpp"
 #include "scrambler/scrambler.hpp"
@@ -189,8 +190,9 @@ TEST(ParallelScramble, ShardSweepMatchesSerial) {
   const Gf2Poly g = catalog::scrambler_dvb();
   const std::uint64_t seed = 0x1FFF;
   for (const std::size_t shards : {1u, 2u, 3u, 4u, 7u, 8u}) {
-    // min_shard_bytes = 1 forces the sharded path even on small buffers.
-    ParallelScramble par(g, seed, shards, 1);
+    // min_shard_bytes = 1 and cap_to_host = false force the full split
+    // regardless of buffer size or host core count.
+    ParallelScramble par(g, seed, shards, 1, /*cap_to_host=*/false);
     EXPECT_EQ(par.shards(), shards);
     for (const std::size_t n :
          {std::size_t{0}, std::size_t{1}, std::size_t{shards - 1},
@@ -207,7 +209,7 @@ TEST(ParallelScramble, RepeatedCallsAreFrameSynchronous) {
   // Every process() call restarts at keystream position 0, so two calls
   // on the same data give the same result (and compose to the identity).
   const Gf2Poly g = catalog::scrambler_80211();
-  ParallelScramble par(g, 0x5D, 4, 1);
+  ParallelScramble par(g, 0x5D, 4, 1, /*cap_to_host=*/false);
   Rng rng(17);
   const std::vector<std::uint8_t> orig = rng.next_bytes(2000);
   std::vector<std::uint8_t> a = orig;
@@ -220,16 +222,87 @@ TEST(ParallelScramble, RepeatedCallsAreFrameSynchronous) {
 }
 
 TEST(ParallelScramble, SmallBufferFallbackMatches) {
-  // Below shards * min_shard_bytes the serial path must still scramble
-  // from position 0.
+  // Below min_shard_bytes the serial path must still scramble from
+  // position 0 (default threshold: one 64 KiB slice per shard).
   const Gf2Poly g = catalog::prbs9();
   const std::uint64_t seed = 0x1D5;
-  ParallelScramble par(g, seed, 4);  // default threshold: 4 * 4096
+  ParallelScramble par(g, seed, 4);
   Rng rng(18);
   std::vector<std::uint8_t> buf = rng.next_bytes(512);
   const std::vector<std::uint8_t> want = serial_scramble(g, seed, buf);
   par.process(buf);
   EXPECT_EQ(buf, want);
+}
+
+TEST(ParallelScramble, EffectiveShardsScaleWithBufferSize) {
+  // The per-call shard count ramps with n / min_shard_bytes instead of
+  // flipping from 1 to shards() at a single threshold — every slice the
+  // pool sees clears the amortization floor.
+  const Gf2Poly g = catalog::scrambler_dvb();
+  ParallelScramble par(g, 0x1FFF, 8, 100, /*cap_to_host=*/false);
+  EXPECT_EQ(par.effective_shards(0), 1u);
+  EXPECT_EQ(par.effective_shards(99), 1u);
+  EXPECT_EQ(par.effective_shards(100), 1u);  // one slice of 100
+  EXPECT_EQ(par.effective_shards(200), 2u);
+  EXPECT_EQ(par.effective_shards(399), 3u);
+  EXPECT_EQ(par.effective_shards(800), 8u);
+  EXPECT_EQ(par.effective_shards(1u << 20), 8u);  // capped at shards()
+}
+
+TEST(ParallelScramble, PartialSplitMatchesSerial) {
+  // Buffer sizes that engage only *some* of the shards (the gradual ramp
+  // between serial and full split) must stay bit-exact, including sizes
+  // that leave a near-equal remainder.
+  Rng rng(19);
+  const Gf2Poly g = catalog::scrambler_80211();
+  const std::uint64_t seed = 0x6E;
+  ParallelScramble par(g, seed, 8, 256, /*cap_to_host=*/false);
+  for (const std::size_t n : {std::size_t{255}, std::size_t{256},
+                              std::size_t{511}, std::size_t{513},
+                              std::size_t{1023}, std::size_t{1999},
+                              std::size_t{2048}, std::size_t{2049}}) {
+    std::vector<std::uint8_t> buf = rng.next_bytes(n);
+    const std::vector<std::uint8_t> want = serial_scramble(g, seed, buf);
+    par.process(buf);
+    ASSERT_EQ(buf, want) << "n=" << n;
+  }
+}
+
+TEST(ParallelScramble, HostCapBoundsShardCount) {
+  // With the default cap_to_host, an over-subscribed request clamps to
+  // the core count — extra threads on a compute-bound kernel only add
+  // hand-off cost (the shard-scaling regression this guards against).
+  const std::size_t hw = std::thread::hardware_concurrency();
+  ParallelScramble par(catalog::prbs15(), 0x11, 1000);
+  if (hw != 0) {
+    EXPECT_LE(par.shards(), hw);
+  } else {
+    EXPECT_EQ(par.shards(), 1000u);
+  }
+  // Capping never raises the count, and results stay bit-exact.
+  Rng rng(20);
+  std::vector<std::uint8_t> buf = rng.next_bytes(3000);
+  const std::vector<std::uint8_t> want =
+      serial_scramble(catalog::prbs15(), 0x11, buf);
+  par.process(buf);
+  EXPECT_EQ(buf, want);
+}
+
+TEST(BlockScrambler, ForwardSeekFromLiveStateMatchesAbsolute) {
+  // seek() may hop from the live state instead of the seed when that is
+  // cheaper; both anchors must land on the same keystream.
+  const Gf2Poly g = catalog::prbs31();
+  const std::uint64_t seed = 0xACE1;
+  BlockScrambler a(g, seed), b(g, seed);
+  b.seek(8 * 1024);  // b now has a live state ahead of 0
+  for (const std::uint64_t pos : {8 * 1024ull, 8 * 1025ull, 8 * 4096ull,
+                                  (8ull << 20) + 8}) {
+    a.seek(pos);  // fresh-ish engine: absolute path
+    b.seek(pos);  // forward path candidate
+    ASSERT_EQ(a.state(), b.state()) << "pos=" << pos;
+    ASSERT_EQ(a.keystream_bytes(16), b.keystream_bytes(16)) << "pos=" << pos;
+    a.seek(0);
+  }
 }
 
 TEST(ParallelScramble, RejectsZeroShards) {
