@@ -1,0 +1,326 @@
+// FEC bench: Reed–Solomon encode/decode throughput over GF(256) — the
+// table kernel vs the gf256::mul8 SWAR lanes (the same 8-products-per-
+// word parallelism the paper's PiCoGA rows apply to the CRC feedback
+// loop), the binary BCH pair, and the sharded ParallelFec batch decode.
+//
+// The run starts with an untimed correctness gate: every engine in the
+// FecRegistry is audited over every catalogue spec it claims — full
+// error radius, full erasure budget (RS), and rs-table/rs-swar encode
+// agreement byte-for-byte; any mismatch makes the process exit nonzero.
+// The timed section reports payload MB/s. Two intra-run gates also exit
+// nonzero on failure: the SWAR encoder must not fall below 0.8x the
+// table kernel (losing the SWAR path is the regression this pins), and
+// the shard curve must never scale backwards (>= 0.85x the 1-shard
+// rate at every point).
+//
+//   $ ./bench_fec [--quick] [--json]   # --json writes BENCH_fec.json
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fec/bch_codec.hpp"
+#include "fec/fec_registry.hpp"
+#include "fec/parallel_fec.hpp"
+#include "fec/rs_codec.hpp"
+#include "support/report.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace plfsr;
+
+// Stream sizes: the single-thread sections run a 64-block stream (about
+// 14 KiB of RS(255,223) payload); the shard curve uses 1024 blocks so
+// the split has something to chew on.
+constexpr std::size_t kStreamBlocks = 64;
+constexpr std::size_t kParBlocks = 1024;
+
+// --quick (the CI bench-regression fast mode) drops repetitions and
+// shrinks the iteration counts; throughputs stay comparable, only the
+// noise floor rises.
+int g_reps = 3;
+std::size_t g_enc_iters = 300;
+std::size_t g_dec_iters = 60;
+std::size_t g_par_iters = 20;
+
+volatile std::uint64_t g_sink;  // defeats dead-code elimination
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-g_reps wall-clock MB/s of `fn`, which must process
+/// `bytes_per_call` bytes each call and fold something into g_sink.
+template <typename Fn>
+double time_mbps(std::size_t iters, std::size_t bytes_per_call, Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < g_reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = seconds_since(t0);
+    const double mb = static_cast<double>(iters) * bytes_per_call / 1e6;
+    best = std::max(best, mb / s);
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> distinct_positions(Rng& rng, std::size_t len,
+                                              std::size_t count) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < count) {
+    const auto p = static_cast<std::uint32_t>(rng.next_below(len));
+    bool dup = false;
+    for (const std::uint32_t q : out) dup = dup || q == p;
+    if (!dup) out.push_back(p);
+  }
+  return out;
+}
+
+/// Untimed gate: every registry engine round-trips every catalogue spec
+/// it claims at the full error radius and (for RS) the full erasure
+/// budget, and the two RS kernels produce identical codewords.
+bool validate() {
+  Rng rng(47);
+  const FecRegistry& reg = FecRegistry::instance();
+  for (const FecSpec& spec : fec::all_fec_specs()) {
+    std::vector<std::uint8_t> data;           // shared across the engines
+    std::vector<std::uint8_t> reference_code;  // cross-engine agreement
+    for (const std::string& name : reg.names()) {
+      if (!reg.supports(name, spec)) continue;
+      const FecCodecHandle codec = reg.make(name, spec);
+      if (data.empty()) data = rng.next_bytes(codec->data_bytes());
+      std::vector<std::uint8_t> clean(codec->code_bytes());
+      codec->encode_block(data, clean);
+      if (reference_code.empty()) {
+        reference_code = clean;
+      } else if (clean != reference_code) {
+        std::cout << "MISMATCH: " << name << " encodes " << spec.name()
+                  << " differently from its sibling engine\n";
+        return false;
+      }
+
+      // Full error radius (bytes for RS, bits for BCH — corrupt bytes,
+      // one flipped bit each, which is <= max_errors bit errors).
+      std::vector<std::uint8_t> code = clean;
+      for (const std::uint32_t p :
+           distinct_positions(rng, code.size(), codec->max_errors()))
+        code[p] ^= static_cast<std::uint8_t>(
+            spec.family == FecFamily::kBch
+                ? 0x80u >> rng.next_below(8)
+                : 1 + rng.next_below(255));
+      FecDecodeResult r = codec->decode_block(code);
+      if (!r.ok || !std::equal(data.begin(), data.end(), code.begin())) {
+        std::cout << "FAIL: " << name << " " << spec.name() << " at "
+                  << codec->max_errors() << " errors\n";
+        return false;
+      }
+
+      // Full erasure budget (RS only; BCH reports max_erasures() == 0).
+      if (codec->max_erasures() > 0) {
+        code = clean;
+        const auto erased =
+            distinct_positions(rng, code.size(), codec->max_erasures());
+        for (const std::uint32_t p : erased)
+          code[p] = static_cast<std::uint8_t>(rng.next_u64());
+        r = codec->decode_block(code, erased);
+        if (!r.ok || !std::equal(data.begin(), data.end(), code.begin())) {
+          std::cout << "FAIL: " << name << " " << spec.name() << " at "
+                    << codec->max_erasures() << " erasures\n";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Encoded stream with `errors_per_block` corrupted symbols per block —
+/// the decode benches replay this fixed impairment each call.
+struct Stream {
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> clean;
+  std::vector<std::uint8_t> dirty;
+};
+
+Stream make_stream(const ParallelFec& fec, std::size_t blocks,
+                   std::size_t errors_per_block, Rng& rng) {
+  Stream s;
+  s.data = rng.next_bytes(blocks * fec.codec().data_bytes());
+  s.clean.resize(fec.encoded_size(s.data.size()));
+  fec.encode(s.data, s.clean);
+  s.dirty = s.clean;
+  const std::size_t cb = fec.codec().code_bytes();
+  for (std::size_t b = 0; b < blocks; ++b)
+    for (const std::uint32_t p : distinct_positions(rng, cb, errors_per_block))
+      s.dirty[b * cb + p] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_reps = 1;
+      g_enc_iters = 40;
+      g_dec_iters = 10;
+      g_par_iters = 4;
+    }
+  }
+
+  std::cout << "correctness (registry audit: every engine x every claimed "
+               "spec, full radius + erasures): ";
+  if (!validate()) return 1;
+  std::cout << "ok\n\n";
+
+  Rng rng(2026);
+  const FecSpec spec = fec::rs_255_223();
+  const auto table =
+      std::make_shared<RsCodec>(spec, RsKernel::kTable);
+  const auto swar = std::make_shared<RsCodec>(spec, RsKernel::kSwar);
+  const std::size_t payload = kStreamBlocks * table->data_bytes();
+
+  ReportTable rtable({"operation", "MB/s"});
+
+  // Encode: table vs SWAR kernel on the same 64-block stream.
+  const ParallelFec enc_table(table, 1);
+  const ParallelFec enc_swar(swar, 1);
+  std::vector<std::uint8_t> data = rng.next_bytes(payload);
+  std::vector<std::uint8_t> code(enc_table.encoded_size(payload));
+
+  const double enc_table_mbps = time_mbps(g_enc_iters, payload, [&] {
+    enc_table.encode(data, code);
+    g_sink = code[0];
+  });
+  rtable.add_row({"RS(255,223) encode, table kernel",
+                  ReportTable::num(enc_table_mbps, 1)});
+
+  const double enc_swar_mbps = time_mbps(g_enc_iters, payload, [&] {
+    enc_swar.encode(data, code);
+    g_sink = code[0];
+  });
+  rtable.add_row({"RS(255,223) encode, SWAR kernel",
+                  ReportTable::num(enc_swar_mbps, 1)});
+
+  // Decode: clean channel (syndromes only) and 4 symbol errors per
+  // block (syndromes + BM + Chien + Forney + recheck).
+  const ParallelFec dec(swar, 1);
+  const Stream rs_stream = make_stream(dec, kStreamBlocks, 4, rng);
+  std::vector<std::uint8_t> out(payload);
+
+  const double dec_clean_mbps = time_mbps(g_dec_iters, payload, [&] {
+    dec.decode(rs_stream.clean, out);
+    g_sink = out[0];
+  });
+  rtable.add_row({"RS(255,223) decode, clean",
+                  ReportTable::num(dec_clean_mbps, 1)});
+
+  const double dec_err_mbps = time_mbps(g_dec_iters, payload, [&] {
+    dec.decode(rs_stream.dirty, out);
+    g_sink = out[0];
+  });
+  rtable.add_row({"RS(255,223) decode, 4 errors/block",
+                  ReportTable::num(dec_err_mbps, 1)});
+
+  // BCH pair on the textbook t=4 geometry.
+  const auto bch = std::make_shared<BchCodec>(fec::bch_255_t4());
+  const ParallelFec bch_fec(bch, 1);
+  const std::size_t bch_payload = kStreamBlocks * bch->data_bytes();
+  const Stream bch_stream = make_stream(bch_fec, kStreamBlocks, 0, rng);
+  std::vector<std::uint8_t> bch_code(bch_fec.encoded_size(bch_payload));
+  std::vector<std::uint8_t> bch_out(bch_payload);
+
+  const double bch_enc_mbps = time_mbps(g_enc_iters, bch_payload, [&] {
+    bch_fec.encode(bch_stream.data, bch_code);
+    g_sink = bch_code[0];
+  });
+  rtable.add_row({"BCH(255,223,t=4) encode",
+                  ReportTable::num(bch_enc_mbps, 1)});
+
+  const double bch_dec_mbps = time_mbps(g_dec_iters, bch_payload, [&] {
+    bch_fec.decode(bch_stream.clean, bch_out);
+    g_sink = bch_out[0];
+  });
+  rtable.add_row({"BCH(255,223,t=4) decode, clean",
+                  ReportTable::num(bch_dec_mbps, 1)});
+
+  // Shard curve: batch decode of a 1024-block stream with errors in
+  // every block — the workload ParallelFec exists for. Scaling shows
+  // only on multi-core hosts; overhead is visible everywhere.
+  struct ShardPoint {
+    std::size_t shards;
+    double mbps;
+  };
+  std::vector<ShardPoint> par_points;
+  const std::size_t par_payload = kParBlocks * table->data_bytes();
+  {
+    const ParallelFec seed_fec(swar, 1);
+    const Stream par_stream = make_stream(seed_fec, kParBlocks, 4, rng);
+    std::vector<std::uint8_t> par_out(par_payload);
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      const ParallelFec par(swar, shards);
+      const double mbps = time_mbps(g_par_iters, par_payload, [&] {
+        par.decode(par_stream.dirty, par_out);
+        g_sink = par_out[0];
+      });
+      par_points.push_back({shards, mbps});
+      rtable.add_row({"ParallelFec decode x" + std::to_string(shards),
+                      ReportTable::num(mbps, 1)});
+    }
+  }
+
+  std::cout << "payload throughput, " << kStreamBlocks << "-block streams ("
+            << g_reps << " rep best-of):\n";
+  rtable.print(std::cout);
+
+  // Intra-run gates (compared within this run, so host speed cancels).
+  const double kernel_ratio = enc_swar_mbps / enc_table_mbps;
+  const bool kernel_ok = kernel_ratio >= 0.8;
+  std::cout << "\nSWAR/table encode ratio : " << ReportTable::num(kernel_ratio, 2)
+            << "x " << (kernel_ok ? "(>= 0.8x)" : "(BELOW 0.8x — SWAR path lost?)")
+            << "\n";
+
+  bool shards_ok = true;
+  for (const ShardPoint& p : par_points) {
+    if (p.mbps < 0.85 * par_points[0].mbps) {
+      shards_ok = false;
+      std::cout << "SHARD REGRESSION: x" << p.shards << " = "
+                << ReportTable::num(p.mbps, 1) << " MB/s < 0.85 * x1 = "
+                << ReportTable::num(0.85 * par_points[0].mbps, 1) << " MB/s\n";
+    }
+  }
+  if (shards_ok)
+    std::cout << "shard scaling           : monotone within noise (>= 0.85x "
+                 "the 1-shard rate at every point)\n";
+
+  if (json) {
+    std::ofstream jout("BENCH_fec.json");
+    jout << "{\n  \"bench\": \"fec\",\n  \"stream_blocks\": " << kStreamBlocks
+         << ",\n  \"rs_encode_table_mb_per_s\": "
+         << ReportTable::num(enc_table_mbps, 1)
+         << ",\n  \"rs_encode_swar_mb_per_s\": "
+         << ReportTable::num(enc_swar_mbps, 1)
+         << ",\n  \"rs_decode_clean_mb_per_s\": "
+         << ReportTable::num(dec_clean_mbps, 1)
+         << ",\n  \"rs_decode_errors_mb_per_s\": "
+         << ReportTable::num(dec_err_mbps, 1)
+         << ",\n  \"bch_encode_mb_per_s\": " << ReportTable::num(bch_enc_mbps, 1)
+         << ",\n  \"bch_decode_mb_per_s\": " << ReportTable::num(bch_dec_mbps, 1)
+         << ",\n  \"parallel\": [\n";
+    for (std::size_t i = 0; i < par_points.size(); ++i)
+      jout << "    {\"shards\": " << par_points[i].shards
+           << ", \"mb_per_s\": " << ReportTable::num(par_points[i].mbps, 1)
+           << "}" << (i + 1 < par_points.size() ? "," : "") << "\n";
+    jout << "  ],\n  \"correctness_ok\": true\n}\n";
+    std::cout << "wrote BENCH_fec.json\n";
+  }
+  return (kernel_ok && shards_ok) ? 0 : 1;
+}

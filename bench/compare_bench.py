@@ -37,10 +37,11 @@ compared within the fresh run, so runner speed cancels out):
 Usage:
   compare_bench.py --baseline bench/baseline.json \
       --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
-      --scrambler BENCH_scrambler.json [--threshold 0.40]
+      --scrambler BENCH_scrambler.json --fec BENCH_fec.json \
+      [--threshold 0.40]
   compare_bench.py --update --baseline bench/baseline.json \
       --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
-      --scrambler BENCH_scrambler.json
+      --scrambler BENCH_scrambler.json --fec BENCH_fec.json
 """
 
 import argparse
@@ -103,7 +104,20 @@ def scrambler_metrics(bench_json):
     return out
 
 
-def collect(crc_path, pipeline_path, scrambler_path):
+def fec_metrics(bench_json):
+    """bench_fec --json -> {metric: value}."""
+    out = {}
+    for key in ("rs_encode_table_mb_per_s", "rs_encode_swar_mb_per_s",
+                "rs_decode_clean_mb_per_s", "rs_decode_errors_mb_per_s",
+                "bch_encode_mb_per_s", "bch_decode_mb_per_s"):
+        if key in bench_json:
+            out[key] = float(bench_json[key])
+    for p in bench_json.get("parallel", []):
+        out["parallel/shards={}".format(p["shards"])] = float(p["mb_per_s"])
+    return out
+
+
+def collect(crc_path, pipeline_path, scrambler_path, fec_path):
     fresh = {}
     for name, value in crc_metrics(load(crc_path)).items():
         fresh["crc_engines/" + name] = value
@@ -112,6 +126,9 @@ def collect(crc_path, pipeline_path, scrambler_path):
     if scrambler_path:
         for name, value in scrambler_metrics(load(scrambler_path)).items():
             fresh["scrambler/" + name] = value
+    if fec_path:
+        for name, value in fec_metrics(load(fec_path)).items():
+            fresh["fec/" + name] = value
     return fresh
 
 
@@ -124,6 +141,8 @@ def main():
                     help="BENCH_pipeline.json from bench_pipeline")
     ap.add_argument("--scrambler", default=None,
                     help="BENCH_scrambler.json from bench_scrambler")
+    ap.add_argument("--fec", default=None,
+                    help="BENCH_fec.json from bench_fec")
     ap.add_argument("--threshold", type=float, default=0.40,
                     help="max allowed fractional slowdown (default 0.40)")
     ap.add_argument("--handle-min-ratio", type=float, default=0.95,
@@ -140,7 +159,7 @@ def main():
                          "of comparing")
     args = ap.parse_args()
 
-    fresh = collect(args.crc, args.pipeline, args.scrambler)
+    fresh = collect(args.crc, args.pipeline, args.scrambler, args.fec)
     has_clmul = any(is_clmul_gated(k) for k in fresh)
 
     if args.update:

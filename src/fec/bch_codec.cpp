@@ -1,0 +1,181 @@
+#include "fec/bch_codec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "lfsr/berlekamp_massey.hpp"
+
+namespace plfsr {
+
+namespace {
+
+// Minimal polynomial of alpha^e over GF(2): expand
+// prod_j (x + alpha^(e·2^j)) across the conjugacy class of e. The
+// product is Frobenius-stable, so every coefficient must collapse into
+// the prime field {0, 1}.
+Gf2Poly minimal_polynomial(const GfmField& f, std::uint32_t e) {
+  using Sym = GfmField::Sym;
+  const std::uint32_t n = f.order() - 1;
+  std::vector<Sym> poly{1};
+  std::uint32_t c = e % n;
+  do {
+    poly = f.poly_mul(poly, {f.alpha_pow(c), 1});
+    c = (c * 2) % n;
+  } while (c != e % n);
+  Gf2Poly out;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (poly[i] > 1)
+      throw std::logic_error(
+          "minimal_polynomial: conjugacy product left the prime field");
+    if (poly[i]) out.set_coeff(static_cast<unsigned>(i), true);
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCodec::BchCodec(const FecSpec& spec)
+    : spec_(spec), field_(GfmField::of(spec.m)) {
+  if (spec.family != FecFamily::kBch)
+    throw std::invalid_argument("BchCodec: spec family is not BCH");
+  if (spec.m < 3 || spec.m > 16)
+    throw std::invalid_argument("BchCodec: m must be in [3, 16]");
+  if (spec.t == 0)
+    throw std::invalid_argument("BchCodec: t must be >= 1");
+
+  // g = LCM of the minimal polynomials of alpha^1 .. alpha^2t. Conjugacy
+  // classes are closed under squaring, so it suffices to take each odd
+  // exponent's class once.
+  const std::uint32_t n_bits = field_.order() - 1;
+  std::vector<char> covered(n_bits, 0);
+  gen_ = Gf2Poly::one();
+  for (std::uint32_t e = 1; e <= 2 * spec.t; ++e) {
+    std::uint32_t c = e % n_bits;
+    if (c == 0 || covered[c]) continue;
+    for (std::uint32_t x = c; !covered[x]; x = (x * 2) % n_bits)
+      covered[x] = 1;
+    gen_ = gen_ * minimal_polynomial(field_, c);
+  }
+
+  parity_bits_ = static_cast<std::size_t>(gen_.degree());
+  if (parity_bits_ == 0 || parity_bits_ > 64)
+    throw std::invalid_argument(
+        "BchCodec: generator degree " + std::to_string(parity_bits_) +
+        " outside the supported (0, 64] range");
+  if (parity_bits_ >= n_bits)
+    throw std::invalid_argument("BchCodec: t too large, no payload left");
+  const std::size_t k_bits = n_bits - parity_bits_;
+  if ((spec.n != 0 && spec.n != n_bits) || (spec.k != 0 && spec.k != k_bits))
+    throw std::invalid_argument(
+        "BchCodec: spec n/k disagree with the derived geometry " +
+        std::to_string(n_bits) + "/" + std::to_string(k_bits));
+  spec_.n = n_bits;
+  spec_.k = k_bits;
+
+  if (parity_bits_ % 8 != 0)
+    throw std::invalid_argument(
+        "BchCodec: byte-block transport needs deg(g) % 8 == 0, got " +
+        std::to_string(parity_bits_));
+  if (data_bytes() == 0)
+    throw std::invalid_argument("BchCodec: payload shorter than one byte");
+
+  gen_low_ = 0;
+  for (unsigned i = 0; i < parity_bits_; ++i)
+    if (gen_.coeff(i)) gen_low_ |= std::uint64_t{1} << i;
+}
+
+void BchCodec::encode_block(std::span<const std::uint8_t> data,
+                            std::span<std::uint8_t> out) const {
+  if (data.empty() || data.size() > data_bytes())
+    throw std::invalid_argument("BchCodec::encode_block: data length " +
+                                std::to_string(data.size()) +
+                                " not in [1, data_bytes]");
+  if (out.size() != data.size() + parity_bytes())
+    throw std::invalid_argument(
+        "BchCodec::encode_block: out must be data.size() + parity bytes");
+
+  // CRC remainder loop over GF(2): rem holds d(x)·x^p mod g(x) with the
+  // coefficient of x^(p-1) at the register's top bit.
+  const std::uint64_t top = std::uint64_t{1} << (parity_bits_ - 1);
+  const std::uint64_t mask =
+      parity_bits_ == 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << parity_bits_) - 1;
+  std::uint64_t rem = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i];
+    for (int b = 7; b >= 0; --b) {
+      const bool fb = (((data[i] >> b) & 1u) != 0) != ((rem & top) != 0);
+      rem = (rem << 1) & mask;
+      if (fb) rem ^= gen_low_;
+    }
+  }
+  for (std::size_t j = 0; j < parity_bytes(); ++j)
+    out[data.size() + j] = static_cast<std::uint8_t>(
+        rem >> (parity_bits_ - 8 * (j + 1)));
+}
+
+FecDecodeResult BchCodec::decode_block(
+    std::span<std::uint8_t> code, std::span<const std::uint32_t>) const {
+  if (code.size() <= parity_bytes() || code.size() > code_bytes())
+    throw std::invalid_argument("BchCodec::decode_block: block length " +
+                                std::to_string(code.size()) +
+                                " not in [parity+1, code_bytes]");
+  const GfmField& f = field_;
+  const std::size_t nbits = code.size() * 8;
+  const std::size_t n_syn = 2 * spec_.t;
+
+  // S_j = R(alpha^j), j = 1..2t: Horner over the received bits, MSB of
+  // byte 0 first (that bit is the coefficient of x^(nbits-1)).
+  std::vector<Sym> syn(n_syn, 0);
+  bool clean = true;
+  for (std::size_t j = 0; j < n_syn; ++j) {
+    const Sym a = f.alpha_pow(j + 1);
+    Sym s = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::uint8_t byte = code[i];
+      for (int b = 7; b >= 0; --b)
+        s = f.add(f.mul(s, a), static_cast<Sym>((byte >> b) & 1u));
+    }
+    syn[j] = s;
+    clean = clean && s == 0;
+  }
+  if (clean) return {true, 0, 0};
+
+  // Shared GF(2^m) Berlekamp–Massey; a fit longer than t bits is beyond
+  // the designed distance — detected failure.
+  const GfmLfsrSynthesis fit = berlekamp_massey(f, syn);
+  if (fit.complexity > spec_.t) return {};
+  const std::vector<Sym>& lambda = fit.connection;
+  int deg = -1;
+  for (std::size_t i = lambda.size(); i-- > 0;)
+    if (lambda[i] != 0) {
+      deg = static_cast<int>(i);
+      break;
+    }
+  if (deg != static_cast<int>(fit.complexity) || deg <= 0) return {};
+
+  // Chien search over the real bit positions; binary code, so a root at
+  // alpha^-pos just flips the bit with exponent pos.
+  FecDecodeResult res;
+  for (std::size_t pos = 0; pos < nbits; ++pos) {
+    if (f.poly_eval(lambda, f.alpha_pow_neg(pos)) != 0) continue;
+    const std::size_t bit = nbits - 1 - pos;
+    code[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    ++res.corrected_errors;
+  }
+  if (res.corrected_errors != static_cast<std::size_t>(deg)) return {};
+
+  // Post-correction recheck.
+  for (std::size_t j = 0; j < n_syn; ++j) {
+    const Sym a = f.alpha_pow(j + 1);
+    Sym s = 0;
+    for (std::size_t i = 0; i < code.size(); ++i)
+      for (int b = 7; b >= 0; --b)
+        s = f.add(f.mul(s, a), static_cast<Sym>((code[i] >> b) & 1u));
+    if (s != 0) return {};
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,76 @@
+// Binary BCH codec: bit-correcting block code with GF(2^m) syndrome
+// decoding.
+//
+// The generator g(x) over GF(2) is the LCM of the minimal polynomials of
+// alpha, alpha^2, ..., alpha^2t — built here from the conjugacy classes
+// {e·2^j mod 2^m-1} by expanding prod (x - alpha^(e·2^j)) over GF(2^m)
+// and checking the coefficients collapse to {0, 1}. Encoding is then the
+// plain CRC remainder loop over GF(2) (the parity bits are
+// d(x)·x^deg(g) mod g(x)); decoding computes 2t syndromes S_j =
+// R(alpha^j) in GF(2^m), runs the shared Berlekamp–Massey synthesis over
+// the field, Chien-searches the error locator, and flips the located
+// bits — no Forney step, because a binary error value is always 1.
+//
+// Bit convention: stream bit b lives in byte b/8 at mask 0x80 >> (b%8)
+// (MSB-first, matching the CRC engines), and is the coefficient of
+// x^(Nbits-1-b). Byte-block transport requires deg(g) % 8 == 0 (true
+// for the catalogue entries); shorter payloads are shortened codes
+// exactly as in RsCodec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fec/fec_codec.hpp"
+#include "gfm/gfm_field.hpp"
+
+namespace plfsr {
+
+/// Binary BCH over GF(2)[x]/g(x) with designed distance 2t+1,
+/// n = 2^m - 1 bits. Requires m in [3, 16], t >= 1, deg(g) <= 64 and
+/// k >= 1; byte-block transport additionally requires deg(g) % 8 == 0.
+class BchCodec : public FecCodec {
+ public:
+  using Sym = GfmField::Sym;
+
+  /// spec.family must be kBch with t set; n/k, if nonzero, must match
+  /// the derived geometry (n = 2^m - 1, k = n - deg g). Throws
+  /// std::invalid_argument on any violation.
+  explicit BchCodec(const FecSpec& spec);
+
+  const FecSpec& spec() const override { return spec_; }
+  /// Payload capacity in whole bytes: floor(k / 8).
+  std::size_t data_bytes() const override { return spec_.k / 8; }
+  std::size_t parity_bytes() const override { return parity_bits_ / 8; }
+  std::size_t max_errors() const override { return spec_.t; }
+  /// BCH here has no erasure channel: marked positions carry no
+  /// bit-level information (an erased *byte* is 8 unknown bits), so
+  /// decode treats them as ordinary errors and this reports 0.
+  std::size_t max_erasures() const override { return 0; }
+
+  const GfmField& field() const { return field_; }
+  /// Generator polynomial over GF(2), degree parity_bits().
+  const Gf2Poly& generator() const { return gen_; }
+  std::size_t parity_bits() const { return parity_bits_; }
+
+  void encode_block(std::span<const std::uint8_t> data,
+                    std::span<std::uint8_t> out) const override;
+
+  /// Decode in place. `erasures` is accepted for interface uniformity
+  /// and ignored (see max_erasures); corrected_errors counts flipped
+  /// *bits*.
+  FecDecodeResult decode_block(
+      std::span<std::uint8_t> code,
+      std::span<const std::uint32_t> erasures = {}) const override;
+
+ private:
+  FecSpec spec_;
+  const GfmField& field_;
+  Gf2Poly gen_;
+  std::size_t parity_bits_ = 0;
+  std::uint64_t gen_low_ = 0;  // g without its top bit, for the CRC loop
+};
+
+}  // namespace plfsr

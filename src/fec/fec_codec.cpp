@@ -1,0 +1,92 @@
+#include "fec/fec_codec.hpp"
+
+#include <stdexcept>
+
+namespace plfsr {
+
+std::string FecSpec::name() const {
+  switch (family) {
+    case FecFamily::kReedSolomon:
+      return "RS(" + std::to_string(n) + "," + std::to_string(k) + ")";
+    case FecFamily::kBch:
+      return "BCH(" + std::to_string(n) + "," + std::to_string(k) +
+             ",t=" + std::to_string(t) + ")";
+  }
+  return "FEC(?)";
+}
+
+std::size_t fec_encoded_size(const FecCodec& codec, std::size_t data_len) {
+  if (data_len == 0) return 0;
+  const std::size_t d = codec.data_bytes();
+  const std::size_t blocks = (data_len + d - 1) / d;
+  return data_len + blocks * codec.parity_bytes();
+}
+
+std::size_t fec_block_count(const FecCodec& codec, std::size_t code_len) {
+  if (code_len == 0) return 0;
+  const std::size_t c = codec.code_bytes();
+  return (code_len + c - 1) / c;
+}
+
+std::size_t fec_decoded_size(const FecCodec& codec, std::size_t code_len) {
+  if (code_len == 0) return 0;
+  const std::size_t blocks = fec_block_count(codec, code_len);
+  // Every block carries parity plus at least one data byte, and only the
+  // last block may be short of a full codeword — so the trailing
+  // fragment must itself exceed one block's parity.
+  const std::size_t last = code_len - (blocks - 1) * codec.code_bytes();
+  if (last <= codec.parity_bytes())
+    throw std::invalid_argument(
+        "fec_decoded_size: " + std::to_string(code_len) +
+        " bytes is not a valid encoded length for " + codec.spec().name());
+  return code_len - blocks * codec.parity_bytes();
+}
+
+namespace fec {
+
+FecSpec rs(unsigned m, std::size_t n, std::size_t k, unsigned fcr) {
+  FecSpec s;
+  s.family = FecFamily::kReedSolomon;
+  s.m = m;
+  s.n = n;
+  s.k = k;
+  s.fcr = fcr;
+  s.t = static_cast<unsigned>((n - k) / 2);
+  return s;
+}
+
+FecSpec bch(unsigned m, unsigned t) {
+  FecSpec s;
+  s.family = FecFamily::kBch;
+  s.m = m;
+  s.t = t;
+  return s;
+}
+
+FecSpec rs_255_223() { return rs(8, 255, 223); }
+FecSpec rs_255_239() { return rs(8, 255, 239); }
+FecSpec rs_204_188() { return rs(8, 204, 188); }
+FecSpec rs_15_11() { return rs(4, 15, 11); }
+
+FecSpec bch_255_t2() {
+  FecSpec s = bch(8, 2);
+  s.n = 255;
+  s.k = 239;
+  return s;
+}
+
+FecSpec bch_255_t4() {
+  FecSpec s = bch(8, 4);
+  s.n = 255;
+  s.k = 223;
+  return s;
+}
+
+std::vector<FecSpec> all_fec_specs() {
+  return {rs_255_223(), rs_255_239(), rs_204_188(), rs_15_11(),
+          bch_255_t2(), bch_255_t4()};
+}
+
+}  // namespace fec
+
+}  // namespace plfsr

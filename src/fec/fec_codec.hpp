@@ -1,0 +1,146 @@
+// Forward error correction — the contract shared by the Reed–Solomon and
+// BCH codecs, plus the code-parameter catalogue.
+//
+// FEC is the third workload family on this repo's linear-system core:
+// where a CRC *detects* channel errors and a scrambler shapes the
+// spectrum, an RS/BCH code *corrects* them — and all three are built
+// from the same LFSR algebra (systematic encoding is polynomial division
+// by a generator, exactly the CRC remainder loop; decoding runs
+// Berlekamp–Massey, the same synthesis that recovers scrambler taps in
+// lfsr/berlekamp_massey). The codecs speak GF(2^m) symbols internally
+// (src/gfm); this header fixes the byte-level block contract the
+// streaming pipeline, the sharded batch wrapper and the registry all
+// code against.
+//
+// Block model: a codec turns up to data_bytes() of payload into payload
+// + parity_bytes() of codeword. Shorter payloads encode as *shortened*
+// codes (the omitted leading symbols are implicit zeros — standard
+// practice, e.g. DVB's RS(204,188) is shortened RS(255,239)). decode
+// corrects in place and reports whether the block was recovered; beyond
+// the code's correction radius the failure is detected (post-correction
+// syndrome recheck), never silently wrong within the decoder's power.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plfsr {
+
+enum class FecFamily {
+  kReedSolomon,  ///< symbol-correcting RS(n, k) over GF(2^m)
+  kBch,          ///< bit-correcting binary BCH with GF(2^m) syndromes
+};
+
+/// Code parameters — the FEC analogue of CrcSpec. For Reed–Solomon,
+/// n/k are symbol counts (n <= 2^m - 1; n < 2^m - 1 is a shortened
+/// code) and fcr is the first consecutive root exponent b of the
+/// generator g(x) = prod_{i=0}^{n-k-1} (x - alpha^(b+i)). For BCH, t is
+/// the designed correction capability; n = 2^m - 1 and k = n - deg g
+/// are derived from it (leave n = k = 0 to accept the derived values).
+struct FecSpec {
+  FecFamily family = FecFamily::kReedSolomon;
+  unsigned m = 8;      ///< symbol field GF(2^m)
+  std::size_t n = 0;   ///< codeword length (symbols for RS, bits for BCH)
+  std::size_t k = 0;   ///< payload length (symbols for RS, bits for BCH)
+  unsigned fcr = 0;    ///< RS first consecutive root exponent
+  unsigned t = 0;      ///< BCH designed errors (RS derives t = (n-k)/2)
+
+  /// Human-readable form, e.g. "RS(255,223)" or "BCH(255,231,t=3)".
+  std::string name() const;
+};
+
+/// Outcome of decoding one block.
+struct FecDecodeResult {
+  bool ok = false;                   ///< block recovered (syndromes clean)
+  std::size_t corrected_errors = 0;  ///< corrected at unmarked positions
+  std::size_t corrected_erasures = 0;  ///< corrected at marked positions
+};
+
+/// Uniform byte-block codec interface (the symbol-level APIs of the
+/// concrete codecs remain available for generic-m work; this is the
+/// transport-facing contract where symbols ride in bytes). Implementations
+/// are immutable after construction and safe to share across threads.
+class FecCodec {
+ public:
+  virtual ~FecCodec() = default;
+
+  virtual const FecSpec& spec() const = 0;
+
+  /// Payload capacity of one full block, bytes.
+  virtual std::size_t data_bytes() const = 0;
+  /// Parity appended to every block (full or shortened), bytes.
+  virtual std::size_t parity_bytes() const = 0;
+  /// Full-block codeword size: data_bytes() + parity_bytes().
+  std::size_t code_bytes() const { return data_bytes() + parity_bytes(); }
+
+  /// Correction radius per block: symbols (= bytes) for RS, bits for BCH.
+  virtual std::size_t max_errors() const = 0;
+  /// Erasure capacity per block (RS: n - k with 2e + r <= n - k; BCH
+  /// treats marked positions as ordinary errors and reports 0 here).
+  virtual std::size_t max_erasures() const = 0;
+
+  /// Encode one (possibly shortened) block: out = data || parity.
+  /// data.size() must be in [1, data_bytes()] and out.size() ==
+  /// data.size() + parity_bytes(). Throws std::invalid_argument on a
+  /// size violation.
+  virtual void encode_block(std::span<const std::uint8_t> data,
+                            std::span<std::uint8_t> out) const = 0;
+
+  /// Decode one block in place. code.size() must be in
+  /// [parity_bytes() + 1, code_bytes()]. `erasures` lists byte offsets
+  /// within `code` the channel marked unreliable (order irrelevant,
+  /// duplicates invalid). On ok the first code.size() - parity_bytes()
+  /// bytes are the recovered payload; on failure the buffer contents are
+  /// unspecified (the caller keeps its own copy if it needs the
+  /// uncorrected symbols).
+  virtual FecDecodeResult decode_block(
+      std::span<std::uint8_t> code,
+      std::span<const std::uint32_t> erasures = {}) const = 0;
+};
+
+// --- Stream <-> block geometry -------------------------------------------
+//
+// A byte stream of length L is cut into ceil(L / data_bytes()) blocks:
+// all full except possibly the last, which keeps >= 1 data byte
+// (shortened). Each block carries parity_bytes() of parity, so the
+// encoded length determines the payload length and block count uniquely
+// — no length header needed on the wire.
+
+/// Encoded size of a payload of `data_len` bytes (0 stays 0).
+std::size_t fec_encoded_size(const FecCodec& codec, std::size_t data_len);
+
+/// Payload size recovered from an encoded length. Throws
+/// std::invalid_argument if `code_len` cannot result from
+/// fec_encoded_size (e.g. a trailing fragment of parity_bytes() or
+/// less).
+std::size_t fec_decoded_size(const FecCodec& codec, std::size_t code_len);
+
+/// Number of blocks in an encoded buffer of `code_len` bytes.
+std::size_t fec_block_count(const FecCodec& codec, std::size_t code_len);
+
+// --- Parameter catalogue --------------------------------------------------
+
+namespace fec {
+
+FecSpec rs(unsigned m, std::size_t n, std::size_t k, unsigned fcr = 0);
+FecSpec bch(unsigned m, unsigned t);
+
+FecSpec rs_255_223();  ///< t = 16 — the deep-space workhorse geometry
+FecSpec rs_255_239();  ///< t = 8 — the optical-transport / DVB mother code
+FecSpec rs_204_188();  ///< DVB outer code: RS(255,239) shortened to a TS packet
+FecSpec rs_15_11();    ///< GF(16) toy code, t = 2 (CD-class subcode)
+FecSpec bch_255_t2();  ///< BCH(255,239), 2-bit correcting
+FecSpec bch_255_t4();  ///< BCH(255,223), 4-bit correcting
+
+/// The specs above — the sweep the registry audit, bench_fec and the
+/// examples enumerate (every entry must round-trip on every engine that
+/// claims it).
+std::vector<FecSpec> all_fec_specs();
+
+}  // namespace fec
+
+}  // namespace plfsr

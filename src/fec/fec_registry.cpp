@@ -1,0 +1,148 @@
+#include "fec/fec_registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "fec/bch_codec.hpp"
+#include "fec/rs_codec.hpp"
+
+namespace plfsr {
+
+namespace {
+
+// The registry serves the byte-block FecCodec contract, so its RS
+// entries are GF(256) codes only; other symbol widths go through
+// RsCodec's symbol-level API directly.
+bool rs_spec_ok(const FecSpec& s) {
+  if (s.family != FecFamily::kReedSolomon || s.m != 8) return false;
+  return s.n >= 2 && s.n <= 255 && s.k >= 1 && s.k < s.n;
+}
+
+bool bch_spec_ok(const FecSpec& s) {
+  if (s.family != FecFamily::kBch) return false;
+  if (s.m < 3 || s.m > 16 || s.t == 0) return false;
+  try {
+    BchCodec probe(s);  // geometry (deg g, byte alignment) needs the build
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+FecRegistry& FecRegistry::instance() {
+  static FecRegistry* reg = [] {
+    auto* r = new FecRegistry();
+    r->register_engine({
+        .name = "rs-swar",
+        .description =
+            "Reed-Solomon over GF(256), gf256::mul8 SWAR encoder lanes",
+        .available = [] { return true; },
+        .supports = rs_spec_ok,
+        .make =
+            [](const FecSpec& s) -> FecCodecHandle {
+              return std::make_shared<RsCodec>(s, RsKernel::kSwar);
+            },
+        .preference = 20,
+    });
+    r->register_engine({
+        .name = "rs-table",
+        .description = "Reed-Solomon over GF(256), exp/log table multiplies",
+        .available = [] { return true; },
+        .supports = rs_spec_ok,
+        .make =
+            [](const FecSpec& s) -> FecCodecHandle {
+              return std::make_shared<RsCodec>(s, RsKernel::kTable);
+            },
+        .preference = 10,
+    });
+    r->register_engine({
+        .name = "bch",
+        .description = "binary BCH, CRC-loop encoder + GF(2^m) syndromes",
+        .available = [] { return true; },
+        .supports = bch_spec_ok,
+        .make =
+            [](const FecSpec& s) -> FecCodecHandle {
+              return std::make_shared<BchCodec>(s);
+            },
+        .preference = 10,
+    });
+    return r;
+  }();
+  return *reg;
+}
+
+void FecRegistry::register_engine(FecEngineInfo info) {
+  if (info.name.empty())
+    throw std::invalid_argument("FecRegistry: engine name must be nonempty");
+  if (!info.available || !info.supports || !info.make)
+    throw std::invalid_argument("FecRegistry: engine \"" + info.name +
+                                "\" is missing callbacks");
+  if (find(info.name) != nullptr)
+    throw std::invalid_argument("FecRegistry: duplicate engine name \"" +
+                                info.name + "\"");
+  entries_.push_back(std::move(info));
+}
+
+std::vector<std::string> FecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::vector<std::string> FecRegistry::available_names() const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_)
+    if (e.available()) out.push_back(e.name);
+  return out;
+}
+
+const FecEngineInfo* FecRegistry::find(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+bool FecRegistry::supports(const std::string& name,
+                           const FecSpec& spec) const {
+  const FecEngineInfo* e = find(name);
+  return e != nullptr && e->available() && e->supports(spec);
+}
+
+FecCodecHandle FecRegistry::make(const std::string& name,
+                                 const FecSpec& spec) const {
+  const FecEngineInfo* e = find(name);
+  if (e == nullptr) {
+    std::string known;
+    for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+    throw std::invalid_argument("FecRegistry: unknown engine \"" + name +
+                                "\" (known: " + known + ")");
+  }
+  if (!e->available() || !e->supports(spec))
+    throw std::runtime_error("FecRegistry: engine \"" + name +
+                             "\" cannot serve " + spec.name());
+  return e->make(spec);
+}
+
+FecCodecHandle FecRegistry::best_for(const FecSpec& spec) const {
+  const std::string forced = fec_engine_override();
+  if (!forced.empty()) return make(forced, spec);
+  const FecEngineInfo* best = nullptr;
+  for (const auto& e : entries_) {
+    if (!e.available() || !e.supports(spec)) continue;
+    if (best == nullptr || e.preference > best->preference) best = &e;
+  }
+  if (best == nullptr)
+    throw std::runtime_error("FecRegistry: no engine can serve " +
+                             spec.name());
+  return best->make(spec);
+}
+
+std::string fec_engine_override() {
+  const char* v = std::getenv("PLFSR_FEC_ENGINE");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+}  // namespace plfsr

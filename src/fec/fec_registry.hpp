@@ -1,0 +1,83 @@
+// Runtime registry of FEC codec engines, mirroring crc/engine_registry:
+// a stable name ("rs-swar", "rs-table", "bch") maps to a factory that
+// builds the codec for a FecSpec behind the shared FecCodec contract.
+// Like the CRC registry this is the software analogue of PiCoGA's
+// multi-context configuration cache — the host picks a decode/encode
+// personality by name, and everything above the registry (the shared
+// audit in tests, bench_fec, the examples) enumerates the catalogue, so
+// a new codec engine is automatically audited and regression-gated.
+//
+// best_for(spec) returns the highest-preference available entry that
+// supports the spec; the PLFSR_FEC_ENGINE environment variable (read
+// per call, never cached) overrides the policy by name.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fec/fec_codec.hpp"
+
+namespace plfsr {
+
+using FecCodecHandle = std::shared_ptr<const FecCodec>;
+
+/// One registered codec engine: stable name, factory and gates.
+struct FecEngineInfo {
+  std::string name;         ///< stable registry key, e.g. "rs-swar"
+  std::string description;  ///< one-line human description
+  /// Runtime capability gate; evaluated per call.
+  std::function<bool()> available;
+  /// Spec envelope: can this engine be constructed for `spec`?
+  std::function<bool(const FecSpec&)> supports;
+  /// Build the codec configured for `spec`.
+  std::function<FecCodecHandle(const FecSpec&)> make;
+  /// best_for() rank; higher wins.
+  int preference = 0;
+};
+
+/// Name-keyed codec catalogue; instance() has the built-ins registered.
+class FecRegistry {
+ public:
+  /// The shared registry. Not synchronized: register additional engines
+  /// during start-up, before concurrent use.
+  static FecRegistry& instance();
+
+  FecRegistry() = default;
+
+  /// Register an engine under info.name. Throws std::invalid_argument on
+  /// an empty or duplicate name or missing callbacks.
+  void register_engine(FecEngineInfo info);
+
+  /// All registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// Names whose capability gate passes right now.
+  std::vector<std::string> available_names() const;
+
+  /// Entry lookup; nullptr if the name is unknown.
+  const FecEngineInfo* find(const std::string& name) const;
+
+  /// True iff `name` is registered, available, and supports `spec`.
+  bool supports(const std::string& name, const FecSpec& spec) const;
+
+  /// Construct engine `name` for `spec`. Throws std::invalid_argument on
+  /// an unknown name (the message lists the known ones) and
+  /// std::runtime_error if the engine does not support the spec.
+  FecCodecHandle make(const std::string& name, const FecSpec& spec) const;
+
+  /// The best available engine for `spec`, or the one named by
+  /// PLFSR_FEC_ENGINE if set (unknown / unsuitable names throw). Throws
+  /// std::runtime_error if no engine can serve the spec.
+  FecCodecHandle best_for(const FecSpec& spec) const;
+
+ private:
+  std::vector<FecEngineInfo> entries_;
+};
+
+/// Value of the PLFSR_FEC_ENGINE override ("" when unset/empty). Read
+/// from the environment on every call.
+std::string fec_engine_override();
+
+}  // namespace plfsr

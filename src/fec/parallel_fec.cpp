@@ -1,0 +1,134 @@
+#include "fec/parallel_fec.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/sharding.hpp"
+
+namespace plfsr {
+
+ParallelFec::ParallelFec(FecCodecHandle codec, std::size_t shards,
+                         std::size_t min_blocks_per_shard)
+    : codec_(std::move(codec)),
+      shards_(shards),
+      min_blocks_per_shard_(min_blocks_per_shard) {
+  if (!codec_) throw std::invalid_argument("ParallelFec: null codec");
+  if (shards_ == 0)
+    throw std::invalid_argument("ParallelFec: shards must be >= 1");
+  if (shards_ > 1) pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+}
+
+ParallelFecResult ParallelFec::encode(std::span<const std::uint8_t> data,
+                                      std::span<std::uint8_t> out) const {
+  if (out.size() != fec_encoded_size(*codec_, data.size()))
+    throw std::invalid_argument(
+        "ParallelFec::encode: out must be encoded_size(data) bytes");
+  ParallelFecResult res;
+  if (data.empty()) return res;
+
+  const std::size_t d = codec_->data_bytes();
+  const std::size_t c = codec_->code_bytes();
+  const std::size_t nb = (data.size() + d - 1) / d;
+  res.blocks = nb;
+
+  auto encode_range = [&](std::size_t first, std::size_t count) {
+    for (std::size_t b = first; b < first + count; ++b) {
+      const std::size_t dlen = std::min(d, data.size() - b * d);
+      codec_->encode_block(data.subspan(b * d, dlen),
+                           out.subspan(b * c, dlen + codec_->parity_bytes()));
+    }
+  };
+
+  if (shards_ == 1 || nb < shards_ * min_blocks_per_shard_) {
+    encode_range(0, nb);
+    return res;
+  }
+  const auto slices = near_equal_slices(nb, shards_);
+  std::vector<std::future<void>> pending;
+  for (std::size_t s = 1; s < slices.size(); ++s)
+    pending.push_back(pool_->submit(
+        [&, s] { encode_range(slices[s].offset, slices[s].length); }));
+  encode_range(slices[0].offset, slices[0].length);
+  for (auto& f : pending) f.get();
+  return res;
+}
+
+ParallelFecResult ParallelFec::decode(
+    std::span<const std::uint8_t> code, std::span<std::uint8_t> out,
+    std::span<const std::uint32_t> erasures) const {
+  if (out.size() != fec_decoded_size(*codec_, code.size()))
+    throw std::invalid_argument(
+        "ParallelFec::decode: out must be decoded_size(code) bytes");
+  ParallelFecResult res;
+  if (code.empty()) return res;
+
+  const std::size_t d = codec_->data_bytes();
+  const std::size_t c = codec_->code_bytes();
+  const std::size_t p = codec_->parity_bytes();
+  const std::size_t nb = fec_block_count(*codec_, code.size());
+  res.blocks = nb;
+
+  // Bucket the stream-offset erasures by block: sort once, then each
+  // block slices its contiguous run and rebases to block-local offsets.
+  std::vector<std::uint32_t> sorted(erasures.begin(), erasures.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty() && sorted.back() >= code.size())
+    throw std::invalid_argument("ParallelFec::decode: erasure offset " +
+                                std::to_string(sorted.back()) +
+                                " outside the encoded stream");
+
+  std::vector<ParallelFecResult> partial(shards_);
+  auto decode_range = [&](std::size_t shard, std::size_t first,
+                          std::size_t count) {
+    ParallelFecResult& acc = partial[shard];
+    std::vector<std::uint8_t> block;
+    std::vector<std::uint32_t> local;
+    for (std::size_t b = first; b < first + count; ++b) {
+      const std::size_t off = b * c;
+      const std::size_t clen = std::min(c, code.size() - off);
+      block.assign(code.begin() + off, code.begin() + off + clen);
+      local.clear();
+      const auto lo = std::lower_bound(sorted.begin(), sorted.end(), off);
+      const auto hi =
+          std::lower_bound(sorted.begin(), sorted.end(), off + clen);
+      for (auto it = lo; it != hi; ++it)
+        local.push_back(*it - static_cast<std::uint32_t>(off));
+      const FecDecodeResult r = codec_->decode_block(block, local);
+      acc.corrected_errors += r.corrected_errors;
+      acc.corrected_erasures += r.corrected_erasures;
+      const std::size_t dlen = clen - p;
+      if (r.ok) {
+        std::memcpy(out.data() + b * d, block.data(), dlen);
+      } else {
+        acc.ok = false;
+        ++acc.failed_blocks;
+        std::memcpy(out.data() + b * d, code.data() + off, dlen);
+      }
+    }
+  };
+
+  if (shards_ == 1 || nb < shards_ * min_blocks_per_shard_) {
+    decode_range(0, 0, nb);
+  } else {
+    const auto slices = near_equal_slices(nb, shards_);
+    std::vector<std::future<void>> pending;
+    for (std::size_t s = 1; s < slices.size(); ++s)
+      pending.push_back(pool_->submit(
+          [&, s] { decode_range(s, slices[s].offset, slices[s].length); }));
+    decode_range(0, slices[0].offset, slices[0].length);
+    for (auto& f : pending) f.get();
+  }
+  for (const ParallelFecResult& pr : partial) {
+    res.ok = res.ok && pr.ok;
+    res.failed_blocks += pr.failed_blocks;
+    res.corrected_errors += pr.corrected_errors;
+    res.corrected_erasures += pr.corrected_erasures;
+  }
+  return res;
+}
+
+}  // namespace plfsr

@@ -1,0 +1,82 @@
+// Shard-parallel FEC: batch encode/decode of a byte stream's blocks
+// across the worker pool — the same decomposition ParallelCrc and
+// ParallelScramble apply to their workloads, but with a twist that makes
+// FEC the *easy* case: blocks are independent codewords, so there is no
+// combine fold at all. Shard i takes a contiguous near-equal run of
+// whole blocks (support/sharding.hpp policy), encodes or decodes them
+// with the shared immutable codec, and the only cross-shard work is
+// summing the correction counters afterwards.
+//
+// Stream geometry is the header-free block layout of fec_codec.hpp: all
+// blocks full except possibly the last (shortened, >= 1 data byte), so
+// block i's payload starts at i*data_bytes() and its codeword at
+// i*code_bytes() — shard boundaries are pure arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "fec/fec_codec.hpp"
+#include "fec/fec_registry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace plfsr {
+
+/// Aggregate outcome of a sharded decode (or encode, where only
+/// `blocks` is meaningful).
+struct ParallelFecResult {
+  bool ok = true;                      ///< every block recovered
+  std::size_t blocks = 0;              ///< blocks processed
+  std::size_t failed_blocks = 0;       ///< blocks beyond correction radius
+  std::size_t corrected_errors = 0;    ///< summed over blocks
+  std::size_t corrected_erasures = 0;  ///< summed over blocks
+};
+
+/// Shard-parallel wrapper around a FecCodec.
+class ParallelFec {
+ public:
+  /// Streams shorter than shards * min_blocks_per_shard blocks are
+  /// processed serially on the calling thread.
+  static constexpr std::size_t kDefaultMinBlocksPerShard = 2;
+
+  /// `shards` >= 1; shard 0 runs on the calling thread, shards-1 pool
+  /// workers take the rest. The codec is shared (immutable), never
+  /// copied per shard.
+  explicit ParallelFec(
+      FecCodecHandle codec, std::size_t shards,
+      std::size_t min_blocks_per_shard = kDefaultMinBlocksPerShard);
+
+  const FecCodec& codec() const { return *codec_; }
+  std::size_t shards() const { return shards_; }
+
+  /// Encoded/decoded sizes for this codec (see fec_codec.hpp).
+  std::size_t encoded_size(std::size_t data_len) const {
+    return fec_encoded_size(*codec_, data_len);
+  }
+  std::size_t decoded_size(std::size_t code_len) const {
+    return fec_decoded_size(*codec_, code_len);
+  }
+
+  /// Encode a stream: out.size() must equal encoded_size(data.size()).
+  /// Returns the block count in `blocks`.
+  ParallelFecResult encode(std::span<const std::uint8_t> data,
+                           std::span<std::uint8_t> out) const;
+
+  /// Decode a stream: out.size() must equal decoded_size(code.size()).
+  /// `erasures` are byte offsets into `code` (any order, no duplicates).
+  /// A block that fails to decode copies its received payload bytes to
+  /// `out` unchanged (best effort) and counts in failed_blocks.
+  ParallelFecResult decode(std::span<const std::uint8_t> code,
+                           std::span<std::uint8_t> out,
+                           std::span<const std::uint32_t> erasures = {}) const;
+
+ private:
+  FecCodecHandle codec_;
+  std::size_t shards_;
+  std::size_t min_blocks_per_shard_;
+  std::unique_ptr<ThreadPool> pool_;  // shards_ - 1 workers
+};
+
+}  // namespace plfsr

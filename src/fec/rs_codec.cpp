@@ -1,0 +1,317 @@
+#include "fec/rs_codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "gfm/gf256.hpp"
+#include "lfsr/berlekamp_massey.hpp"
+
+namespace plfsr {
+
+namespace {
+
+// Stack bound for the SWAR encoder's parity register: parity <= 254
+// symbols for m = 8, padded up to a whole number of 8-byte lanes.
+constexpr std::size_t kMaxParityPadded = 256;
+
+}  // namespace
+
+RsCodec::RsCodec(const FecSpec& spec, RsKernel kernel)
+    : spec_(spec), field_(GfmField::of(spec.m)), kernel_(kernel) {
+  if (spec.family != FecFamily::kReedSolomon)
+    throw std::invalid_argument("RsCodec: spec family is not Reed-Solomon");
+  if (spec.m < 2 || spec.m > 16)
+    throw std::invalid_argument("RsCodec: m must be in [2, 16]");
+  const std::size_t nmax = field_.order() - 1;
+  if (spec.n < 2 || spec.n > nmax || spec.k == 0 || spec.k >= spec.n)
+    throw std::invalid_argument("RsCodec: need 0 < k < n <= 2^m - 1 for " +
+                                spec.name());
+  parity_ = spec.n - spec.k;
+  spec_.t = static_cast<unsigned>(parity_ / 2);
+
+  if (kernel_ == RsKernel::kAuto)
+    kernel_ = spec.m == 8 ? RsKernel::kSwar : RsKernel::kTable;
+  if (kernel_ == RsKernel::kSwar && spec.m != 8)
+    throw std::invalid_argument(
+        "RsCodec: the SWAR kernel is GF(256)-only (m == 8)");
+
+  // g(x) = prod_{i=0}^{parity-1} (x + alpha^(fcr+i)), monic of degree
+  // parity. Built by repeated multiplication with the linear factors.
+  gen_ = {1};
+  for (std::size_t i = 0; i < parity_; ++i) {
+    const std::vector<Sym> factor{field_.alpha_pow(spec_.fcr + i), 1};
+    gen_ = field_.poly_mul(gen_, factor);
+  }
+
+  // Remainder-slot view: slot j of the parity register accumulates
+  // fb * gen[parity-1-j]; the SWAR view packs those bytes 8 per word
+  // (zero-padded — padding lanes contribute nothing).
+  gen_by_slot_.resize(parity_);
+  for (std::size_t j = 0; j < parity_; ++j)
+    gen_by_slot_[j] = gen_[parity_ - 1 - j];
+  if (spec.m == 8) {
+    const std::size_t words = (parity_ + 7) / 8;
+    std::vector<std::uint8_t> padded(words * 8, 0);
+    for (std::size_t j = 0; j < parity_; ++j)
+      padded[j] = static_cast<std::uint8_t>(gen_by_slot_[j]);
+    gen_swar_.resize(words);
+    std::memcpy(gen_swar_.data(), padded.data(), padded.size());
+  }
+}
+
+// --- Encoding --------------------------------------------------------------
+
+void RsCodec::encode_symbols(std::span<const Sym> data,
+                             std::span<Sym> out) const {
+  if (data.empty() || data.size() > spec_.k)
+    throw std::invalid_argument("RsCodec::encode_symbols: data length " +
+                                std::to_string(data.size()) +
+                                " not in [1, k]");
+  if (out.size() != data.size() + parity_)
+    throw std::invalid_argument(
+        "RsCodec::encode_symbols: out must be data + parity symbols");
+  std::vector<Sym> r(parity_, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i];
+    const Sym fb = field_.add(data[i], r[0]);
+    for (std::size_t j = 0; j + 1 < parity_; ++j)
+      r[j] = field_.add(r[j + 1], field_.mul(fb, gen_by_slot_[j]));
+    r[parity_ - 1] = field_.mul(fb, gen_[0]);
+  }
+  std::copy(r.begin(), r.end(), out.begin() + data.size());
+}
+
+void RsCodec::encode_block(std::span<const std::uint8_t> data,
+                           std::span<std::uint8_t> out) const {
+  if (spec_.m != 8)
+    throw std::logic_error(
+        "RsCodec: byte-block transport requires m == 8; use the symbol "
+        "API for " + spec_.name());
+  if (data.empty() || data.size() > spec_.k)
+    throw std::invalid_argument("RsCodec::encode_block: data length " +
+                                std::to_string(data.size()) +
+                                " not in [1, k]");
+  if (out.size() != data.size() + parity_)
+    throw std::invalid_argument(
+        "RsCodec::encode_block: out must be data.size() + parity bytes");
+  if (!data.empty())
+    std::memcpy(out.data(), data.data(), data.size());
+
+  if (kernel_ == RsKernel::kSwar) {
+    // Parity register as padded byte lanes; per input symbol one feedback
+    // byte is broadcast and folded into all generator lanes with
+    // gf256::mul8 — (n-k)/8 word ops instead of n-k scalar multiplies.
+    const std::size_t words = gen_swar_.size();
+    std::uint8_t r[kMaxParityPadded] = {0};
+    for (const std::uint8_t d : data) {
+      const std::uint8_t fb = d ^ r[0];
+      std::memmove(r, r + 1, parity_ - 1);
+      r[parity_ - 1] = 0;
+      if (fb == 0) continue;
+      const std::uint64_t fbs = gf256::splat(fb);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t lane;
+        std::memcpy(&lane, r + 8 * w, 8);
+        lane ^= gf256::mul8(fbs, gen_swar_[w]);
+        std::memcpy(r + 8 * w, &lane, 8);
+      }
+    }
+    std::memcpy(out.data() + data.size(), r, parity_);
+    return;
+  }
+
+  // Table kernel: exp/log multiply per generator slot.
+  std::vector<std::uint8_t> r(parity_, 0);
+  for (const std::uint8_t d : data) {
+    const std::uint8_t fb = d ^ r[0];
+    if (fb == 0) {
+      std::memmove(r.data(), r.data() + 1, parity_ - 1);
+      r[parity_ - 1] = 0;
+      continue;
+    }
+    for (std::size_t j = 0; j + 1 < parity_; ++j)
+      r[j] = static_cast<std::uint8_t>(
+          r[j + 1] ^ field_.mul(fb, gen_by_slot_[j]));
+    r[parity_ - 1] = static_cast<std::uint8_t>(field_.mul(fb, gen_[0]));
+  }
+  std::memcpy(out.data() + data.size(), r.data(), parity_);
+}
+
+// --- Decoding --------------------------------------------------------------
+
+namespace {
+
+using Sym = GfmField::Sym;
+
+/// Berlekamp–Massey initialised with the erasure locator: returns the
+/// combined errata locator psi = Lambda * Gamma directly (degree
+/// erasures + located errors). With no erasures this is plain BM over
+/// the syndromes — the path below routes that case through the shared
+/// lfsr/berlekamp_massey synthesis instead, and the registry audit pins
+/// the two against each other implicitly via round-trips.
+std::vector<Sym> errata_locator(const GfmField& f,
+                                const std::vector<Sym>& syn,
+                                const std::vector<Sym>& gamma,
+                                std::size_t n_erasures) {
+  const std::size_t p = syn.size();
+  std::vector<Sym> lambda = gamma;
+  lambda.resize(p + 1, 0);
+  std::vector<Sym> b = lambda;
+  std::vector<Sym> t(p + 1, 0);
+  std::size_t el = n_erasures;
+  for (std::size_t r = n_erasures + 1; r <= p; ++r) {
+    Sym discr = 0;
+    for (std::size_t i = 0; i < r; ++i)
+      discr = f.add(discr, f.mul(lambda[i], syn[r - i - 1]));
+    if (discr == 0) {
+      // b *= x
+      for (std::size_t i = p; i > 0; --i) b[i] = b[i - 1];
+      b[0] = 0;
+      continue;
+    }
+    t[0] = lambda[0];
+    for (std::size_t i = 0; i < p; ++i)
+      t[i + 1] = f.add(lambda[i + 1], f.mul(discr, b[i]));
+    if (2 * el <= r + n_erasures - 1) {
+      el = r + n_erasures - el;
+      for (std::size_t i = 0; i <= p; ++i) b[i] = f.div(lambda[i], discr);
+    } else {
+      for (std::size_t i = p; i > 0; --i) b[i] = b[i - 1];
+      b[0] = 0;
+    }
+    lambda = t;
+  }
+  return lambda;
+}
+
+int poly_degree(const std::vector<Sym>& p) {
+  for (std::size_t i = p.size(); i-- > 0;)
+    if (p[i] != 0) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+template <typename SymT>
+FecDecodeResult RsCodec::decode_impl(
+    std::span<SymT> code, std::span<const std::uint32_t> erasures) const {
+  const std::size_t len = code.size();
+  if (len <= parity_ || len > spec_.n)
+    throw std::invalid_argument("RsCodec::decode: block length " +
+                                std::to_string(len) + " not in [n-k+1, n]");
+  std::vector<char> erased(len, 0);
+  for (const std::uint32_t e : erasures) {
+    if (e >= len)
+      throw std::invalid_argument("RsCodec::decode: erasure offset " +
+                                  std::to_string(e) + " out of block");
+    if (erased[e])
+      throw std::invalid_argument("RsCodec::decode: duplicate erasure at " +
+                                  std::to_string(e));
+    erased[e] = 1;
+  }
+  if (erasures.size() > parity_) return {};  // beyond capacity: detected
+
+  const GfmField& f = field_;
+  // Syndromes S_j = R(alpha^(fcr+j)), Horner over the received symbols
+  // (symbol i is the coefficient of x^(len-1-i)).
+  std::vector<Sym> syn(parity_, 0);
+  bool clean = true;
+  for (std::size_t j = 0; j < parity_; ++j) {
+    const Sym a = f.alpha_pow(spec_.fcr + j);
+    Sym s = 0;
+    for (std::size_t i = 0; i < len; ++i) s = f.add(f.mul(s, a), code[i]);
+    syn[j] = s;
+    clean = clean && s == 0;
+  }
+  if (clean) return {true, 0, 0};  // already a codeword (erasures correct)
+
+  // Combined errata locator psi(x) = Lambda(x) * Gamma(x). Positions are
+  // exponents: symbol index i <-> position len-1-i, X = alpha^position.
+  std::vector<Sym> psi;
+  if (erasures.empty()) {
+    // Errors only: the shared GF(2^m) Berlekamp–Massey synthesis.
+    const GfmLfsrSynthesis syn_fit = berlekamp_massey(f, syn);
+    if (2 * syn_fit.complexity > parity_) return {};  // beyond t: detected
+    psi = syn_fit.connection;
+    if (poly_degree(psi) != static_cast<int>(syn_fit.complexity))
+      return {};  // degenerate locator: detected failure
+  } else {
+    std::vector<Sym> gamma{1};
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!erased[i]) continue;
+      const Sym x = f.alpha_pow(len - 1 - i);
+      psi = {1, x};  // (1 + X x)
+      gamma = f.poly_mul(gamma, psi);
+    }
+    psi = errata_locator(f, syn, gamma, erasures.size());
+  }
+  const int deg = poly_degree(psi);
+  if (deg <= 0) return {};  // nonzero syndromes but empty locator
+
+  // Chien search over the block's real positions (a shortened code's
+  // virtual leading zeros can never host a root; a locator pointing
+  // there shows up as a root-count mismatch).
+  std::vector<std::uint32_t> positions;
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    if (f.poly_eval(psi, f.alpha_pow_neg(pos)) == 0)
+      positions.push_back(static_cast<std::uint32_t>(pos));
+  }
+  if (positions.size() != static_cast<std::size_t>(deg)) return {};
+
+  // Forney: Omega = S * psi mod x^parity; error value at X = alpha^pos is
+  // X^(1-fcr) * Omega(X^-1) / psi'(X^-1).
+  std::vector<Sym> omega = f.poly_mul(syn, psi);
+  omega.resize(parity_);
+  const std::vector<Sym> dpsi = f.poly_derivative(psi);
+  FecDecodeResult res;
+  for (const std::uint32_t pos : positions) {
+    const Sym xinv = f.alpha_pow_neg(pos);
+    const Sym denom = f.poly_eval(dpsi, xinv);
+    if (denom == 0) return {};  // repeated root: detected failure
+    const std::uint64_t qm1 = f.order() - 1;
+    // X^(1-fcr) as an alpha exponent, reduced into [0, q-1).
+    const long long expo =
+        ((1 - static_cast<long long>(spec_.fcr)) * static_cast<long long>(pos)) %
+        static_cast<long long>(qm1);
+    const Sym xfac =
+        f.alpha_pow(static_cast<std::uint64_t>(expo < 0 ? expo + qm1 : expo));
+    const Sym value = f.mul(xfac, f.div(f.poly_eval(omega, xinv), denom));
+    const std::size_t idx = len - 1 - pos;
+    code[idx] = static_cast<SymT>(code[idx] ^ value);
+    if (erased[idx])
+      ++res.corrected_erasures;
+    else
+      ++res.corrected_errors;
+  }
+
+  // Post-correction recheck: the corrected word must be a codeword. This
+  // is what turns every mis-location beyond the correction radius into a
+  // *detected* failure instead of silent corruption.
+  for (std::size_t j = 0; j < parity_; ++j) {
+    const Sym a = f.alpha_pow(spec_.fcr + j);
+    Sym s = 0;
+    for (std::size_t i = 0; i < len; ++i) s = f.add(f.mul(s, a), code[i]);
+    if (s != 0) return {};
+  }
+  res.ok = true;
+  return res;
+}
+
+FecDecodeResult RsCodec::decode_symbols(
+    std::span<Sym> code, std::span<const std::uint32_t> erasures) const {
+  return decode_impl<Sym>(code, erasures);
+}
+
+FecDecodeResult RsCodec::decode_block(
+    std::span<std::uint8_t> code,
+    std::span<const std::uint32_t> erasures) const {
+  if (spec_.m != 8)
+    throw std::logic_error(
+        "RsCodec: byte-block transport requires m == 8; use the symbol "
+        "API for " + spec_.name());
+  return decode_impl<std::uint8_t>(code, erasures);
+}
+
+}  // namespace plfsr

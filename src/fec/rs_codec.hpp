@@ -1,0 +1,102 @@
+// Reed–Solomon codec over GF(2^m): generator-polynomial systematic
+// encoding, syndrome computation, Berlekamp–Massey (the shared
+// lfsr/berlekamp_massey synthesis, run over the field), Chien search and
+// the Forney value formula, with erasure-location decoding folded in
+// through the modified-syndrome construction.
+//
+// The encoder is the exact CRC shape lifted to symbols: the parity of a
+// message M(x) is M(x)·x^(n-k) mod g(x), computed by the same feedback
+// shift register the CRC engines implement over GF(2) — per input symbol
+// one feedback tap and n-k multiply-accumulates against the generator
+// coefficients. For the GF(256) fast path those n-k multiplies collapse
+// to (n-k)/8 SWAR words (gf256::mul8: eight field products per 64-bit
+// op), the same lane-parallelism the paper's PiCoGA rows apply to the
+// CRC; a table kernel (exp/log) is kept as the portable/reference pair,
+// selectable per instance and A/B-checked by the registry audit.
+//
+// Conventions: codeword symbols c_0..c_{N-1} with c_i the coefficient of
+// x^(N-1-i) (c_0 transmitted first); generator roots alpha^fcr ..
+// alpha^(fcr+n-k-1); N <= n, and N < n is the standard shortened code
+// (virtual leading zeros). Erasure positions are symbol indices into the
+// block. Decoding succeeds iff 2·errors + erasures <= n - k; beyond
+// that the failure is detected by construction-validity checks plus a
+// post-correction syndrome recheck (a mis-located correction can never
+// return ok).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fec/fec_codec.hpp"
+#include "gfm/gfm_field.hpp"
+
+namespace plfsr {
+
+/// Which multiply kernel drives the encoder's parity feedback loop.
+enum class RsKernel {
+  kAuto,   ///< SWAR when the field is the gf256 default, else table
+  kTable,  ///< exp/log multiply (any m)
+  kSwar,   ///< gf256::mul8 byte lanes (m == 8, field 0x11D only)
+};
+
+/// RS(n, k) over GF(2^m), byte-block transport for m == 8 plus a
+/// symbol-level API for every m in [2, 16].
+class RsCodec : public FecCodec {
+ public:
+  using Sym = GfmField::Sym;
+
+  /// spec.family must be kReedSolomon with 2 <= m <= 16,
+  /// 0 < k < n <= 2^m - 1. Throws std::invalid_argument otherwise, or if
+  /// `kernel` is kSwar and the field is not the GF(256) default.
+  explicit RsCodec(const FecSpec& spec, RsKernel kernel = RsKernel::kAuto);
+
+  const FecSpec& spec() const override { return spec_; }
+  std::size_t data_bytes() const override { return spec_.k; }
+  std::size_t parity_bytes() const override { return parity_; }
+  std::size_t max_errors() const override { return parity_ / 2; }
+  std::size_t max_erasures() const override { return parity_; }
+
+  const GfmField& field() const { return field_; }
+  RsKernel kernel() const { return kernel_; }
+  /// Generator coefficients g_0..g_{n-k} (monic, index = power).
+  const std::vector<Sym>& generator() const { return gen_; }
+
+  // --- Byte blocks (m == 8; throws std::logic_error otherwise) ----------
+
+  void encode_block(std::span<const std::uint8_t> data,
+                    std::span<std::uint8_t> out) const override;
+
+  FecDecodeResult decode_block(
+      std::span<std::uint8_t> code,
+      std::span<const std::uint32_t> erasures = {}) const override;
+
+  // --- Symbols (any m) ---------------------------------------------------
+
+  /// Encode data.size() in [1, k] symbols; out.size() must be
+  /// data.size() + (n - k). out = data || parity.
+  void encode_symbols(std::span<const Sym> data, std::span<Sym> out) const;
+
+  /// Decode in place; code.size() in [n-k+1, n]. `erasures` are symbol
+  /// indices into `code`.
+  FecDecodeResult decode_symbols(
+      std::span<Sym> code, std::span<const std::uint32_t> erasures = {}) const;
+
+ private:
+  template <typename SymT>
+  FecDecodeResult decode_impl(std::span<SymT> code,
+                              std::span<const std::uint32_t> erasures) const;
+
+  FecSpec spec_;
+  const GfmField& field_;
+  RsKernel kernel_;
+  std::size_t parity_;          // n - k
+  std::vector<Sym> gen_;        // generator, ascending powers, monic
+  // Encoder views of the generator: coefficient for remainder slot j is
+  // gen_[parity-1-j]; the SWAR path packs those bytes 8 per word.
+  std::vector<Sym> gen_by_slot_;
+  std::vector<std::uint64_t> gen_swar_;
+};
+
+}  // namespace plfsr

@@ -1,0 +1,109 @@
+// Compile-time GF(256) kernel: constexpr exp/log tables and a SWAR
+// multiplier over the standard FEC field polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D, the DVB / CCSDS Reed–Solomon field).
+//
+// This is the hot-loop sibling of the general GfmField (gfm_field.hpp):
+// the field is fixed at compile time, so the tables are constexpr (no
+// startup cost, shareable .rodata) and the byte lanes of a 64-bit word
+// can be multiplied in parallel with plain integer ops — eight GF(256)
+// products per call, the same "one operation, many symbols" shape the
+// paper's PiCoGA rows give an LFSR. The RS(255,k) encoder packs eight
+// generator coefficients per word and folds the feedback symbol into all
+// of them with one mul8 (src/fec/rs_codec.cpp).
+//
+// mul8 requires bit 7 of the reduced polynomial byte to be clear (the
+// per-lane reduction masks with 0x7f before shifting); 0x11D satisfies
+// this, as the static_assert pins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace plfsr::gf256 {
+
+/// The field polynomial, coefficient bit i = x^i (top bit explicit).
+inline constexpr std::uint16_t kPoly = 0x11D;
+/// Low byte of the polynomial — the XOR mask of the byte-wise reduction.
+inline constexpr std::uint8_t kPolyLow = kPoly & 0xFF;
+static_assert((kPolyLow & 0x80) == 0,
+              "mul8's per-lane reduction needs bit 7 of the reduced "
+              "polynomial clear");
+
+/// Bitwise shift-and-add product (the table-free reference the constexpr
+/// tables are built from; also the cross-check in tests).
+constexpr std::uint8_t mul_bitwise(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  for (int i = 7; i >= 0; --i) {
+    r = static_cast<std::uint8_t>((r << 1) ^ ((r & 0x80) ? kPolyLow : 0));
+    if (a & (1u << i)) r ^= b;
+  }
+  return r;
+}
+
+namespace detail {
+struct Tables {
+  // exp doubled so mul can skip the mod-255: log a + log b <= 508.
+  std::array<std::uint8_t, 510> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  constexpr Tables() {
+    std::uint8_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = x;
+      exp[i + 255] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      x = mul_bitwise(x, 2);  // alpha = x is primitive for 0x11D
+    }
+  }
+};
+inline constexpr Tables kTables{};
+}  // namespace detail
+
+/// alpha^i for i in [0, 510) (doubled table, callers may add two logs).
+constexpr std::uint8_t exp(unsigned i) { return detail::kTables.exp[i]; }
+
+/// Discrete log base alpha; log(0) is undefined (returns 0 — callers
+/// must test for zero first, as mul/div/inv do).
+constexpr std::uint8_t log(std::uint8_t a) { return detail::kTables.log[a]; }
+
+constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables.exp[detail::kTables.log[a] + detail::kTables.log[b]];
+}
+
+constexpr std::uint8_t inv(std::uint8_t a) {
+  return detail::kTables.exp[255 - detail::kTables.log[a]];
+}
+
+constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return detail::kTables
+      .exp[detail::kTables.log[a] + 255 - detail::kTables.log[b]];
+}
+
+/// Broadcast one symbol to all eight lanes of a word.
+constexpr std::uint64_t splat(std::uint8_t b) {
+  return b * 0x0101010101010101ULL;
+}
+
+/// Lane-wise GF(256) product: byte i of the result is
+/// mul(byte i of a, byte i of b). Eight multiplies in ~8 shift/mask
+/// rounds — the SWAR form of the field multiplier.
+constexpr std::uint64_t mul8(std::uint64_t a, std::uint64_t b) {
+  constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+  constexpr std::uint64_t kLo = 0x7F7F7F7F7F7F7F7FULL;
+  constexpr std::uint64_t kLsb = 0x0101010101010101ULL;
+  constexpr std::uint64_t kPoly8 = kPolyLow * kLsb;
+  std::uint64_t r = 0;
+  for (int i = 7; i >= 0; --i) {
+    std::uint64_t m = r & kHi;
+    m = m - (m >> 7);  // per-lane 0x80 -> 0x7F: covers kPolyLow (bit 7 clear)
+    r = ((r & kLo) << 1) ^ (kPoly8 & m);
+    std::uint64_t n = (a & (kLsb << i)) >> i;
+    n = (n << 8) - n;  // lane bit -> full-byte mask
+    r ^= b & n;
+  }
+  return r;
+}
+
+}  // namespace plfsr::gf256

@@ -1,0 +1,107 @@
+#include "gfm/gfm_field.hpp"
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "gfm/gf256.hpp"
+
+namespace plfsr {
+
+GfmField::GfmField(const Gf2Poly& primitive) : poly_(primitive) {
+  const int deg = primitive.degree();
+  if (deg < 1 || deg > 16)
+    throw std::invalid_argument("GfmField: degree must be in [1, 16], got " +
+                                std::to_string(deg));
+  if (!primitive.is_primitive())
+    throw std::invalid_argument("GfmField: " + primitive.to_string() +
+                                " is not primitive over GF(2)");
+  m_ = static_cast<unsigned>(deg);
+  q_ = 1u << m_;
+
+  // Packed low coefficients of the polynomial: the reduction mask applied
+  // when a product overflows bit m.
+  std::uint32_t poly_bits = 0;
+  for (unsigned i = 0; i < m_; ++i)
+    if (poly_.coeff(i)) poly_bits |= 1u << i;
+
+  exp_.assign(2 * (q_ - 1), 0);
+  log_.assign(q_, 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < q_ - 1; ++i) {
+    exp_[i] = static_cast<Sym>(x);
+    exp_[i + q_ - 1] = static_cast<Sym>(x);
+    log_[x] = i;
+    x <<= 1;                       // multiply by alpha = x ...
+    if (x & q_) x ^= q_ | poly_bits;  // ... and reduce mod the polynomial
+  }
+  // Primitivity guarantees the orbit of alpha covered every nonzero
+  // element; x has returned to 1.
+}
+
+const GfmField& GfmField::of(unsigned m) {
+  if (m < 1 || m > 16)
+    throw std::invalid_argument("GfmField::of: m must be in [1, 16], got " +
+                                std::to_string(m));
+  static std::array<std::unique_ptr<const GfmField>, 17> fields;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!fields[m])
+    fields[m] = std::make_unique<const GfmField>(default_primitive_poly(m));
+  return *fields[m];
+}
+
+std::vector<GfmField::Sym> GfmField::poly_mul(
+    const std::vector<Sym>& a, const std::vector<Sym>& b) const {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Sym> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j)
+      out[i + j] = add(out[i + j], mul(a[i], b[j]));
+  }
+  return out;
+}
+
+std::vector<GfmField::Sym> GfmField::poly_derivative(
+    const std::vector<Sym>& p) const {
+  if (p.size() <= 1) return {};
+  std::vector<Sym> out(p.size() - 1, 0);
+  for (std::size_t i = 1; i < p.size(); i += 2) out[i - 1] = p[i];
+  return out;
+}
+
+Gf2Poly default_primitive_poly(unsigned m) {
+  // Conventional primitive polynomials (coefficients below the explicit
+  // top bit). m = 8 is 0x11D, the DVB / CCSDS Reed–Solomon field shared
+  // with the constexpr gf256 kernel; tests/catalog_test.cpp proves
+  // primitivity of every entry with the exact Gf2Poly tests.
+  static constexpr std::uint32_t kLow[17] = {
+      0,       // m = 0: unused
+      0x1,     // x + 1
+      0x3,     // x^2 + x + 1
+      0x3,     // x^3 + x + 1
+      0x3,     // x^4 + x + 1
+      0x5,     // x^5 + x^2 + 1
+      0x3,     // x^6 + x + 1
+      0x9,     // x^7 + x^3 + 1
+      0x1D,    // x^8 + x^4 + x^3 + x^2 + 1  (0x11D)
+      0x11,    // x^9 + x^4 + 1
+      0x9,     // x^10 + x^3 + 1
+      0x5,     // x^11 + x^2 + 1
+      0x53,    // x^12 + x^6 + x^4 + x + 1
+      0x1B,    // x^13 + x^4 + x^3 + x + 1
+      0x443,   // x^14 + x^10 + x^6 + x + 1
+      0x3,     // x^15 + x + 1
+      0x100B,  // x^16 + x^12 + x^3 + x + 1
+  };
+  if (m < 1 || m > 16)
+    throw std::invalid_argument(
+        "default_primitive_poly: m must be in [1, 16], got " +
+        std::to_string(m));
+  return Gf2Poly::with_top_bit(m, kLow[m]);
+}
+
+}  // namespace plfsr

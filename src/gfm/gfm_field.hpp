@@ -1,0 +1,122 @@
+// GF(2^m) field arithmetic for m <= 16 — the q-valued generalisation of
+// the GF(2) machinery everything else in this repo runs on.
+//
+// A field instance is built from a *primitive* degree-m polynomial over
+// GF(2) (validated with the exact Gf2Poly irreducibility/primitivity
+// tests): elements are the residues mod that polynomial, packed into a
+// std::uint16_t with bit i = coefficient of x^i; addition is XOR;
+// multiplication goes through exp/log tables of the primitive element
+// alpha = x. The doubled exp table lets mul() skip the mod-(q-1) of the
+// log sum.
+//
+// This is the symbol algebra the FEC subsystem (src/fec) computes in:
+// Reed–Solomon codewords are polynomials over GF(2^m), BCH syndromes are
+// evaluated in it, and Berlekamp–Massey generalises from bits to field
+// symbols with the same recurrence once discrepancies can be divided
+// (lfsr/berlekamp_massey.hpp). GF(256) additionally has a compile-time
+// twin with SWAR byte-lane kernels in gf256.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gf2/gf2_poly.hpp"
+
+namespace plfsr {
+
+/// Finite field GF(2^m), m in [1, 16], as residues mod a primitive
+/// polynomial. Immutable after construction and therefore freely
+/// shareable across threads.
+class GfmField {
+ public:
+  /// Element representation: low m bits significant.
+  using Sym = std::uint16_t;
+
+  /// Build the field from `primitive` (degree m in [1, 16]). Throws
+  /// std::invalid_argument if the degree is out of range or the
+  /// polynomial fails the exact Gf2Poly primitivity test.
+  explicit GfmField(const Gf2Poly& primitive);
+
+  /// The process-wide field over default_primitive_poly(m) — one shared
+  /// instance per m, built on first use. Throws on m outside [1, 16].
+  static const GfmField& of(unsigned m);
+
+  unsigned m() const { return m_; }
+  /// Field size q = 2^m.
+  std::uint32_t order() const { return q_; }
+  /// The generator polynomial the field was built from.
+  const Gf2Poly& poly() const { return poly_; }
+  /// The primitive element alpha = x (packed representation 2; for
+  /// m == 1 the field has only {0, 1} and alpha = 1).
+  Sym alpha() const { return m_ == 1 ? 1 : 2; }
+
+  Sym add(Sym a, Sym b) const { return a ^ b; }
+  Sym sub(Sym a, Sym b) const { return a ^ b; }
+
+  Sym mul(Sym a, Sym b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// Multiplicative inverse; a must be nonzero.
+  Sym inv(Sym a) const { return exp_[q_ - 1 - log_[a]]; }
+
+  /// a / b; b must be nonzero. div(0, b) == 0.
+  Sym div(Sym a, Sym b) const {
+    if (a == 0) return 0;
+    return exp_[log_[a] + q_ - 1 - log_[b]];
+  }
+
+  /// alpha^i for any i >= 0 (reduced mod q-1).
+  Sym alpha_pow(std::uint64_t i) const { return exp_[i % (q_ - 1)]; }
+
+  /// alpha^(-i) for any i >= 0.
+  Sym alpha_pow_neg(std::uint64_t i) const {
+    const std::uint32_t r = static_cast<std::uint32_t>(i % (q_ - 1));
+    return exp_[(q_ - 1 - r) % (q_ - 1)];
+  }
+
+  /// a^e (a == 0 yields 0 for e > 0, 1 for e == 0).
+  Sym pow(Sym a, std::uint64_t e) const {
+    if (e == 0) return 1;
+    if (a == 0) return 0;
+    return exp_[(static_cast<std::uint64_t>(log_[a]) * (e % (q_ - 1))) %
+                (q_ - 1)];
+  }
+
+  /// Discrete log of a nonzero element: a == alpha^log(a).
+  std::uint32_t log(Sym a) const { return log_[a]; }
+
+  /// Horner evaluation of p(x) = sum p[i] x^i at `x`.
+  Sym poly_eval(const std::vector<Sym>& p, Sym x) const {
+    Sym acc = 0;
+    for (std::size_t i = p.size(); i-- > 0;) acc = add(mul(acc, x), p[i]);
+    return acc;
+  }
+
+  /// Product of two coefficient vectors (index = power). Empty operands
+  /// yield the empty (zero) polynomial.
+  std::vector<Sym> poly_mul(const std::vector<Sym>& a,
+                            const std::vector<Sym>& b) const;
+
+  /// Formal derivative: in characteristic 2 only odd-power terms
+  /// survive, with coefficient carried down unchanged.
+  std::vector<Sym> poly_derivative(const std::vector<Sym>& p) const;
+
+ private:
+  unsigned m_ = 0;
+  std::uint32_t q_ = 0;
+  Gf2Poly poly_;
+  std::vector<Sym> exp_;        // size 2*(q-1): doubled, no mod in mul
+  std::vector<std::uint32_t> log_;  // size q; log_[0] unused
+};
+
+/// The catalogue default primitive polynomial for GF(2^m), m in [1, 16]
+/// (the conventional choices: 0x11D for m = 8, x^16+x^12+x^3+x+1 for
+/// m = 16, ...). lfsr/catalog re-exports the FEC-relevant subset; tests
+/// prove primitivity of every entry through Gf2Poly. Throws on m outside
+/// [1, 16].
+Gf2Poly default_primitive_poly(unsigned m);
+
+}  // namespace plfsr

@@ -57,6 +57,62 @@ bool generates(const Gf2Poly& connection, std::size_t complexity,
   return true;
 }
 
+GfmLfsrSynthesis berlekamp_massey(const GfmField& f,
+                                  std::span<const GfmField::Sym> seq) {
+  // Massey's algorithm over a general field: identical control flow to
+  // the GF(2) version above, but the update term is scaled by d/b (the
+  // current discrepancy over the one at the last length change) instead
+  // of being a bare XOR — over GF(2) d = b = 1 whenever they matter, so
+  // the binary case degenerates to the version above exactly.
+  using Sym = GfmField::Sym;
+  std::vector<Sym> c{1};
+  std::vector<Sym> bpoly{1};
+  std::size_t l = 0;
+  std::size_t m = 1;  // steps since last length change
+  Sym b = 1;          // discrepancy at the last length change
+
+  for (std::size_t n = 0; n < seq.size(); ++n) {
+    // Discrepancy d = s_n + sum_{i=1..L} c_i s_{n-i}.
+    Sym d = seq[n];
+    for (std::size_t i = 1; i <= l && i < c.size(); ++i)
+      d = f.add(d, f.mul(c[i], seq[n - i]));
+
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    // C(x) -= (d/b) x^m B(x).
+    const Sym coef = f.div(d, b);
+    std::vector<Sym> next = c;
+    if (next.size() < bpoly.size() + m) next.resize(bpoly.size() + m, 0);
+    for (std::size_t i = 0; i < bpoly.size(); ++i)
+      next[i + m] = f.add(next[i + m], f.mul(coef, bpoly[i]));
+    if (2 * l <= n) {
+      bpoly = std::move(c);
+      b = d;
+      l = n + 1 - l;
+      m = 1;
+    } else {
+      ++m;
+    }
+    c = std::move(next);
+  }
+  c.resize(l + 1, 0);
+  return {std::move(c), l};
+}
+
+bool generates(const GfmField& f,
+               const std::vector<GfmField::Sym>& connection,
+               std::size_t complexity, std::span<const GfmField::Sym> seq) {
+  for (std::size_t n = complexity; n < seq.size(); ++n) {
+    GfmField::Sym v = 0;
+    for (std::size_t i = 1; i <= complexity && i < connection.size(); ++i)
+      v = f.add(v, f.mul(connection[i], seq[n - i]));
+    if (v != seq[n]) return false;
+  }
+  return true;
+}
+
 BitStream predict_continuation(const BitStream& observed, std::size_t n_more) {
   const LfsrSynthesis syn = berlekamp_massey(observed);
   if (observed.size() < 2 * syn.complexity)

@@ -8,11 +8,22 @@
 //    a bare LFSR scrambler of degree k is broken by 2k known keystream
 //    bits; that is exactly why A5/1/E0/CSS combine several registers
 //    nonlinearly, and why "scrambling" is not encryption.
+//
+// The synthesis also generalises beyond bits: over GF(2^m) the same
+// recurrence (with the discrepancy *divided* by the previous one, which
+// is where a field is actually required) is the error-locator step of
+// Reed–Solomon and BCH decoding — src/fec calls the GF(2^m) overload on
+// syndrome sequences. The GF(2) entry points below are unchanged and the
+// binary case of the field form reproduces them exactly (pinned by
+// tests/berlekamp_massey_test.cpp).
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "gf2/gf2_poly.hpp"
+#include "gfm/gfm_field.hpp"
 #include "support/bitstream.hpp"
 
 namespace plfsr {
@@ -43,5 +54,28 @@ bool generates(const Gf2Poly& connection, std::size_t complexity,
 /// attack on linear scramblers. Requires seq.size() >= 2 * complexity to
 /// be reliable (Massey's bound).
 BitStream predict_continuation(const BitStream& observed, std::size_t n_more);
+
+// --- Sequences over GF(2^m) ----------------------------------------------
+
+/// Result of the synthesis over a GF(2^m) symbol sequence.
+struct GfmLfsrSynthesis {
+  /// Connection polynomial C(x) = 1 + c_1 x + ... + c_L x^L such that
+  /// s_n = -sum_{i=1..L} c_i s_{n-i} for all n >= L (signs vanish in
+  /// characteristic 2). connection[i] = c_i; connection[0] == 1.
+  std::vector<GfmField::Sym> connection;
+  /// Linear complexity L of the sequence.
+  std::size_t complexity = 0;
+};
+
+/// Berlekamp–Massey over the symbols of `seq` in field `f`. The binary
+/// case (f = GfmField::of(1)) reproduces the BitStream overload exactly.
+GfmLfsrSynthesis berlekamp_massey(const GfmField& f,
+                                  std::span<const GfmField::Sym> seq);
+
+/// Check that `connection` generates `seq` over `f` (every symbol after
+/// the first `complexity` satisfies the recurrence).
+bool generates(const GfmField& f,
+               const std::vector<GfmField::Sym>& connection,
+               std::size_t complexity, std::span<const GfmField::Sym> seq);
 
 }  // namespace plfsr

@@ -1,5 +1,7 @@
 #include "lfsr/catalog.hpp"
 
+#include "gfm/gfm_field.hpp"
+
 namespace plfsr::catalog {
 
 Gf2Poly crc32_ethernet() { return Gf2Poly::with_top_bit(32, 0x04C11DB7); }
@@ -24,6 +26,13 @@ Gf2Poly prbs9() { return Gf2Poly::from_exponents({9, 5, 0}); }
 Gf2Poly prbs15() { return Gf2Poly::from_exponents({15, 14, 0}); }
 Gf2Poly prbs23() { return Gf2Poly::from_exponents({23, 18, 0}); }
 Gf2Poly prbs31() { return Gf2Poly::from_exponents({31, 28, 0}); }
+
+Gf2Poly gfm_primitive(unsigned m) { return default_primitive_poly(m); }
+Gf2Poly gf16_field() { return default_primitive_poly(4); }
+Gf2Poly gf256_field() { return default_primitive_poly(8); }
+Gf2Poly gf1024_field() { return default_primitive_poly(10); }
+Gf2Poly gf4096_field() { return default_primitive_poly(12); }
+Gf2Poly gf65536_field() { return default_primitive_poly(16); }
 
 Gf2Poly a51_r1() { return Gf2Poly::from_exponents({19, 18, 17, 14, 0}); }
 Gf2Poly a51_r2() { return Gf2Poly::from_exponents({22, 21, 0}); }
@@ -53,6 +62,16 @@ std::vector<NamedPoly> all_scrambler_polys() {
       {"PRBS-9", prbs9()},
       {"PRBS-23", prbs23()},
       {"PRBS-31", prbs31()},
+  };
+}
+
+std::vector<NamedPoly> all_gfm_field_polys() {
+  return {
+      {"GF(16)", gf16_field()},
+      {"GF(256)", gf256_field()},
+      {"GF(1024)", gf1024_field()},
+      {"GF(4096)", gf4096_field()},
+      {"GF(65536)", gf65536_field()},
   };
 }
 

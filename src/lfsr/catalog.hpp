@@ -43,6 +43,21 @@ Gf2Poly prbs15();           ///< x^15 + x^14 + 1
 Gf2Poly prbs23();           ///< x^23 + x^18 + 1
 Gf2Poly prbs31();           ///< x^31 + x^28 + 1
 
+// --- GF(2^m) field-generator polynomials ---------------------------------
+//
+// Primitive polynomials defining the symbol fields of the FEC subsystem
+// (src/gfm, src/fec): GF(2^m) = GF(2)[x]/p(x) with alpha = x primitive.
+// These delegate to gfm's default_primitive_poly so the catalogue and the
+// field constructor can never disagree; tests/catalog_test.cpp proves
+// primitivity of each through the exact Gf2Poly tests.
+
+Gf2Poly gfm_primitive(unsigned m);  ///< default primitive poly, m in [1,16]
+Gf2Poly gf16_field();       ///< x^4 + x + 1 — GF(16), RS(15,k) examples
+Gf2Poly gf256_field();      ///< x^8+x^4+x^3+x^2+1 (0x11D) — DVB/CCSDS RS
+Gf2Poly gf1024_field();     ///< x^10 + x^3 + 1 — GF(1024)
+Gf2Poly gf4096_field();     ///< x^12 + x^6 + x^4 + x + 1 — GF(4096)
+Gf2Poly gf65536_field();    ///< x^16 + x^12 + x^3 + x + 1 — GF(65536)
+
 // --- A5/1 (GSM) register polynomials --------------------------------------
 
 Gf2Poly a51_r1();           ///< x^19 + x^18 + x^17 + x^14 + 1
@@ -54,5 +69,9 @@ std::vector<NamedPoly> all_crc_polys();
 
 /// All scrambler/PRBS generators above.
 std::vector<NamedPoly> all_scrambler_polys();
+
+/// The GF(2^m) field generators above (m in {4, 8, 10, 12, 16}), for
+/// parameterized FEC/field sweeps.
+std::vector<NamedPoly> all_gfm_field_polys();
 
 }  // namespace plfsr::catalog

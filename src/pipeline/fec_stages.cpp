@@ -1,0 +1,110 @@
+#include "pipeline/fec_stages.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fec/parallel_fec.hpp"
+
+namespace plfsr {
+
+RsEncodeStage::RsEncodeStage(FecCodecHandle codec)
+    : codec_(std::move(codec)) {
+  if (!codec_) throw std::invalid_argument("RsEncodeStage: null codec");
+}
+
+void RsEncodeStage::process(FrameBatch& batch) {
+  const std::size_t d = codec_->data_bytes();
+  const std::size_t c = codec_->code_bytes();
+  for (Frame& f : batch) {
+    if (f.bytes.empty()) continue;
+    std::vector<std::uint8_t> out(fec_encoded_size(*codec_, f.bytes.size()));
+    const std::size_t nb = (f.bytes.size() + d - 1) / d;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::size_t dlen = std::min(d, f.bytes.size() - b * d);
+      codec_->encode_block(
+          std::span<const std::uint8_t>(f.bytes).subspan(b * d, dlen),
+          std::span<std::uint8_t>(out).subspan(
+              b * c, dlen + codec_->parity_bytes()));
+    }
+    f.bytes = std::move(out);
+    f.bits = Frame::kWholeBytes;  // byte-aligned by construction
+  }
+}
+
+FecCorruptStage::FecCorruptStage(FecCodecHandle codec, std::uint64_t seed,
+                                 std::size_t errors, std::size_t erasures)
+    : codec_(std::move(codec)),
+      seed_(seed),
+      errors_(errors),
+      erasures_(erasures) {
+  if (!codec_) throw std::invalid_argument("FecCorruptStage: null codec");
+  if (errors_ + erasures_ > codec_->parity_bytes())
+    throw std::invalid_argument(
+        "FecCorruptStage: errors + erasures exceeds the parity symbol "
+        "count — even the shortest block cannot host that many distinct "
+        "positions");
+}
+
+void FecCorruptStage::process(FrameBatch& batch) {
+  const std::size_t c = codec_->code_bytes();
+  const std::size_t hits = errors_ + erasures_;
+  std::vector<std::uint32_t> picked;
+  for (Frame& f : batch) {
+    ++frames_;
+    if (f.bytes.empty() || hits == 0) continue;
+    Rng rng(seed_ ^ f.id);  // frame-local: batching cannot shift patterns
+    const std::size_t nb = fec_block_count(*codec_, f.bytes.size());
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::size_t off = b * c;
+      const std::size_t clen = std::min(c, f.bytes.size() - off);
+      picked.clear();
+      while (picked.size() < hits) {
+        const auto pos = static_cast<std::uint32_t>(rng.next_below(clen));
+        bool dup = false;
+        for (const std::uint32_t p : picked) dup = dup || p == pos;
+        if (!dup) picked.push_back(pos);
+      }
+      for (std::size_t i = 0; i < errors_; ++i) {
+        // Guaranteed symbol change: XOR with a nonzero byte.
+        f.bytes[off + picked[i]] ^=
+            static_cast<std::uint8_t>(1 + rng.next_below(255));
+        ++symbols_corrupted_;
+      }
+      for (std::size_t i = errors_; i < hits; ++i) {
+        // An erased symbol is overwritten wholesale; the replacement may
+        // coincide with the original — the decoder still counts it.
+        f.bytes[off + picked[i]] = static_cast<std::uint8_t>(rng.next_u64());
+        f.erasures.push_back(static_cast<std::uint32_t>(off + picked[i]));
+        ++symbols_erased_;
+      }
+    }
+  }
+}
+
+RsDecodeStage::RsDecodeStage(FecCodecHandle codec) : codec_(std::move(codec)) {
+  if (!codec_) throw std::invalid_argument("RsDecodeStage: null codec");
+}
+
+void RsDecodeStage::process(FrameBatch& batch) {
+  // Serial ParallelFec: the stage already owns a pipeline thread, and the
+  // stream decode (block split, erasure bucketing, failed-block
+  // passthrough) is exactly ParallelFec's per-shard loop.
+  const ParallelFec dec(codec_, 1);
+  for (Frame& f : batch) {
+    ++frames_;
+    if (f.bytes.empty()) continue;
+    std::vector<std::uint8_t> out(fec_decoded_size(*codec_, f.bytes.size()));
+    const ParallelFecResult r = dec.decode(f.bytes, out, f.erasures);
+    blocks_ += r.blocks;
+    failed_blocks_ += r.failed_blocks;
+    corrected_errors_ += r.corrected_errors;
+    corrected_erasures_ += r.corrected_erasures;
+    f.bytes = std::move(out);
+    f.bits = Frame::kWholeBytes;
+    f.erasures.clear();
+  }
+}
+
+}  // namespace plfsr

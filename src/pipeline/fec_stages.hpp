@@ -1,0 +1,104 @@
+// FEC stages for the streaming pipeline: encode, channel-impairment
+// injection, decode. Together they model the outer-code leg of a
+// broadcast transmitter/receiver (DVB: scramble -> RS(204,188) encode ->
+// channel -> RS decode -> descramble), and they keep the pipeline's
+// frame-locality contract — every stage derives everything it needs from
+// the frame itself (the injector seeds its Rng from seed ^ frame.id), so
+// the pipelined run stays bit-exact with the serial composition at every
+// batch size x queue depth, impairments included.
+//
+// Geometry: RsEncodeStage grows a frame body from L to
+// L + ceil(L / data_bytes) * parity_bytes; RsDecodeStage inverts that
+// from the encoded length alone (fec_codec.hpp stream geometry — no
+// header on the wire). Decode failures beyond the code's radius are
+// counted, never silently passed: the failed block's payload bytes flow
+// through uncorrected, exactly what an outer decoder hands the
+// de-interleaver in a real receiver chain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "fec/fec_codec.hpp"
+#include "fec/fec_registry.hpp"
+#include "pipeline/stage.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+
+/// Block-encodes every frame body with a shared FEC codec (registry
+/// handle: any engine that serves the spec plugs in).
+class RsEncodeStage : public Stage {
+ public:
+  explicit RsEncodeStage(FecCodecHandle codec);
+
+  const char* name() const override { return "fec-encode"; }
+  void process(FrameBatch& batch) override;
+
+  const FecCodec& codec() const { return *codec_; }
+
+ private:
+  FecCodecHandle codec_;
+};
+
+/// Channel impairment injector: flips symbols and marks erasures in each
+/// frame body, deterministically per frame (Rng seeded from
+/// seed ^ frame.id, so the impairment pattern is independent of batching
+/// and queue depth). Per block of the codec's geometry it corrupts
+/// exactly `errors` unmarked byte positions and `erasures` marked ones
+/// (erased bytes are overwritten with random values and their offsets
+/// appended to Frame::erasures) — with 2*errors + erasures <= n-k the
+/// downstream decoder must recover every frame bit-exactly.
+class FecCorruptStage : public Stage {
+ public:
+  /// `codec` fixes the block geometry (must match the encode stage).
+  /// Throws std::invalid_argument if errors + erasures exceeds the
+  /// parity symbol count (more distinct positions than a block holds).
+  FecCorruptStage(FecCodecHandle codec, std::uint64_t seed,
+                  std::size_t errors, std::size_t erasures);
+
+  const char* name() const override { return "fec-corrupt"; }
+  void process(FrameBatch& batch) override;
+
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t symbols_corrupted() const { return symbols_corrupted_; }
+  std::uint64_t symbols_erased() const { return symbols_erased_; }
+
+ private:
+  FecCodecHandle codec_;
+  std::uint64_t seed_;
+  std::size_t errors_;
+  std::size_t erasures_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t symbols_corrupted_ = 0;
+  std::uint64_t symbols_erased_ = 0;
+};
+
+/// Decodes every frame body back to its payload, consuming (and
+/// clearing) Frame::erasures. Counters are read after Pipeline::wait().
+class RsDecodeStage : public Stage {
+ public:
+  explicit RsDecodeStage(FecCodecHandle codec);
+
+  const char* name() const override { return "fec-decode"; }
+  void process(FrameBatch& batch) override;
+
+  const FecCodec& codec() const { return *codec_; }
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t blocks() const { return blocks_; }
+  std::uint64_t failed_blocks() const { return failed_blocks_; }
+  std::uint64_t corrected_errors() const { return corrected_errors_; }
+  std::uint64_t corrected_erasures() const { return corrected_erasures_; }
+  bool ok() const { return failed_blocks_ == 0; }
+
+ private:
+  FecCodecHandle codec_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t failed_blocks_ = 0;
+  std::uint64_t corrected_errors_ = 0;
+  std::uint64_t corrected_erasures_ = 0;
+};
+
+}  // namespace plfsr

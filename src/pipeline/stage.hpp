@@ -36,6 +36,12 @@ struct Frame {
   /// producers never touch it.
   std::uint64_t bits = kWholeBytes;
 
+  /// Byte offsets into `bytes` the channel marked unreliable — the
+  /// demodulator-confidence side channel an erasure decoder consumes.
+  /// Written by the corruption injector (FecCorruptStage), consumed and
+  /// cleared by RsDecodeStage; empty for every other stage.
+  std::vector<std::uint32_t> erasures;
+
   /// Payload bit length with the sentinel resolved (and clamped to the
   /// buffer, so a stale `bits` can never read past the bytes).
   std::uint64_t bit_size() const {

@@ -16,6 +16,10 @@
 #include "gf2/gf2_poly.hpp"
 #include "gf2/gf2_vec.hpp"
 
+// GF(2^m) symbol fields
+#include "gfm/gf256.hpp"
+#include "gfm/gfm_field.hpp"
+
 // LFSR theory
 #include "lfsr/berlekamp_massey.hpp"
 #include "lfsr/catalog.hpp"
@@ -38,6 +42,13 @@
 #include "crc/slicing_crc.hpp"
 #include "crc/table_crc.hpp"
 #include "crc/wide_table_crc.hpp"
+
+// Forward error correction
+#include "fec/bch_codec.hpp"
+#include "fec/fec_codec.hpp"
+#include "fec/fec_registry.hpp"
+#include "fec/parallel_fec.hpp"
+#include "fec/rs_codec.hpp"
 
 // Scramblers
 #include "scrambler/dvb.hpp"

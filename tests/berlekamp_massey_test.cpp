@@ -67,6 +67,81 @@ TEST(BerlekampMassey, PredictionNeedsEnoughBits) {
   EXPECT_THROW(predict_continuation(observed, 10), std::invalid_argument);
 }
 
+// --- The GF(2^m) generalisation -------------------------------------------
+
+TEST(BerlekampMasseyGfm, BinaryFieldReproducesTheBitVersionExactly) {
+  // Over GF(2^1) the field synthesis must agree with the classic bit
+  // implementation symbol for symbol: same complexity, same connection
+  // coefficients, on scrambler keystreams and random sequences alike.
+  const GfmField& f2 = GfmField::of(1);
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitStream bits;
+    std::vector<GfmField::Sym> syms;
+    const std::size_t n = 10 + rng.next_below(120);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool b = rng.next_bit();
+      bits.push_back(b);
+      syms.push_back(b ? 1 : 0);
+    }
+    const LfsrSynthesis bit_syn = berlekamp_massey(bits);
+    const GfmLfsrSynthesis sym_syn = berlekamp_massey(f2, syms);
+    ASSERT_EQ(sym_syn.complexity, bit_syn.complexity) << "trial " << trial;
+    ASSERT_EQ(sym_syn.connection.size(), bit_syn.complexity + 1);
+    for (std::size_t i = 0; i < sym_syn.connection.size(); ++i)
+      EXPECT_EQ(sym_syn.connection[i] != 0,
+                bit_syn.connection.coeff(static_cast<unsigned>(i)))
+          << "trial " << trial << " coeff " << i;
+    EXPECT_TRUE(
+        generates(f2, sym_syn.connection, sym_syn.complexity, syms));
+  }
+}
+
+TEST(BerlekampMasseyGfm, RecoversAGf256LfsrFromTwiceItsLength) {
+  // A degree-L recurrence over GF(256) is pinned down by 2L symbols;
+  // the synthesized connection must regenerate the whole sequence.
+  const GfmField& f = GfmField::of(8);
+  Rng rng(78);
+  for (const std::size_t L : {1u, 3u, 8u, 16u}) {
+    std::vector<GfmField::Sym> c(L + 1, 0);
+    c[0] = 1;
+    for (std::size_t i = 1; i <= L; ++i)
+      c[i] = static_cast<GfmField::Sym>(rng.next_below(256));
+    c[L] = static_cast<GfmField::Sym>(1 + rng.next_below(255));  // full degree
+    std::vector<GfmField::Sym> seq(L);
+    for (auto& s : seq) s = static_cast<GfmField::Sym>(rng.next_below(256));
+    for (std::size_t n = L; n < 6 * L; ++n) {
+      GfmField::Sym next = 0;
+      for (std::size_t i = 1; i <= L; ++i)
+        next = f.add(next, f.mul(c[i], seq[n - i]));
+      seq.push_back(next);
+    }
+    const GfmLfsrSynthesis syn = berlekamp_massey(f, seq);
+    EXPECT_LE(syn.complexity, L) << "L=" << L;
+    EXPECT_TRUE(generates(f, syn.connection, syn.complexity, seq))
+        << "L=" << L;
+  }
+}
+
+TEST(BerlekampMasseyGfm, RandomSymbolSequenceComplexityNearHalf) {
+  const GfmField& f = GfmField::of(8);
+  Rng rng(79);
+  std::vector<GfmField::Sym> seq(120);
+  for (auto& s : seq) s = static_cast<GfmField::Sym>(rng.next_below(256));
+  const GfmLfsrSynthesis syn = berlekamp_massey(f, seq);
+  EXPECT_GT(syn.complexity, 50u);
+  EXPECT_LT(syn.complexity, 70u);
+  EXPECT_TRUE(generates(f, syn.connection, syn.complexity, seq));
+}
+
+TEST(BerlekampMasseyGfm, ZeroAndEmptySequences) {
+  const GfmField& f = GfmField::of(4);
+  const std::vector<GfmField::Sym> zeros(32, 0);
+  EXPECT_EQ(berlekamp_massey(f, zeros).complexity, 0u);
+  const std::vector<GfmField::Sym> empty;
+  EXPECT_EQ(berlekamp_massey(f, empty).complexity, 0u);
+}
+
 TEST(BerlekampMassey, CombinerKeystreamHasSumComplexity) {
   // XOR of two maximal-length LFSRs with coprime periods has linear
   // complexity k1 + k2 — the classic combiner result.

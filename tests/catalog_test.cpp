@@ -34,6 +34,30 @@ TEST(Catalog, ListingsAreComplete) {
   }
 }
 
+TEST(Catalog, GfmFieldPolynomialsArePrimitive) {
+  // The FEC symbol fields: one primitive polynomial per m, proven
+  // primitive by the exact Gf2Poly test (not just irreducible).
+  for (const unsigned m : {4u, 8u, 10u, 12u, 16u}) {
+    const Gf2Poly p = catalog::gfm_primitive(m);
+    EXPECT_EQ(p.degree(), static_cast<int>(m));
+    EXPECT_TRUE(p.is_irreducible()) << "m=" << m;
+    EXPECT_TRUE(p.is_primitive()) << "m=" << m;
+  }
+  // The named accessors agree with the parameterized entry.
+  EXPECT_EQ(catalog::gf16_field().exponents(),
+            catalog::gfm_primitive(4).exponents());
+  EXPECT_EQ(catalog::gf256_field().exponents(),
+            catalog::gfm_primitive(8).exponents());
+  EXPECT_EQ(catalog::gf65536_field().exponents(),
+            catalog::gfm_primitive(16).exponents());
+  // GF(256) is the DVB/CCSDS Reed–Solomon field 0x11D.
+  EXPECT_EQ(catalog::gf256_field().to_string(),
+            "x^8 + x^4 + x^3 + x^2 + 1");
+  EXPECT_EQ(catalog::all_gfm_field_polys().size(), 5u);
+  for (const auto& [name, poly] : catalog::all_gfm_field_polys())
+    EXPECT_TRUE(poly.is_primitive()) << name;
+}
+
 TEST(Catalog, A51PolynomialsArePrimitive) {
   // GSM chose maximal-length registers.
   EXPECT_TRUE(catalog::a51_r1().is_primitive());

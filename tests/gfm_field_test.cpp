@@ -1,0 +1,185 @@
+// GF(2^m) symbol fields: the catalogue polynomial of every m must be
+// primitive, the field laws (associativity, distributivity, inverses,
+// Frobenius) must hold — exhaustively for the small fields, on a
+// randomized sweep for the large ones — and the compile-time GF(256)
+// kernel (gf256.hpp) must agree with the table field everywhere,
+// including its 8-lane SWAR multiply.
+#include "gfm/gfm_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gfm/gf256.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+using Sym = GfmField::Sym;
+
+TEST(GfmField, CataloguePolynomialsArePrimitiveForEveryM) {
+  for (unsigned m = 1; m <= 16; ++m) {
+    const Gf2Poly p = default_primitive_poly(m);
+    EXPECT_EQ(p.degree(), static_cast<int>(m));
+    EXPECT_TRUE(p.is_primitive()) << "m=" << m << ": " << p.to_string();
+  }
+}
+
+TEST(GfmField, RejectsNonPrimitiveAndOutOfRange) {
+  // x^4 + x^3 + x^2 + x + 1 is irreducible but not primitive (order 5).
+  EXPECT_THROW(GfmField(Gf2Poly::from_exponents({4, 3, 2, 1, 0})),
+               std::invalid_argument);
+  // x^2 + 1 = (x+1)^2 is not even irreducible.
+  EXPECT_THROW(GfmField(Gf2Poly::from_exponents({2, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(GfmField::of(0), std::invalid_argument);
+  EXPECT_THROW(GfmField::of(17), std::invalid_argument);
+}
+
+TEST(GfmField, AlphaGeneratesTheFullMultiplicativeGroup) {
+  for (unsigned m : {2u, 4u, 8u, 10u}) {
+    const GfmField& f = GfmField::of(m);
+    std::vector<char> seen(f.order(), 0);
+    Sym x = 1;
+    for (std::uint32_t i = 0; i < f.order() - 1; ++i) {
+      EXPECT_FALSE(seen[x]) << "m=" << m << " repeat at i=" << i;
+      seen[x] = 1;
+      EXPECT_EQ(f.alpha_pow(i), x) << "m=" << m;
+      EXPECT_EQ(f.log(x), i) << "m=" << m;
+      x = f.mul(x, f.alpha());
+    }
+    EXPECT_EQ(x, 1) << "m=" << m << ": alpha order is not q-1";
+  }
+}
+
+// Field laws, exhaustive over all triples for m <= 4.
+TEST(GfmField, LawsExhaustiveSmallFields) {
+  for (unsigned m : {1u, 2u, 3u, 4u}) {
+    const GfmField& f = GfmField::of(m);
+    const std::uint32_t q = f.order();
+    for (Sym a = 0; a < q; ++a) {
+      if (a != 0) {
+        EXPECT_EQ(f.mul(a, f.inv(a)), 1) << "m=" << m;
+        EXPECT_EQ(f.div(a, a), 1) << "m=" << m;
+      }
+      for (Sym b = 0; b < q; ++b) {
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a)) << "m=" << m;
+        // Frobenius: squaring is additive in characteristic 2.
+        EXPECT_EQ(f.mul(f.add(a, b), f.add(a, b)),
+                  f.add(f.mul(a, a), f.mul(b, b)))
+            << "m=" << m;
+        for (Sym c = 0; c < q; ++c) {
+          EXPECT_EQ(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c))
+              << "m=" << m;
+          EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)))
+              << "m=" << m;
+        }
+      }
+    }
+  }
+}
+
+// Field laws, randomized sweep for every supported m.
+TEST(GfmField, LawsRandomizedAllFields) {
+  Rng rng(0xF1E1D);
+  for (unsigned m = 1; m <= 16; ++m) {
+    const GfmField& f = GfmField::of(m);
+    const std::uint32_t q = f.order();
+    for (int it = 0; it < 500; ++it) {
+      const Sym a = static_cast<Sym>(rng.next_below(q));
+      const Sym b = static_cast<Sym>(rng.next_below(q));
+      const Sym c = static_cast<Sym>(rng.next_below(q));
+      EXPECT_EQ(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c)) << "m=" << m;
+      EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)))
+          << "m=" << m;
+      EXPECT_EQ(f.mul(f.add(a, b), f.add(a, b)),
+                f.add(f.mul(a, a), f.mul(b, b)))
+          << "m=" << m;
+      if (b != 0) {
+        EXPECT_EQ(f.mul(f.div(a, b), b), a) << "m=" << m;
+        EXPECT_EQ(f.mul(b, f.inv(b)), 1) << "m=" << m;
+      }
+      EXPECT_EQ(f.pow(a, 3), f.mul(a, f.mul(a, a))) << "m=" << m;
+    }
+  }
+}
+
+TEST(GfmField, PolyHelpersAgreeWithLonghand) {
+  const GfmField& f = GfmField::of(8);
+  // (x + 3)(x + 5) = x^2 + (3+5)x + 15 over GF(256).
+  const std::vector<Sym> prod = f.poly_mul({3, 1}, {5, 1});
+  ASSERT_EQ(prod.size(), 3u);
+  EXPECT_EQ(prod[2], 1);
+  EXPECT_EQ(prod[1], 3 ^ 5);
+  EXPECT_EQ(prod[0], f.mul(3, 5));
+  // Derivative keeps odd powers only.
+  const std::vector<Sym> d = f.poly_derivative({7, 9, 11, 13});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 9);
+  EXPECT_EQ(d[1], 0);
+  EXPECT_EQ(d[2], 13);
+  // Horner agrees with term-by-term evaluation.
+  Rng rng(11);
+  for (int it = 0; it < 100; ++it) {
+    std::vector<Sym> p;
+    for (std::size_t i = rng.next_below(6) + 1; i-- > 0;)
+      p.push_back(static_cast<Sym>(rng.next_below(256)));
+    const Sym x = static_cast<Sym>(rng.next_below(256));
+    Sym want = 0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      want = f.add(want, f.mul(p[i], f.pow(x, i)));
+    EXPECT_EQ(f.poly_eval(p, x), want);
+  }
+}
+
+// --- The compile-time GF(256) kernel ---------------------------------------
+
+TEST(Gf256, MatchesTableFieldEverywhere) {
+  const GfmField& f = GfmField::of(8);
+  ASSERT_EQ(f.poly().exponents(),
+            Gf2Poly::with_top_bit(8, gf256::kPolyLow).exponents());
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      const auto a8 = static_cast<std::uint8_t>(a);
+      const auto b8 = static_cast<std::uint8_t>(b);
+      ASSERT_EQ(gf256::mul(a8, b8), f.mul(a8, b8)) << a << "*" << b;
+      ASSERT_EQ(gf256::mul_bitwise(a8, b8), f.mul(a8, b8));
+    }
+    if (a != 0) {
+      EXPECT_EQ(gf256::inv(static_cast<std::uint8_t>(a)),
+                f.inv(static_cast<Sym>(a)));
+    }
+  }
+}
+
+TEST(Gf256, SwarMultiplyMatchesEightScalarLanes) {
+  Rng rng(0x5A5A);
+  for (int it = 0; it < 2000; ++it) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const std::uint64_t r = gf256::mul8(a, b);
+    for (int lane = 0; lane < 8; ++lane) {
+      const auto al = static_cast<std::uint8_t>(a >> (8 * lane));
+      const auto bl = static_cast<std::uint8_t>(b >> (8 * lane));
+      ASSERT_EQ(static_cast<std::uint8_t>(r >> (8 * lane)),
+                gf256::mul(al, bl))
+          << "lane " << lane;
+    }
+  }
+}
+
+TEST(Gf256, SplatBroadcastsOneByte) {
+  EXPECT_EQ(gf256::splat(0xAB), 0xABABABABABABABABULL);
+  // splat + mul8 is the encoder's feedback broadcast: every lane times
+  // the same scalar.
+  const std::uint64_t lanes = 0x0102030405060708ULL;
+  const std::uint64_t r = gf256::mul8(gf256::splat(0x1D), lanes);
+  for (int lane = 0; lane < 8; ++lane)
+    EXPECT_EQ(static_cast<std::uint8_t>(r >> (8 * lane)),
+              gf256::mul(0x1D, static_cast<std::uint8_t>(lanes >> (8 * lane))));
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,380 @@
+// Reed–Solomon codec: randomized round-trips at every error weight up to
+// t, erasure-only and mixed error+erasure channels up to 2e + r = n-k,
+// shortened blocks down to one data byte, kernel (table vs SWAR)
+// agreement, generic-m symbol codes, detected failure beyond the radius,
+// the stream geometry helpers, and the FEC registry policy.
+#include "fec/rs_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "fec/fec_registry.hpp"
+#include "fec/parallel_fec.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+using Sym = GfmField::Sym;
+
+/// Pick `count` distinct positions in [0, len).
+std::vector<std::uint32_t> distinct_positions(Rng& rng, std::size_t len,
+                                              std::size_t count) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < count) {
+    const auto p = static_cast<std::uint32_t>(rng.next_below(len));
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+TEST(RsCodec, GeneratorHasTheConsecutiveRoots) {
+  const RsCodec rs(fec::rs_255_223());
+  const GfmField& f = rs.field();
+  ASSERT_EQ(rs.generator().size(), 33u);
+  EXPECT_EQ(rs.generator().back(), 1);  // monic
+  for (unsigned i = 0; i < 32; ++i)
+    EXPECT_EQ(f.poly_eval(rs.generator(), f.alpha_pow(i)), 0) << "root " << i;
+}
+
+TEST(RsCodec, EncodedBlockIsACodeword) {
+  Rng rng(1);
+  const RsCodec rs(fec::rs_255_239());
+  const GfmField& f = rs.field();
+  const auto data = rng.next_bytes(239);
+  std::vector<std::uint8_t> code(255);
+  rs.encode_block(data, code);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()));
+  for (unsigned j = 0; j < 16; ++j) {
+    const Sym a = f.alpha_pow(j);
+    Sym s = 0;
+    for (const std::uint8_t b : code) s = f.add(f.mul(s, a), b);
+    EXPECT_EQ(s, 0) << "syndrome " << j;
+  }
+}
+
+TEST(RsCodec, TableAndSwarKernelsEncodeIdentically) {
+  Rng rng(2);
+  const RsCodec table(fec::rs_255_223(), RsKernel::kTable);
+  const RsCodec swar(fec::rs_255_223(), RsKernel::kSwar);
+  for (std::size_t len : {1u, 7u, 100u, 223u}) {
+    const auto data = rng.next_bytes(len);
+    std::vector<std::uint8_t> a(len + 32), b(len + 32);
+    table.encode_block(data, a);
+    swar.encode_block(data, b);
+    EXPECT_EQ(a, b) << "len=" << len;
+  }
+}
+
+TEST(RsCodec, RoundTripsEveryErrorWeightUpToT) {
+  Rng rng(3);
+  for (const RsKernel kernel : {RsKernel::kTable, RsKernel::kSwar}) {
+    const RsCodec rs(fec::rs_255_223(), kernel);
+    for (std::size_t errors = 0; errors <= rs.max_errors(); ++errors) {
+      const auto data = rng.next_bytes(223);
+      std::vector<std::uint8_t> code(255);
+      rs.encode_block(data, code);
+      for (const std::uint32_t p : distinct_positions(rng, 255, errors))
+        code[p] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      const FecDecodeResult r = rs.decode_block(code);
+      ASSERT_TRUE(r.ok) << "errors=" << errors;
+      EXPECT_EQ(r.corrected_errors, errors);
+      EXPECT_EQ(r.corrected_erasures, 0u);
+      EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()));
+    }
+  }
+}
+
+TEST(RsCodec, RoundTripsFullErasureBudget) {
+  Rng rng(4);
+  const RsCodec rs(fec::rs_255_239());
+  for (std::size_t erasures : {1u, 5u, 16u}) {  // up to n-k
+    const auto data = rng.next_bytes(239);
+    std::vector<std::uint8_t> code(255);
+    rs.encode_block(data, code);
+    const auto pos = distinct_positions(rng, 255, erasures);
+    for (const std::uint32_t p : pos)
+      code[p] = static_cast<std::uint8_t>(rng.next_u64());
+    const FecDecodeResult r = rs.decode_block(code, pos);
+    ASSERT_TRUE(r.ok) << "erasures=" << erasures;
+    EXPECT_EQ(r.corrected_errors, 0u);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()));
+  }
+}
+
+TEST(RsCodec, RoundTripsMixedErrorsAndErasures) {
+  Rng rng(5);
+  const RsCodec rs(fec::rs_255_223());  // n-k = 32
+  for (std::size_t errors = 0; errors <= 16; errors += 2) {
+    const std::size_t erasures = 32 - 2 * errors;  // saturate 2e + r = n-k
+    const auto data = rng.next_bytes(223);
+    std::vector<std::uint8_t> code(255);
+    rs.encode_block(data, code);
+    auto pos = distinct_positions(rng, 255, errors + erasures);
+    const std::vector<std::uint32_t> erased(pos.begin() + errors, pos.end());
+    for (std::size_t i = 0; i < errors; ++i)
+      code[pos[i]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    for (const std::uint32_t p : erased)
+      code[p] = static_cast<std::uint8_t>(rng.next_u64());
+    const FecDecodeResult r = rs.decode_block(code, erased);
+    ASSERT_TRUE(r.ok) << "e=" << errors << " r=" << erasures;
+    EXPECT_EQ(r.corrected_errors, errors);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()));
+  }
+}
+
+TEST(RsCodec, ShortenedBlocksIncludingOneDataByte) {
+  Rng rng(6);
+  const RsCodec rs(fec::rs_204_188());
+  for (std::size_t dlen : {1u, 2u, 50u, 187u, 188u}) {
+    const auto data = rng.next_bytes(dlen);
+    std::vector<std::uint8_t> code(dlen + 16);
+    rs.encode_block(data, code);
+    for (const std::uint32_t p : distinct_positions(rng, code.size(), 8))
+      code[p] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const FecDecodeResult r = rs.decode_block(code);
+    ASSERT_TRUE(r.ok) << "dlen=" << dlen;
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()));
+  }
+}
+
+TEST(RsCodec, BeyondRadiusNeverReturnsTheOriginalAsOk) {
+  Rng rng(7);
+  const RsCodec rs(fec::rs_255_239());  // t = 8
+  std::size_t detected = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto data = rng.next_bytes(239);
+    std::vector<std::uint8_t> code(255);
+    rs.encode_block(data, code);
+    const std::vector<std::uint8_t> sent = code;
+    for (const std::uint32_t p : distinct_positions(rng, 255, 9))  // t + 1
+      code[p] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const FecDecodeResult r = rs.decode_block(code);
+    // A decoder correcting <= t symbols cannot undo t+1: either the
+    // failure is detected, or it miscorrected to a *different* codeword.
+    EXPECT_FALSE(r.ok &&
+                 std::equal(data.begin(), data.end(), code.begin()));
+    if (!r.ok) ++detected;
+  }
+  // Overwhelmingly the failure is detected outright.
+  EXPECT_GE(detected, 45u);
+}
+
+TEST(RsCodec, TooManyErasuresIsADetectedFailure) {
+  Rng rng(8);
+  const RsCodec rs(fec::rs_255_239());
+  const auto data = rng.next_bytes(239);
+  std::vector<std::uint8_t> code(255);
+  rs.encode_block(data, code);
+  const auto pos = distinct_positions(rng, 255, 17);  // n-k + 1
+  for (const std::uint32_t p : pos)
+    code[p] = static_cast<std::uint8_t>(rng.next_u64());
+  EXPECT_FALSE(rs.decode_block(code, pos).ok);
+}
+
+TEST(RsCodec, GenericMSymbolCodesRoundTrip) {
+  Rng rng(9);
+  for (const FecSpec spec :
+       {fec::rs_15_11(), fec::rs(10, 1023, 1015), fec::rs(12, 100, 80),
+        fec::rs(8, 255, 223, /*fcr=*/112)}) {
+    const RsCodec rs(spec, RsKernel::kTable);
+    const GfmField& f = rs.field();
+    const std::size_t t = rs.max_errors();
+    std::vector<Sym> data(spec.k);
+    for (Sym& s : data) s = static_cast<Sym>(rng.next_below(f.order()));
+    std::vector<Sym> code(spec.n);
+    rs.encode_symbols(data, code);
+    for (const std::uint32_t p : distinct_positions(rng, spec.n, t))
+      code[p] = static_cast<Sym>(
+          code[p] ^ (1 + rng.next_below(f.order() - 1)));
+    const FecDecodeResult r = rs.decode_symbols(code);
+    ASSERT_TRUE(r.ok) << spec.name();
+    EXPECT_EQ(r.corrected_errors, t) << spec.name();
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()))
+        << spec.name();
+  }
+}
+
+TEST(RsCodec, ByteTransportRejectsNonByteFields) {
+  const RsCodec rs(fec::rs_15_11());
+  std::vector<std::uint8_t> buf(15);
+  EXPECT_THROW(
+      rs.encode_block(std::span<const std::uint8_t>(buf.data(), 11), buf),
+      std::logic_error);
+  EXPECT_THROW(rs.decode_block(buf), std::logic_error);
+}
+
+TEST(RsCodec, RejectsBadSpecsAndSizes) {
+  EXPECT_THROW(RsCodec(fec::rs(8, 256, 200)), std::invalid_argument);
+  EXPECT_THROW(RsCodec(fec::rs(8, 200, 200)), std::invalid_argument);
+  EXPECT_THROW(RsCodec(fec::rs(4, 15, 11), RsKernel::kSwar),
+               std::invalid_argument);
+  const RsCodec rs(fec::rs_255_239());
+  std::vector<std::uint8_t> code(255);
+  EXPECT_THROW(rs.decode_block(std::span<std::uint8_t>(code.data(), 16)),
+               std::invalid_argument);  // parity only, no data
+  EXPECT_THROW(rs.decode_block(code, std::vector<std::uint32_t>{255}),
+               std::invalid_argument);  // erasure out of block
+  EXPECT_THROW(rs.decode_block(code, std::vector<std::uint32_t>{3, 3}),
+               std::invalid_argument);  // duplicate erasure
+}
+
+// --- Stream geometry -------------------------------------------------------
+
+TEST(FecGeometry, EncodedAndDecodedSizesInvert) {
+  const RsCodec rs(fec::rs_204_188());
+  for (std::size_t len : {0u, 1u, 187u, 188u, 189u, 1000u, 4096u}) {
+    const std::size_t enc = fec_encoded_size(rs, len);
+    EXPECT_EQ(fec_decoded_size(rs, enc), len) << len;
+    if (len > 0)
+      EXPECT_EQ(fec_block_count(rs, enc), (len + 187) / 188) << len;
+  }
+  // A trailing fragment of parity bytes or fewer cannot occur.
+  EXPECT_THROW(fec_decoded_size(rs, 204 + 16), std::invalid_argument);
+  EXPECT_THROW(fec_decoded_size(rs, 16), std::invalid_argument);
+}
+
+// --- Registry --------------------------------------------------------------
+
+TEST(FecRegistry, CatalogueAndPolicy) {
+  FecRegistry& reg = FecRegistry::instance();
+  const auto names = reg.names();
+  ASSERT_TRUE(std::find(names.begin(), names.end(), "rs-swar") != names.end());
+  ASSERT_TRUE(std::find(names.begin(), names.end(), "rs-table") !=
+              names.end());
+  ASSERT_TRUE(std::find(names.begin(), names.end(), "bch") != names.end());
+
+  // Policy: the byte-block registry serves GF(256) codes; non-byte
+  // symbol widths go through RsCodec's symbol API, not the registry.
+  EXPECT_TRUE(reg.supports("rs-swar", fec::rs_255_223()));
+  EXPECT_TRUE(reg.supports("rs-table", fec::rs_255_223()));
+  EXPECT_FALSE(reg.supports("rs-swar", fec::rs_15_11()));
+  EXPECT_FALSE(reg.supports("rs-table", fec::rs_15_11()));
+  EXPECT_FALSE(reg.supports("rs-table", fec::bch_255_t2()));
+  EXPECT_TRUE(reg.supports("bch", fec::bch_255_t2()));
+
+  const FecCodecHandle best = reg.best_for(fec::rs_255_223());
+  EXPECT_EQ(static_cast<const RsCodec&>(*best).kernel(), RsKernel::kSwar);
+  EXPECT_THROW(reg.best_for(fec::rs_15_11()), std::runtime_error);
+
+  EXPECT_THROW(reg.make("nope", fec::rs_255_223()), std::invalid_argument);
+  EXPECT_THROW(reg.make("rs-swar", fec::rs_15_11()), std::runtime_error);
+
+  // Env override is read per call.
+  ASSERT_EQ(setenv("PLFSR_FEC_ENGINE", "rs-table", 1), 0);
+  const FecCodecHandle forced = reg.best_for(fec::rs_255_223());
+  EXPECT_EQ(static_cast<const RsCodec&>(*forced).kernel(), RsKernel::kTable);
+  ASSERT_EQ(setenv("PLFSR_FEC_ENGINE", "nope", 1), 0);
+  EXPECT_THROW(reg.best_for(fec::rs_255_223()), std::invalid_argument);
+  ASSERT_EQ(unsetenv("PLFSR_FEC_ENGINE"), 0);
+}
+
+TEST(FecRegistry, EveryEngineRoundTripsEveryClaimedCatalogueSpec) {
+  Rng rng(10);
+  FecRegistry& reg = FecRegistry::instance();
+  for (const std::string& name : reg.available_names()) {
+    for (const FecSpec& spec : fec::all_fec_specs()) {
+      if (!reg.supports(name, spec)) continue;
+      const FecCodecHandle codec = reg.make(name, spec);
+      const auto data = rng.next_bytes(codec->data_bytes());
+      std::vector<std::uint8_t> code(codec->code_bytes());
+      codec->encode_block(data, code);
+      std::size_t flips = codec->max_errors();
+      if (spec.family == FecFamily::kBch) {
+        for (const std::uint32_t p :
+             distinct_positions(rng, code.size() * 8, flips))
+          code[p / 8] ^= static_cast<std::uint8_t>(0x80u >> (p % 8));
+      } else {
+        for (const std::uint32_t p :
+             distinct_positions(rng, code.size(), flips))
+          code[p] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+      const FecDecodeResult r = codec->decode_block(code);
+      ASSERT_TRUE(r.ok) << name << " " << spec.name();
+      EXPECT_TRUE(std::equal(data.begin(), data.end(), code.begin()))
+          << name << " " << spec.name();
+    }
+  }
+}
+
+// --- ParallelFec -----------------------------------------------------------
+
+TEST(ParallelFec, ShardCountsAgreeAndCountersSum) {
+  Rng rng(11);
+  const FecCodecHandle codec =
+      FecRegistry::instance().best_for(fec::rs_204_188());
+  const auto data = rng.next_bytes(188 * 23 + 17);  // 24 blocks, last short
+  const ParallelFec serial(codec, 1);
+  std::vector<std::uint8_t> enc(serial.encoded_size(data.size()));
+  ASSERT_EQ(serial.encode(data, enc).blocks, 24u);
+
+  // Impair: 4 errors + 4 erasures per block (2e + r = 12 <= 16).
+  std::vector<std::uint8_t> recv = enc;
+  std::vector<std::uint32_t> erasures;
+  for (std::size_t b = 0; b < 24; ++b) {
+    const std::size_t off = b * 204;
+    const std::size_t clen = std::min<std::size_t>(204, recv.size() - off);
+    const auto pos = distinct_positions(rng, clen, 8);
+    for (int i = 0; i < 4; ++i)
+      recv[off + pos[i]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    for (int i = 4; i < 8; ++i) {
+      recv[off + pos[i]] = static_cast<std::uint8_t>(rng.next_u64());
+      erasures.push_back(static_cast<std::uint32_t>(off + pos[i]));
+    }
+  }
+
+  std::vector<std::uint8_t> ref;
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const ParallelFec pf(codec, shards, /*min_blocks_per_shard=*/1);
+    std::vector<std::uint8_t> enc2(pf.encoded_size(data.size()));
+    pf.encode(data, enc2);
+    EXPECT_EQ(enc2, enc) << "shards=" << shards;
+
+    std::vector<std::uint8_t> out(pf.decoded_size(recv.size()));
+    const ParallelFecResult r = pf.decode(recv, out, erasures);
+    EXPECT_TRUE(r.ok) << "shards=" << shards;
+    EXPECT_EQ(r.blocks, 24u);
+    EXPECT_EQ(r.failed_blocks, 0u);
+    EXPECT_EQ(r.corrected_errors, 4u * 24) << "shards=" << shards;
+    EXPECT_EQ(out.size(), data.size());
+    EXPECT_EQ(out, data) << "shards=" << shards;
+    if (shards == 1)
+      ref = out;
+    else
+      EXPECT_EQ(out, ref) << "shards=" << shards;
+  }
+}
+
+TEST(ParallelFec, FailedBlocksPassThroughAndAreCounted) {
+  Rng rng(12);
+  const FecCodecHandle codec =
+      FecRegistry::instance().best_for(fec::rs_255_239());
+  const ParallelFec pf(codec, 3, /*min_blocks_per_shard=*/1);
+  const auto data = rng.next_bytes(239 * 6);
+  std::vector<std::uint8_t> enc(pf.encoded_size(data.size()));
+  pf.encode(data, enc);
+  // Kill block 2 outright (t+1 = 9 errors), lightly damage the rest.
+  std::vector<std::uint8_t> recv = enc;
+  for (const std::uint32_t p : distinct_positions(rng, 255, 9))
+    recv[2 * 255 + p] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+  recv[0] ^= 0x40;
+  recv[5 * 255 + 7] ^= 0x11;
+  std::vector<std::uint8_t> out(pf.decoded_size(recv.size()));
+  const ParallelFecResult r = pf.decode(recv, out);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.blocks, 6u);
+  EXPECT_EQ(r.failed_blocks, 1u);
+  // Every block but #2 decoded to the original payload.
+  for (std::size_t b = 0; b < 6; ++b) {
+    const bool match = std::equal(out.begin() + b * 239,
+                                  out.begin() + (b + 1) * 239,
+                                  data.begin() + b * 239);
+    EXPECT_EQ(match, b != 2) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace plfsr
