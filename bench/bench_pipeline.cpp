@@ -1,16 +1,20 @@
-// Streaming-pipeline bench: a frame stream is driven through
-// scramble → CRC → verify on the stage-graph executor, swept over batch
-// size × queue depth, and compared against the best standalone CRC engine
-// on the same frames — the software analogue of asking how close the
-// PiCoGA row pipeline gets to the throughput of its slowest row.
+// Streaming-pipeline bench v2: a frame stream is driven through
+// scramble → CRC → verify on the stage-graph executor, swept over
+// executor mode (threaded / fused / threaded with a sharded scramble
+// row) × batch size × queue depth, and compared against the best
+// standalone CRC engine on the same frames — the software analogue of
+// asking how close the PiCoGA row pipeline gets to the throughput of its
+// slowest row. A second, arena-backed sweep streams 64 B frames through
+// the recycling producer/sink loop and reports the millions-of-frames-
+// per-second headline.
 //
-// The run starts with an untimed validation pass (randomised frame sizes,
-// including empty and 1-byte frames) that checks the pipelined output
-// bit-exactly against the serial composition of the same stages; any
-// mismatch — there or in the on-line verify sink of a timed run — makes
-// the process exit nonzero.
+// The run starts with untimed validation passes (randomised frame sizes,
+// including empty and 1-byte frames; every executor mode) that check the
+// pipelined output bit-exactly against the serial composition of the
+// same stages; any mismatch — there or in the on-line verify sink of a
+// timed run — makes the process exit nonzero.
 //
-//   $ ./bench_pipeline [--json]     # --json also writes BENCH_pipeline.json
+//   $ ./bench_pipeline [--quick] [--json]   # --json writes BENCH_pipeline.json
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -19,6 +23,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crc/crc_spec.hpp"
@@ -26,8 +31,10 @@
 #include "crc/slicing_crc.hpp"
 #include "lfsr/catalog.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/sharded_stage.hpp"
 #include "pipeline/stages.hpp"
 #include "support/cpu_features.hpp"
+#include "support/frame_arena.hpp"
 #include "support/report.hpp"
 #include "support/rng.hpp"
 
@@ -37,11 +44,13 @@ using namespace plfsr;
 
 constexpr std::uint64_t kScramblerSeed = 0x5D;  // 802.11 per-PPDU seed
 constexpr std::size_t kFrameBytes = 1500;
+constexpr std::size_t kSmallFrameBytes = 64;
 constexpr std::uint64_t kVerifyStride = 256;
 
-// --quick (the CI bench-regression fast mode) shrinks the stream and
+// --quick (the CI bench-regression fast mode) shrinks the streams and
 // drops the best-of repetitions.
 std::size_t g_frames = 16384;
+std::size_t g_small_frames = 262144;
 int g_reps = 3;
 
 /// The fastest FCS engine this machine can run, straight from the
@@ -59,20 +68,42 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-std::vector<std::unique_ptr<Stage>> make_stages() {
+/// Shard width for the sharded-scramble sweep rows: enough workers to
+/// widen the bottleneck row, but only when the host has cores to give
+/// (3 pipeline stages + producer + shards). 0 disables the rows.
+std::size_t sharded_scramble_workers() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 6) return 0;
+  return std::min<std::size_t>(4, cores - 4);
+}
+
+std::unique_ptr<Stage> make_scramble_stage(std::size_t shards) {
+  if (shards <= 1)
+    return std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                           kScramblerSeed);
+  return std::make_unique<ShardedStage>(
+      [] {
+        return std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                               kScramblerSeed);
+      },
+      shards);
+}
+
+std::vector<std::unique_ptr<Stage>> make_stages(std::size_t shards,
+                                                FrameArena* arena = nullptr) {
   std::vector<std::unique_ptr<Stage>> st;
-  st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
-                                               kScramblerSeed));
+  st.push_back(make_scramble_stage(shards));
   st.push_back(make_fcs_stage());
   st.push_back(std::make_unique<VerifySink>(
       EngineRegistry::instance().make("table", crcspec::crc32_ethernet()),
-      kVerifyStride));
+      kVerifyStride, arena));
   return st;
 }
 
 /// Untimed functional gate: randomised frame sizes (empty and 1-byte
-/// included) through the pipeline vs the serial composition.
-bool validate() {
+/// included) through the pipeline vs the serial composition, for one
+/// executor configuration.
+bool validate_mode(ExecMode mode, std::size_t shards) {
   Rng rng(7);
   std::vector<Frame> input(512);
   for (std::size_t i = 0; i < input.size(); ++i) {
@@ -89,12 +120,14 @@ bool validate() {
   ref_crc.process(expect);
 
   std::vector<std::unique_ptr<Stage>> st;
-  st.push_back(std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
-                                               kScramblerSeed));
+  st.push_back(make_scramble_stage(shards));
   st.push_back(make_fcs_stage());  // cross-engine: reference is slicing
   st.push_back(std::make_unique<CollectSink>());
   CollectSink* sink = static_cast<CollectSink*>(st.back().get());
-  Pipeline pipe(std::move(st), {.queue_depth = 4});
+  PipelinePlan plan;
+  plan.mode = mode;
+  plan.queue_depth = 4;
+  Pipeline pipe(std::move(st), plan);
   pipe.start();
   for (std::size_t i = 0; i < input.size(); i += 7) {
     FrameBatch batch;
@@ -113,11 +146,132 @@ bool validate() {
   return true;
 }
 
+struct StageOcc {
+  std::string name;
+  double busy_ms, mb_per_s, occupancy;
+};
+
 struct SweepPoint {
+  std::string mode;  // "threaded" | "fused" | "threaded-shardN"
   std::size_t batch, depth;
-  double mb_per_s, ratio;
+  double mb_per_s, frames_per_s, ratio;
   std::uint64_t producer_stalls;
 };
+
+struct RunResult {
+  double mb_per_s = 0;
+  std::uint64_t producer_stalls = 0;
+  bool ok = true;
+  std::string stats_text;
+  std::vector<StageOcc> occupancy;
+};
+
+/// One timed run of the 1500 B stream through a given configuration.
+RunResult run_point(const std::vector<Frame>& stream, ExecMode mode,
+                    std::size_t shards, std::size_t batch_size,
+                    std::size_t depth, double total_mb) {
+  std::vector<FrameBatch> batches;
+  for (std::size_t i = 0; i < stream.size(); i += batch_size) {
+    FrameBatch b;
+    for (std::size_t j = i; j < std::min(i + batch_size, stream.size()); ++j)
+      b.push_back(stream[j]);
+    batches.push_back(std::move(b));
+  }
+
+  auto stages = make_stages(shards);
+  auto* sink = static_cast<VerifySink*>(stages.back().get());
+  PipelinePlan plan;
+  plan.mode = mode;
+  plan.queue_depth = depth;
+  Pipeline pipe(std::move(stages), plan);
+  const auto t0 = std::chrono::steady_clock::now();
+  pipe.start();
+  for (FrameBatch& b : batches) pipe.push(std::move(b));
+  const std::uint64_t stalls = pipe.producer_stalls();
+  pipe.wait();
+  const double sec = seconds_since(t0);
+
+  RunResult r;
+  r.mb_per_s = total_mb / sec;
+  r.producer_stalls = stalls;
+  r.ok = sink->ok() && sink->frames() == stream.size();
+  std::ostringstream os;
+  pipe.stats_table().print(os);
+  r.stats_text = os.str();
+  const double wall_ns = sec * 1e9;
+  for (const StageStats& s : pipe.stats()) {
+    StageOcc o;
+    o.name = s.name;
+    o.busy_ms = static_cast<double>(s.busy_ns) / 1e6;
+    o.mb_per_s = s.busy_ns == 0 ? 0.0
+                                : static_cast<double>(s.bytes) /
+                                      (static_cast<double>(s.busy_ns) / 1e9) /
+                                      1e6;
+    o.occupancy =
+        wall_ns == 0 ? 0.0 : static_cast<double>(s.busy_ns) / wall_ns;
+    r.occupancy.push_back(std::move(o));
+  }
+  return r;
+}
+
+struct SmallPoint {
+  std::string mode;
+  std::size_t batch;
+  double frames_per_s, mb_per_s;
+  std::uint64_t arena_heap_allocs, arena_recycles;
+};
+
+/// Arena-backed 64 B frame stream: the producer acquires every frame
+/// buffer from a bounded pool the verify sink releases back into —
+/// steady state touches the heap never, and a full pool backpressures
+/// the producer end to end. Frames/sec is the headline.
+SmallPoint run_small(ExecMode mode, std::size_t batch_size) {
+  const std::size_t n = g_small_frames;
+  // Pool sized to cover the frames in flight (rings x batch) with slack;
+  // small enough that recycling, not allocation, must carry the run.
+  FrameArena arena(batch_size * 24);
+  const std::vector<std::uint8_t> payload_template = [] {
+    Rng rng(404);
+    return rng.next_bytes(kSmallFrameBytes);
+  }();
+
+  auto stages = make_stages(/*shards=*/1, &arena);
+  auto* sink = static_cast<VerifySink*>(stages.back().get());
+  PipelinePlan plan;
+  plan.mode = mode;
+  plan.queue_depth = 8;
+  Pipeline pipe(std::move(stages), plan);
+  const auto t0 = std::chrono::steady_clock::now();
+  pipe.start();
+  FrameBatch batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    Frame f;
+    f.id = i;
+    if (!arena.acquire(f.bytes, kSmallFrameBytes)) break;
+    std::memcpy(f.bytes.data(), payload_template.data(), kSmallFrameBytes);
+    batch.push_back(std::move(f));
+    if (batch.size() == batch_size) {
+      if (!pipe.push(std::move(batch))) break;
+      batch = FrameBatch();
+      batch.reserve(batch_size);
+    }
+  }
+  if (!batch.empty()) pipe.push(std::move(batch));
+  pipe.wait();
+  const double sec = seconds_since(t0);
+
+  SmallPoint p;
+  p.mode = mode == ExecMode::kFused ? "fused" : "threaded";
+  p.batch = batch_size;
+  p.frames_per_s = sink->frames() == n ? static_cast<double>(n) / sec : 0;
+  p.mb_per_s =
+      static_cast<double>(n) * kSmallFrameBytes / 1e6 / (sec > 0 ? sec : 1);
+  p.arena_heap_allocs = arena.heap_allocations();
+  p.arena_recycles = arena.recycles();
+  if (!sink->ok()) p.frames_per_s = 0;  // poison the point on mismatch
+  return p;
+}
 
 }  // namespace
 
@@ -127,13 +281,20 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--quick") == 0) {
       g_frames = 2048;
+      g_small_frames = 65536;
       g_reps = 1;
     }
   }
 
+  const std::size_t shard_workers = sharded_scramble_workers();
+
   std::cout << "validation (randomised frames, pipeline vs serial "
-               "composition): ";
-  if (!validate()) {
+               "composition, every executor mode): ";
+  bool valid = validate_mode(ExecMode::kThreaded, 1) &&
+               validate_mode(ExecMode::kFused, 1);
+  if (valid && shard_workers > 1)
+    valid = validate_mode(ExecMode::kThreaded, shard_workers);
+  if (!valid) {
     std::cout << "MISMATCH\n";
     return 1;
   }
@@ -150,8 +311,9 @@ int main(int argc, char** argv) {
       static_cast<double>(g_frames) * kFrameBytes / 1e6;
 
   // Baseline: the best standalone CRC engine over the same frames. The
-  // pipeline adds a scramble stage and the ring hand-offs on top of this,
-  // so baseline throughput is the bar the acceptance ratio is against.
+  // pipeline adds a scramble stage and the executor hand-offs on top of
+  // this, so baseline throughput is the bar the acceptance ratio is
+  // against.
   double base_mbps = 0;
   std::string base_name;
   {
@@ -191,74 +353,107 @@ int main(int argc, char** argv) {
               << g_frames << " frames x " << kFrameBytes << " B)\n\n";
   }
 
-  // Sweep batch size × queue depth. Batches are pre-built outside the
-  // timed region; the clock covers start → wait (drain included). Each
-  // point runs kReps times and keeps the fastest — same best-of policy as
-  // the baseline, so scheduler noise hits both sides of the ratio alike.
-  const int reps = g_reps;
+  // The sweep grid: mode × batch × depth. Batches are pre-built outside
+  // the timed region; the clock covers start → wait (drain included).
+  // Each point runs g_reps times and keeps the fastest — same best-of
+  // policy as the baseline, so scheduler noise hits both sides of the
+  // ratio alike.
+  struct GridPoint {
+    ExecMode mode;
+    std::size_t shards, batch, depth;
+    std::string label;
+  };
+  std::vector<GridPoint> grid_points;
+  for (const std::size_t batch : {16u, 64u, 128u})
+    for (const std::size_t depth : {4u, 16u})
+      grid_points.push_back(
+          {ExecMode::kThreaded, 1, batch, depth, "threaded"});
+  if (shard_workers > 1) {
+    const std::string label =
+        "threaded-shard" + std::to_string(shard_workers);
+    for (const std::size_t batch : {64u, 128u})
+      grid_points.push_back({ExecMode::kThreaded, shard_workers, batch,
+                             /*depth=*/4, label});
+  }
+  // Fused has no rings; depth is moot (recorded as 1).
+  for (const std::size_t batch : {16u, 64u, 128u})
+    grid_points.push_back({ExecMode::kFused, 1, batch, /*depth=*/1, "fused"});
+
   std::vector<SweepPoint> sweep;
-  ReportTable grid({"batch", "depth", "MB/s", "vs best CRC", "prod-stalls"});
+  ReportTable grid({"mode", "batch", "depth", "MB/s", "Mfps", "vs best CRC",
+                    "prod-stalls"});
   double best_ratio = 0;
   std::size_t best_idx = 0;
-  std::string best_stats;
+  RunResult best_run;
   bool verify_ok = true;
-  for (const std::size_t batch_size : {16u, 64u, 128u}) {
-    for (const std::size_t depth : {4u, 16u}) {
-      double mbps = 0;
-      std::uint64_t producer_stalls = 0;
-      std::string stats;
-      for (int rep = 0; rep < reps; ++rep) {
-        std::vector<FrameBatch> batches;
-        for (std::size_t i = 0; i < stream.size(); i += batch_size) {
-          FrameBatch b;
-          for (std::size_t j = i;
-               j < std::min(i + batch_size, stream.size()); ++j)
-            b.push_back(stream[j]);
-          batches.push_back(std::move(b));
-        }
-
-        auto stages = make_stages();
-        auto* sink = static_cast<VerifySink*>(stages.back().get());
-        Pipeline pipe(std::move(stages), {.queue_depth = depth});
-        const auto t0 = std::chrono::steady_clock::now();
-        pipe.start();
-        for (FrameBatch& b : batches) pipe.push(std::move(b));
-        const std::uint64_t stalls = pipe.producer_stalls();
-        pipe.wait();
-        const double sec = seconds_since(t0);
-
-        if (!sink->ok() || sink->frames() != g_frames) verify_ok = false;
-        if (total_mb / sec > mbps) {
-          mbps = total_mb / sec;
-          producer_stalls = stalls;
-          std::ostringstream os;
-          pipe.stats_table().print(os);
-          stats = os.str();
-        }
-      }
-      const double ratio = mbps / base_mbps;
-      sweep.push_back({batch_size, depth, mbps, ratio, producer_stalls});
-      grid.add_row({std::to_string(batch_size), std::to_string(depth),
-                    ReportTable::num(mbps, 1), ReportTable::num(ratio, 2),
-                    std::to_string(producer_stalls)});
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best_idx = sweep.size() - 1;
-        best_stats = stats;
-      }
+  for (const GridPoint& gp : grid_points) {
+    RunResult best_of;
+    for (int rep = 0; rep < g_reps; ++rep) {
+      RunResult r = run_point(stream, gp.mode, gp.shards, gp.batch,
+                              gp.depth, total_mb);
+      if (!r.ok) verify_ok = false;
+      if (r.mb_per_s > best_of.mb_per_s) best_of = std::move(r);
+    }
+    const double ratio = best_of.mb_per_s / base_mbps;
+    const double fps = best_of.mb_per_s * 1e6 / kFrameBytes;
+    sweep.push_back({gp.label, gp.batch, gp.depth, best_of.mb_per_s, fps,
+                     ratio, best_of.producer_stalls});
+    grid.add_row({gp.label, std::to_string(gp.batch),
+                  std::to_string(gp.depth),
+                  ReportTable::num(best_of.mb_per_s, 1),
+                  ReportTable::num(fps / 1e6, 2), ReportTable::num(ratio, 2),
+                  std::to_string(best_of.producer_stalls)});
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_idx = sweep.size() - 1;
+      best_run = std::move(best_of);
     }
   }
 
   std::cout << "pipeline sweep (scramble -> crc -> verify, "
             << "spot-check stride " << kVerifyStride << "):\n";
   grid.print(std::cout);
-  std::cout << "\nper-stage metrics of the best point (batch "
-            << sweep[best_idx].batch << ", depth " << sweep[best_idx].depth
-            << "):\n"
-            << best_stats << "\nbest pipeline/CRC ratio : "
+  std::cout << "\nper-stage metrics of the best point (" << sweep[best_idx].mode
+            << ", batch " << sweep[best_idx].batch << ", depth "
+            << sweep[best_idx].depth << "):\n"
+            << best_run.stats_text << "\nbest pipeline/CRC ratio : "
             << ReportTable::num(best_ratio, 2)
-            << (best_ratio >= 0.8 ? "  (>= 0.8 target)" : "  (below 0.8)")
+            << (best_ratio >= 0.9 ? "  (>= 0.9 target)" : "  (below 0.9)")
             << "\n";
+
+  // Small-frame headline: millions of 64 B frames per second through the
+  // arena-recycled zero-copy loop.
+  std::vector<SmallPoint> small;
+  double best_small_fps = 0;
+  {
+    ReportTable st({"mode", "batch", "Mframes/s", "MB/s", "heap-allocs",
+                    "recycles"});
+    for (const ExecMode mode : {ExecMode::kFused, ExecMode::kThreaded}) {
+      for (const std::size_t batch : {256u}) {
+        SmallPoint best_p;
+        best_p.frames_per_s = -1;
+        for (int rep = 0; rep < g_reps; ++rep) {
+          SmallPoint p = run_small(mode, batch);
+          if (p.frames_per_s > best_p.frames_per_s) best_p = p;
+        }
+        if (best_p.frames_per_s <= 0) verify_ok = false;
+        st.add_row({best_p.mode, std::to_string(best_p.batch),
+                    ReportTable::num(best_p.frames_per_s / 1e6, 2),
+                    ReportTable::num(best_p.mb_per_s, 1),
+                    std::to_string(best_p.arena_heap_allocs),
+                    std::to_string(best_p.arena_recycles)});
+        best_small_fps = std::max(best_small_fps, best_p.frames_per_s);
+        small.push_back(std::move(best_p));
+      }
+    }
+    std::cout << "\nsmall-frame stream (" << g_small_frames << " x "
+              << kSmallFrameBytes
+              << " B, arena-recycled zero-copy loop):\n";
+    st.print(std::cout);
+    std::cout << "best frames/sec : "
+              << ReportTable::num(best_small_fps / 1e6, 2) << " M/s\n";
+  }
+
   if (!verify_ok)
     std::cout << "\nVERIFY SINK MISMATCH: pipelined CRCs disagree with the "
                  "reference engine\n";
@@ -272,17 +467,44 @@ int main(int argc, char** argv) {
         << "},\n  \"sweep\": [\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
       const SweepPoint& p = sweep[i];
-      out << "    {\"batch\": " << p.batch << ", \"depth\": " << p.depth
+      out << "    {\"mode\": \"" << p.mode << "\", \"batch\": " << p.batch
+          << ", \"depth\": " << p.depth
           << ", \"mb_per_s\": " << ReportTable::num(p.mb_per_s, 1)
+          << ", \"frames_per_s\": " << ReportTable::num(p.frames_per_s, 0)
           << ", \"ratio\": " << ReportTable::num(p.ratio, 3)
           << ", \"producer_stalls\": " << p.producer_stalls << "}"
           << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"best\": {\"batch\": " << sweep[best_idx].batch
+    out << "  ],\n  \"best\": {\"mode\": \"" << sweep[best_idx].mode
+        << "\", \"batch\": " << sweep[best_idx].batch
         << ", \"depth\": " << sweep[best_idx].depth
+        << ", \"mb_per_s\": " << ReportTable::num(sweep[best_idx].mb_per_s, 1)
+        << ", \"frames_per_s\": "
+        << ReportTable::num(sweep[best_idx].frames_per_s, 0)
         << ", \"ratio\": " << ReportTable::num(best_ratio, 3)
-        << "},\n  \"verify_ok\": " << (verify_ok ? "true" : "false")
-        << "\n}\n";
+        << "},\n  \"best_stage_occupancy\": [\n";
+    for (std::size_t i = 0; i < best_run.occupancy.size(); ++i) {
+      const StageOcc& o = best_run.occupancy[i];
+      out << "    {\"stage\": \"" << o.name
+          << "\", \"busy_ms\": " << ReportTable::num(o.busy_ms, 2)
+          << ", \"mb_per_s\": " << ReportTable::num(o.mb_per_s, 1)
+          << ", \"occupancy\": " << ReportTable::num(o.occupancy, 3) << "}"
+          << (i + 1 < best_run.occupancy.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"small\": {\n    \"frame_bytes\": " << kSmallFrameBytes
+        << ",\n    \"frames\": " << g_small_frames << ",\n    \"sweep\": [\n";
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      const SmallPoint& p = small[i];
+      out << "      {\"mode\": \"" << p.mode << "\", \"batch\": " << p.batch
+          << ", \"frames_per_s\": " << ReportTable::num(p.frames_per_s, 0)
+          << ", \"mb_per_s\": " << ReportTable::num(p.mb_per_s, 1)
+          << ", \"arena_heap_allocs\": " << p.arena_heap_allocs
+          << ", \"arena_recycles\": " << p.arena_recycles << "}"
+          << (i + 1 < small.size() ? "," : "") << "\n";
+    }
+    out << "    ],\n    \"best_frames_per_s\": "
+        << ReportTable::num(best_small_fps, 0) << "\n  },\n  \"verify_ok\": "
+        << (verify_ok ? "true" : "false") << "\n}\n";
     std::cout << "\nwrote BENCH_pipeline.json\n";
   }
   return verify_ok ? 0 : 1;

@@ -232,7 +232,16 @@ int main() {
     stages.push_back(std::make_unique<CollectSink>());
     CollectSink* sink = static_cast<CollectSink*>(stages.back().get());
 
-    Pipeline pipe(std::move(stages), {.queue_depth = 8});
+    // kAuto picks the executor for this host: threaded rows behind SPSC
+    // rings when there are spare cores, the single-thread fused loop
+    // otherwise.
+    PipelinePlan plan;
+    plan.queue_depth = 8;
+    Pipeline pipe(std::move(stages), plan);
+    std::cout << "  executor : "
+              << (pipe.fused() ? "fused (single thread)"
+                               : "threaded (one row per stage)")
+              << "\n";
     const auto t0 = std::chrono::steady_clock::now();
     pipe.start();
     constexpr std::size_t kBatch = 16;

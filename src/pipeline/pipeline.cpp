@@ -2,26 +2,39 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
 namespace plfsr {
 
+ExecMode PipelinePlan::resolve(std::size_t num_stages) const {
+  if (mode != ExecMode::kAuto) return mode;
+  if (num_stages < 2) return ExecMode::kFused;
+  const unsigned cores = std::thread::hardware_concurrency();
+  // Threaded needs a core per stage plus one for the producer to win;
+  // hardware_concurrency() may report 0 (unknown) — treat as too few.
+  return cores >= num_stages + 1 ? ExecMode::kThreaded : ExecMode::kFused;
+}
+
 Pipeline::Pipeline(std::vector<std::unique_ptr<Stage>> stages,
-                   PipelineConfig cfg)
-    : stages_(std::move(stages)), cfg_(cfg) {
+                   PipelinePlan plan)
+    : stages_(std::move(stages)), plan_(plan) {
   if (stages_.empty())
     throw std::invalid_argument("Pipeline: need at least one stage");
-  if (cfg_.queue_depth == 0) cfg_.queue_depth = 1;
-  rings_.reserve(stages_.size());
+  if (plan_.queue_depth == 0) plan_.queue_depth = 1;
+  mode_ = plan_.resolve(stages_.size());
   stats_.resize(stages_.size());
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    rings_.push_back(
-        std::make_unique<RingBuffer<FrameBatch>>(cfg_.queue_depth));
+  for (std::size_t i = 0; i < stages_.size(); ++i)
     stats_[i].name = stages_[i]->name();
+  if (mode_ == ExecMode::kThreaded) {
+    rings_.reserve(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+      rings_.push_back(
+          std::make_unique<RingBuffer<FrameBatch>>(plan_.queue_depth));
   }
 }
 
 Pipeline::~Pipeline() {
-  if (pool_) {
+  if (started_) {
     abort();
     try {
       wait();
@@ -32,7 +45,9 @@ Pipeline::~Pipeline() {
 }
 
 void Pipeline::start() {
-  if (pool_) throw std::logic_error("Pipeline::start: already started");
+  if (started_) throw std::logic_error("Pipeline::start: already started");
+  started_ = true;
+  if (mode_ == ExecMode::kFused) return;  // nothing to spawn
   pool_ = std::make_unique<ThreadPool>(stages_.size());
   futures_.reserve(stages_.size());
   for (std::size_t i = 0; i < stages_.size(); ++i)
@@ -40,11 +55,43 @@ void Pipeline::start() {
 }
 
 bool Pipeline::push(FrameBatch batch) {
-  if (!pool_) throw std::logic_error("Pipeline::push before start()");
+  if (!started_) throw std::logic_error("Pipeline::push before start()");
+  if (mode_ == ExecMode::kFused) return push_fused(batch);
   return rings_[0]->push(std::move(batch));
 }
 
-void Pipeline::close() { rings_[0]->close(); }
+bool Pipeline::push_fused(FrameBatch& batch) {
+  if (aborted_.load(std::memory_order_relaxed)) return false;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    StageStats& st = stats_[i];
+    std::uint64_t in_bytes = 0;
+    for (const Frame& f : batch) in_bytes += f.bytes.size();
+    const std::uint64_t in_frames = batch.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      stages_[i]->process(batch);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      aborted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    st.busy_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    ++st.batches;
+    st.frames += in_frames;
+    st.bytes += in_bytes;
+  }
+  return true;
+}
+
+void Pipeline::close() {
+  if (!rings_.empty()) rings_[0]->close();
+}
 
 void Pipeline::abort() {
   aborted_.store(true, std::memory_order_relaxed);
@@ -52,14 +99,15 @@ void Pipeline::abort() {
 }
 
 void Pipeline::wait() {
-  if (!pool_) return;
+  if (!started_) return;
   close();
   for (std::future<void>& f : futures_) f.get();  // runners do not throw
   futures_.clear();
   pool_.reset();
   // Harvest ring counters: stage i's input is ring i; its output pushes
-  // land on ring i+1 (the last stage has no output ring).
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
+  // land on ring i+1 (the last stage has no output ring). Fused mode has
+  // no rings — the zeros already in stats_ are the truth.
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
     stats_[i].pop_stalls = rings_[i]->pop_stalls();
     stats_[i].queue_high_water = rings_[i]->high_water();
     stats_[i].push_stalls =
@@ -127,7 +175,7 @@ ReportTable Pipeline::stats_table() const {
                    std::to_string(s.pop_stalls),
                    std::to_string(s.push_stalls),
                    std::to_string(s.queue_high_water) + "/" +
-                       std::to_string(cfg_.queue_depth)});
+                       std::to_string(plan_.queue_depth)});
   }
   return table;
 }

@@ -1,13 +1,31 @@
-// Pipeline executor: the software PiCoGA datapath. Every stage gets a
-// dedicated worker (reusing the support ThreadPool) and a bounded input
-// ring; batches flow producer → stage 0 → ... → stage N-1 with blocking
-// backpressure, exactly the way rows of the array hand words down the
-// pipeline at a fixed issue rate. The run is observable the way the
-// paper's per-row utilisation is: every stage reports frames, bytes, busy
-// time, input/output stalls and its queue's occupancy high-water mark
-// through a ReportTable.
+// Pipeline executor: the software PiCoGA datapath, in two operating
+// points selected by a PipelinePlan policy:
 //
-// Lifecycle:  Pipeline p(stages);  p.start();
+//  - kThreaded: every stage gets a dedicated worker (reusing the support
+//    ThreadPool) and a bounded input ring; batches flow producer →
+//    stage 0 → ... → stage N-1 with blocking backpressure, exactly the
+//    way rows of the array hand words down the pipeline at a fixed issue
+//    rate. Right when stages can actually run concurrently (enough
+//    cores) and each ring slot carries enough work to amortize the
+//    hand-off.
+//  - kFused: all stages run back-to-back on the *caller's* thread inside
+//    push() — the whole graph collapsed into one row, no rings, no
+//    context switches. Right for short graphs or low-core-count hosts,
+//    where the hand-off overhead would dominate; this is the software
+//    form of the paper's single-PiCoGA-operation fusion (the scrambler's
+//    one-op claim applied to the whole chain).
+//  - kAuto (the default plan) picks: fused when the host cannot give
+//    every stage (plus the producer) its own core, threaded otherwise.
+//
+// Both modes share every interface and invariant — push/close/wait,
+// error propagation, per-stage stats — so tests can pin fused-vs-
+// threaded bit-exactness by flipping one enum. The run is observable the
+// way the paper's per-row utilisation is: every stage reports frames,
+// bytes, busy time, input/output stalls and its queue's occupancy
+// high-water mark through a ReportTable (stall/occupancy columns are
+// structurally zero in fused mode).
+//
+// Lifecycle:  Pipeline p(stages, plan);  p.start();
 //             while (...) p.push(batch);
 //             p.close();  p.wait();            // rethrows stage errors
 //             p.stats() / p.stats_table()
@@ -35,10 +53,34 @@
 
 namespace plfsr {
 
-struct PipelineConfig {
-  /// Ring capacity between consecutive stages, in batches.
-  std::size_t queue_depth = 8;
+/// How the stage graph executes.
+enum class ExecMode {
+  kAuto,      ///< fused when cores < stages + 1, threaded otherwise
+  kThreaded,  ///< one worker per stage, SPSC rings between them
+  kFused,     ///< all stages inline on the caller's thread, no rings
 };
+
+/// Execution policy: mode + ring geometry.
+struct PipelinePlan {
+  /// Ring capacity between consecutive stages, in batches (threaded
+  /// mode; fused mode has no rings).
+  std::size_t queue_depth = 8;
+  ExecMode mode = ExecMode::kAuto;
+
+  static PipelinePlan threaded(std::size_t depth = 8) {
+    return {depth, ExecMode::kThreaded};
+  }
+  static PipelinePlan fused() { return {1, ExecMode::kFused}; }
+
+  /// The kAuto decision for a graph of `num_stages` stages: threaded
+  /// only when the host can give every stage plus the producer its own
+  /// core; a 1-stage graph always fuses (a ring hand-off to a single
+  /// worker buys nothing).
+  ExecMode resolve(std::size_t num_stages) const;
+};
+
+/// Backwards-compatible name: the plan grew out of the v1 config.
+using PipelineConfig = PipelinePlan;
 
 /// Post-run per-stage counters (valid after wait()).
 struct StageStats {
@@ -52,11 +94,11 @@ struct StageStats {
   std::uint64_t queue_high_water = 0;  ///< input ring peak occupancy
 };
 
-/// Stage-graph executor: one thread per stage, SPSC rings between them.
+/// Stage-graph executor (threaded or fused per the plan).
 class Pipeline {
  public:
   explicit Pipeline(std::vector<std::unique_ptr<Stage>> stages,
-                    PipelineConfig cfg = {});
+                    PipelinePlan plan = {});
   ~Pipeline();
 
   Pipeline(const Pipeline&) = delete;
@@ -64,10 +106,16 @@ class Pipeline {
 
   std::size_t num_stages() const { return stages_.size(); }
 
-  /// Spawn the stage workers. Must precede push().
+  /// The resolved execution mode (never kAuto).
+  ExecMode mode() const { return mode_; }
+  bool fused() const { return mode_ == ExecMode::kFused; }
+
+  /// Spawn the stage workers (threaded) / arm the inline path (fused).
+  /// Must precede push().
   void start();
 
-  /// Feed one batch into the first stage (blocking under backpressure).
+  /// Feed one batch into the first stage (blocking under backpressure;
+  /// in fused mode the batch runs through every stage before returning).
   /// Returns false if the pipeline aborted — stop producing.
   bool push(FrameBatch batch);
 
@@ -82,8 +130,11 @@ class Pipeline {
 
   bool failed() const { return aborted_.load(std::memory_order_relaxed); }
 
-  /// Times the producer's push() had to wait on a full first ring.
-  std::uint64_t producer_stalls() const { return rings_[0]->push_stalls(); }
+  /// Times the producer's push() had to wait on a full first ring
+  /// (always 0 in fused mode — there is no ring to fill).
+  std::uint64_t producer_stalls() const {
+    return rings_.empty() ? 0 : rings_[0]->push_stalls();
+  }
 
   /// Per-stage counters; call after wait().
   const std::vector<StageStats>& stats() const { return stats_; }
@@ -99,9 +150,12 @@ class Pipeline {
 
  private:
   void run_stage(std::size_t i);
+  bool push_fused(FrameBatch& batch);
 
   std::vector<std::unique_ptr<Stage>> stages_;
-  PipelineConfig cfg_;
+  PipelinePlan plan_;
+  ExecMode mode_ = ExecMode::kThreaded;
+  bool started_ = false;
   std::vector<std::unique_ptr<RingBuffer<FrameBatch>>> rings_;  // input of i
   std::vector<StageStats> stats_;
   std::unique_ptr<ThreadPool> pool_;

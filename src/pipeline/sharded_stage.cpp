@@ -1,0 +1,86 @@
+#include "pipeline/sharded_stage.hpp"
+
+#include <exception>
+#include <future>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "support/sharding.hpp"
+
+namespace plfsr {
+
+ShardedStage::ShardedStage(const StageFactory& make, std::size_t workers) {
+  if (!make) throw std::invalid_argument("ShardedStage: null factory");
+  if (workers == 0) workers = 1;
+  shards_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    shards_.push_back(make());
+    if (!shards_.back())
+      throw std::invalid_argument("ShardedStage: factory returned null");
+  }
+  scratch_.resize(workers);
+  // Shard 0 runs on the calling (stage) thread, so the pool only needs
+  // workers-1 threads; a 1-shard stage spawns nothing.
+  pool_ = std::make_unique<ThreadPool>(workers - 1);
+  name_ = std::string(shards_[0]->name()) + " x" + std::to_string(workers);
+}
+
+void ShardedStage::process(FrameBatch& batch) {
+  const std::size_t w = shards_.size();
+  if (w == 1) {
+    shards_[0]->process(batch);
+    return;
+  }
+  const std::vector<ShardSlice> slices = near_equal_slices(batch.size(), w);
+
+  // Move each slice's frames into the shard's scratch batch (vector
+  // moves: buffer descriptors change hands, payload bytes do not).
+  for (std::size_t i = 0; i < w; ++i) {
+    scratch_[i].clear();
+    const ShardSlice& s = slices[i];
+    scratch_[i].insert(
+        scratch_[i].end(),
+        std::make_move_iterator(batch.begin() +
+                                static_cast<std::ptrdiff_t>(s.offset)),
+        std::make_move_iterator(batch.begin() + static_cast<std::ptrdiff_t>(
+                                                    s.offset + s.length)));
+  }
+
+  // Shards 1..w-1 on the pool, shard 0 inline; every future is always
+  // harvested so a throwing shard cannot leave a task running into a
+  // destroyed scratch batch.
+  std::vector<std::future<void>> futs;
+  futs.reserve(w - 1);
+  for (std::size_t i = 1; i < w; ++i) {
+    if (scratch_[i].empty()) continue;
+    futs.push_back(pool_->submit(
+        [this, i] { shards_[i]->process(scratch_[i]); }));
+  }
+  std::exception_ptr err;
+  try {
+    if (!scratch_[0].empty()) shards_[0]->process(scratch_[0]);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  for (std::future<void>& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+
+  // Reassemble in slice order — the output sequence matches the
+  // unsharded stage's exactly (slices are contiguous and in order).
+  batch.clear();
+  for (std::size_t i = 0; i < w; ++i) {
+    batch.insert(batch.end(),
+                 std::make_move_iterator(scratch_[i].begin()),
+                 std::make_move_iterator(scratch_[i].end()));
+    scratch_[i].clear();
+  }
+}
+
+}  // namespace plfsr

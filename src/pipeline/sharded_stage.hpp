@@ -1,0 +1,62 @@
+// Multi-worker stage: N shards of the same stage behind one Stage slot —
+// the software form of widening the bottleneck PiCoGA row instead of
+// deepening the whole pipeline.
+//
+// A chain of single-threaded stages sustains the throughput of its
+// slowest row; when one stage (say the scrambler) is the bottleneck, the
+// fix is not more pipeline depth but more copies of that row working on
+// different frames. ShardedStage wraps W independent clones of a stage
+// (each with its own internal state — the Stage contract already demands
+// frame-locality, so clones never need to talk) and splits every ring
+// slot's batch into W contiguous near-equal slices, processed
+// concurrently on a private worker pool and reassembled in slice order.
+// This is the ParallelCrc discipline lifted from bytes-of-one-message to
+// frames-of-one-batch — and because stages are frame-local, no combine
+// fold is needed at the join at all (the easy case of the paper's
+// parallelization taxonomy, like the scrambler's pure feed-forward).
+//
+// Order and bit-exactness: slices are contiguous and reassembled in
+// order, so the output frame sequence is identical to the unsharded
+// stage's for any shard count × batch size — the invariant
+// tests/sharded_stage_test.cpp sweeps. Stages that change the frame
+// count (spreaders, sinks) remain legal: each slice's output is
+// concatenated in slice order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage.hpp"
+#include "support/thread_pool.hpp"
+
+namespace plfsr {
+
+/// Runs W clones of a stage over contiguous slices of each batch.
+class ShardedStage : public Stage {
+ public:
+  using StageFactory = std::function<std::unique_ptr<Stage>()>;
+
+  /// `make` is invoked `workers` times, once per shard clone (each clone
+  /// carries its own state). workers == 0 is promoted to 1; workers == 1
+  /// degenerates to a plain pass-through wrapper.
+  ShardedStage(const StageFactory& make, std::size_t workers);
+
+  const char* name() const override { return name_.c_str(); }
+  void process(FrameBatch& batch) override;
+
+  std::size_t workers() const { return shards_.size(); }
+
+  /// Shard clone i (tests read per-shard counters through this).
+  Stage& shard(std::size_t i) { return *shards_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Stage>> shards_;
+  std::vector<FrameBatch> scratch_;   // per-shard slices, reused per call
+  std::unique_ptr<ThreadPool> pool_;  // workers-1 threads; shard 0 inline
+  std::string name_;
+};
+
+}  // namespace plfsr

@@ -1,5 +1,8 @@
 #include "pipeline/stages.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "support/bitstream.hpp"
 
 namespace plfsr {
@@ -22,9 +25,34 @@ BitStream payload_bits(const std::vector<std::uint8_t>& bytes,
 ScrambleStage::ScrambleStage(const Gf2Poly& g, std::uint64_t seed)
     : scr_(g, seed) {}
 
+void ScrambleStage::grow_cache(std::size_t nbytes) {
+  // Geometric growth (power-of-two, floor 4 KiB): the generator runs
+  // only on the new suffix, so total extension work is O(max frame size)
+  // over the stage's lifetime, not O(frames x size).
+  std::size_t want = std::bit_ceil(nbytes);
+  if (want < 4096) want = 4096;
+  const std::size_t old = key_.size();
+  key_.resize(want);
+  scr_.seek(8 * static_cast<std::uint64_t>(old));
+  scr_.keystream_into(key_.data() + old, want - old);
+}
+
 void ScrambleStage::apply(std::vector<std::uint8_t>& bytes) {
-  scr_.seek(0);  // frame-synchronous: every frame restarts at the seed
-  scr_.process(bytes);
+  // Frame-synchronous: every frame XORs the same keystream prefix, so
+  // the scramble is a straight word-wide XOR against the cache.
+  const std::size_t n = bytes.size();
+  if (n > key_.size()) grow_cache(n);
+  std::uint8_t* p = bytes.data();
+  const std::uint8_t* k = key_.data();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, p + i, 8);
+    std::memcpy(&b, k + i, 8);
+    a ^= b;
+    std::memcpy(p + i, &a, 8);
+  }
+  for (; i < n; ++i) p[i] ^= k[i];
 }
 
 void ScrambleStage::process(FrameBatch& batch) {

@@ -20,20 +20,23 @@
 #include "pipeline/stage.hpp"
 #include "scrambler/block_scrambler.hpp"
 #include "scrambler/spreader.hpp"
+#include "support/frame_arena.hpp"
 
 namespace plfsr {
 
 /// Frame-synchronous additive scrambler stage. Every frame is scrambled
-/// from the same seed (the 802.11 per-PPDU convention) by the
-/// word-parallel BlockScrambler: 64 keystream bits per step XORed
-/// directly over the frame body — the paper's observation that the
-/// additive scrambler is pure feed-forward once the state hop is block
-/// form, with no cached-keystream intermediary. (The previous design
-/// grew an LSB-first keystream cache with the bit-serial generator; its
-/// `want = max(nbytes, 4096)` growth policy re-ran the serial generator
-/// once per new high-water mark, so creeping frame sizes paid thousands
-/// of tiny regenerations — the geometric-growth fix and its regression
-/// test predate this rewrite, which removes the cache entirely.)
+/// from the same seed (the 802.11 per-PPDU convention), which makes the
+/// per-frame keystream a *fixed* byte pattern — so the stage keeps a
+/// keystream prefix cache and scrambling a frame is one word-wide XOR
+/// sweep at memcpy-class speed, no LFSR stepping on the frame path at
+/// all. The cache grows geometrically (power-of-two, floor 4 KiB) and is
+/// filled by the word-parallel BlockScrambler, so extension work is
+/// amortized O(1) per byte ever scrambled. (An earlier design's cache
+/// was removed because it grew by exact high-water mark *and* refilled
+/// with the bit-serial generator — creeping frame sizes paid thousands
+/// of full serial regenerations. Geometric growth plus the 64-bit block
+/// generator removes both failure modes; the block_steps() bound in
+/// tests/pipeline_test.cpp pins the work stays linear.)
 /// Applying the stage twice restores the input (additive = involution).
 class ScrambleStage : public Stage {
  public:
@@ -48,8 +51,14 @@ class ScrambleStage : public Stage {
   /// The word-parallel engine (tests read its work counters).
   const BlockScrambler& scrambler() const { return scr_; }
 
+  /// Current keystream cache size in bytes (tests pin the growth policy).
+  std::size_t cached_keystream_bytes() const { return key_.size(); }
+
  private:
+  void grow_cache(std::size_t nbytes);
+
   BlockScrambler scr_;
+  std::vector<std::uint8_t> key_;  // keystream prefix from the seed
 };
 
 /// Direct-sequence spreading stage: each frame body is expanded bit -> C
@@ -127,16 +136,27 @@ class FcsStage : public Stage {
 /// independent reference engine and counts mismatches — the pipeline's
 /// on-line functional check (stride 1 = verify everything, as the tests
 /// do; the bench spot-checks). Counters are read after Pipeline::wait().
+///
+/// With a FrameArena attached the sink closes the zero-copy loop: every
+/// verified frame's buffer is released back to the pool (and the frame
+/// consumed), so a producer acquiring from the same arena recycles
+/// buffers instead of allocating — and a bounded arena backpressures it
+/// end to end.
 class VerifySink : public Stage {
  public:
-  explicit VerifySink(CrcEngineHandle ref, std::uint64_t stride = 1)
-      : ref_(std::move(ref)), stride_(stride == 0 ? 1 : stride) {}
+  explicit VerifySink(CrcEngineHandle ref, std::uint64_t stride = 1,
+                      FrameArena* recycle = nullptr)
+      : ref_(std::move(ref)),
+        stride_(stride == 0 ? 1 : stride),
+        recycle_(recycle) {}
 
   template <typename Engine>
     requires(LinearEngine<std::remove_cvref_t<Engine>> &&
              !std::same_as<std::remove_cvref_t<Engine>, CrcEngineHandle>)
-  explicit VerifySink(Engine&& ref, std::uint64_t stride = 1)
-      : VerifySink(CrcEngineHandle(std::forward<Engine>(ref)), stride) {}
+  explicit VerifySink(Engine&& ref, std::uint64_t stride = 1,
+                      FrameArena* recycle = nullptr)
+      : VerifySink(CrcEngineHandle(std::forward<Engine>(ref)), stride,
+                   recycle) {}
 
   const char* name() const override { return "verify"; }
 
@@ -153,12 +173,17 @@ class VerifySink : public Stage {
       views_.emplace_back(batch[i].bytes);
       checked_idx_.push_back(i);
     }
-    if (views_.empty()) return;
-    checked_ += views_.size();
-    crcs_.resize(views_.size());
-    ref_.compute_many(views_, crcs_);
-    for (std::size_t j = 0; j < checked_idx_.size(); ++j)
-      if (crcs_[j] != batch[checked_idx_[j]].crc) ++mismatches_;
+    if (!views_.empty()) {
+      checked_ += views_.size();
+      crcs_.resize(views_.size());
+      ref_.compute_many(views_, crcs_);
+      for (std::size_t j = 0; j < checked_idx_.size(); ++j)
+        if (crcs_[j] != batch[checked_idx_[j]].crc) ++mismatches_;
+    }
+    if (recycle_) {
+      for (Frame& f : batch) recycle_->release(std::move(f.bytes));
+      batch.clear();  // frames consumed; their buffers live on in the pool
+    }
   }
 
   std::uint64_t frames() const { return frames_; }
@@ -170,6 +195,7 @@ class VerifySink : public Stage {
  private:
   CrcEngineHandle ref_;
   std::uint64_t stride_;
+  FrameArena* recycle_;
   std::uint64_t frames_ = 0, bytes_ = 0, checked_ = 0, mismatches_ = 0;
   // Stage-local scratch (process() runs on the stage's own thread).
   std::vector<FrameView> views_;

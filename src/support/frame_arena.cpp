@@ -1,0 +1,91 @@
+#include "support/frame_arena.hpp"
+
+namespace plfsr {
+
+bool FrameArena::grab_locked(std::vector<std::uint8_t>& out,
+                             std::size_t size) {
+  if (!pool_.empty()) {
+    out = std::move(pool_.back());
+    pool_.pop_back();
+    out.resize(size);
+    ++recycles_;
+  } else {
+    out.assign(size, 0);
+    ++heap_allocations_;
+  }
+  ++outstanding_;
+  ++acquires_;
+  return true;
+}
+
+bool FrameArena::acquire(std::vector<std::uint8_t>& out, std::size_t size) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool bounded = capacity_ != 0;
+  if (bounded && pool_.empty() && outstanding_ >= capacity_ && !closed_)
+    ++acquire_stalls_;
+  cv_.wait(lk, [&] {
+    return closed_ || !bounded || !pool_.empty() || outstanding_ < capacity_;
+  });
+  if (closed_) return false;
+  return grab_locked(out, size);
+}
+
+bool FrameArena::try_acquire(std::vector<std::uint8_t>& out,
+                             std::size_t size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) return false;
+  if (capacity_ != 0 && pool_.empty() && outstanding_ >= capacity_)
+    return false;
+  return grab_locked(out, size);
+}
+
+void FrameArena::release(std::vector<std::uint8_t> buf) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (outstanding_ > 0) --outstanding_;
+    if (closed_) return;  // shutdown path: let the heap take it
+    pool_.push_back(std::move(buf));
+  }
+  cv_.notify_one();
+}
+
+void FrameArena::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    pool_.clear();
+  }
+  cv_.notify_all();
+}
+
+std::size_t FrameArena::outstanding() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return outstanding_;
+}
+
+std::size_t FrameArena::pooled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pool_.size();
+}
+
+std::uint64_t FrameArena::acquires() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return acquires_;
+}
+
+std::uint64_t FrameArena::recycles() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recycles_;
+}
+
+std::uint64_t FrameArena::heap_allocations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return heap_allocations_;
+}
+
+std::uint64_t FrameArena::acquire_stalls() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return acquire_stalls_;
+}
+
+}  // namespace plfsr

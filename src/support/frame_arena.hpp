@@ -1,0 +1,88 @@
+// Recycling pool of frame byte-buffers — the allocator the zero-copy
+// pipeline runs on.
+//
+// A streaming pipeline that allocates a fresh std::vector per frame pays
+// one heap round-trip per frame at the producer and one at the sink; at
+// millions of 64 B frames per second the allocator, not the kernels,
+// becomes the bottleneck row. The arena closes that loop: the sink
+// releases each drained frame's buffer back to the pool, the producer's
+// next acquire() reuses it (capacity intact, so steady state does no
+// heap work at all), and the frames in flight between them carry only
+// the vector's heap descriptor through the rings — payload bytes are
+// written once by the producer and never copied again.
+//
+// A bounded arena (capacity > 0) doubles as end-to-end backpressure:
+// once `capacity` buffers are in flight, acquire() blocks until the sink
+// releases one — the producer is throttled by pipeline drain rate, the
+// way a MAC's descriptor ring throttles its DMA engine. close() unblocks
+// every waiter (acquire() then returns false), which is how a shutdown
+// path detaches a producer blocked on a dead pipeline.
+//
+// Thread-safety: all members are safe to call concurrently (mutex +
+// condvar; the arena's operations are per-frame and amortized by the
+// pipeline's batch slots, so the lock is not on the per-byte path).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace plfsr {
+
+/// Bounded (or unbounded) recycling pool of byte buffers.
+class FrameArena {
+ public:
+  /// `capacity` bounds the buffers alive at once (acquired and not yet
+  /// released); 0 means unbounded (acquire never blocks).
+  explicit FrameArena(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Blocking acquire of a buffer resized to `size` (contents
+  /// unspecified — recycled buffers keep their old bytes). Returns false
+  /// iff the arena was close()d and no buffer could be handed out.
+  bool acquire(std::vector<std::uint8_t>& out, std::size_t size);
+
+  /// Non-blocking acquire; false when the bound is reached (or closed).
+  bool try_acquire(std::vector<std::uint8_t>& out, std::size_t size);
+
+  /// Return a buffer to the pool (capacity kept for reuse) and wake one
+  /// blocked acquirer. Releasing into a closed arena just drops the
+  /// buffer.
+  void release(std::vector<std::uint8_t> buf);
+
+  /// Unblock every waiter; subsequent acquires fail. Idempotent.
+  void close();
+
+  /// Buffers currently acquired and not yet released.
+  std::size_t outstanding() const;
+  /// Buffers sitting in the pool ready for reuse.
+  std::size_t pooled() const;
+
+  // --- counters (monotonic; read anytime) ---------------------------
+  std::uint64_t acquires() const;        ///< successful acquire/try_acquire
+  std::uint64_t recycles() const;        ///< acquires served from the pool
+  std::uint64_t heap_allocations() const;  ///< acquires that hit the heap
+  std::uint64_t acquire_stalls() const;  ///< acquires that had to wait
+
+ private:
+  bool grab_locked(std::vector<std::uint8_t>& out, std::size_t size);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::vector<std::uint8_t>> pool_;
+  std::size_t outstanding_ = 0;
+  bool closed_ = false;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t recycles_ = 0;
+  std::uint64_t heap_allocations_ = 0;
+  std::uint64_t acquire_stalls_ = 0;
+};
+
+}  // namespace plfsr

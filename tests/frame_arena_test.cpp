@@ -1,0 +1,151 @@
+// FrameArena: buffers must recycle (steady state does no heap work), a
+// bounded arena must block the producer until the sink releases — the
+// end-to-end backpressure the zero-copy pipeline relies on — and close()
+// must unblock every waiter. The threaded-pipeline test at the bottom is
+// the TSan target for the producer/sink recycling loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/table_crc.hpp"
+#include "lfsr/catalog.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/stages.hpp"
+#include "support/frame_arena.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+TEST(FrameArena, RecyclesReleasedBuffers) {
+  FrameArena arena;
+  std::vector<std::uint8_t> buf;
+  ASSERT_TRUE(arena.acquire(buf, 64));
+  EXPECT_EQ(buf.size(), 64u);
+  EXPECT_EQ(arena.heap_allocations(), 1u);
+  arena.release(std::move(buf));
+  EXPECT_EQ(arena.pooled(), 1u);
+
+  std::vector<std::uint8_t> again;
+  ASSERT_TRUE(arena.acquire(again, 32));
+  EXPECT_EQ(again.size(), 32u);
+  EXPECT_EQ(arena.recycles(), 1u);
+  EXPECT_EQ(arena.heap_allocations(), 1u);  // no second heap trip
+  EXPECT_EQ(arena.acquires(), 2u);
+}
+
+TEST(FrameArena, UnboundedNeverBlocks) {
+  FrameArena arena;  // capacity 0 = unbounded
+  std::vector<std::vector<std::uint8_t>> bufs(100);
+  for (auto& b : bufs) ASSERT_TRUE(arena.acquire(b, 16));
+  EXPECT_EQ(arena.outstanding(), 100u);
+  EXPECT_EQ(arena.acquire_stalls(), 0u);
+}
+
+TEST(FrameArena, TryAcquireFailsAtCapacity) {
+  FrameArena arena(2);
+  std::vector<std::uint8_t> a, b, c;
+  ASSERT_TRUE(arena.try_acquire(a, 8));
+  ASSERT_TRUE(arena.try_acquire(b, 8));
+  EXPECT_FALSE(arena.try_acquire(c, 8));
+  arena.release(std::move(a));
+  EXPECT_TRUE(arena.try_acquire(c, 8));
+}
+
+TEST(FrameArena, BoundedAcquireBlocksUntilRelease) {
+  // The backpressure contract: a producer blocked on an exhausted pool
+  // must wake exactly when the sink releases a buffer.
+  FrameArena arena(2);
+  std::vector<std::uint8_t> a, b;
+  ASSERT_TRUE(arena.acquire(a, 128));
+  ASSERT_TRUE(arena.acquire(b, 128));
+
+  std::atomic<bool> got{false};
+  std::thread producer([&] {
+    std::vector<std::uint8_t> c;
+    if (arena.acquire(c, 128)) got.store(true);  // blocks until release
+  });
+  // The producer must actually stall (bounded wait for the counter so a
+  // slow scheduler cannot make this flaky-fail; TSan hosts are slow).
+  for (int i = 0; i < 2000 && arena.acquire_stalls() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(got.load());
+  arena.release(std::move(a));
+  producer.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(arena.acquire_stalls(), 1u);
+  EXPECT_EQ(arena.recycles(), 1u);
+}
+
+TEST(FrameArena, CloseUnblocksWaitersAndFailsAcquires) {
+  FrameArena arena(1);
+  std::vector<std::uint8_t> a;
+  ASSERT_TRUE(arena.acquire(a, 8));
+
+  std::atomic<int> result{-1};
+  std::thread waiter([&] {
+    std::vector<std::uint8_t> c;
+    result.store(arena.acquire(c, 8) ? 1 : 0);
+  });
+  arena.close();
+  waiter.join();
+  EXPECT_EQ(result.load(), 0);  // woke with failure, not a buffer
+  std::vector<std::uint8_t> d;
+  EXPECT_FALSE(arena.acquire(d, 8));
+  EXPECT_FALSE(arena.try_acquire(d, 8));
+  arena.release(std::move(a));  // releasing into a closed arena is a no-op
+  EXPECT_EQ(arena.pooled(), 0u);
+}
+
+TEST(FrameArena, RecyclesThroughThreadedPipeline) {
+  // Producer acquires from a bounded arena, VerifySink releases back:
+  // the arena must end balanced, with far fewer heap allocations than
+  // frames, and the bounded pool must backpressure the producer through
+  // the whole pipeline without deadlock. (Threaded explicitly — this is
+  // the TSan coverage for the cross-thread recycling loop.)
+  constexpr std::size_t kFrames = 256;
+  constexpr std::size_t kBatch = 8;
+  FrameArena arena(/*capacity=*/32);  // far fewer buffers than frames
+
+  std::vector<std::unique_ptr<Stage>> stages;
+  stages.push_back(
+      std::make_unique<ScrambleStage>(catalog::scrambler_80211(), 0x5D));
+  stages.push_back(
+      std::make_unique<FcsStage>(TableCrc(crcspec::crc32_ethernet())));
+  stages.push_back(std::make_unique<VerifySink>(
+      TableCrc(crcspec::crc32_ethernet()), /*stride=*/1, &arena));
+  auto* sink = static_cast<VerifySink*>(stages.back().get());
+
+  Pipeline pipe(std::move(stages), PipelinePlan::threaded(/*depth=*/2));
+  pipe.start();
+  Rng rng(17);
+  FrameBatch batch;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    Frame f;
+    f.id = i;
+    ASSERT_TRUE(arena.acquire(f.bytes, 64 + i % 64));  // blocks at the bound
+    const auto payload = rng.next_bytes(f.bytes.size());
+    std::copy(payload.begin(), payload.end(), f.bytes.begin());
+    batch.push_back(std::move(f));
+    if (batch.size() == kBatch) {
+      ASSERT_TRUE(pipe.push(std::move(batch)));
+      batch = FrameBatch();
+    }
+  }
+  pipe.close();
+  pipe.wait();
+
+  EXPECT_TRUE(sink->ok());
+  EXPECT_EQ(sink->frames(), kFrames);
+  EXPECT_EQ(arena.outstanding(), 0u);
+  EXPECT_EQ(arena.acquires(), kFrames);
+  EXPECT_LE(arena.heap_allocations(), arena.capacity());
+  EXPECT_GE(arena.recycles(), kFrames - arena.capacity());
+}
+
+}  // namespace
+}  // namespace plfsr

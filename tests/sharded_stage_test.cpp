@@ -1,0 +1,233 @@
+// ShardedStage: N clones of a stage over contiguous batch slices must be
+// bit-exact with the unsharded stage for every shard count × batch size
+// (order preserved, frame-count-changing stages included), and a
+// throwing shard must propagate without leaving workers running. The
+// pipeline composition test is the TSan target for the nested
+// parallelism (sharded stage inside a threaded executor).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "crc/table_crc.hpp"
+#include "lfsr/catalog.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/sharded_stage.hpp"
+#include "pipeline/stages.hpp"
+#include "support/bitstream.hpp"
+#include "support/rng.hpp"
+
+namespace plfsr {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5D;
+
+std::vector<Frame> make_frames(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Frame> frames(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    frames[i].id = i;
+    const std::size_t len = i == 0 ? 0 : i == 1 ? 1 : rng.next_below(1519);
+    frames[i].bytes = rng.next_bytes(len);
+  }
+  return frames;
+}
+
+TEST(ShardedStage, BitExactAcrossShardCountsAndBatchSizes) {
+  for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t batch_size : {1u, 5u, 7u, 64u}) {
+      const std::vector<Frame> input = make_frames(64, 42);
+
+      // Unsharded reference: one scramble + one crc instance.
+      FrameBatch expect(input.begin(), input.end());
+      ScrambleStage ref_scr(catalog::scrambler_80211(), kSeed);
+      FcsStage ref_crc{TableCrc(crcspec::crc32_ethernet())};
+      ref_scr.process(expect);
+      ref_crc.process(expect);
+
+      ShardedStage scr(
+          [] {
+            return std::make_unique<ScrambleStage>(
+                catalog::scrambler_80211(), kSeed);
+          },
+          shards);
+      ShardedStage crc(
+          [] {
+            return std::make_unique<FcsStage>(
+                TableCrc(crcspec::crc32_ethernet()));
+          },
+          shards);
+
+      std::vector<Frame> got;
+      for (std::size_t i = 0; i < input.size(); i += batch_size) {
+        FrameBatch b;
+        for (std::size_t j = i;
+             j < std::min(i + batch_size, input.size()); ++j)
+          b.push_back(input[j]);
+        scr.process(b);
+        crc.process(b);
+        for (Frame& f : b) got.push_back(std::move(f));
+      }
+
+      ASSERT_EQ(got.size(), expect.size())
+          << "shards=" << shards << " batch=" << batch_size;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expect[i].id) << "i=" << i;
+        EXPECT_EQ(got[i].bytes, expect[i].bytes)
+            << "i=" << i << " shards=" << shards << " batch=" << batch_size;
+        EXPECT_EQ(got[i].crc, expect[i].crc) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ShardedStage, FrameCountChangingStageKeepsSliceOrder) {
+  // The spreader grows every frame (bit -> C chips); sharding it must
+  // still produce the same frame sequence as the unsharded stage, and
+  // the spread -> despread round trip must hold at every shard count.
+  for (const std::size_t shards : {2u, 5u}) {
+    ShardedStage spread(
+        [] { return std::make_unique<SpreadStage>(catalog::prbs9(), 0x1B, 5); },
+        shards);
+    ShardedStage despread(
+        [] {
+          return std::make_unique<DespreadStage>(catalog::prbs9(), 0x1B, 5);
+        },
+        shards);
+
+    Rng rng(9);
+    std::vector<Frame> input(13);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input[i].id = i;
+      input[i].bytes = rng.next_bytes(i < 2 ? i : rng.next_below(97));
+    }
+    FrameBatch batch(input.begin(), input.end());
+    spread.process(batch);
+    ASSERT_EQ(batch.size(), input.size()) << "shards=" << shards;
+    despread.process(batch);
+    ASSERT_EQ(batch.size(), input.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      EXPECT_EQ(batch[i].bytes, input[i].bytes)
+          << "i=" << i << " shards=" << shards;
+  }
+}
+
+TEST(ShardedStage, BitGranularFramesSurviveSharding) {
+  // Frames with Frame::bits below 8*size: each shard clone must respect
+  // the bit-granular payload exactly as the unsharded stage does.
+  ShardedStage spread(
+      [] { return std::make_unique<SpreadStage>(catalog::prbs7(), 0x2D, 3); },
+      3);
+  ShardedStage despread(
+      [] {
+        return std::make_unique<DespreadStage>(catalog::prbs7(), 0x2D, 3);
+      },
+      3);
+  Rng rng(23);
+  FrameBatch batch;
+  std::vector<std::vector<std::uint8_t>> want;
+  const std::uint64_t nbits[] = {1, 7, 9, 100, 33};
+  for (std::size_t i = 0; i < 5; ++i) {
+    BitStream payload = rng.next_bits(nbits[i]);
+    Frame f;
+    f.id = i;
+    f.bytes = payload.to_bytes_lsb_first();
+    f.bits = nbits[i];
+    want.push_back(f.bytes);
+    batch.push_back(std::move(f));
+  }
+  spread.process(batch);
+  despread.process(batch);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[i].bit_size(), nbits[i]) << "i=" << i;
+    EXPECT_EQ(batch[i].bytes, want[i]) << "i=" << i;
+  }
+}
+
+TEST(ShardedStage, NamesReportShardCount) {
+  ShardedStage s(
+      [] {
+        return std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                               kSeed);
+      },
+      4);
+  EXPECT_STREQ(s.name(), "scramble x4");
+  EXPECT_EQ(s.workers(), 4u);
+  // workers == 0 promotes to 1 rather than throwing.
+  ShardedStage one(
+      [] {
+        return std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                               kSeed);
+      },
+      0);
+  EXPECT_EQ(one.workers(), 1u);
+}
+
+class BoomStage : public Stage {
+ public:
+  explicit BoomStage(std::uint64_t boom_id) : boom_id_(boom_id) {}
+  const char* name() const override { return "boom"; }
+  void process(FrameBatch& batch) override {
+    for (const Frame& f : batch)
+      if (f.id == boom_id_) throw std::runtime_error("boom");
+  }
+
+ private:
+  std::uint64_t boom_id_;
+};
+
+TEST(ShardedStage, ShardExceptionPropagates) {
+  // Frame 50 lands in a pool-side shard (4 shards x 64 frames: slice 3);
+  // the throw must surface from process() after every shard joined.
+  ShardedStage s([] { return std::make_unique<BoomStage>(50); }, 4);
+  std::vector<Frame> input = make_frames(64, 3);
+  FrameBatch batch(input.begin(), input.end());
+  EXPECT_THROW(s.process(batch), std::runtime_error);
+}
+
+TEST(ShardedStage, ComposesInsideThreadedPipeline) {
+  // The bottleneck-widening configuration the bench sweeps: a sharded
+  // scramble row feeding a single crc row, on the threaded executor,
+  // bit-exact with the serial unsharded composition.
+  const std::vector<Frame> input = make_frames(96, 11);
+  FrameBatch expect(input.begin(), input.end());
+  ScrambleStage ref_scr(catalog::scrambler_80211(), kSeed);
+  FcsStage ref_crc{TableCrc(crcspec::crc32_ethernet())};
+  ref_scr.process(expect);
+  ref_crc.process(expect);
+
+  std::vector<std::unique_ptr<Stage>> stages;
+  stages.push_back(std::make_unique<ShardedStage>(
+      [] {
+        return std::make_unique<ScrambleStage>(catalog::scrambler_80211(),
+                                               kSeed);
+      },
+      2));
+  stages.push_back(
+      std::make_unique<FcsStage>(TableCrc(crcspec::crc32_ethernet())));
+  stages.push_back(std::make_unique<CollectSink>());
+  auto* sink = static_cast<CollectSink*>(stages.back().get());
+
+  Pipeline pipe(std::move(stages), PipelinePlan::threaded(4));
+  pipe.start();
+  for (std::size_t i = 0; i < input.size(); i += 16) {
+    FrameBatch b;
+    for (std::size_t j = i; j < std::min(i + 16, input.size()); ++j)
+      b.push_back(input[j]);
+    ASSERT_TRUE(pipe.push(std::move(b)));
+  }
+  pipe.close();
+  pipe.wait();
+
+  ASSERT_EQ(sink->frames().size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(sink->frames()[i].bytes, expect[i].bytes) << "i=" << i;
+    EXPECT_EQ(sink->frames()[i].crc, expect[i].crc) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace plfsr
