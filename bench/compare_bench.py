@@ -24,22 +24,35 @@ fresh crc-engines run itself contains a pclmul benchmark. Matching is
 case-insensitive ("clmul" registry keys and "Clmul" type names alike);
 the portable-kernel benches are plain metrics, present on every host.
 
-Four intra-run invariants are checked besides the baseline deltas (all
-compared within the fresh run, so runner speed cancels out):
-  - the BM_CrcHandle/{direct,erased} pair must show the type-erased
-    handle within --handle-min-ratio (default 0.95, i.e. <= 5% overhead)
-    of the direct engine call;
-  - on clmul hosts, BM_EngineBatch/clmul/64 must run at least
-    --batch-min-ratio (default 5.0) times BM_EngineSingle/clmul/64 —
-    the interleaved small-frame path must actually hide the fold
-    latency chain, not just exist;
-  - the pipeline's best sweep point must reach --pipeline-min-ratio
-    (default 0.8) of the standalone CRC engine on the same frames — the
-    stage/ring/fused executor may never silently reopen the gap pipeline
-    v2 closed;
-  - the arena-recycled 64 B small-frame stream must sustain at least
-    --small-min-fps frames/sec (default 2e6) — the zero-copy loop's
-    headline metric.
+Gate policy — what fails and what only warns:
+
+  FAIL  intra-run *ratio* invariants. Both sides of each ratio are
+        measured in the same process on the same runner, so machine
+        speed cancels out exactly and a violation is always a code
+        regression, never a slow host:
+          - the BM_CrcHandle/{direct,erased} pair must show the
+            type-erased handle within --handle-min-ratio (default 0.95,
+            i.e. <= 5% overhead) of the direct engine call;
+          - on clmul hosts, BM_EngineBatch/clmul/64 must run at least
+            --batch-min-ratio (default 5.0) times
+            BM_EngineSingle/clmul/64 — the interleaved small-frame path
+            must actually hide the fold latency chain, not just exist;
+          - the pipeline's best sweep point must reach
+            --pipeline-min-ratio (default 0.8) of the standalone CRC
+            engine on the same frames — the stage/ring/fused executor
+            may never silently reopen the gap pipeline v2 closed.
+  FAIL  correctness bits carried in the bench JSONs (offload
+        mismatches/timeouts, correctness_ok=false): deterministic,
+        machine-independent.
+  WARN  absolute-rate floors (--small-min-fps, default 2e6 frames/s on
+        the arena-recycled 64 B stream). An absolute frames/sec number
+        depends on the runner class — a quota-capped single-core CI
+        host legitimately sustains a fraction of a bare-metal rate, and
+        failing CI on that taught people to ignore the gate. A floor
+        miss is printed as WARN and surfaced in the step summary, where
+        a human can tell "slow runner" from "regression"; the
+        cross-run baseline deltas (threshold-relative, same runner
+        class) remain the enforcement for real throughput regressions.
 
 Host-dependent pipeline sweep rows (the threaded-shardN configurations
 appear only when the runner has cores to spare) are informational: they
@@ -49,11 +62,17 @@ baseline rule.
 When $GITHUB_STEP_SUMMARY is set, the pipeline sweep table and the
 invariant results are appended to it as markdown.
 
+Offload soak metrics (--offload BENCH_offload.json from offload_client)
+are latency/throughput numbers of a networked soak — inherently
+runner-class-dependent, so they are always informational (printed +
+step summary, never baselined, never required). Only the correctness
+bits inside them (mismatches, timeouts, correctness_ok) fail the gate.
+
 Usage:
   compare_bench.py --baseline bench/baseline.json \
       --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
       --scrambler BENCH_scrambler.json --fec BENCH_fec.json \
-      [--threshold 0.40]
+      [--offload BENCH_offload.json] [--threshold 0.40]
   compare_bench.py --update --baseline bench/baseline.json \
       --crc BENCH_crc_engines.json --pipeline BENCH_pipeline.json \
       --scrambler BENCH_scrambler.json --fec BENCH_fec.json
@@ -215,6 +234,9 @@ def main():
                     help="BENCH_scrambler.json from bench_scrambler")
     ap.add_argument("--fec", default=None,
                     help="BENCH_fec.json from bench_fec")
+    ap.add_argument("--offload", default=None,
+                    help="BENCH_offload.json from offload_client "
+                         "(informational except its correctness bits)")
     ap.add_argument("--threshold", type=float, default=0.40,
                     help="max allowed fractional slowdown (default 0.40)")
     ap.add_argument("--handle-min-ratio", type=float, default=0.95,
@@ -227,8 +249,9 @@ def main():
                     help="min pipeline best-sweep-point / standalone-CRC "
                          "throughput ratio (default 0.8)")
     ap.add_argument("--small-min-fps", type=float, default=2e6,
-                    help="min frames/sec of the arena-recycled 64 B "
-                         "small-frame stream (default 2e6)")
+                    help="informational floor for the arena-recycled 64 B "
+                         "small-frame stream, frames/sec (default 2e6; a "
+                         "miss WARNs in the step summary, never fails)")
     ap.add_argument("--allow-new", action="store_true",
                     help="report fresh metrics missing from the baseline "
                          "instead of failing on them")
@@ -385,10 +408,11 @@ def main():
                           "{}".format(best_ratio, args.pipeline_min_ratio,
                                       status))
 
-    # Intra-run invariant: the arena-recycled 64 B stream must sustain
-    # the frames/sec floor (absolute — the loop is allocator-bound, not
-    # kernel-bound, so runner speed moves it far less than the MB/s
-    # metrics).
+    # Absolute-rate floor: WARN-only (see the gate policy in the module
+    # docstring — an absolute frames/sec number tracks the runner class,
+    # not just the code, so a miss is surfaced for a human instead of
+    # failing CI). A *missing* metric still fails: that is a dropped
+    # benchmark, not a slow host.
     small_fps = fresh.get("pipeline/small_best_frames_per_s")
     if small_fps is None:
         failures.append("pipeline/small_best_frames_per_s missing from the "
@@ -396,15 +420,35 @@ def main():
     else:
         status = "ok"
         if small_fps < args.small_min_fps:
-            status = "REGRESSED"
-            failures.append(
-                "small-frame stream: {:.3g} frames/s at 64 B (min "
-                "{:.3g})".format(small_fps, args.small_min_fps))
-        print("{:<{w}}  {:>10.3g}/s  (min {:.3g}/s)  {}".format(
+            status = "WARN (below floor; informational on this runner)"
+        print("{:<{w}}  {:>10.3g}/s  (floor {:.3g}/s)  {}".format(
             "64B arena frames/sec", small_fps, args.small_min_fps, status,
             w=width))
-        invariants.append("64 B arena frames/sec: {:.3g}/s (min {:.3g}/s) "
-                          "{}".format(small_fps, args.small_min_fps, status))
+        invariants.append("64 B arena frames/sec: {:.3g}/s (floor "
+                          "{:.3g}/s) {}".format(small_fps,
+                                                args.small_min_fps, status))
+
+    # Offload soak: informational metrics, enforced correctness.
+    if args.offload:
+        off = load(args.offload)
+        print("offload soak ({} conns x depth {}): {} frames, "
+              "{} frames/s, p50 {} us, p99 {} us".format(
+                  off.get("connections", "?"), off.get("depth", "?"),
+                  off.get("frames", "?"), off.get("frames_per_s", "?"),
+                  off.get("p50_us", "?"), off.get("p99_us", "?")))
+        invariants.append(
+            "offload soak: {} conns, {} frames/s, p50 {} us, p99 {} us, "
+            "p99.9 {} us (informational)".format(
+                off.get("connections", "?"), off.get("frames_per_s", "?"),
+                off.get("p50_us", "?"), off.get("p99_us", "?"),
+                off.get("p999_us", "?")))
+        mismatches = int(off.get("mismatches", 0))
+        timeouts = int(off.get("timeouts", 0))
+        if mismatches or timeouts or not off.get("correctness_ok", False):
+            failures.append(
+                "offload soak correctness: {} mismatches, {} timeouts, "
+                "correctness_ok={}".format(mismatches, timeouts,
+                                           off.get("correctness_ok")))
 
     step_summary(load(args.pipeline), invariants)
 

@@ -1,0 +1,449 @@
+// offload_client — load generator and bit-exact verifier for
+// offload_server.
+//
+//   $ ./offload_client --port N [--host 127.0.0.1] [--connections N]
+//                      [--depth N] [--frames N] [--quick] [--json]
+//
+// Opens `connections` concurrent TCP connections (default 1024), keeps
+// `depth` requests pipelined on each, and drives every connection
+// through `frames` requests drawn from a fixed op × frame-size mix
+// (ping/CRC/scramble/FEC-encode/FEC-decode over 0 B .. 64 KiB
+// payloads). Every reply is verified *bit-exactly*: the expected wire
+// bytes are precomputed by running the same OffloadDispatcher the
+// server uses, so a verification pass proves the network path changed
+// nothing. Reports p50/p99/p99.9 submission-to-reply latency,
+// frames/sec and bytes/sec; --json additionally writes
+// BENCH_offload.json. Exit status is nonzero on any mismatch, timeout
+// or connect failure — the CI soak gates on it.
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "offload/dispatch.hpp"
+#include "offload/net.hpp"
+#include "offload/protocol.hpp"
+#include "support/host_threads.hpp"
+#include "support/report.hpp"
+
+using namespace plfsr;
+using namespace plfsr::offload;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// One precomputed request with its golden reply (full wire bytes,
+/// length prefixes included). Shared read-only by every thread.
+struct Template {
+  std::string label;
+  std::vector<std::uint8_t> req;
+  std::vector<std::uint8_t> resp;
+};
+
+std::vector<std::uint8_t> pseudo_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> out(n);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<std::uint8_t>(x);
+  }
+  return out;
+}
+
+Template make_template(const OffloadDispatcher& d, std::string label, Op op,
+                       std::string name, std::uint64_t param,
+                       std::vector<std::uint8_t> payload) {
+  Request req;
+  req.op = op;
+  req.param = param;
+  req.name = std::move(name);
+  req.payload = std::move(payload);
+  const Response golden = d.dispatch(req);
+  if (golden.status != Status::kOk) {
+    std::cerr << "offload_client: template '" << label
+              << "' fails local dispatch: " << status_name(golden.status)
+              << "\n";
+    std::exit(2);
+  }
+  return {std::move(label), encode_request(req), encode_response(golden)};
+}
+
+/// The op × size mix: mostly small control-plane-sized frames, a
+/// line-rate MTU class, and one jumbo per family so the 64 KiB path
+/// stays exercised without dominating memory at 1k connections.
+std::vector<Template> build_templates(const OffloadDispatcher& d) {
+  std::vector<Template> t;
+  t.push_back(make_template(d, "ping/0", Op::kPing, "", 0, {}));
+  t.push_back(make_template(d, "ping/64", Op::kPing, "", 0,
+                            pseudo_bytes(64, 1)));
+  t.push_back(make_template(d, "crc32/64", Op::kCrc, "CRC-32/ETHERNET", 0,
+                            pseudo_bytes(64, 2)));
+  t.push_back(make_template(d, "crc32/1518", Op::kCrc, "CRC-32/ETHERNET", 0,
+                            pseudo_bytes(1518, 3)));
+  t.push_back(make_template(d, "crc32c/65536", Op::kCrc, "CRC-32C", 0,
+                            pseudo_bytes(65536, 4)));
+  t.push_back(make_template(d, "crc16/64", Op::kCrc, "CRC-16/CCITT-FALSE", 0,
+                            pseudo_bytes(64, 5)));
+  t.push_back(make_template(d, "scramble-wifi/64", Op::kScramble,
+                            "802.11 (x7+x4+1)", 0x5B, pseudo_bytes(64, 6)));
+  t.push_back(make_template(d, "scramble-dvb/1518", Op::kScramble,
+                            "DVB (x15+x14+1)", 0x1A5A,
+                            pseudo_bytes(1518, 7)));
+  t.push_back(make_template(d, "rs204-enc/1504", Op::kFecEncode,
+                            "RS(204,188)", 0, pseudo_bytes(1504, 8)));
+  t.push_back(make_template(d, "bch-enc/512", Op::kFecEncode,
+                            "BCH(255,239,t=2)", 0, pseudo_bytes(512, 9)));
+  {
+    // FEC decode with real work: encode locally, flip one byte per
+    // block, let the server correct it. The golden reply's result word
+    // (corrected/failed counts) is part of the bit-exact check.
+    Request enc;
+    enc.op = Op::kFecEncode;
+    enc.name = "RS(204,188)";
+    enc.payload = pseudo_bytes(1504, 10);
+    Response code = d.dispatch(enc);
+    for (std::size_t off = 7; off < code.payload.size(); off += 204)
+      code.payload[off] ^= 0x41;
+    t.push_back(make_template(d, "rs204-dec/1632", Op::kFecDecode,
+                              "RS(204,188)", 0, std::move(code.payload)));
+  }
+  return t;
+}
+
+struct Pending {
+  std::size_t tmpl;
+  Clock::time_point t0;
+};
+
+struct LConn {
+  Socket sock;
+  std::vector<std::uint8_t> out;  // unsent request bytes
+  std::size_t out_off = 0;
+  std::vector<std::uint8_t> in;  // reply accumulation
+  std::deque<Pending> pending;
+  int sent = 0;
+  int recvd = 0;
+  std::size_t next = 0;  // template rotation cursor
+  bool failed = false;
+};
+
+struct ThreadStats {
+  std::vector<double> lat_us;
+  std::uint64_t tx = 0, rx = 0;
+  std::uint64_t mismatches = 0, timeouts = 0, io_errors = 0;
+  std::uint64_t frames = 0;
+};
+
+struct Config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 1024;
+  std::size_t depth = 4;
+  int frames = 64;  // per connection
+  int timeout_ms = 15000;
+  bool json = false;
+};
+
+void run_shard(const Config& cfg, const std::vector<Template>& tmpl,
+               std::size_t first_conn, std::size_t n_conns,
+               ThreadStats& stats) {
+  std::vector<LConn> conns(n_conns);
+  for (std::size_t i = 0; i < n_conns; ++i) {
+    conns[i].sock = connect_tcp(cfg.host, cfg.port, cfg.timeout_ms);
+    if (!conns[i].sock.valid()) {
+      ++stats.io_errors;
+      conns[i].failed = true;
+      continue;
+    }
+    set_nodelay(conns[i].sock.fd(), true);
+    set_nonblocking(conns[i].sock.fd(), true);
+    // Stagger the template rotation so the global mix is uniform at
+    // every instant instead of all connections hitting the jumbo
+    // template in lockstep.
+    conns[i].next = (first_conn + i) % tmpl.size();
+  }
+
+  const auto fill = [&](LConn& c) {
+    while (!c.failed && c.sent < cfg.frames &&
+           c.pending.size() < cfg.depth) {
+      const Template& t = tmpl[c.next];
+      c.next = (c.next + 1) % tmpl.size();
+      c.out.insert(c.out.end(), t.req.begin(), t.req.end());
+      c.pending.push_back(
+          {static_cast<std::size_t>(&t - tmpl.data()), Clock::now()});
+      ++c.sent;
+    }
+  };
+  for (LConn& c : conns) fill(c);
+
+  std::vector<struct pollfd> pfds;
+  std::vector<LConn*> polled;
+  auto last_progress = Clock::now();
+  for (;;) {
+    pfds.clear();
+    polled.clear();
+    std::size_t active = 0;
+    for (LConn& c : conns) {
+      if (c.failed || (c.recvd == cfg.frames && c.pending.empty())) continue;
+      ++active;
+      short ev = 0;
+      if (c.out_off < c.out.size()) ev |= POLLOUT;
+      if (!c.pending.empty()) ev |= POLLIN;
+      if (ev == 0) continue;
+      pfds.push_back({c.sock.fd(), ev, 0});
+      polled.push_back(&c);
+    }
+    if (active == 0) break;
+    if (pfds.empty()) break;  // defensive: active conns must have events
+
+    const int rc = ::poll(pfds.data(), pfds.size(), 250);
+    if (rc < 0 && errno != EINTR) {
+      ++stats.io_errors;
+      break;
+    }
+    const auto now = Clock::now();
+    if (rc <= 0) {
+      if (now - last_progress > std::chrono::milliseconds(cfg.timeout_ms)) {
+        for (LConn* c : polled) stats.timeouts += c->pending.size();
+        break;
+      }
+      continue;
+    }
+    last_progress = now;
+
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      LConn& c = *polled[i];
+      const short re = pfds[i].revents;
+      if (re == 0) continue;
+      if (re & (POLLERR | POLLNVAL)) {
+        ++stats.io_errors;
+        c.failed = true;
+        continue;
+      }
+      if (re & POLLOUT) {
+        while (c.out_off < c.out.size()) {
+          const ssize_t n = ::send(c.sock.fd(), c.out.data() + c.out_off,
+                                   c.out.size() - c.out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            c.out_off += static_cast<std::size_t>(n);
+            stats.tx += static_cast<std::uint64_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          ++stats.io_errors;
+          c.failed = true;
+          break;
+        }
+        if (c.out_off == c.out.size()) {
+          c.out.clear();
+          c.out_off = 0;
+        }
+      }
+      if (c.failed || (re & POLLIN) == 0) continue;
+      std::uint8_t buf[8192];
+      for (;;) {
+        const ssize_t n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+        if (n > 0) {
+          stats.rx += static_cast<std::uint64_t>(n);
+          c.in.insert(c.in.end(), buf, buf + n);
+          continue;
+        }
+        if (n == 0) {
+          // Early EOF with replies outstanding is a server fault.
+          if (!c.pending.empty()) ++stats.io_errors;
+          c.failed = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        ++stats.io_errors;
+        c.failed = true;
+        break;
+      }
+      // Peel complete replies off the front of the accumulator.
+      std::size_t off = 0;
+      while (!c.failed && c.in.size() - off >= kLenBytes) {
+        const std::uint32_t blen =
+            static_cast<std::uint32_t>(c.in[off]) |
+            (static_cast<std::uint32_t>(c.in[off + 1]) << 8) |
+            (static_cast<std::uint32_t>(c.in[off + 2]) << 16) |
+            (static_cast<std::uint32_t>(c.in[off + 3]) << 24);
+        if (c.in.size() - off < kLenBytes + blen) break;
+        if (c.pending.empty()) {
+          ++stats.mismatches;  // unsolicited reply
+          c.failed = true;
+          break;
+        }
+        const Pending p = c.pending.front();
+        c.pending.pop_front();
+        const std::vector<std::uint8_t>& want = tmpl[p.tmpl].resp;
+        const std::size_t got_len = kLenBytes + blen;
+        if (got_len != want.size() ||
+            std::memcmp(c.in.data() + off, want.data(), want.size()) != 0)
+          ++stats.mismatches;
+        stats.lat_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - p.t0)
+                .count());
+        ++stats.frames;
+        ++c.recvd;
+        off += got_len;
+      }
+      if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
+      fill(c);
+    }
+  }
+
+  // Anything still unanswered when the loop exits is a timeout/failure.
+  for (LConn& c : conns)
+    if (!c.failed) stats.timeouts += c.pending.size();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(q * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> long {
+      return i + 1 < argc ? std::atol(argv[++i]) : 0;
+    };
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc)
+      cfg.host = argv[++i];
+    else if (std::strcmp(argv[i], "--port") == 0)
+      cfg.port = static_cast<std::uint16_t>(next());
+    else if (std::strcmp(argv[i], "--connections") == 0)
+      cfg.connections = static_cast<std::size_t>(next());
+    else if (std::strcmp(argv[i], "--depth") == 0)
+      cfg.depth = static_cast<std::size_t>(next());
+    else if (std::strcmp(argv[i], "--frames") == 0)
+      cfg.frames = static_cast<int>(next());
+    else if (std::strcmp(argv[i], "--timeout-ms") == 0)
+      cfg.timeout_ms = static_cast<int>(next());
+    else if (std::strcmp(argv[i], "--quick") == 0)
+      cfg.frames = 12;
+    else if (std::strcmp(argv[i], "--json") == 0)
+      cfg.json = true;
+    else {
+      std::cerr << "usage: offload_client --port N [--host H] "
+                   "[--connections N] [--depth N] [--frames N] "
+                   "[--timeout-ms N] [--quick] [--json]\n";
+      return 2;
+    }
+  }
+  if (cfg.port == 0) {
+    std::cerr << "offload_client: --port is required\n";
+    return 2;
+  }
+
+  // One fd per connection plus headroom; soft limits commonly sit at
+  // 1024, below the default 1024-connection soak.
+  struct rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 &&
+      rl.rlim_cur < cfg.connections + 64) {
+    rl.rlim_cur = rl.rlim_max < cfg.connections + 64
+                      ? rl.rlim_max
+                      : static_cast<rlim_t>(cfg.connections + 64);
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+
+  const OffloadDispatcher dispatcher;
+  const std::vector<Template> templates = build_templates(dispatcher);
+
+  const std::size_t n_threads =
+      std::min<std::size_t>(std::max<std::size_t>(host_threads(), 1), 8);
+  std::vector<ThreadStats> stats(n_threads);
+  std::vector<std::thread> threads;
+  std::cout << "offload_client: " << cfg.connections << " connections x "
+            << cfg.depth << " in flight x " << cfg.frames
+            << " frames each, " << templates.size() << " templates, "
+            << n_threads << " threads\n";
+
+  const auto t0 = Clock::now();
+  std::size_t first = 0;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    const std::size_t n =
+        cfg.connections / n_threads + (t < cfg.connections % n_threads);
+    threads.emplace_back(run_shard, std::cref(cfg), std::cref(templates),
+                         first, n, std::ref(stats[t]));
+    first += n;
+  }
+  for (std::thread& th : threads) th.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ThreadStats total;
+  for (const ThreadStats& s : stats) {
+    total.lat_us.insert(total.lat_us.end(), s.lat_us.begin(),
+                        s.lat_us.end());
+    total.tx += s.tx;
+    total.rx += s.rx;
+    total.mismatches += s.mismatches;
+    total.timeouts += s.timeouts;
+    total.io_errors += s.io_errors;
+    total.frames += s.frames;
+  }
+  std::sort(total.lat_us.begin(), total.lat_us.end());
+  const double p50 = percentile(total.lat_us, 0.50);
+  const double p99 = percentile(total.lat_us, 0.99);
+  const double p999 = percentile(total.lat_us, 0.999);
+  const double fps = secs > 0 ? total.frames / secs : 0;
+  const double mbps = secs > 0 ? (total.tx + total.rx) / secs / 1e6 : 0;
+
+  ReportTable table({"metric", "value"});
+  table.add_row({"connections", std::to_string(cfg.connections)});
+  table.add_row({"in-flight depth", std::to_string(cfg.depth)});
+  table.add_row({"frames verified", std::to_string(total.frames)});
+  table.add_row({"frames/s", ReportTable::num(fps, 0)});
+  table.add_row({"MB/s (tx+rx)", ReportTable::num(mbps, 1)});
+  table.add_row({"p50 latency (us)", ReportTable::num(p50, 0)});
+  table.add_row({"p99 latency (us)", ReportTable::num(p99, 0)});
+  table.add_row({"p99.9 latency (us)", ReportTable::num(p999, 0)});
+  table.add_row({"mismatches", std::to_string(total.mismatches)});
+  table.add_row({"timeouts", std::to_string(total.timeouts)});
+  table.add_row({"io errors", std::to_string(total.io_errors)});
+  table.print(std::cout);
+
+  const bool ok = total.mismatches == 0 && total.timeouts == 0 &&
+                  total.io_errors == 0 &&
+                  total.frames ==
+                      static_cast<std::uint64_t>(cfg.frames) *
+                          cfg.connections;
+  std::cout << (ok ? "every reply bit-exact\n"
+                   : "FAILED: mismatched/missing replies\n");
+
+  if (cfg.json) {
+    std::ofstream out("BENCH_offload.json");
+    out << "{\n  \"bench\": \"offload\",\n  \"connections\": "
+        << cfg.connections << ",\n  \"depth\": " << cfg.depth
+        << ",\n  \"frames\": " << total.frames
+        << ",\n  \"frames_per_s\": " << ReportTable::num(fps, 0)
+        << ",\n  \"mb_per_s\": " << ReportTable::num(mbps, 1)
+        << ",\n  \"p50_us\": " << ReportTable::num(p50, 0)
+        << ",\n  \"p99_us\": " << ReportTable::num(p99, 0)
+        << ",\n  \"p999_us\": " << ReportTable::num(p999, 0)
+        << ",\n  \"mismatches\": " << total.mismatches
+        << ",\n  \"timeouts\": " << total.timeouts
+        << ",\n  \"correctness_ok\": " << (ok ? "true" : "false")
+        << "\n}\n";
+    std::cout << "wrote BENCH_offload.json\n";
+  }
+  return ok ? 0 : 1;
+}

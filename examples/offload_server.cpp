@@ -1,0 +1,91 @@
+// offload_server — the LFSR offload service as a standalone daemon.
+//
+//   $ ./offload_server [--port N] [--workers N] [--max-frame BYTES] [--list]
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral) and prints
+// "listening on port <N>" on stdout — the CI soak and the load client
+// parse that line to find an ephemeral port. SIGTERM/SIGINT trigger a
+// graceful drain: the listener closes, every frame already received is
+// answered, then the process exits 0 with a stats line.
+#include <signal.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "offload/server.hpp"
+#include "support/host_threads.hpp"
+
+using namespace plfsr;
+using namespace plfsr::offload;
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> long {
+      return i + 1 < argc ? std::atol(argv[++i]) : 0;
+    };
+    if (std::strcmp(argv[i], "--port") == 0)
+      opts.port = static_cast<std::uint16_t>(next());
+    else if (std::strcmp(argv[i], "--workers") == 0)
+      opts.workers = static_cast<std::size_t>(next());
+    else if (std::strcmp(argv[i], "--max-frame") == 0)
+      opts.max_frame = static_cast<std::size_t>(next());
+    else if (std::strcmp(argv[i], "--list") == 0)
+      list = true;
+    else {
+      std::cerr << "usage: offload_server [--port N] [--workers N] "
+                   "[--max-frame BYTES] [--list]\n";
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals in every thread *before* any is spawned;
+  // a dedicated watcher thread then collects them with sigwait and runs
+  // the (not async-signal-safe) drain from ordinary thread context.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  OffloadServer server(opts);
+  if (list) {
+    const OffloadDispatcher& d = server.dispatcher();
+    std::cout << "crc specs:\n";
+    for (const std::string& n : d.crc_names()) std::cout << "  " << n << "\n";
+    std::cout << "scrambler polynomials:\n";
+    for (const std::string& n : d.scrambler_names())
+      std::cout << "  " << n << "\n";
+    std::cout << "fec codes:\n";
+    for (const std::string& n : d.fec_names()) std::cout << "  " << n << "\n";
+    return 0;
+  }
+  if (!server.start()) {
+    std::cerr << "offload_server: cannot bind 127.0.0.1:" << opts.port
+              << "\n";
+    return 1;
+  }
+  std::cout << "listening on port " << server.port() << "\n" << std::flush;
+  std::cout << "workers: "
+            << (opts.workers == 0 ? host_threads() : opts.workers)
+            << ", max frame: " << opts.max_frame << " bytes\n"
+            << std::flush;
+
+  std::thread watcher([&] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::cout << "caught " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+              << ", draining\n"
+              << std::flush;
+    server.stop();
+  });
+  watcher.join();
+
+  std::cout << "served " << server.frames_served() << " frames ("
+            << server.error_replies() << " error replies) on "
+            << server.connections_accepted() << " connections\n";
+  return 0;
+}

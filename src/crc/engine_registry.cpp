@@ -266,6 +266,37 @@ CrcEngineHandle EngineRegistry::best_for(const CrcSpec& spec) const {
   return best->make(spec);
 }
 
+std::string EngineRegistry::best_name_for(const CrcSpec& spec) const {
+  const std::string forced = engine_override();
+  if (!forced.empty()) {
+    const EngineInfo* e = find(forced);
+    if (e == nullptr) {
+      std::string known;
+      for (const EngineInfo& k : entries_)
+        known += (known.empty() ? "" : ", ") + k.name;
+      throw std::invalid_argument("EngineRegistry: unknown engine '" +
+                                  forced + "' (known: " + known + ")");
+    }
+    if (!e->available())
+      throw std::runtime_error("EngineRegistry: PLFSR_ENGINE=" + forced +
+                               " is not available on this host (capability "
+                               "gate failed)");
+    if (!e->supports(spec))
+      throw std::runtime_error("EngineRegistry: engine '" + forced +
+                               "' does not support spec " + spec.name);
+    return forced;
+  }
+  const EngineInfo* best = nullptr;
+  for (const EngineInfo& e : entries_)
+    if ((best == nullptr || e.preference > best->preference) &&
+        e.available() && e.supports(spec))
+      best = &e;
+  if (best == nullptr)
+    throw std::runtime_error(
+        "EngineRegistry: no available engine supports spec " + spec.name);
+  return best->name;
+}
+
 std::string engine_override() {
   const char* v = std::getenv("PLFSR_ENGINE");
   return v == nullptr ? std::string() : std::string(v);

@@ -105,6 +105,13 @@ class EngineRegistry {
   /// and "table" support everything and are always available).
   CrcEngineHandle best_for(const CrcSpec& spec) const;
 
+  /// The name best_for() would pick for `spec`, without constructing the
+  /// engine — same override/policy/error behaviour. This is what lets a
+  /// long-lived service combine the policy with make_cached():
+  /// `make_cached(best_name_for(spec), spec)` resolves the policy per
+  /// call (so env flips are honoured) but builds each engine once.
+  std::string best_name_for(const CrcSpec& spec) const;
+
  private:
   std::vector<EngineInfo> entries_;
   mutable std::mutex cache_mu_;

@@ -1,0 +1,159 @@
+#include "offload/dispatch.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "crc/engine.hpp"
+#include "crc/engine_registry.hpp"
+#include "fec/parallel_fec.hpp"
+#include "lfsr/catalog.hpp"
+#include "scrambler/block_scrambler.hpp"
+
+namespace plfsr::offload {
+
+OffloadDispatcher::OffloadDispatcher() {
+  for (const CrcSpec& s : crcspec::all()) crc_specs_.emplace(s.name, s);
+  for (const catalog::NamedPoly& p : catalog::all_scrambler_polys())
+    scrambler_polys_.emplace(p.name, p.poly);
+  for (const FecSpec& s : fec::all_fec_specs())
+    fec_specs_.emplace(s.name(), s);
+}
+
+namespace {
+
+template <typename Map>
+std::vector<std::string> keys_of(const Map& m) {
+  std::vector<std::string> out;
+  out.reserve(m.size());
+  for (const auto& [k, v] : m) out.push_back(k);
+  return out;  // std::map iterates sorted
+}
+
+Response error_reply(const Request& req, Status status) {
+  Response r;
+  r.status = status;
+  r.op = req.op;
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> OffloadDispatcher::crc_names() const {
+  return keys_of(crc_specs_);
+}
+std::vector<std::string> OffloadDispatcher::scrambler_names() const {
+  return keys_of(scrambler_polys_);
+}
+std::vector<std::string> OffloadDispatcher::fec_names() const {
+  return keys_of(fec_specs_);
+}
+
+Response OffloadDispatcher::dispatch(const Request& req) const {
+  try {
+    switch (req.op) {
+      case Op::kPing: {
+        Response r;
+        r.op = Op::kPing;
+        r.result = req.payload.size();
+        r.payload = req.payload;
+        return r;
+      }
+      case Op::kCrc:
+        return do_crc(req);
+      case Op::kScramble:
+        return do_scramble(req);
+      case Op::kFecEncode:
+        return do_fec(req, /*encode=*/true);
+      case Op::kFecDecode:
+        return do_fec(req, /*encode=*/false);
+    }
+    return error_reply(req, Status::kUnknownOp);
+  } catch (const std::invalid_argument&) {
+    // The compute layer vetoed the inputs (bad sizes, zero seed, ...):
+    // the client's fault, not ours.
+    return error_reply(req, Status::kBadPayload);
+  } catch (const std::exception&) {
+    return error_reply(req, Status::kInternal);
+  }
+}
+
+Response OffloadDispatcher::do_crc(const Request& req) const {
+  const auto it = crc_specs_.find(req.name);
+  if (it == crc_specs_.end()) return error_reply(req, Status::kUnknownName);
+  const EngineRegistry& reg = EngineRegistry::instance();
+  const CrcEngineHandle engine =
+      reg.make_cached(reg.best_name_for(it->second), it->second);
+  Response r;
+  r.op = Op::kCrc;
+  r.result = engine.compute(req.payload);
+  return r;
+}
+
+Response OffloadDispatcher::do_scramble(const Request& req) const {
+  const auto it = scrambler_polys_.find(req.name);
+  if (it == scrambler_polys_.end())
+    return error_reply(req, Status::kUnknownName);
+  if (req.param == 0) return error_reply(req, Status::kBadPayload);
+  // Stateful engines cannot be shared across workers; one per thread per
+  // generator, re-aimed with reseed() (cheap — the per-bit mask tables
+  // depend only on the generator, not the seed).
+  thread_local std::map<std::string, BlockScrambler> engines;
+  auto eng = engines.find(req.name);
+  if (eng == engines.end())
+    eng = engines
+              .emplace(req.name, BlockScrambler(it->second,
+                                                /*seed=*/req.param))
+              .first;
+  // reseed throws std::invalid_argument when the seed's in-register bits
+  // are all zero — dispatch() maps that to kBadPayload.
+  eng->second.reseed(req.param);
+  Response r;
+  r.op = Op::kScramble;
+  r.payload = req.payload;
+  eng->second.process(r.payload);
+  return r;
+}
+
+FecCodecHandle OffloadDispatcher::fec_codec(const std::string& name,
+                                            const FecSpec& spec) const {
+  {
+    std::lock_guard<std::mutex> lock(fec_mu_);
+    const auto it = fec_cache_.find(name);
+    if (it != fec_cache_.end()) return it->second;
+  }
+  // Construct outside the lock: codec construction precomputes field
+  // tables and must not serialize other workers (nor poison the cache
+  // when best_for throws).
+  FecCodecHandle codec = FecRegistry::instance().best_for(spec);
+  std::lock_guard<std::mutex> lock(fec_mu_);
+  return fec_cache_.try_emplace(name, std::move(codec)).first->second;
+}
+
+Response OffloadDispatcher::do_fec(const Request& req, bool encode) const {
+  const auto it = fec_specs_.find(req.name);
+  if (it == fec_specs_.end()) return error_reply(req, Status::kUnknownName);
+  const FecCodecHandle codec = fec_codec(req.name, it->second);
+  // Serial ParallelFec: concurrency comes from the server's worker pool
+  // (one worker per in-flight request), not from splitting one request.
+  const ParallelFec fec(codec, 1);
+  Response r;
+  r.op = encode ? Op::kFecEncode : Op::kFecDecode;
+  if (encode) {
+    r.payload.resize(fec_encoded_size(*codec, req.payload.size()));
+    const ParallelFecResult res = fec.encode(req.payload, r.payload);
+    r.result = res.blocks;
+    return r;
+  }
+  // fec_decoded_size throws std::invalid_argument on a length no encode
+  // could have produced -> kBadPayload via dispatch(). A block beyond
+  // the correction radius is *data*, not an error: the reply stays kOk
+  // and the failure shows up in the result word.
+  r.payload.resize(fec_decoded_size(*codec, req.payload.size()));
+  const ParallelFecResult res = fec.decode(req.payload, r.payload);
+  r.result = make_fec_result(res.corrected_errors + res.corrected_erasures,
+                             res.failed_blocks);
+  return r;
+}
+
+}  // namespace plfsr::offload

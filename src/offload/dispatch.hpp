@@ -1,0 +1,71 @@
+// Request dispatcher of the offload service: the bridge from protocol
+// frames to the repo's compute registries. One dispatcher instance is
+// shared by every server worker (and by the load client, which runs the
+// same dispatch locally to produce golden replies for bit-exact
+// verification — the server and its verifier share one code path by
+// construction).
+//
+// Name resolution is catalogue-driven: the spec name carried in a
+// request is looked up in tables built once from crcspec::all(),
+// catalog::all_scrambler_polys() and fec::all_fec_specs(), so every
+// spec the repo's registries audit is reachable over the wire and
+// nothing else is (unknown names are an error reply, kUnknownName).
+//
+// Engine reuse policy, per op family:
+//  - CRC: EngineRegistry::make_cached(best_name_for(spec), spec) — the
+//    registry memoizes construction; engines are immutable and shared
+//    across all workers. PLFSR_ENGINE is honoured per request.
+//  - FEC: codecs are immutable (FecCodecHandle = shared_ptr<const>),
+//    so one mutex-guarded name-keyed cache serves every worker. The
+//    PLFSR_FEC_ENGINE override is read on first use of each name.
+//  - Scramble: BlockScrambler is *stateful* (seek/process mutate it),
+//    so instances are cached per worker thread (thread_local, keyed by
+//    poly name — the mask precomputation depends only on the
+//    generator; reseed(seed) re-keys it per request for free).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "crc/crc_spec.hpp"
+#include "fec/fec_codec.hpp"
+#include "fec/fec_registry.hpp"
+#include "gf2/gf2_poly.hpp"
+#include "offload/protocol.hpp"
+
+namespace plfsr::offload {
+
+class OffloadDispatcher {
+ public:
+  /// Builds the name tables from the repo catalogues.
+  OffloadDispatcher();
+
+  /// Execute one decoded request and produce its reply. Thread-safe;
+  /// never throws — internal failures become kInternal error replies.
+  Response dispatch(const Request& req) const;
+
+  /// The names dispatch() accepts per op family (sorted), for --list
+  /// output and the protocol tests.
+  std::vector<std::string> crc_names() const;
+  std::vector<std::string> scrambler_names() const;
+  std::vector<std::string> fec_names() const;
+
+ private:
+  Response do_crc(const Request& req) const;
+  Response do_scramble(const Request& req) const;
+  Response do_fec(const Request& req, bool encode) const;
+
+  /// Shared FEC codec for `name` (built on first use, then cached).
+  FecCodecHandle fec_codec(const std::string& name, const FecSpec& spec) const;
+
+  std::map<std::string, CrcSpec> crc_specs_;
+  std::map<std::string, Gf2Poly> scrambler_polys_;
+  std::map<std::string, FecSpec> fec_specs_;
+
+  mutable std::mutex fec_mu_;
+  mutable std::map<std::string, FecCodecHandle> fec_cache_;
+};
+
+}  // namespace plfsr::offload

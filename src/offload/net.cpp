@@ -1,0 +1,202 @@
+#include "offload/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace plfsr::offload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Absolute deadline for a whole transfer; max() = no deadline.
+Clock::time_point deadline_from(int timeout_ms) {
+  if (timeout_ms <= 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+/// Milliseconds left before `deadline` (>= 0), or -1 for "forever".
+int ms_left(Clock::time_point deadline) {
+  if (deadline == Clock::time_point::max()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() < 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// Park `fd` until readable/writable or the deadline passes. Returns
+/// kOk to retry the transfer, kTimeout, or kError.
+IoResult wait_for(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const int left = ms_left(deadline);
+    if (left == 0) return IoResult::kTimeout;
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, left);
+    if (rc > 0) return IoResult::kOk;  // ready (or error — surfaces in io)
+    if (rc == 0) return IoResult::kTimeout;
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+}
+
+}  // namespace
+
+IoResult read_full(int fd, void* buf, std::size_t n, int timeout_ms) {
+  const auto deadline = deadline_from(timeout_ms);
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::recv(fd, p + done, n - done, 0);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const IoResult w = wait_for(fd, POLLIN, deadline);
+      if (w != IoResult::kOk) return w;
+      continue;
+    }
+    return IoResult::kError;
+  }
+  return IoResult::kOk;
+}
+
+IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms) {
+  const auto deadline = deadline_from(timeout_ms);
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoResult w = wait_for(fd, POLLOUT, deadline);
+      if (w != IoResult::kOk) return w;
+      continue;
+    }
+    return IoResult::kError;  // includes EPIPE: peer is gone
+  }
+  return IoResult::kOk;
+}
+
+IoResult discard_full(int fd, std::uint64_t n, int timeout_ms) {
+  std::uint8_t bin[4096];
+  const auto deadline = deadline_from(timeout_ms);
+  while (n > 0) {
+    const std::size_t chunk =
+        n < sizeof(bin) ? static_cast<std::size_t>(n) : sizeof(bin);
+    // Reuse the partial-read loop with the *remaining* deadline so the
+    // whole discard shares one budget.
+    const IoResult r = read_full(fd, bin, chunk, ms_left(deadline));
+    if (r != IoResult::kOk) return r;
+    n -= chunk;
+  }
+  return IoResult::kOk;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::reset() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) return {};
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return {};
+  if (::listen(s.fd(), backlog) != 0) return {};
+  return s;
+}
+
+std::uint16_t local_port(int fd) {
+  struct sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) return {};
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return {};
+  // Nonblocking connect + poll: a blocking connect() ignores deadlines.
+  if (!set_nonblocking(s.fd(), true)) return {};
+  const auto deadline = deadline_from(timeout_ms);
+  int rc;
+  do {
+    rc = ::connect(s.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return {};
+    if (wait_for(s.fd(), POLLOUT, deadline) != IoResult::kOk) return {};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0)
+      return {};
+  }
+  if (!set_nonblocking(s.fd(), false)) return {};
+  return s;
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+bool set_nodelay(int fd, bool on) {
+  const int v = on ? 1 : 0;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) == 0;
+}
+
+}  // namespace plfsr::offload

@@ -1,0 +1,81 @@
+// Minimal POSIX TCP plumbing for the offload service — the part every
+// hand-rolled server gets subtly wrong, kept in one audited place:
+//
+//  - read_full/write_full/discard_full run *partial*-transfer loops:
+//    short reads and writes are resumed, EINTR restarts the call, and
+//    EAGAIN parks the fd on poll() until the deadline runs out — so the
+//    callers above (server worker, load client) reason in whole frames
+//    only.
+//  - Deadlines are absolute: `timeout_ms` bounds the whole transfer, not
+//    each syscall, so a byte-at-a-time peer cannot hold a worker
+//    hostage (<= 0 means no deadline).
+//  - SIGPIPE is disabled per send (MSG_NOSIGNAL); a vanished peer is a
+//    return code, never a process kill.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace plfsr::offload {
+
+/// Outcome of a full-transfer loop.
+enum class IoResult {
+  kOk,       ///< all n bytes moved
+  kEof,      ///< peer closed before n bytes (reads only)
+  kTimeout,  ///< deadline expired mid-transfer
+  kError,    ///< hard socket error (errno-level)
+};
+
+/// Read exactly `n` bytes into `buf`; blocking with deadline, EINTR- and
+/// partial-read-safe. Works on blocking and nonblocking fds alike.
+IoResult read_full(int fd, void* buf, std::size_t n, int timeout_ms);
+
+/// Write exactly `n` bytes from `buf` under the same rules.
+IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms);
+
+/// Read and throw away exactly `n` bytes — how a server skips an
+/// over-cap frame body while keeping the stream's framing in sync.
+IoResult discard_full(int fd, std::uint64_t n, int timeout_ms);
+
+/// Owning fd wrapper (move-only; closes on destruction, EINTR-safe).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();   ///< give up ownership
+  void reset();    ///< close now (idempotent)
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 socket on 127.0.0.1:`port` (0 = ephemeral; read the
+/// outcome back with local_port). SO_REUSEADDR set. Invalid Socket plus
+/// errno on failure.
+Socket listen_tcp(std::uint16_t port, int backlog);
+
+/// The port a bound socket actually listens on (0 on error).
+std::uint16_t local_port(int fd);
+
+/// Blocking-connect with deadline to `host`:`port` (numeric IPv4 only —
+/// the loopback/lab addresses this service targets). Invalid on failure.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms);
+
+/// O_NONBLOCK on/off; false on fcntl failure.
+bool set_nonblocking(int fd, bool nonblocking);
+
+/// TCP_NODELAY on/off (the request/reply pattern is latency-bound; Nagle
+/// only adds 40 ms cliffs); false on failure.
+bool set_nodelay(int fd, bool on);
+
+}  // namespace plfsr::offload

@@ -1,0 +1,124 @@
+#include "offload/protocol.hpp"
+
+namespace plfsr::offload {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& req) {
+  const std::size_t body =
+      kFixedBodyBytes + req.name.size() + req.payload.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kLenBytes + body);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  out.push_back(static_cast<std::uint8_t>(req.op));
+  out.push_back(static_cast<std::uint8_t>(req.name.size()));
+  put_u16(out, req.flags);
+  put_u64(out, req.param);
+  out.insert(out.end(), req.name.begin(), req.name.end());
+  out.insert(out.end(), req.payload.begin(), req.payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  const std::size_t body = kFixedBodyBytes + resp.payload.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(kLenBytes + body);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  out.push_back(static_cast<std::uint8_t>(resp.status));
+  out.push_back(static_cast<std::uint8_t>(resp.op));
+  put_u16(out, 0);
+  put_u64(out, resp.result);
+  out.insert(out.end(), resp.payload.begin(), resp.payload.end());
+  return out;
+}
+
+Status decode_request_body(std::span<const std::uint8_t> body, Request& out) {
+  out = Request{};
+  if (!body.empty()) out.op = static_cast<Op>(body[0]);  // best-effort echo
+  if (body.size() < kFixedBodyBytes) return Status::kBadFrame;
+  const std::uint8_t op = body[0];
+  const std::size_t name_len = body[1];
+  out.flags = get_u16(body.data() + 2);
+  out.param = get_u64(body.data() + 4);
+  if (op > static_cast<std::uint8_t>(Op::kFecDecode))
+    return Status::kUnknownOp;
+  // Reserved bits must round-trip as zero so they can ever mean
+  // something: a client setting them speaks a future dialect.
+  if (out.flags != 0) return Status::kBadFrame;
+  // The name must fit inside the body the length prefix declared — a
+  // name_len pointing past the end is the classic truncated/corrupt
+  // header shape.
+  if (kFixedBodyBytes + name_len > body.size()) return Status::kBadFrame;
+  out.op = static_cast<Op>(op);
+  out.name.assign(body.begin() + kFixedBodyBytes,
+                  body.begin() + kFixedBodyBytes + name_len);
+  out.payload.assign(body.begin() + kFixedBodyBytes + name_len, body.end());
+  return Status::kOk;
+}
+
+bool decode_response_body(std::span<const std::uint8_t> body, Response& out) {
+  if (body.size() < kFixedBodyBytes) return false;
+  out.status = static_cast<Status>(body[0]);
+  out.op = static_cast<Op>(body[1]);
+  out.result = get_u64(body.data() + 4);
+  out.payload.assign(body.begin() + kFixedBodyBytes, body.end());
+  return true;
+}
+
+std::uint64_t make_fec_result(std::uint64_t corrected,
+                              std::uint64_t failed_blocks) {
+  if (corrected > 0xFFFFFFFFull) corrected = 0xFFFFFFFFull;
+  if (failed_blocks > 0xFFFFull) failed_blocks = 0xFFFFull;
+  return corrected | (failed_blocks << 32);
+}
+
+std::uint32_t fec_result_corrected(std::uint64_t result) {
+  return static_cast<std::uint32_t>(result);
+}
+
+std::uint16_t fec_result_failed_blocks(std::uint64_t result) {
+  return static_cast<std::uint16_t>(result >> 32);
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadFrame: return "bad-frame";
+    case Status::kFrameTooLarge: return "frame-too-large";
+    case Status::kUnknownOp: return "unknown-op";
+    case Status::kUnknownName: return "unknown-name";
+    case Status::kBadPayload: return "bad-payload";
+    case Status::kInternal: return "internal-error";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "unknown-status";
+}
+
+}  // namespace plfsr::offload

@@ -1,0 +1,126 @@
+// Wire protocol of the LFSR offload service.
+//
+// The paper's PiCoGA is an *offload engine*: the processor hands a block
+// of bytes across a boundary, the array runs the LFSR-heavy loop at line
+// rate, and a result comes back. This header is that boundary as a wire
+// format — a length-prefixed binary frame carrying one operation (CRC,
+// scramble, FEC encode/decode) over one payload, the byte-block
+// transport geometry of Tsaban–Vishne's word-oriented LFSR framing: the
+// unit of exchange is a block of bytes, never a bit stream.
+//
+// Request frame (all integers little-endian):
+//
+//   u32  body_len            bytes after this field; bounded by the
+//                            server's max-frame cap
+//   u8   op                  Op below
+//   u8   name_len            length of the spec name that follows
+//   u16  flags               reserved, must be 0
+//   u64  param               op-specific (scramble: the LFSR seed)
+//   ...  name                name_len bytes, a catalogue spec name —
+//                            "CRC-32/ETHERNET", "802.11 (x7+x4+1)",
+//                            "RS(204,188)", ... (what the dispatcher's
+//                            name tables list)
+//   ...  payload             body_len - 12 - name_len bytes
+//
+// Response frame:
+//
+//   u32  body_len
+//   u8   status              Status below (kOk or the error class)
+//   u8   op                  echo of the request op
+//   u16  reserved            0
+//   u64  result              op-specific: CRC value; FEC decode's
+//                            corrected/failed counts (see result_*
+//                            helpers); payload size for ping
+//   ...  payload             scramble/FEC: the transformed bytes;
+//                            CRC: empty; error replies: empty
+//
+// Error handling is part of the protocol, not an afterthought: every
+// malformed body (short header, inconsistent name_len, nonzero reserved
+// flags, unknown op or name, a payload the op cannot accept) produces an
+// *error reply* on the same connection, which stays usable — the server
+// never answers garbage with a disconnect. The sole transport-level
+// escape is a frame larger than the negotiated cap, which the server
+// drains and refuses with kFrameTooLarge, keeping the stream in sync.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plfsr::offload {
+
+/// Operation selector of a request frame.
+enum class Op : std::uint8_t {
+  kPing = 0,       ///< echo the payload (liveness / latency floor)
+  kCrc = 1,        ///< result = CRC of payload under the named spec
+  kScramble = 2,   ///< payload XOR keystream(name, seed=param) from bit 0
+  kFecEncode = 3,  ///< payload -> blocks of data||parity (named FEC spec)
+  kFecDecode = 4,  ///< inverse of kFecEncode; corrects in flight
+};
+
+/// Reply status. kOk carries results; everything else is an error reply
+/// with an empty payload.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadFrame = 1,       ///< body too short / inconsistent / reserved bits set
+  kFrameTooLarge = 2,  ///< declared body_len exceeds the server's cap
+  kUnknownOp = 3,      ///< op byte outside the table above
+  kUnknownName = 4,    ///< spec name not in the dispatcher's catalogue
+  kBadPayload = 5,     ///< payload invalid for the op (e.g. not an encoded
+                       ///< length for kFecDecode, zero scramble seed)
+  kInternal = 6,       ///< server-side failure; connection stays up
+  kShuttingDown = 7,   ///< server is draining; retry elsewhere
+};
+
+/// Bytes of the leading length prefix.
+inline constexpr std::size_t kLenBytes = 4;
+/// Fixed request/response body bytes before name/payload.
+inline constexpr std::size_t kFixedBodyBytes = 12;
+/// Default max body_len a server accepts (1 MiB + protocol overhead —
+/// comfortably above the 64 KiB jumbo-payload class the benches sweep).
+inline constexpr std::size_t kDefaultMaxFrame = (1u << 20) + 512;
+
+/// One decoded request.
+struct Request {
+  Op op = Op::kPing;
+  std::uint16_t flags = 0;
+  std::uint64_t param = 0;
+  std::string name;
+  std::vector<std::uint8_t> payload;
+};
+
+/// One decoded response.
+struct Response {
+  Status status = Status::kOk;
+  Op op = Op::kPing;
+  std::uint64_t result = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize (length prefix included).
+std::vector<std::uint8_t> encode_request(const Request& req);
+std::vector<std::uint8_t> encode_response(const Response& resp);
+
+/// Parse a request *body* (the bytes after the length prefix; the
+/// transport already enforced the cap and read exactly body_len bytes).
+/// Returns kOk and fills `out`, or the error Status describing why the
+/// body is unusable (`out` then holds at least the op byte when one was
+/// readable, so the error reply can echo it).
+Status decode_request_body(std::span<const std::uint8_t> body, Request& out);
+
+/// Parse a response body. False when structurally invalid.
+bool decode_response_body(std::span<const std::uint8_t> body, Response& out);
+
+/// FEC-decode result word: corrected symbol/bit count in the low 32
+/// bits, failed (beyond-radius) block count in the next 16.
+std::uint64_t make_fec_result(std::uint64_t corrected,
+                              std::uint64_t failed_blocks);
+std::uint32_t fec_result_corrected(std::uint64_t result);
+std::uint16_t fec_result_failed_blocks(std::uint64_t result);
+
+/// Stable display name of a status ("ok", "bad-frame", ...).
+const char* status_name(Status s);
+
+}  // namespace plfsr::offload

@@ -1,0 +1,350 @@
+#include "offload/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/host_threads.hpp"
+#include "support/thread_pool.hpp"
+
+namespace plfsr::offload {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-connection state. Owned by the event thread; while `busy` a pool
+/// worker additionally touches the socket (reply write) and `broken` —
+/// the connection is out of the poll set for that whole window, so the
+/// two threads never race on the read-side fields.
+struct OffloadServer::Conn {
+  Socket sock;
+  std::vector<std::uint8_t> hdr;   // partial length prefix (< 4 bytes)
+  std::vector<std::uint8_t> body;  // partial body
+  std::uint32_t body_len = 0;
+  bool have_len = false;
+  std::uint64_t discard_left = 0;  // > 0: draining an over-cap body
+  std::uint8_t discard_op = 0;     // first drained byte = op (echo)
+  bool discard_op_set = false;
+  bool busy = false;
+  std::atomic<bool> broken{false};  // worker-side write failure
+  Clock::time_point last_rx = Clock::now();
+
+  bool mid_frame() const {
+    return have_len || !hdr.empty() || discard_left > 0;
+  }
+  void reset_frame() {
+    hdr.clear();
+    body.clear();
+    body_len = 0;
+    have_len = false;
+    discard_left = 0;
+    discard_op_set = false;
+  }
+};
+
+struct OffloadServer::Impl {
+  Socket listener;
+  int wake_rd = -1;  // self-pipe: workers wake the event thread
+  int wake_wr = -1;
+  std::map<int, std::unique_ptr<Conn>> conns;  // keyed by fd
+  std::mutex rearm_mu;
+  std::deque<Conn*> rearm;
+
+  ~Impl() {
+    if (wake_rd >= 0) ::close(wake_rd);
+    if (wake_wr >= 0) ::close(wake_wr);
+  }
+};
+
+OffloadServer::OffloadServer(ServerOptions opts)
+    : opts_(opts), impl_(std::make_unique<Impl>()) {}
+
+OffloadServer::~OffloadServer() { stop(); }
+
+bool OffloadServer::start() {
+  if (started_) return true;
+  impl_->listener = listen_tcp(opts_.port, opts_.backlog);
+  if (!impl_->listener.valid()) return false;
+  port_ = local_port(impl_->listener.fd());
+  int pipefd[2];
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    impl_->listener.reset();
+    return false;
+  }
+  impl_->wake_rd = pipefd[0];
+  impl_->wake_wr = pipefd[1];
+  set_nonblocking(impl_->listener.fd(), true);
+  pool_ = std::make_unique<ThreadPool>(
+      opts_.workers == 0 ? host_threads() : opts_.workers);
+  thread_ = std::thread([this] { run(); });
+  started_ = true;
+  return true;
+}
+
+void OffloadServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  // Wake the event thread; it drains (answers every frame already
+  // received) and exits.
+  const char b = 0;
+  [[maybe_unused]] ssize_t rc = ::write(impl_->wake_wr, &b, 1);
+  if (!joined_.exchange(true)) thread_.join();
+  pool_.reset();  // joins workers (all tasks already re-armed)
+}
+
+void OffloadServer::rearm(Conn* c) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->rearm_mu);
+    impl_->rearm.push_back(c);
+  }
+  const char b = 0;
+  [[maybe_unused]] ssize_t rc = ::write(impl_->wake_wr, &b, 1);
+}
+
+void OffloadServer::work(Conn* c, std::vector<std::uint8_t> body,
+                         Status pre_status) {
+  Response resp;
+  if (pre_status != Status::kOk) {
+    // Transport-level refusal (over-cap frame) decided by the event
+    // thread; the body was drained, only the op byte survives.
+    resp.status = pre_status;
+    resp.op = static_cast<Op>(body.empty() ? 0 : body[0]);
+  } else {
+    Request req;
+    const Status st = decode_request_body(body, req);
+    resp = st == Status::kOk ? dispatcher_.dispatch(req)
+                             : Response{st, req.op, 0, {}};
+  }
+  if (resp.status != Status::kOk) error_replies_.fetch_add(1);
+  const std::vector<std::uint8_t> wire = encode_response(resp);
+  if (write_full(c->sock.fd(), wire.data(), wire.size(),
+                 opts_.write_timeout_ms) != IoResult::kOk)
+    c->broken.store(true);
+  frames_.fetch_add(1);
+  rearm(c);
+}
+
+void OffloadServer::run() {
+  auto& conns = impl_->conns;
+  std::vector<struct pollfd> pfds;
+  std::vector<int> to_close;
+  std::uint8_t scratch[4096];
+  std::size_t busy_count = 0;
+
+  // Hand a complete frame (or a transport refusal) to the pool. The
+  // connection leaves the poll set until the worker re-arms it, which
+  // both bounds per-connection memory to one frame and keeps replies in
+  // request order.
+  const auto submit = [&](Conn* c, std::vector<std::uint8_t> body,
+                          Status pre) {
+    c->reset_frame();
+    c->busy = true;
+    ++busy_count;
+    pool_->submit([this, c, b = std::move(body), pre]() mutable {
+      work(c, std::move(b), pre);
+    });
+  };
+
+  // Pump one connection's read side. Reads never cross the current
+  // frame's boundary (recv is capped at the bytes the phase still
+  // needs), so pipelined requests wait in the kernel buffer and POLLIN
+  // stays level-triggered-correct. Returns false when the connection
+  // must close (EOF / hard error mid-stream).
+  const auto pump = [&](Conn* c) -> bool {
+    for (;;) {
+      if (c->busy) return true;  // frame handed off this iteration
+      std::size_t want;
+      std::uint8_t* dst;
+      if (c->discard_left > 0) {
+        want = c->discard_left < sizeof(scratch)
+                   ? static_cast<std::size_t>(c->discard_left)
+                   : sizeof(scratch);
+        dst = scratch;
+      } else if (!c->have_len) {
+        want = kLenBytes - c->hdr.size();
+        dst = scratch;
+      } else {
+        const std::size_t got = c->body.size();
+        want = c->body_len - got;
+        if (want == 0) {  // zero-length body: complete already
+          submit(c, {}, Status::kOk);
+          return true;
+        }
+        c->body.resize(c->body_len);
+        dst = c->body.data() + got;
+      }
+      const ssize_t rc = ::recv(c->sock.fd(), dst, want, 0);
+      if (rc == 0) return false;  // EOF
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      c->last_rx = Clock::now();
+      const auto n = static_cast<std::size_t>(rc);
+      if (c->discard_left > 0) {
+        if (!c->discard_op_set) {
+          c->discard_op = scratch[0];
+          c->discard_op_set = true;
+        }
+        c->discard_left -= n;
+        if (c->discard_left == 0)
+          submit(c, {c->discard_op}, Status::kFrameTooLarge);
+      } else if (!c->have_len) {
+        c->hdr.insert(c->hdr.end(), scratch, scratch + n);
+        if (c->hdr.size() == kLenBytes) {
+          c->body_len = static_cast<std::uint32_t>(
+              c->hdr[0] | (c->hdr[1] << 8) | (c->hdr[2] << 16) |
+              (static_cast<std::uint32_t>(c->hdr[3]) << 24));
+          c->have_len = true;
+          c->hdr.clear();
+          if (c->body_len > opts_.max_frame) {
+            // Drain the declared body to keep the stream in sync, then
+            // refuse it — the connection survives its own mistake.
+            c->discard_left = c->body_len;
+            c->have_len = false;
+          }
+        }
+      } else {
+        // recv wrote into body directly; trim to what actually arrived.
+        c->body.resize(c->body.size() - (want - n));
+        if (c->body.size() == c->body_len) submit(c, std::move(c->body),
+                                                  Status::kOk);
+      }
+    }
+  };
+
+  const auto process_rearms = [&] {
+    std::deque<Conn*> ready;
+    {
+      std::lock_guard<std::mutex> lock(impl_->rearm_mu);
+      ready.swap(impl_->rearm);
+    }
+    for (Conn* c : ready) {
+      c->busy = false;
+      --busy_count;
+      if (c->broken.load()) {
+        to_close.push_back(c->sock.fd());
+      } else if (stopping_.load() && !pump(c)) {
+        // Draining: answer any further frames the kernel already
+        // buffered before the connection goes away.
+        to_close.push_back(c->sock.fd());
+      }
+    }
+  };
+
+  const auto accept_all = [&] {
+    for (;;) {
+      const int cfd = ::accept4(impl_->listener.fd(), nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept failure
+      }
+      set_nodelay(cfd, true);
+      auto c = std::make_unique<Conn>();
+      c->sock = Socket(cfd);
+      conns.emplace(cfd, std::move(c));
+      accepted_.fetch_add(1);
+    }
+  };
+
+  bool drain_pumped = false;
+  for (;;) {
+    if (stopping_.load()) {
+      if (!drain_pumped) {
+        // One sweep: first collect connections still sitting in the
+        // accept backlog (their frames were delivered before stop()),
+        // then pump every idle connection — frames already buffered get
+        // their reply, and pump reads only what has arrived (EAGAIN
+        // ends it), so new traffic cannot extend the drain.
+        drain_pumped = true;
+        accept_all();
+        for (auto it = conns.begin(); it != conns.end();) {
+          Conn* c = it->second.get();
+          if (!c->busy && !pump(c))
+            it = conns.erase(it);
+          else
+            ++it;
+        }
+      }
+      // The drain finishes once every in-flight frame is answered.
+      if (busy_count == 0) break;
+    }
+
+    pfds.clear();
+    pfds.push_back({impl_->wake_rd, POLLIN, 0});
+    if (!stopping_.load())
+      pfds.push_back({impl_->listener.fd(), POLLIN, 0});
+    int timeout = -1;
+    const Clock::time_point now = Clock::now();
+    for (auto& [fd, c] : conns) {
+      if (c->busy) continue;
+      if (!stopping_.load()) pfds.push_back({fd, POLLIN, 0});
+      if (opts_.read_timeout_ms > 0 && c->mid_frame()) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            c->last_rx + std::chrono::milliseconds(opts_.read_timeout_ms) -
+            now);
+        const int ms = left.count() < 0 ? 0 : static_cast<int>(left.count());
+        if (timeout < 0 || ms < timeout) timeout = ms;
+      }
+    }
+    if (stopping_.load() && timeout < 0) timeout = 50;  // re-check drain
+
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+    if (rc < 0 && errno != EINTR) break;
+
+    to_close.clear();
+    process_rearms();
+
+    if (rc > 0) {
+      for (const struct pollfd& p : pfds) {
+        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (p.fd == impl_->wake_rd) {
+          while (::read(impl_->wake_rd, scratch, sizeof(scratch)) > 0) {
+          }
+          process_rearms();
+        } else if (p.fd == impl_->listener.fd()) {
+          accept_all();
+        } else {
+          const auto it = conns.find(p.fd);
+          if (it != conns.end() && !it->second->busy &&
+              !pump(it->second.get()))
+            to_close.push_back(p.fd);
+        }
+      }
+    }
+
+    // Mid-frame stall reaping (a half-sent frame cannot be answered;
+    // idle-between-frames connections are never reaped).
+    if (opts_.read_timeout_ms > 0) {
+      const Clock::time_point reap_now = Clock::now();
+      for (auto& [fd, c] : conns) {
+        if (c->busy || !c->mid_frame()) continue;
+        if (reap_now - c->last_rx >=
+            std::chrono::milliseconds(opts_.read_timeout_ms))
+          to_close.push_back(fd);
+      }
+    }
+
+    for (const int fd : to_close) {
+      const auto it = conns.find(fd);
+      if (it != conns.end() && !it->second->busy) conns.erase(it);
+    }
+  }
+
+  // Drained: every accepted frame is answered; close what remains.
+  conns.clear();
+  impl_->listener.reset();
+}
+
+}  // namespace plfsr::offload

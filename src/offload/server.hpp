@@ -1,0 +1,101 @@
+// The offload server: a TCP front-end over OffloadDispatcher, shaped
+// like the paper's processor/PiCoGA boundary — clients hand byte blocks
+// across, the LFSR-heavy loop runs on the other side, results come
+// back. One *event thread* owns every connection: it accepts, reads
+// nonblockingly, and accumulates exactly one frame per connection; a
+// complete frame flips the connection to `busy` (out of the poll set,
+// so replies stay ordered) and is handed to the shared ThreadPool,
+// where a worker decodes, dispatches and writes the reply, then
+// re-arms the connection through a self-pipe. A few threads therefore
+// serve thousands of connections — concurrency is per in-flight
+// *frame*, not per connection.
+//
+// Robustness contract (tests/offload_test.cpp enforces each clause):
+//  - Malformed input is answered, not dropped: short/inconsistent
+//    bodies, unknown ops/names and unusable payloads each produce an
+//    error reply on a connection that stays usable.
+//  - A frame above max_frame is drained (keeping the stream framing in
+//    sync) and refused with kFrameTooLarge — still no disconnect.
+//  - The only disconnects: peer EOF, a reply write that fails or
+//    times out, and a connection stalled *mid-frame* past
+//    read_timeout_ms (an idle connection between frames lives
+//    forever — keep-alive is free).
+//  - stop() drains gracefully: the listener closes, every frame
+//    already received gets its reply, then connections close. The
+//    offload_server example wires SIGTERM to stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "offload/dispatch.hpp"
+#include "offload/net.hpp"
+
+namespace plfsr {
+class ThreadPool;
+}
+
+namespace plfsr::offload {
+
+struct ServerOptions {
+  std::uint16_t port = 0;      ///< 0 = ephemeral; read back via port()
+  std::size_t max_frame = kDefaultMaxFrame;  ///< body_len cap, bytes
+  int write_timeout_ms = 10000;  ///< per-reply write deadline
+  int read_timeout_ms = 10000;   ///< mid-frame stall deadline (<=0: off)
+  std::size_t workers = 0;       ///< pool size; 0 = host_threads()
+  int backlog = 1024;
+};
+
+class OffloadServer {
+ public:
+  explicit OffloadServer(ServerOptions opts = {});
+  ~OffloadServer();  ///< stop()s if still running
+
+  OffloadServer(const OffloadServer&) = delete;
+  OffloadServer& operator=(const OffloadServer&) = delete;
+
+  /// Bind, listen and start the event thread. False (with the server
+  /// unstarted) when the port cannot be bound.
+  bool start();
+
+  /// The port actually listening (after start(); 0 before).
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful drain (see file comment). Idempotent; safe from any
+  /// thread — the offload_server example calls it from a signal-watcher
+  /// thread on SIGTERM/SIGINT.
+  void stop();
+
+  /// The dispatcher (shared with tests for golden-reply computation).
+  const OffloadDispatcher& dispatcher() const { return dispatcher_; }
+
+  // --- Counters (monotonic, racy-read safe) ---
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+  std::uint64_t frames_served() const { return frames_.load(); }
+  std::uint64_t error_replies() const { return error_replies_.load(); }
+
+ private:
+  struct Conn;
+  struct Impl;
+
+  void run();  // event-thread body
+  void work(Conn* c, std::vector<std::uint8_t> body, Status pre_status);
+  void rearm(Conn* c);
+
+  ServerOptions opts_;
+  OffloadDispatcher dispatcher_;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread thread_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> error_replies_{0};
+};
+
+}  // namespace plfsr::offload

@@ -2,16 +2,20 @@
 
 #include <chrono>
 #include <stdexcept>
-#include <thread>
+
+#include "support/host_threads.hpp"
 
 namespace plfsr {
 
 ExecMode PipelinePlan::resolve(std::size_t num_stages) const {
   if (mode != ExecMode::kAuto) return mode;
   if (num_stages < 2) return ExecMode::kFused;
-  const unsigned cores = std::thread::hardware_concurrency();
-  // Threaded needs a core per stage plus one for the producer to win;
-  // hardware_concurrency() may report 0 (unknown) — treat as too few.
+  // Threaded needs a core per stage plus one for the producer to win.
+  // host_threads() (not hardware_concurrency()) so a cgroup-quota'd
+  // container counts the cores it may actually run on, and a host that
+  // cannot report at all resolves as a 1-core machine (fused) instead of
+  // whatever 0 would compare as.
+  const std::size_t cores = host_threads();
   return cores >= num_stages + 1 ? ExecMode::kThreaded : ExecMode::kFused;
 }
 

@@ -2,10 +2,10 @@
 
 #include <cstring>
 #include <stdexcept>
-#include <thread>
 
 #include "lfsr/linear_system.hpp"
 #include "lfsr/lookahead.hpp"
+#include "support/host_threads.hpp"
 #include "support/sharding.hpp"
 
 namespace plfsr {
@@ -137,8 +137,12 @@ ParallelScramble::ParallelScramble(const Gf2Poly& g, std::uint64_t seed,
   if (shards == 0)
     throw std::invalid_argument("ParallelScramble: shards must be >= 1");
   if (cap_to_host) {
-    const std::size_t hw = std::thread::hardware_concurrency();
-    if (hw != 0 && shards > hw) shards = hw;
+    // host_threads(), not hardware_concurrency(): inside a cgroup quota
+    // the machine's core count over-reports what this process may run,
+    // and on hosts where the report is 0 the old clamp silently did
+    // nothing at all.
+    const std::size_t hw = host_threads();
+    if (shards > hw) shards = hw;
   }
   engines_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) engines_.emplace_back(g, seed);

@@ -142,10 +142,11 @@ class ParallelScramble {
 
   /// `shards` >= 1; shard 0 runs on the calling thread, shards-1 pool
   /// workers handle the rest. With `cap_to_host` (the default) the shard
-  /// count is clamped to std::thread::hardware_concurrency() — threads
-  /// beyond the core count only add hand-off and scheduling cost to a
-  /// compute-bound kernel. Tests pass min_shard_bytes = 1 and
-  /// cap_to_host = false to force the full split on any machine.
+  /// count is clamped to host_threads() (cgroup-quota aware, PLFSR_THREADS
+  /// override) — threads beyond what the process may actually run only
+  /// add hand-off and scheduling cost to a compute-bound kernel. Tests
+  /// pass min_shard_bytes = 1 and cap_to_host = false to force the full
+  /// split on any machine.
   ParallelScramble(const Gf2Poly& g, std::uint64_t seed, std::size_t shards,
                    std::size_t min_shard_bytes = kDefaultMinShardBytes,
                    bool cap_to_host = true);

@@ -26,15 +26,20 @@ bool FrameArena::acquire(std::vector<std::uint8_t>& out, std::size_t size) {
   cv_.wait(lk, [&] {
     return closed_ || !bounded || !pool_.empty() || outstanding_ < capacity_;
   });
-  if (closed_) return false;
+  // Drain semantics after close(): recycled buffers keep serving (the
+  // in-flight producer keeps its zero-alloc guarantee to the last frame),
+  // but the arena never blocks and never grows — an empty pool means the
+  // hand-out is over.
+  if (closed_ && pool_.empty()) return false;
   return grab_locked(out, size);
 }
 
 bool FrameArena::try_acquire(std::vector<std::uint8_t>& out,
                              std::size_t size) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (closed_) return false;
-  if (capacity_ != 0 && pool_.empty() && outstanding_ >= capacity_)
+  if (closed_ && pool_.empty()) return false;
+  if (!closed_ && capacity_ != 0 && pool_.empty() &&
+      outstanding_ >= capacity_)
     return false;
   return grab_locked(out, size);
 }
@@ -53,7 +58,11 @@ void FrameArena::close() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     closed_ = true;
-    pool_.clear();
+    // The pool is deliberately kept: a draining producer may still
+    // acquire() the recycled buffers until they run out. (An earlier
+    // version cleared it here, which silently demoted the tail of a
+    // drain to heap churn — or to a hard stop for acquire-driven
+    // producers.)
   }
   cv_.notify_all();
 }

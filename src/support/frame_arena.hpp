@@ -14,9 +14,16 @@
 // A bounded arena (capacity > 0) doubles as end-to-end backpressure:
 // once `capacity` buffers are in flight, acquire() blocks until the sink
 // releases one — the producer is throttled by pipeline drain rate, the
-// way a MAC's descriptor ring throttles its DMA engine. close() unblocks
-// every waiter (acquire() then returns false), which is how a shutdown
-// path detaches a producer blocked on a dead pipeline.
+// way a MAC's descriptor ring throttles its DMA engine.
+//
+// Shutdown is a *drain*, not a hard stop: close() unblocks every waiter
+// and stops all heap growth, but buffers already sitting in the pool
+// keep serving acquire() until they run out — an in-flight producer
+// finishing its tail keeps the zero-alloc guarantee to the last frame.
+// Once the pool is empty (or immediately, if it was), acquire() returns
+// false and never blocks again. Buffers release()d after close are
+// dropped (their consumers are gone), so the drain is bounded by the
+// buffers pooled at close time.
 //
 // Thread-safety: all members are safe to call concurrently (mutex +
 // condvar; the arena's operations are per-frame and amortized by the
@@ -45,10 +52,13 @@ class FrameArena {
 
   /// Blocking acquire of a buffer resized to `size` (contents
   /// unspecified — recycled buffers keep their old bytes). Returns false
-  /// iff the arena was close()d and no buffer could be handed out.
+  /// iff the arena was close()d and the pool has drained dry (after
+  /// close the pooled buffers still serve, but nothing blocks or hits
+  /// the heap).
   bool acquire(std::vector<std::uint8_t>& out, std::size_t size);
 
-  /// Non-blocking acquire; false when the bound is reached (or closed).
+  /// Non-blocking acquire; false when the bound is reached (or closed
+  /// with an empty pool).
   bool try_acquire(std::vector<std::uint8_t>& out, std::size_t size);
 
   /// Return a buffer to the pool (capacity kept for reuse) and wake one
@@ -56,7 +66,9 @@ class FrameArena {
   /// buffer.
   void release(std::vector<std::uint8_t> buf);
 
-  /// Unblock every waiter; subsequent acquires fail. Idempotent.
+  /// Begin the drain: unblock every waiter, stop heap growth and new
+  /// pooling; acquires keep succeeding from the existing pool until it
+  /// is empty, then fail. Idempotent.
   void close();
 
   /// Buffers currently acquired and not yet released.

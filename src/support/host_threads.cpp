@@ -1,0 +1,99 @@
+#include "support/host_threads.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace plfsr {
+namespace detail {
+
+namespace {
+
+/// Leading decimal integer of `text` (skipping leading spaces); false if
+/// none is there.
+bool parse_ll(std::string_view text, long long& out) {
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  const char* first = text.data() + i;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr != first;
+}
+
+/// First line of a small /sys file; empty when unreadable.
+std::string read_line(const char* path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return {};
+  return line;
+}
+
+}  // namespace
+
+double parse_cpu_max(std::string_view text) {
+  // cgroup v2: "$MAX $PERIOD" with MAX either "max" (unlimited) or the
+  // quota in microseconds per period.
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (text.substr(i, 3) == "max") return -1.0;
+  long long quota = 0;
+  if (!parse_ll(text.substr(i), quota)) return -1.0;
+  const std::size_t sp = text.find(' ', i);
+  if (sp == std::string_view::npos) return -1.0;
+  long long period = 0;
+  if (!parse_ll(text.substr(sp + 1), period)) return -1.0;
+  return parse_cfs(quota, period);
+}
+
+double parse_cfs(long long quota_us, long long period_us) {
+  if (quota_us <= 0 || period_us <= 0) return -1.0;  // -1 quota = no limit
+  return static_cast<double>(quota_us) / static_cast<double>(period_us);
+}
+
+double cgroup_quota_cores() {
+  // v2 first (the unified hierarchy every current distro mounts), then
+  // the v1 cpu controller split across two files.
+  const std::string v2 = read_line("/sys/fs/cgroup/cpu.max");
+  if (!v2.empty()) {
+    const double cores = parse_cpu_max(v2);
+    if (cores > 0) return cores;
+  }
+  const std::string q = read_line("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+  const std::string p = read_line("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+  if (!q.empty() && !p.empty()) {
+    long long quota = 0, period = 0;
+    if (parse_ll(q, quota) && parse_ll(p, period))
+      return parse_cfs(quota, period);
+  }
+  return -1.0;
+}
+
+std::size_t resolve_host_threads(const char* env, unsigned hw,
+                                 double quota_cores) {
+  if (env != nullptr) {
+    long long n = 0;
+    if (parse_ll(env, n) && n > 0) return static_cast<std::size_t>(n);
+    // A set-but-unusable override (empty, 0, negative, garbage) falls
+    // through to the heuristics rather than crippling the process.
+  }
+  std::size_t threads = hw;  // 0 allowed ("not computable")
+  if (quota_cores > 0) {
+    // Round the quota up: a 0.5-core cgroup still runs one thread.
+    const auto by_quota = static_cast<std::size_t>(std::ceil(quota_cores));
+    if (threads == 0 || by_quota < threads) threads = by_quota;
+  }
+  return threads == 0 ? 1 : threads;
+}
+
+}  // namespace detail
+
+std::size_t host_threads() {
+  return detail::resolve_host_threads(std::getenv("PLFSR_THREADS"),
+                                      std::thread::hardware_concurrency(),
+                                      detail::cgroup_quota_cores());
+}
+
+}  // namespace plfsr

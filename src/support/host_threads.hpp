@@ -1,0 +1,59 @@
+// How many threads this process should actually spread work across.
+//
+// std::thread::hardware_concurrency() answers a different question — how
+// many logical CPUs the *machine* has — and it answers even that one
+// unreliably: the standard allows 0 ("not computable"), and inside a
+// cgroup-quota'd container (every CI runner, every Kubernetes pod — and
+// the deployment target of the offload server) it reports the host's
+// core count while the kernel throttles the cgroup to a fraction of it.
+// A pool sized from the raw value oversubscribes the quota and turns the
+// sharded kernels' hand-offs into scheduler thrash.
+//
+// host_threads() is the one shared answer every sizing decision in this
+// repo routes through (Pipeline's kAuto resolve, ParallelScramble's
+// host cap, ThreadPool's default size, the offload server's worker
+// count):
+//
+//   1. PLFSR_THREADS, when set to a positive integer, wins outright —
+//      the operator's word beats every heuristic (read per call, like
+//      the other PLFSR_* knobs, so tests can flip it).
+//   2. Otherwise the smaller of hardware_concurrency() and the cgroup
+//      CPU quota (v2 cpu.max, else v1 cfs_quota_us/cfs_period_us; a
+//      fractional quota rounds up — half a core still runs one thread).
+//   3. Never 0: with no usable signal at all the answer is 1.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace plfsr {
+
+/// Threads worth of CPU this process can actually use (see file comment).
+/// Always >= 1.
+std::size_t host_threads();
+
+namespace detail {
+
+/// Parse a cgroup v2 cpu.max line ("<quota> <period>" in microseconds, or
+/// "max <period>"): cores granted, or a value < 0 when unlimited /
+/// unparseable.
+double parse_cpu_max(std::string_view text);
+
+/// cgroup v1 cfs pair -> cores granted, or < 0 when unlimited / invalid
+/// (quota -1 means "no limit").
+double parse_cfs(long long quota_us, long long period_us);
+
+/// The combining rule, separated from the /sys and env probing so the
+/// policy is unit-testable: `env` is the raw PLFSR_THREADS value (nullptr
+/// when unset), `hw` the hardware_concurrency() report (0 allowed),
+/// `quota_cores` the cgroup grant (< 0 when none). Always returns >= 1.
+std::size_t resolve_host_threads(const char* env, unsigned hw,
+                                 double quota_cores);
+
+/// The cgroup CPU grant of the calling process, in cores; < 0 when the
+/// host imposes none (or none is readable).
+double cgroup_quota_cores();
+
+}  // namespace detail
+
+}  // namespace plfsr

@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include "support/host_threads.hpp"
+
 namespace plfsr {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -7,6 +9,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
+
+ThreadPool::ThreadPool() : ThreadPool(host_threads()) {}
 
 ThreadPool::~ThreadPool() {
   {

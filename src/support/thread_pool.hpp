@@ -26,6 +26,11 @@ class ThreadPool {
   /// Spawn `threads` workers (0 = run every task inline in submit()).
   explicit ThreadPool(std::size_t threads);
 
+  /// Host-sized pool: one worker per thread of CPU the process can
+  /// actually use (host_threads() — cgroup-quota aware, PLFSR_THREADS
+  /// override, never 0), not per logical CPU of the machine.
+  ThreadPool();
+
   /// Drains nothing: joins after finishing whatever was already queued.
   ~ThreadPool();
 

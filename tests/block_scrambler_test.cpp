@@ -8,11 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
-#include <thread>
 
 #include "lfsr/catalog.hpp"
 #include "scrambler/scrambler.hpp"
 #include "support/bitstream.hpp"
+#include "support/host_threads.hpp"
 #include "support/rng.hpp"
 
 namespace plfsr {
@@ -270,15 +270,12 @@ TEST(ParallelScramble, PartialSplitMatchesSerial) {
 
 TEST(ParallelScramble, HostCapBoundsShardCount) {
   // With the default cap_to_host, an over-subscribed request clamps to
-  // the core count — extra threads on a compute-bound kernel only add
+  // host_threads() — extra threads on a compute-bound kernel only add
   // hand-off cost (the shard-scaling regression this guards against).
-  const std::size_t hw = std::thread::hardware_concurrency();
+  // host_threads() is never 0, so the clamp always engages.
   ParallelScramble par(catalog::prbs15(), 0x11, 1000);
-  if (hw != 0) {
-    EXPECT_LE(par.shards(), hw);
-  } else {
-    EXPECT_EQ(par.shards(), 1000u);
-  }
+  EXPECT_LE(par.shards(), host_threads());
+  EXPECT_GE(par.shards(), 1u);
   // Capping never raises the count, and results stay bit-exact.
   Rng rng(20);
   std::vector<std::uint8_t> buf = rng.next_bytes(3000);

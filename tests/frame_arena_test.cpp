@@ -101,6 +101,58 @@ TEST(FrameArena, CloseUnblocksWaitersAndFailsAcquires) {
   EXPECT_EQ(arena.pooled(), 0u);
 }
 
+TEST(FrameArena, CloseServesPooledBuffersUntilDry) {
+  // The drain contract: buffers pooled at close time keep serving — a
+  // producer finishing its tail stays zero-alloc — then acquire fails
+  // without ever blocking or touching the heap.
+  FrameArena arena(4);
+  std::vector<std::uint8_t> a, b;
+  ASSERT_TRUE(arena.acquire(a, 32));
+  ASSERT_TRUE(arena.acquire(b, 32));
+  arena.release(std::move(a));
+  arena.release(std::move(b));
+  ASSERT_EQ(arena.pooled(), 2u);
+  const std::uint64_t heap_before = arena.heap_allocations();
+
+  arena.close();
+  std::vector<std::uint8_t> c, d, e;
+  EXPECT_TRUE(arena.acquire(c, 16));  // served from the pool
+  EXPECT_TRUE(arena.try_acquire(d, 16));
+  EXPECT_EQ(arena.heap_allocations(), heap_before);  // drain is alloc-free
+  EXPECT_EQ(arena.recycles(), 2u);  // both drain acquires came from the pool
+  EXPECT_FALSE(arena.acquire(e, 16));  // pool dry: fail, don't block
+  EXPECT_FALSE(arena.try_acquire(e, 16));
+}
+
+TEST(FrameArena, CloseUnderLoadDrainsWithoutHeapGrowth) {
+  // Regression for the shutdown race: a producer hammering a bounded
+  // arena while another thread close()s it must neither deadlock nor
+  // lose the zero-alloc guarantee mid-drain — every post-close acquire
+  // is served from the pool (or cleanly refused), never from the heap.
+  constexpr std::size_t kCapacity = 8;
+  FrameArena arena(kCapacity);
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> started{false};
+  std::thread producer([&] {
+    std::vector<std::uint8_t> buf;
+    while (arena.acquire(buf, 64)) {
+      served.fetch_add(1);
+      started.store(true);
+      arena.release(std::move(buf));
+      buf = {};
+    }
+  });
+  while (!started.load()) std::this_thread::yield();
+  arena.close();
+  producer.join();  // acquire() must go false once the pool drains
+
+  EXPECT_GE(served.load(), 1u);
+  // Never more heap trips than the bound, close() notwithstanding.
+  EXPECT_LE(arena.heap_allocations(), kCapacity);
+  std::vector<std::uint8_t> after;
+  EXPECT_FALSE(arena.acquire(after, 64));
+}
+
 TEST(FrameArena, RecyclesThroughThreadedPipeline) {
   // Producer acquires from a bounded arena, VerifySink releases back:
   // the arena must end balanced, with far fewer heap allocations than

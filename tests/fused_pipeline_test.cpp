@@ -7,7 +7,6 @@
 
 #include <memory>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "crc/crc_spec.hpp"
@@ -16,6 +15,7 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/stages.hpp"
 #include "support/bitstream.hpp"
+#include "support/host_threads.hpp"
 #include "support/rng.hpp"
 
 namespace plfsr {
@@ -180,7 +180,10 @@ TEST(FusedPipeline, AutoPlanResolvesFromCoresAndStageCount) {
   // A 1-stage graph always fuses: a ring hand-off to one worker buys
   // nothing.
   EXPECT_EQ(plan.resolve(1), ExecMode::kFused);
-  const unsigned cores = std::thread::hardware_concurrency();
+  // kAuto counts the threads the process may actually run (cgroup-quota
+  // aware host_threads()), not the machine's logical CPUs — and the
+  // PLFSR_THREADS override steers the resolution deterministically.
+  const std::size_t cores = host_threads();
   const ExecMode want = cores >= 4 ? ExecMode::kThreaded : ExecMode::kFused;
   EXPECT_EQ(plan.resolve(3), want);
   // Explicit modes pass through untouched.

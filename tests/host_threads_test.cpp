@@ -1,0 +1,111 @@
+// host_threads(): the one sizing answer every pool/shard decision routes
+// through. The contract under test: PLFSR_THREADS wins when usable, the
+// cgroup quota caps the hardware report, a fractional quota rounds up,
+// and the answer is never 0 — even when hardware_concurrency() reports 0
+// and no quota is readable (the container-blind regression this fixes).
+#include "support/host_threads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace plfsr {
+namespace {
+
+using detail::parse_cfs;
+using detail::parse_cpu_max;
+using detail::resolve_host_threads;
+
+/// Scoped PLFSR_THREADS override; restores the outer value on exit so the
+/// suite composes with any harness-level setting.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("PLFSR_THREADS");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value)
+      setenv("PLFSR_THREADS", value, 1);
+    else
+      unsetenv("PLFSR_THREADS");
+  }
+  ~ScopedThreadsEnv() {
+    if (had_)
+      setenv("PLFSR_THREADS", saved_.c_str(), 1);
+    else
+      unsetenv("PLFSR_THREADS");
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(HostThreads, ParseCpuMaxQuotaOverPeriod) {
+  EXPECT_DOUBLE_EQ(parse_cpu_max("200000 100000"), 2.0);
+  EXPECT_DOUBLE_EQ(parse_cpu_max("50000 100000"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_cpu_max("  150000 100000"), 1.5);
+}
+
+TEST(HostThreads, ParseCpuMaxUnlimitedOrGarbage) {
+  EXPECT_LT(parse_cpu_max("max 100000"), 0.0);
+  EXPECT_LT(parse_cpu_max(""), 0.0);
+  EXPECT_LT(parse_cpu_max("banana"), 0.0);
+  EXPECT_LT(parse_cpu_max("100000"), 0.0);    // missing period
+  EXPECT_LT(parse_cpu_max("0 100000"), 0.0);  // zero quota is no signal
+}
+
+TEST(HostThreads, ParseCfsPair) {
+  EXPECT_DOUBLE_EQ(parse_cfs(400000, 100000), 4.0);
+  EXPECT_LT(parse_cfs(-1, 100000), 0.0);  // -1 quota = unlimited
+  EXPECT_LT(parse_cfs(100000, 0), 0.0);
+}
+
+TEST(HostThreads, EnvOverrideWinsOutright) {
+  EXPECT_EQ(resolve_host_threads("3", 64, 16.0), 3u);
+  EXPECT_EQ(resolve_host_threads("128", 4, 1.0), 128u);  // beats every cap
+}
+
+TEST(HostThreads, UnusableEnvOverrideFallsThrough) {
+  EXPECT_EQ(resolve_host_threads("0", 8, -1.0), 8u);
+  EXPECT_EQ(resolve_host_threads("-2", 8, -1.0), 8u);
+  EXPECT_EQ(resolve_host_threads("zzz", 8, -1.0), 8u);
+  EXPECT_EQ(resolve_host_threads("", 8, -1.0), 8u);
+}
+
+TEST(HostThreads, QuotaCapsHardwareReport) {
+  EXPECT_EQ(resolve_host_threads(nullptr, 64, 2.0), 2u);
+  EXPECT_EQ(resolve_host_threads(nullptr, 4, 16.0), 4u);  // hw smaller: hw
+}
+
+TEST(HostThreads, FractionalQuotaRoundsUpNeverZero) {
+  EXPECT_EQ(resolve_host_threads(nullptr, 64, 0.5), 1u);
+  EXPECT_EQ(resolve_host_threads(nullptr, 64, 1.5), 2u);
+}
+
+TEST(HostThreads, ZeroHardwareReportFallsBackToOne) {
+  // The standard allows hardware_concurrency() == 0; with no quota either
+  // the answer must still be a runnable 1, never 0.
+  EXPECT_EQ(resolve_host_threads(nullptr, 0, -1.0), 1u);
+  // A quota alone is enough to size by.
+  EXPECT_EQ(resolve_host_threads(nullptr, 0, 3.0), 3u);
+}
+
+TEST(HostThreads, PublicApiHonoursOverrideAndFloor) {
+  {
+    ScopedThreadsEnv env("5");
+    EXPECT_EQ(host_threads(), 5u);
+  }
+  {
+    ScopedThreadsEnv env("0");  // unusable override: heuristics, floor 1
+    EXPECT_GE(host_threads(), 1u);
+  }
+  {
+    ScopedThreadsEnv env(nullptr);
+    EXPECT_GE(host_threads(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -1,0 +1,394 @@
+// Offload service tests: protocol codec invariants, the malformed-input
+// fuzz corpus (every entry must draw an *error reply*, never a crash or
+// a disconnect), and a loopback round-trip sweep of op x frame-size
+// proving the server's replies are bit-exact with local dispatch.
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "offload/dispatch.hpp"
+#include "offload/net.hpp"
+#include "offload/protocol.hpp"
+#include "offload/server.hpp"
+
+namespace plfsr::offload {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return out;
+}
+
+// --- Protocol codec ------------------------------------------------------
+
+TEST(OffloadProtocol, RequestRoundTrip) {
+  Request req;
+  req.op = Op::kScramble;
+  req.param = 0x1A5A;
+  req.name = "DVB (x15+x14+1)";
+  req.payload = pattern_bytes(37, 3);
+  const std::vector<std::uint8_t> wire = encode_request(req);
+  ASSERT_GE(wire.size(), kLenBytes + kFixedBodyBytes);
+  // Body length prefix must match the actual body size.
+  const std::uint32_t blen = wire[0] | (wire[1] << 8) | (wire[2] << 16) |
+                             (static_cast<std::uint32_t>(wire[3]) << 24);
+  ASSERT_EQ(blen, wire.size() - kLenBytes);
+
+  Request back;
+  ASSERT_EQ(decode_request_body(
+                std::span<const std::uint8_t>(wire).subspan(kLenBytes), back),
+            Status::kOk);
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.param, req.param);
+  EXPECT_EQ(back.name, req.name);
+  EXPECT_EQ(back.payload, req.payload);
+}
+
+TEST(OffloadProtocol, ResponseRoundTrip) {
+  Response resp;
+  resp.status = Status::kOk;
+  resp.op = Op::kFecDecode;
+  resp.result = make_fec_result(123, 4);
+  resp.payload = pattern_bytes(9, 1);
+  const std::vector<std::uint8_t> wire = encode_response(resp);
+  Response back;
+  ASSERT_TRUE(decode_response_body(
+      std::span<const std::uint8_t>(wire).subspan(kLenBytes), back));
+  EXPECT_EQ(back.status, resp.status);
+  EXPECT_EQ(back.op, resp.op);
+  EXPECT_EQ(fec_result_corrected(back.result), 123u);
+  EXPECT_EQ(fec_result_failed_blocks(back.result), 4u);
+  EXPECT_EQ(back.payload, resp.payload);
+}
+
+TEST(OffloadProtocol, DecodeRejectsMalformedBodies) {
+  Request out;
+  // Shorter than the fixed header.
+  EXPECT_EQ(decode_request_body(std::vector<std::uint8_t>(5, 0), out),
+            Status::kBadFrame);
+  // Unknown op byte.
+  std::vector<std::uint8_t> body(kFixedBodyBytes, 0);
+  body[0] = 200;
+  EXPECT_EQ(decode_request_body(body, out), Status::kUnknownOp);
+  // Reserved flags set.
+  body[0] = 0;
+  body[2] = 1;
+  EXPECT_EQ(decode_request_body(body, out), Status::kBadFrame);
+  // name_len pointing past the end of the body.
+  body[2] = 0;
+  body[1] = 200;
+  EXPECT_EQ(decode_request_body(body, out), Status::kBadFrame);
+}
+
+// --- Dispatcher ----------------------------------------------------------
+
+TEST(OffloadDispatch, CataloguesAreNonEmptyAndSorted) {
+  const OffloadDispatcher d;
+  EXPECT_FALSE(d.crc_names().empty());
+  EXPECT_FALSE(d.scrambler_names().empty());
+  EXPECT_FALSE(d.fec_names().empty());
+}
+
+TEST(OffloadDispatch, ScrambleRoundTripsAndRejectsZeroSeed) {
+  const OffloadDispatcher d;
+  Request req;
+  req.op = Op::kScramble;
+  req.name = "802.11 (x7+x4+1)";
+  req.param = 0x5B;
+  req.payload = pattern_bytes(100, 9);
+  const Response once = d.dispatch(req);
+  ASSERT_EQ(once.status, Status::kOk);
+  EXPECT_NE(once.payload, req.payload);
+  Request back = req;
+  back.payload = once.payload;
+  const Response twice = d.dispatch(back);  // scramble == descramble
+  ASSERT_EQ(twice.status, Status::kOk);
+  EXPECT_EQ(twice.payload, req.payload);
+
+  req.param = 0;
+  EXPECT_EQ(d.dispatch(req).status, Status::kBadPayload);
+  req.param = 0x80;  // masks to zero in the 7-bit register
+  EXPECT_EQ(d.dispatch(req).status, Status::kBadPayload);
+}
+
+TEST(OffloadDispatch, FecDecodeFailureIsDataNotAnError) {
+  const OffloadDispatcher d;
+  Request enc;
+  enc.op = Op::kFecEncode;
+  enc.name = "RS(204,188)";
+  enc.payload = pattern_bytes(188, 2);
+  Response code = d.dispatch(enc);
+  ASSERT_EQ(code.status, Status::kOk);
+  // More corrupt symbols than the code can correct: the reply is still
+  // kOk — the failure rides in the result word.
+  for (std::size_t i = 0; i < 20; ++i) code.payload[i] ^= 0xFF;
+  Request dec;
+  dec.op = Op::kFecDecode;
+  dec.name = "RS(204,188)";
+  dec.payload = code.payload;
+  const Response out = d.dispatch(dec);
+  ASSERT_EQ(out.status, Status::kOk);
+  EXPECT_EQ(fec_result_failed_blocks(out.result), 1u);
+}
+
+// --- Loopback ------------------------------------------------------------
+
+/// One blocking test connection speaking whole frames.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port)
+      : sock_(connect_tcp("127.0.0.1", port, 5000)) {}
+
+  bool ok() const { return sock_.valid(); }
+
+  bool send_raw(std::span<const std::uint8_t> bytes) {
+    return write_full(sock_.fd(), bytes.data(), bytes.size(), 5000) ==
+           IoResult::kOk;
+  }
+
+  bool read_reply(Response& out) {
+    std::uint8_t len[kLenBytes];
+    if (read_full(sock_.fd(), len, sizeof(len), 20000) != IoResult::kOk)
+      return false;
+    const std::uint32_t blen = len[0] | (len[1] << 8) | (len[2] << 16) |
+                               (static_cast<std::uint32_t>(len[3]) << 24);
+    std::vector<std::uint8_t> body(blen);
+    if (blen != 0 &&
+        read_full(sock_.fd(), body.data(), blen, 20000) != IoResult::kOk)
+      return false;
+    return decode_response_body(body, out);
+  }
+
+  bool call(const Request& req, Response& out) {
+    return send_raw(encode_request(req)) && read_reply(out);
+  }
+
+  /// The liveness probe the fuzz corpus interleaves: after an error
+  /// reply the connection must still answer a well-formed request.
+  void expect_usable() {
+    Request ping;
+    ping.op = Op::kPing;
+    ping.payload = {1, 2, 3};
+    Response resp;
+    ASSERT_TRUE(call(ping, resp));
+    EXPECT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.payload, ping.payload);
+  }
+
+ private:
+  Socket sock_;
+};
+
+class OffloadLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions opts;
+    opts.max_frame = 1 << 20;  // 64 KiB sweep fits; fuzz can exceed it
+    opts.read_timeout_ms = 30000;
+    server_.emplace(opts);
+    ASSERT_TRUE(server_->start());
+  }
+  void TearDown() override { server_->stop(); }
+
+  std::optional<OffloadServer> server_;
+};
+
+TEST_F(OffloadLoopbackTest, SweepOpsAcrossFrameSizes) {
+  const OffloadDispatcher golden;
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.ok());
+  const std::size_t sizes[] = {0, 1, 64, 1518, std::size_t{64} * 1024};
+  for (const std::size_t n : sizes) {
+    std::vector<Request> reqs;
+    {
+      Request r;
+      r.op = Op::kPing;
+      r.payload = pattern_bytes(n, 1);
+      reqs.push_back(r);
+      r.op = Op::kCrc;
+      r.name = "CRC-32/ETHERNET";
+      reqs.push_back(r);
+      r.op = Op::kScramble;
+      r.name = "SONET (x7+x6+1)";
+      r.param = 0x2A;
+      reqs.push_back(r);
+      r.op = Op::kFecEncode;
+      r.name = "RS(204,188)";
+      r.param = 0;
+      reqs.push_back(r);
+      // Decode sweeps the matching encoded geometry for each size.
+      const Response enc = golden.dispatch(r);
+      ASSERT_EQ(enc.status, Status::kOk);
+      r.op = Op::kFecDecode;
+      r.payload = enc.payload;
+      reqs.push_back(r);
+    }
+    for (const Request& req : reqs) {
+      const Response want = golden.dispatch(req);
+      Response got;
+      ASSERT_TRUE(client.call(req, got))
+          << "op " << static_cast<int>(req.op) << " size " << n;
+      EXPECT_EQ(got.status, want.status);
+      EXPECT_EQ(got.op, want.op);
+      EXPECT_EQ(got.result, want.result);
+      EXPECT_EQ(got.payload, want.payload)
+          << "op " << static_cast<int>(req.op) << " size " << n;
+    }
+  }
+}
+
+TEST_F(OffloadLoopbackTest, FuzzCorpusDrawsErrorRepliesNotCrashes) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.ok());
+  Response resp;
+
+  // Zero-length body: too short for even the fixed header.
+  ASSERT_TRUE(client.send_raw(std::vector<std::uint8_t>{0, 0, 0, 0}));
+  ASSERT_TRUE(client.read_reply(resp));
+  EXPECT_EQ(resp.status, Status::kBadFrame);
+  client.expect_usable();
+
+  // Body shorter than the fixed header.
+  ASSERT_TRUE(
+      client.send_raw(std::vector<std::uint8_t>{5, 0, 0, 0, 1, 0, 0, 0, 0}));
+  ASSERT_TRUE(client.read_reply(resp));
+  EXPECT_EQ(resp.status, Status::kBadFrame);
+  client.expect_usable();
+
+  // Unknown op byte.
+  {
+    Request req;
+    req.op = Op::kPing;
+    std::vector<std::uint8_t> wire = encode_request(req);
+    wire[kLenBytes] = 99;
+    ASSERT_TRUE(client.send_raw(wire));
+    ASSERT_TRUE(client.read_reply(resp));
+    EXPECT_EQ(resp.status, Status::kUnknownOp);
+    client.expect_usable();
+  }
+
+  // Reserved flags set.
+  {
+    Request req;
+    req.op = Op::kPing;
+    std::vector<std::uint8_t> wire = encode_request(req);
+    wire[kLenBytes + 2] = 1;
+    ASSERT_TRUE(client.send_raw(wire));
+    ASSERT_TRUE(client.read_reply(resp));
+    EXPECT_EQ(resp.status, Status::kBadFrame);
+    client.expect_usable();
+  }
+
+  // name_len larger than the remaining body (truncated-payload shape).
+  {
+    Request req;
+    req.op = Op::kCrc;
+    req.name = "CRC-32/ETHERNET";
+    req.payload = pattern_bytes(8, 4);
+    std::vector<std::uint8_t> wire = encode_request(req);
+    wire[kLenBytes + 1] = 255;  // name_len
+    ASSERT_TRUE(client.send_raw(wire));
+    ASSERT_TRUE(client.read_reply(resp));
+    EXPECT_EQ(resp.status, Status::kBadFrame);
+    client.expect_usable();
+  }
+
+  // Unknown engine/spec names, one per family.
+  for (const Op op : {Op::kCrc, Op::kScramble, Op::kFecEncode}) {
+    Request req;
+    req.op = op;
+    req.name = "NO-SUCH-SPEC";
+    req.param = 1;
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kUnknownName);
+    EXPECT_EQ(resp.op, op);
+    client.expect_usable();
+  }
+
+  // Payload the op cannot accept: an impossible FEC-decode length.
+  {
+    Request req;
+    req.op = Op::kFecDecode;
+    req.name = "RS(204,188)";
+    req.payload = pattern_bytes(5, 6);  // <= parity bytes: no encode yields it
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kBadPayload);
+    client.expect_usable();
+  }
+
+  // Zero scramble seed.
+  {
+    Request req;
+    req.op = Op::kScramble;
+    req.name = "PRBS-9";
+    req.param = 0;
+    req.payload = pattern_bytes(16, 7);
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kBadPayload);
+    client.expect_usable();
+  }
+}
+
+TEST(OffloadServerTest, OverCapFrameIsDrainedAndRefused) {
+  ServerOptions opts;
+  opts.max_frame = 4096;
+  OffloadServer server(opts);
+  ASSERT_TRUE(server.start());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  Request req;
+  req.op = Op::kCrc;
+  req.name = "CRC-32/ETHERNET";
+  req.payload = pattern_bytes(100000, 8);  // way past the 4 KiB cap
+  Response resp;
+  ASSERT_TRUE(client.call(req, resp));
+  EXPECT_EQ(resp.status, Status::kFrameTooLarge);
+  EXPECT_EQ(resp.op, Op::kCrc);  // op echo survives the drain
+  client.expect_usable();        // framing stayed in sync
+
+  server.stop();
+  EXPECT_GE(server.error_replies(), 1u);
+}
+
+TEST(OffloadServerTest, TruncatedHeaderThenNewConnectionStillServes) {
+  OffloadServer server;
+  ASSERT_TRUE(server.start());
+  {
+    // Two bytes of length prefix, then vanish: no reply is possible, the
+    // server just reaps the connection.
+    TestClient half(server.port());
+    ASSERT_TRUE(half.ok());
+    ASSERT_TRUE(half.send_raw(std::vector<std::uint8_t>{0xAB, 0xCD}));
+  }
+  TestClient fresh(server.port());
+  ASSERT_TRUE(fresh.ok());
+  fresh.expect_usable();
+  server.stop();
+}
+
+TEST(OffloadServerTest, StopDrainsInFlightFrames) {
+  OffloadServer server;
+  ASSERT_TRUE(server.start());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  Request req;
+  req.op = Op::kCrc;
+  req.name = "CRC-32C";
+  req.payload = pattern_bytes(4096, 3);
+  ASSERT_TRUE(client.send_raw(encode_request(req)));
+  server.stop();  // must answer the frame above before closing
+  Response resp;
+  ASSERT_TRUE(client.read_reply(resp));
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(server.frames_served(), 1u);
+}
+
+}  // namespace
+}  // namespace plfsr::offload
