@@ -44,6 +44,12 @@ Gate policy — what fails and what only warns:
   FAIL  correctness bits carried in the bench JSONs (offload
         mismatches/timeouts, correctness_ok=false): deterministic,
         machine-independent.
+  FAIL  arena zero-copy invariants: in the arena-recycled loops (the
+        64 B small-frame stream and the 4 MiB jumbo row) the heap
+        allocation counter must stay within the descriptor pool
+        capacity — steady state allocates nothing. These are
+        deterministic allocator counters, not rates, so a violation is
+        always a code regression.
   WARN  absolute-rate floors (--small-min-fps, default 2e6 frames/s on
         the arena-recycled 64 B stream). An absolute frames/sec number
         depends on the runner class — a quota-capped single-core CI
@@ -173,6 +179,14 @@ def step_summary(pipeline_json, invariant_lines):
                      "{:.2f} Mframes/s".format(
                          small.get("frame_bytes", "?"),
                          float(small.get("best_frames_per_s", 0)) / 1e6))
+    jumbo = pipeline_json.get("jumbo", {})
+    for p in jumbo.get("sweep", []):
+        lines.append("jumbo loop ({} MiB, {}): {:.1f} MB/s, {} heap "
+                     "allocs / {} pool".format(
+                         int(jumbo.get("frame_bytes", 0)) >> 20,
+                         p.get("mode", "?"), float(p.get("mb_per_s", 0)),
+                         p.get("arena_heap_allocs", "?"),
+                         p.get("pool_capacity", "?")))
     if invariant_lines:
         lines.append("")
         lines.append("### Intra-run invariants")
@@ -427,6 +441,37 @@ def main():
         invariants.append("64 B arena frames/sec: {:.3g}/s (floor "
                           "{:.3g}/s) {}".format(small_fps,
                                                 args.small_min_fps, status))
+
+    # Intra-run invariant: the arena-recycled loops must be carried by
+    # recycling — heap allocations bounded by the descriptor pool
+    # capacity, i.e. steady state allocates nothing per frame. These are
+    # deterministic allocator counters (not rates), so a violation FAILs
+    # on any runner. A missing jumbo section is a dropped benchmark.
+    pipe_doc = load(args.pipeline)
+    if not pipe_doc.get("jumbo", {}).get("sweep"):
+        failures.append("pipeline jumbo sweep missing from the fresh "
+                        "pipeline run")
+    for section in ("small", "jumbo"):
+        for p in pipe_doc.get(section, {}).get("sweep", []):
+            cap = p.get("pool_capacity")
+            if cap is None:
+                continue
+            allocs = int(p.get("arena_heap_allocs", 0))
+            status = "ok"
+            if allocs > int(cap):
+                status = "REGRESSED"
+                failures.append(
+                    "{} arena loop (mode={}): {} heap allocations exceed "
+                    "the {}-descriptor pool — the steady state "
+                    "allocated".format(section, p.get("mode", "?"), allocs,
+                                       cap))
+            label = "{} heap-allocs<=pool ({})".format(
+                section, p.get("mode", "?"))
+            print("{:<{w}}  {:>6}/{:<6}  {}".format(
+                label, allocs, cap, status, w=width))
+            invariants.append("{} arena loop ({}): {} heap allocs / {} "
+                              "pool {}".format(section, p.get("mode", "?"),
+                                               allocs, cap, status))
 
     # Offload soak: informational metrics, enforced correctness.
     if args.offload:

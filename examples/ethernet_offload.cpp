@@ -214,8 +214,11 @@ int main() {
       input[i].bytes = frng.next_bytes(kFrameBytes);
     }
 
-    // Serial composition = the expected bit pattern.
-    FrameBatch expect(input);
+    // Serial composition = the expected bit pattern. Frames are move-only
+    // descriptors now, so the reference set is built from deep clones.
+    FrameBatch expect;
+    expect.reserve(input.size());
+    for (const Frame& f : input) expect.push_back(f.clone());
     ScrambleStage ref_scramble(catalog::scrambler_80211(), kSeed);
     FcsStage ref_crc{SlicingBy8Crc(spec)};
     ref_scramble.process(expect);
@@ -248,7 +251,7 @@ int main() {
     for (std::size_t i = 0; i < input.size(); i += kBatch) {
       FrameBatch b;
       for (std::size_t j = i; j < std::min(i + kBatch, input.size()); ++j)
-        b.push_back(input[j]);
+        b.push_back(input[j].clone());
       pipe.push(std::move(b));
     }
     pipe.wait();

@@ -8,7 +8,9 @@
 // `depth` requests pipelined on each, and drives every connection
 // through `frames` requests drawn from a fixed op × frame-size mix
 // (ping/CRC/scramble/FEC-encode/FEC-decode over 0 B .. 64 KiB
-// payloads). Every reply is verified *bit-exactly*: the expected wire
+// payloads, plus kPipeline multi-op chains that fold a scramble → CRC
+// or scramble → FEC sequence into one round trip). Every reply is
+// verified *bit-exactly*: the expected wire
 // bytes are precomputed by running the same OffloadDispatcher the
 // server uses, so a verification pass proves the network path changed
 // nothing. Reports p50/p99/p99.9 submission-to-reply latency,
@@ -80,6 +82,52 @@ Template make_template(const OffloadDispatcher& d, std::string label, Op op,
   return {std::move(label), encode_request(req), encode_response(golden)};
 }
 
+/// A kPipeline chain template. The golden reply is cross-checked
+/// against the serial composition of the same ops as single-op
+/// dispatches before the template is admitted, so the soak also guards
+/// the chain == composition invariant on every run.
+Template make_chain_template(const OffloadDispatcher& d, std::string label,
+                             const std::vector<PipelineOp>& ops,
+                             std::vector<std::uint8_t> data) {
+  const Request chain = make_pipeline_request(ops, data);
+  const Response golden = d.dispatch(chain);
+  if (golden.status != Status::kOk) {
+    std::cerr << "offload_client: chain template '" << label
+              << "' fails local dispatch: " << status_name(golden.status)
+              << "\n";
+    std::exit(2);
+  }
+  std::vector<std::uint8_t> cur = std::move(data);
+  std::uint64_t last_crc = 0;
+  bool saw_crc = false;
+  for (const PipelineOp& op : ops) {
+    Request r;
+    r.op = op.op;
+    r.param = op.param;
+    r.name = op.name;
+    r.payload = cur;
+    const Response res = d.dispatch(r);
+    if (res.status != Status::kOk) {
+      std::cerr << "offload_client: chain template '" << label
+                << "' composition step fails: " << status_name(res.status)
+                << "\n";
+      std::exit(2);
+    }
+    if (op.op == Op::kCrc) {
+      last_crc = res.result;
+      saw_crc = true;
+    } else {
+      cur = res.payload;
+    }
+  }
+  if (golden.payload != cur || (saw_crc && golden.result != last_crc)) {
+    std::cerr << "offload_client: chain template '" << label
+              << "' diverges from its serial composition\n";
+    std::exit(2);
+  }
+  return {std::move(label), encode_request(chain), encode_response(golden)};
+}
+
 /// The op × size mix: mostly small control-plane-sized frames, a
 /// line-rate MTU class, and one jumbo per family so the 64 KiB path
 /// stays exercised without dominating memory at 1k connections.
@@ -119,6 +167,21 @@ std::vector<Template> build_templates(const OffloadDispatcher& d) {
     t.push_back(make_template(d, "rs204-dec/1632", Op::kFecDecode,
                               "RS(204,188)", 0, std::move(code.payload)));
   }
+  // Multi-op chains: a scramble → CRC (and scramble → FEC) sequence
+  // folded into one kPipeline round trip through the server's cached
+  // fused pipeline.
+  t.push_back(make_chain_template(d, "chain-scr-crc/64",
+                                  {{Op::kScramble, 0x5B, "802.11 (x7+x4+1)"},
+                                   {Op::kCrc, 0, "CRC-32/ETHERNET"}},
+                                  pseudo_bytes(64, 11)));
+  t.push_back(make_chain_template(d, "chain-scr-crc/1518",
+                                  {{Op::kScramble, 0x1A5A, "DVB (x15+x14+1)"},
+                                   {Op::kCrc, 0, "CRC-32C"}},
+                                  pseudo_bytes(1518, 12)));
+  t.push_back(make_chain_template(d, "chain-scr-rs204/1504",
+                                  {{Op::kScramble, 0x2A, "SONET (x7+x6+1)"},
+                                   {Op::kFecEncode, 0, "RS(204,188)"}},
+                                  pseudo_bytes(1504, 13)));
   return t;
 }
 

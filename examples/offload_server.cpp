@@ -87,5 +87,11 @@ int main(int argc, char** argv) {
   std::cout << "served " << server.frames_served() << " frames ("
             << server.error_replies() << " error replies) on "
             << server.connections_accepted() << " connections\n";
+  const FrameArena& req = server.request_arena();
+  const FrameArena& rep = server.dispatcher().reply_arena();
+  std::cout << "request arena: " << req.recycles() << " recycles, "
+            << req.heap_allocations() << " heap allocations; reply arena: "
+            << rep.recycles() << " recycles, " << rep.heap_allocations()
+            << " heap allocations\n";
   return 0;
 }

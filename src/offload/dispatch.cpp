@@ -1,6 +1,8 @@
 #include "offload/dispatch.hpp"
 
+#include <cstring>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +10,9 @@
 #include "crc/engine_registry.hpp"
 #include "fec/parallel_fec.hpp"
 #include "lfsr/catalog.hpp"
+#include "pipeline/fec_stages.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/stages.hpp"
 #include "scrambler/block_scrambler.hpp"
 
 namespace plfsr::offload {
@@ -30,11 +35,40 @@ std::vector<std::string> keys_of(const Map& m) {
   return out;  // std::map iterates sorted
 }
 
-Response error_reply(const Request& req, Status status) {
-  Response r;
+WireReply error_reply(const RequestView& req, Status status) {
+  WireReply r;
   r.status = status;
   r.op = req.op;
   return r;
+}
+
+/// One compiled kPipeline chain: a started fused Pipeline whose terminal
+/// CollectSink hands the single transformed frame back per request.
+struct CachedChain {
+  std::unique_ptr<Pipeline> pipe;
+  CollectSink* sink = nullptr;  // owned by pipe
+  bool has_crc = false;
+};
+
+/// Worker-thread cache of compiled chains, keyed by the chain signature
+/// (op bytes + names + params). Repeat chains reuse keystream caches and
+/// engine handles; a chain that aborts (a stage threw) is evicted.
+std::map<std::string, CachedChain>& chain_cache() {
+  thread_local std::map<std::string, CachedChain> cache;
+  return cache;
+}
+
+std::string chain_key(const std::vector<PipelineOp>& ops) {
+  std::string key;
+  for (const PipelineOp& o : ops) {
+    key.push_back(static_cast<char>('0' + static_cast<int>(o.op)));
+    key.append(o.name);
+    key.push_back('\0');
+    for (int i = 0; i < 8; ++i)
+      key.push_back(static_cast<char>(o.param >> (8 * i)));
+    key.push_back('|');
+  }
+  return key;
 }
 
 }  // namespace
@@ -50,13 +84,27 @@ std::vector<std::string> OffloadDispatcher::fec_names() const {
 }
 
 Response OffloadDispatcher::dispatch(const Request& req) const {
+  const RequestView view{req.op, req.flags, req.param, req.name,
+                         std::span<const std::uint8_t>(req.payload)};
+  WireReply w = execute(view);
+  Response r;
+  r.status = w.status;
+  r.op = w.op;
+  r.result = w.result;
+  r.payload.assign(w.payload.begin(), w.payload.end());
+  return r;
+}
+
+WireReply OffloadDispatcher::execute(const RequestView& req) const {
   try {
     switch (req.op) {
       case Op::kPing: {
-        Response r;
+        WireReply r;
         r.op = Op::kPing;
         r.result = req.payload.size();
-        r.payload = req.payload;
+        arena_.acquire(r.payload, req.payload.size());
+        std::memcpy(r.payload.data(), req.payload.data(),
+                    req.payload.size());
         return r;
       }
       case Op::kCrc:
@@ -67,6 +115,8 @@ Response OffloadDispatcher::dispatch(const Request& req) const {
         return do_fec(req, /*encode=*/true);
       case Op::kFecDecode:
         return do_fec(req, /*encode=*/false);
+      case Op::kPipeline:
+        return do_pipeline(req);
     }
     return error_reply(req, Status::kUnknownOp);
   } catch (const std::invalid_argument&) {
@@ -78,20 +128,20 @@ Response OffloadDispatcher::dispatch(const Request& req) const {
   }
 }
 
-Response OffloadDispatcher::do_crc(const Request& req) const {
-  const auto it = crc_specs_.find(req.name);
+WireReply OffloadDispatcher::do_crc(const RequestView& req) const {
+  const auto it = crc_specs_.find(std::string(req.name));
   if (it == crc_specs_.end()) return error_reply(req, Status::kUnknownName);
   const EngineRegistry& reg = EngineRegistry::instance();
   const CrcEngineHandle engine =
       reg.make_cached(reg.best_name_for(it->second), it->second);
-  Response r;
+  WireReply r;
   r.op = Op::kCrc;
-  r.result = engine.compute(req.payload);
+  r.result = engine.compute(req.payload);  // straight off the view
   return r;
 }
 
-Response OffloadDispatcher::do_scramble(const Request& req) const {
-  const auto it = scrambler_polys_.find(req.name);
+WireReply OffloadDispatcher::do_scramble(const RequestView& req) const {
+  const auto it = scrambler_polys_.find(std::string(req.name));
   if (it == scrambler_polys_.end())
     return error_reply(req, Status::kUnknownName);
   if (req.param == 0) return error_reply(req, Status::kBadPayload);
@@ -99,19 +149,23 @@ Response OffloadDispatcher::do_scramble(const Request& req) const {
   // generator, re-aimed with reseed() (cheap — the per-bit mask tables
   // depend only on the generator, not the seed).
   thread_local std::map<std::string, BlockScrambler> engines;
-  auto eng = engines.find(req.name);
+  const std::string name(req.name);
+  auto eng = engines.find(name);
   if (eng == engines.end())
     eng = engines
-              .emplace(req.name, BlockScrambler(it->second,
-                                                /*seed=*/req.param))
+              .emplace(name, BlockScrambler(it->second,
+                                            /*seed=*/req.param))
               .first;
   // reseed throws std::invalid_argument when the seed's in-register bits
-  // are all zero — dispatch() maps that to kBadPayload.
+  // are all zero — execute() maps that to kBadPayload.
   eng->second.reseed(req.param);
-  Response r;
+  WireReply r;
   r.op = Op::kScramble;
-  r.payload = req.payload;
-  eng->second.process(r.payload);
+  // One copy into the recycled reply descriptor, then transform in
+  // place; the reply serializes straight from it.
+  arena_.acquire(r.payload, req.payload.size());
+  std::memcpy(r.payload.data(), req.payload.data(), req.payload.size());
+  eng->second.process(r.payload.data(), r.payload.size());
   return r;
 }
 
@@ -130,29 +184,131 @@ FecCodecHandle OffloadDispatcher::fec_codec(const std::string& name,
   return fec_cache_.try_emplace(name, std::move(codec)).first->second;
 }
 
-Response OffloadDispatcher::do_fec(const Request& req, bool encode) const {
-  const auto it = fec_specs_.find(req.name);
+WireReply OffloadDispatcher::do_fec(const RequestView& req,
+                                    bool encode) const {
+  const auto it = fec_specs_.find(std::string(req.name));
   if (it == fec_specs_.end()) return error_reply(req, Status::kUnknownName);
-  const FecCodecHandle codec = fec_codec(req.name, it->second);
+  const FecCodecHandle codec = fec_codec(it->first, it->second);
   // Serial ParallelFec: concurrency comes from the server's worker pool
   // (one worker per in-flight request), not from splitting one request.
   const ParallelFec fec(codec, 1);
-  Response r;
+  WireReply r;
   r.op = encode ? Op::kFecEncode : Op::kFecDecode;
   if (encode) {
-    r.payload.resize(fec_encoded_size(*codec, req.payload.size()));
-    const ParallelFecResult res = fec.encode(req.payload, r.payload);
+    // Kernels write straight from the request view into the recycled
+    // reply descriptor — no intermediate buffer anywhere.
+    arena_.acquire(r.payload,
+                   fec_encoded_size(*codec, req.payload.size()));
+    const ParallelFecResult res = fec.encode(req.payload, r.payload.span());
     r.result = res.blocks;
     return r;
   }
   // fec_decoded_size throws std::invalid_argument on a length no encode
-  // could have produced -> kBadPayload via dispatch(). A block beyond
+  // could have produced -> kBadPayload via execute(). A block beyond
   // the correction radius is *data*, not an error: the reply stays kOk
   // and the failure shows up in the result word.
-  r.payload.resize(fec_decoded_size(*codec, req.payload.size()));
-  const ParallelFecResult res = fec.decode(req.payload, r.payload);
+  const std::size_t out_len = fec_decoded_size(*codec, req.payload.size());
+  arena_.acquire(r.payload, out_len);
+  const ParallelFecResult res = fec.decode(req.payload, r.payload.span());
   r.result = make_fec_result(res.corrected_errors + res.corrected_erasures,
                              res.failed_blocks);
+  return r;
+}
+
+WireReply OffloadDispatcher::do_pipeline(const RequestView& req) const {
+  std::vector<PipelineOp> ops;
+  std::span<const std::uint8_t> data;
+  const Status st = decode_pipeline_ops(req.payload, ops, data);
+  if (st != Status::kOk) return error_reply(req, st);
+
+  const std::string key = chain_key(ops);
+  auto& cache = chain_cache();
+  auto cached = cache.find(key);
+  if (cached == cache.end()) {
+    // Compile the chain into a fused pipeline. Construction-time vetoes
+    // (unknown names, zero scramble seed) happen here, before anything
+    // is cached.
+    CachedChain chain;
+    std::vector<std::unique_ptr<Stage>> stages;
+    for (const PipelineOp& o : ops) {
+      switch (o.op) {
+        case Op::kCrc: {
+          const auto it = crc_specs_.find(o.name);
+          if (it == crc_specs_.end())
+            return error_reply(req, Status::kUnknownName);
+          const EngineRegistry& reg = EngineRegistry::instance();
+          stages.push_back(std::make_unique<FcsStage>(
+              reg.make_cached(reg.best_name_for(it->second), it->second)));
+          chain.has_crc = true;
+          break;
+        }
+        case Op::kScramble: {
+          const auto it = scrambler_polys_.find(o.name);
+          if (it == scrambler_polys_.end())
+            return error_reply(req, Status::kUnknownName);
+          if (o.param == 0) return error_reply(req, Status::kBadPayload);
+          // ScrambleStage is frame-synchronous from seed = param — the
+          // exact semantics of a standalone kScramble request — and its
+          // keystream prefix cache persists across requests.
+          stages.push_back(
+              std::make_unique<ScrambleStage>(it->second, o.param));
+          break;
+        }
+        case Op::kFecEncode:
+        case Op::kFecDecode: {
+          const auto it = fec_specs_.find(o.name);
+          if (it == fec_specs_.end())
+            return error_reply(req, Status::kUnknownName);
+          const FecCodecHandle codec = fec_codec(it->first, it->second);
+          if (o.op == Op::kFecEncode)
+            stages.push_back(std::make_unique<RsEncodeStage>(codec));
+          else
+            stages.push_back(std::make_unique<RsDecodeStage>(codec));
+          break;
+        }
+        default:
+          return error_reply(req, Status::kUnknownOp);
+      }
+    }
+    auto sink = std::make_unique<CollectSink>();
+    chain.sink = sink.get();
+    stages.push_back(std::move(sink));
+    chain.pipe =
+        std::make_unique<Pipeline>(std::move(stages), PipelinePlan::fused());
+    chain.pipe->start();
+    cached = cache.emplace(key, std::move(chain)).first;
+  }
+
+  CachedChain& chain = cached->second;
+  Frame f;
+  arena_.acquire(f.bytes, data.size());
+  std::memcpy(f.bytes.data(), data.data(), data.size());
+  FrameBatch batch;
+  batch.push_back(std::move(f));
+  if (!chain.pipe->push(std::move(batch))) {
+    // A stage threw mid-chain (e.g. a length no FEC encode could have
+    // produced): the pipeline aborted, so drop it from the cache and
+    // classify the failure like execute() would.
+    Status est = Status::kInternal;
+    try {
+      chain.pipe->wait();
+    } catch (const std::invalid_argument&) {
+      est = Status::kBadPayload;
+    } catch (const std::exception&) {
+      est = Status::kInternal;
+    }
+    cache.erase(cached);
+    return error_reply(req, est);
+  }
+  std::vector<Frame> out = chain.sink->take();
+  if (out.size() != 1) {
+    cache.erase(cached);
+    return error_reply(req, Status::kInternal);
+  }
+  WireReply r;
+  r.op = Op::kPipeline;
+  r.result = chain.has_crc ? out[0].crc : 0;
+  r.payload = std::move(out[0].bytes);  // reply straight from the frame
   return r;
 }
 

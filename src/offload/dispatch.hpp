@@ -5,6 +5,17 @@
 // verification — the server and its verifier share one code path by
 // construction).
 //
+// The hot path is descriptor-based: a worker decodes a zero-copy
+// RequestView over the connection's body buffer and calls execute(),
+// which builds its reply payload in a FrameBuf acquired from the
+// dispatcher's size-classed arena — FEC kernels encode/decode straight
+// from the request span into the reply descriptor, scramble pays one
+// memcpy then transforms in place, and the server serializes the reply
+// with a gather write from the descriptor. Steady state, the reply
+// buffers of every worker recycle through the arena: no per-request
+// allocation on either side of the boundary. dispatch(Request) remains
+// as the copying convenience wrapper (tests, golden-reply generation).
+//
 // Name resolution is catalogue-driven: the spec name carried in a
 // request is looked up in tables built once from crcspec::all(),
 // catalog::all_scrambler_polys() and fec::all_fec_specs(), so every
@@ -22,6 +33,12 @@
 //    so instances are cached per worker thread (thread_local, keyed by
 //    poly name — the mask precomputation depends only on the
 //    generator; reseed(seed) re-keys it per request for free).
+//  - kPipeline: the op chain is compiled into a *fused* Pipeline
+//    (ScrambleStage/FcsStage/Rs{En,De}codeStage + CollectSink) and
+//    cached per worker thread keyed by the chain signature — repeat
+//    chains reuse the stages' keystream caches and engine handles, and
+//    the frame flows through every op in one buffer, one round trip,
+//    zero intermediate copies.
 #pragma once
 
 #include <map>
@@ -34,16 +51,33 @@
 #include "fec/fec_registry.hpp"
 #include "gf2/gf2_poly.hpp"
 #include "offload/protocol.hpp"
+#include "support/frame_arena.hpp"
+#include "support/frame_buf.hpp"
 
 namespace plfsr::offload {
+
+/// A reply ready for the wire: the fixed fields plus the payload as a
+/// descriptor (arena-backed on the hot path) — the server writes
+/// encode_response_header(...) then payload.span(), no concatenation.
+struct WireReply {
+  Status status = Status::kOk;
+  Op op = Op::kPing;
+  std::uint64_t result = 0;
+  FrameBuf payload;
+};
 
 class OffloadDispatcher {
  public:
   /// Builds the name tables from the repo catalogues.
   OffloadDispatcher();
 
-  /// Execute one decoded request and produce its reply. Thread-safe;
-  /// never throws — internal failures become kInternal error replies.
+  /// Execute one request through its zero-copy view and produce a
+  /// descriptor reply. Thread-safe; never throws — internal failures
+  /// become kInternal error replies. `req`'s name/payload must outlive
+  /// the call (the reply's payload is a separate buffer).
+  WireReply execute(const RequestView& req) const;
+
+  /// Copying convenience wrapper over execute() (golden replies, tests).
   Response dispatch(const Request& req) const;
 
   /// The names dispatch() accepts per op family (sorted), for --list
@@ -52,10 +86,15 @@ class OffloadDispatcher {
   std::vector<std::string> scrambler_names() const;
   std::vector<std::string> fec_names() const;
 
+  /// The reply-buffer arena (size-classed, unbounded); exposed so
+  /// servers and examples can report recycle rates.
+  const FrameArena& reply_arena() const { return arena_; }
+
  private:
-  Response do_crc(const Request& req) const;
-  Response do_scramble(const Request& req) const;
-  Response do_fec(const Request& req, bool encode) const;
+  WireReply do_crc(const RequestView& req) const;
+  WireReply do_scramble(const RequestView& req) const;
+  WireReply do_fec(const RequestView& req, bool encode) const;
+  WireReply do_pipeline(const RequestView& req) const;
 
   /// Shared FEC codec for `name` (built on first use, then cached).
   FecCodecHandle fec_codec(const std::string& name, const FecSpec& spec) const;
@@ -66,6 +105,8 @@ class OffloadDispatcher {
 
   mutable std::mutex fec_mu_;
   mutable std::map<std::string, FecCodecHandle> fec_cache_;
+
+  mutable FrameArena arena_;  // reply/working buffers, recycled per class
 };
 
 }  // namespace plfsr::offload

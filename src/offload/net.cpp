@@ -94,6 +94,48 @@ IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms) {
   return IoResult::kOk;
 }
 
+IoResult write_full_vec(int fd, std::span<const ConstBuf> bufs,
+                        int timeout_ms) {
+  const auto deadline = deadline_from(timeout_ms);
+  // Mutable iovec copy; advanced in place as bytes drain.
+  struct iovec iov[8];
+  std::size_t niov = 0;
+  for (const ConstBuf& b : bufs) {
+    if (b.len == 0) continue;
+    if (niov == sizeof(iov) / sizeof(iov[0])) return IoResult::kError;
+    iov[niov].iov_base = const_cast<void*>(b.data);
+    iov[niov].iov_len = b.len;
+    ++niov;
+  }
+  std::size_t first = 0;
+  while (first < niov) {
+    struct msghdr msg{};
+    msg.msg_iov = iov + first;
+    msg.msg_iovlen = niov - first;
+    const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (rc > 0) {
+      auto n = static_cast<std::size_t>(rc);
+      while (first < niov && n >= iov[first].iov_len) {
+        n -= iov[first].iov_len;
+        ++first;
+      }
+      if (first < niov && n > 0) {
+        iov[first].iov_base = static_cast<std::uint8_t*>(iov[first].iov_base) + n;
+        iov[first].iov_len -= n;
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoResult w = wait_for(fd, POLLOUT, deadline);
+      if (w != IoResult::kOk) return w;
+      continue;
+    }
+    return IoResult::kError;  // includes EPIPE: peer is gone
+  }
+  return IoResult::kOk;
+}
+
 IoResult discard_full(int fd, std::uint64_t n, int timeout_ms) {
   std::uint8_t bin[4096];
   const auto deadline = deadline_from(timeout_ms);

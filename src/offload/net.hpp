@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace plfsr::offload {
@@ -33,6 +34,19 @@ IoResult read_full(int fd, void* buf, std::size_t n, int timeout_ms);
 
 /// Write exactly `n` bytes from `buf` under the same rules.
 IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms);
+
+/// One segment of a gather write.
+struct ConstBuf {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Write every segment, in order, as one logical transfer (sendmsg
+/// scatter-gather under the partial/EINTR/deadline rules above) — how a
+/// reply header and a payload held in a frame descriptor go out without
+/// being concatenated into a third buffer first.
+IoResult write_full_vec(int fd, std::span<const ConstBuf> bufs,
+                        int timeout_ms);
 
 /// Read and throw away exactly `n` bytes — how a server skips an
 /// over-cap frame body while keeping the stream's framing in sync.

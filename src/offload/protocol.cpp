@@ -46,28 +46,54 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
   return out;
 }
 
-std::vector<std::uint8_t> encode_response(const Response& resp) {
-  const std::size_t body = kFixedBodyBytes + resp.payload.size();
+std::vector<std::uint8_t> encode_response_header(Status status, Op op,
+                                                 std::uint64_t result,
+                                                 std::size_t payload_len) {
   std::vector<std::uint8_t> out;
-  out.reserve(kLenBytes + body);
-  put_u32(out, static_cast<std::uint32_t>(body));
-  out.push_back(static_cast<std::uint8_t>(resp.status));
-  out.push_back(static_cast<std::uint8_t>(resp.op));
+  out.reserve(kLenBytes + kFixedBodyBytes);
+  put_u32(out, static_cast<std::uint32_t>(kFixedBodyBytes + payload_len));
+  out.push_back(static_cast<std::uint8_t>(status));
+  out.push_back(static_cast<std::uint8_t>(op));
   put_u16(out, 0);
-  put_u64(out, resp.result);
+  put_u64(out, result);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  std::vector<std::uint8_t> out = encode_response_header(
+      resp.status, resp.op, resp.result, resp.payload.size());
   out.insert(out.end(), resp.payload.begin(), resp.payload.end());
   return out;
 }
 
-Status decode_request_body(std::span<const std::uint8_t> body, Request& out) {
-  out = Request{};
+Request make_pipeline_request(const std::vector<PipelineOp>& ops,
+                              std::vector<std::uint8_t> payload) {
+  Request req;
+  req.op = Op::kPipeline;
+  std::vector<std::uint8_t> chain;
+  chain.push_back(static_cast<std::uint8_t>(ops.size()));
+  for (const PipelineOp& o : ops) {
+    chain.push_back(static_cast<std::uint8_t>(o.op));
+    chain.push_back(static_cast<std::uint8_t>(o.name.size()));
+    put_u16(chain, 0);
+    put_u64(chain, o.param);
+    chain.insert(chain.end(), o.name.begin(), o.name.end());
+  }
+  chain.insert(chain.end(), payload.begin(), payload.end());
+  req.payload = std::move(chain);
+  return req;
+}
+
+Status decode_request_view(std::span<const std::uint8_t> body,
+                           RequestView& out) {
+  out = RequestView{};
   if (!body.empty()) out.op = static_cast<Op>(body[0]);  // best-effort echo
   if (body.size() < kFixedBodyBytes) return Status::kBadFrame;
   const std::uint8_t op = body[0];
   const std::size_t name_len = body[1];
   out.flags = get_u16(body.data() + 2);
   out.param = get_u64(body.data() + 4);
-  if (op > static_cast<std::uint8_t>(Op::kFecDecode))
+  if (op > static_cast<std::uint8_t>(Op::kPipeline))
     return Status::kUnknownOp;
   // Reserved bits must round-trip as zero so they can ever mean
   // something: a client setting them speaks a future dialect.
@@ -77,9 +103,58 @@ Status decode_request_body(std::span<const std::uint8_t> body, Request& out) {
   // header shape.
   if (kFixedBodyBytes + name_len > body.size()) return Status::kBadFrame;
   out.op = static_cast<Op>(op);
-  out.name.assign(body.begin() + kFixedBodyBytes,
-                  body.begin() + kFixedBodyBytes + name_len);
-  out.payload.assign(body.begin() + kFixedBodyBytes + name_len, body.end());
+  out.name = std::string_view(
+      reinterpret_cast<const char*>(body.data()) + kFixedBodyBytes, name_len);
+  out.payload = body.subspan(kFixedBodyBytes + name_len);
+  return Status::kOk;
+}
+
+Status decode_request_body(std::span<const std::uint8_t> body, Request& out) {
+  RequestView view;
+  const Status st = decode_request_view(body, view);
+  out = Request{};
+  out.op = view.op;
+  out.flags = view.flags;
+  out.param = view.param;
+  if (st != Status::kOk) return st;
+  out.name.assign(view.name);
+  out.payload.assign(view.payload.begin(), view.payload.end());
+  return Status::kOk;
+}
+
+Status decode_pipeline_ops(std::span<const std::uint8_t> payload,
+                           std::vector<PipelineOp>& ops,
+                           std::span<const std::uint8_t>& data) {
+  ops.clear();
+  data = {};
+  if (payload.empty()) return Status::kBadFrame;
+  const std::size_t count = payload[0];
+  if (count == 0 || count > kMaxPipelineOps) return Status::kBadFrame;
+  std::size_t off = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Every length is checked against what the payload actually holds —
+    // a name_len (or a chain of them) pointing past the end is the
+    // cross-op overflow shape the fuzz corpus probes.
+    if (off + kPipelineOpBytes > payload.size()) return Status::kBadFrame;
+    PipelineOp o;
+    const std::uint8_t op = payload[off];
+    const std::size_t name_len = payload[off + 1];
+    if (get_u16(payload.data() + off + 2) != 0) return Status::kBadFrame;
+    o.param = get_u64(payload.data() + off + 4);
+    off += kPipelineOpBytes;
+    if (off + name_len > payload.size()) return Status::kBadFrame;
+    // Only transform ops chain: a ping adds nothing and a nested
+    // pipeline is a loop waiting to happen.
+    if (op < static_cast<std::uint8_t>(Op::kCrc) ||
+        op > static_cast<std::uint8_t>(Op::kFecDecode))
+      return Status::kUnknownOp;
+    o.op = static_cast<Op>(op);
+    o.name.assign(reinterpret_cast<const char*>(payload.data()) + off,
+                  name_len);
+    off += name_len;
+    ops.push_back(std::move(o));
+  }
+  data = payload.subspan(off);
   return Status::kOk;
 }
 

@@ -34,6 +34,27 @@
 //   ...  payload             scramble/FEC: the transformed bytes;
 //                            CRC: empty; error replies: empty
 //
+// Multi-op requests (op = kPipeline): the outer name is empty and the
+// payload opens with a chain header — the serial composition the client
+// would otherwise issue as N round trips, executed server-side through
+// one fused pipeline pass over one buffer:
+//
+//   u8   op_count            1..kMaxPipelineOps chained ops
+//   op_count times:
+//     u8   op                kCrc / kScramble / kFecEncode / kFecDecode
+//     u8   name_len
+//     u16  reserved          must be 0
+//     u64  param             op-specific (scramble seed, ...)
+//     ...  name              name_len bytes
+//   ...  payload             the data the chain transforms, in order
+//
+// The reply payload is the fully transformed data; result is the CRC
+// recorded by the *last* kCrc op in the chain (0 if none). A malformed
+// chain (empty, too long, truncated mid-header, reserved bits set) is
+// kBadFrame; a non-chainable op byte (kPing, nested kPipeline, anything
+// unknown) is kUnknownOp — in every case an error reply, never a
+// disconnect.
+//
 // Error handling is part of the protocol, not an afterthought: every
 // malformed body (short header, inconsistent name_len, nonzero reserved
 // flags, unknown op or name, a payload the op cannot accept) produces an
@@ -47,6 +68,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace plfsr::offload {
@@ -58,6 +80,8 @@ enum class Op : std::uint8_t {
   kScramble = 2,   ///< payload XOR keystream(name, seed=param) from bit 0
   kFecEncode = 3,  ///< payload -> blocks of data||parity (named FEC spec)
   kFecDecode = 4,  ///< inverse of kFecEncode; corrects in flight
+  kPipeline = 5,   ///< ordered op chain over one payload, one round trip
+                   ///< (see the multi-op sub-format below)
 };
 
 /// Reply status. kOk carries results; everything else is an error reply
@@ -81,6 +105,10 @@ inline constexpr std::size_t kFixedBodyBytes = 12;
 /// Default max body_len a server accepts (1 MiB + protocol overhead —
 /// comfortably above the 64 KiB jumbo-payload class the benches sweep).
 inline constexpr std::size_t kDefaultMaxFrame = (1u << 20) + 512;
+/// Longest op chain a kPipeline request may carry.
+inline constexpr std::size_t kMaxPipelineOps = 8;
+/// Per-op header bytes inside a kPipeline chain (mirrors the fixed body).
+inline constexpr std::size_t kPipelineOpBytes = 12;
 
 /// One decoded request.
 struct Request {
@@ -99,9 +127,40 @@ struct Response {
   std::vector<std::uint8_t> payload;
 };
 
+/// Zero-copy view of a request body: name and payload borrow the body
+/// buffer (keep it alive while the view is in use). This is what the
+/// server worker decodes — the payload bytes are never copied into a
+/// Request just to be read once by the dispatcher.
+struct RequestView {
+  Op op = Op::kPing;
+  std::uint16_t flags = 0;
+  std::uint64_t param = 0;
+  std::string_view name;
+  std::span<const std::uint8_t> payload;
+};
+
+/// One link of a kPipeline chain.
+struct PipelineOp {
+  Op op = Op::kCrc;
+  std::uint64_t param = 0;
+  std::string name;
+};
+
 /// Serialize (length prefix included).
 std::vector<std::uint8_t> encode_request(const Request& req);
 std::vector<std::uint8_t> encode_response(const Response& resp);
+
+/// The length prefix + fixed response body announcing `payload_len`
+/// payload bytes to follow — the worker writes this header and then the
+/// payload straight from its frame descriptor (gather write, no
+/// concatenated copy). encode_response == header + payload.
+std::vector<std::uint8_t> encode_response_header(Status status, Op op,
+                                                 std::uint64_t result,
+                                                 std::size_t payload_len);
+
+/// Build a kPipeline request: `ops` applied in order to `payload`.
+Request make_pipeline_request(const std::vector<PipelineOp>& ops,
+                              std::vector<std::uint8_t> payload);
 
 /// Parse a request *body* (the bytes after the length prefix; the
 /// transport already enforced the cap and read exactly body_len bytes).
@@ -109,6 +168,19 @@ std::vector<std::uint8_t> encode_response(const Response& resp);
 /// body is unusable (`out` then holds at least the op byte when one was
 /// readable, so the error reply can echo it).
 Status decode_request_body(std::span<const std::uint8_t> body, Request& out);
+
+/// Zero-copy variant of decode_request_body: `out` borrows `body`.
+Status decode_request_view(std::span<const std::uint8_t> body,
+                           RequestView& out);
+
+/// Parse a kPipeline request's payload into its op chain and the data
+/// the chain transforms (`data` borrows `payload`). Structural errors
+/// (empty/oversized chain, headers or names overflowing the payload,
+/// reserved bits set) return kBadFrame; a chain link whose op cannot be
+/// chained (kPing, nested kPipeline, unknown bytes) returns kUnknownOp.
+Status decode_pipeline_ops(std::span<const std::uint8_t> payload,
+                           std::vector<PipelineOp>& ops,
+                           std::span<const std::uint8_t>& data);
 
 /// Parse a response body. False when structurally invalid.
 bool decode_response_body(std::span<const std::uint8_t> body, Response& out);

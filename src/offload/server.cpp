@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/frame_buf.hpp"
 #include "support/host_threads.hpp"
 #include "support/thread_pool.hpp"
 
@@ -27,8 +28,12 @@ using Clock = std::chrono::steady_clock;
 /// two threads never race on the read-side fields.
 struct OffloadServer::Conn {
   Socket sock;
-  std::vector<std::uint8_t> hdr;   // partial length prefix (< 4 bytes)
-  std::vector<std::uint8_t> body;  // partial body
+  std::vector<std::uint8_t> hdr;  // partial length prefix (< 4 bytes)
+  FrameBuf body;      // partial body (arena descriptor, size = bytes read)
+  FrameBuf inflight;  // body handed to the worker (ThreadPool's task type
+                      // must be copyable, so the move-only descriptor
+                      // rides on the Conn — safe: the connection is out
+                      // of the poll set for the whole busy window)
   std::uint32_t body_len = 0;
   bool have_len = false;
   std::uint64_t discard_left = 0;  // > 0: draining an over-cap body
@@ -110,24 +115,33 @@ void OffloadServer::rearm(Conn* c) {
   [[maybe_unused]] ssize_t rc = ::write(impl_->wake_wr, &b, 1);
 }
 
-void OffloadServer::work(Conn* c, std::vector<std::uint8_t> body,
-                         Status pre_status) {
-  Response resp;
+void OffloadServer::work(Conn* c, Status pre_status) {
+  // Take ownership of the request body; when it drops at the end of this
+  // function its storage recycles through the server arena.
+  FrameBuf body = std::move(c->inflight);
+  WireReply rep;
   if (pre_status != Status::kOk) {
     // Transport-level refusal (over-cap frame) decided by the event
     // thread; the body was drained, only the op byte survives.
-    resp.status = pre_status;
-    resp.op = static_cast<Op>(body.empty() ? 0 : body[0]);
+    rep.status = pre_status;
+    rep.op = static_cast<Op>(body.empty() ? 0 : body[0]);
   } else {
-    Request req;
-    const Status st = decode_request_body(body, req);
-    resp = st == Status::kOk ? dispatcher_.dispatch(req)
-                             : Response{st, req.op, 0, {}};
+    RequestView view;
+    const Status st = decode_request_view(body.span(), view);
+    if (st == Status::kOk)
+      rep = dispatcher_.execute(view);
+    else
+      rep = WireReply{st, view.op, 0, {}};
   }
-  if (resp.status != Status::kOk) error_replies_.fetch_add(1);
-  const std::vector<std::uint8_t> wire = encode_response(resp);
-  if (write_full(c->sock.fd(), wire.data(), wire.size(),
-                 opts_.write_timeout_ms) != IoResult::kOk)
+  if (rep.status != Status::kOk) error_replies_.fetch_add(1);
+  // Gather write: the 16-byte header plus the payload straight from the
+  // reply descriptor — no concatenated wire buffer.
+  const std::vector<std::uint8_t> hdr = encode_response_header(
+      rep.status, rep.op, rep.result, rep.payload.size());
+  const ConstBuf bufs[] = {{hdr.data(), hdr.size()},
+                           {rep.payload.data(), rep.payload.size()}};
+  if (write_full_vec(c->sock.fd(), bufs, opts_.write_timeout_ms) !=
+      IoResult::kOk)
     c->broken.store(true);
   frames_.fetch_add(1);
   rearm(c);
@@ -144,14 +158,12 @@ void OffloadServer::run() {
   // connection leaves the poll set until the worker re-arms it, which
   // both bounds per-connection memory to one frame and keeps replies in
   // request order.
-  const auto submit = [&](Conn* c, std::vector<std::uint8_t> body,
-                          Status pre) {
+  const auto submit = [&](Conn* c, FrameBuf body, Status pre) {
     c->reset_frame();
+    c->inflight = std::move(body);
     c->busy = true;
     ++busy_count;
-    pool_->submit([this, c, b = std::move(body), pre]() mutable {
-      work(c, std::move(b), pre);
-    });
+    pool_->submit([this, c, pre] { work(c, pre); });
   };
 
   // Pump one connection's read side. Reads never cross the current
@@ -176,9 +188,11 @@ void OffloadServer::run() {
         const std::size_t got = c->body.size();
         want = c->body_len - got;
         if (want == 0) {  // zero-length body: complete already
-          submit(c, {}, Status::kOk);
+          submit(c, FrameBuf{}, Status::kOk);
           return true;
         }
+        // resize stays within the capacity acquired when the length
+        // prefix completed — no reallocation mid-frame.
         c->body.resize(c->body_len);
         dst = c->body.data() + got;
       }
@@ -198,7 +212,8 @@ void OffloadServer::run() {
         }
         c->discard_left -= n;
         if (c->discard_left == 0)
-          submit(c, {c->discard_op}, Status::kFrameTooLarge);
+          submit(c, FrameBuf(std::vector<std::uint8_t>{c->discard_op}),
+                 Status::kFrameTooLarge);
       } else if (!c->have_len) {
         c->hdr.insert(c->hdr.end(), scratch, scratch + n);
         if (c->hdr.size() == kLenBytes) {
@@ -212,6 +227,12 @@ void OffloadServer::run() {
             // refuse it — the connection survives its own mistake.
             c->discard_left = c->body_len;
             c->have_len = false;
+          } else if (c->body_len > 0) {
+            // Acquire the whole body up front from the arena (steady
+            // state a recycled descriptor, not an allocation), then
+            // track arrival progress through the descriptor's size.
+            arena_.acquire(c->body, c->body_len);
+            c->body.resize(0);
           }
         }
       } else {

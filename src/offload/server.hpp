@@ -10,6 +10,13 @@
 // serve thousands of connections — concurrency is per in-flight
 // *frame*, not per connection.
 //
+// The data path is descriptor-based end to end: request bodies land in
+// FrameBufs recycled through a server-owned size-classed arena, the
+// worker decodes a zero-copy RequestView over that buffer, the
+// dispatcher builds its reply in another recycled descriptor, and the
+// reply goes out as a gather write (header + payload spans) — steady
+// state, a request/reply cycle allocates nothing.
+//
 // Robustness contract (tests/offload_test.cpp enforces each clause):
 //  - Malformed input is answered, not dropped: short/inconsistent
 //    bodies, unknown ops/names and unusable payloads each produce an
@@ -32,6 +39,7 @@
 
 #include "offload/dispatch.hpp"
 #include "offload/net.hpp"
+#include "support/frame_arena.hpp"
 
 namespace plfsr {
 class ThreadPool;
@@ -76,16 +84,22 @@ class OffloadServer {
   std::uint64_t frames_served() const { return frames_.load(); }
   std::uint64_t error_replies() const { return error_replies_.load(); }
 
+  /// The arena request bodies are acquired from — exposes the
+  /// recycle/heap counters so callers can assert the steady state
+  /// allocates nothing.
+  const FrameArena& request_arena() const { return arena_; }
+
  private:
   struct Conn;
   struct Impl;
 
   void run();  // event-thread body
-  void work(Conn* c, std::vector<std::uint8_t> body, Status pre_status);
+  void work(Conn* c, Status pre_status);
   void rearm(Conn* c);
 
   ServerOptions opts_;
   OffloadDispatcher dispatcher_;
+  FrameArena arena_;  // request-body descriptors, recycled per class
   std::unique_ptr<Impl> impl_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread thread_;

@@ -1,11 +1,48 @@
 #include "pipeline/pipeline.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <chrono>
 #include <stdexcept>
 
 #include "support/host_threads.hpp"
 
 namespace plfsr {
+
+namespace {
+
+/// Best-effort pin of the calling thread to the `idx`-th CPU the process
+/// is allowed on (round-robin over the allowed set, so a cgroup cpuset
+/// is respected instead of raw CPU ids). No-op where unsupported or on
+/// kernel refusal — pinning is an optimization hint, never a failure.
+void pin_self_to_cpu([[maybe_unused]] std::size_t idx) {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return;
+  const int n = CPU_COUNT(&allowed);
+  if (n <= 0) return;
+  int want = static_cast<int>(idx % static_cast<std::size_t>(n));
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    if (want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(one), &one);
+#endif
+}
+
+}  // namespace
 
 ExecMode PipelinePlan::resolve(std::size_t num_stages) const {
   if (mode != ExecMode::kAuto) return mode;
@@ -121,6 +158,7 @@ void Pipeline::wait() {
 }
 
 void Pipeline::run_stage(std::size_t i) {
+  if (plan_.pin_threads) pin_self_to_cpu(i);
   RingBuffer<FrameBatch>& in = *rings_[i];
   RingBuffer<FrameBatch>* out =
       i + 1 < rings_.size() ? rings_[i + 1].get() : nullptr;

@@ -60,17 +60,29 @@ enum class ExecMode {
   kFused,     ///< all stages inline on the caller's thread, no rings
 };
 
-/// Execution policy: mode + ring geometry.
+/// Execution policy: mode + ring geometry + thread placement.
 struct PipelinePlan {
   /// Ring capacity between consecutive stages, in batches (threaded
   /// mode; fused mode has no rings).
   std::size_t queue_depth = 8;
   ExecMode mode = ExecMode::kAuto;
 
+  /// Pin each stage worker to its own CPU (stage i to the i-th core the
+  /// process may run on, round-robin) via pthread_setaffinity_np —
+  /// steadier ring hand-off latency on dedicated hosts, at the price of
+  /// fighting the scheduler on shared ones. Best-effort: a no-op on
+  /// platforms without the call or when the kernel refuses, and ignored
+  /// in fused mode (there are no workers to pin). Output is bit-exact
+  /// either way — pinning is pure placement.
+  bool pin_threads = false;
+
   static PipelinePlan threaded(std::size_t depth = 8) {
     return {depth, ExecMode::kThreaded};
   }
   static PipelinePlan fused() { return {1, ExecMode::kFused}; }
+  static PipelinePlan pinned(std::size_t depth = 8) {
+    return {depth, ExecMode::kThreaded, /*pin_threads=*/true};
+  }
 
   /// The kAuto decision for a graph of `num_stages` stages: threaded
   /// only when the host can give every stage plus the producer its own

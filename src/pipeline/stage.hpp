@@ -16,15 +16,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/frame_buf.hpp"
+
 namespace plfsr {
 
 /// One unit of streamed work: a frame body plus per-frame results.
+///
+/// The body is a FrameBuf descriptor, so a Frame is *move-only*: it
+/// changes hands through ring slots and shard scratch batches at
+/// descriptor cost regardless of payload size, and an accidental payload
+/// copy cannot compile — duplication must be spelled clone(). Dropping a
+/// Frame releases its buffer (back to the arena that issued it, or the
+/// heap).
 struct Frame {
   /// Sentinel for `bits`: the whole byte buffer is payload.
   static constexpr std::uint64_t kWholeBytes = ~std::uint64_t{0};
 
   std::uint64_t id = 0;               ///< stream position (seeds, spot checks)
-  std::vector<std::uint8_t> bytes;    ///< body; stages transform it in place
+  FrameBuf bytes;                     ///< body; stages transform it in place
   std::uint64_t crc = 0;              ///< FCS recorded by a CRC stage
 
   /// True payload length in bits (LSB-first within `bytes`). Byte-packing
@@ -47,6 +56,17 @@ struct Frame {
   std::uint64_t bit_size() const {
     const std::uint64_t whole = 8 * static_cast<std::uint64_t>(bytes.size());
     return bits == kWholeBytes ? whole : (bits < whole ? bits : whole);
+  }
+
+  /// Deep copy (heap-backed body) — the only way to duplicate a frame.
+  Frame clone() const {
+    Frame f;
+    f.id = id;
+    f.bytes = bytes.clone();
+    f.crc = crc;
+    f.bits = bits;
+    f.erasures = erasures;
+    return f;
   }
 };
 

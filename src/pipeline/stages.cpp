@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <span>
 
 #include "support/bitstream.hpp"
 
@@ -11,7 +12,7 @@ namespace {
 
 /// The first `nbits` bits of `bytes`, LSB-first per byte — the byte
 /// buffer with its packing pad stripped.
-BitStream payload_bits(const std::vector<std::uint8_t>& bytes,
+BitStream payload_bits(std::span<const std::uint8_t> bytes,
                        std::uint64_t nbits) {
   const BitStream all = BitStream::from_bytes_lsb_first(bytes);
   if (nbits >= all.size()) return all;
@@ -37,7 +38,7 @@ void ScrambleStage::grow_cache(std::size_t nbytes) {
   scr_.keystream_into(key_.data() + old, want - old);
 }
 
-void ScrambleStage::apply(std::vector<std::uint8_t>& bytes) {
+void ScrambleStage::apply(std::span<std::uint8_t> bytes) {
   // Frame-synchronous: every frame XORs the same keystream prefix, so
   // the scramble is a straight word-wide XOR against the cache.
   const std::size_t n = bytes.size();

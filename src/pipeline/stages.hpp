@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -20,7 +21,6 @@
 #include "pipeline/stage.hpp"
 #include "scrambler/block_scrambler.hpp"
 #include "scrambler/spreader.hpp"
-#include "support/frame_arena.hpp"
 
 namespace plfsr {
 
@@ -45,8 +45,9 @@ class ScrambleStage : public Stage {
   const char* name() const override { return "scramble"; }
   void process(FrameBatch& batch) override;
 
-  /// Scramble one frame body in place (shared with the serial reference).
-  void apply(std::vector<std::uint8_t>& bytes);
+  /// Scramble one body in place through its span view (shared with the
+  /// serial reference; a FrameBuf passes directly).
+  void apply(std::span<std::uint8_t> bytes);
 
   /// The word-parallel engine (tests read its work counters).
   const BlockScrambler& scrambler() const { return scr_; }
@@ -137,26 +138,22 @@ class FcsStage : public Stage {
 /// on-line functional check (stride 1 = verify everything, as the tests
 /// do; the bench spot-checks). Counters are read after Pipeline::wait().
 ///
-/// With a FrameArena attached the sink closes the zero-copy loop: every
-/// verified frame's buffer is released back to the pool (and the frame
-/// consumed), so a producer acquiring from the same arena recycles
-/// buffers instead of allocating — and a bounded arena backpressures it
-/// end to end.
+/// The sink *consumes* frames: the batch is cleared after checking, and
+/// dropping each frame's descriptor is the whole recycle path — an
+/// arena-acquired buffer returns to its pool right here, so a producer
+/// acquiring from the same arena recycles instead of allocating (and a
+/// bounded arena backpressures it end to end) with the sink knowing
+/// nothing about the arena at all.
 class VerifySink : public Stage {
  public:
-  explicit VerifySink(CrcEngineHandle ref, std::uint64_t stride = 1,
-                      FrameArena* recycle = nullptr)
-      : ref_(std::move(ref)),
-        stride_(stride == 0 ? 1 : stride),
-        recycle_(recycle) {}
+  explicit VerifySink(CrcEngineHandle ref, std::uint64_t stride = 1)
+      : ref_(std::move(ref)), stride_(stride == 0 ? 1 : stride) {}
 
   template <typename Engine>
     requires(LinearEngine<std::remove_cvref_t<Engine>> &&
              !std::same_as<std::remove_cvref_t<Engine>, CrcEngineHandle>)
-  explicit VerifySink(Engine&& ref, std::uint64_t stride = 1,
-                      FrameArena* recycle = nullptr)
-      : VerifySink(CrcEngineHandle(std::forward<Engine>(ref)), stride,
-                   recycle) {}
+  explicit VerifySink(Engine&& ref, std::uint64_t stride = 1)
+      : VerifySink(CrcEngineHandle(std::forward<Engine>(ref)), stride) {}
 
   const char* name() const override { return "verify"; }
 
@@ -180,10 +177,9 @@ class VerifySink : public Stage {
       for (std::size_t j = 0; j < checked_idx_.size(); ++j)
         if (crcs_[j] != batch[checked_idx_[j]].crc) ++mismatches_;
     }
-    if (recycle_) {
-      for (Frame& f : batch) recycle_->release(std::move(f.bytes));
-      batch.clear();  // frames consumed; their buffers live on in the pool
-    }
+    // Descriptor drop IS the recycle: clearing the batch destroys every
+    // FrameBuf, and each arena-backed one returns to its pool.
+    batch.clear();
   }
 
   std::uint64_t frames() const { return frames_; }
@@ -195,7 +191,6 @@ class VerifySink : public Stage {
  private:
   CrcEngineHandle ref_;
   std::uint64_t stride_;
-  FrameArena* recycle_;
   std::uint64_t frames_ = 0, bytes_ = 0, checked_ = 0, mismatches_ = 0;
   // Stage-local scratch (process() runs on the stage's own thread).
   std::vector<FrameView> views_;
@@ -215,6 +210,15 @@ class CollectSink : public Stage {
   }
 
   const std::vector<Frame>& frames() const { return out_; }
+
+  /// Move the collected frames out (and reset for the next run) — how a
+  /// request/reply caller of a cached fused pipeline harvests its frame
+  /// without copying the payload.
+  std::vector<Frame> take() {
+    std::vector<Frame> out;
+    out.swap(out_);
+    return out;
+  }
 
  private:
   std::vector<Frame> out_;

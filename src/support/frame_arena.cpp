@@ -1,100 +1,169 @@
 #include "support/frame_arena.hpp"
 
+#include <bit>
+
 namespace plfsr {
 
-bool FrameArena::grab_locked(std::vector<std::uint8_t>& out,
-                             std::size_t size) {
-  if (!pool_.empty()) {
-    out = std::move(pool_.back());
-    pool_.pop_back();
-    out.resize(size);
-    ++recycles_;
-  } else {
-    out.assign(size, 0);
-    ++heap_allocations_;
+namespace detail {
+
+void arena_release(const std::shared_ptr<ArenaState>& home,
+                   std::vector<std::uint8_t>&& storage) noexcept {
+  std::vector<std::uint8_t> buf = std::move(storage);
+  {
+    std::lock_guard<std::mutex> lk(home->mu);
+    if (home->outstanding > 0) --home->outstanding;
+    if (home->closed) return;  // shutdown path: let the heap take it
+    // Re-classify by what the buffer can actually hold — a descriptor
+    // that grew on the heap returns to the bigger class it now serves.
+    const std::size_t cls =
+        buf.capacity() < FrameArena::kMinClassBytes
+            ? FrameArena::kMinClassBytes
+            : std::bit_floor(buf.capacity());
+    home->pools[cls].push_back(std::move(buf));
+    ++home->pooled;
   }
-  ++outstanding_;
-  ++acquires_;
+  home->cv.notify_one();
+}
+
+}  // namespace detail
+
+FrameArena::FrameArena(std::size_t capacity)
+    : state_(std::make_shared<detail::ArenaState>()) {
+  state_->capacity = capacity;
+}
+
+FrameArena::~FrameArena() { close(); }
+
+std::size_t FrameArena::size_class(std::size_t size) {
+  return size <= kMinClassBytes ? kMinClassBytes : std::bit_ceil(size);
+}
+
+bool FrameArena::grab_locked(FrameBuf& out, std::size_t size,
+                             std::size_t cls) {
+  detail::ArenaState& s = *state_;
+  const auto it = s.pools.find(cls);
+  if (it != s.pools.end() && !it->second.empty()) {
+    // Recycled buffer: its capacity covers the class (>= size) by
+    // construction, so this resize never touches the heap.
+    out.buf_ = std::move(it->second.back());
+    it->second.pop_back();
+    if (it->second.empty()) s.pools.erase(it);
+    --s.pooled;
+    out.buf_.resize(size);
+    ++s.recycles;
+  } else {
+    if (s.capacity != 0 && s.outstanding + s.pooled >= s.capacity) {
+      // At the bound with only wrong-class buffers pooled: evict one to
+      // stay within budget, then allocate the class we actually need.
+      // (The caller's wait predicate guarantees pooled > 0 here.)
+      auto victim = s.pools.begin();
+      victim->second.pop_back();
+      if (victim->second.empty()) s.pools.erase(victim);
+      --s.pooled;
+      ++s.evictions;
+    }
+    out.buf_.reserve(cls);
+    out.buf_.resize(size);
+    ++s.heap_allocations;
+  }
+  ++s.outstanding;
+  ++s.acquires;
+  out.home_ = state_;
   return true;
 }
 
-bool FrameArena::acquire(std::vector<std::uint8_t>& out, std::size_t size) {
-  std::unique_lock<std::mutex> lk(mu_);
-  const bool bounded = capacity_ != 0;
-  if (bounded && pool_.empty() && outstanding_ >= capacity_ && !closed_)
-    ++acquire_stalls_;
-  cv_.wait(lk, [&] {
-    return closed_ || !bounded || !pool_.empty() || outstanding_ < capacity_;
-  });
-  // Drain semantics after close(): recycled buffers keep serving (the
-  // in-flight producer keeps its zero-alloc guarantee to the last frame),
-  // but the arena never blocks and never grows — an empty pool means the
-  // hand-out is over.
-  if (closed_ && pool_.empty()) return false;
-  return grab_locked(out, size);
-}
-
-bool FrameArena::try_acquire(std::vector<std::uint8_t>& out,
-                             std::size_t size) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (closed_ && pool_.empty()) return false;
-  if (!closed_ && capacity_ != 0 && pool_.empty() &&
-      outstanding_ >= capacity_)
-    return false;
-  return grab_locked(out, size);
-}
-
-void FrameArena::release(std::vector<std::uint8_t> buf) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (outstanding_ > 0) --outstanding_;
-    if (closed_) return;  // shutdown path: let the heap take it
-    pool_.push_back(std::move(buf));
+bool FrameArena::acquire(FrameBuf& out, std::size_t size) {
+  // Drop any buffer the caller still holds *before* blocking on the
+  // bound — re-acquiring into a held descriptor must not deadlock a
+  // capacity-1 arena.
+  out.reset();
+  const std::size_t cls = size_class(size);
+  detail::ArenaState& s = *state_;
+  std::unique_lock<std::mutex> lk(s.mu);
+  const bool bounded = s.capacity != 0;
+  const auto ready = [&] {
+    return s.closed || !bounded || s.pooled > 0 ||
+           s.outstanding + s.pooled < s.capacity;
+  };
+  if (!ready()) ++s.acquire_stalls;
+  s.cv.wait(lk, ready);
+  if (s.closed) {
+    // Drain semantics: the class pool keeps serving (the in-flight
+    // producer keeps its zero-alloc guarantee to the last frame), but
+    // the arena never blocks and never grows — an empty class pool
+    // means the hand-out is over.
+    const auto it = s.pools.find(cls);
+    if (it == s.pools.end() || it->second.empty()) return false;
   }
-  cv_.notify_one();
+  return grab_locked(out, size, cls);
+}
+
+bool FrameArena::try_acquire(FrameBuf& out, std::size_t size) {
+  out.reset();
+  const std::size_t cls = size_class(size);
+  detail::ArenaState& s = *state_;
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.closed) {
+    const auto it = s.pools.find(cls);
+    if (it == s.pools.end() || it->second.empty()) return false;
+  } else if (s.capacity != 0 && s.pooled == 0 &&
+             s.outstanding + s.pooled >= s.capacity) {
+    return false;
+  }
+  return grab_locked(out, size, cls);
 }
 
 void FrameArena::close() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    closed_ = true;
-    // The pool is deliberately kept: a draining producer may still
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->closed = true;
+    // The pools are deliberately kept: a draining producer may still
     // acquire() the recycled buffers until they run out. (An earlier
-    // version cleared it here, which silently demoted the tail of a
+    // version cleared them here, which silently demoted the tail of a
     // drain to heap churn — or to a hard stop for acquire-driven
     // producers.)
   }
-  cv_.notify_all();
+  state_->cv.notify_all();
 }
 
 std::size_t FrameArena::outstanding() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return outstanding_;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->outstanding;
 }
 
 std::size_t FrameArena::pooled() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return pool_.size();
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->pooled;
+}
+
+std::size_t FrameArena::pooled_classes() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->pools.size();
 }
 
 std::uint64_t FrameArena::acquires() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return acquires_;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->acquires;
 }
 
 std::uint64_t FrameArena::recycles() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return recycles_;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->recycles;
 }
 
 std::uint64_t FrameArena::heap_allocations() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return heap_allocations_;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->heap_allocations;
 }
 
 std::uint64_t FrameArena::acquire_stalls() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return acquire_stalls_;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->acquire_stalls;
+}
+
+std::uint64_t FrameArena::evictions() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->evictions;
 }
 
 }  // namespace plfsr

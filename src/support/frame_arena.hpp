@@ -1,29 +1,48 @@
-// Recycling pool of frame byte-buffers — the allocator the zero-copy
-// pipeline runs on.
+// Recycling pool of frame buffers — the allocator the zero-copy
+// pipeline runs on, handing out FrameBuf descriptors instead of raw
+// vectors.
 //
-// A streaming pipeline that allocates a fresh std::vector per frame pays
-// one heap round-trip per frame at the producer and one at the sink; at
+// A streaming pipeline that allocates a fresh buffer per frame pays one
+// heap round-trip per frame at the producer and one at the sink; at
 // millions of 64 B frames per second the allocator, not the kernels,
-// becomes the bottleneck row. The arena closes that loop: the sink
-// releases each drained frame's buffer back to the pool, the producer's
-// next acquire() reuses it (capacity intact, so steady state does no
-// heap work at all), and the frames in flight between them carry only
-// the vector's heap descriptor through the rings — payload bytes are
-// written once by the producer and never copied again.
+// becomes the bottleneck row. The arena closes that loop: every acquired
+// FrameBuf carries a backref, its *destructor* returns the storage to
+// the pool (no explicit release call anywhere — dropping the frame at
+// the sink is the release), and the producer's next acquire() reuses it
+// with capacity intact, so steady state does no heap work at all. The
+// frames in flight between them carry only the descriptor through the
+// rings — payload bytes are written once by the producer and never
+// copied again.
+//
+// Pools are *size-classed* (power-of-two capacity classes, floor 64 B):
+// a 4 MiB jumbo aggregate and a 64 B telemetry frame recycle through
+// separate pools, so a mixed workload stays allocation-free at both
+// extremes. (The single-pool design this replaces recycled whichever
+// buffer was released last; a jumbo request landing on a 64 B buffer
+// silently reallocated — the "recycle" counter said zero-alloc while
+// every frame paid a 4 MiB heap trip. A recycled buffer's capacity now
+// always covers the request, by construction.) When the bound is
+// reached and only wrong-class buffers are pooled, one is evicted to
+// make room (counted in evictions()) — the pool's class mix adapts to
+// the workload instead of deadlocking it.
 //
 // A bounded arena (capacity > 0) doubles as end-to-end backpressure:
-// once `capacity` buffers are in flight, acquire() blocks until the sink
-// releases one — the producer is throttled by pipeline drain rate, the
-// way a MAC's descriptor ring throttles its DMA engine.
+// `capacity` caps the buffers in existence (outstanding + pooled, so
+// heap_allocations() <= capacity() + evictions() always holds); once
+// every buffer is outstanding, acquire() blocks until a descriptor
+// drops — the producer is throttled by pipeline drain rate, the way a
+// MAC's descriptor ring throttles its DMA engine.
 //
 // Shutdown is a *drain*, not a hard stop: close() unblocks every waiter
-// and stops all heap growth, but buffers already sitting in the pool
-// keep serving acquire() until they run out — an in-flight producer
+// and stops all heap growth, but buffers already pooled keep serving
+// acquire() (per size class) until they run out — an in-flight producer
 // finishing its tail keeps the zero-alloc guarantee to the last frame.
-// Once the pool is empty (or immediately, if it was), acquire() returns
-// false and never blocks again. Buffers release()d after close are
-// dropped (their consumers are gone), so the drain is bounded by the
-// buffers pooled at close time.
+// Once the class pool is empty (or immediately, if it was), acquire()
+// returns false and never blocks again. Descriptors dropped after close
+// free their storage on the heap (their consumers are gone). Because the
+// state is shared with every outstanding FrameBuf, descriptors may even
+// outlive the arena object itself — destruction closes the arena, and
+// the stragglers heap-free safely.
 //
 // Thread-safety: all members are safe to call concurrently (mutex +
 // condvar; the arena's operations are per-frame and amortized by the
@@ -33,68 +52,93 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "support/frame_buf.hpp"
+
 namespace plfsr {
 
-/// Bounded (or unbounded) recycling pool of byte buffers.
+namespace detail {
+/// The arena guts, shared (shared_ptr) with every outstanding FrameBuf
+/// so a descriptor can release safely after the arena object is gone.
+struct ArenaState {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  // size class (power-of-two slot capacity) -> recycled storage
+  std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> pools;
+  std::size_t pooled = 0;       // buffers across all pools
+  std::size_t outstanding = 0;  // buffers acquired and not yet released
+  std::size_t capacity = 0;     // bound on outstanding + pooled; 0 = none
+  bool closed = false;
+  std::uint64_t acquires = 0;
+  std::uint64_t recycles = 0;
+  std::uint64_t heap_allocations = 0;
+  std::uint64_t acquire_stalls = 0;
+  std::uint64_t evictions = 0;
+};
+}  // namespace detail
+
+/// Bounded (or unbounded) size-classed recycling pool of FrameBufs.
 class FrameArena {
  public:
-  /// `capacity` bounds the buffers alive at once (acquired and not yet
-  /// released); 0 means unbounded (acquire never blocks).
-  explicit FrameArena(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// Smallest size class; every class is a power of two at or above it.
+  static constexpr std::size_t kMinClassBytes = 64;
+
+  /// `capacity` bounds the buffers in existence at once (acquired plus
+  /// pooled); 0 means unbounded (acquire never blocks).
+  explicit FrameArena(std::size_t capacity = 0);
+
+  /// Destruction close()s; outstanding descriptors heap-free later.
+  ~FrameArena();
 
   FrameArena(const FrameArena&) = delete;
   FrameArena& operator=(const FrameArena&) = delete;
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return state_->capacity; }
+
+  /// The size class serving a request of `size` bytes (the capacity the
+  /// handed-out buffer is guaranteed to have).
+  static std::size_t size_class(std::size_t size);
 
   /// Blocking acquire of a buffer resized to `size` (contents
-  /// unspecified — recycled buffers keep their old bytes). Returns false
-  /// iff the arena was close()d and the pool has drained dry (after
-  /// close the pooled buffers still serve, but nothing blocks or hits
-  /// the heap).
-  bool acquire(std::vector<std::uint8_t>& out, std::size_t size);
+  /// unspecified — recycled buffers keep their old bytes). Any buffer
+  /// `out` already holds is released first. Returns false iff the arena
+  /// was close()d and `size`'s class pool has drained dry (after close
+  /// the pooled buffers still serve, but nothing blocks or hits the
+  /// heap).
+  bool acquire(FrameBuf& out, std::size_t size);
 
-  /// Non-blocking acquire; false when the bound is reached (or closed
-  /// with an empty pool).
-  bool try_acquire(std::vector<std::uint8_t>& out, std::size_t size);
-
-  /// Return a buffer to the pool (capacity kept for reuse) and wake one
-  /// blocked acquirer. Releasing into a closed arena just drops the
-  /// buffer.
-  void release(std::vector<std::uint8_t> buf);
+  /// Non-blocking acquire; false when the bound is reached with nothing
+  /// pooled (or closed with an empty class pool).
+  bool try_acquire(FrameBuf& out, std::size_t size);
 
   /// Begin the drain: unblock every waiter, stop heap growth and new
-  /// pooling; acquires keep succeeding from the existing pool until it
-  /// is empty, then fail. Idempotent.
+  /// pooling; acquires keep succeeding from the existing class pools
+  /// until they empty, then fail. Idempotent.
   void close();
 
   /// Buffers currently acquired and not yet released.
   std::size_t outstanding() const;
-  /// Buffers sitting in the pool ready for reuse.
+  /// Buffers sitting in the pools ready for reuse.
   std::size_t pooled() const;
+  /// Distinct size classes currently pooled.
+  std::size_t pooled_classes() const;
 
   // --- counters (monotonic; read anytime) ---------------------------
   std::uint64_t acquires() const;        ///< successful acquire/try_acquire
-  std::uint64_t recycles() const;        ///< acquires served from the pool
+  std::uint64_t recycles() const;        ///< acquires served from a pool
   std::uint64_t heap_allocations() const;  ///< acquires that hit the heap
   std::uint64_t acquire_stalls() const;  ///< acquires that had to wait
+  std::uint64_t evictions() const;       ///< wrong-class buffers dropped
+                                         ///< to make room at the bound
 
  private:
-  bool grab_locked(std::vector<std::uint8_t>& out, std::size_t size);
+  bool grab_locked(FrameBuf& out, std::size_t size, std::size_t cls);
 
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::vector<std::uint8_t>> pool_;
-  std::size_t outstanding_ = 0;
-  bool closed_ = false;
-  std::uint64_t acquires_ = 0;
-  std::uint64_t recycles_ = 0;
-  std::uint64_t heap_allocations_ = 0;
-  std::uint64_t acquire_stalls_ = 0;
+  std::shared_ptr<detail::ArenaState> state_;
 };
 
 }  // namespace plfsr

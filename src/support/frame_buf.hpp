@@ -1,0 +1,144 @@
+// FrameBuf — the buffer descriptor the zero-copy pipeline passes around.
+//
+// The paper's processor↔PiCoGA hand-off moves a *reference* into shared
+// register/memory space, never the data: the array's rows all work on the
+// same block the processor deposited. FrameBuf is that hand-off in
+// software: a move-only descriptor {data, capacity, arena backref} that
+// travels through ring slots, stage batches and worker queues while the
+// payload bytes stay put. Moving a FrameBuf moves a few words; copying is
+// deleted — a deep copy must be spelled clone(), so an accidental
+// payload copy cannot compile.
+//
+// Ownership closes the recycling loop without any explicit release call:
+// a FrameBuf handed out by a FrameArena carries a shared backref to the
+// arena's state, and its destructor returns the storage to the arena's
+// size-classed pool (drop the descriptor anywhere — sink, error path,
+// abandoned batch — and the buffer is recycled). Arena-less descriptors
+// (default-constructed, adopted from a std::vector, clone()d) have a
+// null backref and fall back to plain heap free, so every call site that
+// just wants "a frame body" keeps working. Because the backref is
+// shared, a descriptor may even outlive its arena: once the arena closed
+// (or was destroyed), the destructor degrades to the heap free — never a
+// use-after-free, never a leak.
+//
+// FrameBuf models a contiguous range (data/size/begin/end), so anything
+// that consumes std::span<const std::uint8_t> — CRC engines, the
+// spreader's bit unpacking, ParallelFec — takes one directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace plfsr {
+
+namespace detail {
+struct ArenaState;
+/// Return `storage` to the arena that issued it (or drop it on the heap
+/// if the arena has closed). Defined in frame_arena.cpp.
+void arena_release(const std::shared_ptr<ArenaState>& home,
+                   std::vector<std::uint8_t>&& storage) noexcept;
+}  // namespace detail
+
+/// Move-only frame-body descriptor; see file comment.
+class FrameBuf {
+ public:
+  FrameBuf() = default;
+
+  /// Adopt a heap vector as the storage (null backref: destructor frees).
+  /// Implicit on purpose — `f.bytes = stream.to_bytes_lsb_first();` is
+  /// the natural way a stage installs a freshly built body.
+  FrameBuf(std::vector<std::uint8_t> bytes) : buf_(std::move(bytes)) {}
+
+  ~FrameBuf() { reset(); }
+
+  FrameBuf(FrameBuf&& other) noexcept
+      : buf_(std::move(other.buf_)), home_(std::move(other.home_)) {
+    other.buf_.clear();
+    other.home_.reset();
+  }
+
+  FrameBuf& operator=(FrameBuf&& other) noexcept {
+    if (this != &other) {
+      reset();
+      buf_ = std::move(other.buf_);
+      home_ = std::move(other.home_);
+      other.buf_.clear();
+      other.home_.reset();
+    }
+    return *this;
+  }
+
+  FrameBuf(const FrameBuf&) = delete;  // copies must be spelled clone()
+  FrameBuf& operator=(const FrameBuf&) = delete;
+
+  std::uint8_t* data() { return buf_.data(); }
+  const std::uint8_t* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return buf_.capacity(); }
+  bool empty() const { return buf_.empty(); }
+
+  auto begin() { return buf_.begin(); }
+  auto begin() const { return buf_.begin(); }
+  auto end() { return buf_.end(); }
+  auto end() const { return buf_.end(); }
+
+  std::uint8_t& operator[](std::size_t i) { return buf_[i]; }
+  const std::uint8_t& operator[](std::size_t i) const { return buf_[i]; }
+
+  /// Grow/shrink the logical size. Within capacity this is free (the
+  /// arena hands out buffers whose capacity covers their size class);
+  /// beyond it the storage reallocates on the heap — the descriptor
+  /// stays arena-backed, and on release the arena re-classifies it by
+  /// its new capacity.
+  void resize(std::size_t n) { buf_.resize(n); }
+  void clear() { buf_.clear(); }
+
+  template <typename It>
+  void assign(It first, It last) {
+    buf_.assign(first, last);
+  }
+
+  std::span<std::uint8_t> span() { return {buf_.data(), buf_.size()}; }
+  std::span<const std::uint8_t> span() const {
+    return {buf_.data(), buf_.size()};
+  }
+
+  /// True when the destructor will recycle into a FrameArena (the arena
+  /// may have closed since — then the release degrades to a heap free).
+  bool arena_backed() const { return home_ != nullptr; }
+
+  /// Deep copy onto the heap (never into an arena).
+  FrameBuf clone() const { return FrameBuf(buf_); }
+
+  std::vector<std::uint8_t> to_vector() const { return buf_; }
+
+  /// Release the storage now (to the arena, or the heap); the descriptor
+  /// becomes empty and arena-less.
+  void reset() noexcept {
+    if (home_) {
+      detail::arena_release(home_, std::move(buf_));
+      home_.reset();
+    }
+    buf_ = std::vector<std::uint8_t>();
+  }
+
+  friend bool operator==(const FrameBuf& a, const FrameBuf& b) {
+    return a.buf_ == b.buf_;
+  }
+  friend bool operator==(const FrameBuf& a,
+                         const std::vector<std::uint8_t>& b) {
+    return a.buf_ == b;
+  }
+
+ private:
+  friend class FrameArena;
+
+  std::vector<std::uint8_t> buf_;
+  std::shared_ptr<detail::ArenaState> home_;  // null = heap-backed
+};
+
+}  // namespace plfsr

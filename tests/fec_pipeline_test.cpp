@@ -53,6 +53,13 @@ std::vector<std::unique_ptr<Stage>> fec_chain(std::size_t errors,
   return st;
 }
 
+std::vector<Frame> clone_frames(const std::vector<Frame>& in) {
+  std::vector<Frame> out;
+  out.reserve(in.size());
+  for (const Frame& f : in) out.push_back(f.clone());
+  return out;
+}
+
 std::vector<Frame> serial_reference(std::vector<Frame> frames,
                                     std::size_t errors,
                                     std::size_t erasures) {
@@ -67,7 +74,7 @@ void run_grid_case(std::size_t batch_size, std::size_t queue_depth,
                    std::size_t errors, std::size_t erasures) {
   const std::vector<Frame> input = make_frames(48, 99);
   const std::vector<Frame> expect =
-      serial_reference(input, errors, erasures);
+      serial_reference(clone_frames(input), errors, erasures);
 
   auto stages = fec_chain(errors, erasures);
   auto* decode = static_cast<RsDecodeStage*>(stages[2].get());
@@ -77,7 +84,7 @@ void run_grid_case(std::size_t batch_size, std::size_t queue_depth,
   for (std::size_t i = 0; i < input.size(); i += batch_size) {
     FrameBatch batch;
     for (std::size_t j = i; j < std::min(i + batch_size, input.size()); ++j)
-      batch.push_back(input[j]);
+      batch.push_back(input[j].clone());
     ASSERT_TRUE(pipe.push(std::move(batch)));
   }
   pipe.close();
@@ -125,7 +132,7 @@ TEST(FecPipeline, CorruptionPatternIsBatchSizeInvariant) {
   const FecCodecHandle codec =
       FecRegistry::instance().best_for(fec::rs_204_188());
   std::vector<Frame> a = make_frames(32, 7);
-  std::vector<Frame> b = a;
+  std::vector<Frame> b = clone_frames(a);
   {
     RsEncodeStage enc(codec);
     FecCorruptStage cor(codec, kChannelSeed, 3, 2);

@@ -1,8 +1,11 @@
-// FrameArena: buffers must recycle (steady state does no heap work), a
-// bounded arena must block the producer until the sink releases — the
+// FrameArena: descriptors must recycle (steady state does no heap work),
+// a bounded arena must block the producer until the sink drops — the
 // end-to-end backpressure the zero-copy pipeline relies on — and close()
-// must unblock every waiter. The threaded-pipeline test at the bottom is
-// the TSan target for the producer/sink recycling loop.
+// must unblock every waiter. The size-class tests pin the regression the
+// classed design fixed: a jumbo request must never be "served" by a
+// small recycled buffer that silently reallocates. The threaded-pipeline
+// test at the bottom is the TSan target for the cross-thread recycling
+// loop (release happens wherever the descriptor drops).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,31 +19,112 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/stages.hpp"
 #include "support/frame_arena.hpp"
+#include "support/frame_buf.hpp"
 #include "support/rng.hpp"
 
 namespace plfsr {
 namespace {
 
-TEST(FrameArena, RecyclesReleasedBuffers) {
+TEST(FrameArena, RecyclesDroppedDescriptors) {
   FrameArena arena;
-  std::vector<std::uint8_t> buf;
+  FrameBuf buf;
   ASSERT_TRUE(arena.acquire(buf, 64));
   EXPECT_EQ(buf.size(), 64u);
+  EXPECT_TRUE(buf.arena_backed());
   EXPECT_EQ(arena.heap_allocations(), 1u);
-  arena.release(std::move(buf));
+  buf.reset();  // descriptor drop IS the release
   EXPECT_EQ(arena.pooled(), 1u);
+  EXPECT_EQ(arena.outstanding(), 0u);
 
-  std::vector<std::uint8_t> again;
-  ASSERT_TRUE(arena.acquire(again, 32));
+  FrameBuf again;
+  ASSERT_TRUE(arena.acquire(again, 32));  // 32 rounds up into the 64 class
   EXPECT_EQ(again.size(), 32u);
   EXPECT_EQ(arena.recycles(), 1u);
   EXPECT_EQ(arena.heap_allocations(), 1u);  // no second heap trip
   EXPECT_EQ(arena.acquires(), 2u);
 }
 
+TEST(FrameArena, DestructorReleasesToo) {
+  FrameArena arena;
+  {
+    FrameBuf buf;
+    ASSERT_TRUE(arena.acquire(buf, 100));
+  }  // scope exit drops the descriptor
+  EXPECT_EQ(arena.pooled(), 1u);
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(FrameArena, SizeClassMapping) {
+  EXPECT_EQ(FrameArena::size_class(0), 64u);  // floor class
+  EXPECT_EQ(FrameArena::size_class(1), 64u);
+  EXPECT_EQ(FrameArena::size_class(64), 64u);
+  EXPECT_EQ(FrameArena::size_class(65), 128u);
+  EXPECT_EQ(FrameArena::size_class(1500), 2048u);
+  EXPECT_EQ(FrameArena::size_class(4u << 20), 4u << 20);
+  EXPECT_EQ(FrameArena::size_class((4u << 20) + 1), 8u << 20);
+}
+
+TEST(FrameArena, JumboNeverServedByRecycledSmallBuffer) {
+  // Regression for the single-pool design: a 64 B buffer sat pooled, a
+  // 4 MiB request "recycled" it, and the resize reallocated on the heap
+  // while the counters claimed zero-alloc. Classed pools must route the
+  // jumbo to a real heap trip with full capacity.
+  constexpr std::size_t kJumbo = 4u << 20;
+  FrameArena arena;
+  {
+    FrameBuf small;
+    ASSERT_TRUE(arena.acquire(small, 64));
+  }
+  ASSERT_EQ(arena.pooled(), 1u);
+
+  FrameBuf jumbo;
+  ASSERT_TRUE(arena.acquire(jumbo, kJumbo));
+  EXPECT_EQ(jumbo.size(), kJumbo);
+  EXPECT_GE(jumbo.capacity(), kJumbo);
+  EXPECT_EQ(arena.recycles(), 0u);          // the small buffer stayed put
+  EXPECT_EQ(arena.heap_allocations(), 2u);  // honest accounting
+  EXPECT_EQ(arena.pooled(), 1u);
+}
+
+TEST(FrameArena, MixedExtremesRecycleSteadyState) {
+  // A 4 MiB jumbo and a 64 B telemetry frame alternating must both
+  // recycle through their own class: after the first lap, zero heap
+  // work at either extreme.
+  constexpr std::size_t kJumbo = 4u << 20;
+  FrameArena arena;
+  for (int lap = 0; lap < 8; ++lap) {
+    FrameBuf j, s;
+    ASSERT_TRUE(arena.acquire(j, kJumbo));
+    ASSERT_TRUE(arena.acquire(s, 64));
+    EXPECT_GE(j.capacity(), kJumbo);
+  }
+  EXPECT_EQ(arena.heap_allocations(), 2u);  // one per class, first lap only
+  EXPECT_EQ(arena.recycles(), 14u);
+  EXPECT_EQ(arena.pooled_classes(), 2u);
+}
+
+TEST(FrameArena, EvictsWrongClassAtBound) {
+  // Bound reached with only a wrong-class buffer pooled: the arena must
+  // adapt (evict + allocate), not deadlock the producer.
+  FrameArena arena(1);
+  {
+    FrameBuf small;
+    ASSERT_TRUE(arena.acquire(small, 64));
+  }
+  ASSERT_EQ(arena.pooled(), 1u);
+  FrameBuf jumbo;
+  ASSERT_TRUE(arena.acquire(jumbo, 4096));  // different class, bound hit
+  EXPECT_EQ(jumbo.size(), 4096u);
+  EXPECT_EQ(arena.evictions(), 1u);
+  EXPECT_EQ(arena.heap_allocations(), 2u);
+  // The invariant the bench gate checks: heap trips never exceed the
+  // bound plus the evictions that made room for them.
+  EXPECT_LE(arena.heap_allocations(), arena.capacity() + arena.evictions());
+}
+
 TEST(FrameArena, UnboundedNeverBlocks) {
   FrameArena arena;  // capacity 0 = unbounded
-  std::vector<std::vector<std::uint8_t>> bufs(100);
+  std::vector<FrameBuf> bufs(100);
   for (auto& b : bufs) ASSERT_TRUE(arena.acquire(b, 16));
   EXPECT_EQ(arena.outstanding(), 100u);
   EXPECT_EQ(arena.acquire_stalls(), 0u);
@@ -48,33 +132,44 @@ TEST(FrameArena, UnboundedNeverBlocks) {
 
 TEST(FrameArena, TryAcquireFailsAtCapacity) {
   FrameArena arena(2);
-  std::vector<std::uint8_t> a, b, c;
+  FrameBuf a, b, c;
   ASSERT_TRUE(arena.try_acquire(a, 8));
   ASSERT_TRUE(arena.try_acquire(b, 8));
   EXPECT_FALSE(arena.try_acquire(c, 8));
-  arena.release(std::move(a));
+  a.reset();
   EXPECT_TRUE(arena.try_acquire(c, 8));
 }
 
-TEST(FrameArena, BoundedAcquireBlocksUntilRelease) {
+TEST(FrameArena, AcquireIntoHeldDescriptorReleasesFirst) {
+  // Re-acquiring into a descriptor that still holds the arena's only
+  // buffer must not deadlock: acquire() releases `out` before waiting.
+  FrameArena arena(1);
+  FrameBuf buf;
+  ASSERT_TRUE(arena.acquire(buf, 32));
+  ASSERT_TRUE(arena.acquire(buf, 32));  // would deadlock without the reset
+  EXPECT_EQ(arena.recycles(), 1u);
+  EXPECT_EQ(arena.heap_allocations(), 1u);
+}
+
+TEST(FrameArena, BoundedAcquireBlocksUntilDrop) {
   // The backpressure contract: a producer blocked on an exhausted pool
-  // must wake exactly when the sink releases a buffer.
+  // must wake exactly when a sink drops a descriptor.
   FrameArena arena(2);
-  std::vector<std::uint8_t> a, b;
+  FrameBuf a, b;
   ASSERT_TRUE(arena.acquire(a, 128));
   ASSERT_TRUE(arena.acquire(b, 128));
 
   std::atomic<bool> got{false};
   std::thread producer([&] {
-    std::vector<std::uint8_t> c;
-    if (arena.acquire(c, 128)) got.store(true);  // blocks until release
+    FrameBuf c;
+    if (arena.acquire(c, 128)) got.store(true);  // blocks until a drop
   });
   // The producer must actually stall (bounded wait for the counter so a
   // slow scheduler cannot make this flaky-fail; TSan hosts are slow).
   for (int i = 0; i < 2000 && arena.acquire_stalls() == 0; ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_FALSE(got.load());
-  arena.release(std::move(a));
+  a.reset();
   producer.join();
   EXPECT_TRUE(got.load());
   EXPECT_GE(arena.acquire_stalls(), 1u);
@@ -83,21 +178,21 @@ TEST(FrameArena, BoundedAcquireBlocksUntilRelease) {
 
 TEST(FrameArena, CloseUnblocksWaitersAndFailsAcquires) {
   FrameArena arena(1);
-  std::vector<std::uint8_t> a;
+  FrameBuf a;
   ASSERT_TRUE(arena.acquire(a, 8));
 
   std::atomic<int> result{-1};
   std::thread waiter([&] {
-    std::vector<std::uint8_t> c;
+    FrameBuf c;
     result.store(arena.acquire(c, 8) ? 1 : 0);
   });
   arena.close();
   waiter.join();
   EXPECT_EQ(result.load(), 0);  // woke with failure, not a buffer
-  std::vector<std::uint8_t> d;
+  FrameBuf d;
   EXPECT_FALSE(arena.acquire(d, 8));
   EXPECT_FALSE(arena.try_acquire(d, 8));
-  arena.release(std::move(a));  // releasing into a closed arena is a no-op
+  a.reset();  // dropping into a closed arena heap-frees, pools nothing
   EXPECT_EQ(arena.pooled(), 0u);
 }
 
@@ -106,16 +201,16 @@ TEST(FrameArena, CloseServesPooledBuffersUntilDry) {
   // producer finishing its tail stays zero-alloc — then acquire fails
   // without ever blocking or touching the heap.
   FrameArena arena(4);
-  std::vector<std::uint8_t> a, b;
-  ASSERT_TRUE(arena.acquire(a, 32));
-  ASSERT_TRUE(arena.acquire(b, 32));
-  arena.release(std::move(a));
-  arena.release(std::move(b));
+  {
+    FrameBuf a, b;
+    ASSERT_TRUE(arena.acquire(a, 32));
+    ASSERT_TRUE(arena.acquire(b, 32));
+  }
   ASSERT_EQ(arena.pooled(), 2u);
   const std::uint64_t heap_before = arena.heap_allocations();
 
   arena.close();
-  std::vector<std::uint8_t> c, d, e;
+  FrameBuf c, d, e;
   EXPECT_TRUE(arena.acquire(c, 16));  // served from the pool
   EXPECT_TRUE(arena.try_acquire(d, 16));
   EXPECT_EQ(arena.heap_allocations(), heap_before);  // drain is alloc-free
@@ -134,12 +229,10 @@ TEST(FrameArena, CloseUnderLoadDrainsWithoutHeapGrowth) {
   std::atomic<std::uint64_t> served{0};
   std::atomic<bool> started{false};
   std::thread producer([&] {
-    std::vector<std::uint8_t> buf;
-    while (arena.acquire(buf, 64)) {
+    FrameBuf buf;
+    while (arena.acquire(buf, 64)) {  // each acquire drops the previous
       served.fetch_add(1);
       started.store(true);
-      arena.release(std::move(buf));
-      buf = {};
     }
   });
   while (!started.load()) std::this_thread::yield();
@@ -147,18 +240,20 @@ TEST(FrameArena, CloseUnderLoadDrainsWithoutHeapGrowth) {
   producer.join();  // acquire() must go false once the pool drains
 
   EXPECT_GE(served.load(), 1u);
-  // Never more heap trips than the bound, close() notwithstanding.
+  // Never more heap trips than the bound (single class: no evictions).
   EXPECT_LE(arena.heap_allocations(), kCapacity);
-  std::vector<std::uint8_t> after;
+  EXPECT_EQ(arena.evictions(), 0u);
+  FrameBuf after;
   EXPECT_FALSE(arena.acquire(after, 64));
 }
 
 TEST(FrameArena, RecyclesThroughThreadedPipeline) {
-  // Producer acquires from a bounded arena, VerifySink releases back:
-  // the arena must end balanced, with far fewer heap allocations than
-  // frames, and the bounded pool must backpressure the producer through
-  // the whole pipeline without deadlock. (Threaded explicitly — this is
-  // the TSan coverage for the cross-thread recycling loop.)
+  // Producer acquires from a bounded arena, VerifySink's batch.clear()
+  // drops the descriptors back: the arena must end balanced, with far
+  // fewer heap allocations than frames, and the bounded pool must
+  // backpressure the producer through the whole pipeline without
+  // deadlock. (Threaded explicitly — this is the TSan coverage for the
+  // cross-thread recycling loop.)
   constexpr std::size_t kFrames = 256;
   constexpr std::size_t kBatch = 8;
   FrameArena arena(/*capacity=*/32);  // far fewer buffers than frames
@@ -169,7 +264,7 @@ TEST(FrameArena, RecyclesThroughThreadedPipeline) {
   stages.push_back(
       std::make_unique<FcsStage>(TableCrc(crcspec::crc32_ethernet())));
   stages.push_back(std::make_unique<VerifySink>(
-      TableCrc(crcspec::crc32_ethernet()), /*stride=*/1, &arena));
+      TableCrc(crcspec::crc32_ethernet()), /*stride=*/1));
   auto* sink = static_cast<VerifySink*>(stages.back().get());
 
   Pipeline pipe(std::move(stages), PipelinePlan::threaded(/*depth=*/2));
@@ -179,6 +274,7 @@ TEST(FrameArena, RecyclesThroughThreadedPipeline) {
   for (std::size_t i = 0; i < kFrames; ++i) {
     Frame f;
     f.id = i;
+    // 64..127 B: the frames straddle the 64/128 class split on purpose.
     ASSERT_TRUE(arena.acquire(f.bytes, 64 + i % 64));  // blocks at the bound
     const auto payload = rng.next_bytes(f.bytes.size());
     std::copy(payload.begin(), payload.end(), f.bytes.begin());
@@ -195,8 +291,10 @@ TEST(FrameArena, RecyclesThroughThreadedPipeline) {
   EXPECT_EQ(sink->frames(), kFrames);
   EXPECT_EQ(arena.outstanding(), 0u);
   EXPECT_EQ(arena.acquires(), kFrames);
-  EXPECT_LE(arena.heap_allocations(), arena.capacity());
-  EXPECT_GE(arena.recycles(), kFrames - arena.capacity());
+  // Two classes share the bound: heap trips are capped by capacity plus
+  // whatever cross-class evictions made room at the bound.
+  EXPECT_LE(arena.heap_allocations(), arena.capacity() + arena.evictions());
+  EXPECT_GE(arena.recycles(), kFrames - arena.heap_allocations());
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+// FrameBuf: the move-only descriptor contract. Moves transfer ownership
+// in O(1) and empty the source; copies do not compile (deep copies are
+// spelled clone()); span views alias the storage; and the shared arena
+// backref lets a descriptor outlive a closed — or destroyed — arena,
+// degrading to a plain heap free (the ASan target for the lifetime
+// clause).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/frame_arena.hpp"
+#include "support/frame_buf.hpp"
+
+namespace plfsr {
+namespace {
+
+// The whole point of the refactor, checked at compile time: descriptors
+// move, payload copies cannot happen by accident.
+static_assert(!std::is_copy_constructible_v<FrameBuf>);
+static_assert(!std::is_copy_assignable_v<FrameBuf>);
+static_assert(std::is_nothrow_move_constructible_v<FrameBuf>);
+static_assert(std::is_nothrow_move_assignable_v<FrameBuf>);
+
+std::vector<std::uint8_t> iota_bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), std::uint8_t{0});
+  return v;
+}
+
+TEST(FrameBuf, AdoptsVectorAndCompares) {
+  const auto ref = iota_bytes(32);
+  FrameBuf buf(iota_bytes(32));
+  EXPECT_EQ(buf.size(), 32u);
+  EXPECT_FALSE(buf.arena_backed());
+  EXPECT_TRUE(buf == ref);
+  EXPECT_EQ(buf.to_vector(), ref);
+  EXPECT_EQ(buf[5], 5u);
+}
+
+TEST(FrameBuf, MoveTransfersStorageAndEmptiesSource) {
+  FrameBuf a(iota_bytes(16));
+  const std::uint8_t* p = a.data();
+  FrameBuf b(std::move(a));
+  EXPECT_EQ(b.data(), p);  // same storage, no copy
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): contract
+
+  FrameBuf c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): contract
+}
+
+TEST(FrameBuf, CloneIsDeepAndHeapBacked) {
+  FrameArena arena;
+  FrameBuf buf;
+  ASSERT_TRUE(arena.acquire(buf, 8));
+  std::memset(buf.data(), 0xAB, buf.size());
+  FrameBuf copy = buf.clone();
+  EXPECT_TRUE(copy == buf);
+  EXPECT_NE(copy.data(), buf.data());
+  EXPECT_FALSE(copy.arena_backed());  // clones never recycle
+  copy[0] = 0;                        // independent storage
+  EXPECT_EQ(buf[0], 0xAB);
+}
+
+TEST(FrameBuf, SpanViewsAliasTheStorage) {
+  FrameBuf buf(std::vector<std::uint8_t>(8, 0));
+  std::span<std::uint8_t> w = buf.span();
+  w[3] = 42;
+  EXPECT_EQ(buf[3], 42u);
+  // As a contiguous range, FrameBuf converts to read/write spans where
+  // the engines expect them — no explicit .span() needed at call sites.
+  std::span<const std::uint8_t> r = buf;
+  EXPECT_EQ(r[3], 42u);
+  EXPECT_EQ(r.data(), buf.data());
+}
+
+TEST(FrameBuf, ResetReleasesToArena) {
+  FrameArena arena;
+  FrameBuf buf;
+  ASSERT_TRUE(arena.acquire(buf, 64));
+  ASSERT_TRUE(buf.arena_backed());
+  buf.reset();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.arena_backed());
+  EXPECT_EQ(arena.pooled(), 1u);
+  EXPECT_EQ(arena.outstanding(), 0u);
+}
+
+TEST(FrameBuf, MoveAssignOverHeldBufferReleasesIt) {
+  FrameArena arena;
+  FrameBuf a, b;
+  ASSERT_TRUE(arena.acquire(a, 64));
+  ASSERT_TRUE(arena.acquire(b, 64));
+  a = std::move(b);  // a's old storage must recycle, not leak
+  EXPECT_EQ(arena.pooled(), 1u);
+  EXPECT_EQ(arena.outstanding(), 1u);
+}
+
+TEST(FrameBuf, OutlivesClosedArena) {
+  // A descriptor dropped after close() heap-frees; nothing pools.
+  FrameArena arena;
+  FrameBuf buf;
+  ASSERT_TRUE(arena.acquire(buf, 128));
+  arena.close();
+  buf[0] = 1;  // storage still fully usable
+  buf.reset();
+  EXPECT_EQ(arena.pooled(), 0u);
+}
+
+TEST(FrameBuf, OutlivesDestroyedArena) {
+  // The lifetime clause ASan enforces: the backref keeps the shared
+  // state alive, so a straggler descriptor written to and destroyed
+  // after the arena object is gone is a heap free — never a UAF.
+  FrameBuf straggler;
+  {
+    FrameArena arena;
+    ASSERT_TRUE(arena.acquire(straggler, 256));
+  }
+  std::memset(straggler.data(), 0x5A, straggler.size());
+  EXPECT_EQ(straggler[255], 0x5A);
+  straggler.reset();  // heap free under ASan's eye
+  EXPECT_TRUE(straggler.empty());
+}
+
+TEST(FrameBuf, ResizeBeyondCapacityStaysArenaBacked) {
+  // Growth past the class capacity reallocates, but the descriptor keeps
+  // its backref: on drop the arena re-classifies by the new capacity.
+  FrameArena arena;
+  FrameBuf buf;
+  ASSERT_TRUE(arena.acquire(buf, 64));
+  buf.resize(4096);
+  EXPECT_TRUE(buf.arena_backed());
+  buf.reset();
+  EXPECT_EQ(arena.pooled(), 1u);
+  FrameBuf again;
+  ASSERT_TRUE(arena.acquire(again, 4096));  // the grown buffer serves it
+  EXPECT_EQ(arena.recycles(), 1u);
+  EXPECT_EQ(arena.heap_allocations(), 1u);
+}
+
+}  // namespace
+}  // namespace plfsr

@@ -55,6 +55,12 @@ std::vector<std::unique_ptr<Stage>> scramble_crc_collect() {
   return st;
 }
 
+FrameBatch one(const Frame& f) {
+  FrameBatch batch;
+  batch.push_back(f.clone());
+  return batch;
+}
+
 std::vector<Frame> run_mode(ExecMode mode, const std::vector<Frame>& input,
                             std::size_t batch_size) {
   auto stages = scramble_crc_collect();
@@ -67,12 +73,12 @@ std::vector<Frame> run_mode(ExecMode mode, const std::vector<Frame>& input,
   for (std::size_t i = 0; i < input.size(); i += batch_size) {
     FrameBatch b;
     for (std::size_t j = i; j < std::min(i + batch_size, input.size()); ++j)
-      b.push_back(input[j]);
+      b.push_back(input[j].clone());
     EXPECT_TRUE(pipe.push(std::move(b)));
   }
   pipe.close();
   pipe.wait();
-  return sink->frames();
+  return sink->take();
 }
 
 TEST(FusedPipeline, MatchesThreadedOnEdgeFrames) {
@@ -111,7 +117,7 @@ TEST(FusedPipeline, SpreadChainMatchesThreadedBitGranularly) {
     plan.mode = mode;
     Pipeline pipe(std::move(stages), plan);
     pipe.start();
-    for (const Frame& f : input) ASSERT_TRUE(pipe.push(FrameBatch{f}));
+    for (const Frame& f : input) ASSERT_TRUE(pipe.push(one(f)));
     pipe.close();
     pipe.wait();
     ASSERT_EQ(sink->frames().size(), input.size());
@@ -132,7 +138,7 @@ TEST(FusedPipeline, StatsAccountEveryFrameWithoutStalls) {
   std::uint64_t bytes = 0;
   for (const Frame& f : input) {
     bytes += f.bytes.size();
-    ASSERT_TRUE(pipe.push(FrameBatch{f}));
+    ASSERT_TRUE(pipe.push(one(f)));
   }
   pipe.close();
   pipe.wait();
@@ -166,7 +172,7 @@ TEST(FusedPipeline, StageErrorFailsPushAndRethrowsInWait) {
   pipe.start();
   std::size_t accepted = 0;
   for (const Frame& f : edge_frames()) {
-    if (!pipe.push(FrameBatch{f})) break;
+    if (!pipe.push(one(f))) break;
     ++accepted;
   }
   EXPECT_EQ(accepted, 3u);  // ids 0..2 pass, id 3 throws inside push

@@ -2,6 +2,7 @@
 // fuzz corpus (every entry must draw an *error reply*, never a crash or
 // a disconnect), and a loopback round-trip sweep of op x frame-size
 // proving the server's replies are bit-exact with local dispatch.
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -86,6 +87,69 @@ TEST(OffloadProtocol, DecodeRejectsMalformedBodies) {
   EXPECT_EQ(decode_request_body(body, out), Status::kBadFrame);
 }
 
+TEST(OffloadProtocol, PipelineOpsRoundTrip) {
+  const std::vector<PipelineOp> ops = {
+      {Op::kScramble, 0x5B, "802.11 (x7+x4+1)"},
+      {Op::kCrc, 0, "CRC-32/ETHERNET"},
+  };
+  const Request req = make_pipeline_request(ops, pattern_bytes(33, 2));
+  EXPECT_EQ(req.op, Op::kPipeline);
+  EXPECT_TRUE(req.name.empty());
+
+  std::vector<PipelineOp> back;
+  std::span<const std::uint8_t> data;
+  ASSERT_EQ(decode_pipeline_ops(req.payload, back, data), Status::kOk);
+  ASSERT_EQ(back.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(back[i].op, ops[i].op) << "i=" << i;
+    EXPECT_EQ(back[i].param, ops[i].param) << "i=" << i;
+    EXPECT_EQ(back[i].name, ops[i].name) << "i=" << i;
+  }
+  EXPECT_TRUE(std::equal(data.begin(), data.end(),
+                         pattern_bytes(33, 2).begin()));
+}
+
+TEST(OffloadProtocol, PipelineOpsRejectMalformedChains) {
+  std::vector<PipelineOp> ops;
+  std::span<const std::uint8_t> data;
+  // Empty payload / empty op list.
+  EXPECT_EQ(decode_pipeline_ops({}, ops, data), Status::kBadFrame);
+  EXPECT_EQ(decode_pipeline_ops(std::vector<std::uint8_t>{0}, ops, data),
+            Status::kBadFrame);
+  // Oversized chain.
+  std::vector<std::uint8_t> over{
+      static_cast<std::uint8_t>(kMaxPipelineOps + 1)};
+  EXPECT_EQ(decode_pipeline_ops(over, ops, data), Status::kBadFrame);
+  // Truncated mid-op-header: count says 1, header bytes missing.
+  EXPECT_EQ(decode_pipeline_ops(std::vector<std::uint8_t>{1, 1, 0}, ops, data),
+            Status::kBadFrame);
+
+  // A well-formed 2-op chain to mutate.
+  const std::vector<PipelineOp> good = {
+      {Op::kScramble, 0x5B, "802.11 (x7+x4+1)"},
+      {Op::kCrc, 0, "CRC-32/ETHERNET"},
+  };
+  const Request req = make_pipeline_request(good, pattern_bytes(8, 1));
+
+  // First op's name_len stretched across the second op header and off
+  // the end — the cross-op length overflow shape.
+  std::vector<std::uint8_t> overflow = req.payload;
+  overflow[2] = 255;
+  EXPECT_EQ(decode_pipeline_ops(overflow, ops, data), Status::kBadFrame);
+  // Reserved bits in an op header.
+  std::vector<std::uint8_t> reserved = req.payload;
+  reserved[3] = 1;
+  EXPECT_EQ(decode_pipeline_ops(reserved, ops, data), Status::kBadFrame);
+  // Non-chainable ops: ping, nested pipeline, unknown byte.
+  for (const std::uint8_t op : {std::uint8_t{0}, std::uint8_t{5},
+                                std::uint8_t{99}}) {
+    std::vector<std::uint8_t> bad = req.payload;
+    bad[1] = op;
+    EXPECT_EQ(decode_pipeline_ops(bad, ops, data), Status::kUnknownOp)
+        << "op=" << int{op};
+  }
+}
+
 // --- Dispatcher ----------------------------------------------------------
 
 TEST(OffloadDispatch, CataloguesAreNonEmptyAndSorted) {
@@ -135,6 +199,87 @@ TEST(OffloadDispatch, FecDecodeFailureIsDataNotAnError) {
   const Response out = d.dispatch(dec);
   ASSERT_EQ(out.status, Status::kOk);
   EXPECT_EQ(fec_result_failed_blocks(out.result), 1u);
+}
+
+TEST(OffloadDispatch, PipelineChainMatchesSerialComposition) {
+  // The whole point of kPipeline: one request must equal the serial
+  // composition of the single-op round trips it replaces.
+  const OffloadDispatcher d;
+  const std::vector<std::uint8_t> data = pattern_bytes(256, 5);
+
+  Request scr;
+  scr.op = Op::kScramble;
+  scr.name = "802.11 (x7+x4+1)";
+  scr.param = 0x5B;
+  scr.payload = data;
+  const Response scrambled = d.dispatch(scr);
+  ASSERT_EQ(scrambled.status, Status::kOk);
+  Request crc;
+  crc.op = Op::kCrc;
+  crc.name = "CRC-32/ETHERNET";
+  crc.payload = scrambled.payload;
+  const Response checked = d.dispatch(crc);
+  ASSERT_EQ(checked.status, Status::kOk);
+
+  const Request chain = make_pipeline_request(
+      {{Op::kScramble, 0x5B, "802.11 (x7+x4+1)"},
+       {Op::kCrc, 0, "CRC-32/ETHERNET"}},
+      data);
+  // Twice: the second run exercises the cached compiled chain.
+  for (int round = 0; round < 2; ++round) {
+    const Response got = d.dispatch(chain);
+    ASSERT_EQ(got.status, Status::kOk) << "round " << round;
+    EXPECT_EQ(got.op, Op::kPipeline);
+    EXPECT_EQ(got.payload, scrambled.payload) << "round " << round;
+    EXPECT_EQ(got.result, checked.result) << "round " << round;
+  }
+}
+
+TEST(OffloadDispatch, PipelineFecChainRoundTrips) {
+  // scramble -> RS encode across the wire, then decode -> descramble
+  // in a second chain: the composition is the identity on the payload.
+  const OffloadDispatcher d;
+  const std::vector<std::uint8_t> data = pattern_bytes(188, 9);
+  const Response coded = d.dispatch(make_pipeline_request(
+      {{Op::kScramble, 0x2A, "SONET (x7+x6+1)"},
+       {Op::kFecEncode, 0, "RS(204,188)"}},
+      data));
+  ASSERT_EQ(coded.status, Status::kOk);
+  EXPECT_EQ(coded.result, 0u);  // no CRC op anywhere in the chain
+  const Response back = d.dispatch(make_pipeline_request(
+      {{Op::kFecDecode, 0, "RS(204,188)"},
+       {Op::kScramble, 0x2A, "SONET (x7+x6+1)"}},
+      coded.payload));
+  ASSERT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.payload, data);
+}
+
+TEST(OffloadDispatch, PipelineChainErrorsClassifyLikeSingleOps) {
+  const OffloadDispatcher d;
+  // Unknown name mid-chain.
+  EXPECT_EQ(d.dispatch(make_pipeline_request(
+                            {{Op::kCrc, 0, "CRC-32/ETHERNET"},
+                             {Op::kScramble, 1, "NO-SUCH-SPEC"}},
+                            pattern_bytes(8, 1)))
+                .status,
+            Status::kUnknownName);
+  // Zero scramble seed mid-chain.
+  EXPECT_EQ(d.dispatch(make_pipeline_request(
+                            {{Op::kScramble, 0, "802.11 (x7+x4+1)"}},
+                            pattern_bytes(8, 1)))
+                .status,
+            Status::kBadPayload);
+  // A payload no RS encode could have produced, thrown mid-run by the
+  // decode stage: classified kBadPayload, and the dispatcher stays
+  // usable for the next (valid) chain.
+  EXPECT_EQ(d.dispatch(make_pipeline_request({{Op::kFecDecode, 0,
+                                               "RS(204,188)"}},
+                                             pattern_bytes(5, 1)))
+                .status,
+            Status::kBadPayload);
+  const Response ok = d.dispatch(make_pipeline_request(
+      {{Op::kCrc, 0, "CRC-32/ETHERNET"}}, pattern_bytes(8, 1)));
+  EXPECT_EQ(ok.status, Status::kOk);
 }
 
 // --- Loopback ------------------------------------------------------------
@@ -332,6 +477,124 @@ TEST_F(OffloadLoopbackTest, FuzzCorpusDrawsErrorRepliesNotCrashes) {
     ASSERT_TRUE(client.call(req, resp));
     EXPECT_EQ(resp.status, Status::kBadPayload);
     client.expect_usable();
+  }
+
+  // --- Malformed multi-op bodies -----------------------------------------
+  const auto chain_req = [] {
+    return make_pipeline_request({{Op::kScramble, 0x5B, "802.11 (x7+x4+1)"},
+                                  {Op::kCrc, 0, "CRC-32/ETHERNET"}},
+                                 pattern_bytes(16, 3));
+  };
+
+  // Empty op list.
+  {
+    Request req;
+    req.op = Op::kPipeline;
+    req.payload = {0};
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kBadFrame);
+    EXPECT_EQ(resp.op, Op::kPipeline);
+    client.expect_usable();
+  }
+
+  // Chain longer than kMaxPipelineOps.
+  {
+    Request req;
+    req.op = Op::kPipeline;
+    req.payload = {static_cast<std::uint8_t>(kMaxPipelineOps + 1)};
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kBadFrame);
+    client.expect_usable();
+  }
+
+  // Non-chainable ops mid-chain: ping, nested pipeline, unknown byte.
+  for (const std::uint8_t op :
+       {std::uint8_t{0}, std::uint8_t{5}, std::uint8_t{77}}) {
+    Request req = chain_req();
+    req.payload[1 + kPipelineOpBytes + 16] = op;  // second op's op byte
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kUnknownOp) << "op=" << int{op};
+    client.expect_usable();
+  }
+
+  // First op's name_len stretched across the second op and off the end —
+  // the length-overflow-across-ops shape.
+  {
+    Request req = chain_req();
+    req.payload[2] = 255;
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kBadFrame);
+    client.expect_usable();
+  }
+
+  // Truncated mid-op-header: count promises 2 ops, body holds 1.
+  {
+    Request req = chain_req();
+    req.payload.resize(1 + kPipelineOpBytes + 16);  // through op 1's name
+    req.payload[0] = 2;
+    ASSERT_TRUE(client.call(req, resp));
+    EXPECT_EQ(resp.status, Status::kBadFrame);
+    client.expect_usable();
+  }
+
+  // Unknown spec name and zero scramble seed inside a chain.
+  {
+    ASSERT_TRUE(client.call(
+        make_pipeline_request({{Op::kCrc, 0, "NO-SUCH-SPEC"}},
+                              pattern_bytes(4, 1)),
+        resp));
+    EXPECT_EQ(resp.status, Status::kUnknownName);
+    client.expect_usable();
+    ASSERT_TRUE(client.call(
+        make_pipeline_request({{Op::kScramble, 0, "802.11 (x7+x4+1)"}},
+                              pattern_bytes(4, 1)),
+        resp));
+    EXPECT_EQ(resp.status, Status::kBadPayload);
+    client.expect_usable();
+  }
+}
+
+TEST_F(OffloadLoopbackTest, PipelineChainRoundTripsBitExactly) {
+  // The multi-op request over the wire: replies must be bit-exact with
+  // local dispatch of the same chain AND with the serial composition of
+  // the single-op requests it replaces — on the same connection.
+  const OffloadDispatcher golden;
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.ok());
+  for (const std::size_t n : {std::size_t{0}, std::size_t{64},
+                              std::size_t{1518}, std::size_t{64} * 1024}) {
+    const std::vector<std::uint8_t> data = pattern_bytes(n, 11);
+    const Request chain = make_pipeline_request(
+        {{Op::kScramble, 0x2A, "SONET (x7+x6+1)"},
+         {Op::kCrc, 0, "CRC-32/ETHERNET"}},
+        data);
+    const Response want = golden.dispatch(chain);
+    ASSERT_EQ(want.status, Status::kOk) << "size " << n;
+
+    // Golden serial composition: scramble round trip, then CRC.
+    Request scr;
+    scr.op = Op::kScramble;
+    scr.name = "SONET (x7+x6+1)";
+    scr.param = 0x2A;
+    scr.payload = data;
+    const Response scrambled = golden.dispatch(scr);
+    Request crc;
+    crc.op = Op::kCrc;
+    crc.name = "CRC-32/ETHERNET";
+    crc.payload = scrambled.payload;
+    const Response checked = golden.dispatch(crc);
+    ASSERT_EQ(want.payload, scrambled.payload) << "size " << n;
+    ASSERT_EQ(want.result, checked.result) << "size " << n;
+
+    // Twice per size: the second request rides the worker's cached chain.
+    for (int round = 0; round < 2; ++round) {
+      Response got;
+      ASSERT_TRUE(client.call(chain, got)) << "size " << n;
+      EXPECT_EQ(got.status, Status::kOk);
+      EXPECT_EQ(got.op, Op::kPipeline);
+      EXPECT_EQ(got.result, want.result) << "size " << n;
+      EXPECT_EQ(got.payload, want.payload) << "size " << n;
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include "pipeline/stages.hpp"
 #include "scrambler/scrambler.hpp"
 #include "support/bitstream.hpp"
+#include "support/frame_arena.hpp"
 #include "support/rng.hpp"
 
 namespace plfsr {
@@ -55,6 +56,27 @@ std::vector<Frame> serial_reference(std::vector<Frame> frames,
   return batch;
 }
 
+/// Deep copies (Frame is move-only: descriptor copies must be spelled).
+std::vector<Frame> clone_frames(const std::vector<Frame>& in) {
+  std::vector<Frame> out;
+  out.reserve(in.size());
+  for (const Frame& f : in) out.push_back(f.clone());
+  return out;
+}
+
+FrameBatch clone_batch(const std::vector<Frame>& in) {
+  FrameBatch batch;
+  batch.reserve(in.size());
+  for (const Frame& f : in) batch.push_back(f.clone());
+  return batch;
+}
+
+FrameBatch one(const Frame& f) {
+  FrameBatch batch;
+  batch.push_back(f.clone());
+  return batch;
+}
+
 std::vector<std::unique_ptr<Stage>> scramble_crc_collect() {
   std::vector<std::unique_ptr<Stage>> st;
   st.push_back(
@@ -75,7 +97,7 @@ void run_and_check(std::size_t batch_size, std::size_t queue_depth,
   serial_stages.push_back(std::move(expect_stages[0]));
   serial_stages.push_back(std::move(expect_stages[1]));
   const std::vector<Frame> expect =
-      serial_reference(input, std::move(serial_stages));
+      serial_reference(clone_frames(input), std::move(serial_stages));
 
   auto stages = scramble_crc_collect();
   CollectSink* sink = static_cast<CollectSink*>(stages.back().get());
@@ -84,7 +106,7 @@ void run_and_check(std::size_t batch_size, std::size_t queue_depth,
   for (std::size_t i = 0; i < input.size(); i += batch_size) {
     FrameBatch batch;
     for (std::size_t j = i; j < std::min(i + batch_size, input.size()); ++j)
-      batch.push_back(input[j]);
+      batch.push_back(input[j].clone());
     ASSERT_TRUE(pipe.push(std::move(batch)));
   }
   pipe.close();
@@ -121,6 +143,123 @@ INSTANTIATE_TEST_SUITE_P(BatchAndDepth, PipelineGrid,
                          ::testing::Combine(::testing::Values(1, 3, 16),
                                             ::testing::Values(1, 2, 8)));
 
+TEST(Pipeline, PinnedThreadsStayBitExact) {
+  // pin_threads is a placement knob, not a semantics knob: the pinned
+  // threaded plan must match the serial composition bit for bit, and be
+  // a harmless no-op on hosts where affinity calls fail or are
+  // unsupported (pinning errors are deliberately ignored).
+  const std::vector<Frame> input = make_frames(64, 42);
+
+  auto expect_stages = scramble_crc_collect();
+  std::vector<std::unique_ptr<Stage>> serial_stages;
+  serial_stages.push_back(std::move(expect_stages[0]));
+  serial_stages.push_back(std::move(expect_stages[1]));
+  const std::vector<Frame> expect =
+      serial_reference(clone_frames(input), std::move(serial_stages));
+
+  auto stages = scramble_crc_collect();
+  auto* sink = static_cast<CollectSink*>(stages.back().get());
+  Pipeline pipe(std::move(stages), PipelinePlan::pinned(/*depth=*/4));
+  pipe.start();
+  for (const Frame& f : input) ASSERT_TRUE(pipe.push(one(f)));
+  pipe.close();
+  pipe.wait();
+
+  const std::vector<Frame>& got = sink->frames();
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].bytes, expect[i].bytes) << "i=" << i;
+    EXPECT_EQ(got[i].crc, expect[i].crc) << "i=" << i;
+  }
+}
+
+/// Sink that checks each frame's CRC against a precomputed table and
+/// drops the batch — the descriptor drop recycles the jumbo buffers, so
+/// a bounded arena can stream many more frames than it holds.
+class ExpectCrcSink : public Stage {
+ public:
+  explicit ExpectCrcSink(std::vector<std::uint64_t> want)
+      : want_(std::move(want)) {}
+  const char* name() const override { return "expect-crc"; }
+  void process(FrameBatch& batch) override {
+    for (const Frame& f : batch) {
+      ++frames_;
+      if (f.id >= want_.size() || f.crc != want_[f.id]) ++mismatches_;
+    }
+    batch.clear();
+  }
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t mismatches() const { return mismatches_; }
+
+ private:
+  std::vector<std::uint64_t> want_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+TEST(Pipeline, JumboFramesRecycleThroughThreadedExecutor) {
+  // The other end of the size spectrum from the 64 B soak: 4 MiB frames
+  // through a threaded executor on a bounded arena. Bit-exactness is
+  // pinned per frame (CRC32 of the scrambled body vs a serial
+  // reference) and the size-classed pool must keep heap traffic at the
+  // bound — a few buffers serve the whole run.
+  constexpr std::size_t kJumbo = 4u << 20;
+  constexpr std::size_t kFrames = 10;
+  constexpr std::size_t kCapacity = 3;
+  FrameArena arena(kCapacity);
+
+  // Serial reference: scramble a clone, CRC it — frame-synchronous, so
+  // per-frame results are position-independent.
+  Rng rng(31);
+  std::vector<Frame> input(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    input[i].id = i;
+    input[i].bytes = rng.next_bytes(kJumbo);
+  }
+  const TableCrc ref(crcspec::crc32_ethernet());
+  std::vector<std::uint64_t> want(kFrames);
+  {
+    ScrambleStage serial(catalog::scrambler_80211(), kSeed);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      FrameBatch b;
+      b.push_back(input[i].clone());
+      serial.process(b);
+      want[i] = ref.compute(b[0].bytes);
+    }
+  }
+
+  std::vector<std::unique_ptr<Stage>> stages;
+  stages.push_back(
+      std::make_unique<ScrambleStage>(catalog::scrambler_80211(), kSeed));
+  stages.push_back(
+      std::make_unique<FcsStage>(TableCrc(crcspec::crc32_ethernet())));
+  stages.push_back(std::make_unique<ExpectCrcSink>(want));
+  auto* sink = static_cast<ExpectCrcSink*>(stages.back().get());
+
+  Pipeline pipe(std::move(stages), PipelinePlan::threaded(/*depth=*/2));
+  pipe.start();
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    Frame f;
+    f.id = i;
+    ASSERT_TRUE(arena.acquire(f.bytes, kJumbo));  // blocks at the bound
+    std::copy(input[i].bytes.begin(), input[i].bytes.end(),
+              f.bytes.begin());
+    FrameBatch batch;
+    batch.push_back(std::move(f));
+    ASSERT_TRUE(pipe.push(std::move(batch)));
+  }
+  pipe.close();
+  pipe.wait();
+
+  EXPECT_EQ(sink->frames(), kFrames);
+  EXPECT_EQ(sink->mismatches(), 0u);
+  EXPECT_EQ(arena.outstanding(), 0u);
+  // One size class: the bound alone caps heap traffic, no evictions.
+  EXPECT_LE(arena.heap_allocations(), kCapacity);
+  EXPECT_EQ(arena.evictions(), 0u);
+  EXPECT_GE(arena.recycles(), kFrames - kCapacity);
+}
+
 TEST(Pipeline, VerifySinkConfirmsEveryFrame) {
   std::vector<std::unique_ptr<Stage>> stages;
   stages.push_back(
@@ -137,7 +276,7 @@ TEST(Pipeline, VerifySinkConfirmsEveryFrame) {
   std::uint64_t bytes = 0;
   for (const Frame& f : input) {
     bytes += f.bytes.size();
-    ASSERT_TRUE(pipe.push(FrameBatch{f}));
+    ASSERT_TRUE(pipe.push(one(f)));
   }
   pipe.close();
   pipe.wait();
@@ -173,7 +312,7 @@ TEST(Pipeline, SpreadDespreadScrambleRoundTrip) {
     input[i].id = i;
     input[i].bytes = rng.next_bytes(i < 2 ? i : rng.next_below(97));
   }
-  for (const Frame& f : input) ASSERT_TRUE(pipe.push(FrameBatch{f}));
+  for (const Frame& f : input) ASSERT_TRUE(pipe.push(one(f)));
   pipe.close();
   pipe.wait();
 
@@ -195,7 +334,7 @@ TEST(Pipeline, ParallelCrcComposesAsStageEngine) {
   Pipeline pipe(std::move(stages));
   pipe.start();
   const std::vector<Frame> input = make_frames(16, 5);
-  ASSERT_TRUE(pipe.push(FrameBatch(input.begin(), input.end())));
+  ASSERT_TRUE(pipe.push(clone_batch(input)));
   pipe.close();
   pipe.wait();
 
@@ -223,14 +362,15 @@ TEST(ScrambleStage, RisingFrameSizesStayBitExactAndLinear) {
     Frame f;
     f.id = nframes;
     f.bytes = rng.next_bytes(len);
-    const std::vector<std::uint8_t> orig = f.bytes;
+    const std::vector<std::uint8_t> orig = f.bytes.to_vector();
 
     AdditiveScrambler ref(g, kSeed);
     const std::vector<std::uint8_t> want =
         ref.process(BitStream::from_bytes_lsb_first(orig))
             .to_bytes_lsb_first();
 
-    FrameBatch batch{std::move(f)};
+    FrameBatch batch;
+    batch.push_back(std::move(f));
     stage.process(batch);
     ASSERT_EQ(batch[0].bytes, want) << "len=" << len;
     total_bytes += len;
@@ -247,7 +387,7 @@ TEST(ScrambleStage, ApplyTwiceIsIdentity) {
   // same stage, frame-synchronously, for every frame in a batch.
   ScrambleStage stage(catalog::scrambler_sonet(), 0x41);
   const std::vector<Frame> input = make_frames(20, 8);
-  FrameBatch batch(input.begin(), input.end());
+  FrameBatch batch = clone_batch(input);
   stage.process(batch);
   std::size_t changed = 0;
   for (std::size_t i = 0; i < batch.size(); ++i)
@@ -272,7 +412,7 @@ TEST(SpreadStage, RoundTripsOddChipCountsAndFrameLengths) {
       std::vector<Frame> input(1);
       input[0].id = 0;
       input[0].bytes = rng.next_bytes(len);
-      FrameBatch batch(input.begin(), input.end());
+      FrameBatch batch = clone_batch(input);
       spread.process(batch);
       EXPECT_EQ(batch[0].bit_size(), 8 * len * chips)
           << "chips=" << chips << " len=" << len;
@@ -298,7 +438,8 @@ TEST(SpreadStage, RoundTripsBitGranularFrames) {
       f.id = 0;
       f.bytes = payload.to_bytes_lsb_first();
       f.bits = nbits;
-      FrameBatch batch{std::move(f)};
+      FrameBatch batch;
+      batch.push_back(std::move(f));
       spread.process(batch);
       EXPECT_EQ(batch[0].bit_size(), nbits * chips) << "chips=" << chips;
       despread.process(batch);
@@ -311,7 +452,7 @@ TEST(SpreadStage, RoundTripsBitGranularFrames) {
 
 TEST(Frame, BitSizeDefaultsToWholeBytesAndClamps) {
   Frame f;
-  f.bytes = {0xAB, 0xCD, 0xEF};
+  f.bytes = std::vector<std::uint8_t>{0xAB, 0xCD, 0xEF};
   EXPECT_EQ(f.bit_size(), 24u);  // default: whole buffer
   f.bits = 21;
   EXPECT_EQ(f.bit_size(), 21u);  // explicit bit-granular length
@@ -346,7 +487,7 @@ TEST(Pipeline, StageErrorAbortsAndPropagates) {
   // Pushes start failing once the abort lands; that is the signal to stop
   // producing. No deadlock either way — rings close on abort.
   for (const Frame& f : input)
-    if (!pipe.push(FrameBatch{f})) break;
+    if (!pipe.push(one(f))) break;
   pipe.close();
   EXPECT_THROW(pipe.wait(), std::runtime_error);
   EXPECT_TRUE(pipe.failed());
@@ -357,7 +498,7 @@ TEST(Pipeline, DestructorWithoutWaitShutsDownCleanly) {
   Pipeline pipe(std::move(stages), {.queue_depth = 1});
   pipe.start();
   for (const Frame& f : make_frames(8, 1)) {
-    if (!pipe.push(FrameBatch{f})) break;
+    if (!pipe.push(one(f))) break;
   }
   // No close()/wait(): the destructor must abort, drain and join.
 }
@@ -378,7 +519,7 @@ TEST(Pipeline, StatsTableHasOneRowPerStage) {
   Pipeline pipe(std::move(stages));
   pipe.start();
   const std::vector<Frame> input = make_frames(4, 11);
-  ASSERT_TRUE(pipe.push(FrameBatch(input.begin(), input.end())));
+  ASSERT_TRUE(pipe.push(clone_batch(input)));
   pipe.close();
   pipe.wait();
   EXPECT_EQ(pipe.stats_table().rows(), pipe.num_stages());

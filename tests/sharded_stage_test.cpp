@@ -35,13 +35,20 @@ std::vector<Frame> make_frames(std::size_t n, std::uint64_t seed) {
   return frames;
 }
 
+FrameBatch clone_batch(const std::vector<Frame>& in) {
+  FrameBatch batch;
+  batch.reserve(in.size());
+  for (const Frame& f : in) batch.push_back(f.clone());
+  return batch;
+}
+
 TEST(ShardedStage, BitExactAcrossShardCountsAndBatchSizes) {
   for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
     for (const std::size_t batch_size : {1u, 5u, 7u, 64u}) {
       const std::vector<Frame> input = make_frames(64, 42);
 
       // Unsharded reference: one scramble + one crc instance.
-      FrameBatch expect(input.begin(), input.end());
+      FrameBatch expect = clone_batch(input);
       ScrambleStage ref_scr(catalog::scrambler_80211(), kSeed);
       FcsStage ref_crc{TableCrc(crcspec::crc32_ethernet())};
       ref_scr.process(expect);
@@ -65,7 +72,7 @@ TEST(ShardedStage, BitExactAcrossShardCountsAndBatchSizes) {
         FrameBatch b;
         for (std::size_t j = i;
              j < std::min(i + batch_size, input.size()); ++j)
-          b.push_back(input[j]);
+          b.push_back(input[j].clone());
         scr.process(b);
         crc.process(b);
         for (Frame& f : b) got.push_back(std::move(f));
@@ -103,7 +110,7 @@ TEST(ShardedStage, FrameCountChangingStageKeepsSliceOrder) {
       input[i].id = i;
       input[i].bytes = rng.next_bytes(i < 2 ? i : rng.next_below(97));
     }
-    FrameBatch batch(input.begin(), input.end());
+    FrameBatch batch = clone_batch(input);
     spread.process(batch);
     ASSERT_EQ(batch.size(), input.size()) << "shards=" << shards;
     despread.process(batch);
@@ -135,7 +142,7 @@ TEST(ShardedStage, BitGranularFramesSurviveSharding) {
     f.id = i;
     f.bytes = payload.to_bytes_lsb_first();
     f.bits = nbits[i];
-    want.push_back(f.bytes);
+    want.push_back(f.bytes.to_vector());
     batch.push_back(std::move(f));
   }
   spread.process(batch);
@@ -184,7 +191,8 @@ TEST(ShardedStage, ShardExceptionPropagates) {
   // the throw must surface from process() after every shard joined.
   ShardedStage s([] { return std::make_unique<BoomStage>(50); }, 4);
   std::vector<Frame> input = make_frames(64, 3);
-  FrameBatch batch(input.begin(), input.end());
+  FrameBatch batch(std::make_move_iterator(input.begin()),
+                   std::make_move_iterator(input.end()));
   EXPECT_THROW(s.process(batch), std::runtime_error);
 }
 
@@ -193,7 +201,7 @@ TEST(ShardedStage, ComposesInsideThreadedPipeline) {
   // scramble row feeding a single crc row, on the threaded executor,
   // bit-exact with the serial unsharded composition.
   const std::vector<Frame> input = make_frames(96, 11);
-  FrameBatch expect(input.begin(), input.end());
+  FrameBatch expect = clone_batch(input);
   ScrambleStage ref_scr(catalog::scrambler_80211(), kSeed);
   FcsStage ref_crc{TableCrc(crcspec::crc32_ethernet())};
   ref_scr.process(expect);
@@ -216,7 +224,7 @@ TEST(ShardedStage, ComposesInsideThreadedPipeline) {
   for (std::size_t i = 0; i < input.size(); i += 16) {
     FrameBatch b;
     for (std::size_t j = i; j < std::min(i + 16, input.size()); ++j)
-      b.push_back(input[j]);
+      b.push_back(input[j].clone());
     ASSERT_TRUE(pipe.push(std::move(b)));
   }
   pipe.close();
